@@ -1,0 +1,139 @@
+//! Adaptive set intersection in the style of Demaine–López-Ortiz–Munro
+//! (SODA 2000) — the "leapfrogging" strategy the paper traces back to
+//! Hwang–Lin (Section 6.2, Appendix K).
+//!
+//! Round-robin galloping: maintain a candidate value (the eliminator);
+//! cycle through the sets seeking the candidate with exponential search.
+//! A set that lacks the candidate yields a larger value, which becomes the
+//! new candidate; `m` consecutive hits emit an output. Runs in
+//! `O(Σ log(gaps))` — proportional to a DLM proof / Barbay–Kenyon
+//! partition certificate of the instance.
+
+use minesweeper_core::JoinResult;
+use minesweeper_storage::{sorted, ExecStats, TrieRelation, Val};
+
+/// Intersects `m ≥ 1` unary relations by round-robin galloping.
+pub fn adaptive_intersection(sets: &[&TrieRelation]) -> JoinResult {
+    assert!(!sets.is_empty(), "need at least one set");
+    assert!(
+        sets.iter().all(|s| s.arity() == 1),
+        "adaptive intersection expects unary relations"
+    );
+    let mut stats = ExecStats::new();
+    let mut tuples = Vec::new();
+    let arrays: Vec<&[Val]> = sets.iter().map(|s| s.first_column()).collect();
+    let m = arrays.len();
+    if arrays.iter().any(|a| a.is_empty()) {
+        return JoinResult { tuples, stats };
+    }
+    let mut pos = vec![0usize; m];
+    let mut candidate = arrays[0][0];
+    let mut agree = 1usize; // arrays known to contain the candidate
+    let mut turn = 1usize % m;
+    loop {
+        if agree == m {
+            tuples.push(vec![candidate]);
+            stats.outputs += 1;
+            // Advance past the emitted value in the current array.
+            let a = arrays[turn];
+            let p = sorted::gallop_gt(a, pos[turn], candidate);
+            stats.seeks += 1;
+            pos[turn] = p;
+            if p == a.len() {
+                break;
+            }
+            candidate = a[p];
+            agree = 1;
+            turn = (turn + 1) % m;
+            continue;
+        }
+        let a = arrays[turn];
+        let p = sorted::gallop_ge(a, pos[turn], candidate);
+        stats.seeks += 1;
+        stats.comparisons += 1;
+        pos[turn] = p;
+        if p == a.len() {
+            break; // some set is exhausted: no further output possible
+        }
+        if a[p] == candidate {
+            agree += 1;
+        } else {
+            candidate = a[p];
+            agree = 1;
+        }
+        turn = (turn + 1) % m;
+    }
+    JoinResult { tuples, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_core::set_intersection;
+    use minesweeper_storage::builder::unary;
+
+    fn vals(r: &JoinResult) -> Vec<Val> {
+        r.tuples.iter().map(|t| t[0]).collect()
+    }
+
+    #[test]
+    fn three_way_intersection() {
+        let a = unary("A", [1, 3, 5, 7, 9]);
+        let b = unary("B", [3, 4, 7, 10]);
+        let c = unary("C", [0, 3, 7, 11]);
+        let res = adaptive_intersection(&[&a, &b, &c]);
+        assert_eq!(vals(&res), vec![3, 7]);
+    }
+
+    #[test]
+    fn agrees_with_minesweeper_on_random_sets() {
+        let mut seed = 0x600dcafe1111u64;
+        let mut rng = move |m: u64| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed % m
+        };
+        for _ in 0..25 {
+            let k = 2 + rng(3) as usize;
+            let sets: Vec<_> = (0..k)
+                .map(|i| {
+                    unary(
+                        format!("S{i}"),
+                        (0..rng(30)).map(|_| rng(40) as Val),
+                    )
+                })
+                .collect();
+            let refs: Vec<&TrieRelation> = sets.iter().collect();
+            let fast = adaptive_intersection(&refs);
+            let ms = set_intersection(&refs);
+            assert_eq!(vals(&fast), vals(&ms));
+        }
+    }
+
+    #[test]
+    fn disjoint_ranges_finish_in_logarithmic_seeks() {
+        let n: Val = 4096;
+        let a = unary("A", 0..n);
+        let b = unary("B", n..2 * n);
+        let res = adaptive_intersection(&[&a, &b]);
+        assert!(res.tuples.is_empty());
+        assert!(res.stats.seeks <= 6, "seeks = {}", res.stats.seeks);
+    }
+
+    #[test]
+    fn single_set_copies() {
+        let a = unary("A", [4, 8]);
+        let res = adaptive_intersection(&[&a]);
+        assert_eq!(vals(&res), vec![4, 8]);
+    }
+
+    #[test]
+    fn empty_set_short_circuits() {
+        let a = unary("A", []);
+        let b = unary("B", 0..10);
+        let res = adaptive_intersection(&[&a, &b]);
+        assert!(res.tuples.is_empty());
+        assert_eq!(res.stats.seeks, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Classical left-deep binary join plans (hash join and sort-merge join) —
+//! the traditional RDBMS execution strategies that both the worst-case
+//! optimal algorithms and Minesweeper improve upon. Atoms are joined in
+//! the order given by the query; every intermediate is fully materialized.
+
+use minesweeper_core::{JoinResult, Query, QueryError};
+use minesweeper_storage::{Database, ExecStats};
+
+use crate::intermediate::Intermediate;
+
+/// Which pairwise operator the plan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PairwiseOp {
+    Hash,
+    SortMerge,
+}
+
+fn run_plan(db: &Database, query: &Query, op: PairwiseOp) -> Result<JoinResult, QueryError> {
+    query.validate(db)?;
+    let mut stats = ExecStats::new();
+    let mut acc: Option<Intermediate> = None;
+    for atom in &query.atoms {
+        let rel = db.relation(atom.rel);
+        stats.intermediate_tuples += rel.len() as u64;
+        let right = Intermediate::new(atom.attrs.clone(), rel.to_tuples());
+        acc = Some(match acc {
+            None => right,
+            Some(left) => match op {
+                PairwiseOp::Hash => left.hash_join(&right, &mut stats),
+                PairwiseOp::SortMerge => left.sort_merge_join(&right, &mut stats),
+            },
+        });
+    }
+    let tuples = acc.expect("validated query has atoms").into_gao_tuples(query.n_attrs);
+    stats.outputs = tuples.len() as u64;
+    Ok(JoinResult { tuples, stats })
+}
+
+/// Left-deep hash join plan in atom order.
+pub fn hash_join_plan(db: &Database, query: &Query) -> Result<JoinResult, QueryError> {
+    run_plan(db, query, PairwiseOp::Hash)
+}
+
+/// Left-deep sort-merge join plan in atom order.
+pub fn sort_merge_plan(db: &Database, query: &Query) -> Result<JoinResult, QueryError> {
+    run_plan(db, query, PairwiseOp::SortMerge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_core::naive_join;
+    use minesweeper_storage::{builder, Database};
+
+    #[test]
+    fn both_plans_match_naive_on_path() {
+        let mut db = Database::new();
+        let e1 = db.add(builder::binary("E1", [(1, 2), (2, 3), (9, 9)])).unwrap();
+        let e2 = db.add(builder::binary("E2", [(2, 5), (3, 6)])).unwrap();
+        let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
+        let expect = naive_join(&db, &q).unwrap();
+        assert_eq!(hash_join_plan(&db, &q).unwrap().tuples, expect);
+        assert_eq!(sort_merge_plan(&db, &q).unwrap().tuples, expect);
+    }
+
+    #[test]
+    fn triangle_via_binary_plans() {
+        let mut db = Database::new();
+        let e = db
+            .add(builder::binary("E", [(1, 2), (2, 3), (1, 3), (2, 4)]))
+            .unwrap();
+        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let expect = naive_join(&db, &q).unwrap();
+        assert_eq!(hash_join_plan(&db, &q).unwrap().tuples, expect);
+        assert_eq!(sort_merge_plan(&db, &q).unwrap().tuples, expect);
+        assert_eq!(expect, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn intermediate_blowup_is_visible_in_stats() {
+        // Two relations sharing no attributes until the third atom closes
+        // the join: the binary plan materializes the cross product, which
+        // the stats must reveal.
+        let mut db = Database::new();
+        let a = db.add(builder::unary("A", 0..30)).unwrap();
+        let b = db.add(builder::unary("B", 0..30)).unwrap();
+        let c = db.add(builder::binary("C", [(0, 0)])).unwrap();
+        let q = Query::new(2).atom(a, &[0]).atom(b, &[1]).atom(c, &[0, 1]);
+        let res = hash_join_plan(&db, &q).unwrap();
+        assert_eq!(res.tuples, vec![vec![0, 0]]);
+        assert!(
+            res.stats.intermediate_tuples >= 900,
+            "cross product must be counted: {}",
+            res.stats.intermediate_tuples
+        );
+    }
+
+    #[test]
+    fn bowtie_plans() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [1, 2])).unwrap();
+        let s = db.add(builder::binary("S", [(1, 5), (2, 6), (3, 5)])).unwrap();
+        let t = db.add(builder::unary("T", [5])).unwrap();
+        let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
+        let expect = naive_join(&db, &q).unwrap();
+        assert_eq!(hash_join_plan(&db, &q).unwrap().tuples, expect);
+        assert_eq!(sort_merge_plan(&db, &q).unwrap().tuples, expect);
+    }
+}

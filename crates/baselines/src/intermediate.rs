@@ -1,0 +1,235 @@
+//! Materialized intermediate relations for the tuple-at-a-time baselines
+//! (Yannakakis and the binary plans).
+
+use std::collections::HashMap;
+
+use minesweeper_storage::{ExecStats, Tuple, Val};
+
+/// A materialized relation over an arbitrary attribute set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Intermediate {
+    /// GAO positions of the columns, in column order (not necessarily
+    /// sorted — intermediates are not indexed).
+    pub attrs: Vec<usize>,
+    /// The tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Intermediate {
+    /// Builds from attribute positions and tuples.
+    pub fn new(attrs: Vec<usize>, tuples: Vec<Tuple>) -> Self {
+        debug_assert!(tuples.iter().all(|t| t.len() == attrs.len()));
+        Intermediate { attrs, tuples }
+    }
+
+    /// The shared attributes with another intermediate, as
+    /// `(self column, other column)` pairs.
+    pub fn shared_columns(&self, other: &Intermediate) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, a) in self.attrs.iter().enumerate() {
+            if let Some(j) = other.attrs.iter().position(|b| b == a) {
+                out.push((i, j));
+            }
+        }
+        out
+    }
+
+    /// Key of a tuple on the given columns.
+    fn key(t: &[Val], cols: &[usize]) -> Vec<Val> {
+        cols.iter().map(|&c| t[c]).collect()
+    }
+
+    /// Semijoin reduce: keep tuples whose shared-attribute key appears in
+    /// `other` (`self ⋉ other`). Counts probed tuples as comparisons.
+    pub fn semijoin(&mut self, other: &Intermediate, stats: &mut ExecStats) {
+        let shared = self.shared_columns(other);
+        if shared.is_empty() {
+            if other.tuples.is_empty() {
+                self.tuples.clear();
+            }
+            return;
+        }
+        let (mine, theirs): (Vec<usize>, Vec<usize>) = shared.into_iter().unzip();
+        let mut keys: HashMap<Vec<Val>, ()> = HashMap::with_capacity(other.tuples.len());
+        for t in &other.tuples {
+            keys.insert(Self::key(t, &theirs), ());
+        }
+        stats.comparisons += self.tuples.len() as u64 + other.tuples.len() as u64;
+        self.tuples.retain(|t| keys.contains_key(&Self::key(t, &mine)));
+    }
+
+    /// Hash join on the shared attributes; output columns are `self`'s
+    /// followed by `other`'s non-shared columns. Counts built and emitted
+    /// tuples.
+    pub fn hash_join(&self, other: &Intermediate, stats: &mut ExecStats) -> Intermediate {
+        let shared = self.shared_columns(other);
+        let (mine, theirs): (Vec<usize>, Vec<usize>) = shared.iter().copied().unzip();
+        let other_extra: Vec<usize> = (0..other.attrs.len())
+            .filter(|j| !theirs.contains(j))
+            .collect();
+        let mut table: HashMap<Vec<Val>, Vec<&Tuple>> =
+            HashMap::with_capacity(other.tuples.len());
+        for t in &other.tuples {
+            table.entry(Self::key(t, &theirs)).or_default().push(t);
+        }
+        stats.comparisons += self.tuples.len() as u64 + other.tuples.len() as u64;
+        let mut attrs = self.attrs.clone();
+        attrs.extend(other_extra.iter().map(|&j| other.attrs[j]));
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            if let Some(matches) = table.get(&Self::key(t, &mine)) {
+                for m in matches {
+                    let mut out = t.clone();
+                    out.extend(other_extra.iter().map(|&j| m[j]));
+                    tuples.push(out);
+                }
+            }
+        }
+        stats.intermediate_tuples += tuples.len() as u64;
+        Intermediate::new(attrs, tuples)
+    }
+
+    /// Sort-merge join on the shared attributes (same output schema as
+    /// [`hash_join`]). Counts merge comparisons.
+    ///
+    /// [`hash_join`]: Intermediate::hash_join
+    pub fn sort_merge_join(&self, other: &Intermediate, stats: &mut ExecStats) -> Intermediate {
+        let shared = self.shared_columns(other);
+        let (mine, theirs): (Vec<usize>, Vec<usize>) = shared.iter().copied().unzip();
+        let other_extra: Vec<usize> = (0..other.attrs.len())
+            .filter(|j| !theirs.contains(j))
+            .collect();
+        let mut left: Vec<(Vec<Val>, &Tuple)> =
+            self.tuples.iter().map(|t| (Self::key(t, &mine), t)).collect();
+        let mut right: Vec<(Vec<Val>, &Tuple)> =
+            other.tuples.iter().map(|t| (Self::key(t, &theirs), t)).collect();
+        left.sort();
+        right.sort();
+        stats.comparisons += (left.len() as u64).saturating_add(right.len() as u64);
+        let mut attrs = self.attrs.clone();
+        attrs.extend(other_extra.iter().map(|&j| other.attrs[j]));
+        let mut tuples = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < left.len() && j < right.len() {
+            match left[i].0.cmp(&right[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Emit the cross product of the two equal-key runs.
+                    let key = left[i].0.clone();
+                    let i_end = left[i..].iter().take_while(|(k, _)| *k == key).count() + i;
+                    let j_end = right[j..].iter().take_while(|(k, _)| *k == key).count() + j;
+                    for (_, lt) in &left[i..i_end] {
+                        for (_, rt) in &right[j..j_end] {
+                            let mut out = (*lt).clone();
+                            out.extend(other_extra.iter().map(|&c| rt[c]));
+                            tuples.push(out);
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        stats.intermediate_tuples += tuples.len() as u64;
+        Intermediate::new(attrs, tuples)
+    }
+
+    /// Projects onto the full GAO tuple layout `(0, …, n−1)`; panics if a
+    /// position is missing.
+    pub fn into_gao_tuples(self, n_attrs: usize) -> Vec<Tuple> {
+        let mut col_of = vec![usize::MAX; n_attrs];
+        for (c, &a) in self.attrs.iter().enumerate() {
+            col_of[a] = c;
+        }
+        assert!(
+            col_of.iter().all(|&c| c != usize::MAX),
+            "intermediate does not cover all attributes"
+        );
+        let mut out: Vec<Tuple> = self
+            .tuples
+            .into_iter()
+            .map(|t| col_of.iter().map(|&c| t[c]).collect())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inter(attrs: &[usize], tuples: &[&[Val]]) -> Intermediate {
+        Intermediate::new(attrs.to_vec(), tuples.iter().map(|t| t.to_vec()).collect())
+    }
+
+    #[test]
+    fn shared_columns_found() {
+        let a = inter(&[0, 1], &[]);
+        let b = inter(&[1, 2], &[]);
+        assert_eq!(a.shared_columns(&b), vec![(1, 0)]);
+        let c = inter(&[3], &[]);
+        assert!(a.shared_columns(&c).is_empty());
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let mut st = ExecStats::new();
+        let mut a = inter(&[0, 1], &[&[1, 2], &[3, 4], &[5, 6]]);
+        let b = inter(&[1, 2], &[&[2, 9], &[6, 9]]);
+        a.semijoin(&b, &mut st);
+        assert_eq!(a.tuples, vec![vec![1, 2], vec![5, 6]]);
+    }
+
+    #[test]
+    fn semijoin_disjoint_attrs_is_emptiness_test() {
+        let mut st = ExecStats::new();
+        let mut a = inter(&[0], &[&[1]]);
+        let b = inter(&[1], &[]);
+        a.semijoin(&b, &mut st);
+        assert!(a.tuples.is_empty());
+        let mut a = inter(&[0], &[&[1]]);
+        let b = inter(&[1], &[&[7]]);
+        a.semijoin(&b, &mut st);
+        assert_eq!(a.tuples.len(), 1);
+    }
+
+    #[test]
+    fn hash_and_sort_merge_agree() {
+        let mut st = ExecStats::new();
+        let a = inter(&[0, 1], &[&[1, 2], &[1, 3], &[2, 2], &[4, 9]]);
+        let b = inter(&[1, 2], &[&[2, 7], &[2, 8], &[3, 5]]);
+        let mut h = a.hash_join(&b, &mut st).tuples;
+        let mut s = a.sort_merge_join(&b, &mut st).tuples;
+        h.sort();
+        s.sort();
+        assert_eq!(h, s);
+        assert_eq!(h.len(), 2 + 2 + 1); // (1,2)→2, (2,2)→2, (1,3)→1
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_attrs() {
+        let mut st = ExecStats::new();
+        let a = inter(&[0], &[&[1], &[2]]);
+        let b = inter(&[1], &[&[8], &[9]]);
+        let j = a.hash_join(&b, &mut st);
+        assert_eq!(j.attrs, vec![0, 1]);
+        assert_eq!(j.tuples.len(), 4);
+        let j2 = a.sort_merge_join(&b, &mut st);
+        assert_eq!(j2.tuples.len(), 4);
+    }
+
+    #[test]
+    fn gao_projection_reorders() {
+        let i = inter(&[2, 0, 1], &[&[30, 10, 20]]);
+        assert_eq!(i.into_gao_tuples(3), vec![vec![10, 20, 30]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn gao_projection_requires_coverage() {
+        inter(&[0], &[&[1]]).into_gao_tuples(2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Baseline join algorithms the paper compares Minesweeper against
+//! (Section 6, Appendix J).
+//!
+//! * [`yannakakis()`] — Yannakakis' algorithm for α-acyclic queries \[55\]:
+//!   full semijoin reduction over a GYO join tree, then bottom-up joins.
+//!   Worst-case optimal in `Õ(N + Z)` but *not* certificate-optimal
+//!   (Appendix J: a pairwise semijoin touches Ω(N) tuples even when
+//!   `|C| = o(N)`).
+//! * [`leapfrog`] — Leapfrog Triejoin \[53\]: worst-case optimal
+//!   attribute-at-a-time join with galloping seeks.
+//! * [`generic_join()`] — the NPRR-style generic worst-case optimal join
+//!   \[40\]: smallest-candidate-set expansion with sorted intersection.
+//! * [`binary`] — classical left-deep binary join plans (hash join and
+//!   sort-merge join), the "traditional" comparison point.
+//! * [`adaptive`] — Demaine–López-Ortiz–Munro-style adaptive set
+//!   intersection (Section 6.2), the specialized comparator for the
+//!   Appendix H experiments.
+//!
+//! All algorithms produce tuples over the full GAO attribute space and are
+//! cross-checked against `minesweeper_core::naive_join` in tests.
+
+pub mod adaptive;
+pub mod binary;
+pub mod generic_join;
+pub mod intermediate;
+pub mod leapfrog;
+pub mod merge;
+pub mod nested_loop;
+pub mod yannakakis;
+
+pub use adaptive::adaptive_intersection;
+pub use binary::{hash_join_plan, sort_merge_plan};
+pub use generic_join::generic_join;
+pub use leapfrog::leapfrog_triejoin;
+pub use merge::merge_intersection;
+pub use nested_loop::index_nested_loop;
+pub use yannakakis::yannakakis;

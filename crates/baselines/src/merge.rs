@@ -1,0 +1,117 @@
+//! The m-way merge intersection — the *non*-adaptive comparison point of
+//! Appendix H.2: "the algorithm becomes the minimum-comparison method in
+//! \[20\] and it is the same as a typical m-way merge join algorithm".
+//! Always Θ(N) comparisons, regardless of how easy the instance is.
+
+use minesweeper_core::JoinResult;
+use minesweeper_storage::{ExecStats, TrieRelation, Val};
+
+/// Intersects `m ≥ 1` unary relations by a plain synchronized scan.
+pub fn merge_intersection(sets: &[&TrieRelation]) -> JoinResult {
+    assert!(!sets.is_empty(), "need at least one set");
+    assert!(
+        sets.iter().all(|s| s.arity() == 1),
+        "merge intersection expects unary relations"
+    );
+    let mut stats = ExecStats::new();
+    let arrays: Vec<&[Val]> = sets.iter().map(|s| s.first_column()).collect();
+    let mut pos = vec![0usize; arrays.len()];
+    let mut tuples = Vec::new();
+    'outer: loop {
+        // Current maximum among the heads.
+        let mut max = Val::MIN;
+        for (a, &p) in arrays.iter().zip(&pos) {
+            if p >= a.len() {
+                break 'outer;
+            }
+            stats.comparisons += 1;
+            max = max.max(a[p]);
+        }
+        // Advance every list to ≥ max, one element at a time (the
+        // non-galloping merge).
+        let mut all_equal = true;
+        for (i, a) in arrays.iter().enumerate() {
+            while pos[i] < a.len() && a[pos[i]] < max {
+                pos[i] += 1;
+                stats.comparisons += 1;
+            }
+            if pos[i] >= a.len() {
+                break 'outer;
+            }
+            if a[pos[i]] != max {
+                all_equal = false;
+            }
+        }
+        if all_equal {
+            tuples.push(vec![max]);
+            stats.outputs += 1;
+            for p in &mut pos {
+                *p += 1;
+            }
+        }
+    }
+    JoinResult { tuples, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::adaptive_intersection;
+    use minesweeper_storage::builder::unary;
+
+    fn vals(r: &JoinResult) -> Vec<Val> {
+        r.tuples.iter().map(|t| t[0]).collect()
+    }
+
+    #[test]
+    fn agrees_with_adaptive() {
+        let mut seed = 0x33aa55u64;
+        let mut rng = move |m: u64| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed % m
+        };
+        for _ in 0..20 {
+            let a = unary("A", (0..rng(40)).map(|_| rng(60) as Val));
+            let b = unary("B", (0..rng(40)).map(|_| rng(60) as Val));
+            let c = unary("C", (0..rng(40)).map(|_| rng(60) as Val));
+            let refs = vec![&a, &b, &c];
+            assert_eq!(
+                vals(&merge_intersection(&refs)),
+                vals(&adaptive_intersection(&refs))
+            );
+        }
+    }
+
+    #[test]
+    fn merge_pays_linear_even_on_easy_instances() {
+        // Disjoint ranges: adaptive finishes in O(1) seeks; the merge must
+        // scan one entire list — the non-adaptivity Appendix H contrasts.
+        let n: Val = 5_000;
+        let a = unary("A", 0..n);
+        let b = unary("B", n..2 * n);
+        let refs = vec![&a, &b];
+        let merge = merge_intersection(&refs);
+        let adaptive = adaptive_intersection(&refs);
+        assert!(merge.tuples.is_empty() && adaptive.tuples.is_empty());
+        assert!(merge.stats.comparisons as i64 >= n);
+        assert!(adaptive.stats.seeks <= 6);
+    }
+
+    #[test]
+    fn outputs_every_common_value() {
+        let a = unary("A", [1, 2, 3, 4, 5]);
+        let b = unary("B", [2, 4, 6]);
+        assert_eq!(vals(&merge_intersection(&[&a, &b])), vec![2, 4]);
+    }
+
+    #[test]
+    fn empty_set_terminates_immediately() {
+        let a = unary("A", []);
+        let b = unary("B", 0..10);
+        let res = merge_intersection(&[&a, &b]);
+        assert!(res.tuples.is_empty());
+        assert!(res.stats.comparisons <= 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! Yannakakis' algorithm for α-acyclic queries \[55\].
+//!
+//! 1. Build a join tree via GYO reduction (Appendix A / Definition A.3).
+//! 2. Full reducer: an upward semijoin pass (children reduce parents,
+//!    leaves first) followed by a downward pass (parents reduce children).
+//!    After both passes every relation is globally consistent.
+//! 3. Join bottom-up along the tree; with dangling tuples removed, every
+//!    intermediate joins losslessly toward the output.
+//!
+//! Data-complexity optimal in the worst case — `Õ(N + Z)` — but Appendix J
+//! shows it is **not** certificate-optimal: each semijoin pass reads entire
+//! relations, so instances with `|C| = o(N)` still cost `Ω(N)`.
+
+use minesweeper_core::{JoinResult, Query, QueryError};
+use minesweeper_hypergraph::join_tree;
+use minesweeper_storage::{Database, ExecStats};
+
+use crate::intermediate::Intermediate;
+
+/// Errors from Yannakakis' algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YannakakisError {
+    /// The query hypergraph is α-cyclic: no join tree exists.
+    NotAlphaAcyclic,
+    /// The query failed validation.
+    Query(QueryError),
+}
+
+impl std::fmt::Display for YannakakisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            YannakakisError::NotAlphaAcyclic => write!(f, "query is not α-acyclic"),
+            YannakakisError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for YannakakisError {}
+
+/// Runs Yannakakis' algorithm. Fails on α-cyclic queries.
+pub fn yannakakis(db: &Database, query: &Query) -> Result<JoinResult, YannakakisError> {
+    query.validate(db).map_err(YannakakisError::Query)?;
+    let h = query.hypergraph();
+    let tree = join_tree(&h).ok_or(YannakakisError::NotAlphaAcyclic)?;
+    let mut stats = ExecStats::new();
+    // Materialize the atoms.
+    let mut rels: Vec<Intermediate> = query
+        .atoms
+        .iter()
+        .map(|a| {
+            let r = db.relation(a.rel);
+            stats.intermediate_tuples += r.len() as u64;
+            Intermediate::new(a.attrs.clone(), r.to_tuples())
+        })
+        .collect();
+    // Upward pass: children reduce parents (leaves first).
+    for &i in &tree.bottom_up {
+        if let Some(p) = tree.parent[i] {
+            let child = rels[i].clone();
+            rels[p].semijoin(&child, &mut stats);
+        }
+    }
+    // Downward pass: parents reduce children (roots first).
+    for &i in &tree.top_down() {
+        if let Some(p) = tree.parent[i] {
+            let parent = rels[p].clone();
+            rels[i].semijoin(&parent, &mut stats);
+        }
+    }
+    // Bottom-up joins: fold each node into its parent; roots are joined
+    // together at the end (cross product across disconnected components).
+    let mut acc: Option<Intermediate> = None;
+    let mut folded: Vec<Option<Intermediate>> = rels.into_iter().map(Some).collect();
+    for &i in &tree.bottom_up {
+        let node = folded[i].take().expect("each node folded once");
+        match tree.parent[i] {
+            Some(p) => {
+                let parent = folded[p].take().expect("parent not folded yet");
+                folded[p] = Some(parent.hash_join(&node, &mut stats));
+            }
+            None => {
+                acc = Some(match acc {
+                    None => node,
+                    Some(a) => a.hash_join(&node, &mut stats),
+                });
+            }
+        }
+    }
+    let acc = acc.expect("non-empty query");
+    let tuples = acc.into_gao_tuples(query.n_attrs);
+    stats.outputs = tuples.len() as u64;
+    Ok(JoinResult { tuples, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_core::naive_join;
+    use minesweeper_storage::{builder, Database, Val};
+
+    #[test]
+    fn bowtie_matches_naive() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [1, 2, 4])).unwrap();
+        let s = db
+            .add(builder::binary("S", [(1, 5), (2, 6), (2, 7), (4, 9)]))
+            .unwrap();
+        let t = db.add(builder::unary("T", [5, 7, 9])).unwrap();
+        let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
+        let res = yannakakis(&db, &q).unwrap();
+        assert_eq!(res.tuples, naive_join(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn path_query_matches_naive() {
+        let mut db = Database::new();
+        let e1 = db.add(builder::binary("E1", [(1, 2), (2, 3), (4, 5)])).unwrap();
+        let e2 = db.add(builder::binary("E2", [(2, 7), (3, 8), (5, 9)])).unwrap();
+        let e3 = db.add(builder::binary("E3", [(7, 1), (8, 1), (9, 2)])).unwrap();
+        let q = Query::new(4)
+            .atom(e1, &[0, 1])
+            .atom(e2, &[1, 2])
+            .atom(e3, &[2, 3]);
+        let res = yannakakis(&db, &q).unwrap();
+        assert_eq!(res.tuples, naive_join(&db, &q).unwrap());
+        assert_eq!(res.tuples.len(), 3);
+    }
+
+    #[test]
+    fn triangle_rejected() {
+        let mut db = Database::new();
+        let e = db.add(builder::binary("E", [(1, 2)])).unwrap();
+        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        assert_eq!(
+            yannakakis(&db, &q).unwrap_err(),
+            YannakakisError::NotAlphaAcyclic
+        );
+    }
+
+    #[test]
+    fn triangle_plus_universal_accepted() {
+        // Q∆+U is α-acyclic (Example A.1) and must run.
+        let mut db = Database::new();
+        let edges = [(1, 2), (2, 3), (1, 3)];
+        let e = db.add(builder::binary("E", edges)).unwrap();
+        let u = db
+            .add(
+                minesweeper_storage::RelationBuilder::new("U", 3)
+                    .tuple(&[1, 2, 3])
+                    .tuple(&[2, 3, 4])
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2])
+            .atom(u, &[0, 1, 2]);
+        let res = yannakakis(&db, &q).unwrap();
+        assert_eq!(res.tuples, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn full_reducer_removes_dangling_tuples() {
+        // A long chain where only one path survives: the reducer must trim
+        // all dangling tuples before the join phase, so intermediates stay
+        // linear.
+        let n: Val = 50;
+        let mut db = Database::new();
+        let e1 = db
+            .add(builder::binary("E1", (0..n).map(|i| (i, i))))
+            .unwrap();
+        let e2 = db
+            .add(builder::binary("E2", (0..n).map(|i| (i, i + 1))))
+            .unwrap();
+        let e3 = db.add(builder::binary("E3", [(1, 1)])).unwrap();
+        let q = Query::new(4)
+            .atom(e1, &[0, 1])
+            .atom(e2, &[1, 2])
+            .atom(e3, &[2, 3]);
+        let res = yannakakis(&db, &q).unwrap();
+        assert_eq!(res.tuples, vec![vec![0, 0, 1, 1]]);
+        // Join-phase intermediates must not blow up past the inputs.
+        assert!(res.stats.intermediate_tuples <= 3 * n as u64 + 10);
+    }
+
+    #[test]
+    fn star_query_matches_naive() {
+        let mut db = Database::new();
+        let s = db
+            .add(builder::binary("S", [(1, 2), (1, 3), (2, 2), (3, 9)]))
+            .unwrap();
+        let r1 = db.add(builder::unary("R1", [1, 2])).unwrap();
+        let r2 = db.add(builder::unary("R2", [2, 3])).unwrap();
+        let r3 = db.add(builder::unary("R3", [2, 3, 9])).unwrap();
+        let q = Query::new(3)
+            .atom(r1, &[0])
+            .atom(s, &[0, 1])
+            .atom(s, &[0, 2])
+            .atom(r2, &[1])
+            .atom(r3, &[2]);
+        let res = yannakakis(&db, &q).unwrap();
+        assert_eq!(res.tuples, naive_join(&db, &q).unwrap());
+    }
+}

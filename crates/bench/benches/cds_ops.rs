@@ -1,0 +1,103 @@
+//! Microbenchmarks for the CDS building blocks (Props 3.1, E.2, E.3):
+//! interval-set insertion/`Next`, sorted-list operations, and constraint
+//! streams through the `ConstraintTree`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minesweeper_cds::{
+    Constraint, ConstraintTree, IntervalSet, Pattern, ProbeMode, ProbeStats, SortedList,
+};
+
+fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+fn interval_set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_set");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("insert_merge", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = IntervalSet::new();
+                let mut seed = 42u64;
+                for _ in 0..n {
+                    let lo = (xorshift(&mut seed) % 1_000_000) as i64;
+                    s.insert_closed(lo, lo + 64);
+                }
+                black_box(s.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("next_scan", n), &n, |b, &n| {
+            let mut s = IntervalSet::new();
+            let mut seed = 42u64;
+            for _ in 0..n {
+                let lo = (xorshift(&mut seed) % 1_000_000) as i64;
+                s.insert_closed(lo, lo + 32);
+            }
+            b.iter(|| {
+                let mut v = -1i64;
+                let mut count = 0u64;
+                while v < 1_000_000 {
+                    v = s.next(v) + 1;
+                    count += 1;
+                }
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sorted_list_ops(c: &mut Criterion) {
+    c.bench_function("sorted_list/insert_find_delete_10k", |b| {
+        b.iter(|| {
+            let mut l = SortedList::new();
+            let mut seed = 7u64;
+            for _ in 0..10_000 {
+                l.insert((xorshift(&mut seed) % 100_000) as i64, ());
+            }
+            let mut hits = 0u64;
+            for v in (0..100_000).step_by(97) {
+                if l.find_lub(v).is_some() {
+                    hits += 1;
+                }
+            }
+            l.delete_range_closed(25_000, 75_000);
+            black_box((hits, l.len()))
+        })
+    });
+}
+
+fn constraint_tree_stream(c: &mut Criterion) {
+    c.bench_function("constraint_tree/insert_probe_stream", |b| {
+        b.iter(|| {
+            let mut cds = ConstraintTree::new(3, ProbeMode::General);
+            let mut st = ProbeStats::default();
+            let mut seed = 99u64;
+            cds.insert_constraint(
+                &Constraint::new(Pattern::empty(), minesweeper_cds::NEG_INF, 0),
+                &mut st,
+            );
+            for _ in 0..500 {
+                let a = (xorshift(&mut seed) % 50) as i64;
+                let lo = (xorshift(&mut seed) % 100) as i64;
+                cds.insert_constraint(
+                    &Constraint::new(Pattern::all_eq(&[a]), lo, lo + 8),
+                    &mut st,
+                );
+                if let Some(t) = cds.get_probe_point(&mut st) {
+                    cds.insert_constraint(&Constraint::point_exclusion(&t), &mut st);
+                }
+            }
+            black_box(st.probe_points)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = interval_set_ops, sorted_list_ops, constraint_tree_stream
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Set-intersection benches (Appendix H): Minesweeper's specialization vs
+//! the DLM-style adaptive baseline across certificate regimes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minesweeper_baselines::adaptive_intersection;
+use minesweeper_core::set_intersection;
+use minesweeper_storage::TrieRelation;
+use minesweeper_workloads::intersection::{blocks, disjoint_ranges, interleaved, random_sets};
+
+fn families(c: &mut Criterion) {
+    let n = 1i64 << 14;
+    let cases: Vec<(&str, Vec<TrieRelation>)> = vec![
+        ("disjoint", disjoint_ranges(2, n)),
+        ("interleaved", interleaved(2, n)),
+        ("blocks_64", blocks(n, 64)),
+        ("random", random_sets(3, n as usize / 2, n, 3)),
+    ];
+    let mut group = c.benchmark_group("intersection");
+    group.sample_size(20);
+    for (name, sets) in &cases {
+        let refs: Vec<&TrieRelation> = sets.iter().collect();
+        group.bench_with_input(BenchmarkId::new("minesweeper", name), &refs, |b, refs| {
+            b.iter(|| black_box(set_intersection(refs).tuples.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("dlm_adaptive", name), &refs, |b, refs| {
+            b.iter(|| black_box(adaptive_intersection(refs).tuples.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, families);
+criterion_main!(benches);

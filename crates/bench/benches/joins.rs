@@ -1,0 +1,75 @@
+//! Join algorithm comparison benches: Minesweeper vs Yannakakis, LFTJ,
+//! NPRR, and the binary hash plan on (a) the Appendix J hidden-certificate
+//! family and (b) the Section 5.2 star query on a power-law graph.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minesweeper_baselines::{generic_join, hash_join_plan, leapfrog_triejoin, yannakakis};
+use minesweeper_cds::ProbeMode;
+use minesweeper_core::minesweeper_join;
+use minesweeper_workloads::appendix_j::hidden_certificate_instance;
+use minesweeper_workloads::graphs::{chung_lu, symmetrize};
+use minesweeper_workloads::star_query;
+
+fn appendix_j_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_j_m4");
+    group.sample_size(10);
+    for &chunk in &[16i64, 32] {
+        let inst = hidden_certificate_instance(4, chunk);
+        group.bench_with_input(
+            BenchmarkId::new("minesweeper", chunk),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        minesweeper_join(&inst.db, &inst.query, ProbeMode::Chain)
+                            .unwrap()
+                            .tuples
+                            .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("yannakakis", chunk), &inst, |b, inst| {
+            b.iter(|| black_box(yannakakis(&inst.db, &inst.query).unwrap().tuples.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("lftj", chunk), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(leapfrog_triejoin(&inst.db, &inst.query).unwrap().tuples.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nprr", chunk), &inst, |b, inst| {
+            b.iter(|| black_box(generic_join(&inst.db, &inst.query).unwrap().tuples.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("hash_plan", chunk), &inst, |b, inst| {
+            b.iter(|| black_box(hash_join_plan(&inst.db, &inst.query).unwrap().tuples.len()))
+        });
+    }
+    group.finish();
+}
+
+fn star_on_powerlaw(c: &mut Criterion) {
+    let edges = symmetrize(&chung_lu(3000, 25_000, 2.3, 17));
+    let inst = star_query(&edges, 3000, 0.005, 17);
+    let mut group = c.benchmark_group("star_query");
+    group.sample_size(10);
+    group.bench_function("minesweeper", |b| {
+        b.iter(|| {
+            black_box(
+                minesweeper_join(&inst.db, &inst.query, ProbeMode::Chain)
+                    .unwrap()
+                    .tuples
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("yannakakis", |b| {
+        b.iter(|| black_box(yannakakis(&inst.db, &inst.query).unwrap().tuples.len()))
+    });
+    group.bench_function("lftj", |b| {
+        b.iter(|| black_box(leapfrog_triejoin(&inst.db, &inst.query).unwrap().tuples.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, appendix_j_family, star_on_powerlaw);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Triangle query benches (Theorem 5.4): dyadic CDS vs generic CDS on the
+//! hard `|C| = O(m)` instance, plus triangle listing on a power-law graph.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minesweeper_cds::ProbeMode;
+use minesweeper_core::triangle::triangle_query;
+use minesweeper_core::{minesweeper_join, triangle_join};
+use minesweeper_storage::{builder, Database, RelId, Val};
+use minesweeper_workloads::graphs::chung_lu;
+use minesweeper_workloads::triangle_instance;
+
+fn hard_instance(m: Val) -> (Database, RelId, RelId, RelId) {
+    let mut db = Database::new();
+    let mut r_pairs = Vec::new();
+    for a in 1..=m {
+        for b in 1..=m {
+            r_pairs.push((a, b));
+        }
+    }
+    let r = db.add(builder::binary("R", r_pairs)).unwrap();
+    let s = db.add(builder::binary("S", (1..=m).map(|b| (b, 1)))).unwrap();
+    let t = db.add(builder::binary("T", (1..=m).map(|a| (a, 2)))).unwrap();
+    (db, r, s, t)
+}
+
+fn hard_triangle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle_hard");
+    group.sample_size(10);
+    for &m in &[24i64, 48] {
+        let (db, r, s, t) = hard_instance(m);
+        let q = triangle_query(r, s, t);
+        group.bench_with_input(BenchmarkId::new("dyadic_cds", m), &m, |b, _| {
+            b.iter(|| black_box(triangle_join(&db, r, s, t).unwrap().tuples.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("generic_cds", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(minesweeper_join(&db, &q, ProbeMode::General).unwrap().tuples.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn powerlaw_triangles(c: &mut Criterion) {
+    let edges = chung_lu(1500, 10_000, 2.3, 31);
+    let (db, r, s, t, q) = triangle_instance(&edges);
+    let mut group = c.benchmark_group("triangle_powerlaw");
+    group.sample_size(10);
+    group.bench_function("dyadic_cds", |b| {
+        b.iter(|| black_box(triangle_join(&db, r, s, t).unwrap().tuples.len()))
+    });
+    group.bench_function("generic_cds", |b| {
+        b.iter(|| {
+            black_box(minesweeper_join(&db, &q, ProbeMode::General).unwrap().tuples.len())
+        })
+    });
+    group.bench_function("lftj", |b| {
+        b.iter(|| {
+            black_box(
+                minesweeper_baselines::leapfrog_triejoin(&db, &q).unwrap().tuples.len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, hard_triangle, powerlaw_triangles);
+criterion_main!(benches);

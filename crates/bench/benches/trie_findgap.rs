@@ -1,0 +1,95 @@
+//! Microbenchmarks for the storage layer: trie construction, `FindGap`
+//! probes (the paper assumes `O(k log |R|)` per probe), and cursor seeks.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minesweeper_storage::{ExecStats, RelationBuilder, TrieCursor, TrieRelation, Val};
+
+fn build_relation(n: usize, seed: u64) -> TrieRelation {
+    let mut s = seed;
+    let mut x = move |m: u64| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s % m
+    };
+    let mut b = RelationBuilder::new("R", 2);
+    for _ in 0..n {
+        b.push(&[x(100_000) as Val, x(100_000) as Val]);
+    }
+    b.build().unwrap()
+}
+
+fn trie_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie_build");
+    for &n in &[10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(build_relation(n, 5)).len())
+        });
+    }
+    group.finish();
+}
+
+fn find_gap_probes(c: &mut Criterion) {
+    let rel = build_relation(100_000, 5);
+    c.bench_function("find_gap/root_10k_probes", |b| {
+        b.iter(|| {
+            let mut stats = ExecStats::new();
+            let mut seed = 11u64;
+            for _ in 0..10_000 {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let g = rel.find_gap(rel.root(), (seed % 100_000) as Val, &mut stats);
+                black_box(g);
+            }
+            stats.find_gap_calls
+        })
+    });
+    c.bench_function("find_gap/two_level_10k_probes", |b| {
+        b.iter(|| {
+            let mut stats = ExecStats::new();
+            let mut seed = 13u64;
+            for _ in 0..10_000 {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let a = (seed % 100_000) as Val;
+                let g = rel.find_gap(rel.root(), a, &mut stats);
+                if g.exact() {
+                    let child = rel.child(rel.root(), g.hi_coord);
+                    black_box(rel.find_gap(child, a / 2, &mut stats));
+                }
+            }
+            stats.find_gap_calls
+        })
+    });
+}
+
+fn cursor_sweep(c: &mut Criterion) {
+    let rel = build_relation(100_000, 5);
+    c.bench_function("cursor/leapfrog_sweep", |b| {
+        b.iter(|| {
+            let mut stats = ExecStats::new();
+            let mut cur = TrieCursor::new(&rel);
+            cur.open();
+            let mut count = 0u64;
+            let mut target = 0;
+            while !cur.at_end() {
+                cur.seek(target, &mut stats);
+                if cur.at_end() {
+                    break;
+                }
+                count += 1;
+                target = cur.key() + 97;
+            }
+            black_box(count)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = trie_build, find_gap_probes, cursor_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Shared utilities for the benchmark harnesses.
+//!
+//! Every experiment in EXPERIMENTS.md has a binary in `src/bin/` that
+//! prints a paper-style table; this module provides the table renderer,
+//! unit formatting (the paper's `M`/`K` units from Figure 2), and a tiny
+//! wall-clock helper.
+
+use std::time::{Duration, Instant};
+
+/// Formats a count the way Figure 2 does: `352M`, `214K`, or plain.
+pub fn human(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{}K", n / 1_000)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Formats a duration compactly (`1.23s`, `45.6ms`, `789µs`).
+pub fn human_time(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+/// Times a closure, returning `(result, wall_time)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// A simple aligned-column table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (lengths must match the header).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                for _ in c.chars().count()..width[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &width));
+        out.push('\n');
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Parses a `--flag value` style argument from `std::env::args`, with a
+/// default.
+pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len().saturating_sub(1) {
+        if args[i] == flag {
+            if let Ok(v) = args[i + 1].parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_units_match_figure2_style() {
+        assert_eq!(human(352_000_000), "352M");
+        assert_eq!(human(1_500_000), "1.5M");
+        assert_eq!(human(214_000), "214K");
+        assert_eq!(human(3_441), "3.4K");
+        assert_eq!(human(842), "842");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["Query", "N", "|C|"]);
+        t.row(&["Star".into(), "352M".into(), "214K".into()]);
+        t.row(&["3-path".into(), "1.5M".into(), "842".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Query"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("352M"));
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(human_time(Duration::from_secs(2)), "2.00s");
+        assert_eq!(human_time(Duration::from_millis(45)), "45.0ms");
+        assert_eq!(human_time(Duration::from_micros(789)), "789µs");
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, d) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! One-call query execution: GAO selection, physical re-indexing, the
+//! right probe mode, and result translation back to the caller's
+//! attribute order.
+//!
+//! This is the paper's full pipeline: find a nested elimination order if
+//! the query is β-acyclic (Theorem 2.7), otherwise a minimum elimination
+//! width order (Theorem 5.1); build indexes consistent with that GAO; run
+//! Minesweeper; report tuples in the original attribute numbering.
+
+use minesweeper_storage::{Database, Tuple};
+
+use crate::gao::{choose_gao, reindex_for_gao, GaoChoice};
+use crate::minesweeper::{minesweeper_join, JoinResult};
+use crate::query::{Query, QueryError};
+
+/// The outcome of [`execute`]: the join result (tuples in the *original*
+/// attribute order) plus the GAO decision that produced it.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Output tuples and statistics.
+    pub result: JoinResult,
+    /// The chosen GAO, probe mode, and elimination width.
+    pub gao: GaoChoice,
+}
+
+/// Plans and runs a query end to end.
+///
+/// ```
+/// use minesweeper_core::{execute, Query};
+/// use minesweeper_storage::{builder, Database};
+///
+/// let mut db = Database::new();
+/// let r = db.add(builder::binary("R", [(1, 10), (2, 20)])).unwrap();
+/// let s = db.add(builder::binary("S", [(10, 5), (20, 9)])).unwrap();
+/// let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+/// let exec = execute(&db, &q).unwrap();
+/// assert_eq!(exec.result.tuples, vec![vec![1, 10, 5], vec![2, 20, 9]]);
+/// ```
+pub fn execute(db: &Database, query: &Query) -> Result<Execution, QueryError> {
+    query.validate(db)?;
+    let gao = choose_gao(query, 9);
+    let identity: Vec<usize> = (0..query.n_attrs).collect();
+    let result = if gao.order == identity {
+        minesweeper_join(db, query, gao.mode)?
+    } else {
+        let (db2, q2) = reindex_for_gao(db, query, &gao.order)?;
+        let mut res = minesweeper_join(&db2, &q2, gao.mode)?;
+        // Column i of a result tuple holds original attribute
+        // `gao.order[i]`; invert.
+        let mut inv = vec![0usize; query.n_attrs];
+        for (i, &a) in gao.order.iter().enumerate() {
+            inv[a] = i;
+        }
+        res.tuples = res
+            .tuples
+            .iter()
+            .map(|t| inv.iter().map(|&c| t[c]).collect::<Tuple>())
+            .collect();
+        res.tuples.sort();
+        res
+    };
+    Ok(Execution { result, gao })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_join;
+    use minesweeper_cds::ProbeMode;
+    use minesweeper_storage::builder;
+
+    #[test]
+    fn execute_handles_identity_gao() {
+        let mut db = Database::new();
+        let e1 = db.add(builder::binary("E1", [(1, 2), (3, 4)])).unwrap();
+        let e2 = db.add(builder::binary("E2", [(2, 5), (4, 6)])).unwrap();
+        let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
+        let exec = execute(&db, &q).unwrap();
+        let mut got = exec.result.tuples.clone();
+        got.sort();
+        assert_eq!(got, naive_join(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn execute_reindexes_when_identity_is_not_neo() {
+        // Example B.7's query: identity is not a NEO; execute must pick
+        // (C,A,B)-style order, run chain mode, and still return tuples in
+        // (A,B,C) order.
+        let mut db = Database::new();
+        let r = db
+            .add(
+                minesweeper_storage::RelationBuilder::new("R", 3)
+                    .tuple(&[1, 2, 3])
+                    .tuple(&[4, 5, 6])
+                    .tuple(&[1, 5, 3])
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let s = db.add(builder::binary("S", [(1, 3), (4, 6)])).unwrap();
+        let t = db.add(builder::binary("T", [(2, 3), (5, 3)])).unwrap();
+        let q = Query::new(3).atom(r, &[0, 1, 2]).atom(s, &[0, 2]).atom(t, &[1, 2]);
+        let exec = execute(&db, &q).unwrap();
+        assert_eq!(exec.gao.mode, ProbeMode::Chain);
+        assert_ne!(exec.gao.order, vec![0, 1, 2], "identity is not a NEO here");
+        assert_eq!(exec.result.tuples, naive_join(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn execute_on_cyclic_query_uses_general_mode() {
+        let mut db = Database::new();
+        let e = db
+            .add(builder::binary("E", [(1, 2), (2, 3), (1, 3), (3, 4)]))
+            .unwrap();
+        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let exec = execute(&db, &q).unwrap();
+        assert_eq!(exec.gao.mode, ProbeMode::General);
+        assert_eq!(exec.gao.width, 2);
+        let mut got = exec.result.tuples.clone();
+        got.sort();
+        assert_eq!(got, naive_join(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn execute_random_cross_check() {
+        let mut seed = 0xe8ecu64;
+        let mut rng = move |m: u64| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed % m
+        };
+        for _ in 0..10 {
+            let mut db = Database::new();
+            let e1 = db
+                .add(builder::binary(
+                    "E1",
+                    (0..20).map(|_| (rng(8) as i64, rng(8) as i64)),
+                ))
+                .unwrap();
+            let e2 = db
+                .add(builder::binary(
+                    "E2",
+                    (0..20).map(|_| (rng(8) as i64, rng(8) as i64)),
+                ))
+                .unwrap();
+            let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
+            let exec = execute(&db, &q).unwrap();
+            let mut got = exec.result.tuples;
+            got.sort();
+            assert_eq!(got, naive_join(&db, &q).unwrap());
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Global attribute order selection and physical re-indexing.
+//!
+//! Theorem 2.7 requires a *nested elimination order* GAO for β-acyclic
+//! queries; Theorem 5.1 wants a GAO of minimum elimination width otherwise.
+//! [`choose_gao`] picks accordingly. Because certificates — and hence
+//! Minesweeper's runtime — depend on the GAO (Examples B.4, B.6, B.7),
+//! [`reindex_for_gao`] rebuilds a database's indexes so that a query can be
+//! evaluated under a different order.
+
+use minesweeper_cds::ProbeMode;
+use minesweeper_hypergraph::{
+    elimination_width, is_nested_elimination_order, min_width_order, nested_elimination_order,
+};
+use minesweeper_storage::{Database, RelationBuilder, Tuple};
+
+use crate::query::{Atom, Query, QueryError};
+
+/// A chosen GAO and the probe mode / width it supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaoChoice {
+    /// Attribute permutation: `order[i]` is the original attribute placed
+    /// at GAO position `i`.
+    pub order: Vec<usize>,
+    /// Chain mode when the order is a nested elimination order.
+    pub mode: ProbeMode,
+    /// Elimination width of the order (0-width means each `P_k` universe
+    /// is empty; β-acyclic NEOs report their actual width too).
+    pub width: usize,
+}
+
+/// Chooses a GAO for the query: a nested elimination order if one exists
+/// (β-acyclic ⇒ `Õ(|C| + Z)`), otherwise an order minimizing elimination
+/// width (`Õ(|C|^{w+1} + Z)`). `exact_limit` bounds the exhaustive
+/// treewidth search (larger queries fall back to the min-fill heuristic).
+pub fn choose_gao(query: &Query, exact_limit: usize) -> GaoChoice {
+    let h = query.hypergraph();
+    if let Some(order) = nested_elimination_order(&h) {
+        let width = elimination_width(&h, &order);
+        debug_assert!(is_nested_elimination_order(&h, &order));
+        return GaoChoice { order, mode: ProbeMode::Chain, width };
+    }
+    let (order, width) = min_width_order(&h, exact_limit);
+    GaoChoice { order, mode: ProbeMode::General, width }
+}
+
+/// Reorders a GAO so that *private* attributes (those occurring in a
+/// single atom) come last, preserving the relative order of the rest.
+///
+/// Proposition B.5: moving a private attribute to the end of the GAO can
+/// only shrink the optimal certificate (`|C(ρ')| ≤ |C(ρ)|`) — no
+/// comparison on a private attribute is ever needed to certify the
+/// output, so pushing them past the shared attributes lets the shared
+/// prefix do all the certificate work.
+pub fn private_attributes_last(query: &Query, order: &[usize]) -> Vec<usize> {
+    let h = query.hypergraph();
+    let mut shared: Vec<usize> = Vec::new();
+    let mut private: Vec<usize> = Vec::new();
+    for &a in order {
+        if h.is_private(a) {
+            private.push(a);
+        } else {
+            shared.push(a);
+        }
+    }
+    shared.extend(private);
+    shared
+}
+
+/// Rebuilds `db` and `query` under a new GAO.
+///
+/// `order[i]` is the original attribute at new position `i`. Every atom's
+/// attribute list is re-sorted under the new order and its relation's
+/// columns permuted to match (the paper's assumption that "the indices are
+/// built or selected to be consistent with a chosen GAO"). Relations are
+/// re-indexed per *atom*, since two atoms sharing a relation may need
+/// different column permutations under the new order.
+pub fn reindex_for_gao(
+    db: &Database,
+    query: &Query,
+    order: &[usize],
+) -> Result<(Database, Query), QueryError> {
+    query.validate(db)?;
+    let n = query.n_attrs;
+    assert_eq!(order.len(), n, "order must be a permutation of the attributes");
+    // position[a] = new GAO position of original attribute a.
+    let mut position = vec![usize::MAX; n];
+    for (i, &a) in order.iter().enumerate() {
+        assert!(position[a] == usize::MAX, "order must be a permutation");
+        position[a] = i;
+    }
+    let mut new_db = Database::new();
+    let mut new_query = Query::new(n);
+    for (idx, atom) in query.atoms.iter().enumerate() {
+        let rel = db.relation(atom.rel);
+        // New attribute positions, and the column permutation that sorts
+        // them.
+        let mut cols: Vec<(usize, usize)> = atom
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(col, &a)| (position[a], col))
+            .collect();
+        cols.sort_unstable();
+        let new_attrs: Vec<usize> = cols.iter().map(|&(p, _)| p).collect();
+        let perm: Vec<usize> = cols.iter().map(|&(_, c)| c).collect();
+        let mut b = RelationBuilder::new(format!("{}@{}", rel.name(), idx), atom.attrs.len());
+        let mut buf: Tuple = vec![0; atom.attrs.len()];
+        for t in rel.iter_tuples() {
+            for (j, &c) in perm.iter().enumerate() {
+                buf[j] = t[c];
+            }
+            b.push(&buf);
+        }
+        let new_rel = new_db
+            .add(b.build().expect("re-indexed relation"))
+            .expect("unique per-atom names");
+        new_query.atoms.push(Atom { rel: new_rel, attrs: new_attrs });
+    }
+    Ok((new_db, new_query))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minesweeper::minesweeper_join;
+    use crate::naive::naive_join;
+    use minesweeper_storage::builder;
+
+    #[test]
+    fn beta_acyclic_query_gets_chain_mode() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [1])).unwrap();
+        let s = db.add(builder::binary("S", [(1, 2)])).unwrap();
+        let t = db.add(builder::unary("T", [2])).unwrap();
+        let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
+        let choice = choose_gao(&q, 8);
+        assert_eq!(choice.mode, ProbeMode::Chain);
+    }
+
+    #[test]
+    fn triangle_query_gets_general_mode_width_two() {
+        let mut db = Database::new();
+        let e = db.add(builder::binary("E", [(1, 2)])).unwrap();
+        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let choice = choose_gao(&q, 8);
+        assert_eq!(choice.mode, ProbeMode::General);
+        assert_eq!(choice.width, 2);
+    }
+
+    #[test]
+    fn example_b7_prefers_neo() {
+        // R(A,B,C) ⋈ S(A,C) ⋈ T(B,C): β-acyclic; choose_gao must return a
+        // NEO (such as (C,A,B)), not the non-nested (A,B,C).
+        let mut db = Database::new();
+        let r = db
+            .add(
+                minesweeper_storage::RelationBuilder::new("R", 3)
+                    .tuple(&[1, 1, 1])
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let s = db.add(builder::binary("S", [(1, 1)])).unwrap();
+        let t = db.add(builder::binary("T", [(1, 1)])).unwrap();
+        let q = Query::new(3)
+            .atom(r, &[0, 1, 2])
+            .atom(s, &[0, 2])
+            .atom(t, &[1, 2]);
+        let choice = choose_gao(&q, 8);
+        assert_eq!(choice.mode, ProbeMode::Chain);
+        let h = q.hypergraph();
+        assert!(is_nested_elimination_order(&h, &choice.order));
+    }
+
+    #[test]
+    fn reindex_preserves_join_semantics() {
+        // Example B.4's flavor: R(A,C) ⋈ S(B,C) evaluated under GAO
+        // (A,B,C) and (C,A,B) must produce the same set of (A,B,C)-facts.
+        let mut db = Database::new();
+        let n = 6;
+        let mut rb = RelationBuilder::new("R", 2);
+        let mut sb = RelationBuilder::new("S", 2);
+        for a in 1..=n {
+            for k in 1..=n {
+                rb.push(&[a, 2 * k]);
+                sb.push(&[a, 2 * k - 1]);
+            }
+        }
+        let r = db.add(rb.build().unwrap()).unwrap();
+        let s = db.add(sb.build().unwrap()).unwrap();
+        // Attributes: A=0, B=1, C=2. R(A,C), S(B,C).
+        let q = Query::new(3).atom(r, &[0, 2]).atom(s, &[1, 2]);
+        let base = naive_join(&db, &q).unwrap();
+        // Reindex to GAO (C,A,B) = order [2,0,1].
+        let (db2, q2) = reindex_for_gao(&db, &q, &[2, 0, 1]).unwrap();
+        let res = minesweeper_join(&db2, &q2, ProbeMode::Chain).unwrap();
+        // Map back: new attr order is (C,A,B); translate tuples to (A,B,C).
+        let mut mapped: Vec<_> = res
+            .tuples
+            .iter()
+            .map(|t| vec![t[1], t[2], t[0]])
+            .collect();
+        mapped.sort();
+        assert_eq!(mapped, base);
+        assert!(base.is_empty(), "example data joins to empty (odd vs even C)");
+    }
+
+    #[test]
+    fn private_attributes_move_to_the_back() {
+        // R(A,B) ⋈ S(B,C): A and C are private, B is shared.
+        let mut db = Database::new();
+        let r = db.add(builder::binary("R", [(1, 2)])).unwrap();
+        let s = db.add(builder::binary("S", [(2, 3)])).unwrap();
+        let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+        assert_eq!(private_attributes_last(&q, &[0, 1, 2]), vec![1, 0, 2]);
+        // Relative order of private attributes is preserved.
+        assert_eq!(private_attributes_last(&q, &[2, 1, 0]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn proposition_b5_certificate_improves() {
+        // Example B.3's data but measured as Prop B.5 predicts: pushing
+        // the private attributes A and B past the shared C (GAO (C,A,B))
+        // can only shrink the certificate — here from ~N² to ~N probes.
+        let n: minesweeper_storage::Val = 12;
+        let mut db = Database::new();
+        let mut rb = minesweeper_storage::RelationBuilder::new("R", 2);
+        let mut sb = minesweeper_storage::RelationBuilder::new("S", 2);
+        for a in 1..=n {
+            for k in 1..=n {
+                rb.push(&[a, 2 * k]);
+                sb.push(&[a, 2 * k - 1]);
+            }
+        }
+        let r = db.add(rb.build().unwrap()).unwrap();
+        let s = db.add(sb.build().unwrap()).unwrap();
+        let q = Query::new(3).atom(r, &[0, 2]).atom(s, &[1, 2]);
+        let improved = private_attributes_last(&q, &[0, 1, 2]);
+        assert_eq!(improved, vec![2, 0, 1], "C is shared; A, B private");
+        let baseline =
+            minesweeper_join(&db, &q, minesweeper_cds::ProbeMode::General).unwrap();
+        let (db2, q2) = reindex_for_gao(&db, &q, &improved).unwrap();
+        let better =
+            minesweeper_join(&db2, &q2, minesweeper_cds::ProbeMode::Chain).unwrap();
+        assert!(
+            better.stats.probe_points * 4 < baseline.stats.probe_points,
+            "B.5 improvement: {} vs {}",
+            better.stats.probe_points,
+            baseline.stats.probe_points
+        );
+    }
+
+    #[test]
+    fn reindex_identity_is_noop_semantically() {
+        let mut db = Database::new();
+        let r = db.add(builder::binary("R", [(1, 2), (3, 4)])).unwrap();
+        let s = db.add(builder::binary("S", [(2, 5), (4, 6)])).unwrap();
+        let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+        let (db2, q2) = reindex_for_gao(&db, &q, &[0, 1, 2]).unwrap();
+        assert_eq!(
+            naive_join(&db, &q).unwrap(),
+            naive_join(&db2, &q2).unwrap()
+        );
+    }
+}

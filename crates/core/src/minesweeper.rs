@@ -1,0 +1,388 @@
+//! The Minesweeper outer algorithm (Algorithm 2, Section 3.4).
+//!
+//! Each iteration takes an active tuple `t` from the CDS and *explores
+//! around `t`* in every relation: at atom depth `p`, for every vector
+//! `v ∈ {ℓ, h}^p` of low/high branch choices whose index prefix is in
+//! range, a `FindGap` at coordinate `t_{s(p+1)}` yields the bracketing pair
+//! `(i^{(v,ℓ)}, i^{(v,h)})`. If the all-exact path matches `t`'s projection
+//! in every relation, `t` is an output and only the point exclusion
+//! `⟨t₁, …, t_{n−1}, (t_n − 1, t_n + 1)⟩` is inserted; otherwise every
+//! discovered non-empty gap becomes a constraint
+//! `⟨R[i^{(v₁)}], …, R[i^{(v)}], (R[i^{(v,ℓ)}], R[i^{(v,h)}])⟩` with the
+//! equality components placed at the atom's GAO positions and wildcards
+//! elsewhere (Theorem 3.2 charges each iteration to a certificate
+//! comparison or an output tuple).
+//!
+//! Per DESIGN.md, branches whose bracketing coordinate is out of range are
+//! skipped (their index tuples are undefined, matching the guard on line
+//! 19), and the `ℓ`/`h` branches are deduplicated on exact hits — the
+//! duplicate `FindGap` calls of the pseudocode would return identical
+//! constraints.
+
+use minesweeper_cds::{Constraint, ConstraintTree, Pattern, PatternComp, ProbeMode, ProbeStats};
+use minesweeper_storage::{Database, ExecStats, NodeId, TrieRelation, Tuple, Val};
+
+use crate::query::{Atom, Query, QueryError};
+
+/// Output tuples plus execution statistics.
+#[derive(Debug, Clone)]
+pub struct JoinResult {
+    /// Output tuples in probe order (lexicographic over the GAO).
+    pub tuples: Vec<Tuple>,
+    /// Counters: `find_gap_calls` is the paper's empirical `|C|` measure.
+    pub stats: ExecStats,
+}
+
+/// Runs Minesweeper on `query` over `db` with the given probe mode.
+///
+/// Use [`ProbeMode::Chain`] when the GAO is a nested elimination order
+/// (β-acyclic queries, Theorem 2.7) and [`ProbeMode::General`] otherwise
+/// (Theorem 5.1); [`crate::choose_gao`] picks this automatically.
+///
+/// ```
+/// use minesweeper_cds::ProbeMode;
+/// use minesweeper_core::{minesweeper_join, Query};
+/// use minesweeper_storage::{builder, Database};
+///
+/// let mut db = Database::new();
+/// let r = db.add(builder::binary("R", [(1, 2), (4, 5)])).unwrap();
+/// let s = db.add(builder::binary("S", [(2, 9), (5, 8)])).unwrap();
+/// let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+/// let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
+/// assert_eq!(res.tuples, vec![vec![1, 2, 9], vec![4, 5, 8]]);
+/// ```
+pub fn minesweeper_join(
+    db: &Database,
+    query: &Query,
+    mode: ProbeMode,
+) -> Result<JoinResult, QueryError> {
+    query.validate(db)?;
+    let n = query.n_attrs;
+    let mut cds = ConstraintTree::new(n, mode);
+    let mut pst = ProbeStats::default();
+    let mut stats = ExecStats::new();
+    let mut tuples = Vec::new();
+    let mut gaps: Vec<Constraint> = Vec::new();
+    while let Some(t) = cds.get_probe_point(&mut pst) {
+        gaps.clear();
+        let mut is_output = true;
+        for atom in &query.atoms {
+            let rel = db.relation(atom.rel);
+            let matched = explore_atom(rel, atom, n, &t, &mut gaps, &mut stats);
+            is_output &= matched;
+        }
+        if is_output {
+            cds.insert_constraint(&Constraint::point_exclusion(&t), &mut pst);
+            stats.outputs += 1;
+            tuples.push(t);
+        } else {
+            for c in &gaps {
+                cds.insert_constraint(c, &mut pst);
+            }
+        }
+    }
+    merge_probe_stats(&mut stats, &pst);
+    Ok(JoinResult { tuples, stats })
+}
+
+/// Folds CDS-internal counters into the execution statistics.
+pub(crate) fn merge_probe_stats(stats: &mut ExecStats, pst: &ProbeStats) {
+    stats.probe_points += pst.probe_points;
+    stats.constraints_inserted += pst.constraints_inserted;
+    stats.backtracks += pst.backtracks;
+    stats.cds_next_calls += pst.next_calls;
+}
+
+/// Explores one atom around probe `t` (Algorithm 2 lines 4–10 and 15–20):
+/// appends the discovered gap constraints and returns whether the all-exact
+/// descent matched `t`'s projection (line 11's test for this relation).
+pub(crate) fn explore_atom(
+    rel: &TrieRelation,
+    atom: &Atom,
+    n_attrs: usize,
+    t: &[Val],
+    gaps: &mut Vec<Constraint>,
+    stats: &mut ExecStats,
+) -> bool {
+    let mut matched = true;
+    let mut prefix_vals: Vec<Val> = Vec::with_capacity(atom.attrs.len());
+    explore_rec(
+        rel,
+        atom,
+        n_attrs,
+        t,
+        rel.root(),
+        true,
+        &mut prefix_vals,
+        gaps,
+        stats,
+        &mut matched,
+    );
+    matched
+}
+
+/// Recursive `{ℓ, h}`-branch exploration from a trie node at atom depth
+/// `prefix_vals.len()`. `on_exact_path` is true when every ancestor
+/// coordinate hit `t`'s projection exactly; `matched` is cleared when the
+/// exact path dies.
+#[allow(clippy::too_many_arguments)]
+fn explore_rec(
+    rel: &TrieRelation,
+    atom: &Atom,
+    n_attrs: usize,
+    t: &[Val],
+    node: NodeId,
+    on_exact_path: bool,
+    prefix_vals: &mut Vec<Val>,
+    gaps: &mut Vec<Constraint>,
+    stats: &mut ExecStats,
+    matched: &mut bool,
+) {
+    let p = prefix_vals.len();
+    let k = atom.attrs.len();
+    let a = t[atom.attrs[p]];
+    let gap = rel.find_gap(node, a, stats);
+    if !gap.exact() {
+        // The gap (R[i^{v,ℓ}], R[i^{v,h}]) strictly brackets t's coordinate.
+        gaps.push(make_gap_constraint(
+            atom,
+            n_attrs,
+            prefix_vals,
+            gap.lo_val,
+            gap.hi_val,
+        ));
+        if on_exact_path {
+            *matched = false;
+        }
+    }
+    if p + 1 == k {
+        return;
+    }
+    // Descend into the low and high bracketing children (deduplicated when
+    // equal; skipped when out of range).
+    let lo_in_range = gap.lo_coord >= 1;
+    let hi_in_range = gap.hi_coord <= rel.child_count(node);
+    if lo_in_range {
+        let child = rel.child(node, gap.lo_coord);
+        prefix_vals.push(gap.lo_val);
+        explore_rec(
+            rel,
+            atom,
+            n_attrs,
+            t,
+            child,
+            on_exact_path && gap.exact(),
+            prefix_vals,
+            gaps,
+            stats,
+            matched,
+        );
+        prefix_vals.pop();
+    } else if on_exact_path {
+        *matched = false;
+    }
+    if hi_in_range && gap.hi_coord != gap.lo_coord {
+        let child = rel.child(node, gap.hi_coord);
+        prefix_vals.push(gap.hi_val);
+        explore_rec(
+            rel, atom, n_attrs, t, child, false, prefix_vals, gaps, stats, matched,
+        );
+        prefix_vals.pop();
+    }
+}
+
+/// Builds the constraint `⟨…equalities at the atom's GAO positions…,
+/// (lo, hi)⟩` for a gap found at atom depth `prefix_vals.len()`.
+fn make_gap_constraint(
+    atom: &Atom,
+    n_attrs: usize,
+    prefix_vals: &[Val],
+    lo: Val,
+    hi: Val,
+) -> Constraint {
+    let p = prefix_vals.len();
+    let interval_pos = atom.attrs[p];
+    debug_assert!(interval_pos < n_attrs);
+    let mut comps = vec![PatternComp::Star; interval_pos];
+    for (j, &v) in prefix_vals.iter().enumerate() {
+        comps[atom.attrs[j]] = PatternComp::Eq(v);
+    }
+    Constraint::new(Pattern(comps), lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_cds::{NEG_INF, POS_INF};
+    use minesweeper_storage::{builder, Database, RelationBuilder};
+
+    fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+        v.sort();
+        v
+    }
+
+    /// Appendix D.1's query Q₂: R(A₁) ⋈ S(A₁,A₂) ⋈ T(A₂,A₃) ⋈ U(A₃) with
+    /// an empty output.
+    #[test]
+    fn worked_example_d1_empty_output() {
+        let n: Val = 6;
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", 1..=n)).unwrap();
+        let mut sb = RelationBuilder::new("S", 2);
+        for a in 1..=n {
+            for b in 1..=n {
+                sb.push(&[a, b]);
+            }
+        }
+        let s = db.add(sb.build().unwrap()).unwrap();
+        let t = db.add(builder::binary("T", [(2, 2), (2, 4)])).unwrap();
+        let u = db.add(builder::unary("U", [1, 3])).unwrap();
+        let q = Query::new(3)
+            .atom(r, &[0])
+            .atom(s, &[0, 1])
+            .atom(t, &[1, 2])
+            .atom(u, &[2]);
+        // GAO (A₁, A₂, A₃) is a nested elimination order for this path
+        // query.
+        let h = q.hypergraph();
+        assert!(minesweeper_hypergraph::is_nested_elimination_order(
+            &h,
+            &[0, 1, 2]
+        ));
+        let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
+        assert!(res.tuples.is_empty());
+        // The run must not visit all N² S-pairs: certificate here is O(1).
+        assert!(
+            res.stats.probe_points < 20,
+            "too many probes: {}",
+            res.stats.probe_points
+        );
+    }
+
+    #[test]
+    fn two_way_unary_join() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [1, 3, 5, 7])).unwrap();
+        let s = db.add(builder::unary("S", [3, 4, 7, 9])).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
+        assert_eq!(sorted(res.tuples), vec![vec![3], vec![7]]);
+        assert_eq!(res.stats.outputs, 2);
+    }
+
+    #[test]
+    fn binary_join_matches_naive() {
+        let mut db = Database::new();
+        let r = db
+            .add(builder::binary("R", [(1, 2), (1, 5), (2, 4), (3, 1)]))
+            .unwrap();
+        let s = db
+            .add(builder::binary("S", [(2, 7), (4, 1), (4, 9), (5, 5)]))
+            .unwrap();
+        // R(A,B) ⋈ S(B,C).
+        let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+        let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
+        let expect = vec![
+            vec![1, 2, 7],
+            vec![1, 5, 5],
+            vec![2, 4, 1],
+            vec![2, 4, 9],
+        ];
+        assert_eq!(sorted(res.tuples), expect);
+    }
+
+    #[test]
+    fn empty_relation_gives_empty_output_quickly() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [])).unwrap();
+        let s = db.add(builder::unary("S", 0..1000)).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
+        assert!(res.tuples.is_empty());
+        assert!(res.stats.probe_points <= 2, "constant-certificate instance");
+    }
+
+    #[test]
+    fn example_b1_constant_certificate() {
+        // R = [N], S = {(N+1, i+N)}: the single comparison R[N] < S[1]
+        // certifies emptiness; Minesweeper must finish in O(1) probes.
+        let n: Val = 500;
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", 1..=n)).unwrap();
+        let s = db
+            .add(builder::binary("S", (1..=n).map(|i| (n + 1, i + n))))
+            .unwrap();
+        let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]);
+        let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
+        assert!(res.tuples.is_empty());
+        assert!(res.stats.find_gap_calls < 12);
+        assert!(res.stats.probe_points < 5);
+    }
+
+    #[test]
+    fn example_b2_output_larger_than_certificate() {
+        // R = [N], S = {(N, 10i)}: certificate is O(1) but Z = N.
+        let n: Val = 64;
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", 1..=n)).unwrap();
+        let s = db
+            .add(builder::binary("S", (1..=n).map(|i| (n, 10 * i))))
+            .unwrap();
+        let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]);
+        let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
+        assert_eq!(res.tuples.len(), n as usize);
+        assert!(res.tuples.iter().all(|t| t[0] == n));
+        // Probes ≈ 2Z + O(1) (one gap probe between consecutive outputs),
+        // never N·Z.
+        assert!(res.stats.probe_points <= 2 * n as u64 + 8);
+    }
+
+    #[test]
+    fn gap_constraint_positions() {
+        // Atom over GAO positions (0, 2) of a 3-attribute query: a gap at
+        // depth 1 must place its equality at position 0, a star at 1, and
+        // the interval at 2.
+        let atom = Atom { rel: minesweeper_storage::RelId(0), attrs: vec![0, 2] };
+        let c = make_gap_constraint(&atom, 3, &[42], 5, 9);
+        assert_eq!(
+            c.pattern,
+            Pattern(vec![PatternComp::Eq(42), PatternComp::Star])
+        );
+        assert_eq!((c.lo, c.hi), (5, 9));
+        // Depth 0: interval at position 0, no pattern.
+        let c = make_gap_constraint(&atom, 3, &[], NEG_INF, POS_INF);
+        assert_eq!(c.pattern, Pattern::empty());
+    }
+
+    #[test]
+    fn self_join_same_relation_twice() {
+        let mut db = Database::new();
+        let e = db
+            .add(builder::binary("E", [(1, 2), (2, 3), (3, 1), (2, 1)]))
+            .unwrap();
+        // Path of length 2 over the same edge relation: E(A,B) ⋈ E(B,C).
+        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]);
+        let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
+        let expect = vec![
+            vec![1, 2, 1],
+            vec![1, 2, 3],
+            vec![2, 1, 2],
+            vec![2, 3, 1],
+            vec![3, 1, 2],
+        ];
+        assert_eq!(sorted(res.tuples), expect);
+    }
+
+    #[test]
+    fn general_mode_on_triangle_query() {
+        let mut db = Database::new();
+        let edges = [(1, 2), (1, 3), (2, 3), (2, 4), (3, 4)];
+        let r = db.add(builder::binary("R", edges)).unwrap();
+        let s = db.add(builder::binary("S", edges)).unwrap();
+        let t = db.add(builder::binary("T", edges)).unwrap();
+        // Q∆ = R(A,B) ⋈ S(B,C) ⋈ T(A,C): triangles (1,2,3), (2,3,4).
+        let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]).atom(t, &[0, 2]);
+        let res = minesweeper_join(&db, &q, ProbeMode::General).unwrap();
+        assert_eq!(sorted(res.tuples), vec![vec![1, 2, 3], vec![2, 3, 4]]);
+    }
+}

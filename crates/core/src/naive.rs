@@ -1,0 +1,127 @@
+//! Naive backtracking join — the ground truth for every other algorithm's
+//! tests. Deliberately simple; only correctness matters here.
+
+use minesweeper_storage::{Database, Tuple, Val};
+
+use crate::query::{Query, QueryError};
+
+/// Computes the natural join by attribute-at-a-time backtracking over all
+/// candidate values (drawn from the first atom containing each attribute),
+/// checking every atom whose attributes are fully bound.
+pub fn naive_join(db: &Database, query: &Query) -> Result<Vec<Tuple>, QueryError> {
+    query.validate(db)?;
+    let n = query.n_attrs;
+    let mut binding: Vec<Val> = Vec::with_capacity(n);
+    let mut out = Vec::new();
+    recurse(db, query, &mut binding, &mut out);
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn recurse(db: &Database, query: &Query, binding: &mut Vec<Val>, out: &mut Vec<Tuple>) {
+    let i = binding.len();
+    if i == query.n_attrs {
+        out.push(binding.clone());
+        return;
+    }
+    // Candidate values for attribute i: from any atom containing i, the
+    // values consistent with the current binding (prefix semijoin).
+    let (atom, pos) = query
+        .atoms
+        .iter()
+        .find_map(|a| a.attrs.iter().position(|&x| x == i).map(|p| (a, p)))
+        .expect("validated queries cover all attributes");
+    let rel = db.relation(atom.rel);
+    let mut candidates: Vec<Val> = Vec::new();
+    for t in rel.iter_tuples() {
+        // The atom's attributes before `pos` must match the binding if
+        // already bound.
+        let ok = atom.attrs[..pos]
+            .iter()
+            .enumerate()
+            .all(|(j, &attr)| attr >= i || t[j] == binding[attr]);
+        // Attributes at or after pos with GAO position < i must also match.
+        let ok2 = atom.attrs[pos..]
+            .iter()
+            .enumerate()
+            .all(|(j, &attr)| attr >= i || t[pos + j] == binding[attr]);
+        if ok && ok2 {
+            candidates.push(t[pos]);
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    'cand: for v in candidates {
+        binding.push(v);
+        // Check all atoms fully bound within the prefix.
+        for atom in &query.atoms {
+            if atom.attrs.iter().all(|&a| a < binding.len()) {
+                let proj: Vec<Val> = atom.attrs.iter().map(|&a| binding[a]).collect();
+                if !db.relation(atom.rel).contains(&proj) {
+                    binding.pop();
+                    continue 'cand;
+                }
+            }
+        }
+        recurse(db, query, binding, out);
+        binding.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use minesweeper_storage::{builder, Database};
+
+    #[test]
+    fn unary_intersection() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [1, 2, 3])).unwrap();
+        let s = db.add(builder::unary("S", [2, 3, 4])).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        assert_eq!(naive_join(&db, &q).unwrap(), vec![vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn path_join() {
+        let mut db = Database::new();
+        let r = db.add(builder::binary("R", [(1, 2), (2, 3)])).unwrap();
+        let s = db.add(builder::binary("S", [(2, 9), (3, 7)])).unwrap();
+        let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+        assert_eq!(
+            naive_join(&db, &q).unwrap(),
+            vec![vec![1, 2, 9], vec![2, 3, 7]]
+        );
+    }
+
+    #[test]
+    fn triangle_join() {
+        let mut db = Database::new();
+        let e = db
+            .add(builder::binary("E", [(1, 2), (2, 3), (1, 3), (3, 4)]))
+            .unwrap();
+        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        assert_eq!(naive_join(&db, &q).unwrap(), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn empty_when_any_relation_empty() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [])).unwrap();
+        let s = db.add(builder::unary("S", [1])).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        assert!(naive_join(&db, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bound_check_on_later_atoms() {
+        // U(B) restricts the join of R(A,B).
+        let mut db = Database::new();
+        let r = db.add(builder::binary("R", [(1, 5), (2, 6)])).unwrap();
+        let u = db.add(builder::unary("U", [6])).unwrap();
+        let q = Query::new(2).atom(r, &[0, 1]).atom(u, &[1]);
+        assert_eq!(naive_join(&db, &q).unwrap(), vec![vec![2, 6]]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Partition certificates for set intersection (Appendix H / Appendix K).
+//!
+//! Barbay–Kenyon's *partition certificate* encodes the answer to
+//! `S₁ ∩ … ∩ S_m` as a sequence of items covering the whole value line:
+//! either an **output** value present in every set, or a **gap** — an open
+//! interval together with the index of one set having no element inside
+//! it. Appendix H observes that Minesweeper's discovered gaps *are* such
+//! a certificate (and relates them to DLM-style proofs); this module makes
+//! the correspondence executable: [`partition_certificate`] records the
+//! items during an Algorithm 8 run, and [`PartitionCertificate::verify`]
+//! checks soundness (every claim true) and completeness (the items cover
+//! `(−∞, +∞)`) against any instance.
+
+use minesweeper_cds::{IntervalSet, POS_INF, PROBE_START};
+use minesweeper_storage::{ExecStats, TrieRelation, Val};
+
+/// One item of a partition certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionItem {
+    /// `value` belongs to every set — an output with its witness.
+    Output {
+        /// The common value.
+        value: Val,
+    },
+    /// The open interval `(lo, hi)` contains no element of set `set`.
+    Gap {
+        /// Index of the witnessing set.
+        set: usize,
+        /// Open lower endpoint.
+        lo: Val,
+        /// Open upper endpoint.
+        hi: Val,
+    },
+}
+
+/// A recorded partition certificate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionCertificate {
+    /// The items, in discovery order.
+    pub items: Vec<PartitionItem>,
+}
+
+impl PartitionCertificate {
+    /// Number of items — comparable to the DLM proof size and to the
+    /// FindGap count of the run that produced it.
+    pub fn size(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The claimed output values, sorted.
+    pub fn outputs(&self) -> Vec<Val> {
+        let mut out: Vec<Val> = self
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                PartitionItem::Output { value } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Verifies the certificate against an instance:
+    ///
+    /// 1. **soundness** — every `Output` value is in every set, every
+    ///    `Gap` is genuinely empty in its witnessing set;
+    /// 2. **completeness** — outputs and gaps jointly cover the line, so
+    ///    no value outside the claimed outputs can be in the intersection.
+    pub fn verify(&self, sets: &[&TrieRelation]) -> bool {
+        let mut stats = ExecStats::new();
+        let mut covered = IntervalSet::new();
+        for item in &self.items {
+            match item {
+                PartitionItem::Output { value } => {
+                    if !sets.iter().all(|s| s.contains(&[*value])) {
+                        return false;
+                    }
+                    covered.insert_closed(*value, *value);
+                }
+                PartitionItem::Gap { set, lo, hi } => {
+                    let Some(s) = sets.get(*set) else {
+                        return false;
+                    };
+                    // The open interval (lo, hi) must skip the set: the gap
+                    // around lo+1 must reach hi.
+                    let g = s.find_gap(s.root(), lo.saturating_add(1), &mut stats);
+                    let empty = if g.exact() {
+                        false
+                    } else {
+                        g.lo_val <= *lo && g.hi_val >= *hi
+                    };
+                    if !empty && lo.saturating_add(1) <= hi.saturating_sub(1) {
+                        return false;
+                    }
+                    covered.insert_open(*lo, *hi);
+                }
+            }
+        }
+        covered.next(PROBE_START) == POS_INF
+    }
+}
+
+/// Runs Algorithm 8 while recording a partition certificate. Returns the
+/// outputs, the certificate, and the run statistics.
+pub fn partition_certificate(
+    sets: &[&TrieRelation],
+) -> (Vec<Val>, PartitionCertificate, ExecStats) {
+    assert!(!sets.is_empty());
+    assert!(sets.iter().all(|s| s.arity() == 1));
+    let mut stats = ExecStats::new();
+    let mut cds = IntervalSet::new();
+    let mut cert = PartitionCertificate::default();
+    let mut outputs = Vec::new();
+    loop {
+        let t = cds.next(PROBE_START);
+        if t == POS_INF {
+            break;
+        }
+        stats.probe_points += 1;
+        let mut all_exact = true;
+        for (i, s) in sets.iter().enumerate() {
+            let gap = s.find_gap(s.root(), t, &mut stats);
+            if !gap.exact() {
+                all_exact = false;
+                if cds.insert_open(gap.lo_val, gap.hi_val) {
+                    cert.items.push(PartitionItem::Gap {
+                        set: i,
+                        lo: gap.lo_val,
+                        hi: gap.hi_val,
+                    });
+                }
+            }
+        }
+        if all_exact {
+            outputs.push(t);
+            stats.outputs += 1;
+            cds.insert_open(t - 1, t + 1);
+            cert.items.push(PartitionItem::Output { value: t });
+        }
+    }
+    (outputs, cert, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_storage::builder::unary;
+
+    #[test]
+    fn certificate_verifies_on_simple_instance() {
+        let a = unary("A", [1, 3, 5, 7]);
+        let b = unary("B", [3, 4, 7, 9]);
+        let (out, cert, _) = partition_certificate(&[&a, &b]);
+        assert_eq!(out, vec![3, 7]);
+        assert_eq!(cert.outputs(), vec![3, 7]);
+        assert!(cert.verify(&[&a, &b]));
+    }
+
+    #[test]
+    fn certificate_size_tracks_instance_difficulty() {
+        let n: Val = 2_000;
+        let easy_a = unary("A", 0..n);
+        let easy_b = unary("B", n..2 * n);
+        let (_, easy, _) = partition_certificate(&[&easy_a, &easy_b]);
+        assert!(easy.size() <= 4, "easy instance: {}", easy.size());
+        assert!(easy.verify(&[&easy_a, &easy_b]));
+        let hard_a = unary("A", (0..n).map(|i| 2 * i));
+        let hard_b = unary("B", (0..n).map(|i| 2 * i + 1));
+        let (_, hard, _) = partition_certificate(&[&hard_a, &hard_b]);
+        assert!(hard.size() as i64 >= n, "hard instance: {}", hard.size());
+        assert!(hard.verify(&[&hard_a, &hard_b]));
+    }
+
+    #[test]
+    fn tampered_certificates_fail_verification() {
+        let a = unary("A", [1, 3, 5]);
+        let b = unary("B", [3, 6]);
+        let (_, cert, _) = partition_certificate(&[&a, &b]);
+        assert!(cert.verify(&[&a, &b]));
+        // Claim an output that is not there.
+        let mut forged = cert.clone();
+        forged.items.push(PartitionItem::Output { value: 5 });
+        assert!(!forged.verify(&[&a, &b]), "5 ∉ B");
+        // Claim a gap that is not empty.
+        let mut forged = cert.clone();
+        forged.items.push(PartitionItem::Gap { set: 0, lo: 0, hi: 4 });
+        assert!(!forged.verify(&[&a, &b]), "A has 1 and 3 inside (0,4)");
+        // Drop an item: coverage breaks.
+        let mut truncated = cert.clone();
+        truncated.items.pop();
+        assert!(!truncated.verify(&[&a, &b]), "line no longer covered");
+        // Out-of-range set index.
+        let mut forged = cert;
+        forged.items.push(PartitionItem::Gap { set: 9, lo: 0, hi: 1 });
+        assert!(!forged.verify(&[&a, &b]));
+    }
+
+    #[test]
+    fn certificate_for_all_equal_sets() {
+        let a = unary("A", [2, 4, 6]);
+        let b = unary("B", [2, 4, 6]);
+        let (out, cert, _) = partition_certificate(&[&a, &b]);
+        assert_eq!(out, vec![2, 4, 6]);
+        assert!(cert.verify(&[&a, &b]));
+        // Outputs + surrounding gaps cover the line.
+        assert!(cert.size() >= 7);
+    }
+
+    #[test]
+    fn certificate_transfers_to_order_isomorphic_instance() {
+        // The value-oblivious spirit of Definition 2.3: the same gap/output
+        // *structure* verifies on an instance with shifted values only if
+        // the endpoints still match — a stretched instance must fail.
+        let a = unary("A", [1, 3]);
+        let b = unary("B", [3, 9]);
+        let (_, cert, _) = partition_certificate(&[&a, &b]);
+        assert!(cert.verify(&[&a, &b]));
+        let a2 = unary("A2", [1, 4]);
+        let b2 = unary("B2", [4, 9]);
+        assert!(!cert.verify(&[&a2, &b2]), "endpoints moved; claims go stale");
+    }
+}

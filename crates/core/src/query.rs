@@ -1,0 +1,215 @@
+//! Natural join queries over a global attribute order.
+//!
+//! A [`Query`] fixes `n` attributes whose index order **is** the GAO
+//! (`A₀ < A₁ < … < A_{n−1}`) and a list of [`Atom`]s. Each atom binds a
+//! stored relation to a strictly increasing list of attribute positions —
+//! the paper's requirement that every index be consistent with the GAO
+//! (Section 2.1). Two atoms may share one physical relation (the star
+//! query's three `S(A, ·)` atoms all read the same index).
+
+use minesweeper_hypergraph::Hypergraph;
+use minesweeper_storage::{Database, RelId};
+use std::fmt;
+
+/// One atom `R(A_{s(1)}, …, A_{s(k)})`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The backing relation.
+    pub rel: RelId,
+    /// GAO positions of the atom's attributes, strictly increasing.
+    pub attrs: Vec<usize>,
+}
+
+/// Errors raised by query validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An atom's attribute list was not strictly increasing — its index
+    /// would not be consistent with the GAO.
+    AttrsNotSorted {
+        /// Index of the offending atom.
+        atom: usize,
+    },
+    /// An atom referenced an attribute outside `0..n_attrs`.
+    AttrOutOfRange {
+        /// Index of the offending atom.
+        atom: usize,
+        /// The offending attribute position.
+        attr: usize,
+    },
+    /// An atom's attribute count does not match its relation's arity.
+    ArityMismatch {
+        /// Index of the offending atom.
+        atom: usize,
+        /// Attribute count in the atom.
+        atom_arity: usize,
+        /// Column count of the backing relation.
+        rel_arity: usize,
+    },
+    /// Some attribute occurs in no atom (its value would be unconstrained).
+    UncoveredAttribute(usize),
+    /// The query has no atoms.
+    NoAtoms,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::AttrsNotSorted { atom } => {
+                write!(f, "atom {atom}: attributes not strictly increasing in GAO")
+            }
+            QueryError::AttrOutOfRange { atom, attr } => {
+                write!(f, "atom {atom}: attribute {attr} out of range")
+            }
+            QueryError::ArityMismatch { atom, atom_arity, rel_arity } => write!(
+                f,
+                "atom {atom}: {atom_arity} attributes but relation has arity {rel_arity}"
+            ),
+            QueryError::UncoveredAttribute(a) => {
+                write!(f, "attribute {a} appears in no atom")
+            }
+            QueryError::NoAtoms => write!(f, "query has no atoms"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A natural join query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Number of attributes; the GAO is `0, 1, …, n_attrs − 1`.
+    pub n_attrs: usize,
+    /// The atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl Query {
+    /// Starts a query over `n_attrs` attributes.
+    pub fn new(n_attrs: usize) -> Self {
+        Query { n_attrs, atoms: Vec::new() }
+    }
+
+    /// Adds an atom (builder style).
+    pub fn atom(mut self, rel: RelId, attrs: &[usize]) -> Self {
+        self.atoms.push(Atom { rel, attrs: attrs.to_vec() });
+        self
+    }
+
+    /// Validates the query against a database: sorted attribute lists,
+    /// arity agreement, and full attribute coverage.
+    pub fn validate(&self, db: &Database) -> Result<(), QueryError> {
+        if self.atoms.is_empty() {
+            return Err(QueryError::NoAtoms);
+        }
+        let mut covered = vec![false; self.n_attrs];
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if !atom.attrs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(QueryError::AttrsNotSorted { atom: i });
+            }
+            for &a in &atom.attrs {
+                if a >= self.n_attrs {
+                    return Err(QueryError::AttrOutOfRange { atom: i, attr: a });
+                }
+                covered[a] = true;
+            }
+            let rel_arity = db.relation(atom.rel).arity();
+            if rel_arity != atom.attrs.len() {
+                return Err(QueryError::ArityMismatch {
+                    atom: i,
+                    atom_arity: atom.attrs.len(),
+                    rel_arity,
+                });
+            }
+        }
+        if let Some(a) = covered.iter().position(|&c| !c) {
+            return Err(QueryError::UncoveredAttribute(a));
+        }
+        Ok(())
+    }
+
+    /// The query hypergraph: vertices are attributes, hyperedges the atoms'
+    /// attribute sets (Appendix A).
+    pub fn hypergraph(&self) -> Hypergraph {
+        Hypergraph::new(
+            self.n_attrs,
+            self.atoms.iter().map(|a| a.attrs.clone()).collect(),
+        )
+    }
+
+    /// Maximum atom arity — the paper's `r`.
+    pub fn max_arity(&self) -> usize {
+        self.atoms.iter().map(|a| a.attrs.len()).max().unwrap_or(0)
+    }
+
+    /// Number of atoms — the paper's `m`.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_storage::{builder, Database};
+
+    fn db() -> (Database, RelId, RelId) {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [1, 2])).unwrap();
+        let s = db.add(builder::binary("S", [(1, 2)])).unwrap();
+        (db, r, s)
+    }
+
+    #[test]
+    fn valid_bowtie_query() {
+        let (db, r, s) = db();
+        let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(r, &[1]);
+        assert!(q.validate(&db).is_ok());
+        assert_eq!(q.max_arity(), 2);
+        assert_eq!(q.num_atoms(), 3);
+        let h = q.hypergraph();
+        assert_eq!(h.num_edges(), 3);
+        assert!(minesweeper_hypergraph::is_beta_acyclic(&h));
+    }
+
+    #[test]
+    fn unsorted_attrs_rejected() {
+        let (db, _, s) = db();
+        let q = Query::new(2).atom(s, &[1, 0]);
+        assert_eq!(q.validate(&db), Err(QueryError::AttrsNotSorted { atom: 0 }));
+    }
+
+    #[test]
+    fn out_of_range_attr_rejected() {
+        let (db, _, s) = db();
+        let q = Query::new(2).atom(s, &[0, 5]);
+        assert_eq!(
+            q.validate(&db),
+            Err(QueryError::AttrOutOfRange { atom: 0, attr: 5 })
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (db, r, _) = db();
+        let q = Query::new(2).atom(r, &[0, 1]);
+        assert_eq!(
+            q.validate(&db),
+            Err(QueryError::ArityMismatch { atom: 0, atom_arity: 2, rel_arity: 1 })
+        );
+    }
+
+    #[test]
+    fn uncovered_attribute_rejected() {
+        let (db, r, _) = db();
+        let q = Query::new(2).atom(r, &[0]);
+        assert_eq!(q.validate(&db), Err(QueryError::UncoveredAttribute(1)));
+        let q = Query::new(1);
+        assert_eq!(q.validate(&db), Err(QueryError::NoAtoms));
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(QueryError::NoAtoms.to_string().contains("no atoms"));
+        assert!(QueryError::UncoveredAttribute(3).to_string().contains("3"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Elimination orders, prefix posets, and elimination width (Section A.2).
+//!
+//! Fix an elimination order `v₁, …, v_n` (the GAO). The paper's recursion
+//! builds hypergraphs `H_n, …, H_1` and set collections `P_n, …, P_1`:
+//! `P_j` collects, for every edge of `H_j` containing `v_j`, that edge
+//! restricted to `{v₁, …, v_{j−1}}`; then `H_{j−1}` is `H_j` with `v_j`
+//! deleted and the union `U(P_j)` added as a fresh edge. Two quantities
+//! fall out:
+//!
+//! * the order is a **nested elimination order** iff every `P_j` is a chain
+//!   under inclusion (Definition A.5) — exactly when Minesweeper's filter
+//!   `G(t₁, …, t_i)` is totally ordered (Proposition 4.2);
+//! * the **elimination width** is `max_j |U(P_j)|`, which equals the
+//!   induced treewidth of the Gaifman graph under that order
+//!   (Proposition A.7) and drives the `Õ(|C|^{w+1} + Z)` bound of
+//!   Theorem 5.1.
+
+use std::collections::BTreeSet;
+
+use crate::hypergraph::Hypergraph;
+
+/// The prefix poset `P_j` for position `j` (1-based in the paper; stored
+/// 0-based here) of an elimination order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixPoset {
+    /// The eliminated vertex `v_j`.
+    pub vertex: usize,
+    /// The member sets `F − {v_j}` for `F ∈ B(v_j)` (deduplicated).
+    pub sets: Vec<BTreeSet<usize>>,
+    /// The universe `U(P_j) = ∪ sets`.
+    pub universe: BTreeSet<usize>,
+}
+
+impl PrefixPoset {
+    /// A poset is a chain when its member sets are nested.
+    pub fn is_chain(&self) -> bool {
+        let mut sorted: Vec<&BTreeSet<usize>> = self.sets.iter().collect();
+        sorted.sort_by_key(|s| s.len());
+        sorted.windows(2).all(|w| w[0].is_subset(w[1]))
+    }
+}
+
+/// Computes the prefix posets `P_n, …, P_1` of `order` (returned indexed by
+/// position: `result[j]` is `P_{j+1}` for the vertex `order[j]`).
+///
+/// `order` must be a permutation of `0..h.num_vertices()`.
+pub fn prefix_posets(h: &Hypergraph, order: &[usize]) -> Vec<PrefixPoset> {
+    let n = h.num_vertices();
+    assert_eq!(order.len(), n, "order must cover all vertices");
+    let mut seen = vec![false; n];
+    for &v in order {
+        assert!(!seen[v], "order must be a permutation");
+        seen[v] = true;
+    }
+    // position[v] = index of v in order.
+    let mut position = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v] = i;
+    }
+    // Current edge set of H_j, deduplicated.
+    let mut edges: BTreeSet<BTreeSet<usize>> = h.edges().iter().cloned().collect();
+    let mut result: Vec<Option<PrefixPoset>> = (0..n).map(|_| None).collect();
+    for j in (0..n).rev() {
+        let vj = order[j];
+        let incident: Vec<BTreeSet<usize>> =
+            edges.iter().filter(|e| e.contains(&vj)).cloned().collect();
+        let sets: BTreeSet<BTreeSet<usize>> = incident
+            .iter()
+            .map(|e| {
+                let mut e = e.clone();
+                e.remove(&vj);
+                e
+            })
+            .collect();
+        let universe: BTreeSet<usize> = sets.iter().flatten().copied().collect();
+        debug_assert!(universe.iter().all(|&u| position[u] < j));
+        result[j] = Some(PrefixPoset {
+            vertex: vj,
+            sets: sets.into_iter().collect(),
+            universe: universe.clone(),
+        });
+        // Build H_{j−1}: drop v_j from every edge, add U(P_j).
+        let mut next: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+        for e in &edges {
+            let mut e = e.clone();
+            e.remove(&vj);
+            if !e.is_empty() {
+                next.insert(e);
+            }
+        }
+        if !universe.is_empty() {
+            next.insert(universe);
+        }
+        edges = next;
+    }
+    result.into_iter().map(|p| p.unwrap()).collect()
+}
+
+/// Definition A.5: `order` is a nested elimination order iff every prefix
+/// poset is a chain.
+pub fn is_nested_elimination_order(h: &Hypergraph, order: &[usize]) -> bool {
+    prefix_posets(h, order).iter().all(|p| p.is_chain())
+}
+
+/// The elimination width of `order`: `max_j |U(P_j)|` (Proposition A.7).
+pub fn elimination_width(h: &Hypergraph, order: &[usize]) -> usize {
+    prefix_posets(h, order).iter().map(|p| p.universe.len()).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beta::nested_elimination_order;
+    use crate::hypergraph::fixtures::*;
+
+    #[test]
+    fn example_b7_orders() {
+        // Q = R(A,B,C) ⋈ S(A,C) ⋈ T(B,C) with A=0, B=1, C=2.
+        // (C,A,B) is a nested elimination order while (A,B,C) is not
+        // (Example B.7).
+        let h = example_b7();
+        assert!(is_nested_elimination_order(&h, &[2, 0, 1]));
+        assert!(!is_nested_elimination_order(&h, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn neo_construction_agrees_with_check() {
+        for h in [bowtie(), path(4), example_b7()] {
+            let neo = nested_elimination_order(&h).unwrap();
+            assert!(is_nested_elimination_order(&h, &neo), "{h:?} {neo:?}");
+        }
+    }
+
+    #[test]
+    fn no_order_is_neo_for_beta_cyclic() {
+        // Proposition A.6 (reverse direction): a β-cyclic hypergraph has no
+        // NEO. Exhaust all 3! orders of the triangle.
+        let h = triangle();
+        let perms: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ];
+        for p in perms {
+            assert!(!is_nested_elimination_order(&h, &p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn elimination_width_of_path_is_one() {
+        let h = path(5);
+        let order: Vec<usize> = (0..6).collect();
+        assert_eq!(elimination_width(&h, &order), 1);
+    }
+
+    #[test]
+    fn elimination_width_of_triangle_is_two() {
+        let h = triangle();
+        for p in [[0, 1, 2], [1, 2, 0], [2, 0, 1]] {
+            assert_eq!(elimination_width(&h, &p), 2);
+        }
+    }
+
+    #[test]
+    fn prefix_poset_contents_of_bowtie() {
+        // Bow-tie {X}, {X,Y}, {Y} with order (X, Y) = (0, 1).
+        let h = bowtie();
+        let ps = prefix_posets(&h, &[0, 1]);
+        // P_2 (vertex Y): edges containing Y are {X,Y} and {Y}; minus Y
+        // gives {X} and {} — a chain with universe {X}.
+        assert_eq!(ps[1].vertex, 1);
+        assert!(ps[1].is_chain());
+        assert_eq!(ps[1].universe, [0].into_iter().collect());
+        // P_1 (vertex X): H_1 has edges {X} (from {X,Y} and R) and {X}
+        // (universe edge) — all dedup to {X}; minus X: {} — chain.
+        assert_eq!(ps[0].vertex, 0);
+        assert!(ps[0].is_chain());
+        assert!(ps[0].universe.is_empty());
+    }
+
+    #[test]
+    fn gao_with_private_attributes_last_is_neo_for_star() {
+        // Star query hypergraph with GAO (A, B, C, D) = (0, 1, 2, 3).
+        let h = Hypergraph::new(
+            4,
+            vec![vec![0], vec![0, 1], vec![0, 2], vec![0, 3], vec![1], vec![2], vec![3]],
+        );
+        assert!(is_nested_elimination_order(&h, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn non_permutation_rejected() {
+        prefix_posets(&bowtie(), &[0, 0]);
+    }
+}

@@ -1,0 +1,278 @@
+//! GYO (Graham / Yu–Özsoyoğlu) reduction: α-acyclicity and join trees.
+//!
+//! A hypergraph is α-acyclic iff the GYO procedure empties it (Appendix A:
+//! "remove any edge that is empty or contained in another hyperedge, or
+//! remove vertices that appear in at most one hyperedge"). While reducing we
+//! record, for every absorbed edge, the edge that absorbed it — this yields
+//! a join tree (Definition A.3) whose bags are the original hyperedges,
+//! which is exactly what Yannakakis' algorithm needs.
+
+use std::collections::BTreeSet;
+
+use crate::hypergraph::Hypergraph;
+
+/// A join tree over the original hyperedges of an α-acyclic hypergraph.
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    /// `parent[i]` is the parent edge of edge `i`; the root has `None`.
+    /// A hypergraph whose GYO reduction leaves several disconnected
+    /// components yields a forest: one root per component.
+    pub parent: Vec<Option<usize>>,
+    /// Edge indices in a bottom-up order (every node appears before its
+    /// parent) — the order Yannakakis' upward semijoin pass uses.
+    pub bottom_up: Vec<usize>,
+}
+
+impl JoinTree {
+    /// Edge indices top-down (every node appears after its parent).
+    pub fn top_down(&self) -> Vec<usize> {
+        let mut v = self.bottom_up.clone();
+        v.reverse();
+        v
+    }
+
+    /// The children of each node.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p].push(i);
+            }
+        }
+        ch
+    }
+}
+
+/// Runs the GYO reduction. Returns the set of surviving (non-absorbed)
+/// edges; the hypergraph is α-acyclic iff at most one edge survives per
+/// connected component, i.e. iff no two surviving edges share a vertex and
+/// each surviving edge's private part is the whole edge. In practice we
+/// return the reduced edge contents: α-acyclic iff all reduced edges are
+/// empty or the reduction absorbed everything into single edges whose
+/// remaining vertices are private.
+pub fn gyo_reduce(h: &Hypergraph) -> Vec<BTreeSet<usize>> {
+    let mut edges: Vec<BTreeSet<usize>> = h.edges().to_vec();
+    let mut alive: Vec<bool> = vec![true; edges.len()];
+    loop {
+        let mut changed = false;
+        // Rule 1: remove vertices that appear in at most one live edge.
+        let mut count = vec![0usize; h.num_vertices()];
+        for (i, e) in edges.iter().enumerate() {
+            if alive[i] {
+                for &v in e {
+                    count[v] += 1;
+                }
+            }
+        }
+        for (i, e) in edges.iter_mut().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let before = e.len();
+            e.retain(|&v| count[v] > 1);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+        // Rule 2: remove edges that are empty or contained in another live
+        // edge.
+        for i in 0..edges.len() {
+            if !alive[i] {
+                continue;
+            }
+            if edges[i].is_empty() {
+                alive[i] = false;
+                changed = true;
+                continue;
+            }
+            for j in 0..edges.len() {
+                if i != j && alive[j] && edges[i].is_subset(&edges[j]) {
+                    // Ties (equal sets) are broken by index so exactly one
+                    // of the pair survives.
+                    if !(edges[i] == edges[j] && i < j) {
+                        alive[i] = false;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    edges
+        .into_iter()
+        .zip(alive)
+        .filter_map(|(e, a)| if a { Some(e) } else { None })
+        .collect()
+}
+
+/// α-acyclicity test: the GYO reduction empties the hypergraph.
+pub fn is_alpha_acyclic(h: &Hypergraph) -> bool {
+    gyo_reduce(h).is_empty()
+}
+
+/// Builds a join tree (forest for disconnected hypergraphs) over the
+/// original edges. Returns `None` when the hypergraph is not α-acyclic.
+///
+/// The construction mirrors GYO: whenever an edge's remaining vertices are
+/// contained in another live edge, it is absorbed and the absorber becomes
+/// its parent; vertices private to a single live edge are deleted. Edges
+/// that survive to the end with no absorber become roots.
+pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
+    let m = h.num_edges();
+    let mut edges: Vec<BTreeSet<usize>> = h.edges().to_vec();
+    let mut alive: Vec<bool> = vec![true; m];
+    let mut parent: Vec<Option<usize>> = vec![None; m];
+    let mut bottom_up: Vec<usize> = Vec::with_capacity(m);
+    loop {
+        let mut changed = false;
+        let mut count = vec![0usize; h.num_vertices()];
+        for (i, e) in edges.iter().enumerate() {
+            if alive[i] {
+                for &v in e {
+                    count[v] += 1;
+                }
+            }
+        }
+        for (i, e) in edges.iter_mut().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let before = e.len();
+            e.retain(|&v| count[v] > 1);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+        for i in 0..m {
+            if !alive[i] {
+                continue;
+            }
+            let absorber = (0..m).find(|&j| {
+                j != i
+                    && alive[j]
+                    && edges[i].is_subset(&edges[j])
+                    && !(edges[i] == edges[j] && i < j)
+            });
+            if let Some(j) = absorber {
+                alive[i] = false;
+                parent[i] = Some(j);
+                bottom_up.push(i);
+                changed = true;
+            } else if edges[i].is_empty() {
+                // Isolated component fully reduced: make it a root.
+                alive[i] = false;
+                bottom_up.push(i);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if alive.iter().any(|&a| a) {
+        return None; // irreducible core left: α-cyclic
+    }
+    Some(JoinTree { parent, bottom_up })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::fixtures::*;
+
+    #[test]
+    fn triangle_is_alpha_cyclic() {
+        assert!(!is_alpha_acyclic(&triangle()));
+        assert!(join_tree(&triangle()).is_none());
+    }
+
+    #[test]
+    fn triangle_plus_u_is_alpha_acyclic() {
+        // Example A.1: adding the universal edge makes it α-acyclic.
+        let h = triangle_plus_u();
+        assert!(is_alpha_acyclic(&h));
+        let t = join_tree(&h).unwrap();
+        // The universal edge (index 3) must be the root.
+        assert_eq!(t.parent[3], None);
+        assert_eq!(t.parent[0], Some(3));
+        assert_eq!(t.parent[1], Some(3));
+        assert_eq!(t.parent[2], Some(3));
+        assert_eq!(t.children()[3].len(), 3);
+    }
+
+    #[test]
+    fn bowtie_and_path_are_alpha_acyclic() {
+        assert!(is_alpha_acyclic(&bowtie()));
+        assert!(is_alpha_acyclic(&path(5)));
+        let t = join_tree(&path(5)).unwrap();
+        // Every non-root edge's parent shares a vertex with it.
+        let h = path(5);
+        for (i, p) in t.parent.iter().enumerate() {
+            if let Some(p) = p {
+                assert!(!h.edge(i).is_disjoint(h.edge(*p)), "edge {i} parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_tree_bottom_up_is_consistent() {
+        let h = triangle_plus_u();
+        let t = join_tree(&h).unwrap();
+        // bottom_up lists every edge exactly once, children before parents.
+        assert_eq!(t.bottom_up.len(), h.num_edges());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; h.num_edges()];
+            for (k, &e) in t.bottom_up.iter().enumerate() {
+                p[e] = k;
+            }
+            p
+        };
+        for (i, par) in t.parent.iter().enumerate() {
+            if let Some(par) = par {
+                assert!(pos[i] < pos[*par], "child {i} after parent {par}");
+            }
+        }
+        let td = t.top_down();
+        assert_eq!(td.len(), h.num_edges());
+        assert_eq!(td[0], *t.bottom_up.last().unwrap());
+    }
+
+    #[test]
+    fn duplicate_edges_absorb_each_other() {
+        let h = Hypergraph::new(2, vec![vec![0, 1], vec![0, 1]]);
+        assert!(is_alpha_acyclic(&h));
+        let t = join_tree(&h).unwrap();
+        // Exactly one root.
+        assert_eq!(t.parent.iter().filter(|p| p.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn disconnected_components_form_forest() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![2, 3]]);
+        assert!(is_alpha_acyclic(&h));
+        let t = join_tree(&h).unwrap();
+        assert_eq!(t.parent.iter().filter(|p| p.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn star_query_is_alpha_acyclic() {
+        // R1(A), S(A,B), S(A,C), S(A,D), R2(B), R3(C), R4(D).
+        let h = Hypergraph::new(
+            4,
+            vec![
+                vec![0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1],
+                vec![2],
+                vec![3],
+            ],
+        );
+        assert!(is_alpha_acyclic(&h));
+        assert!(join_tree(&h).is_some());
+    }
+}

@@ -1,0 +1,190 @@
+//! The hypergraph of a join query (Appendix A).
+//!
+//! Vertices are attribute indices `0..n`; each hyperedge is the attribute
+//! set of one atom. Duplicate hyperedges are allowed (a query may join two
+//! atoms over the same attribute set).
+
+use std::collections::BTreeSet;
+
+/// A hypergraph `H = (V, E)` with `V = {0, …, n−1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<BTreeSet<usize>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph on `n` vertices from edge vertex lists. Panics
+    /// if an edge mentions a vertex `≥ n` or is empty.
+    pub fn new(n: usize, edges: Vec<Vec<usize>>) -> Self {
+        let edges: Vec<BTreeSet<usize>> = edges
+            .into_iter()
+            .map(|e| {
+                let s: BTreeSet<usize> = e.into_iter().collect();
+                assert!(!s.is_empty(), "hyperedges must be non-empty");
+                assert!(s.iter().all(|&v| v < n), "edge vertex out of range");
+                s
+            })
+            .collect();
+        Hypergraph { n, edges }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[BTreeSet<usize>] {
+        &self.edges
+    }
+
+    /// Edge `i`.
+    pub fn edge(&self, i: usize) -> &BTreeSet<usize> {
+        &self.edges[i]
+    }
+
+    /// Indices of edges containing vertex `v` (the paper's `B(v)`).
+    pub fn edges_containing(&self, v: usize) -> Vec<usize> {
+        (0..self.edges.len()).filter(|&i| self.edges[i].contains(&v)).collect()
+    }
+
+    /// True if vertex `v` appears in exactly one hyperedge (a *private*
+    /// attribute in the paper's terminology).
+    pub fn is_private(&self, v: usize) -> bool {
+        self.edges.iter().filter(|e| e.contains(&v)).count() == 1
+    }
+
+    /// Vertices that appear in at least one edge.
+    pub fn covered_vertices(&self) -> BTreeSet<usize> {
+        self.edges.iter().flatten().copied().collect()
+    }
+
+    /// The sub-hypergraph induced by keeping only the given edges (vertex
+    /// set unchanged). Used by the β-acyclicity definition ("every
+    /// sub-hypergraph is α-acyclic").
+    pub fn edge_subgraph(&self, keep: &[usize]) -> Hypergraph {
+        Hypergraph {
+            n: self.n,
+            edges: keep.iter().map(|&i| self.edges[i].clone()).collect(),
+        }
+    }
+
+    /// Removes vertex `v` from every edge, dropping edges that become
+    /// empty. This is the `H − {v}` operation of the nest-point elimination
+    /// argument (proof of Proposition A.6).
+    pub fn remove_vertex(&self, v: usize) -> Hypergraph {
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| {
+                let mut e = e.clone();
+                e.remove(&v);
+                e
+            })
+            .filter(|e| !e.is_empty())
+            .collect();
+        Hypergraph { n: self.n, edges }
+    }
+
+    /// The Gaifman (primal) graph: an adjacency matrix where two vertices
+    /// are connected iff they co-occur in some hyperedge.
+    pub fn gaifman(&self) -> Vec<Vec<bool>> {
+        let mut adj = vec![vec![false; self.n]; self.n];
+        for e in &self.edges {
+            let vs: Vec<usize> = e.iter().copied().collect();
+            for (i, &a) in vs.iter().enumerate() {
+                for &b in &vs[i + 1..] {
+                    adj[a][b] = true;
+                    adj[b][a] = true;
+                }
+            }
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use super::Hypergraph;
+
+    /// Q∆ = R(A,B) ⋈ S(A,C) ⋈ T(B,C): α-cyclic and β-cyclic (Example A.1).
+    pub fn triangle() -> Hypergraph {
+        Hypergraph::new(3, vec![vec![0, 1], vec![0, 2], vec![1, 2]])
+    }
+
+    /// Q∆+U: the triangle plus U(A,B,C): α-acyclic but β-cyclic
+    /// (Example A.1).
+    pub fn triangle_plus_u() -> Hypergraph {
+        Hypergraph::new(3, vec![vec![0, 1], vec![0, 2], vec![1, 2], vec![0, 1, 2]])
+    }
+
+    /// The bow-tie query R(X) ⋈ S(X,Y) ⋈ T(Y): β-acyclic.
+    pub fn bowtie() -> Hypergraph {
+        Hypergraph::new(2, vec![vec![0], vec![0, 1], vec![1]])
+    }
+
+    /// Example B.7: R(A,B,C) ⋈ S(A,C) ⋈ T(B,C) — β-acyclic; (C,A,B) is a
+    /// nested elimination order while (A,B,C) is not.
+    pub fn example_b7() -> Hypergraph {
+        Hypergraph::new(3, vec![vec![0, 1, 2], vec![0, 2], vec![1, 2]])
+    }
+
+    /// Path query of length m over m+1 attributes.
+    pub fn path(m: usize) -> Hypergraph {
+        Hypergraph::new(m + 1, (0..m).map(|i| vec![i, i + 1]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::*;
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let h = triangle();
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.edges_containing(0), vec![0, 1]);
+        assert!(!h.is_private(0));
+        let b = bowtie();
+        assert!(!b.is_private(0)); // X appears in R and S
+        assert_eq!(b.covered_vertices().len(), 2);
+    }
+
+    #[test]
+    fn remove_vertex_drops_empty_edges() {
+        let b = bowtie();
+        let h = b.remove_vertex(0);
+        // R(X) became empty and was dropped; S and T survive on {Y}.
+        assert_eq!(h.num_edges(), 2);
+        assert!(h.edges().iter().all(|e| e.contains(&1)));
+    }
+
+    #[test]
+    fn edge_subgraph_selects() {
+        let h = triangle_plus_u();
+        let sub = h.edge_subgraph(&[0, 1, 2]);
+        assert_eq!(sub, triangle());
+    }
+
+    #[test]
+    fn gaifman_of_path() {
+        let h = path(3);
+        let g = h.gaifman();
+        assert!(g[0][1] && g[1][2] && g[2][3]);
+        assert!(!g[0][2] && !g[0][3] && !g[1][3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_edge_rejected() {
+        Hypergraph::new(2, vec![vec![]]);
+    }
+}

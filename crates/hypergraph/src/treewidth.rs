@@ -1,0 +1,220 @@
+//! Treewidth via elimination orders.
+//!
+//! Proposition A.7: the treewidth of a hypergraph equals the minimum, over
+//! all elimination orders, of the induced width — and the induced width of
+//! a particular order equals `max_j |U(P_j)|` from the prefix-poset
+//! recursion. We provide the classical Gaifman-graph formulation (eliminate
+//! vertices back to front, connecting the earlier neighbours of each
+//! eliminated vertex into a clique), an exact minimizer for small vertex
+//! counts, and the min-fill heuristic for larger hypergraphs.
+
+use crate::hypergraph::Hypergraph;
+
+/// Induced width of `order` on the Gaifman graph: eliminate `order[n−1]`
+/// first; each elimination connects the remaining neighbours of the
+/// eliminated vertex. The width is the maximum number of earlier
+/// neighbours seen at elimination time.
+pub fn induced_width_of_order(h: &Hypergraph, order: &[usize]) -> usize {
+    let n = h.num_vertices();
+    assert_eq!(order.len(), n);
+    let mut adj = h.gaifman();
+    let mut width = 0usize;
+    let mut eliminated = vec![false; n];
+    for j in (0..n).rev() {
+        let v = order[j];
+        let nbrs: Vec<usize> =
+            (0..n).filter(|&u| !eliminated[u] && u != v && adj[v][u]).collect();
+        width = width.max(nbrs.len());
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                adj[a][b] = true;
+                adj[b][a] = true;
+            }
+        }
+        eliminated[v] = true;
+    }
+    width
+}
+
+/// Exact treewidth by exhausting all elimination orders. Only feasible for
+/// small `n` (the hypergraphs of queries, not of data); panics if
+/// `n > max_n` to protect against accidental blow-ups.
+pub fn treewidth_exact(h: &Hypergraph, max_n: usize) -> usize {
+    let n = h.num_vertices();
+    assert!(n <= max_n, "treewidth_exact limited to {max_n} vertices");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut best = usize::MAX;
+    permute(&mut order, 0, &mut |perm| {
+        best = best.min(induced_width_of_order(h, perm));
+    });
+    if n == 0 {
+        0
+    } else {
+        best
+    }
+}
+
+fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+/// Min-fill heuristic: repeatedly eliminate the vertex whose elimination
+/// adds the fewest fill edges. Returns `(order, width)` — an upper bound on
+/// treewidth. The returned order eliminates back to front (i.e. it is a GAO
+/// whose induced width is the reported width).
+pub fn treewidth_upper(h: &Hypergraph) -> (Vec<usize>, usize) {
+    let n = h.num_vertices();
+    let mut adj = h.gaifman();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut rev_order = Vec::with_capacity(n);
+    let mut width = 0usize;
+    for _ in 0..n {
+        // Choose the live vertex minimizing fill-in, tie-break on degree
+        // then index for determinism.
+        let mut best: Option<(usize, usize, usize)> = None; // (fill, degree, v)
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            let nbrs: Vec<usize> =
+                (0..n).filter(|&u| alive[u] && u != v && adj[v][u]).collect();
+            let mut fill = 0usize;
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if !adj[a][b] {
+                        fill += 1;
+                    }
+                }
+            }
+            let cand = (fill, nbrs.len(), v);
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        let (_, deg, v) = best.expect("a live vertex exists");
+        width = width.max(deg);
+        let nbrs: Vec<usize> = (0..n).filter(|&u| alive[u] && u != v && adj[v][u]).collect();
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                adj[a][b] = true;
+                adj[b][a] = true;
+            }
+        }
+        alive[v] = false;
+        rev_order.push(v);
+    }
+    rev_order.reverse();
+    (rev_order, width)
+}
+
+/// Finds an order minimizing induced width: exact for `n ≤ exact_limit`,
+/// min-fill heuristic beyond. Returns `(order, width)`.
+pub fn min_width_order(h: &Hypergraph, exact_limit: usize) -> (Vec<usize>, usize) {
+    let n = h.num_vertices();
+    if n <= exact_limit {
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut best_order = order.clone();
+        let mut best = usize::MAX;
+        permute(&mut order, 0, &mut |perm| {
+            let w = induced_width_of_order(h, perm);
+            if w < best {
+                best = w;
+                best_order = perm.to_vec();
+            }
+        });
+        (best_order, if n == 0 { 0 } else { best })
+    } else {
+        treewidth_upper(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::elimination_width;
+    use crate::hypergraph::fixtures::*;
+
+    #[test]
+    fn path_has_treewidth_one() {
+        assert_eq!(treewidth_exact(&path(4), 8), 1);
+    }
+
+    #[test]
+    fn triangle_has_treewidth_two() {
+        assert_eq!(treewidth_exact(&triangle(), 8), 2);
+        assert_eq!(treewidth_exact(&triangle_plus_u(), 8), 2);
+    }
+
+    #[test]
+    fn bowtie_has_treewidth_one() {
+        assert_eq!(treewidth_exact(&bowtie(), 8), 1);
+    }
+
+    #[test]
+    fn clique_query_has_treewidth_k_minus_one() {
+        // Prop 5.3's Q_w: pairwise edges on w+1 vertices plus a universal
+        // edge; treewidth w.
+        for w in 2..4usize {
+            let k = w + 1;
+            let mut edges: Vec<Vec<usize>> = Vec::new();
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    edges.push(vec![i, j]);
+                }
+            }
+            edges.push((0..k).collect());
+            let h = Hypergraph::new(k, edges);
+            assert_eq!(treewidth_exact(&h, 8), w);
+        }
+    }
+
+    #[test]
+    fn induced_width_matches_elimination_width() {
+        // Proposition A.7: Gaifman-graph induced width equals the
+        // prefix-poset universe bound, for every order.
+        for h in [triangle(), triangle_plus_u(), bowtie(), example_b7(), path(3)] {
+            let n = h.num_vertices();
+            let mut order: Vec<usize> = (0..n).collect();
+            permute(&mut order, 0, &mut |perm| {
+                assert_eq!(
+                    induced_width_of_order(&h, perm),
+                    elimination_width(&h, perm),
+                    "{h:?} {perm:?}"
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn heuristic_is_sound_upper_bound() {
+        for h in [triangle(), triangle_plus_u(), bowtie(), example_b7(), path(5)] {
+            let exact = treewidth_exact(&h, 8);
+            let (order, w) = treewidth_upper(&h);
+            assert!(w >= exact);
+            assert_eq!(induced_width_of_order(&h, &order), w);
+        }
+    }
+
+    #[test]
+    fn min_width_order_finds_optimum_for_small_graphs() {
+        for h in [triangle(), bowtie(), path(4), example_b7()] {
+            let (order, w) = min_width_order(&h, 8);
+            assert_eq!(w, treewidth_exact(&h, 8));
+            assert_eq!(induced_width_of_order(&h, &order), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn exact_guard_panics() {
+        treewidth_exact(&path(10), 8);
+    }
+}

@@ -1,0 +1,222 @@
+//! A positional cursor over a [`TrieRelation`], in the style required by
+//! Leapfrog Triejoin (Veldhuizen 2014, reference \[53\] of the paper).
+//!
+//! The cursor maintains a root-to-current-node path. At each depth it
+//! supports the linear-iterator interface `key / next / seek / at_end`, and
+//! the trie interface `open / up`. `seek` uses galloping search so that a
+//! full sweep over a level costs time proportional to the number of distinct
+//! landing positions times `log` of the jump distances — this is what makes
+//! LFTJ worst-case optimal and is also the "leapfrogging" idea the paper
+//! credits to Hwang–Lin.
+
+use crate::sorted;
+use crate::stats::ExecStats;
+use crate::trie::{NodeId, TrieRelation};
+use crate::value::Val;
+
+/// Cursor state for one relation.
+pub struct TrieCursor<'a> {
+    rel: &'a TrieRelation,
+    /// For each open depth `d ≥ 1`: the global sibling range in level `d−1`
+    /// and the current global position within it.
+    frames: Vec<Frame>,
+}
+
+struct Frame {
+    lo: usize,
+    hi: usize,
+    cur: usize,
+}
+
+impl<'a> TrieCursor<'a> {
+    /// Creates a cursor positioned at the root with no open level.
+    pub fn new(rel: &'a TrieRelation) -> Self {
+        TrieCursor { rel, frames: Vec::new() }
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &'a TrieRelation {
+        self.rel
+    }
+
+    /// Current depth (number of open levels).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn current_node(&self) -> NodeId {
+        match self.frames.last() {
+            None => self.rel.root(),
+            Some(f) => {
+                assert!(f.cur < f.hi, "cursor at end");
+                node_at(self.frames.len(), f.cur)
+            }
+        }
+    }
+
+    /// Opens the next trie level, positioning at the first child of the
+    /// current node. Returns `false` (and does not open) if the current node
+    /// has no children (only possible at the root of an empty relation).
+    pub fn open(&mut self) -> bool {
+        let node = self.current_node();
+        assert!(node.depth() < self.rel.arity(), "cannot open past a leaf");
+        let n = self.rel.child_count(node);
+        if n == 0 {
+            return false;
+        }
+        let lo = self.rel.child(node, 1).into_pos();
+        self.frames.push(Frame { lo, hi: lo + n, cur: lo });
+        true
+    }
+
+    /// Closes the current level, returning to the parent node.
+    pub fn up(&mut self) {
+        let f = self.frames.pop().expect("no open level");
+        debug_assert!(f.lo <= f.hi);
+    }
+
+    /// True if the cursor has moved past the last sibling at this level.
+    pub fn at_end(&self) -> bool {
+        let f = self.frames.last().expect("no open level");
+        f.cur >= f.hi
+    }
+
+    /// The key (value) at the current position. Panics when [`at_end`].
+    ///
+    /// [`at_end`]: TrieCursor::at_end
+    pub fn key(&self) -> Val {
+        self.rel.value(self.current_node())
+    }
+
+    /// Advances to the next sibling.
+    pub fn next(&mut self, stats: &mut ExecStats) {
+        stats.seeks += 1;
+        let f = self.frames.last_mut().expect("no open level");
+        assert!(f.cur < f.hi, "advancing past end");
+        f.cur += 1;
+    }
+
+    /// Seeks forward to the least sibling with `key ≥ target` (galloping).
+    /// Seeks are monotone: a target below the current key leaves the cursor
+    /// in place.
+    pub fn seek(&mut self, target: Val, stats: &mut ExecStats) {
+        stats.seeks += 1;
+        let depth = self.frames.len();
+        let col = self.rel.level_column(depth - 1);
+        let f = self.frames.last_mut().expect("no open level");
+        f.cur = sorted::gallop_ge(&col[..f.hi], f.cur, target);
+    }
+
+    /// Remaining keys at the current level from the current position.
+    pub fn remaining(&self) -> &'a [Val] {
+        let depth = self.frames.len();
+        let f = self.frames.last().expect("no open level");
+        &self.rel.level_column(depth - 1)[f.cur..f.hi]
+    }
+}
+
+fn node_at(depth: usize, pos: usize) -> NodeId {
+    NodeId::at(depth, pos)
+}
+
+impl NodeId {
+    pub(crate) fn at(depth: usize, pos: usize) -> NodeId {
+        NodeId { depth, pos }
+    }
+
+    pub(crate) fn into_pos(self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> TrieRelation {
+        TrieRelation::from_tuples(
+            "R",
+            2,
+            vec![vec![1, 10], vec![1, 20], vec![3, 5], vec![7, 1], vec![7, 9]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn open_next_up_walks_levels() {
+        let r = rel();
+        let mut st = ExecStats::new();
+        let mut c = TrieCursor::new(&r);
+        assert!(c.open());
+        assert_eq!(c.key(), 1);
+        c.next(&mut st);
+        assert_eq!(c.key(), 3);
+        assert!(c.open());
+        assert_eq!(c.key(), 5);
+        c.next(&mut st);
+        assert!(c.at_end());
+        c.up();
+        assert_eq!(c.key(), 3);
+        c.next(&mut st);
+        assert_eq!(c.key(), 7);
+        assert!(c.open());
+        assert_eq!(c.remaining(), &[1, 9]);
+    }
+
+    #[test]
+    fn seek_gallops_within_group() {
+        let r = rel();
+        let mut st = ExecStats::new();
+        let mut c = TrieCursor::new(&r);
+        c.open();
+        c.seek(2, &mut st);
+        assert_eq!(c.key(), 3);
+        c.seek(7, &mut st);
+        assert_eq!(c.key(), 7);
+        c.open();
+        c.seek(2, &mut st);
+        assert_eq!(c.key(), 9);
+        c.seek(100, &mut st);
+        assert!(c.at_end());
+        assert_eq!(st.seeks, 4);
+    }
+
+    #[test]
+    fn seek_is_monotone_only_forward() {
+        let r = rel();
+        let mut st = ExecStats::new();
+        let mut c = TrieCursor::new(&r);
+        c.open();
+        c.seek(7, &mut st);
+        assert_eq!(c.key(), 7);
+        // Seeking backwards does not move the cursor back.
+        c.seek(0, &mut st);
+        assert_eq!(c.key(), 7);
+    }
+
+    #[test]
+    fn sibling_bounds_respected() {
+        // Group of first root child is [10, 20]; seeking 15 inside the group
+        // must not run into the next group's [5].
+        let r = rel();
+        let mut st = ExecStats::new();
+        let mut c = TrieCursor::new(&r);
+        c.open();
+        c.open();
+        assert_eq!(c.key(), 10);
+        c.seek(15, &mut st);
+        assert_eq!(c.key(), 20);
+        c.seek(21, &mut st);
+        assert!(c.at_end());
+        c.up();
+        // Parent untouched.
+        assert_eq!(c.key(), 1);
+    }
+
+    #[test]
+    fn empty_relation_open_fails() {
+        let r = TrieRelation::from_tuples("E", 1, vec![]).unwrap();
+        let mut c = TrieCursor::new(&r);
+        assert!(!c.open());
+    }
+}

@@ -1,0 +1,113 @@
+//! Database catalog: a set of named, indexed relations.
+
+use std::collections::BTreeMap;
+
+use crate::error::StorageError;
+use crate::trie::TrieRelation;
+
+/// Opaque handle to a relation inside a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub usize);
+
+/// A catalog of relations. Query atoms refer to relations by [`RelId`], so
+/// the same physical index can back several atoms (e.g. the three `S` atoms
+/// of the paper's star query all share one index).
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    relations: Vec<TrieRelation>,
+    by_name: BTreeMap<String, RelId>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a relation; its name must be unique within the catalog.
+    pub fn add(&mut self, rel: TrieRelation) -> Result<RelId, StorageError> {
+        if self.by_name.contains_key(rel.name()) {
+            return Err(StorageError::DuplicateRelation(rel.name().to_string()));
+        }
+        let id = RelId(self.relations.len());
+        self.by_name.insert(rel.name().to_string(), id);
+        self.relations.push(rel);
+        Ok(id)
+    }
+
+    /// Looks a relation up by name.
+    pub fn id_of(&self, name: &str) -> Result<RelId, StorageError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Fetches a relation by handle.
+    pub fn relation(&self, id: RelId) -> &TrieRelation {
+        &self.relations[id.0]
+    }
+
+    /// Fetches a relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Result<&TrieRelation, StorageError> {
+        Ok(self.relation(self.id_of(name)?))
+    }
+
+    /// Number of relations in the catalog.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of tuples across all relations — the paper's input size
+    /// `N`.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// Iterates `(id, relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &TrieRelation)> {
+        self.relations.iter().enumerate().map(|(i, r)| (RelId(i), r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{binary, unary};
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut db = Database::new();
+        let r = db.add(unary("R", [1, 2, 3])).unwrap();
+        let s = db.add(binary("S", [(1, 2)])).unwrap();
+        assert_eq!(db.id_of("R").unwrap(), r);
+        assert_eq!(db.id_of("S").unwrap(), s);
+        assert_eq!(db.relation(r).len(), 3);
+        assert_eq!(db.relation_by_name("S").unwrap().arity(), 2);
+        assert_eq!(db.total_tuples(), 4);
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut db = Database::new();
+        db.add(unary("R", [1])).unwrap();
+        let err = db.add(unary("R", [2])).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn unknown_relation_lookup_fails() {
+        let db = Database::new();
+        assert!(matches!(
+            db.id_of("nope"),
+            Err(StorageError::UnknownRelation(_))
+        ));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for relation construction and catalog lookups.
+
+use std::fmt;
+
+/// Errors raised while building relations or resolving catalog entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A tuple's length did not match the relation arity.
+    ArityMismatch {
+        /// Relation being built.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Offending tuple length.
+        got: usize,
+    },
+    /// A tuple contained a value outside the permitted domain
+    /// (`0..=MAX_DOMAIN_VALUE`; sentinels and negatives are reserved).
+    ValueOutOfDomain {
+        /// Relation being built.
+        relation: String,
+        /// Offending value.
+        value: i64,
+    },
+    /// A relation name was not present in the database catalog.
+    UnknownRelation(String),
+    /// A relation with this name already exists in the catalog.
+    DuplicateRelation(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation {relation}: tuple of length {got} does not match arity {expected}"
+            ),
+            StorageError::ValueOutOfDomain { relation, value } => {
+                write!(f, "relation {relation}: value {value} outside domain")
+            }
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation {name} already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("arity 2"));
+        assert!(StorageError::UnknownRelation("S".into())
+            .to_string()
+            .contains("unknown relation S"));
+        assert!(StorageError::DuplicateRelation("S".into())
+            .to_string()
+            .contains("already exists"));
+        assert!(StorageError::ValueOutOfDomain {
+            relation: "R".into(),
+            value: -7
+        }
+        .to_string()
+        .contains("-7"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Execution statistics.
+//!
+//! The paper's empirical section (5.2) measures certificate size "by counting
+//! the number of FindGap operations during computing join queries". The
+//! [`ExecStats`] struct carries that counter plus the other quantities that
+//! appear in the paper's accounting (probe points, constraints inserted,
+//! output size, backtracks).
+
+/// Counters threaded through every algorithm in the workspace.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Number of `FindGap` index probes — the paper's empirical `|C|` proxy.
+    pub find_gap_calls: u64,
+    /// Number of probe points returned by `getProbePoint` (iterations of the
+    /// outer algorithm, Theorem 3.2 bounds this by `O(2^r |C| + Z)`).
+    pub probe_points: u64,
+    /// Number of constraints handed to `CDS.InsConstraint` (Theorem 3.2:
+    /// `O(m 4^r |C| + Z)`).
+    pub constraints_inserted: u64,
+    /// Number of output tuples produced (`Z`).
+    pub outputs: u64,
+    /// Number of backtracking steps taken by `getProbePoint` (Algorithm 3,
+    /// line 16).
+    pub backtracks: u64,
+    /// Calls to `IntervalSet::next` inside the CDS (chain traversal work).
+    pub cds_next_calls: u64,
+    /// Value comparisons performed by baseline algorithms (their analogue of
+    /// certificate work; Proposition 2.5 lower-bounds any comparison-based
+    /// join by `Ω(|C|)` comparisons).
+    pub comparisons: u64,
+    /// Seek operations performed by cursor-based baselines (LFTJ).
+    pub seeks: u64,
+    /// Intermediate tuples materialized by baseline algorithms (semijoin or
+    /// binary-join intermediates).
+    pub intermediate_tuples: u64,
+}
+
+impl ExecStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the counters of `other` into `self` (useful for aggregating over
+    /// repeated runs).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.find_gap_calls += other.find_gap_calls;
+        self.probe_points += other.probe_points;
+        self.constraints_inserted += other.constraints_inserted;
+        self.outputs += other.outputs;
+        self.backtracks += other.backtracks;
+        self.cds_next_calls += other.cds_next_calls;
+        self.comparisons += other.comparisons;
+        self.seeks += other.seeks;
+        self.intermediate_tuples += other.intermediate_tuples;
+    }
+
+    /// The certificate-size estimate used for reporting: the number of
+    /// `FindGap` calls, exactly as in the paper's Figure 2.
+    pub fn certificate_estimate(&self) -> u64 {
+        self.find_gap_calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_all_counters() {
+        let mut a = ExecStats::new();
+        a.find_gap_calls = 1;
+        a.outputs = 2;
+        let mut b = ExecStats::new();
+        b.find_gap_calls = 10;
+        b.probe_points = 5;
+        b.comparisons = 7;
+        a.merge(&b);
+        assert_eq!(a.find_gap_calls, 11);
+        assert_eq!(a.probe_points, 5);
+        assert_eq!(a.outputs, 2);
+        assert_eq!(a.comparisons, 7);
+    }
+
+    #[test]
+    fn certificate_estimate_is_find_gap_count() {
+        let mut s = ExecStats::new();
+        s.find_gap_calls = 123;
+        assert_eq!(s.certificate_estimate(), 123);
+    }
+}

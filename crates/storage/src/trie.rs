@@ -1,0 +1,571 @@
+//! The ordered search-tree relation (Figure 3 of the paper).
+//!
+//! A [`TrieRelation`] of arity `k` stores its tuples lexicographically sorted
+//! and exposes them as an unbounded-fanout search tree with `k` levels: the
+//! children of the root are the distinct first-column values, the children of
+//! a depth-1 node are the distinct second-column values among tuples sharing
+//! that first value, and so on. Index tuples `x = (x₁, …, x_j)` with 1-based
+//! coordinates address nodes exactly as in Section 2.1; coordinate `0` and
+//! `len+1` are the out-of-range sentinels of conventions (1)/(2).
+//!
+//! The physical layout is columnar: level `j` is a single sorted `Vec<Val>`
+//! of node values, plus a prefix-offset array giving each node's child range
+//! in level `j+1`. Navigation is therefore just range-restricted binary
+//! search — `FindGap` costs `O(log |R|)` as the paper assumes.
+
+use crate::error::StorageError;
+use crate::sorted;
+use crate::stats::ExecStats;
+use crate::value::{Tuple, Val, NEG_INF, POS_INF};
+
+/// Identifies a node of the search tree.
+///
+/// `depth == 0` is the root (representing the empty index tuple); a node at
+/// `depth d ≥ 1` is the `pos`-th entry (0-based, global within the level) of
+/// level `d − 1` and carries the value `R[x₁, …, x_d]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId {
+    pub(crate) depth: usize,
+    pub(crate) pos: usize,
+}
+
+impl NodeId {
+    /// Depth of the node; the root has depth 0 and leaves have depth
+    /// `arity`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// Result of a `FindGap(x, a)` probe: the paper's `(x⁻, x⁺)` pair together
+/// with the values at those coordinates (with `±∞` for the out-of-range
+/// sentinels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gap {
+    /// `x⁻`: largest 1-based coordinate with `R[(x, x⁻)] ≤ a`; `0` when every
+    /// child value exceeds `a` (so the value is `−∞`).
+    pub lo_coord: usize,
+    /// `x⁺`: smallest 1-based coordinate with `R[(x, x⁺)] ≥ a`; `len + 1`
+    /// when every child value is below `a` (so the value is `+∞`).
+    pub hi_coord: usize,
+    /// `R[(x, x⁻)]`, or [`NEG_INF`] if `lo_coord == 0`.
+    pub lo_val: Val,
+    /// `R[(x, x⁺)]`, or [`POS_INF`] if `hi_coord == len + 1`.
+    pub hi_val: Val,
+}
+
+impl Gap {
+    /// True when `a` itself was found (`x⁻ = x⁺`).
+    pub fn exact(&self) -> bool {
+        self.lo_coord == self.hi_coord
+    }
+}
+
+/// One level of the columnar trie.
+#[derive(Debug, Clone, Default)]
+struct Level {
+    /// Node values, grouped contiguously by parent and sorted within each
+    /// group.
+    values: Vec<Val>,
+    /// `child_off[i]..child_off[i+1]` is the child range of node `i` in the
+    /// next level. Empty for the last level.
+    child_off: Vec<u32>,
+}
+
+/// A relation stored as a sorted trie over its own column order.
+///
+/// Construct via [`crate::RelationBuilder`] or [`TrieRelation::from_tuples`].
+///
+/// ```
+/// use minesweeper_storage::{ExecStats, TrieRelation};
+/// let r = TrieRelation::from_tuples("R", 2, vec![vec![1, 5], vec![3, 7]]).unwrap();
+/// let mut st = ExecStats::new();
+/// // FindGap at the root around 2: brackets between the values 1 and 3.
+/// let g = r.find_gap(r.root(), 2, &mut st);
+/// assert_eq!((g.lo_val, g.hi_val), (1, 3));
+/// assert!(!g.exact());
+/// assert_eq!(st.find_gap_calls, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrieRelation {
+    name: String,
+    arity: usize,
+    n_tuples: usize,
+    levels: Vec<Level>,
+}
+
+impl TrieRelation {
+    /// Builds a relation from (possibly unsorted, possibly duplicated)
+    /// tuples. Duplicates are removed, matching the set semantics of the
+    /// paper.
+    pub fn from_tuples(
+        name: impl Into<String>,
+        arity: usize,
+        mut tuples: Vec<Tuple>,
+    ) -> Result<Self, StorageError> {
+        let name = name.into();
+        assert!(arity >= 1, "relations must have arity >= 1");
+        for t in &tuples {
+            if t.len() != arity {
+                return Err(StorageError::ArityMismatch {
+                    relation: name,
+                    expected: arity,
+                    got: t.len(),
+                });
+            }
+            for &v in t {
+                if !(0..=crate::value::MAX_DOMAIN_VALUE).contains(&v) {
+                    return Err(StorageError::ValueOutOfDomain { relation: name, value: v });
+                }
+            }
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        Ok(Self::from_sorted_unique(name, arity, &tuples))
+    }
+
+    /// Builds from tuples that are already sorted and unique. Used by the
+    /// builder; panics (debug) if the precondition is violated.
+    pub(crate) fn from_sorted_unique(name: String, arity: usize, tuples: &[Tuple]) -> Self {
+        debug_assert!(tuples.windows(2).all(|w| w[0] < w[1]));
+        let n_tuples = tuples.len();
+        let mut levels: Vec<Level> = (0..arity).map(|_| Level::default()).collect();
+        if n_tuples == 0 {
+            return Self { name, arity, n_tuples, levels };
+        }
+        // Walk columns left to right; at depth d, a new node starts whenever
+        // the prefix of length d+1 changes.
+        // `group_start[d]` = index in `tuples` where the current depth-d node
+        // began.
+        for depth in 0..arity {
+            let level_is_leaf = depth + 1 == arity;
+            let mut i = 0usize;
+            while i < n_tuples {
+                // A depth-`depth` node corresponds to a maximal run of tuples
+                // sharing the first `depth+1` values whose first `depth`
+                // values also match the enclosing parent run. We emit nodes
+                // in tuple order, which is exactly sorted-per-parent order.
+                let mut j = i + 1;
+                while j < n_tuples && tuples[j][..=depth] == tuples[i][..=depth] {
+                    j += 1;
+                }
+                levels[depth].values.push(tuples[i][depth]);
+                if !level_is_leaf {
+                    levels[depth].child_off.push(0); // fixed up below
+                }
+                i = j;
+            }
+        }
+        // Fix up child offsets: children of consecutive nodes at depth d are
+        // consecutive runs at depth d+1. Recompute by replaying the grouping.
+        for depth in 0..arity.saturating_sub(1) {
+            let mut offs = Vec::with_capacity(levels[depth].values.len() + 1);
+            offs.push(0u32);
+            let mut child = 0usize;
+            let mut i = 0usize;
+            while i < n_tuples {
+                let mut j = i + 1;
+                while j < n_tuples && tuples[j][..=depth] == tuples[i][..=depth] {
+                    j += 1;
+                }
+                // Count distinct depth+1 prefixes inside [i, j).
+                let mut k = i;
+                while k < j {
+                    let mut l = k + 1;
+                    while l < j && tuples[l][..=depth + 1] == tuples[k][..=depth + 1] {
+                        l += 1;
+                    }
+                    child += 1;
+                    k = l;
+                }
+                offs.push(child as u32);
+                i = j;
+            }
+            levels[depth].child_off = offs;
+        }
+        Self { name, arity, n_tuples, levels }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples — the paper's `|R|`.
+    pub fn len(&self) -> usize {
+        self.n_tuples
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.n_tuples == 0
+    }
+
+    /// The root node (empty index tuple).
+    pub fn root(&self) -> NodeId {
+        NodeId { depth: 0, pos: 0 }
+    }
+
+    /// Number of distinct values at the first trie level (`|R[*]|`).
+    pub fn root_fanout(&self) -> usize {
+        if self.n_tuples == 0 { 0 } else { self.levels[0].values.len() }
+    }
+
+    fn child_bounds(&self, node: NodeId) -> (usize, usize) {
+        if node.depth == 0 {
+            (0, if self.n_tuples == 0 { 0 } else { self.levels[0].values.len() })
+        } else {
+            let lvl = &self.levels[node.depth - 1];
+            (
+                lvl.child_off[node.pos] as usize,
+                lvl.child_off[node.pos + 1] as usize,
+            )
+        }
+    }
+
+    /// Number of children of `node` — the paper's `|R[(x, *)]|`. Panics if
+    /// `node` is a leaf.
+    pub fn child_count(&self, node: NodeId) -> usize {
+        assert!(node.depth < self.arity, "leaf nodes have no children");
+        let (lo, hi) = self.child_bounds(node);
+        hi - lo
+    }
+
+    /// The child of `node` at 1-based coordinate `coord ∈ 1..=child_count`.
+    /// This is the paper's step from index tuple `x` to `(x, coord)`.
+    pub fn child(&self, node: NodeId, coord: usize) -> NodeId {
+        let (lo, hi) = self.child_bounds(node);
+        assert!(
+            coord >= 1 && lo + coord - 1 < hi,
+            "coordinate {coord} out of range 1..={} at depth {}",
+            hi - lo,
+            node.depth,
+        );
+        NodeId { depth: node.depth + 1, pos: lo + coord - 1 }
+    }
+
+    /// The value stored at a (non-root) node: `R[x₁, …, x_d]`.
+    pub fn value(&self, node: NodeId) -> Val {
+        assert!(node.depth >= 1, "the root carries no value");
+        self.levels[node.depth - 1].values[node.pos]
+    }
+
+    /// The sorted child values of `node` (`R[(x, *)]`).
+    pub fn child_values(&self, node: NodeId) -> &[Val] {
+        assert!(node.depth < self.arity);
+        let (lo, hi) = self.child_bounds(node);
+        if self.n_tuples == 0 {
+            return &[];
+        }
+        &self.levels[node.depth].values[lo..hi]
+    }
+
+    /// The paper's `R.FindGap(x, a)`: coordinates `(x⁻, x⁺)` bracketing `a`
+    /// among the children of `node`, with out-of-range sentinels mapped to
+    /// `−∞`/`+∞` values. Increments `stats.find_gap_calls` — the empirical
+    /// certificate-size measure of Section 5.2.
+    pub fn find_gap(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> Gap {
+        stats.find_gap_calls += 1;
+        let vals = self.child_values(node);
+        let cnt_le = sorted::count_le(vals, a);
+        let (lo_coord, lo_val) = if cnt_le == 0 {
+            (0, NEG_INF)
+        } else {
+            (cnt_le, vals[cnt_le - 1])
+        };
+        let (hi_coord, hi_val) = if cnt_le > 0 && vals[cnt_le - 1] == a {
+            (cnt_le, a)
+        } else if cnt_le == vals.len() {
+            (vals.len() + 1, POS_INF)
+        } else {
+            (cnt_le + 1, vals[cnt_le])
+        };
+        Gap { lo_coord, hi_coord, lo_val, hi_val }
+    }
+
+    /// Descends from the root along exact value matches; returns the node
+    /// reached for the longest matching prefix of `prefix` together with how
+    /// many components matched.
+    pub fn descend(&self, prefix: &[Val]) -> (NodeId, usize) {
+        let mut node = self.root();
+        for (i, &v) in prefix.iter().enumerate() {
+            if node.depth == self.arity {
+                return (node, i);
+            }
+            let vals = self.child_values(node);
+            let cnt = sorted::count_le(vals, v);
+            if cnt == 0 || vals[cnt - 1] != v {
+                return (node, i);
+            }
+            node = self.child(node, cnt);
+        }
+        (node, prefix.len())
+    }
+
+    /// Membership test for a full tuple.
+    pub fn contains(&self, tuple: &[Val]) -> bool {
+        tuple.len() == self.arity && self.descend(tuple).1 == self.arity
+    }
+
+    /// Iterates all tuples in lexicographic order (materializing each).
+    pub fn iter_tuples(&self) -> TupleIter<'_> {
+        TupleIter::new(self)
+    }
+
+    /// Materializes the whole relation as a vector of tuples.
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.iter_tuples().collect()
+    }
+
+    /// Projection of the relation onto its first column (`π_{A_{s(1)}}(R)`,
+    /// i.e. `R[*]`).
+    pub fn first_column(&self) -> &[Val] {
+        if self.n_tuples == 0 {
+            &[]
+        } else {
+            &self.levels[0].values
+        }
+    }
+
+    /// Total number of trie nodes (the count of "variables" `R[x]` the
+    /// instance defines, cf. Section 2.2).
+    pub fn node_count(&self) -> usize {
+        self.levels.iter().map(|l| l.values.len()).sum()
+    }
+
+    /// All node values of a trie level (0-based), across all parents.
+    /// Sibling groups are contiguous; cursors slice this column by the
+    /// parent's child range.
+    pub fn level_column(&self, level: usize) -> &[Val] {
+        assert!(level < self.arity);
+        &self.levels[level].values
+    }
+}
+
+/// Iterator over the tuples of a [`TrieRelation`] in lexicographic order.
+pub struct TupleIter<'a> {
+    rel: &'a TrieRelation,
+    /// Stack of (node, next 1-based coordinate to visit).
+    stack: Vec<(NodeId, usize)>,
+    current: Tuple,
+    done: bool,
+}
+
+impl<'a> TupleIter<'a> {
+    fn new(rel: &'a TrieRelation) -> Self {
+        TupleIter {
+            rel,
+            stack: vec![(rel.root(), 1)],
+            current: Vec::with_capacity(rel.arity()),
+            done: rel.is_empty(),
+        }
+    }
+}
+
+impl<'a> Iterator for TupleIter<'a> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let (node, coord) = *self.stack.last()?;
+            if node.depth == self.rel.arity() {
+                // Leaf: yield and pop.
+                let out = self.current.clone();
+                self.stack.pop();
+                self.current.pop();
+                return Some(out);
+            }
+            if coord > self.rel.child_count(node) {
+                self.stack.pop();
+                if self.stack.is_empty() {
+                    self.done = true;
+                    return None;
+                }
+                self.current.pop();
+                continue;
+            }
+            self.stack.last_mut().unwrap().1 += 1;
+            let child = self.rel.child(node, coord);
+            self.current.push(self.rel.value(child));
+            self.stack.push((child, 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(tuples: &[&[Val]]) -> TrieRelation {
+        TrieRelation::from_tuples(
+            "R",
+            tuples.first().map_or(1, |t| t.len()),
+            tuples.iter().map(|t| t.to_vec()).collect(),
+        )
+        .unwrap()
+    }
+
+    /// The worked example of Figure 3: R(A2, A4, A5).
+    fn figure3() -> TrieRelation {
+        rel(&[
+            &[1, 2, 4],
+            &[1, 2, 7],
+            &[1, 3, 5],
+            &[7, 4, 2],
+            &[10, 4, 1],
+        ])
+    }
+
+    #[test]
+    fn figure3_layout() {
+        let r = figure3();
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.first_column(), &[1, 7, 10]);
+        // |R[*]| = 3, |R[1,*]| = 2, |R[2,*]| = 1 (1-based coordinates).
+        let root = r.root();
+        assert_eq!(r.child_count(root), 3);
+        let n1 = r.child(root, 1);
+        assert_eq!(r.value(n1), 1);
+        assert_eq!(r.child_count(n1), 2);
+        assert_eq!(r.child_values(n1), &[2, 3]);
+        let n2 = r.child(root, 2);
+        assert_eq!(r.value(n2), 7);
+        assert_eq!(r.child_values(n2), &[4]);
+        // R[1,2] = 3 in paper notation (value of second child of first node).
+        let n12 = r.child(n1, 2);
+        assert_eq!(r.value(n12), 3);
+        assert_eq!(r.child_values(n12), &[5]);
+        // R[3,1,1]: third root child -> first child -> first child = 1.
+        let n3 = r.child(root, 3);
+        let n31 = r.child(n3, 1);
+        let n311 = r.child(n31, 1);
+        assert_eq!(r.value(n311), 1);
+        assert_eq!(r.node_count(), 3 + 4 + 5);
+    }
+
+    #[test]
+    fn tuple_ordering_notation_example() {
+        // Section 2.1 example: R(A1,A2) = {(1,1),(1,8),(2,3),(2,4)}.
+        let r = rel(&[&[1, 1], &[1, 8], &[2, 3], &[2, 4]]);
+        assert_eq!(r.first_column(), &[1, 2]); // R[*] = {1, 2}
+        let n1 = r.child(r.root(), 1);
+        assert_eq!(r.child_values(n1), &[1, 8]); // R[1,*] = {1, 8}
+        let n2 = r.child(r.root(), 2);
+        assert_eq!(r.value(n2), 2); // R[2] = 2
+        let n21 = r.child(n2, 1);
+        assert_eq!(r.value(n21), 3); // R[2,1] = 3
+    }
+
+    #[test]
+    fn find_gap_brackets_value() {
+        let r = figure3();
+        let mut st = ExecStats::new();
+        let root = r.root();
+        // Children of root: [1, 7, 10].
+        let g = r.find_gap(root, 5, &mut st);
+        assert_eq!((g.lo_coord, g.hi_coord), (1, 2));
+        assert_eq!((g.lo_val, g.hi_val), (1, 7));
+        assert!(!g.exact());
+        // Exact hit.
+        let g = r.find_gap(root, 7, &mut st);
+        assert_eq!((g.lo_coord, g.hi_coord), (2, 2));
+        assert!(g.exact());
+        // Below all values: x⁻ = 0 is out of range with value −∞.
+        let g = r.find_gap(root, 0, &mut st);
+        assert_eq!((g.lo_coord, g.hi_coord), (0, 1));
+        assert_eq!((g.lo_val, g.hi_val), (NEG_INF, 1));
+        // Above all values: x⁺ = len + 1 with value +∞.
+        let g = r.find_gap(root, 11, &mut st);
+        assert_eq!((g.lo_coord, g.hi_coord), (3, 4));
+        assert_eq!((g.lo_val, g.hi_val), (10, POS_INF));
+        assert_eq!(st.find_gap_calls, 4);
+    }
+
+    #[test]
+    fn find_gap_within_subtree() {
+        let r = figure3();
+        let mut st = ExecStats::new();
+        let n1 = r.child(r.root(), 1); // values [2, 3]
+        let g = r.find_gap(n1, 2, &mut st);
+        assert!(g.exact());
+        assert_eq!(g.lo_coord, 1);
+        let g = r.find_gap(n1, 9, &mut st);
+        assert_eq!((g.lo_coord, g.hi_coord), (2, 3));
+        assert_eq!(g.hi_val, POS_INF);
+    }
+
+    #[test]
+    fn descend_and_contains() {
+        let r = figure3();
+        assert!(r.contains(&[1, 3, 5]));
+        assert!(!r.contains(&[1, 3, 6]));
+        assert!(!r.contains(&[2, 3, 5]));
+        let (node, matched) = r.descend(&[1, 2]);
+        assert_eq!(matched, 2);
+        assert_eq!(r.child_values(node), &[4, 7]);
+        let (_, matched) = r.descend(&[1, 9, 9]);
+        assert_eq!(matched, 1);
+    }
+
+    #[test]
+    fn iteration_round_trips_sorted_tuples() {
+        let tuples: Vec<Tuple> = vec![
+            vec![1, 2, 4],
+            vec![1, 2, 7],
+            vec![1, 3, 5],
+            vec![7, 4, 2],
+            vec![10, 4, 1],
+        ];
+        let r = figure3();
+        assert_eq!(r.to_tuples(), tuples);
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let r = rel(&[&[3, 3], &[1, 2], &[3, 3], &[1, 2]]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.to_tuples(), vec![vec![1, 2], vec![3, 3]]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = TrieRelation::from_tuples("E", 2, vec![]).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.root_fanout(), 0);
+        assert_eq!(r.to_tuples(), Vec::<Tuple>::new());
+        let mut st = ExecStats::new();
+        let g = r.find_gap(r.root(), 5, &mut st);
+        assert_eq!((g.lo_coord, g.hi_coord), (0, 1));
+        assert_eq!((g.lo_val, g.hi_val), (NEG_INF, POS_INF));
+    }
+
+    #[test]
+    fn unary_relation() {
+        let r = rel(&[&[4], &[2], &[9]]);
+        assert_eq!(r.first_column(), &[2, 4, 9]);
+        assert!(r.contains(&[4]));
+        assert!(!r.contains(&[5]));
+        assert_eq!(r.to_tuples(), vec![vec![2], vec![4], vec![9]]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = TrieRelation::from_tuples("R", 2, vec![vec![1, 2, 3]]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn negative_values_rejected() {
+        let err = TrieRelation::from_tuples("R", 1, vec![vec![-5]]).unwrap_err();
+        assert!(matches!(err, StorageError::ValueOutOfDomain { .. }));
+    }
+}

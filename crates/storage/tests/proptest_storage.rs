@@ -1,0 +1,128 @@
+//! Property-based tests for the storage layer: trie round-trips, FindGap
+//! vs a linear-scan model, and cursor/iterator agreement.
+
+use proptest::prelude::*;
+
+use minesweeper_storage::{ExecStats, TrieCursor, TrieRelation, Tuple, Val};
+
+fn tuples_strategy(arity: usize, max_len: usize, dom: Val) -> impl Strategy<Value = Vec<Tuple>> {
+    prop::collection::vec(prop::collection::vec(0..dom, arity..=arity), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Building a trie and iterating it returns exactly the sorted,
+    /// deduplicated tuples.
+    #[test]
+    fn round_trip(tuples in tuples_strategy(3, 40, 8)) {
+        let rel = TrieRelation::from_tuples("R", 3, tuples.clone()).unwrap();
+        let mut expect = tuples;
+        expect.sort();
+        expect.dedup();
+        prop_assert_eq!(rel.to_tuples(), expect.clone());
+        prop_assert_eq!(rel.len(), expect.len());
+        for t in &expect {
+            prop_assert!(rel.contains(t));
+        }
+    }
+
+    /// FindGap agrees with a linear scan over the child values at every
+    /// node reachable by a prefix, per the paper's (x⁻, x⁺) definition.
+    #[test]
+    fn find_gap_matches_linear_model(
+        tuples in tuples_strategy(2, 30, 10),
+        probe in -2i64..12,
+        prefix in 0i64..10,
+    ) {
+        let rel = TrieRelation::from_tuples("R", 2, tuples).unwrap();
+        let mut st = ExecStats::new();
+        // Root level.
+        {
+            let vals = rel.child_values(rel.root()).to_vec();
+            let g = rel.find_gap(rel.root(), probe, &mut st);
+            let le = vals.iter().filter(|&&v| v <= probe).count();
+            prop_assert_eq!(g.lo_coord, le);
+            let expect_hi = if le > 0 && vals[le - 1] == probe { le } else { le + 1 };
+            prop_assert_eq!(g.hi_coord, expect_hi);
+            if g.lo_coord >= 1 {
+                prop_assert_eq!(g.lo_val, vals[g.lo_coord - 1]);
+            } else {
+                prop_assert_eq!(g.lo_val, minesweeper_storage::NEG_INF);
+            }
+            if g.hi_coord <= vals.len() {
+                prop_assert_eq!(g.hi_val, vals[g.hi_coord - 1]);
+            } else {
+                prop_assert_eq!(g.hi_val, minesweeper_storage::POS_INF);
+            }
+        }
+        // One level down, if the prefix exists.
+        let (node, matched) = rel.descend(&[prefix]);
+        if matched == 1 {
+            let vals = rel.child_values(node).to_vec();
+            let g = rel.find_gap(node, probe, &mut st);
+            let le = vals.iter().filter(|&&v| v <= probe).count();
+            prop_assert_eq!(g.lo_coord, le);
+        }
+    }
+
+    /// A cursor seek-sweep visits exactly the distinct first-column values.
+    #[test]
+    fn cursor_sweep_matches_first_column(tuples in tuples_strategy(2, 30, 10)) {
+        let rel = TrieRelation::from_tuples("R", 2, tuples).unwrap();
+        let mut st = ExecStats::new();
+        let mut cur = TrieCursor::new(&rel);
+        let mut seen = Vec::new();
+        if cur.open() {
+            while !cur.at_end() {
+                seen.push(cur.key());
+                let key = cur.key();
+                cur.seek(key + 1, &mut st);
+            }
+        }
+        prop_assert_eq!(seen, rel.first_column().to_vec());
+    }
+
+    /// Cursor open/up returns to a consistent parent position.
+    #[test]
+    fn cursor_open_up_consistency(tuples in tuples_strategy(2, 30, 6)) {
+        let rel = TrieRelation::from_tuples("R", 2, tuples).unwrap();
+        let mut st = ExecStats::new();
+        let mut cur = TrieCursor::new(&rel);
+        if !cur.open() {
+            return Ok(());
+        }
+        while !cur.at_end() {
+            let parent_key = cur.key();
+            prop_assert!(cur.open(), "non-leaf node has children");
+            // Children of (parent_key, *) are exactly the sorted second
+            // coordinates of matching tuples.
+            let expect: Vec<Val> = rel
+                .to_tuples()
+                .into_iter()
+                .filter(|t| t[0] == parent_key)
+                .map(|t| t[1])
+                .collect();
+            prop_assert_eq!(cur.remaining().to_vec(), expect);
+            cur.up();
+            prop_assert_eq!(cur.key(), parent_key);
+            cur.next(&mut st);
+        }
+    }
+
+    /// Node counting matches the number of distinct prefixes.
+    #[test]
+    fn node_count_is_distinct_prefix_count(tuples in tuples_strategy(3, 30, 6)) {
+        let rel = TrieRelation::from_tuples("R", 3, tuples.clone()).unwrap();
+        let mut p1: Vec<Val> = tuples.iter().map(|t| t[0]).collect();
+        let mut p2: Vec<(Val, Val)> = tuples.iter().map(|t| (t[0], t[1])).collect();
+        let mut p3: Vec<Tuple> = tuples;
+        p1.sort_unstable();
+        p1.dedup();
+        p2.sort_unstable();
+        p2.dedup();
+        p3.sort();
+        p3.dedup();
+        prop_assert_eq!(rel.node_count(), p1.len() + p2.len() + p3.len());
+    }
+}

@@ -1,0 +1,192 @@
+//! Concrete instances of the paper's running examples, for tests,
+//! documentation, and the `certificates` harness.
+
+use minesweeper_core::Query;
+use minesweeper_storage::{builder, Database, RelationBuilder, Val};
+
+use crate::queries::Instance;
+
+/// Example 2.1 / Example B.1 family: `Q = R(A) ⋈ T(A,B)` with `R = [N]`
+/// and `T = {(1, 2i)} ∪ {(2, 3i)}`.
+pub fn example_2_1(n: Val) -> Instance {
+    let mut db = Database::new();
+    let r = db.add(builder::unary("R", 1..=n)).unwrap();
+    let t = db
+        .add(builder::binary(
+            "T",
+            (1..=n).map(|i| (1, 2 * i)).chain((1..=n).map(|i| (2, 3 * i))),
+        ))
+        .unwrap();
+    let query = Query::new(2).atom(r, &[0]).atom(t, &[0, 1]);
+    Instance { db, query }
+}
+
+/// Example B.1: constant-size certificate, empty output.
+/// `R = [N]`, `S = {(N+1, i+N)}`.
+pub fn example_b1(n: Val) -> Instance {
+    let mut db = Database::new();
+    let r = db.add(builder::unary("R", 1..=n)).unwrap();
+    let s = db
+        .add(builder::binary("S", (1..=n).map(|i| (n + 1, i + n))))
+        .unwrap();
+    let query = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]);
+    Instance { db, query }
+}
+
+/// Example B.2: `|C| ≪ Z`. `R = [N]`, `S = {(N, 10i)}`.
+pub fn example_b2(n: Val) -> Instance {
+    let mut db = Database::new();
+    let r = db.add(builder::unary("R", 1..=n)).unwrap();
+    let s = db
+        .add(builder::binary("S", (1..=n).map(|i| (n, 10 * i))))
+        .unwrap();
+    let query = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]);
+    Instance { db, query }
+}
+
+/// Examples B.3/B.4: `Q = R(A,C) ⋈ S(B,C)` with `R = [N] × evens`,
+/// `S = [N] × odds`. Under GAO `(A,B,C)` the optimal certificate is
+/// `Θ(N²)`; under `(C,A,B)` it is `Θ(N)`. Attributes here: A=0, B=1, C=2.
+pub fn example_b3(n: Val) -> Instance {
+    let mut db = Database::new();
+    let mut rb = RelationBuilder::new("R", 2);
+    let mut sb = RelationBuilder::new("S", 2);
+    for a in 1..=n {
+        for k in 1..=n {
+            rb.push(&[a, 2 * k]);
+            sb.push(&[a, 2 * k - 1]);
+        }
+    }
+    let r = db.add(rb.build().unwrap()).unwrap();
+    let s = db.add(sb.build().unwrap()).unwrap();
+    let query = Query::new(3).atom(r, &[0, 2]).atom(s, &[1, 2]);
+    Instance { db, query }
+}
+
+/// Example B.6: `Q = R(A,B) ⋈ S(A,B)` with `R = {(i,i)}`,
+/// `S = {(N+i, i)}`: `|C| = O(1)` under `(A,B)` but `Ω(N)` under `(B,A)`.
+pub fn example_b6(n: Val) -> Instance {
+    let mut db = Database::new();
+    let r = db
+        .add(builder::binary("R", (1..=n).map(|i| (i, i))))
+        .unwrap();
+    let s = db
+        .add(builder::binary("S", (1..=n).map(|i| (n + i, i))))
+        .unwrap();
+    let query = Query::new(2).atom(r, &[0, 1]).atom(s, &[0, 1]);
+    Instance { db, query }
+}
+
+/// The Appendix D.1 worked instance: `Q₂ = R(A₁) ⋈ S(A₁,A₂) ⋈ T(A₂,A₃) ⋈
+/// U(A₃)` with `R = [N]`, `S = [N]²`, `T = {(2,2),(2,4)}`, `U = {1,3}`.
+pub fn example_d1(n: Val) -> Instance {
+    let mut db = Database::new();
+    let r = db.add(builder::unary("R", 1..=n)).unwrap();
+    let mut sb = RelationBuilder::new("S", 2);
+    for a in 1..=n {
+        for b in 1..=n {
+            sb.push(&[a, b]);
+        }
+    }
+    let s = db.add(sb.build().unwrap()).unwrap();
+    let t = db.add(builder::binary("T", [(2, 2), (2, 4)])).unwrap();
+    let u = db.add(builder::unary("U", [1, 3])).unwrap();
+    let query = Query::new(3)
+        .atom(r, &[0])
+        .atom(s, &[0, 1])
+        .atom(t, &[1, 2])
+        .atom(u, &[2]);
+    Instance { db, query }
+}
+
+/// The Appendix I.3 bow-tie instance with a hidden `O(1)` certificate:
+/// `R = {2}`, `T = {N+1}`, `S = {(1, N+1+i)} ∪ {(3, i)}`.
+pub fn example_i3(n: Val) -> Instance {
+    let mut db = Database::new();
+    let r = db.add(builder::unary("R", [2])).unwrap();
+    let s = db
+        .add(builder::binary(
+            "S",
+            (1..=n).map(|i| (1, n + 1 + i)).chain((1..=n).map(|i| (3, i))),
+        ))
+        .unwrap();
+    let t = db.add(builder::unary("T", [n + 1])).unwrap();
+    let query = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
+    Instance { db, query }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_cds::ProbeMode;
+    use minesweeper_core::{minesweeper_join, naive_join, reindex_for_gao};
+
+    #[test]
+    fn example_2_1_outputs() {
+        let inst = example_2_1(5);
+        let out = naive_join(&inst.db, &inst.query).unwrap();
+        // Witnesses {1,(1,i)} and {2,(2,i)}: 2N output tuples.
+        assert_eq!(out.len(), 10);
+        let ms = minesweeper_join(&inst.db, &inst.query, ProbeMode::Chain).unwrap();
+        let mut got = ms.tuples;
+        got.sort();
+        assert_eq!(got, out);
+    }
+
+    #[test]
+    fn b1_b2_basic() {
+        assert!(naive_join(&example_b1(20).db, &example_b1(20).query)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            naive_join(&example_b2(20).db, &example_b2(20).query)
+                .unwrap()
+                .len(),
+            20
+        );
+    }
+
+    #[test]
+    fn b3_gao_dependence() {
+        // Empty output either way; the GAO changes the work dramatically.
+        let n: Val = 8;
+        let inst = example_b3(n);
+        assert!(naive_join(&inst.db, &inst.query).unwrap().is_empty());
+        // GAO (A,B,C) — identity: Θ(N²)-ish probes.
+        let slow = minesweeper_join(&inst.db, &inst.query, ProbeMode::General).unwrap();
+        // GAO (C,A,B): Θ(N) probes (Example B.4).
+        let (db2, q2) = reindex_for_gao(&inst.db, &inst.query, &[2, 0, 1]).unwrap();
+        let fast = minesweeper_join(&db2, &q2, ProbeMode::Chain).unwrap();
+        assert!(fast.tuples.is_empty() && slow.tuples.is_empty());
+        assert!(
+            slow.stats.probe_points > 4 * fast.stats.probe_points,
+            "GAO must matter: slow={} fast={}",
+            slow.stats.probe_points,
+            fast.stats.probe_points
+        );
+    }
+
+    #[test]
+    fn b6_join_empty() {
+        let inst = example_b6(10);
+        assert!(naive_join(&inst.db, &inst.query).unwrap().is_empty());
+        let res = minesweeper_join(&inst.db, &inst.query, ProbeMode::Chain).unwrap();
+        assert!(res.tuples.is_empty());
+        // (A,B) order: constant certificate R[N] < S[1] ⇒ O(1) probes.
+        assert!(res.stats.probe_points < 8);
+    }
+
+    #[test]
+    fn d1_empty() {
+        let inst = example_d1(6);
+        assert!(naive_join(&inst.db, &inst.query).unwrap().is_empty());
+    }
+
+    #[test]
+    fn i3_empty_with_small_cert() {
+        let inst = example_i3(100);
+        assert!(naive_join(&inst.db, &inst.query).unwrap().is_empty());
+        let res = minesweeper_join(&inst.db, &inst.query, ProbeMode::Chain).unwrap();
+        assert!(res.stats.probe_points < 10);
+    }
+}

@@ -1,0 +1,171 @@
+//! Synthetic graph generators.
+//!
+//! All generators are deterministic given a seed (benchmarks must be
+//! reproducible) and emit directed edge lists over vertex ids `0..n`;
+//! [`symmetrize`] closes them under reversal when an undirected graph is
+//! wanted.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use minesweeper_storage::Val;
+
+/// An edge list.
+pub type EdgeList = Vec<(Val, Val)>;
+
+/// Erdős–Rényi `G(n, m)`: `m` edges sampled uniformly (self-loops
+/// excluded, duplicates possible and deduplicated downstream by the trie).
+pub fn erdos_renyi(n: Val, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+/// Chung–Lu power-law graph: vertex `i` has weight `∝ (i+1)^(−1/(γ−1))`;
+/// an edge is sampled by picking both endpoints from the weight
+/// distribution. `γ ≈ 2.1–2.5` matches social-network degree profiles —
+/// this is the stand-in shape for the paper's SNAP datasets.
+pub fn chung_lu(n: Val, m: usize, gamma: f64, seed: u64) -> EdgeList {
+    assert!(n >= 2 && gamma > 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let exponent = -1.0 / (gamma - 1.0);
+    // Cumulative weight table for inverse-transform sampling.
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exponent)).collect();
+    let mut cumulative = Vec::with_capacity(n as usize);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cumulative.push(acc);
+    }
+    let total = acc;
+    let sample = |rng: &mut StdRng| -> Val {
+        let x = rng.gen_range(0.0..total);
+        cumulative.partition_point(|&c| c < x) as Val
+    };
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = sample(&mut rng).min(n - 1);
+        let v = sample(&mut rng).min(n - 1);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+/// Preferential attachment (Barabási–Albert): each new vertex attaches
+/// `k` edges to endpoints drawn from the current edge multiset.
+pub fn preferential_attachment(n: Val, k: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2 && k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: EdgeList = vec![(0, 1)];
+    // Endpoint pool for degree-proportional sampling.
+    let mut pool: Vec<Val> = vec![0, 1];
+    for v in 2..n {
+        for _ in 0..k {
+            let target = pool[rng.gen_range(0..pool.len())];
+            if target != v {
+                edges.push((v, target));
+                pool.push(v);
+                pool.push(target);
+            }
+        }
+    }
+    edges
+}
+
+/// Closes an edge list under reversal (undirected view).
+pub fn symmetrize(edges: &[(Val, Val)]) -> EdgeList {
+    let mut out = Vec::with_capacity(edges.len() * 2);
+    for &(u, v) in edges {
+        out.push((u, v));
+        out.push((v, u));
+    }
+    out
+}
+
+/// Bernoulli vertex sample: each of `0..n` kept with probability `p` —
+/// the paper's construction of the unary `Rᵢ` relations ("every vertex is
+/// chosen with a probability 0.001", Section 5.2). Guarantees at least one
+/// vertex so queries stay non-degenerate.
+pub fn sample_vertices(n: Val, p: f64, seed: u64) -> Vec<Val> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Val> = (0..n).filter(|_| rng.gen_bool(p)).collect();
+    if out.is_empty() {
+        out.push(rng.gen_range(0..n));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_respects_bounds() {
+        let e = erdos_renyi(50, 200, 1);
+        assert_eq!(e.len(), 200);
+        assert!(e.iter().all(|&(u, v)| u != v && (0..50).contains(&u) && (0..50).contains(&v)));
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        assert_eq!(erdos_renyi(30, 50, 7), erdos_renyi(30, 50, 7));
+        assert_ne!(erdos_renyi(30, 50, 7), erdos_renyi(30, 50, 8));
+        assert_eq!(chung_lu(30, 50, 2.2, 7), chung_lu(30, 50, 2.2, 7));
+        assert_eq!(
+            preferential_attachment(30, 2, 7),
+            preferential_attachment(30, 2, 7)
+        );
+    }
+
+    #[test]
+    fn chung_lu_is_skewed() {
+        // Low-id vertices must have noticeably higher degree than high-id
+        // ones under a power-law weight profile.
+        let n = 200;
+        let e = chung_lu(n, 4000, 2.2, 42);
+        let mut deg = vec![0usize; n as usize];
+        for &(u, v) in &e {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let head: usize = deg[..10].iter().sum();
+        let tail: usize = deg[(n as usize - 10)..].iter().sum();
+        assert!(
+            head > 4 * tail,
+            "expected skew: head-10 degree {head} vs tail-10 {tail}"
+        );
+    }
+
+    #[test]
+    fn pa_graph_grows_linearly() {
+        let e = preferential_attachment(100, 3, 3);
+        assert!(e.len() <= 1 + 98 * 3);
+        assert!(e.len() >= 200);
+    }
+
+    #[test]
+    fn symmetrize_doubles() {
+        let e = vec![(1, 2), (3, 4)];
+        let s = symmetrize(&e);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(&(2, 1)) && s.contains(&(4, 3)));
+    }
+
+    #[test]
+    fn vertex_sampling_rate() {
+        let s = sample_vertices(10_000, 0.01, 5);
+        assert!(s.len() > 40 && s.len() < 250, "got {}", s.len());
+        let s = sample_vertices(100, 0.0, 5);
+        assert_eq!(s.len(), 1, "degenerate sample bumped to one vertex");
+    }
+}

@@ -1,0 +1,134 @@
+//! Set-intersection instance families for the Appendix H experiments.
+//!
+//! The interesting axis is the optimal certificate size relative to `N`:
+//!
+//! * [`disjoint_ranges`] — `|C| = O(m)`: one inequality chain proves
+//!   emptiness;
+//! * [`interleaved`] — `|C| = Θ(N)`: evens vs odds force a comparison per
+//!   element;
+//! * [`blocks`] — `|C| = Θ(N/b)`: alternating runs of length `b`
+//!   interpolate between the two extremes;
+//! * [`needle`] — one singleton set: `|C| = O(m log N)`-ish, output ≤ 1;
+//! * [`random_sets`] — uniform random baselines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use minesweeper_storage::{builder::unary, TrieRelation, Val};
+
+/// `m` sets of `n` values each occupying disjoint, increasing ranges.
+pub fn disjoint_ranges(m: usize, n: Val) -> Vec<TrieRelation> {
+    (0..m as Val)
+        .map(|i| unary(format!("S{i}"), (i * n)..((i + 1) * n)))
+        .collect()
+}
+
+/// `m` sets of `n` values interleaved mod `m`: set `i` holds
+/// `{m·k + i : k < n}`. Pairwise-empty with a linear-size certificate.
+pub fn interleaved(m: usize, n: Val) -> Vec<TrieRelation> {
+    let mm = m as Val;
+    (0..mm)
+        .map(|i| unary(format!("S{i}"), (0..n).map(move |k| mm * k + i)))
+        .collect()
+}
+
+/// Two sets alternating in runs of length `b` over `[0, 2n)`: set 0 takes
+/// blocks `0, 2, 4, …`, set 1 blocks `1, 3, 5, …`. Certificate `Θ(n/b)`.
+pub fn blocks(n: Val, b: Val) -> Vec<TrieRelation> {
+    assert!(b >= 1);
+    let pick = move |parity: Val| {
+        (0..2 * n).filter(move |&v| ((v / b) % 2) == parity)
+    };
+    vec![unary("S0", pick(0)), unary("S1", pick(1))]
+}
+
+/// `m − 1` large sets of `n` values plus one singleton (the needle):
+/// output is the needle iff it lands in all others (it does, by
+/// construction).
+pub fn needle(m: usize, n: Val) -> Vec<TrieRelation> {
+    assert!(m >= 2);
+    let hit = n / 2;
+    let mut sets: Vec<TrieRelation> = (0..m - 1)
+        .map(|i| unary(format!("S{i}"), 0..n))
+        .collect();
+    sets.push(unary("needle", [hit]));
+    sets
+}
+
+/// `m` uniform random subsets of `[0, universe)` with `n` draws each.
+pub fn random_sets(m: usize, n: usize, universe: Val, seed: u64) -> Vec<TrieRelation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|i| {
+            unary(
+                format!("S{i}"),
+                (0..n).map(|_| rng.gen_range(0..universe)).collect::<Vec<Val>>(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_baselines::adaptive_intersection;
+    use minesweeper_core::set_intersection;
+
+    fn run(sets: &[TrieRelation]) -> (Vec<Val>, u64) {
+        let refs: Vec<&TrieRelation> = sets.iter().collect();
+        let res = set_intersection(&refs);
+        (res.tuples.iter().map(|t| t[0]).collect(), res.stats.probe_points)
+    }
+
+    #[test]
+    fn disjoint_is_empty_with_constant_probes() {
+        let sets = disjoint_ranges(3, 1000);
+        let (out, probes) = run(&sets);
+        assert!(out.is_empty());
+        assert!(probes <= 4, "probes = {probes}");
+    }
+
+    #[test]
+    fn interleaved_is_empty() {
+        let sets = interleaved(3, 200);
+        let (out, _) = run(&sets);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn blocks_certificate_scales_with_block_size() {
+        let n: Val = 512;
+        let (out, probes_small) = run(&blocks(n, 2));
+        assert!(out.is_empty());
+        let (out, probes_large) = run(&blocks(n, 64));
+        assert!(out.is_empty());
+        assert!(
+            probes_small > 4 * probes_large,
+            "larger blocks ⇒ smaller certificate: {probes_small} vs {probes_large}"
+        );
+    }
+
+    #[test]
+    fn needle_found() {
+        let sets = needle(4, 1000);
+        let (out, probes) = run(&sets);
+        assert_eq!(out, vec![500]);
+        assert!(probes <= 6);
+    }
+
+    #[test]
+    fn random_agrees_with_adaptive_baseline() {
+        for seed in 0..5 {
+            let sets = random_sets(3, 60, 100, seed);
+            let refs: Vec<&TrieRelation> = sets.iter().collect();
+            let ms: Vec<Val> =
+                set_intersection(&refs).tuples.iter().map(|t| t[0]).collect();
+            let ad: Vec<Val> = adaptive_intersection(&refs)
+                .tuples
+                .iter()
+                .map(|t| t[0])
+                .collect();
+            assert_eq!(ms, ad, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The Proposition 5.3 lower-bound family for Minesweeper itself.
+//!
+//! `Q_w = (⋈_{i<j ∈ [w+1]} R_{i,j}(vᵢ, v_j)) ⋈ U(v₁, …, v_{w+1})` with
+//!
+//! * `U = [m]^{w+1}`,
+//! * `R_{i,j} = [m] × [m]` for `i < j ≤ w`,
+//! * `R_{i,w+1} = [m] × {1}` for `i < w`,
+//! * `R_{w,w+1} = [m] × {2}`.
+//!
+//! The output is empty and `|C| = O(wm)`, yet Minesweeper (under any GAO)
+//! must consider all `m^w` prefixes: the only constraints that can rule a
+//! prefix out force a merge in `getProbePoint` for every one of them. The
+//! `prop53` harness verifies the `Ω(m^w)` probe growth.
+
+use minesweeper_core::Query;
+use minesweeper_storage::{Database, RelationBuilder, Val};
+
+use crate::queries::Instance;
+
+/// Builds `Q_w` with domain `[m]` (values `1..=m`). `w ≥ 2`; the instance
+/// has `U` of size `m^{w+1}`, so keep `m^{w+1}` modest.
+pub fn qw_instance(w: usize, m: Val) -> Instance {
+    assert!(w >= 2 && m >= 2);
+    let k = w + 1;
+    let mut db = Database::new();
+    let mut query = Query::new(k);
+    for i in 1..=k {
+        for j in (i + 1)..=k {
+            let mut b = RelationBuilder::new(format!("R_{i}_{j}"), 2);
+            if j <= w {
+                for a in 1..=m {
+                    for bb in 1..=m {
+                        b.push(&[a, bb]);
+                    }
+                }
+            } else if i < w {
+                for a in 1..=m {
+                    b.push(&[a, 1]);
+                }
+            } else {
+                // i == w, j == w+1.
+                for a in 1..=m {
+                    b.push(&[a, 2]);
+                }
+            }
+            let rel = db.add(b.build().unwrap()).unwrap();
+            query = query.atom(rel, &[i - 1, j - 1]);
+        }
+    }
+    // U = [m]^{w+1}.
+    let mut ub = RelationBuilder::new("U", k);
+    let mut t = vec![1 as Val; k];
+    loop {
+        ub.push(&t);
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                break;
+            }
+            pos -= 1;
+            if t[pos] < m {
+                t[pos] += 1;
+                for x in &mut t[pos + 1..] {
+                    *x = 1;
+                }
+                break;
+            }
+            if pos == 0 {
+                pos = usize::MAX;
+                break;
+            }
+        }
+        if pos == usize::MAX {
+            break;
+        }
+    }
+    let u = db.add(ub.build().unwrap()).unwrap();
+    let attrs: Vec<usize> = (0..k).collect();
+    query = query.atom(u, &attrs);
+    Instance { db, query }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_cds::ProbeMode;
+    use minesweeper_core::{minesweeper_join, naive_join};
+    use minesweeper_hypergraph::{is_alpha_acyclic, is_beta_acyclic, treewidth_exact};
+
+    #[test]
+    fn instance_shape() {
+        let inst = qw_instance(2, 3);
+        // 3 binary relations + U.
+        assert_eq!(inst.query.num_atoms(), 4);
+        let h = inst.query.hypergraph();
+        assert!(is_alpha_acyclic(&h), "U makes Q_w α-acyclic");
+        assert!(!is_beta_acyclic(&h), "Q_w is β-cyclic");
+        assert_eq!(treewidth_exact(&h, 8), 2);
+        assert_eq!(
+            inst.db.relation_by_name("U").unwrap().len(),
+            27,
+            "U = [3]^3"
+        );
+    }
+
+    #[test]
+    fn output_is_empty() {
+        for m in [2, 3, 4] {
+            let inst = qw_instance(2, m);
+            assert!(
+                naive_join(&inst.db, &inst.query).unwrap().is_empty(),
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn minesweeper_merge_work_grows_quadratically() {
+        // Prop 5.3 for w = 2: the paper proves "Line 17 of Algorithm 6 is
+        // executed Ω(m^w) times" — every (t₁, t₂) prefix forces a merge of
+        // the ⟨t₁,˚⟩ and ⟨˚,t₂⟩ constraints followed by a backtrack. The
+        // probe count stays O(m) (each probe discovers a reusable gap),
+        // but backtracks and chain-walk Next calls must scale ~m².
+        let mut backtracks = Vec::new();
+        let mut next_calls = Vec::new();
+        for m in [4, 8, 16] {
+            let inst = qw_instance(2, m);
+            let res =
+                minesweeper_join(&inst.db, &inst.query, ProbeMode::General).unwrap();
+            assert!(res.tuples.is_empty());
+            backtracks.push(res.stats.backtracks);
+            next_calls.push(res.stats.cds_next_calls);
+        }
+        // Doubling m should ~quadruple the merge work; accept ≥ 3×.
+        assert!(
+            backtracks[1] >= 3 * backtracks[0] && backtracks[2] >= 3 * backtracks[1],
+            "expected quadratic backtrack growth, got {backtracks:?}"
+        );
+        assert!(
+            next_calls[2] >= 3 * next_calls[1],
+            "expected quadratic chain-walk growth, got {next_calls:?}"
+        );
+        // Sanity: the m = 16 run performs at least m² = 256 backtracks.
+        assert!(backtracks[2] >= 256, "got {backtracks:?}");
+    }
+}

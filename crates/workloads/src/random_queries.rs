@@ -1,0 +1,128 @@
+//! Random β-acyclic query instances.
+//!
+//! The generator draws a uniformly random tree over the attributes and
+//! turns every tree edge into a binary atom (plus optional unary atoms),
+//! then fills relations with random tuples. Every sub-hypergraph of a
+//! forest of binary edges is a forest — hence α-acyclic — so these
+//! queries are β-acyclic by construction (Appendix A), covering the
+//! paper's star/path/tree evaluation class and everything between. Used
+//! by the integration suite to exercise nested-elimination-order selection
+//! and chain-mode probing across arbitrary tree shapes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use minesweeper_core::Query;
+use minesweeper_storage::{builder, Database, Val};
+
+use crate::queries::Instance;
+
+/// Configuration for [`random_tree_instance`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeQueryConfig {
+    /// Number of attributes (tree nodes), ≥ 2.
+    pub n_attrs: usize,
+    /// Tuples per binary relation.
+    pub tuples_per_edge: usize,
+    /// Value domain `[0, domain)`.
+    pub domain: Val,
+    /// Probability that an attribute also gets a unary predicate atom.
+    pub unary_prob: f64,
+    /// Fraction of the domain each unary predicate keeps.
+    pub unary_selectivity: f64,
+}
+
+impl Default for TreeQueryConfig {
+    fn default() -> Self {
+        TreeQueryConfig {
+            n_attrs: 4,
+            tuples_per_edge: 30,
+            domain: 12,
+            unary_prob: 0.5,
+            unary_selectivity: 0.6,
+        }
+    }
+}
+
+/// Generates a random tree-shaped (hence β-acyclic) query with a random
+/// database. Deterministic per seed.
+pub fn random_tree_instance(cfg: TreeQueryConfig, seed: u64) -> Instance {
+    assert!(cfg.n_attrs >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let mut query = Query::new(cfg.n_attrs);
+    // Random tree: attach each attribute k ≥ 1 to a random earlier one.
+    for k in 1..cfg.n_attrs {
+        let parent = rng.gen_range(0..k);
+        let (lo, hi) = (parent.min(k), parent.max(k));
+        let rel = db
+            .add(builder::binary(
+                format!("E{k}"),
+                (0..cfg.tuples_per_edge)
+                    .map(|_| (rng.gen_range(0..cfg.domain), rng.gen_range(0..cfg.domain))),
+            ))
+            .unwrap();
+        query = query.atom(rel, &[lo, hi]);
+    }
+    // Optional unary predicates.
+    for a in 0..cfg.n_attrs {
+        if rng.gen_bool(cfg.unary_prob) {
+            let keep: Vec<Val> = (0..cfg.domain)
+                .filter(|_| rng.gen_bool(cfg.unary_selectivity))
+                .collect();
+            if keep.is_empty() {
+                continue;
+            }
+            let rel = db.add(builder::unary(format!("U{a}"), keep)).unwrap();
+            query = query.atom(rel, &[a]);
+        }
+    }
+    Instance { db, query }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_core::{execute, naive_join};
+    use minesweeper_hypergraph::{is_beta_acyclic, is_nested_elimination_order};
+
+    #[test]
+    fn generated_queries_are_beta_acyclic() {
+        for seed in 0..30 {
+            let inst = random_tree_instance(TreeQueryConfig::default(), seed);
+            let h = inst.query.hypergraph();
+            assert!(is_beta_acyclic(&h), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn execute_matches_naive_on_random_trees() {
+        for seed in 0..25 {
+            let cfg = TreeQueryConfig {
+                n_attrs: 3 + (seed as usize % 3),
+                ..TreeQueryConfig::default()
+            };
+            let inst = random_tree_instance(cfg, seed);
+            let exec = execute(&inst.db, &inst.query).unwrap();
+            // execute() must have chosen a NEO (chain mode) for these.
+            assert_eq!(exec.gao.mode, minesweeper_cds::ProbeMode::Chain, "seed {seed}");
+            assert!(is_nested_elimination_order(
+                &inst.query.hypergraph(),
+                &exec.gao.order
+            ));
+            assert_eq!(
+                exec.result.tuples,
+                naive_join(&inst.db, &inst.query).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_tree_instance(TreeQueryConfig::default(), 5);
+        let b = random_tree_instance(TreeQueryConfig::default(), 5);
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.db.total_tuples(), b.db.total_tuples());
+    }
+}

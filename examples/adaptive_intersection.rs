@@ -1,0 +1,39 @@
+//! Instance-optimal set intersection (Appendix H): the work tracks the
+//! *difficulty* of the instance — its certificate — not its size.
+//!
+//! Inverted-index engines intersect posting lists whose overlap structure
+//! varies wildly; an adaptive algorithm should finish in O(1) when the
+//! lists are separated and only pay linear time when the data genuinely
+//! interleaves.
+//!
+//! Run with `cargo run --release --example adaptive_intersection`.
+
+use minesweeper_join::core::set_intersection;
+use minesweeper_join::storage::TrieRelation;
+use minesweeper_join::workloads::intersection::{blocks, disjoint_ranges, interleaved, needle};
+
+fn run(label: &str, sets: &[TrieRelation]) {
+    let refs: Vec<&TrieRelation> = sets.iter().collect();
+    let n: usize = sets.iter().map(|s| s.len()).sum();
+    let res = set_intersection(&refs);
+    println!(
+        "{label:<34} N = {n:>7}  Z = {:>4}  probes = {:>7}  findgaps = {:>7}",
+        res.stats.outputs, res.stats.probe_points, res.stats.find_gap_calls
+    );
+}
+
+fn main() {
+    let n = 1 << 15;
+    println!("set intersection over {}-element lists:\n", n);
+    run("disjoint ranges (|C| = O(1))", &disjoint_ranges(2, n));
+    run("separated needle (|C| = O(1))", &needle(3, n));
+    run("blocks of 1024 (|C| = Θ(N/1024))", &blocks(n, 1024));
+    run("blocks of 32 (|C| = Θ(N/32))", &blocks(n, 32));
+    run("fully interleaved (|C| = Θ(N))", &interleaved(2, n));
+    println!(
+        "\nSame input sizes, wildly different work: the probe counts track\n\
+         the optimal certificate of each instance (Theorem H.4), from O(1)\n\
+         on separated data to Θ(N) only when every element needs a\n\
+         comparison."
+    );
+}

@@ -1,0 +1,60 @@
+//! The headline demonstration: on the Appendix J instances, Minesweeper
+//! beats every worst-case-optimal algorithm by an unbounded factor.
+//!
+//! The instance hides an `O(mM)` certificate inside a path query whose
+//! relations hold `Θ(mM²)` tuples; Yannakakis, Leapfrog Triejoin, and the
+//! NPRR generic join all read the grids, while Minesweeper's gap
+//! constraints skip them.
+//!
+//! Run with `cargo run --release --example beyond_worst_case`.
+
+use std::time::Instant;
+
+use minesweeper_join::baselines::{generic_join, leapfrog_triejoin, yannakakis};
+use minesweeper_join::cds::ProbeMode;
+use minesweeper_join::core::minesweeper_join;
+use minesweeper_join::workloads::appendix_j::hidden_certificate_instance;
+
+fn main() {
+    let m = 4;
+    println!(
+        "path query with {m} atoms; chunked relations hide an O(mM)\n\
+         certificate inside Θ(mM²) tuples (Appendix J).\n"
+    );
+    println!(
+        "{:>5} {:>9} | {:>12} {:>12} {:>12} {:>12}",
+        "M", "N", "minesweeper", "yannakakis", "lftj", "nprr"
+    );
+    for chunk in [16, 32, 64, 128] {
+        let inst = hidden_certificate_instance(m, chunk);
+        let n = inst.db.total_tuples();
+        let mut times = Vec::new();
+        let start = Instant::now();
+        let ms = minesweeper_join(&inst.db, &inst.query, ProbeMode::Chain).unwrap();
+        times.push(start.elapsed());
+        let start = Instant::now();
+        let ya = yannakakis(&inst.db, &inst.query).unwrap();
+        times.push(start.elapsed());
+        let start = Instant::now();
+        let lf = leapfrog_triejoin(&inst.db, &inst.query).unwrap();
+        times.push(start.elapsed());
+        let start = Instant::now();
+        let np = generic_join(&inst.db, &inst.query).unwrap();
+        times.push(start.elapsed());
+        assert!(
+            ms.tuples.is_empty()
+                && ya.tuples.is_empty()
+                && lf.tuples.is_empty()
+                && np.tuples.is_empty()
+        );
+        println!(
+            "{:>5} {:>9} | {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?}",
+            chunk, n, times[0], times[1], times[2], times[3]
+        );
+    }
+    println!(
+        "\nDoubling M doubles Minesweeper's work but quadruples everyone\n\
+         else's — the gap between Õ(|C| + Z) and worst-case optimality\n\
+         grows without bound (Appendix J)."
+    );
+}

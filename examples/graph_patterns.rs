@@ -1,0 +1,44 @@
+//! Graph-pattern mining on a synthetic social network — the workload of
+//! the paper's Section 5.2. Runs the Star, 3-path, and Tree queries on a
+//! power-law graph with sampled vertex predicates and reports input size
+//! vs measured certificate size (the Figure 2 quantities).
+//!
+//! Run with `cargo run --release --example graph_patterns`.
+
+use minesweeper_join::cds::ProbeMode;
+use minesweeper_join::core::minesweeper_join;
+use minesweeper_join::workloads::graphs::{chung_lu, symmetrize};
+use minesweeper_join::workloads::{star_query, three_path_query, tree_query};
+
+fn main() {
+    // A 20K-node power-law "social network".
+    let nodes = 20_000;
+    let edges = symmetrize(&chung_lu(nodes, 120_000, 2.3, 2014));
+    println!(
+        "graph: {} nodes, {} directed edges (Chung-Lu, γ=2.3)\n",
+        nodes,
+        edges.len()
+    );
+    // Vertex predicates sampled at p = 0.001, as in the paper.
+    let p = 0.001;
+    for (name, inst) in [
+        ("Star  ", star_query(&edges, nodes, p, 7)),
+        ("3-path", three_path_query(&edges, nodes, p, 7)),
+        ("Tree  ", tree_query(&edges, nodes, p, 7)),
+    ] {
+        let res = minesweeper_join(&inst.db, &inst.query, ProbeMode::Chain).unwrap();
+        let n = inst.db.total_tuples();
+        let c = res.stats.find_gap_calls;
+        println!(
+            "{name}  N = {n:>7}   |C| = {c:>6}   N/|C| = {:>5.0}x   Z = {}",
+            n as f64 / c.max(1) as f64,
+            res.stats.outputs
+        );
+    }
+    println!(
+        "\nThe measured certificate (FindGap count) sits orders of magnitude\n\
+         below the input size — the Figure 2 phenomenon: an indexed join\n\
+         can certify its output while reading a vanishing fraction of the\n\
+         data."
+    );
+}

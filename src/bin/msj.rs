@@ -1,0 +1,125 @@
+//! `msj` — run a Minesweeper join from the command line.
+//!
+//! ```text
+//! msj --rel R=edges.tsv --rel S=edges.tsv 'R(x, y), S(y, z)' [--stats] [--limit k]
+//! ```
+//!
+//! Relations are whitespace-separated integer tuple files (see
+//! `minesweeper_join::text`); the query lists atoms with named attributes
+//! whose first-appearance order is the GAO. The planner picks a nested
+//! elimination order when the query is β-acyclic and falls back to a
+//! minimum-elimination-width order otherwise.
+
+use std::process::ExitCode;
+
+use minesweeper_join::core::execute;
+use minesweeper_join::storage::Database;
+use minesweeper_join::text::{parse_query, parse_relation};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: msj --rel NAME=FILE [--rel NAME=FILE ...] 'QUERY' [--stats] [--limit K]\n\
+         example: msj --rel R=edges.tsv --rel S=edges.tsv 'R(x,y), S(y,z)' --stats"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rels: Vec<(String, String)> = Vec::new();
+    let mut query_text: Option<String> = None;
+    let mut show_stats = false;
+    let mut limit: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rel" => {
+                let Some(spec) = args.get(i + 1) else { return usage() };
+                let Some((name, path)) = spec.split_once('=') else {
+                    eprintln!("--rel expects NAME=FILE, got {spec:?}");
+                    return ExitCode::from(2);
+                };
+                rels.push((name.to_string(), path.to_string()));
+                i += 2;
+            }
+            "--stats" => {
+                show_stats = true;
+                i += 1;
+            }
+            "--limit" => {
+                let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                limit = Some(k);
+                i += 2;
+            }
+            "--help" | "-h" => return usage(),
+            other => {
+                if query_text.is_some() {
+                    eprintln!("unexpected argument {other:?}");
+                    return ExitCode::from(2);
+                }
+                query_text = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(query_text) = query_text else { return usage() };
+    if rels.is_empty() {
+        return usage();
+    }
+    let mut db = Database::new();
+    for (name, path) in &rels {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = match parse_relation(name, &text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = db.add(rel) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let parsed = match parse_query(&query_text, &db) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let exec = match execute(&db, &parsed.query) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("# {}", parsed.attr_names.join("\t"));
+    let shown = limit.unwrap_or(usize::MAX);
+    for t in exec.result.tuples.iter().take(shown) {
+        let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+        println!("{}", row.join("\t"));
+    }
+    if exec.result.tuples.len() > shown {
+        println!("# … {} more", exec.result.tuples.len() - shown);
+    }
+    if show_stats {
+        let s = &exec.result.stats;
+        eprintln!("# gao order: {:?} (mode {:?}, width {})", exec.gao.order, exec.gao.mode, exec.gao.width);
+        eprintln!("# outputs: {}", s.outputs);
+        eprintln!("# findgap calls (certificate proxy): {}", s.find_gap_calls);
+        eprintln!("# probe points: {}", s.probe_points);
+        eprintln!("# constraints inserted: {}", s.constraints_inserted);
+        eprintln!("# backtracks: {}", s.backtracks);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,98 @@
+//! # minesweeper-join
+//!
+//! A faithful, from-scratch Rust implementation of **"Beyond Worst-case
+//! Analysis for Joins with Minesweeper"** (Hung Q. Ngo, Dung T. Nguyen,
+//! Christopher Ré, Atri Rudra; PODS 2014, full version arXiv:1302.0914).
+//!
+//! Minesweeper is a natural-join algorithm for relations stored in ordered
+//! indexes. Instead of scanning, it keeps a *constraint data structure* of
+//! the gaps it has discovered in the output space and repeatedly probes
+//! the first point not yet excluded. Its runtime is measured against the
+//! smallest **certificate** `C` — the fewest comparisons any
+//! comparison-based algorithm must make to certify the output:
+//!
+//! * β-acyclic queries, nested elimination order GAO: `Õ(|C| + Z)`
+//!   (Theorem 2.7) — *instance optimal* up to a log factor;
+//! * general queries with elimination width `w`: `Õ(|C|^{w+1} + Z)`
+//!   (Theorem 5.1);
+//! * the triangle query with a dyadic CDS: `Õ(|C|^{3/2} + Z)`
+//!   (Theorem 5.4).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use minesweeper_join::prelude::*;
+//!
+//! // Build a database of ordered relations.
+//! let mut db = Database::new();
+//! let r = db.add(builder::unary("R", [1, 2, 4])).unwrap();
+//! let s = db.add(builder::binary("S", [(1, 5), (2, 7), (4, 9)])).unwrap();
+//! let t = db.add(builder::unary("T", [5, 9])).unwrap();
+//!
+//! // The bow-tie query R(X) ⋈ S(X,Y) ⋈ T(Y); attributes are GAO positions.
+//! let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
+//!
+//! // Pick a GAO (β-acyclic ⇒ chain mode) and join.
+//! let choice = choose_gao(&q, 8);
+//! let result = minesweeper_join(&db, &q, choice.mode).unwrap();
+//! assert_eq!(result.tuples, vec![vec![1, 5], vec![4, 9]]);
+//!
+//! // The certificate-size proxy the paper measures (FindGap count):
+//! assert!(result.stats.find_gap_calls < 40);
+//! ```
+//!
+//! ## Crates
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`storage`] | sorted-trie relations, `FindGap`, cursors, catalog |
+//! | [`hypergraph`] | GYO, β-acyclicity, nested elimination orders, treewidth |
+//! | [`cds`] | interval sets, `ConstraintTree`, shadow chains, triangle CDS |
+//! | [`core`] | the Minesweeper algorithm and its specializations |
+//! | [`baselines`] | Yannakakis, LFTJ, NPRR, binary plans, DLM intersection |
+//! | [`workloads`] | synthetic graphs and the paper's instance families |
+
+pub mod text;
+
+/// Re-export of `minesweeper-storage`.
+pub use minesweeper_storage as storage;
+
+/// Re-export of `minesweeper-hypergraph`.
+pub use minesweeper_hypergraph as hypergraph;
+
+/// Re-export of `minesweeper-cds`.
+pub use minesweeper_cds as cds;
+
+/// Re-export of `minesweeper-core`.
+pub use minesweeper_core as core;
+
+/// Re-export of `minesweeper-baselines`.
+pub use minesweeper_baselines as baselines;
+
+/// Re-export of `minesweeper-workloads`.
+pub use minesweeper_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use minesweeper_cds::{Constraint, ConstraintTree, IntervalSet, Pattern, ProbeMode};
+    pub use minesweeper_core::{
+        bowtie_join, canonical_certificate_size, choose_gao, minesweeper_join, naive_join,
+        reindex_for_gao, set_intersection, triangle_join, JoinResult, Query,
+    };
+    pub use minesweeper_storage::{builder, Database, ExecStats, RelId, TrieRelation, Val};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_is_sufficient_for_a_join() {
+        let mut db = Database::new();
+        let a = db.add(builder::unary("A", [1, 2, 3])).unwrap();
+        let b = db.add(builder::unary("B", [2, 3, 4])).unwrap();
+        let q = Query::new(1).atom(a, &[0]).atom(b, &[0]);
+        let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
+        assert_eq!(res.tuples, vec![vec![2], vec![3]]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Plain-text relation loading and a minimal query syntax, for the `msj`
+//! command-line tool and for embedding in tests/scripts.
+//!
+//! ## Relation files
+//!
+//! One tuple per line, columns separated by whitespace, `#` comments and
+//! blank lines ignored:
+//!
+//! ```text
+//! # edge list
+//! 1   2
+//! 2   3
+//! ```
+//!
+//! ## Query syntax
+//!
+//! A query is a `⋈`- or `,`-separated list of atoms `Name(Attr, …)`;
+//! attribute names are arbitrary identifiers, and the **global attribute
+//! order is the order of first appearance** (so write the query in the
+//! GAO you want, or let the planner re-index):
+//!
+//! ```text
+//! R(x, y), S(y, z), T(z)
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use minesweeper_core::Query;
+use minesweeper_storage::{Database, RelationBuilder, StorageError, TrieRelation, Val};
+
+/// Errors from parsing relation files or query strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextError {
+    /// A tuple line failed to parse.
+    BadTuple {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Tuple lines had inconsistent arity.
+    InconsistentArity {
+        /// 1-based line number.
+        line: usize,
+        /// Arity of the first tuple.
+        expected: usize,
+        /// Arity found on this line.
+        got: usize,
+    },
+    /// The relation file had no tuples (arity cannot be inferred).
+    EmptyRelation,
+    /// The query string failed to parse.
+    BadQuery(String),
+    /// An atom referenced a relation not loaded into the database.
+    UnknownRelation(String),
+    /// An atom's attribute count does not match its relation's arity.
+    AtomArity {
+        /// Relation name.
+        relation: String,
+        /// Attribute count in the atom.
+        atom: usize,
+        /// Column count of the relation.
+        relation_arity: usize,
+    },
+    /// Storage-level failure while building the relation.
+    Storage(String),
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::BadTuple { line, token } => {
+                write!(f, "line {line}: cannot parse value {token:?}")
+            }
+            TextError::InconsistentArity { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} columns, found {got}")
+            }
+            TextError::EmptyRelation => write!(f, "relation file contains no tuples"),
+            TextError::BadQuery(msg) => write!(f, "query syntax error: {msg}"),
+            TextError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
+            TextError::AtomArity { relation, atom, relation_arity } => write!(
+                f,
+                "atom over {relation} has {atom} attributes but the relation has arity {relation_arity}"
+            ),
+            TextError::Storage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<StorageError> for TextError {
+    fn from(e: StorageError) -> Self {
+        TextError::Storage(e.to_string())
+    }
+}
+
+/// Parses a whitespace-separated tuple file into a relation. Arity is
+/// inferred from the first tuple line.
+pub fn parse_relation(name: &str, text: &str) -> Result<TrieRelation, TextError> {
+    let mut builder: Option<RelationBuilder> = None;
+    let mut arity = 0usize;
+    let mut row: Vec<Val> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        row.clear();
+        for token in line.split_whitespace() {
+            let v: Val = token
+                .parse()
+                .map_err(|_| TextError::BadTuple { line: i + 1, token: token.to_string() })?;
+            row.push(v);
+        }
+        match &mut builder {
+            None => {
+                arity = row.len();
+                let mut b = RelationBuilder::new(name, arity);
+                b.push(&row);
+                builder = Some(b);
+            }
+            Some(b) => {
+                if row.len() != arity {
+                    return Err(TextError::InconsistentArity {
+                        line: i + 1,
+                        expected: arity,
+                        got: row.len(),
+                    });
+                }
+                b.push(&row);
+            }
+        }
+    }
+    let builder = builder.ok_or(TextError::EmptyRelation)?;
+    Ok(builder.build()?)
+}
+
+/// A parsed query: the attribute names in GAO (first-appearance) order and
+/// the query over a database.
+#[derive(Debug, Clone)]
+pub struct ParsedQuery {
+    /// Attribute names; index = GAO position.
+    pub attr_names: Vec<String>,
+    /// The query, with atoms bound to `db`'s relations.
+    pub query: Query,
+}
+
+/// Parses `R(x, y), S(y, z)`-style query text against a database. The GAO
+/// is the order of first appearance of each attribute name.
+pub fn parse_query(text: &str, db: &Database) -> Result<ParsedQuery, TextError> {
+    let mut attr_ids: BTreeMap<String, usize> = BTreeMap::new();
+    let mut attr_names: Vec<String> = Vec::new();
+    let mut atoms: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let open = rest
+            .find('(')
+            .ok_or_else(|| TextError::BadQuery(format!("expected '(' in {rest:?}")))?;
+        let name = rest[..open].trim().trim_start_matches([',', '⋈']).trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(TextError::BadQuery(format!("bad relation name {name:?}")));
+        }
+        let close = rest[open..]
+            .find(')')
+            .map(|p| open + p)
+            .ok_or_else(|| TextError::BadQuery("unbalanced parentheses".to_string()))?;
+        let args = &rest[open + 1..close];
+        let mut positions = Vec::new();
+        for raw in args.split(',') {
+            let attr = raw.trim();
+            if attr.is_empty() || !attr.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(TextError::BadQuery(format!("bad attribute {attr:?}")));
+            }
+            let id = *attr_ids.entry(attr.to_string()).or_insert_with(|| {
+                attr_names.push(attr.to_string());
+                attr_names.len() - 1
+            });
+            positions.push(id);
+        }
+        atoms.push((name.to_string(), positions));
+        rest = rest[close + 1..].trim().trim_start_matches([',', '⋈']).trim();
+    }
+    if atoms.is_empty() {
+        return Err(TextError::BadQuery("no atoms".to_string()));
+    }
+    let mut query = Query::new(attr_names.len());
+    for (name, positions) in atoms {
+        let rel = db
+            .id_of(&name)
+            .map_err(|_| TextError::UnknownRelation(name.clone()))?;
+        let arity = db.relation(rel).arity();
+        if arity != positions.len() {
+            return Err(TextError::AtomArity {
+                relation: name,
+                atom: positions.len(),
+                relation_arity: arity,
+            });
+        }
+        // Atom attribute lists must be strictly increasing in the GAO; the
+        // planner (execute) re-indexes, so here we only need the atom's
+        // positions sorted with the relation columns permuted accordingly —
+        // delegate that to reindexing by sorting positions and permuting at
+        // load time is NOT possible (columns are fixed). Instead, require
+        // the query to be written consistently and report otherwise.
+        if !positions.windows(2).all(|w| w[0] < w[1]) {
+            return Err(TextError::BadQuery(format!(
+                "atom over {} lists attributes out of GAO order; write attributes in \
+                 first-appearance order or reorder the query",
+                db.relation(rel).name()
+            )));
+        }
+        query.atoms.push(minesweeper_core::Atom { rel, attrs: positions });
+    }
+    Ok(ParsedQuery { attr_names, query })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_core::execute;
+
+    #[test]
+    fn parse_relation_basic() {
+        let r = parse_relation("R", "1 2\n2 3 # comment\n\n# full comment\n2 3\n").unwrap();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[2, 3]));
+    }
+
+    #[test]
+    fn parse_relation_errors() {
+        assert!(matches!(
+            parse_relation("R", "1 x\n"),
+            Err(TextError::BadTuple { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_relation("R", "1 2\n3\n"),
+            Err(TextError::InconsistentArity { line: 2, expected: 2, got: 1 })
+        ));
+        assert!(matches!(parse_relation("R", "# none\n"), Err(TextError::EmptyRelation)));
+    }
+
+    #[test]
+    fn parse_query_end_to_end() {
+        let mut db = Database::new();
+        db.add(parse_relation("R", "1 10\n2 20\n").unwrap()).unwrap();
+        db.add(parse_relation("S", "10 5\n20 9\n").unwrap()).unwrap();
+        let pq = parse_query("R(x, y), S(y, z)", &db).unwrap();
+        assert_eq!(pq.attr_names, vec!["x", "y", "z"]);
+        let exec = execute(&db, &pq.query).unwrap();
+        assert_eq!(exec.result.tuples, vec![vec![1, 10, 5], vec![2, 20, 9]]);
+    }
+
+    #[test]
+    fn parse_query_with_join_symbol_and_unaries() {
+        let mut db = Database::new();
+        db.add(parse_relation("R", "1\n2\n").unwrap()).unwrap();
+        db.add(parse_relation("S", "1 5\n3 6\n").unwrap()).unwrap();
+        db.add(parse_relation("T", "5\n6\n").unwrap()).unwrap();
+        let pq = parse_query("R(x) ⋈ S(x, y) ⋈ T(y)", &db).unwrap();
+        let exec = execute(&db, &pq.query).unwrap();
+        assert_eq!(exec.result.tuples, vec![vec![1, 5]]);
+    }
+
+    #[test]
+    fn parse_query_errors() {
+        let mut db = Database::new();
+        db.add(parse_relation("R", "1 2\n").unwrap()).unwrap();
+        assert!(matches!(
+            parse_query("Q(x, y)", &db),
+            Err(TextError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            parse_query("R(x)", &db),
+            Err(TextError::AtomArity { .. })
+        ));
+        assert!(matches!(parse_query("", &db), Err(TextError::BadQuery(_))));
+        assert!(matches!(parse_query("R(x y)", &db), Err(TextError::BadQuery(_))));
+        // Out-of-GAO attribute order in a later atom is reported.
+        db.add(parse_relation("S", "1 2\n").unwrap()).unwrap();
+        assert!(matches!(
+            parse_query("R(x, y), S(y, x)", &db),
+            Err(TextError::BadQuery(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TextError::BadTuple { line: 3, token: "q".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(TextError::EmptyRelation.to_string().contains("no tuples"));
+    }
+}

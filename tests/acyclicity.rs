@@ -1,0 +1,143 @@
+//! Classification of the paper's example queries in the acyclicity
+//! hierarchy (Appendix A) and GAO selection behavior.
+
+use minesweeper_join::cds::ProbeMode;
+use minesweeper_join::core::{choose_gao, Query};
+use minesweeper_join::hypergraph::{
+    elimination_width, find_beta_cycle, is_alpha_acyclic, is_beta_acyclic,
+    is_nested_elimination_order, nested_elimination_order, treewidth_exact,
+};
+use minesweeper_join::storage::{builder, Database, RelationBuilder, RelId};
+
+fn dummy_db() -> (Database, RelId, RelId, RelId) {
+    let mut db = Database::new();
+    let u1 = db.add(builder::unary("U1", [1])).unwrap();
+    let b1 = db.add(builder::binary("B1", [(1, 1)])).unwrap();
+    let t1 = db
+        .add(RelationBuilder::new("T1", 3).tuple(&[1, 1, 1]).build().unwrap())
+        .unwrap();
+    (db, u1, b1, t1)
+}
+
+#[test]
+fn triangle_is_doubly_cyclic() {
+    let (_, _, b1, _) = dummy_db();
+    let q = Query::new(3).atom(b1, &[0, 1]).atom(b1, &[1, 2]).atom(b1, &[0, 2]);
+    let h = q.hypergraph();
+    assert!(!is_alpha_acyclic(&h));
+    assert!(!is_beta_acyclic(&h));
+    assert!(find_beta_cycle(&h).is_some());
+    assert_eq!(treewidth_exact(&h, 8), 2);
+    let choice = choose_gao(&q, 8);
+    assert_eq!(choice.mode, ProbeMode::General);
+    assert_eq!(choice.width, 2);
+}
+
+#[test]
+fn triangle_plus_u_separates_alpha_from_beta() {
+    // Example A.1: adding U(A,B,C) gives α-acyclicity but not
+    // β-acyclicity.
+    let (_, _, b1, t1) = dummy_db();
+    let q = Query::new(3)
+        .atom(b1, &[0, 1])
+        .atom(b1, &[1, 2])
+        .atom(b1, &[0, 2])
+        .atom(t1, &[0, 1, 2]);
+    let h = q.hypergraph();
+    assert!(is_alpha_acyclic(&h));
+    assert!(!is_beta_acyclic(&h));
+}
+
+#[test]
+fn paper_evaluation_queries_are_beta_acyclic() {
+    let (_, u1, b1, _) = dummy_db();
+    // Star.
+    let star = Query::new(4)
+        .atom(u1, &[0])
+        .atom(b1, &[0, 1])
+        .atom(b1, &[0, 2])
+        .atom(b1, &[0, 3])
+        .atom(u1, &[1])
+        .atom(u1, &[2])
+        .atom(u1, &[3]);
+    // 3-path.
+    let path = Query::new(4)
+        .atom(b1, &[0, 1])
+        .atom(b1, &[1, 2])
+        .atom(b1, &[2, 3])
+        .atom(u1, &[0])
+        .atom(u1, &[1])
+        .atom(u1, &[2])
+        .atom(u1, &[3]);
+    // Tree.
+    let tree = Query::new(5)
+        .atom(b1, &[0, 1])
+        .atom(b1, &[1, 2])
+        .atom(b1, &[1, 3])
+        .atom(b1, &[3, 4])
+        .atom(u1, &[0])
+        .atom(u1, &[2])
+        .atom(u1, &[3])
+        .atom(u1, &[4]);
+    for (name, q) in [("star", &star), ("path", &path), ("tree", &tree)] {
+        let h = q.hypergraph();
+        assert!(is_beta_acyclic(&h), "{name}");
+        let neo = nested_elimination_order(&h).unwrap();
+        assert!(is_nested_elimination_order(&h, &neo), "{name}");
+        // The identity GAO used by the harness is itself a NEO.
+        let n = q.n_attrs;
+        let identity: Vec<usize> = (0..n).collect();
+        assert!(is_nested_elimination_order(&h, &identity), "{name}");
+        assert_eq!(elimination_width(&h, &identity), 1, "{name}");
+    }
+}
+
+#[test]
+fn example_b7_neo_is_found_even_though_identity_fails() {
+    let (_, _, b1, t1) = dummy_db();
+    let q = Query::new(3)
+        .atom(t1, &[0, 1, 2])
+        .atom(b1, &[0, 2])
+        .atom(b1, &[1, 2]);
+    let h = q.hypergraph();
+    assert!(!is_nested_elimination_order(&h, &[0, 1, 2]));
+    assert!(is_nested_elimination_order(&h, &[2, 0, 1]));
+    let choice = choose_gao(&q, 8);
+    assert_eq!(choice.mode, ProbeMode::Chain);
+    assert!(is_nested_elimination_order(&h, &choice.order));
+}
+
+#[test]
+fn bounded_treewidth_path_vs_clique() {
+    let (_, _, b1, _) = dummy_db();
+    // Path of length 5: treewidth 1.
+    let mut q = Query::new(6);
+    for i in 0..5 {
+        q = q.atom(b1, &[i, i + 1]);
+    }
+    assert_eq!(treewidth_exact(&q.hypergraph(), 8), 1);
+    // 4-clique of binary atoms: treewidth 3.
+    let mut q = Query::new(4);
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            q = q.atom(b1, &[i, j]);
+        }
+    }
+    assert_eq!(treewidth_exact(&q.hypergraph(), 8), 3);
+    let choice = choose_gao(&q, 8);
+    assert_eq!(choice.width, 3);
+}
+
+#[test]
+fn four_cycle_widths() {
+    let (_, _, b1, _) = dummy_db();
+    let q = Query::new(4)
+        .atom(b1, &[0, 1])
+        .atom(b1, &[1, 2])
+        .atom(b1, &[2, 3])
+        .atom(b1, &[0, 3]);
+    let h = q.hypergraph();
+    assert!(!is_alpha_acyclic(&h));
+    assert!(!is_beta_acyclic(&h));
+    assert_eq!(treewidth_exact(&h, 8), 2);
+}

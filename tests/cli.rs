@@ -1,0 +1,88 @@
+//! End-to-end tests of the `msj` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("msj-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn msj() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_msj"))
+}
+
+#[test]
+fn triangle_listing_via_cli() {
+    let edges = write_temp("edges.tsv", "1 2\n2 3\n1 3\n3 4\n2 4\n");
+    let out = msj()
+        .args([
+            "--rel",
+            &format!("R={}", edges.display()),
+            "--rel",
+            &format!("S={}", edges.display()),
+            "--rel",
+            &format!("T={}", edges.display()),
+            "R(a,b), S(b,c), T(a,c)",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# a\tb\tc"));
+    assert!(stdout.contains("1\t2\t3"));
+    assert!(stdout.contains("2\t3\t4"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("findgap calls"));
+}
+
+#[test]
+fn limit_truncates_output() {
+    let r = write_temp("r.tsv", "1\n2\n3\n4\n");
+    let out = msj()
+        .args([
+            "--rel",
+            &format!("R={}", r.display()),
+            "R(x)",
+            "--limit",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("… 2 more"), "{stdout}");
+}
+
+#[test]
+fn bad_query_is_reported() {
+    let r = write_temp("r2.tsv", "1\n");
+    let out = msj()
+        .args(["--rel", &format!("R={}", r.display()), "Q(x)"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown relation"));
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let out = msj()
+        .args(["--rel", "R=/definitely/not/here.tsv", "R(x)"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = msj().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -1,0 +1,193 @@
+//! Cross-algorithm output equivalence: every join algorithm in the
+//! workspace must compute the same natural join, across query shapes and
+//! randomized databases.
+
+use minesweeper_join::baselines::{
+    generic_join, hash_join_plan, leapfrog_triejoin, sort_merge_plan, yannakakis,
+};
+use minesweeper_join::cds::ProbeMode;
+use minesweeper_join::core::{minesweeper_join, naive_join, Query};
+use minesweeper_join::hypergraph::is_alpha_acyclic;
+use minesweeper_join::storage::{builder, Database, Tuple, Val};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self, m: u64) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0 % m
+    }
+    fn pairs(&mut self, count: u64, dom: u64) -> Vec<(Val, Val)> {
+        (0..count)
+            .map(|_| (self.next(dom) as Val, self.next(dom) as Val))
+            .collect()
+    }
+    fn vals(&mut self, count: u64, dom: u64) -> Vec<Val> {
+        (0..count).map(|_| self.next(dom) as Val).collect()
+    }
+}
+
+fn check_all(db: &Database, q: &Query, mode: ProbeMode, label: &str) {
+    let expect = naive_join(db, q).unwrap();
+    let sorted = |mut v: Vec<Tuple>| {
+        v.sort();
+        v
+    };
+    assert_eq!(
+        sorted(minesweeper_join(db, q, mode).unwrap().tuples),
+        expect,
+        "minesweeper {label}"
+    );
+    assert_eq!(
+        sorted(leapfrog_triejoin(db, q).unwrap().tuples),
+        expect,
+        "lftj {label}"
+    );
+    assert_eq!(
+        sorted(generic_join(db, q).unwrap().tuples),
+        expect,
+        "nprr {label}"
+    );
+    assert_eq!(
+        sorted(hash_join_plan(db, q).unwrap().tuples),
+        expect,
+        "hash {label}"
+    );
+    assert_eq!(
+        sorted(sort_merge_plan(db, q).unwrap().tuples),
+        expect,
+        "sort-merge {label}"
+    );
+    if is_alpha_acyclic(&q.hypergraph()) {
+        assert_eq!(
+            sorted(yannakakis(db, q).unwrap().tuples),
+            expect,
+            "yannakakis {label}"
+        );
+    }
+}
+
+#[test]
+fn bowtie_shape() {
+    let mut rng = Rng(0xb0a71e);
+    for trial in 0..15 {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", rng.vals(8, 12))).unwrap();
+        let s = db.add(builder::binary("S", rng.pairs(30, 12))).unwrap();
+        let t = db.add(builder::unary("T", rng.vals(8, 12))).unwrap();
+        let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
+        check_all(&db, &q, ProbeMode::Chain, &format!("bowtie {trial}"));
+    }
+}
+
+#[test]
+fn two_hop_path_shape() {
+    let mut rng = Rng(0x9a7b);
+    for trial in 0..15 {
+        let mut db = Database::new();
+        let e1 = db.add(builder::binary("E1", rng.pairs(25, 9))).unwrap();
+        let e2 = db.add(builder::binary("E2", rng.pairs(25, 9))).unwrap();
+        let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
+        check_all(&db, &q, ProbeMode::Chain, &format!("path2 {trial}"));
+    }
+}
+
+#[test]
+fn triangle_shape() {
+    let mut rng = Rng(0x7419);
+    for trial in 0..15 {
+        let mut db = Database::new();
+        let e = db.add(builder::binary("E", rng.pairs(35, 10))).unwrap();
+        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        check_all(&db, &q, ProbeMode::General, &format!("triangle {trial}"));
+    }
+}
+
+#[test]
+fn star_shape_with_shared_index() {
+    let mut rng = Rng(0x57a7);
+    for trial in 0..10 {
+        let mut db = Database::new();
+        let s = db.add(builder::binary("S", rng.pairs(30, 8))).unwrap();
+        let r1 = db.add(builder::unary("R1", rng.vals(5, 8))).unwrap();
+        let r2 = db.add(builder::unary("R2", rng.vals(5, 8))).unwrap();
+        let r3 = db.add(builder::unary("R3", rng.vals(5, 8))).unwrap();
+        let q = Query::new(3)
+            .atom(r1, &[0])
+            .atom(s, &[0, 1])
+            .atom(s, &[0, 2])
+            .atom(r2, &[1])
+            .atom(r3, &[2]);
+        check_all(&db, &q, ProbeMode::Chain, &format!("star {trial}"));
+    }
+}
+
+#[test]
+fn four_cycle_shape() {
+    // β-cyclic AND α-cyclic: exercises general mode + treewidth path.
+    let mut rng = Rng(0x4c1c1e);
+    for trial in 0..10 {
+        let mut db = Database::new();
+        let e1 = db.add(builder::binary("E1", rng.pairs(20, 7))).unwrap();
+        let e2 = db.add(builder::binary("E2", rng.pairs(20, 7))).unwrap();
+        let e3 = db.add(builder::binary("E3", rng.pairs(20, 7))).unwrap();
+        let e4 = db.add(builder::binary("E4", rng.pairs(20, 7))).unwrap();
+        let q = Query::new(4)
+            .atom(e1, &[0, 1])
+            .atom(e2, &[1, 2])
+            .atom(e3, &[2, 3])
+            .atom(e4, &[0, 3]);
+        check_all(&db, &q, ProbeMode::General, &format!("4cycle {trial}"));
+    }
+}
+
+#[test]
+fn ternary_atom_shape() {
+    // Example B.7's query: R(A,B,C) ⋈ S(A,C) ⋈ T(B,C).
+    let mut rng = Rng(0xb7);
+    for trial in 0..10 {
+        let mut db = Database::new();
+        let mut rb = minesweeper_join::storage::RelationBuilder::new("R", 3);
+        for _ in 0..30 {
+            rb.push(&[
+                rng.next(6) as Val,
+                rng.next(6) as Val,
+                rng.next(6) as Val,
+            ]);
+        }
+        let r = db.add(rb.build().unwrap()).unwrap();
+        let s = db.add(builder::binary("S", rng.pairs(15, 6))).unwrap();
+        let t = db.add(builder::binary("T", rng.pairs(15, 6))).unwrap();
+        let q = Query::new(3)
+            .atom(r, &[0, 1, 2])
+            .atom(s, &[0, 2])
+            .atom(t, &[1, 2]);
+        // (A,B,C) is not a NEO for this query: use general mode.
+        check_all(&db, &q, ProbeMode::General, &format!("b7 {trial}"));
+    }
+}
+
+#[test]
+fn empty_relations_everywhere() {
+    let mut db = Database::new();
+    let r = db.add(builder::unary("R", [])).unwrap();
+    let s = db.add(builder::binary("S", [(1, 2)])).unwrap();
+    let t = db.add(builder::unary("T", [2])).unwrap();
+    let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
+    check_all(&db, &q, ProbeMode::Chain, "empty");
+}
+
+#[test]
+fn dense_overlap_large_output() {
+    // Small domain, dense relations ⇒ large output relative to input.
+    let mut rng = Rng(0xd05e);
+    let mut db = Database::new();
+    let e1 = db.add(builder::binary("E1", rng.pairs(40, 5))).unwrap();
+    let e2 = db.add(builder::binary("E2", rng.pairs(40, 5))).unwrap();
+    let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
+    let expect = naive_join(&db, &q).unwrap();
+    assert!(expect.len() > 40, "want a dense output, got {}", expect.len());
+    check_all(&db, &q, ProbeMode::Chain, "dense");
+}
