@@ -97,12 +97,7 @@ mod tests {
         for _ in 0..25 {
             let k = 2 + rng(3) as usize;
             let sets: Vec<_> = (0..k)
-                .map(|i| {
-                    unary(
-                        format!("S{i}"),
-                        (0..rng(30)).map(|_| rng(40) as Val),
-                    )
-                })
+                .map(|i| unary(format!("S{i}"), (0..rng(30)).map(|_| rng(40) as Val)))
                 .collect();
             let refs: Vec<&TrieRelation> = sets.iter().collect();
             let fast = adaptive_intersection(&refs);

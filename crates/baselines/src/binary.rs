@@ -31,7 +31,9 @@ fn run_plan(db: &Database, query: &Query, op: PairwiseOp) -> Result<JoinResult, 
             },
         });
     }
-    let tuples = acc.expect("validated query has atoms").into_gao_tuples(query.n_attrs);
+    let tuples = acc
+        .expect("validated query has atoms")
+        .into_gao_tuples(query.n_attrs);
     stats.outputs = tuples.len() as u64;
     Ok(JoinResult { tuples, stats })
 }
@@ -55,7 +57,9 @@ mod tests {
     #[test]
     fn both_plans_match_naive_on_path() {
         let mut db = Database::new();
-        let e1 = db.add(builder::binary("E1", [(1, 2), (2, 3), (9, 9)])).unwrap();
+        let e1 = db
+            .add(builder::binary("E1", [(1, 2), (2, 3), (9, 9)]))
+            .unwrap();
         let e2 = db.add(builder::binary("E2", [(2, 5), (3, 6)])).unwrap();
         let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
         let expect = naive_join(&db, &q).unwrap();
@@ -69,7 +73,10 @@ mod tests {
         let e = db
             .add(builder::binary("E", [(1, 2), (2, 3), (1, 3), (2, 4)]))
             .unwrap();
-        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
         let expect = naive_join(&db, &q).unwrap();
         assert_eq!(hash_join_plan(&db, &q).unwrap().tuples, expect);
         assert_eq!(sort_merge_plan(&db, &q).unwrap().tuples, expect);
@@ -99,7 +106,9 @@ mod tests {
     fn bowtie_plans() {
         let mut db = Database::new();
         let r = db.add(builder::unary("R", [1, 2])).unwrap();
-        let s = db.add(builder::binary("S", [(1, 5), (2, 6), (3, 5)])).unwrap();
+        let s = db
+            .add(builder::binary("S", [(1, 5), (2, 6), (3, 5)]))
+            .unwrap();
         let t = db.add(builder::unary("T", [5])).unwrap();
         let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
         let expect = naive_join(&db, &q).unwrap();

@@ -24,7 +24,14 @@ pub fn generic_join(db: &Database, query: &Query) -> Result<JoinResult, QueryErr
         .collect();
     let mut tuples = Vec::new();
     let mut binding: Tuple = Vec::with_capacity(query.n_attrs);
-    rec(db, query, &mut positions, &mut binding, &mut tuples, &mut stats);
+    rec(
+        db,
+        query,
+        &mut positions,
+        &mut binding,
+        &mut tuples,
+        &mut stats,
+    );
     stats.outputs = tuples.len() as u64;
     Ok(JoinResult { tuples, stats })
 }
@@ -110,7 +117,10 @@ mod tests {
         let mut db = Database::new();
         let edges = [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4)];
         let e = db.add(builder::binary("E", edges)).unwrap();
-        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
         let res = generic_join(&db, &q).unwrap();
         assert_eq!(sorted_t(res.tuples), naive_join(&db, &q).unwrap());
     }
@@ -123,7 +133,10 @@ mod tests {
             .unwrap();
         let r = db.add(builder::unary("R", [1])).unwrap();
         // R(A) ⋈ S(A,B) ⋈ S(A,C).
-        let q = Query::new(3).atom(r, &[0]).atom(s, &[0, 1]).atom(s, &[0, 2]);
+        let q = Query::new(3)
+            .atom(r, &[0])
+            .atom(s, &[0, 1])
+            .atom(s, &[0, 2]);
         let res = generic_join(&db, &q).unwrap();
         let got = sorted_t(res.tuples);
         assert_eq!(got, naive_join(&db, &q).unwrap());

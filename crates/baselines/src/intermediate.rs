@@ -55,7 +55,8 @@ impl Intermediate {
             keys.insert(Self::key(t, &theirs), ());
         }
         stats.comparisons += self.tuples.len() as u64 + other.tuples.len() as u64;
-        self.tuples.retain(|t| keys.contains_key(&Self::key(t, &mine)));
+        self.tuples
+            .retain(|t| keys.contains_key(&Self::key(t, &mine)));
     }
 
     /// Hash join on the shared attributes; output columns are `self`'s
@@ -67,8 +68,7 @@ impl Intermediate {
         let other_extra: Vec<usize> = (0..other.attrs.len())
             .filter(|j| !theirs.contains(j))
             .collect();
-        let mut table: HashMap<Vec<Val>, Vec<&Tuple>> =
-            HashMap::with_capacity(other.tuples.len());
+        let mut table: HashMap<Vec<Val>, Vec<&Tuple>> = HashMap::with_capacity(other.tuples.len());
         for t in &other.tuples {
             table.entry(Self::key(t, &theirs)).or_default().push(t);
         }
@@ -99,10 +99,16 @@ impl Intermediate {
         let other_extra: Vec<usize> = (0..other.attrs.len())
             .filter(|j| !theirs.contains(j))
             .collect();
-        let mut left: Vec<(Vec<Val>, &Tuple)> =
-            self.tuples.iter().map(|t| (Self::key(t, &mine), t)).collect();
-        let mut right: Vec<(Vec<Val>, &Tuple)> =
-            other.tuples.iter().map(|t| (Self::key(t, &theirs), t)).collect();
+        let mut left: Vec<(Vec<Val>, &Tuple)> = self
+            .tuples
+            .iter()
+            .map(|t| (Self::key(t, &mine), t))
+            .collect();
+        let mut right: Vec<(Vec<Val>, &Tuple)> = other
+            .tuples
+            .iter()
+            .map(|t| (Self::key(t, &theirs), t))
+            .collect();
         left.sort();
         right.sort();
         stats.comparisons += (left.len() as u64).saturating_add(right.len() as u64);

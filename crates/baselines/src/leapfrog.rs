@@ -142,7 +142,10 @@ mod tests {
         let mut db = Database::new();
         let edges = [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4), (1, 4)];
         let e = db.add(builder::binary("E", edges)).unwrap();
-        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
         let res = leapfrog_triejoin(&db, &q).unwrap();
         let got = sorted(res.tuples);
         assert_eq!(got, naive_join(&db, &q).unwrap());

@@ -19,6 +19,10 @@
 //! All algorithms produce tuples over the full GAO attribute space and are
 //! cross-checked against `minesweeper_core::naive_join` in tests.
 
+//! All baselines are also exposed through the unified
+//! [`minesweeper_core::Algorithm`] trait via the name-based [`registry`],
+//! which is how the CLI, tests, and benches dispatch to them.
+
 pub mod adaptive;
 pub mod binary;
 pub mod generic_join;
@@ -26,6 +30,7 @@ pub mod intermediate;
 pub mod leapfrog;
 pub mod merge;
 pub mod nested_loop;
+pub mod registry;
 pub mod yannakakis;
 
 pub use adaptive::adaptive_intersection;
@@ -34,4 +39,5 @@ pub use generic_join::generic_join;
 pub use leapfrog::leapfrog_triejoin;
 pub use merge::merge_intersection;
 pub use nested_loop::index_nested_loop;
+pub use registry::{algorithm_names, algorithms, lookup};
 pub use yannakakis::yannakakis;

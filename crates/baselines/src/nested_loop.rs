@@ -40,7 +40,11 @@ pub fn index_nested_loop(db: &Database, query: &Query) -> Result<JoinResult, Que
     }
     let mut tuples: Vec<Tuple> = bindings
         .into_iter()
-        .map(|b| b.into_iter().map(|v| v.expect("covered attribute")).collect())
+        .map(|b| {
+            b.into_iter()
+                .map(|v| v.expect("covered attribute"))
+                .collect()
+        })
         .collect();
     tuples.sort();
     tuples.dedup();
@@ -109,8 +113,12 @@ mod tests {
     #[test]
     fn matches_naive_on_path() {
         let mut db = Database::new();
-        let e1 = db.add(builder::binary("E1", [(1, 2), (2, 3), (9, 9)])).unwrap();
-        let e2 = db.add(builder::binary("E2", [(2, 5), (3, 6), (9, 1)])).unwrap();
+        let e1 = db
+            .add(builder::binary("E1", [(1, 2), (2, 3), (9, 9)]))
+            .unwrap();
+        let e2 = db
+            .add(builder::binary("E2", [(2, 5), (3, 6), (9, 1)]))
+            .unwrap();
         let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
         let res = index_nested_loop(&db, &q).unwrap();
         assert_eq!(res.tuples, naive_join(&db, &q).unwrap());
@@ -120,9 +128,15 @@ mod tests {
     fn matches_naive_on_triangle() {
         let mut db = Database::new();
         let e = db
-            .add(builder::binary("E", [(1, 2), (2, 3), (1, 3), (2, 4), (3, 4)]))
+            .add(builder::binary(
+                "E",
+                [(1, 2), (2, 3), (1, 3), (2, 4), (3, 4)],
+            ))
             .unwrap();
-        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
         let res = index_nested_loop(&db, &q).unwrap();
         assert_eq!(res.tuples, naive_join(&db, &q).unwrap());
     }
@@ -134,7 +148,9 @@ mod tests {
         // has a leading unbound column): R(B), S(A, B).
         let mut db = Database::new();
         let r = db.add(builder::unary("R", [5, 7])).unwrap();
-        let s = db.add(builder::binary("S", [(1, 5), (2, 6), (3, 7)])).unwrap();
+        let s = db
+            .add(builder::binary("S", [(1, 5), (2, 6), (3, 7)]))
+            .unwrap();
         let q = Query::new(2).atom(r, &[1]).atom(s, &[0, 1]);
         let res = index_nested_loop(&db, &q).unwrap();
         assert_eq!(res.tuples, vec![vec![1, 5], vec![3, 7]]);

@@ -1,0 +1,214 @@
+//! The name-based [`Algorithm`] registry.
+//!
+//! One place that knows every join evaluator in the workspace: Minesweeper
+//! (via `minesweeper-core`), each baseline in this crate, and the naive
+//! oracle. The CLI (`msj --algo NAME`), the cross-algorithm equivalence
+//! tests, and the bench binaries all dispatch through [`lookup`] /
+//! [`algorithms`] instead of hard-coding seven function signatures.
+//!
+//! All entries honour the [`Algorithm`] output contract: tuples over the
+//! full attribute space, sorted lexicographically in the original
+//! attribute numbering.
+
+use minesweeper_core::{Algorithm, JoinResult, Minesweeper, Naive, Query, QueryError};
+use minesweeper_hypergraph::is_alpha_acyclic;
+use minesweeper_storage::Database;
+
+use crate::binary::{hash_join_plan, sort_merge_plan};
+use crate::generic_join::generic_join;
+use crate::leapfrog::leapfrog_triejoin;
+use crate::nested_loop::index_nested_loop;
+use crate::yannakakis::{yannakakis, YannakakisError};
+
+/// Wraps a plain `fn(&Database, &Query) -> Result<JoinResult, QueryError>`
+/// baseline as an [`Algorithm`], sorting its output into the contract
+/// order.
+macro_rules! fn_algorithm {
+    ($(#[$meta:meta])* $ty:ident, $name:literal, $desc:literal, $f:path) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $ty;
+
+        impl Algorithm for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn description(&self) -> &'static str {
+                $desc
+            }
+
+            fn run(&self, db: &Database, query: &Query) -> Result<JoinResult, QueryError> {
+                let mut res = $f(db, query)?;
+                res.tuples.sort_unstable();
+                Ok(res)
+            }
+        }
+    };
+}
+
+fn_algorithm!(
+    /// Leapfrog Triejoin \[53\]: worst-case optimal, attribute-at-a-time.
+    LeapfrogTriejoin,
+    "leapfrog",
+    "Leapfrog Triejoin: worst-case optimal attribute-at-a-time join with galloping seeks",
+    leapfrog_triejoin
+);
+
+fn_algorithm!(
+    /// The NPRR-style generic worst-case optimal join \[40\].
+    GenericJoin,
+    "generic",
+    "NPRR generic join: smallest-candidate-set expansion with sorted intersection",
+    generic_join
+);
+
+fn_algorithm!(
+    /// Classical left-deep binary hash-join plan.
+    HashJoinPlan,
+    "hash",
+    "left-deep binary hash-join plan (the traditional comparison point)",
+    hash_join_plan
+);
+
+fn_algorithm!(
+    /// Classical left-deep binary sort-merge plan.
+    SortMergePlan,
+    "sort-merge",
+    "left-deep binary sort-merge-join plan",
+    sort_merge_plan
+);
+
+fn_algorithm!(
+    /// Index nested-loop join over the trie indexes.
+    IndexNestedLoop,
+    "nested-loop",
+    "index nested-loop join probing the trie indexes atom by atom",
+    index_nested_loop
+);
+
+/// Yannakakis' algorithm \[55\]; α-acyclic queries only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Yannakakis;
+
+impl Algorithm for Yannakakis {
+    fn name(&self) -> &'static str {
+        "yannakakis"
+    }
+
+    fn description(&self) -> &'static str {
+        "semijoin reduction over a GYO join tree, then bottom-up joins (α-acyclic only)"
+    }
+
+    fn supports(&self, query: &Query) -> bool {
+        is_alpha_acyclic(&query.hypergraph())
+    }
+
+    fn run(&self, db: &Database, query: &Query) -> Result<JoinResult, QueryError> {
+        let mut res = yannakakis(db, query).map_err(|e| match e {
+            YannakakisError::Query(q) => q,
+            YannakakisError::NotAlphaAcyclic => QueryError::Unsupported {
+                algorithm: "yannakakis",
+                reason: "query is not α-acyclic (no GYO join tree exists)".to_string(),
+            },
+        })?;
+        res.tuples.sort_unstable();
+        Ok(res)
+    }
+}
+
+/// Every registered algorithm, Minesweeper first.
+pub fn algorithms() -> Vec<Box<dyn Algorithm>> {
+    vec![
+        Box::new(Minesweeper),
+        Box::new(Yannakakis),
+        Box::new(LeapfrogTriejoin),
+        Box::new(GenericJoin),
+        Box::new(HashJoinPlan),
+        Box::new(SortMergePlan),
+        Box::new(IndexNestedLoop),
+        Box::new(Naive),
+    ]
+}
+
+/// The canonical registry names, in [`algorithms`] order.
+pub fn algorithm_names() -> Vec<&'static str> {
+    algorithms().iter().map(|a| a.name()).collect()
+}
+
+/// Finds an algorithm by canonical name or a common alias
+/// (case-insensitive): e.g. `lftj` → `leapfrog`, `nprr` → `generic`.
+pub fn lookup(name: &str) -> Option<Box<dyn Algorithm>> {
+    let canonical = match name.to_ascii_lowercase().as_str() {
+        "minesweeper" | "ms" | "msj" => "minesweeper",
+        "yannakakis" | "yk" => "yannakakis",
+        "leapfrog" | "lftj" | "leapfrog_triejoin" => "leapfrog",
+        "generic" | "nprr" | "generic_join" => "generic",
+        "hash" | "hash_join" | "hash-join" => "hash",
+        "sort-merge" | "sort_merge" | "merge" => "sort-merge",
+        "nested-loop" | "nested_loop" | "inl" | "index_nested_loop" => "nested-loop",
+        "naive" => "naive",
+        _ => return None,
+    };
+    algorithms().into_iter().find(|a| a.name() == canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_core::naive_join;
+    use minesweeper_storage::builder;
+
+    #[test]
+    fn every_entry_resolves_by_its_own_name() {
+        for algo in algorithms() {
+            let found = lookup(algo.name()).expect("name resolves");
+            assert_eq!(found.name(), algo.name());
+        }
+        assert!(lookup("LFTJ").is_some(), "aliases are case-insensitive");
+        assert!(lookup("no-such-algorithm").is_none());
+    }
+
+    #[test]
+    fn all_supported_entries_agree_on_a_bowtie() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [1, 2, 4, 7])).unwrap();
+        let s = db
+            .add(builder::binary("S", [(1, 5), (2, 7), (4, 9), (6, 1)]))
+            .unwrap();
+        let t = db.add(builder::unary("T", [5, 9])).unwrap();
+        let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
+        let expect = naive_join(&db, &q).unwrap();
+        for algo in algorithms() {
+            assert!(algo.supports(&q), "{} must support a bowtie", algo.name());
+            let got = algo.run(&db, &q).unwrap().tuples;
+            assert_eq!(got, expect, "{} output", algo.name());
+        }
+    }
+
+    #[test]
+    fn yannakakis_refuses_cyclic_queries() {
+        let mut db = Database::new();
+        let e = db
+            .add(builder::binary("E", [(1, 2), (2, 3), (1, 3)]))
+            .unwrap();
+        // 4-cycle hypergraph: α-cyclic.
+        let f = db.add(builder::binary("F", [(1, 2)])).unwrap();
+        let g = db.add(builder::binary("G", [(1, 2)])).unwrap();
+        let h = db.add(builder::binary("H", [(1, 2)])).unwrap();
+        let q = Query::new(4)
+            .atom(e, &[0, 1])
+            .atom(f, &[1, 2])
+            .atom(g, &[2, 3])
+            .atom(h, &[0, 3]);
+        let yk = Yannakakis;
+        assert!(!yk.supports(&q));
+        assert!(matches!(
+            yk.run(&db, &q),
+            Err(QueryError::Unsupported {
+                algorithm: "yannakakis",
+                ..
+            })
+        ));
+    }
+}

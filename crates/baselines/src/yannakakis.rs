@@ -114,9 +114,15 @@ mod tests {
     #[test]
     fn path_query_matches_naive() {
         let mut db = Database::new();
-        let e1 = db.add(builder::binary("E1", [(1, 2), (2, 3), (4, 5)])).unwrap();
-        let e2 = db.add(builder::binary("E2", [(2, 7), (3, 8), (5, 9)])).unwrap();
-        let e3 = db.add(builder::binary("E3", [(7, 1), (8, 1), (9, 2)])).unwrap();
+        let e1 = db
+            .add(builder::binary("E1", [(1, 2), (2, 3), (4, 5)]))
+            .unwrap();
+        let e2 = db
+            .add(builder::binary("E2", [(2, 7), (3, 8), (5, 9)]))
+            .unwrap();
+        let e3 = db
+            .add(builder::binary("E3", [(7, 1), (8, 1), (9, 2)]))
+            .unwrap();
         let q = Query::new(4)
             .atom(e1, &[0, 1])
             .atom(e2, &[1, 2])
@@ -130,7 +136,10 @@ mod tests {
     fn triangle_rejected() {
         let mut db = Database::new();
         let e = db.add(builder::binary("E", [(1, 2)])).unwrap();
-        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
         assert_eq!(
             yannakakis(&db, &q).unwrap_err(),
             YannakakisError::NotAlphaAcyclic

@@ -18,7 +18,10 @@ fn example_4_1(memoize: bool, n: i64) -> u64 {
     let mut st = ProbeStats::default();
     for d in 0..2usize {
         let p = Pattern::all_star(d);
-        cds.insert_constraint(&Constraint::new(p.clone(), minesweeper_cds::NEG_INF, 1), &mut st);
+        cds.insert_constraint(
+            &Constraint::new(p.clone(), minesweeper_cds::NEG_INF, 1),
+            &mut st,
+        );
         cds.insert_constraint(&Constraint::new(p, n, minesweeper_cds::POS_INF), &mut st);
     }
     for a in 1..=n {

@@ -82,10 +82,7 @@ fn constraint_tree_stream(c: &mut Criterion) {
             for _ in 0..500 {
                 let a = (xorshift(&mut seed) % 50) as i64;
                 let lo = (xorshift(&mut seed) % 100) as i64;
-                cds.insert_constraint(
-                    &Constraint::new(Pattern::all_eq(&[a]), lo, lo + 8),
-                    &mut st,
-                );
+                cds.insert_constraint(&Constraint::new(Pattern::all_eq(&[a]), lo, lo + 8), &mut st);
                 if let Some(t) = cds.get_probe_point(&mut st) {
                     cds.insert_constraint(&Constraint::point_exclusion(&t), &mut st);
                 }

@@ -18,8 +18,12 @@ fn hard_instance(m: Val) -> (Database, RelId, RelId, RelId) {
         }
     }
     let r = db.add(builder::binary("R", r_pairs)).unwrap();
-    let s = db.add(builder::binary("S", (1..=m).map(|b| (b, 1)))).unwrap();
-    let t = db.add(builder::binary("T", (1..=m).map(|a| (a, 2)))).unwrap();
+    let s = db
+        .add(builder::binary("S", (1..=m).map(|b| (b, 1))))
+        .unwrap();
+    let t = db
+        .add(builder::binary("T", (1..=m).map(|a| (a, 2))))
+        .unwrap();
     (db, r, s, t)
 }
 
@@ -34,7 +38,12 @@ fn hard_triangle(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("generic_cds", m), &m, |b, _| {
             b.iter(|| {
-                black_box(minesweeper_join(&db, &q, ProbeMode::General).unwrap().tuples.len())
+                black_box(
+                    minesweeper_join(&db, &q, ProbeMode::General)
+                        .unwrap()
+                        .tuples
+                        .len(),
+                )
             })
         });
     }
@@ -51,13 +60,21 @@ fn powerlaw_triangles(c: &mut Criterion) {
     });
     group.bench_function("generic_cds", |b| {
         b.iter(|| {
-            black_box(minesweeper_join(&db, &q, ProbeMode::General).unwrap().tuples.len())
+            black_box(
+                minesweeper_join(&db, &q, ProbeMode::General)
+                    .unwrap()
+                    .tuples
+                    .len(),
+            )
         })
     });
     group.bench_function("lftj", |b| {
         b.iter(|| {
             black_box(
-                minesweeper_baselines::leapfrog_triejoin(&db, &q).unwrap().tuples.len(),
+                minesweeper_baselines::leapfrog_triejoin(&db, &q)
+                    .unwrap()
+                    .tuples
+                    .len(),
             )
         })
     });

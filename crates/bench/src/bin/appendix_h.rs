@@ -11,7 +11,9 @@ use minesweeper_baselines::{adaptive_intersection, merge_intersection};
 use minesweeper_bench::{arg_or, human, human_time, timed, Table};
 use minesweeper_core::set_intersection;
 use minesweeper_storage::TrieRelation;
-use minesweeper_workloads::intersection::{blocks, disjoint_ranges, interleaved, needle, random_sets};
+use minesweeper_workloads::intersection::{
+    blocks, disjoint_ranges, interleaved, needle, random_sets,
+};
 
 fn main() {
     let n: i64 = arg_or("--n", 1 << 17);
@@ -20,8 +22,16 @@ fn main() {
         human(2 * n as u64)
     );
     let mut table = Table::new(&[
-        "family", "N", "Z", "MS probes", "MS findgaps", "MS time", "DLM seeks",
-        "DLM time", "merge cmps", "merge time",
+        "family",
+        "N",
+        "Z",
+        "MS probes",
+        "MS findgaps",
+        "MS time",
+        "DLM seeks",
+        "DLM time",
+        "merge cmps",
+        "merge time",
     ]);
     let families: Vec<(&str, Vec<TrieRelation>)> = vec![
         ("disjoint (|C|=O(m))", disjoint_ranges(2, n)),

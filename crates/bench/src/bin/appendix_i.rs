@@ -20,7 +20,11 @@ fn main() {
          (|C| = O(1), Z = 0, N sweeping):\n"
     );
     let mut table = Table::new(&[
-        "N", "bowtie probes", "bowtie time", "generic MS time", "Yannakakis time",
+        "N",
+        "bowtie probes",
+        "bowtie time",
+        "generic MS time",
+        "Yannakakis time",
     ]);
     let mut n = 1i64 << 12;
     while n <= nmax {

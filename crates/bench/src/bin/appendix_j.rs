@@ -6,7 +6,9 @@
 //! Usage: `cargo run --release -p minesweeper-bench --bin appendix_j
 //! [--m atoms] [--mmax chunk]`.
 
-use minesweeper_baselines::{generic_join, hash_join_plan, index_nested_loop, leapfrog_triejoin, yannakakis};
+use minesweeper_baselines::{
+    generic_join, hash_join_plan, index_nested_loop, leapfrog_triejoin, yannakakis,
+};
 use minesweeper_bench::{arg_or, human, human_time, timed, Table};
 use minesweeper_cds::ProbeMode;
 use minesweeper_core::minesweeper_join;
@@ -20,8 +22,16 @@ fn main() {
          sweeping M (input N = Θ(m·M²) per relation, |C| = Θ(m·M), Z = 0).\n"
     );
     let mut table = Table::new(&[
-        "M", "N", "MS probes", "MS time", "Yann time", "LFTJ time", "LFTJ seeks",
-        "NPRR time", "Hash time", "INLJ time",
+        "M",
+        "N",
+        "MS probes",
+        "MS time",
+        "Yann time",
+        "LFTJ time",
+        "LFTJ seeks",
+        "NPRR time",
+        "Hash time",
+        "INLJ time",
     ]);
     let mut chunk = 8i64;
     while chunk <= mmax {

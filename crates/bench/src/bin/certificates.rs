@@ -14,7 +14,9 @@
 use minesweeper_bench::{arg_or, human, human_time, timed, Table};
 use minesweeper_cds::ProbeMode;
 use minesweeper_core::{canonical_certificate_size, minesweeper_join, reindex_for_gao};
-use minesweeper_workloads::examples::{example_2_1, example_b1, example_b2, example_b3, example_b6};
+use minesweeper_workloads::examples::{
+    example_2_1, example_b1, example_b2, example_b3, example_b6,
+};
 use minesweeper_workloads::queries::Instance;
 
 fn report(table: &mut Table, name: &str, inst: &Instance, mode: ProbeMode) {
@@ -40,12 +42,26 @@ fn main() {
          '|C| est' is the measured FindGap count.\n",
         human(n as u64)
     );
-    let mut table =
-        Table::new(&["example", "N", "cert UB", "|C| est", "Z", "probes", "time"]);
-    report(&mut table, "B.1 (|C|=O(1), Z=0)", &example_b1(n), ProbeMode::Chain);
-    report(&mut table, "B.2 (|C|=O(1), Z=N)", &example_b2(n), ProbeMode::Chain);
+    let mut table = Table::new(&["example", "N", "cert UB", "|C| est", "Z", "probes", "time"]);
+    report(
+        &mut table,
+        "B.1 (|C|=O(1), Z=0)",
+        &example_b1(n),
+        ProbeMode::Chain,
+    );
+    report(
+        &mut table,
+        "B.2 (|C|=O(1), Z=N)",
+        &example_b2(n),
+        ProbeMode::Chain,
+    );
     report(&mut table, "2.1 (Z=2N)", &example_2_1(n), ProbeMode::Chain);
-    report(&mut table, "B.6 GAO (A,B)", &example_b6(n), ProbeMode::Chain);
+    report(
+        &mut table,
+        "B.6 GAO (A,B)",
+        &example_b6(n),
+        ProbeMode::Chain,
+    );
     // B.3 vs B.4: same data, two GAOs. Keep N small — the (A,B,C) order
     // really does quadratic work.
     let nb = (n as f64).sqrt() as i64 + 1;

@@ -46,8 +46,7 @@ fn main() {
         ] {
             let Instance { db, query } = inst;
             let n = db.total_tuples() as u64;
-            let (res, t) =
-                timed(|| minesweeper_join(&db, &query, ProbeMode::Chain).unwrap());
+            let (res, t) = timed(|| minesweeper_join(&db, &query, ProbeMode::Chain).unwrap());
             let c = res.stats.certificate_estimate();
             table.row(&[
                 qname.to_string(),

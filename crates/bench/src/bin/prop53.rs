@@ -19,7 +19,14 @@ fn main() {
          Minesweeper's merge work must grow ~m² (backtracks / Next calls).\n"
     );
     let mut table = Table::new(&[
-        "m", "N", "cert UB", "probes", "backtracks", "bt/m^2", "next calls", "time",
+        "m",
+        "N",
+        "cert UB",
+        "probes",
+        "backtracks",
+        "bt/m^2",
+        "next calls",
+        "time",
     ]);
     let mut m = 6i64;
     while m <= mmax {

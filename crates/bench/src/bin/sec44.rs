@@ -22,8 +22,15 @@ fn main() {
          layered DAG (empty output; width^(ℓ−1) maximal paths to explore).\n"
     );
     let mut table = Table::new(&[
-        "width", "|E|", "max paths", "MS probes", "MS time", "LFTJ seeks", "LFTJ time",
-        "NPRR cmps", "NPRR time",
+        "width",
+        "|E|",
+        "max paths",
+        "MS probes",
+        "MS time",
+        "LFTJ seeks",
+        "LFTJ time",
+        "NPRR cmps",
+        "NPRR time",
     ]);
     let mut width = 2i64;
     while width <= wmax {

@@ -51,8 +51,7 @@ fn main() {
     let mut t2 = Table::new(&["M", "N", "|C| est", "probes", "probes/M", "time"]);
     for chunk in [8i64, 16, 32, 64] {
         let inst = hidden_certificate_instance(m, chunk);
-        let (res, t) =
-            timed(|| minesweeper_join(&inst.db, &inst.query, ProbeMode::Chain).unwrap());
+        let (res, t) = timed(|| minesweeper_join(&inst.db, &inst.query, ProbeMode::Chain).unwrap());
         assert!(res.tuples.is_empty());
         t2.row(&[
             chunk.to_string(),

@@ -25,7 +25,14 @@ fn main() {
          shadow-chain getProbePoint; bound Õ(|C|^3 + Z).\n"
     );
     let mut table = Table::new(&[
-        "n/side", "N", "Z", "cert UB", "MS probes", "MS next", "MS time", "LFTJ time",
+        "n/side",
+        "N",
+        "Z",
+        "cert UB",
+        "MS probes",
+        "MS next",
+        "MS time",
+        "LFTJ time",
         "NPRR time",
     ]);
     let mut n = 64i64;

@@ -21,7 +21,14 @@ use minesweeper_storage::{builder, Database, Val};
 use minesweeper_workloads::graphs::chung_lu;
 use minesweeper_workloads::triangle_instance;
 
-fn hard_instance(m: Val) -> (Database, minesweeper_storage::RelId, minesweeper_storage::RelId, minesweeper_storage::RelId) {
+fn hard_instance(
+    m: Val,
+) -> (
+    Database,
+    minesweeper_storage::RelId,
+    minesweeper_storage::RelId,
+    minesweeper_storage::RelId,
+) {
     let mut db = Database::new();
     let mut r_pairs = Vec::new();
     for a in 1..=m {
@@ -47,14 +54,18 @@ fn main() {
          generic CDS work must grow ~m², dyadic CDS ~m.\n"
     );
     let mut t1 = Table::new(&[
-        "m", "N", "generic next", "generic time", "dyadic next", "dyadic time",
+        "m",
+        "N",
+        "generic next",
+        "generic time",
+        "dyadic next",
+        "dyadic time",
     ]);
     let mut m = 12i64;
     while m <= mmax {
         let (db, r, s, t) = hard_instance(m);
         let q = minesweeper_core::triangle::triangle_query(r, s, t);
-        let (gen, t_gen) =
-            timed(|| minesweeper_join(&db, &q, ProbeMode::General).unwrap());
+        let (gen, t_gen) = timed(|| minesweeper_join(&db, &q, ProbeMode::General).unwrap());
         let (tri, t_tri) = timed(|| triangle_join(&db, r, s, t).unwrap());
         assert!(gen.tuples.is_empty() && tri.tuples.is_empty());
         t1.row(&[
@@ -68,18 +79,20 @@ fn main() {
         m *= 2;
     }
     t1.print();
-    println!(
-        "\nPart 2 — triangle listing on Chung-Lu graphs ({edges} edges):\n"
-    );
+    println!("\nPart 2 — triangle listing on Chung-Lu graphs ({edges} edges):\n");
     let mut t2 = Table::new(&[
-        "nodes", "N", "Z", "dyadic time", "generic time", "LFTJ time",
+        "nodes",
+        "N",
+        "Z",
+        "dyadic time",
+        "generic time",
+        "LFTJ time",
     ]);
     for nodes in [1000i64, 4000] {
         let el = chung_lu(nodes, edges, 2.3, 99);
         let (db, r, s, t, q) = triangle_instance(&el);
         let (tri, t_tri) = timed(|| triangle_join(&db, r, s, t).unwrap());
-        let (gen, t_gen) =
-            timed(|| minesweeper_join(&db, &q, ProbeMode::General).unwrap());
+        let (gen, t_gen) = timed(|| minesweeper_join(&db, &q, ProbeMode::General).unwrap());
         let (lf, t_lf) = timed(|| leapfrog_triejoin(&db, &q).unwrap());
         assert_eq!(tri.tuples.len(), lf.tuples.len());
         assert_eq!(gen.tuples.len(), lf.tuples.len());

@@ -50,7 +50,10 @@ pub struct Table {
 impl Table {
     /// Starts a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (lengths must match the header).

@@ -66,8 +66,16 @@ impl Constraint {
     /// are no-ops; the pseudocode notes "the constraint is empty if
     /// `R[i^{v,ℓ}] = R[i^{v,h}]`").
     pub fn is_empty_interval(&self) -> bool {
-        let lo = if self.lo == NEG_INF { NEG_INF + 1 } else { self.lo + 1 };
-        let hi = if self.hi == POS_INF { POS_INF - 1 } else { self.hi - 1 };
+        let lo = if self.lo == NEG_INF {
+            NEG_INF + 1
+        } else {
+            self.lo + 1
+        };
+        let hi = if self.hi == POS_INF {
+            POS_INF - 1
+        } else {
+            self.hi - 1
+        };
         lo > hi
     }
 
@@ -93,8 +101,16 @@ impl fmt::Display for Constraint {
                 PatternComp::Star => write!(f, "*,")?,
             }
         }
-        let lo = if self.lo == NEG_INF { "-inf".to_string() } else { self.lo.to_string() };
-        let hi = if self.hi == POS_INF { "+inf".to_string() } else { self.hi.to_string() };
+        let lo = if self.lo == NEG_INF {
+            "-inf".to_string()
+        } else {
+            self.lo.to_string()
+        };
+        let hi = if self.hi == POS_INF {
+            "+inf".to_string()
+        } else {
+            self.hi.to_string()
+        };
         write!(f, "({lo},{hi})⟩")
     }
 }

@@ -40,7 +40,10 @@ impl DyadicIntervalTree {
     /// Creates a tree whose leaves are `0..2^bits`.
     pub fn new(bits: u32) -> Self {
         assert!(bits <= 40, "dyadic domain limited to 2^40");
-        DyadicIntervalTree { bits, nodes: BTreeMap::new() }
+        DyadicIntervalTree {
+            bits,
+            nodes: BTreeMap::new(),
+        }
     }
 
     /// Smallest tree covering values `0..domain_size`.
@@ -102,7 +105,11 @@ impl DyadicIntervalTree {
         }
         let leaf = self.leaf_of(b);
         let mut ops = 1usize;
-        let mut newly = self.nodes.entry(leaf).or_default().insert_closed_returning_new(lo, hi);
+        let mut newly = self
+            .nodes
+            .entry(leaf)
+            .or_default()
+            .insert_closed_returning_new(lo, hi);
         let (mut level, mut idx) = leaf;
         while level > 0 && !newly.is_empty() {
             let sibling = (level, idx ^ 1);
@@ -151,8 +158,7 @@ impl DyadicIntervalTree {
             let l = self.nodes.get(&(level + 1, idx * 2));
             let r = self.nodes.get(&(level + 1, idx * 2 + 1));
             for c in c_lo..=c_hi {
-                let both =
-                    l.is_some_and(|s| s.covers(c)) && r.is_some_and(|s| s.covers(c));
+                let both = l.is_some_and(|s| s.covers(c)) && r.is_some_and(|s| s.covers(c));
                 if set.covers(c) != both {
                     return false;
                 }

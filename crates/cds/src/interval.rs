@@ -79,8 +79,16 @@ impl IntervalSet {
     /// intervals — those containing no integer — are ignored and return
     /// `false`. Returns `true` if coverage grew.
     pub fn insert_open(&mut self, l: Val, r: Val) -> bool {
-        let lo = if l == NEG_INF { NEG_INF.saturating_add(1) } else { l.saturating_add(1) };
-        let hi = if r == POS_INF { POS_INF.saturating_sub(1) } else { r.saturating_sub(1) };
+        let lo = if l == NEG_INF {
+            NEG_INF.saturating_add(1)
+        } else {
+            l.saturating_add(1)
+        };
+        let hi = if r == POS_INF {
+            POS_INF.saturating_sub(1)
+        } else {
+            r.saturating_sub(1)
+        };
         if lo > hi {
             return false;
         }

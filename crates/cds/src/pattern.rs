@@ -93,14 +93,10 @@ impl Pattern {
     /// lengths.
     pub fn specializes(&self, other: &Pattern) -> bool {
         self.len() == other.len()
-            && self
-                .0
-                .iter()
-                .zip(&other.0)
-                .all(|(s, o)| match o {
-                    PatternComp::Star => true,
-                    PatternComp::Eq(v) => *s == PatternComp::Eq(*v),
-                })
+            && self.0.iter().zip(&other.0).all(|(s, o)| match o {
+                PatternComp::Star => true,
+                PatternComp::Eq(v) => *s == PatternComp::Eq(*v),
+            })
     }
 
     /// `other ⪯ self`.

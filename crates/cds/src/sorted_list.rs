@@ -19,7 +19,9 @@ pub struct SortedList<T> {
 impl<T> SortedList<T> {
     /// An empty list.
     pub fn new() -> Self {
-        SortedList { map: BTreeMap::new() }
+        SortedList {
+            map: BTreeMap::new(),
+        }
     }
 
     /// Number of stored keys.

@@ -331,11 +331,7 @@ impl ConstraintTree {
     /// Builds the shadow chain for a linearized filter `g` (most
     /// specialized first): `pairs[j] = (shadow_j, g[j])` where `shadow_j`
     /// realizes `P̄(u_j) = ∧_{i ≥ j} P(u_i)`.
-    fn build_shadow_chain(
-        &mut self,
-        g: &[usize],
-        stats: &mut ProbeStats,
-    ) -> Vec<(usize, usize)> {
+    fn build_shadow_chain(&mut self, g: &[usize], stats: &mut ProbeStats) -> Vec<(usize, usize)> {
         let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(g.len());
         let mut meet: Option<Pattern> = None;
         for &u in g.iter().rev() {
@@ -346,7 +342,11 @@ impl ConstraintTree {
                     .meet(&pu)
                     .expect("patterns in a principal filter are compatible"),
             };
-            let sh = if m == pu { u } else { self.ensure_node(&m, stats) };
+            let sh = if m == pu {
+                u
+            } else {
+                self.ensure_node(&m, stats)
+            };
             pairs.push((sh, u));
             meet = Some(m);
         }
@@ -717,7 +717,11 @@ mod tests {
         cds.insert_constraint(&Constraint::new(Pattern::empty(), 0, 10), &mut st);
         let before = cds.node_count();
         cds.insert_constraint(&Constraint::new(Pattern::all_eq(&[5]), 0, 3), &mut st);
-        assert_eq!(cds.node_count(), before, "subsumed insert allocates nothing");
+        assert_eq!(
+            cds.node_count(),
+            before,
+            "subsumed insert allocates nothing"
+        );
     }
 
     #[test]
@@ -733,7 +737,10 @@ mod tests {
             &Constraint::new(Pattern::empty(), crate::NEG_INF, 5),
             &mut st,
         );
-        cds.insert_constraint(&Constraint::new(Pattern::empty(), 5, crate::POS_INF), &mut st);
+        cds.insert_constraint(
+            &Constraint::new(Pattern::empty(), 5, crate::POS_INF),
+            &mut st,
+        );
         assert_eq!(cds.get_probe_point(&mut st), None);
     }
 

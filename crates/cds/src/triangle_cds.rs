@@ -94,13 +94,19 @@ impl TriangleCds {
                 self.b_star.insert_open(c.lo, c.hi);
             }
             [Eq(a)] => {
-                self.b_under_a.entry(*a).or_default().insert_open(c.lo, c.hi);
+                self.b_under_a
+                    .entry(*a)
+                    .or_default()
+                    .insert_open(c.lo, c.hi);
             }
             [Star, Star] => {
                 self.c_global.insert_open(c.lo, c.hi);
             }
             [Eq(a), Star] => {
-                self.c_under_a.entry(*a).or_default().insert_open(c.lo, c.hi);
+                self.c_under_a
+                    .entry(*a)
+                    .or_default()
+                    .insert_open(c.lo, c.hi);
             }
             [Star, Eq(b)] => {
                 if (0..self.dyadic.domain_size()).contains(b) {
@@ -109,7 +115,10 @@ impl TriangleCds {
                 // b outside the clamped domain: already dead, ignore.
             }
             [Eq(a), Eq(b)] => {
-                self.c_under_ab.entry((*a, *b)).or_default().insert_open(c.lo, c.hi);
+                self.c_under_ab
+                    .entry((*a, *b))
+                    .or_default()
+                    .insert_open(c.lo, c.hi);
             }
             _ => panic!("triangle CDS expects 3-attribute constraints, got {c}"),
         }
@@ -145,11 +154,8 @@ impl TriangleCds {
             }
             let mut b_from = PROBE_START;
             'b_loop: loop {
-                let b = Self::next_union(
-                    &[self.b_under_a.get(&a), Some(&self.b_star)],
-                    b_from,
-                    stats,
-                );
+                let b =
+                    Self::next_union(&[self.b_under_a.get(&a), Some(&self.b_star)], b_from, stats);
                 if b == POS_INF {
                     // No B value viable under a: exclude a (the analogue of
                     // Algorithm 10 line 28 for the exhausted-B case).
@@ -173,7 +179,11 @@ impl TriangleCds {
                             self.c_under_a.get(&a),
                             Some(&self.c_global),
                             self.dyadic.set(node),
-                            if is_leaf { self.c_under_ab.get(&(a, b)) } else { None },
+                            if is_leaf {
+                                self.c_under_ab.get(&(a, b))
+                            } else {
+                                None
+                            },
                         ],
                         z,
                         stats,
@@ -205,9 +215,7 @@ impl TriangleCds {
         if self.a_set.covers(a) {
             return true;
         }
-        if self.b_star.covers(b)
-            || self.b_under_a.get(&a).is_some_and(|s| s.covers(b))
-        {
+        if self.b_star.covers(b) || self.b_under_a.get(&a).is_some_and(|s| s.covers(b)) {
             return true;
         }
         if self.c_global.covers(c)
@@ -301,8 +309,8 @@ mod tests {
     fn a_and_b_gaps() {
         cross_check(
             &[
-                Constraint::new(Pattern::empty(), 0, 2), // kill a=1
-                Constraint::new(Pattern(vec![Star]), 1, 4), // kill b∈{2,3}
+                Constraint::new(Pattern::empty(), 0, 2),           // kill a=1
+                Constraint::new(Pattern(vec![Star]), 1, 4),        // kill b∈{2,3}
                 Constraint::new(Pattern(vec![Eq(2)]), NEG_INF, 2), // a=2: b<2 dead
             ],
             4,
@@ -373,11 +381,9 @@ mod tests {
                     3 => Constraint::new(Pattern(vec![Star, Star]), lo, hi),
                     4 => Constraint::new(Pattern(vec![Eq(rng(4) as Val), Star]), lo, hi),
                     5 => Constraint::new(Pattern(vec![Star, Eq(rng(4) as Val)]), lo, hi),
-                    _ => Constraint::new(
-                        Pattern(vec![Eq(rng(4) as Val), Eq(rng(4) as Val)]),
-                        lo,
-                        hi,
-                    ),
+                    _ => {
+                        Constraint::new(Pattern(vec![Eq(rng(4) as Val), Eq(rng(4) as Val)]), lo, hi)
+                    }
                 };
                 cs.push(c);
             }
@@ -393,10 +399,7 @@ mod tests {
         assert_eq!(tri.dyadic_node_count(), 0);
         assert_eq!(tri.cache_size(), 0);
         // One leaf insert allocates the leaf (no sibling ⇒ no propagation).
-        tri.insert_constraint(
-            &Constraint::new(Pattern(vec![Star, Eq(3)]), 0, 10),
-            &mut st,
-        );
+        tri.insert_constraint(&Constraint::new(Pattern(vec![Star, Eq(3)]), 0, 10), &mut st);
         assert_eq!(tri.dyadic_node_count(), 1);
         // A probe populates per-(a, node) caches along one root-leaf path.
         let t = tri.get_probe_point(&mut st).unwrap();

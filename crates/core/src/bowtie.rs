@@ -40,12 +40,18 @@ pub fn bowtie_join(r: &TrieRelation, s: &TrieRelation, t: &TrieRelation) -> Join
         let lo_in_range = gs.lo_coord >= 1;
         let hi_in_range = gs.hi_coord <= s.child_count(s.root());
         let g_lo = if lo_in_range {
-            Some((gs.lo_val, s.find_gap(s.child(s.root(), gs.lo_coord), y, &mut stats)))
+            Some((
+                gs.lo_val,
+                s.find_gap(s.child(s.root(), gs.lo_coord), y, &mut stats),
+            ))
         } else {
             None
         };
         let g_hi = if hi_in_range && gs.hi_coord != gs.lo_coord {
-            Some((gs.hi_val, s.find_gap(s.child(s.root(), gs.hi_coord), y, &mut stats)))
+            Some((
+                gs.hi_val,
+                s.find_gap(s.child(s.root(), gs.hi_coord), y, &mut stats),
+            ))
         } else if gs.exact() {
             g_lo
         } else {
@@ -120,8 +126,9 @@ mod tests {
         };
         for _ in 0..20 {
             let rv: Vec<Val> = (0..rng(12)).map(|_| rng(10) as Val).collect();
-            let sv: Vec<(Val, Val)> =
-                (0..rng(25)).map(|_| (rng(10) as Val, rng(10) as Val)).collect();
+            let sv: Vec<(Val, Val)> = (0..rng(25))
+                .map(|_| (rng(10) as Val, rng(10) as Val))
+                .collect();
             let tv: Vec<Val> = (0..rng(12)).map(|_| rng(10) as Val).collect();
             let r = builder::unary("R", rv.iter().copied());
             let s = builder::binary("S", sv.iter().copied());
@@ -132,9 +139,11 @@ mod tests {
             let rid = db.add(r).unwrap();
             let sid = db.add(s).unwrap();
             let tid = db.add(t).unwrap();
-            let q = Query::new(2).atom(rid, &[0]).atom(sid, &[0, 1]).atom(tid, &[1]);
-            let mut generic =
-                minesweeper_join(&db, &q, ProbeMode::Chain).unwrap().tuples;
+            let q = Query::new(2)
+                .atom(rid, &[0])
+                .atom(sid, &[0, 1])
+                .atom(tid, &[1]);
+            let mut generic = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap().tuples;
             generic.sort();
             assert_eq!(fast, generic);
         }
@@ -149,7 +158,9 @@ mod tests {
         let r = builder::unary("R", [2]);
         let s = builder::binary(
             "S",
-            (1..=n).map(|i| (1, n + 1 + i)).chain((1..=n).map(|i| (3, i))),
+            (1..=n)
+                .map(|i| (1, n + 1 + i))
+                .chain((1..=n).map(|i| (3, i))),
         );
         let t = builder::unary("T", [n + 1]);
         let res = bowtie_join(&r, &s, &t);

@@ -34,7 +34,10 @@ pub struct VarRef {
 impl VarRef {
     /// Convenience constructor.
     pub fn new(rel: RelId, index: &[usize]) -> Self {
-        VarRef { rel, index: index.to_vec() }
+        VarRef {
+            rel,
+            index: index.to_vec(),
+        }
     }
 
     /// Resolves the variable against a database: walks the trie by
@@ -127,7 +130,10 @@ pub fn canonical_certificate_size(db: &Database, query: &Query) -> Result<u64, Q
         for (level, &attr) in atom.attrs.iter().enumerate() {
             let col = rel.level_column(level);
             *per_attr.entry(attr).or_default() += col.len() as u64;
-            distinct.entry(attr).or_default().extend(col.iter().copied());
+            distinct
+                .entry(attr)
+                .or_default()
+                .extend(col.iter().copied());
         }
     }
     // Per attribute: (#variables − #distinct) equalities + (#distinct − 1)
@@ -198,7 +204,9 @@ mod tests {
         let t = db
             .add(builder::binary(
                 "T",
-                (1..=n).map(|i| (1, 2 * i)).chain((1..=n).map(|i| (3, 3 * i))),
+                (1..=n)
+                    .map(|i| (1, 2 * i))
+                    .chain((1..=n).map(|i| (3, 3 * i))),
             ))
             .unwrap();
         let arg = Argument(vec![

@@ -1,20 +1,27 @@
-//! One-call query execution: GAO selection, physical re-indexing, the
-//! right probe mode, and result translation back to the caller's
-//! attribute order.
+//! One-call query execution: a thin materializing wrapper over the
+//! plan/stream split.
 //!
-//! This is the paper's full pipeline: find a nested elimination order if
-//! the query is β-acyclic (Theorem 2.7), otherwise a minimum elimination
-//! width order (Theorem 5.1); build indexes consistent with that GAO; run
-//! Minesweeper; report tuples in the original attribute numbering.
+//! [`execute`] is `plan(db, query)?.execute(db)` — GAO selection, physical
+//! re-indexing, the right probe mode, and result translation back to the
+//! caller's attribute order, exactly the paper's full pipeline (nested
+//! elimination order for β-acyclic queries, Theorem 2.7; minimum
+//! elimination width otherwise, Theorem 5.1). Callers that want lazy
+//! results, early termination, or mid-flight statistics should hold the
+//! [`crate::Plan`] and call [`crate::Plan::stream`] instead.
+//!
+//! **Ordering guarantee:** the returned tuples are sorted
+//! lexicographically in the *original* attribute numbering on every path —
+//! whether or not the plan re-indexed for a non-identity GAO.
 
-use minesweeper_storage::{Database, Tuple};
+use minesweeper_storage::Database;
 
-use crate::gao::{choose_gao, reindex_for_gao, GaoChoice};
-use crate::minesweeper::{minesweeper_join, JoinResult};
+use crate::gao::GaoChoice;
+use crate::minesweeper::JoinResult;
+use crate::plan::plan;
 use crate::query::{Query, QueryError};
 
-/// The outcome of [`execute`]: the join result (tuples in the *original*
-/// attribute order) plus the GAO decision that produced it.
+/// The outcome of [`execute`]: the join result (tuples sorted in the
+/// *original* attribute order) plus the GAO decision that produced it.
 #[derive(Debug, Clone)]
 pub struct Execution {
     /// Output tuples and statistics.
@@ -37,29 +44,7 @@ pub struct Execution {
 /// assert_eq!(exec.result.tuples, vec![vec![1, 10, 5], vec![2, 20, 9]]);
 /// ```
 pub fn execute(db: &Database, query: &Query) -> Result<Execution, QueryError> {
-    query.validate(db)?;
-    let gao = choose_gao(query, 9);
-    let identity: Vec<usize> = (0..query.n_attrs).collect();
-    let result = if gao.order == identity {
-        minesweeper_join(db, query, gao.mode)?
-    } else {
-        let (db2, q2) = reindex_for_gao(db, query, &gao.order)?;
-        let mut res = minesweeper_join(&db2, &q2, gao.mode)?;
-        // Column i of a result tuple holds original attribute
-        // `gao.order[i]`; invert.
-        let mut inv = vec![0usize; query.n_attrs];
-        for (i, &a) in gao.order.iter().enumerate() {
-            inv[a] = i;
-        }
-        res.tuples = res
-            .tuples
-            .iter()
-            .map(|t| inv.iter().map(|&c| t[c]).collect::<Tuple>())
-            .collect();
-        res.tuples.sort();
-        res
-    };
-    Ok(Execution { result, gao })
+    plan(db, query)?.execute(db)
 }
 
 #[cfg(test)]
@@ -76,9 +61,7 @@ mod tests {
         let e2 = db.add(builder::binary("E2", [(2, 5), (4, 6)])).unwrap();
         let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
         let exec = execute(&db, &q).unwrap();
-        let mut got = exec.result.tuples.clone();
-        got.sort();
-        assert_eq!(got, naive_join(&db, &q).unwrap());
+        assert_eq!(exec.result.tuples, naive_join(&db, &q).unwrap());
     }
 
     #[test]
@@ -99,7 +82,10 @@ mod tests {
             .unwrap();
         let s = db.add(builder::binary("S", [(1, 3), (4, 6)])).unwrap();
         let t = db.add(builder::binary("T", [(2, 3), (5, 3)])).unwrap();
-        let q = Query::new(3).atom(r, &[0, 1, 2]).atom(s, &[0, 2]).atom(t, &[1, 2]);
+        let q = Query::new(3)
+            .atom(r, &[0, 1, 2])
+            .atom(s, &[0, 2])
+            .atom(t, &[1, 2]);
         let exec = execute(&db, &q).unwrap();
         assert_eq!(exec.gao.mode, ProbeMode::Chain);
         assert_ne!(exec.gao.order, vec![0, 1, 2], "identity is not a NEO here");
@@ -112,13 +98,68 @@ mod tests {
         let e = db
             .add(builder::binary("E", [(1, 2), (2, 3), (1, 3), (3, 4)]))
             .unwrap();
-        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
         let exec = execute(&db, &q).unwrap();
         assert_eq!(exec.gao.mode, ProbeMode::General);
         assert_eq!(exec.gao.width, 2);
-        let mut got = exec.result.tuples.clone();
-        got.sort();
-        assert_eq!(got, naive_join(&db, &q).unwrap());
+        assert_eq!(exec.result.tuples, naive_join(&db, &q).unwrap());
+    }
+
+    /// Both the identity-GAO and the re-index path must deliver the same
+    /// documented order: lexicographic in the original attribute numbering
+    /// (`naive_join`'s order).
+    #[test]
+    fn output_is_sorted_on_every_path() {
+        // Identity path.
+        let mut db = Database::new();
+        let e1 = db
+            .add(builder::binary("E1", [(3, 1), (1, 2), (2, 2), (1, 1)]))
+            .unwrap();
+        let e2 = db
+            .add(builder::binary("E2", [(2, 9), (1, 4), (1, 1), (2, 2)]))
+            .unwrap();
+        let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
+        let exec = execute(&db, &q).unwrap();
+        assert!(
+            exec.result.tuples.windows(2).all(|w| w[0] < w[1]),
+            "identity path must be sorted"
+        );
+        // Re-index path (Example B.7 shape with denser data).
+        let mut db = Database::new();
+        let mut rb = minesweeper_storage::RelationBuilder::new("R", 3);
+        for a in 1..=4 {
+            for b in 1..=4 {
+                rb.push(&[a, b, (a + b) % 3 + 1]);
+            }
+        }
+        let r = db.add(rb.build().unwrap()).unwrap();
+        let s = db
+            .add(builder::binary(
+                "S",
+                (1..=4).flat_map(|a| [(a, 1), (a, 2), (a, 3)]),
+            ))
+            .unwrap();
+        let t = db
+            .add(builder::binary(
+                "T",
+                (1..=4).flat_map(|b| [(b, 1), (b, 2), (b, 3)]),
+            ))
+            .unwrap();
+        let q = Query::new(3)
+            .atom(r, &[0, 1, 2])
+            .atom(s, &[0, 2])
+            .atom(t, &[1, 2]);
+        let exec = execute(&db, &q).unwrap();
+        assert_ne!(exec.gao.order, vec![0, 1, 2]);
+        assert!(!exec.result.tuples.is_empty());
+        assert!(
+            exec.result.tuples.windows(2).all(|w| w[0] < w[1]),
+            "re-index path must be sorted too"
+        );
+        assert_eq!(exec.result.tuples, naive_join(&db, &q).unwrap());
     }
 
     #[test]
@@ -146,9 +187,7 @@ mod tests {
                 .unwrap();
             let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
             let exec = execute(&db, &q).unwrap();
-            let mut got = exec.result.tuples;
-            got.sort();
-            assert_eq!(got, naive_join(&db, &q).unwrap());
+            assert_eq!(exec.result.tuples, naive_join(&db, &q).unwrap());
         }
     }
 }

@@ -37,10 +37,18 @@ pub fn choose_gao(query: &Query, exact_limit: usize) -> GaoChoice {
     if let Some(order) = nested_elimination_order(&h) {
         let width = elimination_width(&h, &order);
         debug_assert!(is_nested_elimination_order(&h, &order));
-        return GaoChoice { order, mode: ProbeMode::Chain, width };
+        return GaoChoice {
+            order,
+            mode: ProbeMode::Chain,
+            width,
+        };
     }
     let (order, width) = min_width_order(&h, exact_limit);
-    GaoChoice { order, mode: ProbeMode::General, width }
+    GaoChoice {
+        order,
+        mode: ProbeMode::General,
+        width,
+    }
 }
 
 /// Reorders a GAO so that *private* attributes (those occurring in a
@@ -81,7 +89,11 @@ pub fn reindex_for_gao(
 ) -> Result<(Database, Query), QueryError> {
     query.validate(db)?;
     let n = query.n_attrs;
-    assert_eq!(order.len(), n, "order must be a permutation of the attributes");
+    assert_eq!(
+        order.len(),
+        n,
+        "order must be a permutation of the attributes"
+    );
     // position[a] = new GAO position of original attribute a.
     let mut position = vec![usize::MAX; n];
     for (i, &a) in order.iter().enumerate() {
@@ -114,7 +126,10 @@ pub fn reindex_for_gao(
         let new_rel = new_db
             .add(b.build().expect("re-indexed relation"))
             .expect("unique per-atom names");
-        new_query.atoms.push(Atom { rel: new_rel, attrs: new_attrs });
+        new_query.atoms.push(Atom {
+            rel: new_rel,
+            attrs: new_attrs,
+        });
     }
     Ok((new_db, new_query))
 }
@@ -141,7 +156,10 @@ mod tests {
     fn triangle_query_gets_general_mode_width_two() {
         let mut db = Database::new();
         let e = db.add(builder::binary("E", [(1, 2)])).unwrap();
-        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
         let choice = choose_gao(&q, 8);
         assert_eq!(choice.mode, ProbeMode::General);
         assert_eq!(choice.width, 2);
@@ -195,14 +213,13 @@ mod tests {
         let (db2, q2) = reindex_for_gao(&db, &q, &[2, 0, 1]).unwrap();
         let res = minesweeper_join(&db2, &q2, ProbeMode::Chain).unwrap();
         // Map back: new attr order is (C,A,B); translate tuples to (A,B,C).
-        let mut mapped: Vec<_> = res
-            .tuples
-            .iter()
-            .map(|t| vec![t[1], t[2], t[0]])
-            .collect();
+        let mut mapped: Vec<_> = res.tuples.iter().map(|t| vec![t[1], t[2], t[0]]).collect();
         mapped.sort();
         assert_eq!(mapped, base);
-        assert!(base.is_empty(), "example data joins to empty (odd vs even C)");
+        assert!(
+            base.is_empty(),
+            "example data joins to empty (odd vs even C)"
+        );
     }
 
     #[test]
@@ -237,11 +254,9 @@ mod tests {
         let q = Query::new(3).atom(r, &[0, 2]).atom(s, &[1, 2]);
         let improved = private_attributes_last(&q, &[0, 1, 2]);
         assert_eq!(improved, vec![2, 0, 1], "C is shared; A, B private");
-        let baseline =
-            minesweeper_join(&db, &q, minesweeper_cds::ProbeMode::General).unwrap();
+        let baseline = minesweeper_join(&db, &q, minesweeper_cds::ProbeMode::General).unwrap();
         let (db2, q2) = reindex_for_gao(&db, &q, &improved).unwrap();
-        let better =
-            minesweeper_join(&db2, &q2, minesweeper_cds::ProbeMode::Chain).unwrap();
+        let better = minesweeper_join(&db2, &q2, minesweeper_cds::ProbeMode::Chain).unwrap();
         assert!(
             better.stats.probe_points * 4 < baseline.stats.probe_points,
             "B.5 improvement: {} vs {}",
@@ -257,9 +272,6 @@ mod tests {
         let s = db.add(builder::binary("S", [(2, 5), (4, 6)])).unwrap();
         let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
         let (db2, q2) = reindex_for_gao(&db, &q, &[0, 1, 2]).unwrap();
-        assert_eq!(
-            naive_join(&db, &q).unwrap(),
-            naive_join(&db2, &q2).unwrap()
-        );
+        assert_eq!(naive_join(&db, &q).unwrap(), naive_join(&db2, &q2).unwrap());
     }
 }

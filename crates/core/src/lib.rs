@@ -14,6 +14,16 @@
 //!
 //! Entry points:
 //! * [`Query`] — atoms over a GAO, with hypergraph extraction;
+//! * [`plan`] — validation + GAO/probe-mode/re-index selection, producing
+//!   a reusable, inspectable [`Plan`];
+//! * [`Plan::stream`] — the lazy [`TupleStream`] executor: tuples are
+//!   yielded as they are certified, `take(k)` stops the probe loop early,
+//!   and [`TupleStream::stats`] reads counters mid-flight;
+//! * [`execute`] — the materialize-everything wrapper (sorted in the
+//!   original attribute numbering);
+//! * [`Algorithm`] — the unified evaluator trait implemented by
+//!   [`Minesweeper`], [`Naive`], and every baseline (registry in
+//!   `minesweeper_baselines::registry`);
 //! * [`minesweeper_join`] — Algorithm 2 over the generic
 //!   [`minesweeper_cds::ConstraintTree`];
 //! * [`triangle_join`] — Theorem 5.4's specialization for
@@ -27,6 +37,7 @@
 //! * [`certificate`] — the certificate formalism of Section 2.2 with the
 //!   Proposition 2.6 upper-bound construction.
 
+pub mod algorithm;
 pub mod bowtie;
 pub mod certificate;
 pub mod execute;
@@ -34,10 +45,13 @@ pub mod gao;
 pub mod minesweeper;
 pub mod naive;
 pub mod partition;
+pub mod plan;
 pub mod query;
 pub mod set_intersection;
+pub mod stream;
 pub mod triangle;
 
+pub use algorithm::{Algorithm, Minesweeper, Naive};
 pub use bowtie::bowtie_join;
 pub use certificate::{canonical_certificate_size, Argument, Comparison, VarRef};
 pub use execute::{execute, Execution};
@@ -45,6 +59,8 @@ pub use gao::{choose_gao, private_attributes_last, reindex_for_gao, GaoChoice};
 pub use minesweeper::{minesweeper_join, JoinResult};
 pub use naive::naive_join;
 pub use partition::{partition_certificate, PartitionCertificate, PartitionItem};
+pub use plan::{plan, Plan, PreparedPlan};
 pub use query::{Atom, Query, QueryError};
 pub use set_intersection::{set_intersection, set_intersection_galloping};
+pub use stream::TupleStream;
 pub use triangle::triangle_join;

@@ -13,16 +13,23 @@
 //! elsewhere (Theorem 3.2 charges each iteration to a certificate
 //! comparison or an output tuple).
 //!
-//! Per DESIGN.md, branches whose bracketing coordinate is out of range are
-//! skipped (their index tuples are undefined, matching the guard on line
-//! 19), and the `ℓ`/`h` branches are deduplicated on exact hits — the
-//! duplicate `FindGap` calls of the pseudocode would return identical
+//! The probe loop itself lives in [`crate::stream`] as the resumable
+//! [`TupleStream`] state machine; [`minesweeper_join`] is the
+//! drain-everything wrapper around it. Per DESIGN.md, branches whose
+//! bracketing coordinate is out of range are skipped (their index tuples
+//! are undefined), and the `ℓ`/`h` branches are deduplicated on exact hits
+//! — the duplicate `FindGap` calls of the pseudocode would return identical
 //! constraints.
 
-use minesweeper_cds::{Constraint, ConstraintTree, Pattern, PatternComp, ProbeMode, ProbeStats};
-use minesweeper_storage::{Database, ExecStats, NodeId, TrieRelation, Tuple, Val};
+use minesweeper_cds::ProbeMode;
+use minesweeper_storage::{Database, ExecStats, Tuple};
 
-use crate::query::{Atom, Query, QueryError};
+use crate::query::{Query, QueryError};
+use crate::stream::{DbHandle, TupleStream};
+
+// The exploration engine is shared with the specialized joins
+// (`triangle_join`) and re-exported for them from the stream module.
+pub(crate) use crate::stream::{explore_atom, merge_probe_stats};
 
 /// Output tuples plus execution statistics.
 #[derive(Debug, Clone)]
@@ -33,11 +40,14 @@ pub struct JoinResult {
     pub stats: ExecStats,
 }
 
-/// Runs Minesweeper on `query` over `db` with the given probe mode.
+/// Runs Minesweeper on `query` over `db` with the given probe mode,
+/// materializing the whole output.
 ///
 /// Use [`ProbeMode::Chain`] when the GAO is a nested elimination order
 /// (β-acyclic queries, Theorem 2.7) and [`ProbeMode::General`] otherwise
-/// (Theorem 5.1); [`crate::choose_gao`] picks this automatically.
+/// (Theorem 5.1); [`crate::choose_gao`] picks this automatically — or use
+/// [`crate::plan`] / [`crate::Plan::stream`] for the planned, lazily
+/// streaming form of the same loop.
 ///
 /// ```
 /// use minesweeper_cds::ProbeMode;
@@ -57,164 +67,18 @@ pub fn minesweeper_join(
     mode: ProbeMode,
 ) -> Result<JoinResult, QueryError> {
     query.validate(db)?;
-    let n = query.n_attrs;
-    let mut cds = ConstraintTree::new(n, mode);
-    let mut pst = ProbeStats::default();
-    let mut stats = ExecStats::new();
-    let mut tuples = Vec::new();
-    let mut gaps: Vec<Constraint> = Vec::new();
-    while let Some(t) = cds.get_probe_point(&mut pst) {
-        gaps.clear();
-        let mut is_output = true;
-        for atom in &query.atoms {
-            let rel = db.relation(atom.rel);
-            let matched = explore_atom(rel, atom, n, &t, &mut gaps, &mut stats);
-            is_output &= matched;
-        }
-        if is_output {
-            cds.insert_constraint(&Constraint::point_exclusion(&t), &mut pst);
-            stats.outputs += 1;
-            tuples.push(t);
-        } else {
-            for c in &gaps {
-                cds.insert_constraint(c, &mut pst);
-            }
-        }
-    }
-    merge_probe_stats(&mut stats, &pst);
-    Ok(JoinResult { tuples, stats })
-}
-
-/// Folds CDS-internal counters into the execution statistics.
-pub(crate) fn merge_probe_stats(stats: &mut ExecStats, pst: &ProbeStats) {
-    stats.probe_points += pst.probe_points;
-    stats.constraints_inserted += pst.constraints_inserted;
-    stats.backtracks += pst.backtracks;
-    stats.cds_next_calls += pst.next_calls;
-}
-
-/// Explores one atom around probe `t` (Algorithm 2 lines 4–10 and 15–20):
-/// appends the discovered gap constraints and returns whether the all-exact
-/// descent matched `t`'s projection (line 11's test for this relation).
-pub(crate) fn explore_atom(
-    rel: &TrieRelation,
-    atom: &Atom,
-    n_attrs: usize,
-    t: &[Val],
-    gaps: &mut Vec<Constraint>,
-    stats: &mut ExecStats,
-) -> bool {
-    let mut matched = true;
-    let mut prefix_vals: Vec<Val> = Vec::with_capacity(atom.attrs.len());
-    explore_rec(
-        rel,
-        atom,
-        n_attrs,
-        t,
-        rel.root(),
-        true,
-        &mut prefix_vals,
-        gaps,
-        stats,
-        &mut matched,
-    );
-    matched
-}
-
-/// Recursive `{ℓ, h}`-branch exploration from a trie node at atom depth
-/// `prefix_vals.len()`. `on_exact_path` is true when every ancestor
-/// coordinate hit `t`'s projection exactly; `matched` is cleared when the
-/// exact path dies.
-#[allow(clippy::too_many_arguments)]
-fn explore_rec(
-    rel: &TrieRelation,
-    atom: &Atom,
-    n_attrs: usize,
-    t: &[Val],
-    node: NodeId,
-    on_exact_path: bool,
-    prefix_vals: &mut Vec<Val>,
-    gaps: &mut Vec<Constraint>,
-    stats: &mut ExecStats,
-    matched: &mut bool,
-) {
-    let p = prefix_vals.len();
-    let k = atom.attrs.len();
-    let a = t[atom.attrs[p]];
-    let gap = rel.find_gap(node, a, stats);
-    if !gap.exact() {
-        // The gap (R[i^{v,ℓ}], R[i^{v,h}]) strictly brackets t's coordinate.
-        gaps.push(make_gap_constraint(
-            atom,
-            n_attrs,
-            prefix_vals,
-            gap.lo_val,
-            gap.hi_val,
-        ));
-        if on_exact_path {
-            *matched = false;
-        }
-    }
-    if p + 1 == k {
-        return;
-    }
-    // Descend into the low and high bracketing children (deduplicated when
-    // equal; skipped when out of range).
-    let lo_in_range = gap.lo_coord >= 1;
-    let hi_in_range = gap.hi_coord <= rel.child_count(node);
-    if lo_in_range {
-        let child = rel.child(node, gap.lo_coord);
-        prefix_vals.push(gap.lo_val);
-        explore_rec(
-            rel,
-            atom,
-            n_attrs,
-            t,
-            child,
-            on_exact_path && gap.exact(),
-            prefix_vals,
-            gaps,
-            stats,
-            matched,
-        );
-        prefix_vals.pop();
-    } else if on_exact_path {
-        *matched = false;
-    }
-    if hi_in_range && gap.hi_coord != gap.lo_coord {
-        let child = rel.child(node, gap.hi_coord);
-        prefix_vals.push(gap.hi_val);
-        explore_rec(
-            rel, atom, n_attrs, t, child, false, prefix_vals, gaps, stats, matched,
-        );
-        prefix_vals.pop();
-    }
-}
-
-/// Builds the constraint `⟨…equalities at the atom's GAO positions…,
-/// (lo, hi)⟩` for a gap found at atom depth `prefix_vals.len()`.
-fn make_gap_constraint(
-    atom: &Atom,
-    n_attrs: usize,
-    prefix_vals: &[Val],
-    lo: Val,
-    hi: Val,
-) -> Constraint {
-    let p = prefix_vals.len();
-    let interval_pos = atom.attrs[p];
-    debug_assert!(interval_pos < n_attrs);
-    let mut comps = vec![PatternComp::Star; interval_pos];
-    for (j, &v) in prefix_vals.iter().enumerate() {
-        comps[atom.attrs[j]] = PatternComp::Eq(v);
-    }
-    Constraint::new(Pattern(comps), lo, hi)
+    let mut stream = TupleStream::new(DbHandle::Borrowed(db), query.clone(), mode, None);
+    let tuples: Vec<Tuple> = stream.by_ref().collect();
+    Ok(JoinResult {
+        tuples,
+        stats: stream.stats(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use minesweeper_cds::{NEG_INF, POS_INF};
-    use minesweeper_storage::{builder, Database, RelationBuilder};
+    use minesweeper_storage::{builder, RelationBuilder, Val};
 
     fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
         v.sort();
@@ -282,12 +146,7 @@ mod tests {
         // R(A,B) ⋈ S(B,C).
         let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
         let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
-        let expect = vec![
-            vec![1, 2, 7],
-            vec![1, 5, 5],
-            vec![2, 4, 1],
-            vec![2, 4, 9],
-        ];
+        let expect = vec![vec![1, 2, 7], vec![1, 5, 5], vec![2, 4, 1], vec![2, 4, 9]];
         assert_eq!(sorted(res.tuples), expect);
     }
 
@@ -338,23 +197,6 @@ mod tests {
     }
 
     #[test]
-    fn gap_constraint_positions() {
-        // Atom over GAO positions (0, 2) of a 3-attribute query: a gap at
-        // depth 1 must place its equality at position 0, a star at 1, and
-        // the interval at 2.
-        let atom = Atom { rel: minesweeper_storage::RelId(0), attrs: vec![0, 2] };
-        let c = make_gap_constraint(&atom, 3, &[42], 5, 9);
-        assert_eq!(
-            c.pattern,
-            Pattern(vec![PatternComp::Eq(42), PatternComp::Star])
-        );
-        assert_eq!((c.lo, c.hi), (5, 9));
-        // Depth 0: interval at position 0, no pattern.
-        let c = make_gap_constraint(&atom, 3, &[], NEG_INF, POS_INF);
-        assert_eq!(c.pattern, Pattern::empty());
-    }
-
-    #[test]
     fn self_join_same_relation_twice() {
         let mut db = Database::new();
         let e = db
@@ -381,7 +223,10 @@ mod tests {
         let s = db.add(builder::binary("S", edges)).unwrap();
         let t = db.add(builder::binary("T", edges)).unwrap();
         // Q∆ = R(A,B) ⋈ S(B,C) ⋈ T(A,C): triangles (1,2,3), (2,3,4).
-        let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]).atom(t, &[0, 2]);
+        let q = Query::new(3)
+            .atom(r, &[0, 1])
+            .atom(s, &[1, 2])
+            .atom(t, &[0, 2]);
         let res = minesweeper_join(&db, &q, ProbeMode::General).unwrap();
         assert_eq!(sorted(res.tuples), vec![vec![1, 2, 3], vec![2, 3, 4]]);
     }

@@ -102,7 +102,10 @@ mod tests {
         let e = db
             .add(builder::binary("E", [(1, 2), (2, 3), (1, 3), (3, 4)]))
             .unwrap();
-        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
         assert_eq!(naive_join(&db, &q).unwrap(), vec![vec![1, 2, 3]]);
     }
 

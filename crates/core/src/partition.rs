@@ -184,7 +184,11 @@ mod tests {
         assert!(!forged.verify(&[&a, &b]), "5 ∉ B");
         // Claim a gap that is not empty.
         let mut forged = cert.clone();
-        forged.items.push(PartitionItem::Gap { set: 0, lo: 0, hi: 4 });
+        forged.items.push(PartitionItem::Gap {
+            set: 0,
+            lo: 0,
+            hi: 4,
+        });
         assert!(!forged.verify(&[&a, &b]), "A has 1 and 3 inside (0,4)");
         // Drop an item: coverage breaks.
         let mut truncated = cert.clone();
@@ -192,7 +196,11 @@ mod tests {
         assert!(!truncated.verify(&[&a, &b]), "line no longer covered");
         // Out-of-range set index.
         let mut forged = cert;
-        forged.items.push(PartitionItem::Gap { set: 9, lo: 0, hi: 1 });
+        forged.items.push(PartitionItem::Gap {
+            set: 9,
+            lo: 0,
+            hi: 1,
+        });
         assert!(!forged.verify(&[&a, &b]));
     }
 
@@ -218,6 +226,9 @@ mod tests {
         assert!(cert.verify(&[&a, &b]));
         let a2 = unary("A2", [1, 4]);
         let b2 = unary("B2", [4, 9]);
-        assert!(!cert.verify(&[&a2, &b2]), "endpoints moved; claims go stale");
+        assert!(
+            !cert.verify(&[&a2, &b2]),
+            "endpoints moved; claims go stale"
+        );
     }
 }

@@ -1,0 +1,404 @@
+//! Query planning, split from execution.
+//!
+//! [`plan`] validates a query and makes every decision that does **not**
+//! require touching tuples: the global attribute order (a nested
+//! elimination order when the query is β-acyclic — Theorem 2.7 — otherwise
+//! a minimum elimination width order — Theorem 5.1), the probe mode that
+//! order supports, and the column permutation needed to re-index the stored
+//! relations when the chosen GAO differs from the identity. The resulting
+//! [`Plan`] is cheap to build, inspectable ([`Plan::explain`]), and
+//! executable any number of times against a database:
+//!
+//! * [`Plan::stream`] — the lazy [`TupleStream`] executor (pull tuples one
+//!   at a time, stop early, read stats mid-flight);
+//! * [`Plan::execute`] — materialize everything, sorted in the original
+//!   attribute numbering;
+//! * [`Plan::prepare`] — bind to a database once (including any re-index
+//!   build) and get a [`PreparedPlan`] whose `stream`/`execute` pay only
+//!   probe work on every call.
+//!
+//! ```
+//! use minesweeper_core::{plan, Query};
+//! use minesweeper_storage::{builder, Database};
+//!
+//! let mut db = Database::new();
+//! let r = db.add(builder::binary("R", [(1, 10), (2, 20)])).unwrap();
+//! let s = db.add(builder::binary("S", [(10, 5), (20, 9)])).unwrap();
+//! let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+//!
+//! // Plan once: the planner picks a nested elimination order for this
+//! // β-acyclic path query (re-indexing if it differs from the identity) …
+//! let p = plan(&db, &q).unwrap();
+//! assert!(p.explain().contains("chain"));
+//! // … stream with early termination …
+//! let first: Vec<_> = p.stream(&db).unwrap().take(1).collect();
+//! assert_eq!(first, vec![vec![1, 10, 5]]);
+//! // … or materialize everything.
+//! let exec = p.execute(&db).unwrap();
+//! assert_eq!(exec.result.tuples, vec![vec![1, 10, 5], vec![2, 20, 9]]);
+//! ```
+
+use minesweeper_cds::ProbeMode;
+use minesweeper_storage::{Database, Tuple};
+
+use crate::execute::Execution;
+use crate::gao::{choose_gao, reindex_for_gao, GaoChoice};
+use crate::minesweeper::JoinResult;
+use crate::query::{Query, QueryError};
+use crate::stream::{DbHandle, TupleStream};
+
+/// Exhaustive-treewidth search limit handed to [`choose_gao`]; larger
+/// queries fall back to the min-fill heuristic.
+const EXACT_WIDTH_LIMIT: usize = 9;
+
+/// A validated, executable query plan (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// The query in the caller's attribute numbering.
+    query: Query,
+    /// The chosen GAO, probe mode, and elimination width.
+    gao: GaoChoice,
+    /// `inv[a]` = GAO position of original attribute `a`; `None` when the
+    /// chosen order is the identity and the stored indexes can be probed
+    /// directly.
+    inv: Option<Vec<usize>>,
+}
+
+/// Plans `query` against `db`: validation plus GAO / probe-mode / re-index
+/// selection. No tuple is touched — the returned [`Plan`] has done no
+/// execution work yet.
+pub fn plan(db: &Database, query: &Query) -> Result<Plan, QueryError> {
+    query.validate(db)?;
+    let gao = choose_gao(query, EXACT_WIDTH_LIMIT);
+    let identity: Vec<usize> = (0..query.n_attrs).collect();
+    let inv = if gao.order == identity {
+        None
+    } else {
+        let mut inv = vec![0usize; query.n_attrs];
+        for (i, &a) in gao.order.iter().enumerate() {
+            inv[a] = i;
+        }
+        Some(inv)
+    };
+    Ok(Plan {
+        query: query.clone(),
+        gao,
+        inv,
+    })
+}
+
+impl Plan {
+    /// The planned query (original attribute numbering).
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The chosen GAO, probe mode, and elimination width.
+    pub fn gao(&self) -> &GaoChoice {
+        &self.gao
+    }
+
+    /// True when execution must re-index the stored relations because the
+    /// chosen GAO is not the identity.
+    pub fn is_reindexed(&self) -> bool {
+        self.inv.is_some()
+    }
+
+    /// Binds the plan to a database: validation plus the (at most one)
+    /// re-index build happen here, so every subsequent
+    /// [`PreparedPlan::stream`] / [`PreparedPlan::execute`] call pays only
+    /// probe work. This is the execute-many half of the plan-once split —
+    /// use it whenever a plan will run more than once, or when
+    /// `stream().take(k)` must not pay a re-index on a non-identity GAO.
+    pub fn prepare<'db>(&self, db: &'db Database) -> Result<PreparedPlan<'db>, QueryError> {
+        self.query.validate(db)?;
+        Ok(match &self.inv {
+            None => PreparedPlan {
+                gao: self.gao.clone(),
+                exec_query: self.query.clone(),
+                inv: None,
+                db: PreparedDb::Borrowed(db),
+            },
+            Some(inv) => {
+                let (db2, q2) = reindex_for_gao(db, &self.query, &self.gao.order)?;
+                PreparedPlan {
+                    gao: self.gao.clone(),
+                    exec_query: q2,
+                    inv: Some(inv.clone()),
+                    db: PreparedDb::Owned(Box::new(db2)),
+                }
+            }
+        })
+    }
+
+    /// Opens a lazy [`TupleStream`] over `db`.
+    ///
+    /// Tuples are yielded *as they are certified* — lexicographically in
+    /// the GAO, with values translated back to the original attribute
+    /// numbering — so `stream.take(k)` pays only the probe work needed for
+    /// the first `k` tuples *plus*, when the plan's GAO is not the
+    /// identity, one re-index of the stored relations (owned by the
+    /// stream). Amortize that re-index across runs with [`Plan::prepare`].
+    ///
+    /// `db` is re-validated so a plan cannot silently run against a
+    /// database with different arities than the one it was built for.
+    pub fn stream<'db>(&self, db: &'db Database) -> Result<TupleStream<'db>, QueryError> {
+        self.query.validate(db)?;
+        match &self.inv {
+            None => Ok(TupleStream::new(
+                DbHandle::Borrowed(db),
+                self.query.clone(),
+                self.gao.mode,
+                None,
+            )),
+            Some(inv) => {
+                let (db2, q2) = reindex_for_gao(db, &self.query, &self.gao.order)?;
+                Ok(TupleStream::new(
+                    DbHandle::Owned(Box::new(db2)),
+                    q2,
+                    self.gao.mode,
+                    Some(inv.clone()),
+                ))
+            }
+        }
+    }
+
+    /// Runs the plan to completion.
+    ///
+    /// The result's tuples are **sorted lexicographically in the original
+    /// attribute numbering** regardless of the GAO the plan chose (the
+    /// identity-GAO probe order already is that order; re-indexed runs are
+    /// sorted after translation).
+    pub fn execute(&self, db: &Database) -> Result<Execution, QueryError> {
+        Ok(self.prepare(db)?.execute())
+    }
+
+    /// A human-readable description of the planning decisions, for the
+    /// CLI's `--explain` (attribute names are applied by the text layer).
+    pub fn explain(&self) -> String {
+        let mode = match self.gao.mode {
+            ProbeMode::Chain => "chain (nested elimination order, β-acyclic)",
+            ProbeMode::General => "general (minimum elimination width order)",
+        };
+        let bound = match self.gao.mode {
+            ProbeMode::Chain => "Õ(|C| + Z)  [Theorem 2.7]".to_string(),
+            ProbeMode::General => {
+                format!("Õ(|C|^{} + Z)  [Theorem 5.1]", self.gao.width + 1)
+            }
+        };
+        let indexes = if self.is_reindexed() {
+            format!(
+                "re-index {} atom(s) to match the GAO",
+                self.query.atoms.len()
+            )
+        } else {
+            "stored indexes already consistent with the GAO".to_string()
+        };
+        let atoms: Vec<String> = self
+            .query
+            .atoms
+            .iter()
+            .map(|a| format!("{:?}", a.attrs))
+            .collect();
+        format!(
+            "plan: minesweeper\n\
+             attributes: {}\n\
+             atoms (GAO positions): {}\n\
+             gao order: {:?}\n\
+             probe mode: {mode}\n\
+             elimination width: {}\n\
+             indexes: {indexes}\n\
+             runtime bound: {bound}",
+            self.query.n_attrs,
+            atoms.join(" "),
+            self.gao.order,
+            self.gao.width,
+        )
+    }
+}
+
+/// The database side of a prepared plan: borrowed when the stored indexes
+/// already match the GAO, owned when [`Plan::prepare`] had to re-index.
+enum PreparedDb<'db> {
+    Borrowed(&'db Database),
+    Owned(Box<Database>),
+}
+
+/// A [`Plan`] bound to a database (see [`Plan::prepare`]): any re-indexing
+/// is already done, so [`PreparedPlan::stream`] and
+/// [`PreparedPlan::execute`] start probing immediately, however many times
+/// they are called.
+pub struct PreparedPlan<'db> {
+    gao: GaoChoice,
+    /// Execution-side query (re-indexed when the GAO demanded it).
+    exec_query: Query,
+    /// `inv[a]` = execution column of original attribute `a`.
+    inv: Option<Vec<usize>>,
+    db: PreparedDb<'db>,
+}
+
+impl PreparedPlan<'_> {
+    fn db(&self) -> &Database {
+        match &self.db {
+            PreparedDb::Borrowed(d) => d,
+            PreparedDb::Owned(b) => b,
+        }
+    }
+
+    /// The GAO this prepared plan executes under.
+    pub fn gao(&self) -> &GaoChoice {
+        &self.gao
+    }
+
+    /// Opens a lazy [`TupleStream`]; only probe work is paid here.
+    pub fn stream(&self) -> TupleStream<'_> {
+        TupleStream::new(
+            DbHandle::Borrowed(self.db()),
+            self.exec_query.clone(),
+            self.gao.mode,
+            self.inv.clone(),
+        )
+    }
+
+    /// Runs to completion with the same sorted-output guarantee as
+    /// [`Plan::execute`].
+    pub fn execute(&self) -> Execution {
+        let mut stream = self.stream();
+        let mut tuples: Vec<Tuple> = stream.by_ref().collect();
+        if self.inv.is_some() {
+            tuples.sort_unstable();
+        } else {
+            debug_assert!(
+                tuples.windows(2).all(|w| w[0] < w[1]),
+                "identity-GAO probe order must already be lexicographic"
+            );
+        }
+        Execution {
+            result: JoinResult {
+                tuples,
+                stats: stream.stats(),
+            },
+            gao: self.gao.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_join;
+    use minesweeper_storage::{builder, RelationBuilder};
+
+    fn b7_db_query() -> (Database, Query) {
+        // Example B.7's query R(A,B,C) ⋈ S(A,C) ⋈ T(B,C): the identity is
+        // not a NEO, so the plan must re-index.
+        let mut db = Database::new();
+        let r = db
+            .add(
+                RelationBuilder::new("R", 3)
+                    .tuple(&[1, 2, 3])
+                    .tuple(&[4, 5, 6])
+                    .tuple(&[1, 5, 3])
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let s = db.add(builder::binary("S", [(1, 3), (4, 6)])).unwrap();
+        let t = db.add(builder::binary("T", [(2, 3), (5, 3)])).unwrap();
+        let q = Query::new(3)
+            .atom(r, &[0, 1, 2])
+            .atom(s, &[0, 2])
+            .atom(t, &[1, 2]);
+        (db, q)
+    }
+
+    #[test]
+    fn plan_is_constructible_without_executing() {
+        let (db, q) = b7_db_query();
+        let p = plan(&db, &q).unwrap();
+        assert!(p.is_reindexed());
+        assert_eq!(p.gao().mode, ProbeMode::Chain);
+        // Planning happened; nothing has been executed and the plan can be
+        // inspected and reused.
+        assert!(p.explain().contains("gao order"));
+        assert_eq!(p.query().atoms.len(), 3);
+    }
+
+    #[test]
+    fn plan_executes_many_times() {
+        let (db, q) = b7_db_query();
+        let p = plan(&db, &q).unwrap();
+        let a = p.execute(&db).unwrap();
+        let b = p.execute(&db).unwrap();
+        assert_eq!(a.result.tuples, b.result.tuples);
+        assert_eq!(a.result.tuples, naive_join(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn prepared_plan_reindexes_once_and_streams_many_times() {
+        let (db, q) = b7_db_query();
+        let p = plan(&db, &q).unwrap();
+        assert!(p.is_reindexed());
+        // One prepare = one re-index; every stream/execute after that is
+        // probe work only.
+        let prepared = p.prepare(&db).unwrap();
+        let take_one: Vec<Tuple> = prepared.stream().take(1).collect();
+        assert_eq!(take_one.len(), 1);
+        let s1: Vec<Tuple> = prepared.stream().collect();
+        let s2: Vec<Tuple> = prepared.stream().collect();
+        assert_eq!(s1, s2);
+        let exec = prepared.execute();
+        assert_eq!(exec.result.tuples, naive_join(&db, &q).unwrap());
+        assert_eq!(prepared.gao(), p.gao());
+    }
+
+    #[test]
+    fn stream_translates_to_original_numbering() {
+        let (db, q) = b7_db_query();
+        let p = plan(&db, &q).unwrap();
+        let mut got: Vec<Tuple> = p.stream(&db).unwrap().collect();
+        got.sort();
+        assert_eq!(got, naive_join(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn identity_plan_streams_in_lex_order() {
+        // A unary query has only one possible GAO, so the plan cannot
+        // re-index and the stream's certification order *is* lexicographic
+        // in the original numbering.
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [9, 1, 5, 3])).unwrap();
+        let s = db.add(builder::unary("S", [3, 9, 2, 5])).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        let p = plan(&db, &q).unwrap();
+        assert!(!p.is_reindexed());
+        let got: Vec<Tuple> = p.stream(&db).unwrap().collect();
+        assert_eq!(got, naive_join(&db, &q).unwrap(), "already lex-sorted");
+    }
+
+    #[test]
+    fn stream_revalidates_against_foreign_database() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [1, 2])).unwrap();
+        let q = Query::new(1).atom(r, &[0]);
+        let p = plan(&db, &q).unwrap();
+        // A database where the planned RelId has a different arity.
+        let mut other = Database::new();
+        other.add(builder::binary("R2", [(1, 2)])).unwrap();
+        assert!(p.stream(&other).is_err());
+    }
+
+    #[test]
+    fn explain_mentions_mode_and_bound() {
+        let mut db = Database::new();
+        let e = db.add(builder::binary("E", [(1, 2)])).unwrap();
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
+        let p = plan(&db, &q).unwrap();
+        let text = p.explain();
+        assert!(text.contains("general"), "{text}");
+        assert!(text.contains("|C|^3"), "width-2 triangle bound: {text}");
+    }
+}

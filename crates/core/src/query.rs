@@ -49,6 +49,14 @@ pub enum QueryError {
     UncoveredAttribute(usize),
     /// The query has no atoms.
     NoAtoms,
+    /// The selected algorithm cannot evaluate this query (e.g. Yannakakis
+    /// on a query that is not α-acyclic).
+    Unsupported {
+        /// Registry name of the algorithm that refused the query.
+        algorithm: &'static str,
+        /// Why the query is outside the algorithm's class.
+        reason: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -60,7 +68,11 @@ impl fmt::Display for QueryError {
             QueryError::AttrOutOfRange { atom, attr } => {
                 write!(f, "atom {atom}: attribute {attr} out of range")
             }
-            QueryError::ArityMismatch { atom, atom_arity, rel_arity } => write!(
+            QueryError::ArityMismatch {
+                atom,
+                atom_arity,
+                rel_arity,
+            } => write!(
                 f,
                 "atom {atom}: {atom_arity} attributes but relation has arity {rel_arity}"
             ),
@@ -68,6 +80,12 @@ impl fmt::Display for QueryError {
                 write!(f, "attribute {a} appears in no atom")
             }
             QueryError::NoAtoms => write!(f, "query has no atoms"),
+            QueryError::Unsupported { algorithm, reason } => {
+                write!(
+                    f,
+                    "algorithm {algorithm} cannot evaluate this query: {reason}"
+                )
+            }
         }
     }
 }
@@ -86,12 +104,18 @@ pub struct Query {
 impl Query {
     /// Starts a query over `n_attrs` attributes.
     pub fn new(n_attrs: usize) -> Self {
-        Query { n_attrs, atoms: Vec::new() }
+        Query {
+            n_attrs,
+            atoms: Vec::new(),
+        }
     }
 
     /// Adds an atom (builder style).
     pub fn atom(mut self, rel: RelId, attrs: &[usize]) -> Self {
-        self.atoms.push(Atom { rel, attrs: attrs.to_vec() });
+        self.atoms.push(Atom {
+            rel,
+            attrs: attrs.to_vec(),
+        });
         self
     }
 
@@ -194,7 +218,11 @@ mod tests {
         let q = Query::new(2).atom(r, &[0, 1]);
         assert_eq!(
             q.validate(&db),
-            Err(QueryError::ArityMismatch { atom: 0, atom_arity: 2, rel_arity: 1 })
+            Err(QueryError::ArityMismatch {
+                atom: 0,
+                atom_arity: 2,
+                rel_arity: 1
+            })
         );
     }
 

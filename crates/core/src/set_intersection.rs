@@ -83,8 +83,7 @@ pub fn set_intersection_galloping(sets: &[&TrieRelation]) -> JoinResult {
     let mut stats = ExecStats::new();
     let mut cds = IntervalSet::new();
     let mut tuples = Vec::new();
-    let arrays: Vec<&[minesweeper_storage::Val]> =
-        sets.iter().map(|s| s.first_column()).collect();
+    let arrays: Vec<&[minesweeper_storage::Val]> = sets.iter().map(|s| s.first_column()).collect();
     let mut pos = vec![0usize; arrays.len()];
     loop {
         stats.cds_next_calls += 1;
@@ -154,7 +153,11 @@ mod tests {
         let b = unary("B", n..2 * n);
         let res = set_intersection(&[&a, &b]);
         assert!(res.tuples.is_empty());
-        assert!(res.stats.probe_points <= 3, "probes = {}", res.stats.probe_points);
+        assert!(
+            res.stats.probe_points <= 3,
+            "probes = {}",
+            res.stats.probe_points
+        );
         assert!(res.stats.find_gap_calls <= 6);
     }
 
@@ -201,9 +204,7 @@ mod tests {
         for _ in 0..25 {
             let k = 2 + rng(3) as usize;
             let sets: Vec<_> = (0..k)
-                .map(|i| {
-                    unary(format!("S{i}"), (0..rng(40)).map(|_| rng(60) as Val))
-                })
+                .map(|i| unary(format!("S{i}"), (0..rng(40)).map(|_| rng(60) as Val)))
                 .collect();
             let refs: Vec<&super::TrieRelation> = sets.iter().collect();
             let a = set_intersection(&refs);

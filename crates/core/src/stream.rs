@@ -1,0 +1,372 @@
+//! The streaming Minesweeper executor.
+//!
+//! [`TupleStream`] runs Algorithm 2's probe loop *lazily*: each call to
+//! [`Iterator::next`] resumes the loop exactly where the previous call
+//! stopped — the constraint data structure **is** the resumable state, since
+//! every discovered gap and every emitted output is recorded there as a
+//! constraint — and returns as soon as the next tuple is certified. This
+//! gives:
+//!
+//! * **early termination**: `stream.take(k)` performs only the probe work
+//!   needed to certify `k` tuples (certificate work for the skipped suffix
+//!   is never paid), which is how `msj --limit` avoids materializing `Z`
+//!   tuples when `Z ≫ k`;
+//! * **mid-stream statistics**: [`TupleStream::stats`] snapshots the
+//!   [`ExecStats`] counters at any point, including between yields;
+//! * **original-order tuples**: when the plan re-indexed for a non-identity
+//!   GAO, yielded tuples are translated back to the caller's attribute
+//!   numbering on the fly. Tuples are yielded in certification order, which
+//!   is lexicographic in the *GAO*; it therefore coincides with
+//!   lexicographic order in the original numbering exactly when the GAO is
+//!   the identity (see [`crate::execute`] for the sorted-collect wrapper).
+//!
+//! Relations are probed through [`GapCursor`]s that persist across resumed
+//! probes, so a forward-moving probe sequence gallops from the previous
+//! landing position instead of re-running full binary searches.
+
+use minesweeper_cds::{Constraint, ConstraintTree, Pattern, PatternComp, ProbeMode, ProbeStats};
+use minesweeper_storage::{Database, ExecStats, GapCursor, NodeId, TrieRelation, Tuple, Val};
+
+use crate::query::{Atom, Query};
+
+/// The database a stream probes: borrowed from the caller when the plan
+/// uses the stored indexes directly, owned when execution required
+/// re-indexing under a different GAO.
+pub(crate) enum DbHandle<'db> {
+    /// The caller's database, indexes used as stored.
+    Borrowed(&'db Database),
+    /// A re-indexed copy built by the plan's GAO mapping.
+    Owned(Box<Database>),
+}
+
+/// A lazy stream of certified output tuples (see the module docs).
+///
+/// Construct via [`crate::Plan::stream`]. The stream is fused: after the
+/// constraint set covers the whole output space, `next` keeps returning
+/// `None`.
+pub struct TupleStream<'db> {
+    db: DbHandle<'db>,
+    /// The execution-side query (re-indexed when the plan demanded it).
+    query: Query,
+    cds: ConstraintTree,
+    pst: ProbeStats,
+    stats: ExecStats,
+    /// One positional probe cursor per atom, persisted across resumes.
+    cursors: Vec<GapCursor>,
+    /// Scratch buffer of gap constraints discovered around one probe.
+    gaps: Vec<Constraint>,
+    /// `inv[a]` = execution column holding original attribute `a`; `None`
+    /// when the GAO is the identity.
+    inv: Option<Vec<usize>>,
+    done: bool,
+}
+
+impl<'db> TupleStream<'db> {
+    /// Builds a stream over an already-validated execution query.
+    pub(crate) fn new(
+        db: DbHandle<'db>,
+        query: Query,
+        mode: ProbeMode,
+        inv: Option<Vec<usize>>,
+    ) -> Self {
+        let n = query.n_attrs;
+        let cursors = {
+            let dbr: &Database = match &db {
+                DbHandle::Borrowed(d) => d,
+                DbHandle::Owned(b) => b,
+            };
+            query
+                .atoms
+                .iter()
+                .map(|a| GapCursor::new(dbr.relation(a.rel).arity()))
+                .collect()
+        };
+        TupleStream {
+            db,
+            query,
+            cds: ConstraintTree::new(n, mode),
+            pst: ProbeStats::default(),
+            stats: ExecStats::new(),
+            cursors,
+            gaps: Vec::new(),
+            inv,
+            done: false,
+        }
+    }
+
+    /// A snapshot of the execution counters accumulated so far, valid at
+    /// any point mid-stream. `outputs` counts tuples already yielded.
+    pub fn stats(&self) -> ExecStats {
+        let mut s = self.stats.clone();
+        merge_probe_stats(&mut s, &self.pst);
+        s
+    }
+
+    /// True once the constraint set covers the whole space (the stream has
+    /// returned `None`).
+    pub fn is_exhausted(&self) -> bool {
+        self.done
+    }
+
+    /// Number of tuples yielded so far.
+    pub fn outputs(&self) -> u64 {
+        self.stats.outputs
+    }
+}
+
+impl Iterator for TupleStream<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.done {
+            return None;
+        }
+        let db: &Database = match &self.db {
+            DbHandle::Borrowed(d) => d,
+            DbHandle::Owned(b) => b,
+        };
+        while let Some(t) = self.cds.get_probe_point(&mut self.pst) {
+            self.gaps.clear();
+            let mut is_output = true;
+            for (atom, cursor) in self.query.atoms.iter().zip(&mut self.cursors) {
+                let rel = db.relation(atom.rel);
+                let matched = explore_atom(
+                    rel,
+                    atom,
+                    self.query.n_attrs,
+                    &t,
+                    cursor,
+                    &mut self.gaps,
+                    &mut self.stats,
+                );
+                is_output &= matched;
+            }
+            if is_output {
+                self.cds
+                    .insert_constraint(&Constraint::point_exclusion(&t), &mut self.pst);
+                self.stats.outputs += 1;
+                return Some(match &self.inv {
+                    None => t,
+                    Some(inv) => inv.iter().map(|&c| t[c]).collect(),
+                });
+            }
+            for c in &self.gaps {
+                self.cds.insert_constraint(c, &mut self.pst);
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// Folds CDS-internal counters into the execution statistics.
+pub(crate) fn merge_probe_stats(stats: &mut ExecStats, pst: &ProbeStats) {
+    stats.probe_points += pst.probe_points;
+    stats.constraints_inserted += pst.constraints_inserted;
+    stats.backtracks += pst.backtracks;
+    stats.cds_next_calls += pst.next_calls;
+}
+
+/// Explores one atom around probe `t` (Algorithm 2 lines 4–10 and 15–20):
+/// appends the discovered gap constraints and returns whether the all-exact
+/// descent matched `t`'s projection (line 11's test for this relation).
+pub(crate) fn explore_atom(
+    rel: &TrieRelation,
+    atom: &Atom,
+    n_attrs: usize,
+    t: &[Val],
+    cursor: &mut GapCursor,
+    gaps: &mut Vec<Constraint>,
+    stats: &mut ExecStats,
+) -> bool {
+    let mut matched = true;
+    let mut prefix_vals: Vec<Val> = Vec::with_capacity(atom.attrs.len());
+    explore_rec(
+        rel,
+        atom,
+        n_attrs,
+        t,
+        rel.root(),
+        true,
+        &mut prefix_vals,
+        cursor,
+        gaps,
+        stats,
+        &mut matched,
+    );
+    matched
+}
+
+/// Recursive `{ℓ, h}`-branch exploration from a trie node at atom depth
+/// `prefix_vals.len()`. `on_exact_path` is true when every ancestor
+/// coordinate hit `t`'s projection exactly; `matched` is cleared when the
+/// exact path dies.
+#[allow(clippy::too_many_arguments)]
+fn explore_rec(
+    rel: &TrieRelation,
+    atom: &Atom,
+    n_attrs: usize,
+    t: &[Val],
+    node: NodeId,
+    on_exact_path: bool,
+    prefix_vals: &mut Vec<Val>,
+    cursor: &mut GapCursor,
+    gaps: &mut Vec<Constraint>,
+    stats: &mut ExecStats,
+    matched: &mut bool,
+) {
+    let p = prefix_vals.len();
+    let k = atom.attrs.len();
+    let a = t[atom.attrs[p]];
+    let gap = cursor.find_gap(rel, node, a, stats);
+    if !gap.exact() {
+        // The gap (R[i^{v,ℓ}], R[i^{v,h}]) strictly brackets t's coordinate.
+        gaps.push(make_gap_constraint(
+            atom,
+            n_attrs,
+            prefix_vals,
+            gap.lo_val,
+            gap.hi_val,
+        ));
+        if on_exact_path {
+            *matched = false;
+        }
+    }
+    if p + 1 == k {
+        return;
+    }
+    // Descend into the low and high bracketing children (deduplicated when
+    // equal; skipped when out of range).
+    let lo_in_range = gap.lo_coord >= 1;
+    let hi_in_range = gap.hi_coord <= rel.child_count(node);
+    if lo_in_range {
+        let child = rel.child(node, gap.lo_coord);
+        prefix_vals.push(gap.lo_val);
+        explore_rec(
+            rel,
+            atom,
+            n_attrs,
+            t,
+            child,
+            on_exact_path && gap.exact(),
+            prefix_vals,
+            cursor,
+            gaps,
+            stats,
+            matched,
+        );
+        prefix_vals.pop();
+    } else if on_exact_path {
+        *matched = false;
+    }
+    if hi_in_range && gap.hi_coord != gap.lo_coord {
+        let child = rel.child(node, gap.hi_coord);
+        prefix_vals.push(gap.hi_val);
+        explore_rec(
+            rel,
+            atom,
+            n_attrs,
+            t,
+            child,
+            false,
+            prefix_vals,
+            cursor,
+            gaps,
+            stats,
+            matched,
+        );
+        prefix_vals.pop();
+    }
+}
+
+/// Builds the constraint `⟨…equalities at the atom's GAO positions…,
+/// (lo, hi)⟩` for a gap found at atom depth `prefix_vals.len()`.
+pub(crate) fn make_gap_constraint(
+    atom: &Atom,
+    n_attrs: usize,
+    prefix_vals: &[Val],
+    lo: Val,
+    hi: Val,
+) -> Constraint {
+    let p = prefix_vals.len();
+    let interval_pos = atom.attrs[p];
+    debug_assert!(interval_pos < n_attrs);
+    let mut comps = vec![PatternComp::Star; interval_pos];
+    for (j, &v) in prefix_vals.iter().enumerate() {
+        comps[atom.attrs[j]] = PatternComp::Eq(v);
+    }
+    Constraint::new(Pattern(comps), lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minesweeper_cds::{NEG_INF, POS_INF};
+    use minesweeper_storage::{builder, RelId};
+
+    #[test]
+    fn gap_constraint_positions() {
+        // Atom over GAO positions (0, 2) of a 3-attribute query: a gap at
+        // depth 1 must place its equality at position 0, a star at 1, and
+        // the interval at 2.
+        let atom = Atom {
+            rel: RelId(0),
+            attrs: vec![0, 2],
+        };
+        let c = make_gap_constraint(&atom, 3, &[42], 5, 9);
+        assert_eq!(
+            c.pattern,
+            Pattern(vec![PatternComp::Eq(42), PatternComp::Star])
+        );
+        assert_eq!((c.lo, c.hi), (5, 9));
+        // Depth 0: interval at position 0, no pattern.
+        let c = make_gap_constraint(&atom, 3, &[], NEG_INF, POS_INF);
+        assert_eq!(c.pattern, Pattern::empty());
+    }
+
+    #[test]
+    fn stream_yields_incrementally_and_is_fused() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [1, 3, 5, 7])).unwrap();
+        let s = db.add(builder::unary("S", [3, 4, 7, 9])).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        let mut stream = TupleStream::new(DbHandle::Borrowed(&db), q, ProbeMode::Chain, None);
+        assert_eq!(stream.next(), Some(vec![3]));
+        let mid = stream.stats();
+        assert_eq!(mid.outputs, 1);
+        assert!(mid.find_gap_calls > 0, "mid-stream stats are live");
+        assert_eq!(stream.next(), Some(vec![7]));
+        assert_eq!(stream.next(), None);
+        assert!(stream.is_exhausted());
+        assert_eq!(stream.next(), None, "fused after exhaustion");
+        assert_eq!(stream.outputs(), 2);
+    }
+
+    #[test]
+    fn early_termination_skips_probe_work() {
+        // Example B.2's shape: |C| = O(1) but Z = N. Taking one tuple must
+        // not pay for the remaining N − 1.
+        let n: Val = 512;
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", 1..=n)).unwrap();
+        let s = db
+            .add(builder::binary("S", (1..=n).map(|i| (n, 10 * i))))
+            .unwrap();
+        let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]);
+        let mut stream =
+            TupleStream::new(DbHandle::Borrowed(&db), q.clone(), ProbeMode::Chain, None);
+        let first: Vec<Tuple> = stream.by_ref().take(1).collect();
+        assert_eq!(first.len(), 1);
+        let early = stream.stats();
+        let mut full = TupleStream::new(DbHandle::Borrowed(&db), q, ProbeMode::Chain, None);
+        let all: Vec<Tuple> = full.by_ref().collect();
+        assert_eq!(all.len(), n as usize);
+        let total = full.stats();
+        assert!(
+            early.probe_points * 8 < total.probe_points,
+            "early stop must probe far less: {} vs {}",
+            early.probe_points,
+            total.probe_points
+        );
+    }
+}

@@ -9,7 +9,7 @@
 //! runtime `Õ(|C|^{3/2} + Z)`.
 
 use minesweeper_cds::{Constraint, ProbeStats, TriangleCds};
-use minesweeper_storage::{Database, ExecStats, RelId, TrieRelation};
+use minesweeper_storage::{Database, ExecStats, GapCursor, RelId, TrieRelation};
 
 use crate::minesweeper::{explore_atom, merge_probe_stats, JoinResult};
 use crate::query::{Query, QueryError};
@@ -33,12 +33,17 @@ pub fn triangle_join(
     let mut stats = ExecStats::new();
     let mut tuples = Vec::new();
     let mut gaps: Vec<Constraint> = Vec::new();
+    let mut cursors: Vec<GapCursor> = query
+        .atoms
+        .iter()
+        .map(|a| GapCursor::new(db.relation(a.rel).arity()))
+        .collect();
     while let Some(probe) = cds.get_probe_point(&mut pst) {
         gaps.clear();
         let mut is_output = true;
-        for atom in &query.atoms {
+        for (atom, cursor) in query.atoms.iter().zip(&mut cursors) {
             let rel = db.relation(atom.rel);
-            let matched = explore_atom(rel, atom, 3, &probe, &mut gaps, &mut stats);
+            let matched = explore_atom(rel, atom, 3, &probe, cursor, &mut gaps, &mut stats);
             is_output &= matched;
         }
         if is_output {
@@ -59,11 +64,7 @@ pub fn triangle_join(
 /// (`R`'s second column, `S`'s first column); the dyadic tree rounds up to
 /// a power of two.
 fn b_domain_bound(r: &TrieRelation, s: &TrieRelation) -> i64 {
-    let r_max = r
-        .iter_tuples()
-        .map(|t| t[1])
-        .max()
-        .unwrap_or(0);
+    let r_max = r.iter_tuples().map(|t| t[1]).max().unwrap_or(0);
     let s_max = s.first_column().last().copied().unwrap_or(0);
     r_max.max(s_max) + 1
 }

@@ -14,7 +14,10 @@ use crate::hypergraph::Hypergraph;
 /// vertex `v` is a nest point when `{F ∈ E : v ∈ F}` is a chain under `⊆`.
 pub fn nest_points(h: &Hypergraph) -> Vec<usize> {
     let covered = h.covered_vertices();
-    covered.into_iter().filter(|&v| is_nest_point(h, v)).collect()
+    covered
+        .into_iter()
+        .filter(|&v| is_nest_point(h, v))
+        .collect()
 }
 
 fn is_nest_point(h: &Hypergraph, v: usize) -> bool {
@@ -216,7 +219,15 @@ mod tests {
         assert!(find_beta_cycle(&path(4)).is_none());
         let star = Hypergraph::new(
             4,
-            vec![vec![0], vec![0, 1], vec![0, 2], vec![0, 3], vec![1], vec![2], vec![3]],
+            vec![
+                vec![0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1],
+                vec![2],
+                vec![3],
+            ],
         );
         assert!(is_beta_acyclic(&star));
     }
@@ -280,7 +291,13 @@ mod tests {
     fn beta_definition_agrees_with_subgraph_definition() {
         // β-acyclic iff every edge-subset is α-acyclic (the original
         // definition). Check on all sub-hypergraphs of a few fixtures.
-        for h in [triangle(), triangle_plus_u(), bowtie(), example_b7(), path(3)] {
+        for h in [
+            triangle(),
+            triangle_plus_u(),
+            bowtie(),
+            example_b7(),
+            path(3),
+        ] {
             let m = h.num_edges();
             let mut all_alpha = true;
             for mask in 1u32..(1 << m) {

@@ -104,7 +104,11 @@ pub fn is_nested_elimination_order(h: &Hypergraph, order: &[usize]) -> bool {
 
 /// The elimination width of `order`: `max_j |U(P_j)|` (Proposition A.7).
 pub fn elimination_width(h: &Hypergraph, order: &[usize]) -> usize {
-    prefix_posets(h, order).iter().map(|p| p.universe.len()).max().unwrap_or(0)
+    prefix_posets(h, order)
+        .iter()
+        .map(|p| p.universe.len())
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -186,7 +190,15 @@ mod tests {
         // Star query hypergraph with GAO (A, B, C, D) = (0, 1, 2, 3).
         let h = Hypergraph::new(
             4,
-            vec![vec![0], vec![0, 1], vec![0, 2], vec![0, 3], vec![1], vec![2], vec![3]],
+            vec![
+                vec![0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1],
+                vec![2],
+                vec![3],
+            ],
         );
         assert!(is_nested_elimination_order(&h, &[0, 1, 2, 3]));
     }

@@ -216,7 +216,15 @@ mod tests {
             Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]),
             Hypergraph::new(
                 4,
-                vec![vec![0], vec![0, 1], vec![0, 2], vec![0, 3], vec![1], vec![2], vec![3]],
+                vec![
+                    vec![0],
+                    vec![0, 1],
+                    vec![0, 2],
+                    vec![0, 3],
+                    vec![1],
+                    vec![2],
+                    vec![3],
+                ],
             ),
         ];
         for h in &catalogue {
@@ -243,7 +251,15 @@ mod tests {
     fn star_query_is_berge_acyclic() {
         let star = Hypergraph::new(
             4,
-            vec![vec![0], vec![0, 1], vec![0, 2], vec![0, 3], vec![1], vec![2], vec![3]],
+            vec![
+                vec![0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1],
+                vec![2],
+                vec![3],
+            ],
         );
         assert!(is_berge_acyclic(&star));
         assert!(is_gamma_acyclic(&star));

@@ -51,7 +51,9 @@ impl Hypergraph {
 
     /// Indices of edges containing vertex `v` (the paper's `B(v)`).
     pub fn edges_containing(&self, v: usize) -> Vec<usize> {
-        (0..self.edges.len()).filter(|&i| self.edges[i].contains(&v)).collect()
+        (0..self.edges.len())
+            .filter(|&i| self.edges[i].contains(&v))
+            .collect()
     }
 
     /// True if vertex `v` appears in exactly one hyperedge (a *private*

@@ -22,8 +22,9 @@ pub fn induced_width_of_order(h: &Hypergraph, order: &[usize]) -> usize {
     let mut eliminated = vec![false; n];
     for j in (0..n).rev() {
         let v = order[j];
-        let nbrs: Vec<usize> =
-            (0..n).filter(|&u| !eliminated[u] && u != v && adj[v][u]).collect();
+        let nbrs: Vec<usize> = (0..n)
+            .filter(|&u| !eliminated[u] && u != v && adj[v][u])
+            .collect();
         width = width.max(nbrs.len());
         for (i, &a) in nbrs.iter().enumerate() {
             for &b in &nbrs[i + 1..] {
@@ -84,8 +85,9 @@ pub fn treewidth_upper(h: &Hypergraph) -> (Vec<usize>, usize) {
             if !alive[v] {
                 continue;
             }
-            let nbrs: Vec<usize> =
-                (0..n).filter(|&u| alive[u] && u != v && adj[v][u]).collect();
+            let nbrs: Vec<usize> = (0..n)
+                .filter(|&u| alive[u] && u != v && adj[v][u])
+                .collect();
             let mut fill = 0usize;
             for (i, &a) in nbrs.iter().enumerate() {
                 for &b in &nbrs[i + 1..] {
@@ -101,7 +103,9 @@ pub fn treewidth_upper(h: &Hypergraph) -> (Vec<usize>, usize) {
         }
         let (_, deg, v) = best.expect("a live vertex exists");
         width = width.max(deg);
-        let nbrs: Vec<usize> = (0..n).filter(|&u| alive[u] && u != v && adj[v][u]).collect();
+        let nbrs: Vec<usize> = (0..n)
+            .filter(|&u| alive[u] && u != v && adj[v][u])
+            .collect();
         for (i, &a) in nbrs.iter().enumerate() {
             for &b in &nbrs[i + 1..] {
                 adj[a][b] = true;
@@ -180,7 +184,13 @@ mod tests {
     fn induced_width_matches_elimination_width() {
         // Proposition A.7: Gaifman-graph induced width equals the
         // prefix-poset universe bound, for every order.
-        for h in [triangle(), triangle_plus_u(), bowtie(), example_b7(), path(3)] {
+        for h in [
+            triangle(),
+            triangle_plus_u(),
+            bowtie(),
+            example_b7(),
+            path(3),
+        ] {
             let n = h.num_vertices();
             let mut order: Vec<usize> = (0..n).collect();
             permute(&mut order, 0, &mut |perm| {
@@ -195,7 +205,13 @@ mod tests {
 
     #[test]
     fn heuristic_is_sound_upper_bound() {
-        for h in [triangle(), triangle_plus_u(), bowtie(), example_b7(), path(5)] {
+        for h in [
+            triangle(),
+            triangle_plus_u(),
+            bowtie(),
+            example_b7(),
+            path(5),
+        ] {
             let exact = treewidth_exact(&h, 8);
             let (order, w) = treewidth_upper(&h);
             assert!(w >= exact);

@@ -4,22 +4,23 @@
 use proptest::prelude::*;
 
 use minesweeper_hypergraph::{
-    elimination_width, find_beta_cycle, induced_width_of_order, is_alpha_acyclic,
-    is_beta_acyclic, is_berge_acyclic, is_gamma_acyclic, is_nested_elimination_order,
-    min_width_order, nested_elimination_order, treewidth_exact, Hypergraph,
+    elimination_width, find_beta_cycle, induced_width_of_order, is_alpha_acyclic, is_berge_acyclic,
+    is_beta_acyclic, is_gamma_acyclic, is_nested_elimination_order, min_width_order,
+    nested_elimination_order, treewidth_exact, Hypergraph,
 };
 
 /// Random hypergraph with up to 5 vertices and 5 edges (small enough for
 /// the exponential witnesses searches).
 fn hypergraph_strategy() -> impl Strategy<Value = Hypergraph> {
     (2usize..=5).prop_flat_map(|n| {
-        prop::collection::vec(
-            prop::collection::btree_set(0..n, 1..=n.min(3)),
-            1..=5,
+        prop::collection::vec(prop::collection::btree_set(0..n, 1..=n.min(3)), 1..=5).prop_map(
+            move |edges| {
+                Hypergraph::new(
+                    n,
+                    edges.into_iter().map(|e| e.into_iter().collect()).collect(),
+                )
+            },
         )
-        .prop_map(move |edges| {
-            Hypergraph::new(n, edges.into_iter().map(|e| e.into_iter().collect()).collect())
-        })
     })
 }
 

@@ -27,7 +27,12 @@ impl RelationBuilder {
     /// Starts a builder for a relation with the given name and arity.
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
         assert!(arity >= 1, "relations must have arity >= 1");
-        RelationBuilder { name: name.into(), arity, tuples: Vec::new(), error: None }
+        RelationBuilder {
+            name: name.into(),
+            arity,
+            tuples: Vec::new(),
+            error: None,
+        }
     }
 
     /// Adds one tuple (by slice). Errors are deferred to [`build`].
@@ -52,8 +57,10 @@ impl RelationBuilder {
             return;
         }
         if let Some(&v) = t.iter().find(|&&v| !(0..=MAX_DOMAIN_VALUE).contains(&v)) {
-            self.error =
-                Some(StorageError::ValueOutOfDomain { relation: self.name.clone(), value: v });
+            self.error = Some(StorageError::ValueOutOfDomain {
+                relation: self.name.clone(),
+                value: v,
+            });
             return;
         }
         self.tuples.push(t.to_vec());
@@ -80,7 +87,9 @@ impl RelationBuilder {
         let mut tuples = self.tuples;
         tuples.sort_unstable();
         tuples.dedup();
-        Ok(TrieRelation::from_sorted_unique(self.name, self.arity, &tuples))
+        Ok(TrieRelation::from_sorted_unique(
+            self.name, self.arity, &tuples,
+        ))
     }
 }
 

@@ -31,7 +31,10 @@ struct Frame {
 impl<'a> TrieCursor<'a> {
     /// Creates a cursor positioned at the root with no open level.
     pub fn new(rel: &'a TrieRelation) -> Self {
-        TrieCursor { rel, frames: Vec::new() }
+        TrieCursor {
+            rel,
+            frames: Vec::new(),
+        }
     }
 
     /// The underlying relation.
@@ -65,7 +68,11 @@ impl<'a> TrieCursor<'a> {
             return false;
         }
         let lo = self.rel.child(node, 1).into_pos();
-        self.frames.push(Frame { lo, hi: lo + n, cur: lo });
+        self.frames.push(Frame {
+            lo,
+            hi: lo + n,
+            cur: lo,
+        });
         true
     }
 

@@ -71,7 +71,10 @@ impl Database {
 
     /// Iterates `(id, relation)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (RelId, &TrieRelation)> {
-        self.relations.iter().enumerate().map(|(i, r)| (RelId(i), r))
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i), r))
     }
 }
 

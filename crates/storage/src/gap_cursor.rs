@@ -1,0 +1,160 @@
+//! Positional `FindGap` with cross-probe reuse.
+//!
+//! The streaming executor probes relations around consecutive probe points,
+//! and consecutive probe points share long prefixes and move forward
+//! lexicographically. A [`GapCursor`] exploits that: per trie depth it
+//! remembers the node and landing position of the previous `FindGap`, and
+//! when the next probe hits the same node it gallops forward from the
+//! remembered position instead of binary-searching the whole sibling range.
+//! A forward sweep over a level therefore costs `O(log d)` per probe in the
+//! distance `d` advanced — the same adaptivity argument as leapfrogging
+//! (Section 6.2) — while backward or cross-node probes fall back to the
+//! plain `O(log |R|)` search.
+//!
+//! Results are bit-for-bit identical to [`TrieRelation::find_gap`],
+//! including the `find_gap_calls` accounting, so certificate-proxy
+//! measurements are unaffected by the reuse.
+
+use crate::sorted;
+use crate::stats::ExecStats;
+use crate::trie::{gap_from_cnt_le, Gap, NodeId, TrieRelation};
+use crate::value::Val;
+
+/// One remembered landing site: the node probed and the `count_le` result.
+#[derive(Debug, Clone, Copy)]
+struct Landing {
+    node: NodeId,
+    cnt_le: usize,
+}
+
+/// A reusable `FindGap` scratchpad for one relation (one per atom in the
+/// executor). Create with the relation's arity; feed every probe through
+/// [`GapCursor::find_gap`].
+#[derive(Debug, Clone, Default)]
+pub struct GapCursor {
+    /// Last landing per depth (`memo[d]` covers nodes at depth `d`).
+    memo: Vec<Option<Landing>>,
+    /// Probes answered by galloping from a remembered position.
+    pub reused: u64,
+}
+
+impl GapCursor {
+    /// A cursor for a relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        GapCursor {
+            memo: vec![None; arity],
+            reused: 0,
+        }
+    }
+
+    /// Drops all remembered positions (e.g. when switching relations).
+    pub fn reset(&mut self) {
+        self.memo.fill(None);
+        self.reused = 0;
+    }
+
+    /// The paper's `R.FindGap(x, a)` (same contract and statistics as
+    /// [`TrieRelation::find_gap`]), reusing the previous landing position
+    /// at this depth when the probe revisits the same node.
+    pub fn find_gap(
+        &mut self,
+        rel: &TrieRelation,
+        node: NodeId,
+        a: Val,
+        stats: &mut ExecStats,
+    ) -> Gap {
+        stats.find_gap_calls += 1;
+        let vals = rel.child_values(node);
+        let slot = &mut self.memo[node.depth()];
+        let cnt_le = match *slot {
+            // Same node, and the remembered landing is still left of (or at)
+            // the answer: every value before it is ≤ a, so galloping from it
+            // is sound and costs only the distance advanced.
+            Some(l) if l.node == node && (l.cnt_le == 0 || vals[l.cnt_le - 1] <= a) => {
+                self.reused += 1;
+                sorted::gallop_gt(vals, l.cnt_le, a)
+            }
+            _ => sorted::count_le(vals, a),
+        };
+        *slot = Some(Landing { node, cnt_le });
+        gap_from_cnt_le(vals, cnt_le, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::TrieRelation;
+    use crate::value::{NEG_INF, POS_INF};
+
+    fn rel2(tuples: &[(Val, Val)]) -> TrieRelation {
+        TrieRelation::from_tuples("R", 2, tuples.iter().map(|&(a, b)| vec![a, b]).collect())
+            .unwrap()
+    }
+
+    /// Every probe sequence must agree with the plain `find_gap`.
+    #[test]
+    fn agrees_with_plain_find_gap_on_sweeps() {
+        let rel = rel2(&[(1, 5), (1, 9), (3, 2), (7, 7), (7, 8), (12, 0)]);
+        let mut cur = GapCursor::new(2);
+        let mut s1 = ExecStats::new();
+        let mut s2 = ExecStats::new();
+        // Forward sweep, backward jumps, exact hits, repeats.
+        for &a in &[0, 1, 1, 2, 3, 6, 7, 12, 13, 2, 0, 12] {
+            let got = cur.find_gap(&rel, rel.root(), a, &mut s1);
+            let expect = rel.find_gap(rel.root(), a, &mut s2);
+            assert_eq!(got, expect, "root probe {a}");
+        }
+        // Second level under first root child (values [5, 9]).
+        let n1 = rel.child(rel.root(), 1);
+        for &a in &[4, 5, 6, 9, 10, 4] {
+            let got = cur.find_gap(&rel, n1, a, &mut s1);
+            let expect = rel.find_gap(n1, a, &mut s2);
+            assert_eq!(got, expect, "level-1 probe {a}");
+        }
+        assert_eq!(s1.find_gap_calls, s2.find_gap_calls, "identical accounting");
+    }
+
+    #[test]
+    fn forward_sweep_reuses_positions() {
+        let tuples: Vec<(Val, Val)> = (0..200).map(|i| (2 * i, i)).collect();
+        let rel = rel2(&tuples);
+        let mut cur = GapCursor::new(2);
+        let mut st = ExecStats::new();
+        for a in 0..400 {
+            let got = cur.find_gap(&rel, rel.root(), a, &mut st);
+            let expect = rel.find_gap(rel.root(), a, &mut ExecStats::new());
+            assert_eq!(got, expect);
+        }
+        assert!(
+            cur.reused > 300,
+            "sweep should mostly reuse: {}",
+            cur.reused
+        );
+    }
+
+    #[test]
+    fn node_switch_falls_back_cleanly() {
+        let rel = rel2(&[(1, 1), (1, 5), (2, 3), (2, 9)]);
+        let n1 = rel.child(rel.root(), 1);
+        let n2 = rel.child(rel.root(), 2);
+        let mut cur = GapCursor::new(2);
+        let mut st = ExecStats::new();
+        // Alternate between sibling nodes; memo must never leak across.
+        for &(n, a) in &[(n1, 2), (n2, 2), (n1, 6), (n2, 9), (n1, 0), (n2, 0)] {
+            let got = cur.find_gap(&rel, n, a, &mut st);
+            let expect = rel.find_gap(n, a, &mut ExecStats::new());
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn empty_relation_probe() {
+        let rel = TrieRelation::from_tuples("E", 1, vec![]).unwrap();
+        let mut cur = GapCursor::new(1);
+        let mut st = ExecStats::new();
+        let g = cur.find_gap(&rel, rel.root(), 5, &mut st);
+        assert_eq!((g.lo_coord, g.hi_coord), (0, 1));
+        assert_eq!((g.lo_val, g.hi_val), (NEG_INF, POS_INF));
+    }
+}

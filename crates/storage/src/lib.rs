@@ -25,6 +25,7 @@ pub mod builder;
 pub mod cursor;
 pub mod database;
 pub mod error;
+pub mod gap_cursor;
 pub mod sorted;
 pub mod stats;
 pub mod trie;
@@ -34,6 +35,7 @@ pub use builder::RelationBuilder;
 pub use cursor::TrieCursor;
 pub use database::{Database, RelId};
 pub use error::StorageError;
+pub use gap_cursor::GapCursor;
 pub use stats::ExecStats;
 pub use trie::{Gap, NodeId, TrieRelation};
 pub use value::{Tuple, Val, NEG_INF, POS_INF};

@@ -115,7 +115,10 @@ impl TrieRelation {
             }
             for &v in t {
                 if !(0..=crate::value::MAX_DOMAIN_VALUE).contains(&v) {
-                    return Err(StorageError::ValueOutOfDomain { relation: name, value: v });
+                    return Err(StorageError::ValueOutOfDomain {
+                        relation: name,
+                        value: v,
+                    });
                 }
             }
         }
@@ -131,7 +134,12 @@ impl TrieRelation {
         let n_tuples = tuples.len();
         let mut levels: Vec<Level> = (0..arity).map(|_| Level::default()).collect();
         if n_tuples == 0 {
-            return Self { name, arity, n_tuples, levels };
+            return Self {
+                name,
+                arity,
+                n_tuples,
+                levels,
+            };
         }
         // Walk columns left to right; at depth d, a new node starts whenever
         // the prefix of length d+1 changes.
@@ -183,7 +191,12 @@ impl TrieRelation {
             }
             levels[depth].child_off = offs;
         }
-        Self { name, arity, n_tuples, levels }
+        Self {
+            name,
+            arity,
+            n_tuples,
+            levels,
+        }
     }
 
     /// Relation name.
@@ -213,12 +226,23 @@ impl TrieRelation {
 
     /// Number of distinct values at the first trie level (`|R[*]|`).
     pub fn root_fanout(&self) -> usize {
-        if self.n_tuples == 0 { 0 } else { self.levels[0].values.len() }
+        if self.n_tuples == 0 {
+            0
+        } else {
+            self.levels[0].values.len()
+        }
     }
 
     fn child_bounds(&self, node: NodeId) -> (usize, usize) {
         if node.depth == 0 {
-            (0, if self.n_tuples == 0 { 0 } else { self.levels[0].values.len() })
+            (
+                0,
+                if self.n_tuples == 0 {
+                    0
+                } else {
+                    self.levels[0].values.len()
+                },
+            )
         } else {
             let lvl = &self.levels[node.depth - 1];
             (
@@ -246,7 +270,10 @@ impl TrieRelation {
             hi - lo,
             node.depth,
         );
-        NodeId { depth: node.depth + 1, pos: lo + coord - 1 }
+        NodeId {
+            depth: node.depth + 1,
+            pos: lo + coord - 1,
+        }
     }
 
     /// The value stored at a (non-root) node: `R[x₁, …, x_d]`.
@@ -272,20 +299,7 @@ impl TrieRelation {
     pub fn find_gap(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> Gap {
         stats.find_gap_calls += 1;
         let vals = self.child_values(node);
-        let cnt_le = sorted::count_le(vals, a);
-        let (lo_coord, lo_val) = if cnt_le == 0 {
-            (0, NEG_INF)
-        } else {
-            (cnt_le, vals[cnt_le - 1])
-        };
-        let (hi_coord, hi_val) = if cnt_le > 0 && vals[cnt_le - 1] == a {
-            (cnt_le, a)
-        } else if cnt_le == vals.len() {
-            (vals.len() + 1, POS_INF)
-        } else {
-            (cnt_le + 1, vals[cnt_le])
-        };
-        Gap { lo_coord, hi_coord, lo_val, hi_val }
+        gap_from_cnt_le(vals, sorted::count_le(vals, a), a)
     }
 
     /// Descends from the root along exact value matches; returns the node
@@ -344,6 +358,31 @@ impl TrieRelation {
     pub fn level_column(&self, level: usize) -> &[Val] {
         assert!(level < self.arity);
         &self.levels[level].values
+    }
+}
+
+/// Builds the `(x⁻, x⁺)` pair from `cnt_le = |{v ∈ vals : v ≤ a}|` — the
+/// single definition shared by [`TrieRelation::find_gap`] and the
+/// position-reusing [`crate::GapCursor`], so the two probe paths cannot
+/// drift apart.
+pub(crate) fn gap_from_cnt_le(vals: &[Val], cnt_le: usize, a: Val) -> Gap {
+    let (lo_coord, lo_val) = if cnt_le == 0 {
+        (0, NEG_INF)
+    } else {
+        (cnt_le, vals[cnt_le - 1])
+    };
+    let (hi_coord, hi_val) = if cnt_le > 0 && vals[cnt_le - 1] == a {
+        (cnt_le, a)
+    } else if cnt_le == vals.len() {
+        (vals.len() + 1, POS_INF)
+    } else {
+        (cnt_le + 1, vals[cnt_le])
+    };
+    Gap {
+        lo_coord,
+        hi_coord,
+        lo_val,
+        hi_val,
     }
 }
 
@@ -415,13 +454,7 @@ mod tests {
 
     /// The worked example of Figure 3: R(A2, A4, A5).
     fn figure3() -> TrieRelation {
-        rel(&[
-            &[1, 2, 4],
-            &[1, 2, 7],
-            &[1, 3, 5],
-            &[7, 4, 2],
-            &[10, 4, 1],
-        ])
+        rel(&[&[1, 2, 4], &[1, 2, 7], &[1, 3, 5], &[7, 4, 2], &[10, 4, 1]])
     }
 
     #[test]

@@ -206,10 +206,7 @@ mod tests {
             probes.push(res.stats.probe_points);
         }
         // Doubling M should roughly double the probes, not quadruple them.
-        assert!(
-            probes[2] < 3 * probes[1],
-            "superlinear growth: {probes:?}"
-        );
+        assert!(probes[2] < 3 * probes[1], "superlinear growth: {probes:?}");
         let chunk = 32;
         let inst = hidden_certificate_instance(m, chunk);
         let grid = (chunk - 1) * (chunk - 1);

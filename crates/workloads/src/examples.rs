@@ -14,7 +14,9 @@ pub fn example_2_1(n: Val) -> Instance {
     let t = db
         .add(builder::binary(
             "T",
-            (1..=n).map(|i| (1, 2 * i)).chain((1..=n).map(|i| (2, 3 * i))),
+            (1..=n)
+                .map(|i| (1, 2 * i))
+                .chain((1..=n).map(|i| (2, 3 * i))),
         ))
         .unwrap();
     let query = Query::new(2).atom(r, &[0]).atom(t, &[0, 1]);
@@ -107,7 +109,9 @@ pub fn example_i3(n: Val) -> Instance {
     let s = db
         .add(builder::binary(
             "S",
-            (1..=n).map(|i| (1, n + 1 + i)).chain((1..=n).map(|i| (3, i))),
+            (1..=n)
+                .map(|i| (1, n + 1 + i))
+                .chain((1..=n).map(|i| (3, i))),
         ))
         .unwrap();
     let t = db.add(builder::unary("T", [n + 1])).unwrap();

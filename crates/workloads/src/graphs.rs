@@ -113,7 +113,9 @@ mod tests {
     fn er_respects_bounds() {
         let e = erdos_renyi(50, 200, 1);
         assert_eq!(e.len(), 200);
-        assert!(e.iter().all(|&(u, v)| u != v && (0..50).contains(&u) && (0..50).contains(&v)));
+        assert!(e
+            .iter()
+            .all(|&(u, v)| u != v && (0..50).contains(&u) && (0..50).contains(&v)));
     }
 
     #[test]

@@ -36,9 +36,7 @@ pub fn interleaved(m: usize, n: Val) -> Vec<TrieRelation> {
 /// blocks `0, 2, 4, …`, set 1 blocks `1, 3, 5, …`. Certificate `Θ(n/b)`.
 pub fn blocks(n: Val, b: Val) -> Vec<TrieRelation> {
     assert!(b >= 1);
-    let pick = move |parity: Val| {
-        (0..2 * n).filter(move |&v| ((v / b) % 2) == parity)
-    };
+    let pick = move |parity: Val| (0..2 * n).filter(move |&v| ((v / b) % 2) == parity);
     vec![unary("S0", pick(0)), unary("S1", pick(1))]
 }
 
@@ -48,9 +46,7 @@ pub fn blocks(n: Val, b: Val) -> Vec<TrieRelation> {
 pub fn needle(m: usize, n: Val) -> Vec<TrieRelation> {
     assert!(m >= 2);
     let hit = n / 2;
-    let mut sets: Vec<TrieRelation> = (0..m - 1)
-        .map(|i| unary(format!("S{i}"), 0..n))
-        .collect();
+    let mut sets: Vec<TrieRelation> = (0..m - 1).map(|i| unary(format!("S{i}"), 0..n)).collect();
     sets.push(unary("needle", [hit]));
     sets
 }
@@ -62,7 +58,9 @@ pub fn random_sets(m: usize, n: usize, universe: Val, seed: u64) -> Vec<TrieRela
         .map(|i| {
             unary(
                 format!("S{i}"),
-                (0..n).map(|_| rng.gen_range(0..universe)).collect::<Vec<Val>>(),
+                (0..n)
+                    .map(|_| rng.gen_range(0..universe))
+                    .collect::<Vec<Val>>(),
             )
         })
         .collect()
@@ -77,7 +75,10 @@ mod tests {
     fn run(sets: &[TrieRelation]) -> (Vec<Val>, u64) {
         let refs: Vec<&TrieRelation> = sets.iter().collect();
         let res = set_intersection(&refs);
-        (res.tuples.iter().map(|t| t[0]).collect(), res.stats.probe_points)
+        (
+            res.tuples.iter().map(|t| t[0]).collect(),
+            res.stats.probe_points,
+        )
     }
 
     #[test]
@@ -121,8 +122,11 @@ mod tests {
         for seed in 0..5 {
             let sets = random_sets(3, 60, 100, seed);
             let refs: Vec<&TrieRelation> = sets.iter().collect();
-            let ms: Vec<Val> =
-                set_intersection(&refs).tuples.iter().map(|t| t[0]).collect();
+            let ms: Vec<Val> = set_intersection(&refs)
+                .tuples
+                .iter()
+                .map(|t| t[0])
+                .collect();
             let ad: Vec<Val> = adaptive_intersection(&refs)
                 .tuples
                 .iter()

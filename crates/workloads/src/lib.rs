@@ -28,6 +28,8 @@ pub mod snap_like;
 
 pub use appendix_j::{hidden_certificate_instance, hidden_certificate_path_k};
 pub use graphs::{chung_lu, erdos_renyi, preferential_attachment, symmetrize};
-pub use queries::{layered_path_instance, path_query, star_query, three_path_query, tree_query, triangle_instance};
+pub use queries::{
+    layered_path_instance, path_query, star_query, three_path_query, tree_query, triangle_instance,
+};
 pub use random_queries::{random_tree_instance, TreeQueryConfig};
 pub use snap_like::{DatasetProfile, GraphDataset};

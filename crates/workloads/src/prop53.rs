@@ -125,8 +125,7 @@ mod tests {
         let mut next_calls = Vec::new();
         for m in [4, 8, 16] {
             let inst = qw_instance(2, m);
-            let res =
-                minesweeper_join(&inst.db, &inst.query, ProbeMode::General).unwrap();
+            let res = minesweeper_join(&inst.db, &inst.query, ProbeMode::General).unwrap();
             assert!(res.tuples.is_empty());
             backtracks.push(res.stats.backtracks);
             next_calls.push(res.stats.cds_next_calls);

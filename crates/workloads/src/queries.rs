@@ -31,11 +31,13 @@ impl Instance {
 }
 
 fn edge_rel(db: &mut Database, name: &str, edges: &[(Val, Val)]) -> RelId {
-    db.add(builder::binary(name, edges.iter().copied())).unwrap()
+    db.add(builder::binary(name, edges.iter().copied()))
+        .unwrap()
 }
 
 fn vertex_rel(db: &mut Database, name: &str, n: Val, p: f64, seed: u64) -> RelId {
-    db.add(builder::unary(name, sample_vertices(n, p, seed))).unwrap()
+    db.add(builder::unary(name, sample_vertices(n, p, seed)))
+        .unwrap()
 }
 
 /// The star query of Section 5.2. GAO: `A, B, C, D`.
@@ -104,7 +106,10 @@ pub fn triangle_instance(edges: &EdgeList) -> (Database, RelId, RelId, RelId, Qu
     let r = edge_rel(&mut db, "R", edges);
     let s = edge_rel(&mut db, "S", edges);
     let t = edge_rel(&mut db, "T", edges);
-    let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]).atom(t, &[0, 2]);
+    let q = Query::new(3)
+        .atom(r, &[0, 1])
+        .atom(s, &[1, 2])
+        .atom(t, &[0, 2]);
     (db, r, s, t, q)
 }
 

@@ -105,7 +105,11 @@ mod tests {
             let inst = random_tree_instance(cfg, seed);
             let exec = execute(&inst.db, &inst.query).unwrap();
             // execute() must have chosen a NEO (chain mode) for these.
-            assert_eq!(exec.gao.mode, minesweeper_cds::ProbeMode::Chain, "seed {seed}");
+            assert_eq!(
+                exec.gao.mode,
+                minesweeper_cds::ProbeMode::Chain,
+                "seed {seed}"
+            );
             assert!(is_nested_elimination_order(
                 &inst.query.hypergraph(),
                 &exec.gao.order

@@ -27,16 +27,25 @@ pub struct DatasetProfile {
 }
 
 /// `com-Orkut`: 3,072,441 nodes, 117,185,083 edges.
-pub const ORKUT: DatasetProfile =
-    DatasetProfile { name: "com-Orkut", nodes: 3_072_441, edges: 117_185_083 };
+pub const ORKUT: DatasetProfile = DatasetProfile {
+    name: "com-Orkut",
+    nodes: 3_072_441,
+    edges: 117_185_083,
+};
 
 /// `soc-Epinions1`: 75,879 nodes, 508,837 edges.
-pub const EPINIONS: DatasetProfile =
-    DatasetProfile { name: "soc-Epinions1", nodes: 75_879, edges: 508_837 };
+pub const EPINIONS: DatasetProfile = DatasetProfile {
+    name: "soc-Epinions1",
+    nodes: 75_879,
+    edges: 508_837,
+};
 
 /// `soc-LiveJournal1`: 4,847,571 nodes, 68,993,773 edges.
-pub const LIVEJOURNAL: DatasetProfile =
-    DatasetProfile { name: "soc-LiveJournal1", nodes: 4_847_571, edges: 68_993_773 };
+pub const LIVEJOURNAL: DatasetProfile = DatasetProfile {
+    name: "soc-LiveJournal1",
+    nodes: 4_847_571,
+    edges: 68_993_773,
+};
 
 /// The three Figure 2 datasets.
 pub const FIGURE2_DATASETS: [DatasetProfile; 3] = [ORKUT, EPINIONS, LIVEJOURNAL];
@@ -62,7 +71,12 @@ impl GraphDataset {
         let nodes = ((profile.nodes / scale).max(16)) as Val;
         let m = ((profile.edges / scale).max(32) / 2) as usize; // symmetrized below
         let edges = symmetrize(&chung_lu(nodes, m, 2.3, seed));
-        GraphDataset { profile, scale, nodes, edges }
+        GraphDataset {
+            profile,
+            scale,
+            nodes,
+            edges,
+        }
     }
 
     /// Number of directed edges.
@@ -88,7 +102,11 @@ mod tests {
         let g = GraphDataset::generate(EPINIONS, 64, 1);
         // ~1186 nodes, ~7950 symmetrized edges.
         assert!(g.nodes > 1000 && g.nodes < 1400, "{}", g.nodes);
-        assert!(g.edge_count() > 6000 && g.edge_count() < 9000, "{}", g.edge_count());
+        assert!(
+            g.edge_count() > 6000 && g.edge_count() < 9000,
+            "{}",
+            g.edge_count()
+        );
         // Symmetric closure.
         let set: std::collections::HashSet<_> = g.edges.iter().copied().collect();
         assert!(g.edges.iter().all(|&(u, v)| set.contains(&(v, u))));

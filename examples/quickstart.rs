@@ -1,5 +1,5 @@
-//! Quickstart: build a small database, run Minesweeper, inspect the
-//! certificate-size statistics.
+//! Quickstart: build a small database, plan a query, stream its output,
+//! and inspect the certificate-size statistics.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -15,7 +15,10 @@ fn main() {
     let mut db = Database::new();
     let authors = db.add(builder::unary("authors", [1, 2, 3])).unwrap();
     let wrote = db
-        .add(builder::binary("wrote", [(1, 10), (2, 11), (2, 12), (3, 13), (4, 14)]))
+        .add(builder::binary(
+            "wrote",
+            [(1, 10), (2, 11), (2, 12), (3, 13), (4, 14)],
+        ))
         .unwrap();
     let reviewed = db
         .add(builder::binary(
@@ -23,7 +26,9 @@ fn main() {
             [(10, 100), (11, 101), (12, 100), (12, 102), (14, 103)],
         ))
         .unwrap();
-    let reviewers = db.add(builder::unary("reviewers", [100, 101, 102])).unwrap();
+    let reviewers = db
+        .add(builder::unary("reviewers", [100, 101, 102]))
+        .unwrap();
 
     let query = Query::new(3)
         .atom(authors, &[0])
@@ -31,31 +36,56 @@ fn main() {
         .atom(reviewed, &[1, 2])
         .atom(reviewers, &[2]);
 
-    // The query is a path, hence β-acyclic: choose_gao returns a nested
-    // elimination order and Minesweeper runs in chain mode with the
-    // Õ(|C| + Z) guarantee of Theorem 2.7.
-    let choice = choose_gao(&query, 8);
-    println!(
-        "GAO order {:?}, probe mode {:?}, elimination width {}",
-        choice.order, choice.mode, choice.width
-    );
+    // Plan once. The query is a path, hence β-acyclic: the planner picks a
+    // nested elimination order and chain probe mode — the Õ(|C| + Z)
+    // guarantee of Theorem 2.7.
+    let p = plan(&db, &query).unwrap();
+    println!("{}\n", p.explain());
 
-    let result = minesweeper_join(&db, &query, choice.mode).unwrap();
-    println!("\noutput tuples (author, paper, reviewer):");
-    for t in &result.tuples {
+    // Stream lazily: tuples arrive as the gap structure certifies them,
+    // and statistics are live mid-flight.
+    let mut stream = p.stream(&db).unwrap();
+    println!("output tuples (author, paper, reviewer):");
+    if let Some(first) = stream.next() {
+        println!(
+            "  {first:?}   <- after {} FindGap calls",
+            stream.stats().find_gap_calls
+        );
+    }
+    for t in stream.by_ref() {
         println!("  {t:?}");
     }
+    let stats = stream.stats();
 
-    // Cross-check against the naive join.
-    let mut sorted = result.tuples.clone();
-    sorted.sort();
-    assert_eq!(sorted, naive_join(&db, &query).unwrap());
+    // Or materialize everything (sorted in the original attribute order)
+    // and cross-check against the naive oracle — and against every other
+    // algorithm in the registry.
+    let exec = p.execute(&db).unwrap();
+    assert_eq!(exec.result.tuples, naive_join(&db, &query).unwrap());
+    for algo in algorithms() {
+        assert_eq!(
+            algo.run(&db, &query).unwrap().tuples,
+            exec.result.tuples,
+            "{} disagrees",
+            algo.name()
+        );
+    }
+    println!("\nall {} registry algorithms agree", algorithms().len());
 
     println!("\nexecution statistics:");
-    println!("  FindGap calls (certificate proxy): {}", result.stats.find_gap_calls);
-    println!("  probe points:                      {}", result.stats.probe_points);
-    println!("  constraints inserted:              {}", result.stats.constraints_inserted);
-    println!("  outputs (Z):                       {}", result.stats.outputs);
+    println!(
+        "  FindGap calls (certificate proxy): {}",
+        stats.find_gap_calls
+    );
+    println!(
+        "  probe points:                      {}",
+        stats.probe_points
+    );
+    println!(
+        "  constraints inserted:              {}",
+        stats.constraints_inserted
+    );
+    println!("  outputs (Z):                       {}", stats.outputs);
     println!(
         "  Prop 2.6 certificate upper bound:  {}",
         canonical_certificate_size(&db, &query).unwrap()

@@ -19,7 +19,11 @@ fn main() {
     let mut edges = chung_lu(nodes, 25_000, 2.3, 99);
     edges.retain(|&(u, v)| u < v);
     let (db, r, s, t, q) = triangle_instance(&edges);
-    println!("graph: {} nodes, {} oriented edges", nodes, db.relation(r).len());
+    println!(
+        "graph: {} nodes, {} oriented edges",
+        nodes,
+        db.relation(r).len()
+    );
 
     let res = triangle_join(&db, r, s, t).unwrap();
     println!("\ntriangles found: {}", res.tuples.len());
@@ -41,5 +45,8 @@ fn main() {
     a.sort();
     b.sort();
     assert_eq!(a, b, "dyadic CDS and LFTJ must agree");
-    println!("cross-check vs Leapfrog Triejoin: OK ({} triangles)", b.len());
+    println!(
+        "cross-check vs Leapfrog Triejoin: OK ({} triangles)",
+        b.len()
+    );
 }

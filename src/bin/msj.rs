@@ -1,7 +1,8 @@
-//! `msj` — run a Minesweeper join from the command line.
+//! `msj` — run a join from the command line.
 //!
 //! ```text
-//! msj --rel R=edges.tsv --rel S=edges.tsv 'R(x, y), S(y, z)' [--stats] [--limit k]
+//! msj --rel R=edges.tsv --rel S=edges.tsv 'R(x, y), S(y, z)' \
+//!     [--algo NAME] [--explain] [--stats] [--limit K]
 //! ```
 //!
 //! Relations are whitespace-separated integer tuple files (see
@@ -9,19 +10,67 @@
 //! whose first-appearance order is the GAO. The planner picks a nested
 //! elimination order when the query is β-acyclic and falls back to a
 //! minimum-elimination-width order otherwise.
+//!
+//! * `--explain` prints the plan (GAO, probe mode, width, runtime bound)
+//!   without executing.
+//! * `--algo NAME` dispatches through the algorithm registry
+//!   (`minesweeper`, `yannakakis`, `leapfrog`, `generic`, `hash`,
+//!   `sort-merge`, `nested-loop`, `naive`); every algorithm prints the
+//!   same sorted output.
+//! * `--limit K` with the default Minesweeper engine is pushed into the
+//!   streaming executor: the probe loop stops after `K` certified tuples
+//!   instead of materializing the whole result (tuples then appear in
+//!   certification order rather than sorted).
 
 use std::process::ExitCode;
 
-use minesweeper_join::core::execute;
-use minesweeper_join::storage::Database;
-use minesweeper_join::text::{parse_query, parse_relation};
+use std::io::Write;
+
+use minesweeper_join::baselines::{algorithm_names, lookup};
+use minesweeper_join::core::plan;
+use minesweeper_join::storage::{Database, ExecStats, Tuple};
+use minesweeper_join::text::{parse_query, parse_relation, render_plan};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: msj --rel NAME=FILE [--rel NAME=FILE ...] 'QUERY' [--stats] [--limit K]\n\
-         example: msj --rel R=edges.tsv --rel S=edges.tsv 'R(x,y), S(y,z)' --stats"
+        "usage: msj --rel NAME=FILE [--rel NAME=FILE ...] 'QUERY' \
+         [--algo NAME] [--explain] [--stats] [--limit K]\n\
+         example: msj --rel R=edges.tsv --rel S=edges.tsv 'R(x,y), S(y,z)' --stats\n\
+         algorithms: {}",
+        algorithm_names().join(", ")
     );
     ExitCode::from(2)
+}
+
+/// Writes one output line, reporting whether stdout is still open. A
+/// closed pipe (e.g. `msj … | head`) is a normal way for a consumer to
+/// stop a streaming run, so callers treat `false` as "stop quietly", not
+/// as an error.
+fn out_line(out: &mut impl Write, line: std::fmt::Arguments<'_>) -> bool {
+    writeln!(out, "{line}").is_ok()
+}
+
+fn print_tuples(out: &mut impl Write, tuples: &[Tuple]) -> bool {
+    for t in tuples {
+        let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+        if !out_line(out, format_args!("{}", row.join("\t"))) {
+            return false;
+        }
+    }
+    true
+}
+
+fn print_stats(stats: &ExecStats) {
+    eprintln!("# outputs: {}", stats.outputs);
+    eprintln!(
+        "# findgap calls (certificate proxy): {}",
+        stats.find_gap_calls
+    );
+    eprintln!("# probe points: {}", stats.probe_points);
+    eprintln!("# constraints inserted: {}", stats.constraints_inserted);
+    eprintln!("# backtracks: {}", stats.backtracks);
+    eprintln!("# comparisons: {}", stats.comparisons);
+    eprintln!("# intermediate tuples: {}", stats.intermediate_tuples);
 }
 
 fn main() -> ExitCode {
@@ -29,12 +78,16 @@ fn main() -> ExitCode {
     let mut rels: Vec<(String, String)> = Vec::new();
     let mut query_text: Option<String> = None;
     let mut show_stats = false;
+    let mut explain = false;
+    let mut algo_name: Option<String> = None;
     let mut limit: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--rel" => {
-                let Some(spec) = args.get(i + 1) else { return usage() };
+                let Some(spec) = args.get(i + 1) else {
+                    return usage();
+                };
                 let Some((name, path)) = spec.split_once('=') else {
                     eprintln!("--rel expects NAME=FILE, got {spec:?}");
                     return ExitCode::from(2);
@@ -45,6 +98,17 @@ fn main() -> ExitCode {
             "--stats" => {
                 show_stats = true;
                 i += 1;
+            }
+            "--explain" => {
+                explain = true;
+                i += 1;
+            }
+            "--algo" => {
+                let Some(name) = args.get(i + 1) else {
+                    return usage();
+                };
+                algo_name = Some(name.clone());
+                i += 2;
             }
             "--limit" => {
                 let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
@@ -64,7 +128,9 @@ fn main() -> ExitCode {
             }
         }
     }
-    let Some(query_text) = query_text else { return usage() };
+    let Some(query_text) = query_text else {
+        return usage();
+    };
     if rels.is_empty() {
         return usage();
     }
@@ -96,30 +162,155 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let exec = match execute(&db, &parsed.query) {
-        Ok(x) => x,
+    // Resolve `--algo` up front so typos fail before any planning work.
+    let algo = match &algo_name {
+        None => None,
+        Some(name) => match lookup(name) {
+            Some(a) => Some(a),
+            None => {
+                eprintln!(
+                    "unknown algorithm {name:?}; available: {}",
+                    algorithm_names().join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    // The Minesweeper plan (GAO search, re-index mapping) is only computed
+    // for the paths that use it: `--explain` and the default engine.
+    // Registry algorithms other than Minesweeper never consult it.
+    let uses_planner = algo.as_ref().is_none_or(|a| a.name() == "minesweeper");
+
+    // Buffered, checked stdout: a consumer closing the pipe (`msj … |
+    // head`) stops a streaming run quietly instead of panicking.
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+
+    if explain {
+        match &algo {
+            Some(a) if a.name() != "minesweeper" => {
+                out_line(
+                    &mut out,
+                    format_args!("algorithm: {} — {}", a.name(), a.description()),
+                );
+                out_line(
+                    &mut out,
+                    format_args!(
+                        "(no Minesweeper plan applies; GAO/probe-mode planning is \
+                         specific to the default engine)"
+                    ),
+                );
+            }
+            _ => {
+                let query_plan = match plan(&db, &parsed.query) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                out_line(
+                    &mut out,
+                    format_args!("{}", render_plan(&db, &query_plan, &parsed.attr_names)),
+                );
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Registry dispatch (`--algo`): run to completion through the unified
+    // Algorithm trait; output is sorted identically for every entry.
+    if let Some(algo) = &algo {
+        if !uses_planner {
+            let result = match algo.run(&db, &parsed.query) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let shown = limit.unwrap_or(usize::MAX).min(result.tuples.len());
+            let open = out_line(&mut out, format_args!("# {}", parsed.attr_names.join("\t")))
+                && print_tuples(&mut out, &result.tuples[..shown]);
+            if open && result.tuples.len() > shown {
+                out_line(
+                    &mut out,
+                    format_args!("# … {} more", result.tuples.len() - shown),
+                );
+            }
+            drop(out);
+            if show_stats {
+                eprintln!("# algorithm: {}", algo.name());
+                print_stats(&result.stats);
+            }
+            return ExitCode::SUCCESS;
+        }
+        // `--algo minesweeper` falls through to the default engine so it
+        // benefits from the streaming `--limit` pushdown too.
+    }
+
+    // Default engine: Minesweeper through the plan. With `--limit` the
+    // limit is pushed into the streaming executor — the probe loop stops
+    // after K certified tuples (or as soon as the consumer closes the
+    // pipe); without it, materialize sorted output.
+    let query_plan = match plan(&db, &parsed.query) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    println!("# {}", parsed.attr_names.join("\t"));
-    let shown = limit.unwrap_or(usize::MAX);
-    for t in exec.result.tuples.iter().take(shown) {
-        let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
-        println!("{}", row.join("\t"));
-    }
-    if exec.result.tuples.len() > shown {
-        println!("# … {} more", exec.result.tuples.len() - shown);
-    }
+    let mut open = out_line(&mut out, format_args!("# {}", parsed.attr_names.join("\t")));
+    let stats = if let Some(k) = limit {
+        let mut stream = match query_plan.stream(&db) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Print tuples as they are certified; stop at the limit or when
+        // the consumer goes away — either way the remaining probe work is
+        // never done.
+        let mut yielded = 0usize;
+        while open && yielded < k {
+            let Some(t) = stream.next() else { break };
+            let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+            open = out_line(&mut out, format_args!("{}", row.join("\t")));
+            yielded += 1;
+        }
+        // Snapshot before peeking so `--stats` reflects only the shown
+        // work (the peek certifies at most one extra tuple to make the
+        // truncation marker truthful).
+        let stats = stream.stats();
+        if open && yielded == k && stream.next().is_some() {
+            out_line(
+                &mut out,
+                format_args!("# … output truncated at {k} (streaming)"),
+            );
+        }
+        stats
+    } else {
+        let exec = match query_plan.execute(&db) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print_tuples(&mut out, &exec.result.tuples);
+        exec.result.stats
+    };
+    drop(out);
     if show_stats {
-        let s = &exec.result.stats;
-        eprintln!("# gao order: {:?} (mode {:?}, width {})", exec.gao.order, exec.gao.mode, exec.gao.width);
-        eprintln!("# outputs: {}", s.outputs);
-        eprintln!("# findgap calls (certificate proxy): {}", s.find_gap_calls);
-        eprintln!("# probe points: {}", s.probe_points);
-        eprintln!("# constraints inserted: {}", s.constraints_inserted);
-        eprintln!("# backtracks: {}", s.backtracks);
+        eprintln!(
+            "# gao order: {:?} (mode {:?}, width {})",
+            query_plan.gao().order,
+            query_plan.gao().mode,
+            query_plan.gao().width
+        );
+        print_stats(&stats);
     }
     ExitCode::SUCCESS
 }

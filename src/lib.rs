@@ -20,6 +20,13 @@
 //!
 //! ## Quick start
 //!
+//! The public API is a plan/execute split: [`core::plan`] makes every
+//! decision that doesn't touch tuples (GAO choice, probe mode, re-index
+//! mapping) and returns a reusable [`core::Plan`]; [`core::Plan::stream`]
+//! opens a lazy [`core::TupleStream`] that yields tuples as they are
+//! certified — stop after `k` tuples and the remaining certificate work is
+//! never paid. [`core::execute`] is the materialize-everything wrapper.
+//!
 //! ```
 //! use minesweeper_join::prelude::*;
 //!
@@ -32,13 +39,22 @@
 //! // The bow-tie query R(X) ⋈ S(X,Y) ⋈ T(Y); attributes are GAO positions.
 //! let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
 //!
-//! // Pick a GAO (β-acyclic ⇒ chain mode) and join.
-//! let choice = choose_gao(&q, 8);
-//! let result = minesweeper_join(&db, &q, choice.mode).unwrap();
+//! // Plan once (β-acyclic ⇒ chain mode), then stream lazily …
+//! let p = plan(&db, &q).unwrap();
+//! let mut stream = p.stream(&db).unwrap();
+//! assert_eq!(stream.next(), Some(vec![1, 5]));
+//! // … statistics are live mid-stream (FindGap count ≈ the paper's |C|):
+//! assert!(stream.stats().find_gap_calls < 40);
+//! assert_eq!(stream.next(), Some(vec![4, 9]));
+//!
+//! // Or materialize everything, sorted in the original attribute order:
+//! let result = p.execute(&db).unwrap().result;
 //! assert_eq!(result.tuples, vec![vec![1, 5], vec![4, 9]]);
 //!
-//! // The certificate-size proxy the paper measures (FindGap count):
-//! assert!(result.stats.find_gap_calls < 40);
+//! // Every evaluator — Minesweeper and all baselines — is also reachable
+//! // through the `Algorithm` registry:
+//! let lftj = lookup("leapfrog").unwrap();
+//! assert_eq!(lftj.run(&db, &q).unwrap().tuples, result.tuples);
 //! ```
 //!
 //! ## Crates
@@ -72,14 +88,22 @@ pub use minesweeper_baselines as baselines;
 /// Re-export of `minesweeper-workloads`.
 pub use minesweeper_workloads as workloads;
 
-/// The most common imports in one place.
+/// The most common imports in one place: the plan/stream API
+/// ([`core::plan`], [`core::Plan`], [`core::TupleStream`]), the
+/// [`core::Algorithm`] trait with its baselines registry
+/// ([`baselines::registry::lookup`]), and the storage/CDS types they rely
+/// on.
 pub mod prelude {
+    pub use minesweeper_baselines::{algorithm_names, algorithms, lookup};
     pub use minesweeper_cds::{Constraint, ConstraintTree, IntervalSet, Pattern, ProbeMode};
     pub use minesweeper_core::{
-        bowtie_join, canonical_certificate_size, choose_gao, minesweeper_join, naive_join,
-        reindex_for_gao, set_intersection, triangle_join, JoinResult, Query,
+        bowtie_join, canonical_certificate_size, choose_gao, execute, minesweeper_join, naive_join,
+        plan, reindex_for_gao, set_intersection, triangle_join, Algorithm, Execution, JoinResult,
+        Plan, PreparedPlan, Query, TupleStream,
     };
-    pub use minesweeper_storage::{builder, Database, ExecStats, RelId, TrieRelation, Val};
+    pub use minesweeper_storage::{
+        builder, Database, ExecStats, GapCursor, RelId, TrieRelation, Val,
+    };
 }
 
 #[cfg(test)]
@@ -94,5 +118,24 @@ mod tests {
         let q = Query::new(1).atom(a, &[0]).atom(b, &[0]);
         let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
         assert_eq!(res.tuples, vec![vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn prelude_is_sufficient_for_plan_stream_and_registry() {
+        let mut db = Database::new();
+        let a = db.add(builder::unary("A", [1, 2, 3])).unwrap();
+        let b = db.add(builder::unary("B", [2, 3, 4])).unwrap();
+        let q = Query::new(1).atom(a, &[0]).atom(b, &[0]);
+        let p: Plan = plan(&db, &q).unwrap();
+        let first: Vec<_> = p.stream(&db).unwrap().take(1).collect();
+        assert_eq!(first, vec![vec![2]]);
+        let exec: Execution = p.execute(&db).unwrap();
+        assert_eq!(exec.result.tuples, vec![vec![2], vec![3]]);
+        for algo in algorithms() {
+            assert!(algo.supports(&q));
+            assert_eq!(algo.run(&db, &q).unwrap().tuples, exec.result.tuples);
+        }
+        assert!(lookup("minesweeper").is_some());
+        assert_eq!(algorithm_names().first(), Some(&"minesweeper"));
     }
 }

@@ -26,7 +26,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use minesweeper_core::Query;
+use minesweeper_core::{Plan, Query};
 use minesweeper_storage::{Database, RelationBuilder, StorageError, TrieRelation, Val};
 
 /// Errors from parsing relation files or query strings.
@@ -109,9 +109,10 @@ pub fn parse_relation(name: &str, text: &str) -> Result<TrieRelation, TextError>
         }
         row.clear();
         for token in line.split_whitespace() {
-            let v: Val = token
-                .parse()
-                .map_err(|_| TextError::BadTuple { line: i + 1, token: token.to_string() })?;
+            let v: Val = token.parse().map_err(|_| TextError::BadTuple {
+                line: i + 1,
+                token: token.to_string(),
+            })?;
             row.push(v);
         }
         match &mut builder {
@@ -180,7 +181,10 @@ pub fn parse_query(text: &str, db: &Database) -> Result<ParsedQuery, TextError> 
             positions.push(id);
         }
         atoms.push((name.to_string(), positions));
-        rest = rest[close + 1..].trim().trim_start_matches([',', '⋈']).trim();
+        rest = rest[close + 1..]
+            .trim()
+            .trim_start_matches([',', '⋈'])
+            .trim();
     }
     if atoms.is_empty() {
         return Err(TextError::BadQuery("no atoms".to_string()));
@@ -211,9 +215,50 @@ pub fn parse_query(text: &str, db: &Database) -> Result<ParsedQuery, TextError> 
                 db.relation(rel).name()
             )));
         }
-        query.atoms.push(minesweeper_core::Atom { rel, attrs: positions });
+        query.atoms.push(minesweeper_core::Atom {
+            rel,
+            attrs: positions,
+        });
     }
     Ok(ParsedQuery { attr_names, query })
+}
+
+/// Renders a [`Plan`] with the caller's relation and attribute names — the
+/// CLI's `--explain` output. `attr_names[i]` names GAO position `i` of the
+/// *original* numbering (as produced by [`parse_query`]).
+pub fn render_plan(db: &Database, plan: &Plan, attr_names: &[String]) -> String {
+    let name_of = |a: usize| -> &str { attr_names.get(a).map(String::as_str).unwrap_or("?") };
+    let atoms: Vec<String> = plan
+        .query()
+        .atoms
+        .iter()
+        .map(|atom| {
+            let attrs: Vec<&str> = atom.attrs.iter().map(|&a| name_of(a)).collect();
+            format!("{}({})", db.relation(atom.rel).name(), attrs.join(", "))
+        })
+        .collect();
+    let order: Vec<&str> = plan.gao().order.iter().map(|&a| name_of(a)).collect();
+    let reindex = if plan.is_reindexed() {
+        "re-indexed copies built at execution"
+    } else {
+        "stored indexes used directly"
+    };
+    format!(
+        "query: {}\ngao: {}  ({reindex})\n{}",
+        atoms.join(" ⋈ "),
+        order.join(", "),
+        plan.explain()
+            .lines()
+            .filter(|l| {
+                // Names replace the positional forms rendered by
+                // `Plan::explain`.
+                !l.starts_with("atoms (GAO positions)")
+                    && !l.starts_with("gao order")
+                    && !l.starts_with("indexes:")
+            })
+            .collect::<Vec<_>>()
+            .join("\n"),
+    )
 }
 
 #[cfg(test)]
@@ -237,16 +282,25 @@ mod tests {
         ));
         assert!(matches!(
             parse_relation("R", "1 2\n3\n"),
-            Err(TextError::InconsistentArity { line: 2, expected: 2, got: 1 })
+            Err(TextError::InconsistentArity {
+                line: 2,
+                expected: 2,
+                got: 1
+            })
         ));
-        assert!(matches!(parse_relation("R", "# none\n"), Err(TextError::EmptyRelation)));
+        assert!(matches!(
+            parse_relation("R", "# none\n"),
+            Err(TextError::EmptyRelation)
+        ));
     }
 
     #[test]
     fn parse_query_end_to_end() {
         let mut db = Database::new();
-        db.add(parse_relation("R", "1 10\n2 20\n").unwrap()).unwrap();
-        db.add(parse_relation("S", "10 5\n20 9\n").unwrap()).unwrap();
+        db.add(parse_relation("R", "1 10\n2 20\n").unwrap())
+            .unwrap();
+        db.add(parse_relation("S", "10 5\n20 9\n").unwrap())
+            .unwrap();
         let pq = parse_query("R(x, y), S(y, z)", &db).unwrap();
         assert_eq!(pq.attr_names, vec!["x", "y", "z"]);
         let exec = execute(&db, &pq.query).unwrap();
@@ -277,7 +331,10 @@ mod tests {
             Err(TextError::AtomArity { .. })
         ));
         assert!(matches!(parse_query("", &db), Err(TextError::BadQuery(_))));
-        assert!(matches!(parse_query("R(x y)", &db), Err(TextError::BadQuery(_))));
+        assert!(matches!(
+            parse_query("R(x y)", &db),
+            Err(TextError::BadQuery(_))
+        ));
         // Out-of-GAO attribute order in a later atom is reported.
         db.add(parse_relation("S", "1 2\n").unwrap()).unwrap();
         assert!(matches!(
@@ -288,8 +345,26 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = TextError::BadTuple { line: 3, token: "q".into() };
+        let e = TextError::BadTuple {
+            line: 3,
+            token: "q".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         assert!(TextError::EmptyRelation.to_string().contains("no tuples"));
+    }
+
+    #[test]
+    fn render_plan_uses_names() {
+        let mut db = Database::new();
+        db.add(parse_relation("R", "1 10\n").unwrap()).unwrap();
+        db.add(parse_relation("S", "10 5\n").unwrap()).unwrap();
+        let pq = parse_query("R(x, y), S(y, z)", &db).unwrap();
+        let plan = minesweeper_core::plan(&db, &pq.query).unwrap();
+        let text = render_plan(&db, &plan, &pq.attr_names);
+        assert!(text.contains("R(x, y) ⋈ S(y, z)"), "{text}");
+        assert!(text.contains("probe mode"), "{text}");
+        assert!(text.contains("runtime bound"), "{text}");
+        // GAO line shows names, not positions.
+        assert!(text.lines().any(|l| l.starts_with("gao: ")), "{text}");
     }
 }

@@ -7,14 +7,19 @@ use minesweeper_join::hypergraph::{
     elimination_width, find_beta_cycle, is_alpha_acyclic, is_beta_acyclic,
     is_nested_elimination_order, nested_elimination_order, treewidth_exact,
 };
-use minesweeper_join::storage::{builder, Database, RelationBuilder, RelId};
+use minesweeper_join::storage::{builder, Database, RelId, RelationBuilder};
 
 fn dummy_db() -> (Database, RelId, RelId, RelId) {
     let mut db = Database::new();
     let u1 = db.add(builder::unary("U1", [1])).unwrap();
     let b1 = db.add(builder::binary("B1", [(1, 1)])).unwrap();
     let t1 = db
-        .add(RelationBuilder::new("T1", 3).tuple(&[1, 1, 1]).build().unwrap())
+        .add(
+            RelationBuilder::new("T1", 3)
+                .tuple(&[1, 1, 1])
+                .build()
+                .unwrap(),
+        )
         .unwrap();
     (db, u1, b1, t1)
 }
@@ -22,7 +27,10 @@ fn dummy_db() -> (Database, RelId, RelId, RelId) {
 #[test]
 fn triangle_is_doubly_cyclic() {
     let (_, _, b1, _) = dummy_db();
-    let q = Query::new(3).atom(b1, &[0, 1]).atom(b1, &[1, 2]).atom(b1, &[0, 2]);
+    let q = Query::new(3)
+        .atom(b1, &[0, 1])
+        .atom(b1, &[1, 2])
+        .atom(b1, &[0, 2]);
     let h = q.hypergraph();
     assert!(!is_alpha_acyclic(&h));
     assert!(!is_beta_acyclic(&h));

@@ -100,7 +100,14 @@ fn prop_5_3_merge_lower_bound() {
 /// count grows ~linearly while the generic CDS's grows ~quadratically.
 #[test]
 fn theorem_5_4_dyadic_vs_generic_cds() {
-    fn hard(m: Val) -> (Database, minesweeper_join::storage::RelId, minesweeper_join::storage::RelId, minesweeper_join::storage::RelId) {
+    fn hard(
+        m: Val,
+    ) -> (
+        Database,
+        minesweeper_join::storage::RelId,
+        minesweeper_join::storage::RelId,
+        minesweeper_join::storage::RelId,
+    ) {
         let mut db = Database::new();
         let mut pairs = Vec::new();
         for a in 1..=m {
@@ -109,8 +116,12 @@ fn theorem_5_4_dyadic_vs_generic_cds() {
             }
         }
         let r = db.add(builder::binary("R", pairs)).unwrap();
-        let s = db.add(builder::binary("S", (1..=m).map(|b| (b, 1)))).unwrap();
-        let t = db.add(builder::binary("T", (1..=m).map(|a| (a, 2)))).unwrap();
+        let s = db
+            .add(builder::binary("S", (1..=m).map(|b| (b, 1))))
+            .unwrap();
+        let t = db
+            .add(builder::binary("T", (1..=m).map(|a| (a, 2))))
+            .unwrap();
         (db, r, s, t)
     }
     let mut generic_next = Vec::new();

@@ -32,7 +32,11 @@ fn triangle_listing_via_cli() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("# a\tb\tc"));
     assert!(stdout.contains("1\t2\t3"));
@@ -42,7 +46,7 @@ fn triangle_listing_via_cli() {
 }
 
 #[test]
-fn limit_truncates_output() {
+fn limit_streams_and_truncates_output() {
     let r = write_temp("r.tsv", "1\n2\n3\n4\n");
     let out = msj()
         .args([
@@ -51,12 +55,110 @@ fn limit_truncates_output() {
             "R(x)",
             "--limit",
             "2",
+            "--stats",
         ])
         .output()
         .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("… 2 more"), "{stdout}");
+    assert!(
+        stdout.contains("1\n2\n"),
+        "first two tuples shown: {stdout}"
+    );
+    assert!(
+        !stdout.contains("\n3\n"),
+        "remainder not materialized: {stdout}"
+    );
+    assert!(stdout.contains("truncated at 2"), "{stdout}");
+    // The streaming executor reports only the probe work actually done.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("# outputs: 2"), "{stderr}");
+}
+
+#[test]
+fn explain_prints_plan_without_executing() {
+    let edges = write_temp("edges2.tsv", "1 2\n2 3\n");
+    let out = msj()
+        .args([
+            "--rel",
+            &format!("R={}", edges.display()),
+            "--rel",
+            &format!("S={}", edges.display()),
+            "R(x,y), S(y,z)",
+            "--explain",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("R(x, y) ⋈ S(y, z)"), "{stdout}");
+    assert!(stdout.contains("probe mode"), "{stdout}");
+    assert!(stdout.contains("runtime bound"), "{stdout}");
+    assert!(!stdout.contains("1\t2"), "no tuples printed: {stdout}");
+}
+
+#[test]
+fn algo_registry_entries_agree_on_sorted_output() {
+    let edges = write_temp("edges3.tsv", "1 2\n2 3\n1 3\n3 4\n2 4\n");
+    let run = |algo: &str| -> String {
+        let out = msj()
+            .args([
+                "--rel",
+                &format!("R={}", edges.display()),
+                "--rel",
+                &format!("S={}", edges.display()),
+                "--rel",
+                &format!("T={}", edges.display()),
+                "R(a,b), S(b,c), T(a,c)",
+                "--algo",
+                algo,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    // The triangle query is β-cyclic, so Yannakakis sits this one out; all
+    // other registry entries must print byte-identical sorted output.
+    let expect = run("minesweeper");
+    assert!(expect.contains("1\t2\t3"), "{expect}");
+    for algo in [
+        "leapfrog",
+        "generic",
+        "hash",
+        "sort-merge",
+        "nested-loop",
+        "naive",
+    ] {
+        assert_eq!(run(algo), expect, "{algo} differs");
+    }
+}
+
+#[test]
+fn unknown_algo_is_reported_with_choices() {
+    let r = write_temp("r3.tsv", "1\n");
+    let out = msj()
+        .args([
+            "--rel",
+            &format!("R={}", r.display()),
+            "R(x)",
+            "--algo",
+            "quantum",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+    assert!(stderr.contains("minesweeper"), "lists choices: {stderr}");
 }
 
 #[test]

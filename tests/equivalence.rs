@@ -1,14 +1,18 @@
-//! Cross-algorithm output equivalence: every join algorithm in the
-//! workspace must compute the same natural join, across query shapes and
-//! randomized databases.
+//! Cross-algorithm output equivalence: every entry in the `Algorithm`
+//! registry must compute the same natural join as the naive oracle, across
+//! query shapes (acyclic and cyclic) and randomized databases.
+//!
+//! The harness is registry-driven: adding an algorithm to
+//! `minesweeper_baselines::registry::algorithms` automatically enrolls it
+//! here. Algorithms that do not support a query shape (`supports` returns
+//! false, e.g. Yannakakis on β-cyclic queries) are skipped for that shape
+//! but must be exercised by at least one other shape.
 
-use minesweeper_join::baselines::{
-    generic_join, hash_join_plan, leapfrog_triejoin, sort_merge_plan, yannakakis,
-};
-use minesweeper_join::cds::ProbeMode;
-use minesweeper_join::core::{minesweeper_join, naive_join, Query};
-use minesweeper_join::hypergraph::is_alpha_acyclic;
-use minesweeper_join::storage::{builder, Database, Tuple, Val};
+use std::collections::HashSet;
+
+use minesweeper_join::baselines::algorithms;
+use minesweeper_join::core::{naive_join, Query};
+use minesweeper_join::storage::{builder, Database, Val};
 
 struct Rng(u64);
 
@@ -29,44 +33,27 @@ impl Rng {
     }
 }
 
-fn check_all(db: &Database, q: &Query, mode: ProbeMode, label: &str) {
+/// Runs every supporting registry algorithm on `(db, q)` and checks each
+/// against the naive oracle. Returns the names exercised.
+fn check_registry(db: &Database, q: &Query, label: &str) -> Vec<&'static str> {
     let expect = naive_join(db, q).unwrap();
-    let sorted = |mut v: Vec<Tuple>| {
-        v.sort();
-        v
-    };
-    assert_eq!(
-        sorted(minesweeper_join(db, q, mode).unwrap().tuples),
-        expect,
-        "minesweeper {label}"
-    );
-    assert_eq!(
-        sorted(leapfrog_triejoin(db, q).unwrap().tuples),
-        expect,
-        "lftj {label}"
-    );
-    assert_eq!(
-        sorted(generic_join(db, q).unwrap().tuples),
-        expect,
-        "nprr {label}"
-    );
-    assert_eq!(
-        sorted(hash_join_plan(db, q).unwrap().tuples),
-        expect,
-        "hash {label}"
-    );
-    assert_eq!(
-        sorted(sort_merge_plan(db, q).unwrap().tuples),
-        expect,
-        "sort-merge {label}"
-    );
-    if is_alpha_acyclic(&q.hypergraph()) {
-        assert_eq!(
-            sorted(yannakakis(db, q).unwrap().tuples),
-            expect,
-            "yannakakis {label}"
+    let mut exercised = Vec::new();
+    for algo in algorithms() {
+        if !algo.supports(q) {
+            continue;
+        }
+        let got = algo
+            .run(db, q)
+            .unwrap_or_else(|e| panic!("{} failed on {label}: {e}", algo.name()));
+        assert_eq!(got.tuples, expect, "{} output on {label}", algo.name());
+        assert!(
+            got.tuples.windows(2).all(|w| w[0] < w[1]),
+            "{} violates the sorted-output contract on {label}",
+            algo.name()
         );
+        exercised.push(algo.name());
     }
+    exercised
 }
 
 #[test]
@@ -78,7 +65,12 @@ fn bowtie_shape() {
         let s = db.add(builder::binary("S", rng.pairs(30, 12))).unwrap();
         let t = db.add(builder::unary("T", rng.vals(8, 12))).unwrap();
         let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
-        check_all(&db, &q, ProbeMode::Chain, &format!("bowtie {trial}"));
+        let names = check_registry(&db, &q, &format!("bowtie {trial}"));
+        assert_eq!(
+            names.len(),
+            algorithms().len(),
+            "every algorithm supports the β-acyclic bowtie"
+        );
     }
 }
 
@@ -90,7 +82,7 @@ fn two_hop_path_shape() {
         let e1 = db.add(builder::binary("E1", rng.pairs(25, 9))).unwrap();
         let e2 = db.add(builder::binary("E2", rng.pairs(25, 9))).unwrap();
         let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
-        check_all(&db, &q, ProbeMode::Chain, &format!("path2 {trial}"));
+        check_registry(&db, &q, &format!("path2 {trial}"));
     }
 }
 
@@ -100,8 +92,16 @@ fn triangle_shape() {
     for trial in 0..15 {
         let mut db = Database::new();
         let e = db.add(builder::binary("E", rng.pairs(35, 10))).unwrap();
-        let q = Query::new(3).atom(e, &[0, 1]).atom(e, &[1, 2]).atom(e, &[0, 2]);
-        check_all(&db, &q, ProbeMode::General, &format!("triangle {trial}"));
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
+        let names = check_registry(&db, &q, &format!("triangle {trial}"));
+        assert!(
+            !names.contains(&"yannakakis"),
+            "the triangle query is not α-acyclic"
+        );
+        assert!(names.contains(&"minesweeper"));
     }
 }
 
@@ -120,7 +120,7 @@ fn star_shape_with_shared_index() {
             .atom(s, &[0, 2])
             .atom(r2, &[1])
             .atom(r3, &[2]);
-        check_all(&db, &q, ProbeMode::Chain, &format!("star {trial}"));
+        check_registry(&db, &q, &format!("star {trial}"));
     }
 }
 
@@ -139,7 +139,7 @@ fn four_cycle_shape() {
             .atom(e2, &[1, 2])
             .atom(e3, &[2, 3])
             .atom(e4, &[0, 3]);
-        check_all(&db, &q, ProbeMode::General, &format!("4cycle {trial}"));
+        check_registry(&db, &q, &format!("4cycle {trial}"));
     }
 }
 
@@ -151,11 +151,7 @@ fn ternary_atom_shape() {
         let mut db = Database::new();
         let mut rb = minesweeper_join::storage::RelationBuilder::new("R", 3);
         for _ in 0..30 {
-            rb.push(&[
-                rng.next(6) as Val,
-                rng.next(6) as Val,
-                rng.next(6) as Val,
-            ]);
+            rb.push(&[rng.next(6) as Val, rng.next(6) as Val, rng.next(6) as Val]);
         }
         let r = db.add(rb.build().unwrap()).unwrap();
         let s = db.add(builder::binary("S", rng.pairs(15, 6))).unwrap();
@@ -164,8 +160,55 @@ fn ternary_atom_shape() {
             .atom(r, &[0, 1, 2])
             .atom(s, &[0, 2])
             .atom(t, &[1, 2]);
-        // (A,B,C) is not a NEO for this query: use general mode.
-        check_all(&db, &q, ProbeMode::General, &format!("b7 {trial}"));
+        check_registry(&db, &q, &format!("b7 {trial}"));
+    }
+}
+
+#[test]
+fn random_tree_shaped_acyclic_queries() {
+    // β-acyclic by construction: random trees over the attributes with one
+    // binary relation per edge, occasionally a unary leaf filter.
+    let mut rng = Rng(0x7ee5);
+    for trial in 0..12 {
+        let n_attrs = 3 + (rng.next(3) as usize); // 3..=5
+        let mut db = Database::new();
+        let mut q = Query::new(n_attrs);
+        for child in 1..n_attrs {
+            let parent = (rng.next(child as u64)) as usize;
+            let rel = db
+                .add(builder::binary(format!("E{child}"), rng.pairs(22, 7)))
+                .unwrap();
+            let (lo, hi) = (parent.min(child), parent.max(child));
+            q = q.atom(rel, &[lo, hi]);
+        }
+        if rng.next(2) == 1 {
+            let rel = db.add(builder::unary("U", rng.vals(5, 7))).unwrap();
+            let a = (rng.next(n_attrs as u64)) as usize;
+            q = q.atom(rel, &[a]);
+        }
+        check_registry(&db, &q, &format!("random tree {trial}"));
+    }
+}
+
+#[test]
+fn random_cyclic_queries() {
+    // A random chordless cycle of length 4 or 5 (β-cyclic), with random
+    // data: exercises the general probe mode and width-bounded planning
+    // for every registry entry that supports cyclic queries.
+    let mut rng = Rng(0xcc1e);
+    for trial in 0..8 {
+        let len = 4 + (rng.next(2) as usize); // 4 or 5
+        let mut db = Database::new();
+        let mut q = Query::new(len);
+        for i in 0..len {
+            let j = (i + 1) % len;
+            let rel = db
+                .add(builder::binary(format!("E{i}"), rng.pairs(18, 6)))
+                .unwrap();
+            let (lo, hi) = (i.min(j), i.max(j));
+            q = q.atom(rel, &[lo, hi]);
+        }
+        check_registry(&db, &q, &format!("cycle-{len} {trial}"));
     }
 }
 
@@ -176,7 +219,7 @@ fn empty_relations_everywhere() {
     let s = db.add(builder::binary("S", [(1, 2)])).unwrap();
     let t = db.add(builder::unary("T", [2])).unwrap();
     let q = Query::new(2).atom(r, &[0]).atom(s, &[0, 1]).atom(t, &[1]);
-    check_all(&db, &q, ProbeMode::Chain, "empty");
+    check_registry(&db, &q, "empty");
 }
 
 #[test]
@@ -188,6 +231,23 @@ fn dense_overlap_large_output() {
     let e2 = db.add(builder::binary("E2", rng.pairs(40, 5))).unwrap();
     let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
     let expect = naive_join(&db, &q).unwrap();
-    assert!(expect.len() > 40, "want a dense output, got {}", expect.len());
-    check_all(&db, &q, ProbeMode::Chain, "dense");
+    assert!(
+        expect.len() > 40,
+        "want a dense output, got {}",
+        expect.len()
+    );
+    check_registry(&db, &q, "dense");
+}
+
+#[test]
+fn registry_names_are_unique_and_resolvable() {
+    let mut seen = HashSet::new();
+    for algo in algorithms() {
+        assert!(seen.insert(algo.name()), "duplicate name {}", algo.name());
+        assert!(
+            minesweeper_join::baselines::lookup(algo.name()).is_some(),
+            "{} must resolve through lookup",
+            algo.name()
+        );
+    }
 }

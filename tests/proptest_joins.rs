@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 
 use minesweeper_join::baselines::{adaptive_intersection, leapfrog_triejoin};
-use minesweeper_join::cds::{Constraint, ConstraintTree, IntervalSet, Pattern, ProbeMode, ProbeStats};
+use minesweeper_join::cds::{
+    Constraint, ConstraintTree, IntervalSet, Pattern, ProbeMode, ProbeStats,
+};
 use minesweeper_join::core::{
     minesweeper_join, naive_join, reindex_for_gao, set_intersection, triangle_join, Query,
 };

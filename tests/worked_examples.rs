@@ -63,7 +63,10 @@ fn example_b2_work_linear_in_output() {
         ratios.push(res.stats.probe_points as f64 / n as f64);
     }
     for r in &ratios {
-        assert!(*r <= 3.0, "per-output probe overhead must be constant: {ratios:?}");
+        assert!(
+            *r <= 3.0,
+            "per-output probe overhead must be constant: {ratios:?}"
+        );
     }
 }
 
@@ -152,7 +155,9 @@ fn section_3_2_gap_illustration() {
     let s = db
         .add(builder::unary("S", [5, 10, 15, 20, 28, 35]))
         .unwrap();
-    let q = minesweeper_join::core::Query::new(2).atom(r, &[0, 1]).atom(s, &[1]);
+    let q = minesweeper_join::core::Query::new(2)
+        .atom(r, &[0, 1])
+        .atom(s, &[1]);
     let res = minesweeper_join(&db, &q, ProbeMode::Chain).unwrap();
     let mut got = res.tuples.clone();
     got.sort();
