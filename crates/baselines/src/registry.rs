@@ -10,7 +10,9 @@
 //! full attribute space, sorted lexicographically in the original
 //! attribute numbering.
 
-use minesweeper_core::{Algorithm, JoinResult, Minesweeper, Naive, Query, QueryError};
+use minesweeper_core::{
+    Algorithm, JoinResult, Minesweeper, MinesweeperPar, Naive, Query, QueryError,
+};
 use minesweeper_hypergraph::is_alpha_acyclic;
 use minesweeper_storage::Database;
 
@@ -121,6 +123,7 @@ impl Algorithm for Yannakakis {
 pub fn algorithms() -> Vec<Box<dyn Algorithm>> {
     vec![
         Box::new(Minesweeper),
+        Box::new(MinesweeperPar::default()),
         Box::new(Yannakakis),
         Box::new(LeapfrogTriejoin),
         Box::new(GenericJoin),
@@ -141,6 +144,7 @@ pub fn algorithm_names() -> Vec<&'static str> {
 pub fn lookup(name: &str) -> Option<Box<dyn Algorithm>> {
     let canonical = match name.to_ascii_lowercase().as_str() {
         "minesweeper" | "ms" | "msj" => "minesweeper",
+        "minesweeper-par" | "minesweeper_par" | "ms-par" | "parallel" => "minesweeper-par",
         "yannakakis" | "yk" => "yannakakis",
         "leapfrog" | "lftj" | "leapfrog_triejoin" => "leapfrog",
         "generic" | "nprr" | "generic_join" => "generic",

@@ -4,12 +4,14 @@
 //! hash plan all need `Ω(mM²)` (they cannot skip the full `(M−1)²` grids).
 //!
 //! Usage: `cargo run --release -p minesweeper-bench --bin appendix_j
-//! [--m atoms] [--mmax chunk]`.
+//! [--m atoms] [--mmax chunk] [--json FILE]`. With `--json` the
+//! deterministic work counters (and ungated wall times) are also written
+//! as flat JSON for CI's `bench_gate` regression check.
 
 use minesweeper_baselines::{
     generic_join, hash_join_plan, index_nested_loop, leapfrog_triejoin, yannakakis,
 };
-use minesweeper_bench::{arg_or, human, human_time, timed, Table};
+use minesweeper_bench::{arg_opt, arg_or, human, human_time, timed, BenchRecord, Table};
 use minesweeper_cds::ProbeMode;
 use minesweeper_core::minesweeper_join;
 use minesweeper_workloads::appendix_j::hidden_certificate_instance;
@@ -17,6 +19,8 @@ use minesweeper_workloads::appendix_j::hidden_certificate_instance;
 fn main() {
     let m: usize = arg_or("--m", 4);
     let mmax: i64 = arg_or("--mmax", 64);
+    let json = arg_opt("--json");
+    let mut record = BenchRecord::new();
     println!(
         "Appendix J separation: path query with {m} relations, chunk width M\n\
          sweeping M (input N = Θ(m·M²) per relation, |C| = Θ(m·M), Z = 0).\n"
@@ -50,6 +54,18 @@ fn main() {
         assert!(hj.tuples.is_empty());
         let (il, t_il) = timed(|| index_nested_loop(&inst.db, &inst.query).unwrap());
         assert!(il.tuples.is_empty());
+        record.metric(
+            format!("appendixj_m{chunk}_ms_probes"),
+            ms.stats.probe_points,
+        );
+        record.metric(
+            format!("appendixj_m{chunk}_ms_findgap"),
+            ms.stats.find_gap_calls,
+        );
+        record.metric(format!("appendixj_m{chunk}_lftj_seeks"), lf.stats.seeks);
+        record.time_ms(&format!("appendixj_m{chunk}_ms"), t_ms);
+        record.time_ms(&format!("appendixj_m{chunk}_yannakakis"), t_ya);
+        record.time_ms(&format!("appendixj_m{chunk}_lftj"), t_lf);
         table.row(&[
             chunk.to_string(),
             human(n),
@@ -69,4 +85,8 @@ fn main() {
         "\nPaper's shape: doubling M doubles Minesweeper's work (probes ∝ mM)\n\
          but quadruples every baseline's (they touch the Θ(M²) grids)."
     );
+    if let Some(path) = json {
+        record.write_json(&path).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

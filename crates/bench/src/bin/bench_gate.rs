@@ -1,0 +1,195 @@
+//! `bench_gate` — the CI benchmark regression gate.
+//!
+//! Merges one or more freshly produced flat-JSON metric files (from the
+//! bench binaries' `--json` flag), optionally writes the merged set to a
+//! single artifact (`--emit BENCH_pr.json`), and compares every **gated**
+//! metric against a checked-in baseline:
+//!
+//! * gated: deterministic work counters (probe points, `FindGap` calls,
+//!   CDS next calls, LFTJ seeks, output sizes) — a current value more
+//!   than `--tolerance` (default 0.25 = 25%) above the baseline fails
+//!   the run with exit code 1;
+//! * ungated: anything named `time_*` — wall-clock on shared CI runners
+//!   is noise, so times are printed for humans but never gate;
+//! * a baseline metric missing from the current set fails (a silently
+//!   dropped benchmark is a regression of coverage); a new current
+//!   metric absent from the baseline is reported as `new` and passes
+//!   (update the baseline to start gating it).
+//!
+//! Usage:
+//! `bench_gate --baseline ci/bench_baseline.json [--tolerance 0.25]
+//!  [--emit BENCH_pr.json] CURRENT.json [CURRENT2.json ...]`
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use minesweeper_bench::{parse_flat_json, BenchRecord, Table};
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut emit: Option<String> = None;
+    let mut tolerance = 0.25f64;
+    let mut current_paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" | "--tolerance" | "--emit" if i + 1 >= args.len() => {
+                eprintln!("{} needs a value", args[i]);
+                return ExitCode::from(2);
+            }
+            "--baseline" => {
+                baseline_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--emit" => {
+                emit = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--tolerance" => {
+                let Ok(t) = args[i + 1].parse() else {
+                    eprintln!("--tolerance expects a fraction, got {:?}", args[i + 1]);
+                    return ExitCode::from(2);
+                };
+                tolerance = t;
+                i += 2;
+            }
+            path => {
+                current_paths.push(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    let (Some(baseline_path), false) = (baseline_path, current_paths.is_empty()) else {
+        eprintln!(
+            "usage: bench_gate --baseline FILE [--tolerance FRACTION] \
+             [--emit FILE] CURRENT.json [CURRENT2.json ...]"
+        );
+        return ExitCode::from(2);
+    };
+
+    // Merge the current files (rejecting duplicate metric names across
+    // them — that would make the comparison ambiguous).
+    let mut current: Vec<(String, f64)> = Vec::new();
+    for path in &current_paths {
+        match load(path) {
+            Ok(metrics) => {
+                for (name, value) in metrics {
+                    if current.iter().any(|(n, _)| *n == name) {
+                        eprintln!("duplicate metric {name:?} (second copy in {path})");
+                        return ExitCode::FAILURE;
+                    }
+                    current.push((name, value));
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &emit {
+        let mut merged = BenchRecord::new();
+        for (name, value) in &current {
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                merged.metric(name.clone(), *value as u64);
+            } else {
+                // Preserve fractional (time) metrics verbatim; the name
+                // already carries its `time_ms_` prefix.
+                merged.metric_f64(name.clone(), *value);
+            }
+        }
+        if let Err(e) = merged.write_json(path) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("merged {} metric(s) into {path}", current.len());
+    }
+
+    let baseline: BTreeMap<String, f64> = match load(&baseline_path) {
+        Ok(m) => m.into_iter().collect(),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let current_map: BTreeMap<String, f64> = current.iter().cloned().collect();
+
+    let gated = |name: &str| !name.starts_with("time_");
+    let mut table = Table::new(&["metric", "baseline", "current", "Δ%", "status"]);
+    let mut failures: Vec<String> = Vec::new();
+    for (name, &base) in &baseline {
+        let Some(&cur) = current_map.get(name) else {
+            if gated(name) {
+                failures.push(format!("{name}: present in baseline but not produced"));
+                table.row(&[
+                    name.clone(),
+                    format!("{base}"),
+                    "—".into(),
+                    "—".into(),
+                    "MISSING".into(),
+                ]);
+            }
+            continue;
+        };
+        let delta_pct = if base == 0.0 {
+            if cur == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (cur - base) / base * 100.0
+        };
+        let status = if !gated(name) {
+            "time (ungated)"
+        } else if cur <= base * (1.0 + tolerance) {
+            "ok"
+        } else {
+            failures.push(format!(
+                "{name}: {cur} exceeds baseline {base} by {delta_pct:.1}% \
+                 (tolerance {:.0}%)",
+                tolerance * 100.0
+            ));
+            "REGRESSION"
+        };
+        table.row(&[
+            name.clone(),
+            format!("{base}"),
+            format!("{cur}"),
+            format!("{delta_pct:+.1}"),
+            status.into(),
+        ]);
+    }
+    for (name, value) in &current {
+        if !baseline.contains_key(name) {
+            table.row(&[
+                name.clone(),
+                "—".into(),
+                format!("{value}"),
+                "—".into(),
+                "new (ungated)".into(),
+            ]);
+        }
+    }
+    table.print();
+    if failures.is_empty() {
+        println!(
+            "\nbench gate: OK ({} gated metric(s) within {:.0}%)",
+            baseline.keys().filter(|n| gated(n)).count(),
+            tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nbench gate: FAILED");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

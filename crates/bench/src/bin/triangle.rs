@@ -11,10 +11,12 @@
 //!    the output and LFTJ provides the worst-case-optimal baseline.
 //!
 //! Usage: `cargo run --release -p minesweeper-bench --bin triangle
-//! [--mmax m] [--edges e]`.
+//! [--mmax m] [--edges e] [--json FILE]`. With `--json` the deterministic
+//! work counters (and ungated wall times) are also written as flat JSON
+//! for CI's `bench_gate` regression check.
 
 use minesweeper_baselines::leapfrog_triejoin;
-use minesweeper_bench::{arg_or, human, human_time, timed, Table};
+use minesweeper_bench::{arg_opt, arg_or, human, human_time, timed, BenchRecord, Table};
 use minesweeper_cds::ProbeMode;
 use minesweeper_core::{minesweeper_join, triangle_join};
 use minesweeper_storage::{builder, Database, Val};
@@ -49,6 +51,8 @@ fn hard_instance(
 fn main() {
     let mmax: i64 = arg_or("--mmax", 96);
     let edges: usize = arg_or("--edges", 30_000);
+    let json = arg_opt("--json");
+    let mut record = BenchRecord::new();
     println!(
         "Theorem 5.4, part 1 — hard Q∆ instance (empty output, |C| = O(m)):\n\
          generic CDS work must grow ~m², dyadic CDS ~m.\n"
@@ -68,6 +72,16 @@ fn main() {
         let (gen, t_gen) = timed(|| minesweeper_join(&db, &q, ProbeMode::General).unwrap());
         let (tri, t_tri) = timed(|| triangle_join(&db, r, s, t).unwrap());
         assert!(gen.tuples.is_empty() && tri.tuples.is_empty());
+        record.metric(
+            format!("triangle_hard_m{m}_generic_next"),
+            gen.stats.cds_next_calls,
+        );
+        record.metric(
+            format!("triangle_hard_m{m}_dyadic_next"),
+            tri.stats.cds_next_calls,
+        );
+        record.time_ms(&format!("triangle_hard_m{m}_generic"), t_gen);
+        record.time_ms(&format!("triangle_hard_m{m}_dyadic"), t_tri);
         t1.row(&[
             m.to_string(),
             human(db.total_tuples() as u64),
@@ -96,6 +110,14 @@ fn main() {
         let (lf, t_lf) = timed(|| leapfrog_triejoin(&db, &q).unwrap());
         assert_eq!(tri.tuples.len(), lf.tuples.len());
         assert_eq!(gen.tuples.len(), lf.tuples.len());
+        record.metric(format!("triangle_list_n{nodes}_z"), tri.tuples.len() as u64);
+        record.metric(
+            format!("triangle_list_n{nodes}_dyadic_next"),
+            tri.stats.cds_next_calls,
+        );
+        record.metric(format!("triangle_list_n{nodes}_lftj_seeks"), lf.stats.seeks);
+        record.time_ms(&format!("triangle_list_n{nodes}_dyadic"), t_tri);
+        record.time_ms(&format!("triangle_list_n{nodes}_lftj"), t_lf);
         t2.row(&[
             nodes.to_string(),
             human(db.total_tuples() as u64),
@@ -110,4 +132,8 @@ fn main() {
         "\nPaper's shape: part 1 shows the |C|² vs |C|^{{3/2}} separation\n\
          (generic next-calls quadruple per doubling, dyadic ~double)."
     );
+    if let Some(path) = json {
+        record.write_json(&path).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

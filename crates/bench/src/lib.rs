@@ -120,6 +120,116 @@ pub fn arg_or<T: std::str::FromStr>(flag: &str, default: T) -> T {
     default
 }
 
+/// Parses an optional `--flag value` string argument from `std::env::args`.
+pub fn arg_opt(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    (0..args.len().saturating_sub(1))
+        .find(|&i| args[i] == flag)
+        .map(|i| args[i + 1].clone())
+}
+
+/// A flat set of named benchmark metrics, serialized as the one-pair-per-
+/// line JSON object the CI regression gate consumes.
+///
+/// Two metric kinds by naming convention: **work counters** (deterministic
+/// — probe points, `FindGap` calls, CDS next calls, seeks) are gated by
+/// `bench_gate`; anything starting with `time_` is recorded for humans but
+/// never gated, because wall-clock on shared CI runners is noise.
+#[derive(Debug, Default, Clone)]
+pub struct BenchRecord {
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a gated work-counter metric.
+    pub fn metric(&mut self, name: impl Into<String>, value: u64) {
+        self.push(name.into(), value as f64);
+    }
+
+    /// Adds an ungated wall-clock metric (`time_ms_` prefix enforced).
+    pub fn time_ms(&mut self, name: &str, d: Duration) {
+        self.push(format!("time_ms_{name}"), d.as_secs_f64() * 1e3);
+    }
+
+    /// Adds a raw fractional metric under its exact name (used when
+    /// merging already-recorded files, where names carry their prefixes).
+    pub fn metric_f64(&mut self, name: impl Into<String>, value: f64) {
+        self.push(name.into(), value);
+    }
+
+    fn push(&mut self, name: String, value: f64) {
+        assert!(
+            !self.metrics.iter().any(|(n, _)| *n == name),
+            "duplicate metric {name}"
+        );
+        self.metrics.push((name, value));
+    }
+
+    /// The metrics recorded so far, in insertion order.
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+
+    /// Renders the flat-JSON object (the format [`parse_flat_json`]
+    /// reads back).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let sep = if i + 1 == self.metrics.len() { "" } else { "," };
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                out.push_str(&format!("  \"{name}\": {}{sep}\n", *value as i64));
+            } else {
+                out.push_str(&format!("  \"{name}\": {value:.3}{sep}\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the record to `path` as flat JSON.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Parses the flat-JSON metric format emitted by [`BenchRecord::to_json`]:
+/// a single object of `"name": number` pairs (no nesting, no strings, no
+/// arrays — by design, so no JSON dependency is needed). Returns pairs in
+/// file order.
+pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| "expected a top-level JSON object".to_string())?;
+    let mut out = Vec::new();
+    for raw in body.split(',') {
+        let pair = raw.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (name, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("malformed pair {pair:?}"))?;
+        let name = name
+            .trim()
+            .strip_prefix('"')
+            .and_then(|n| n.strip_suffix('"'))
+            .ok_or_else(|| format!("metric name must be quoted: {pair:?}"))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number in {pair:?}: {e}"))?;
+        out.push((name.to_string(), value));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +268,43 @@ mod tests {
         let (v, d) = timed(|| 41 + 1);
         assert_eq!(v, 42);
         assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn bench_record_json_round_trips() {
+        let mut r = BenchRecord::new();
+        r.metric("triangle_hard_m12_generic_next", 12345);
+        r.metric("appendixj_m8_ms_probes", 42);
+        r.time_ms("triangle_hard_m12_generic", Duration::from_micros(1500));
+        let json = r.to_json();
+        assert!(json.starts_with("{\n"), "{json}");
+        assert!(json.contains("\"triangle_hard_m12_generic_next\": 12345,"));
+        assert!(json.contains("\"time_ms_triangle_hard_m12_generic\": 1.500"));
+        let parsed = parse_flat_json(&json).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].0, "triangle_hard_m12_generic_next");
+        assert_eq!(parsed[0].1, 12345.0);
+        assert!((parsed[2].1 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_flat_json_rejects_garbage() {
+        assert!(parse_flat_json("not json").is_err());
+        assert!(parse_flat_json("{\"a\" 1}").is_err());
+        assert!(parse_flat_json("{\"a\": x}").is_err());
+        assert!(parse_flat_json("{a: 1}").is_err(), "unquoted name");
+        assert_eq!(parse_flat_json("{}").unwrap(), vec![]);
+        assert_eq!(
+            parse_flat_json("{ \"a\": 1, \"b\": 2.5 }").unwrap(),
+            vec![("a".to_string(), 1.0), ("b".to_string(), 2.5)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric")]
+    fn duplicate_metric_names_rejected() {
+        let mut r = BenchRecord::new();
+        r.metric("x", 1);
+        r.metric("x", 2);
     }
 }

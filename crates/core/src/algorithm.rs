@@ -40,7 +40,7 @@ pub trait Algorithm {
     fn run(&self, db: &Database, query: &Query) -> Result<JoinResult, QueryError>;
 }
 
-/// The paper's algorithm, via [`crate::plan`] → sorted collect.
+/// The paper's algorithm, via [`crate::plan()`] → sorted collect.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Minesweeper;
 
@@ -55,6 +55,53 @@ impl Algorithm for Minesweeper {
 
     fn run(&self, db: &Database, query: &Query) -> Result<JoinResult, QueryError> {
         Ok(execute(db, query)?.result)
+    }
+}
+
+/// The paper's algorithm run shard-parallel: [`crate::plan()`] →
+/// [`crate::ShardedPlan`] (equi-depth shards of the first GAO attribute,
+/// one probe loop per worker). Output is byte-identical to
+/// [`Minesweeper`]'s on every query.
+#[derive(Debug, Clone, Copy)]
+pub struct MinesweeperPar {
+    /// Worker-thread / maximum-shard count.
+    pub threads: usize,
+}
+
+impl MinesweeperPar {
+    /// A parallel evaluator with an explicit worker count (`0` clamps
+    /// to 1, i.e. serial).
+    pub fn with_threads(threads: usize) -> Self {
+        MinesweeperPar {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for MinesweeperPar {
+    /// Auto-sizes to the hardware, always at least 2 workers (so the
+    /// sharded path — not the serial fallback — is what registry
+    /// equivalence tests exercise) and at most 8 (the probe loop is
+    /// memory-bound; more buys little on typical hosts).
+    fn default() -> Self {
+        MinesweeperPar {
+            threads: scoped_pool::available_threads().clamp(2, 8),
+        }
+    }
+}
+
+impl Algorithm for MinesweeperPar {
+    fn name(&self) -> &'static str {
+        "minesweeper-par"
+    }
+
+    fn description(&self) -> &'static str {
+        "Minesweeper with per-shard parallel probe loops over an equi-depth domain partition"
+    }
+
+    fn run(&self, db: &Database, query: &Query) -> Result<JoinResult, QueryError> {
+        let exec = crate::plan(db, query)?.execute_parallel(db, self.threads)?;
+        Ok(exec.result)
     }
 }
 
@@ -109,7 +156,31 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(Minesweeper.name(), "minesweeper");
+        assert_eq!(MinesweeperPar::default().name(), "minesweeper-par");
         assert_eq!(Naive.name(), "naive");
         assert!(!Minesweeper.description().is_empty());
+    }
+
+    #[test]
+    fn parallel_entry_matches_serial_through_the_trait() {
+        let mut db = Database::new();
+        let r = db
+            .add(builder::binary(
+                "R",
+                (0..40).map(|i: i64| (i % 9, (i * 5 + 2) % 9)),
+            ))
+            .unwrap();
+        let q = Query::new(3).atom(r, &[0, 1]).atom(r, &[1, 2]);
+        let serial = Minesweeper.run(&db, &q).unwrap();
+        let par = MinesweeperPar::default();
+        assert!(par.threads >= 2, "registry default must actually shard");
+        let got = par.run(&db, &q).unwrap();
+        assert_eq!(got.tuples, serial.tuples);
+        assert_eq!(got.stats.outputs, serial.stats.outputs);
+        assert_eq!(
+            MinesweeperPar::with_threads(0).threads,
+            1,
+            "explicit 0 clamps to serial"
+        );
     }
 }

@@ -14,13 +14,18 @@
 //!
 //! Entry points:
 //! * [`Query`] — atoms over a GAO, with hypergraph extraction;
-//! * [`plan`] — validation + GAO/probe-mode/re-index selection, producing
+//! * [`plan()`] — validation + GAO/probe-mode/re-index selection, producing
 //!   a reusable, inspectable [`Plan`];
 //! * [`Plan::stream`] — the lazy [`TupleStream`] executor: tuples are
 //!   yielded as they are certified, `take(k)` stops the probe loop early,
 //!   and [`TupleStream::stats`] reads counters mid-flight;
-//! * [`execute`] — the materialize-everything wrapper (sorted in the
+//! * [`execute()`] — the materialize-everything wrapper (sorted in the
 //!   original attribute numbering);
+//! * [`ShardedPlan`] / [`Plan::execute_parallel`] — parallel execution:
+//!   equi-depth shards of the first GAO attribute's domain, one
+//!   independent probe loop per shard on a scoped worker pool, and an
+//!   order-preserving concatenation whose output is byte-identical to the
+//!   serial run;
 //! * [`Algorithm`] — the unified evaluator trait implemented by
 //!   [`Minesweeper`], [`Naive`], and every baseline (registry in
 //!   `minesweeper_baselines::registry`);
@@ -48,10 +53,11 @@ pub mod partition;
 pub mod plan;
 pub mod query;
 pub mod set_intersection;
+pub mod sharded;
 pub mod stream;
 pub mod triangle;
 
-pub use algorithm::{Algorithm, Minesweeper, Naive};
+pub use algorithm::{Algorithm, Minesweeper, MinesweeperPar, Naive};
 pub use bowtie::bowtie_join;
 pub use certificate::{canonical_certificate_size, Argument, Comparison, VarRef};
 pub use execute::{execute, Execution};
@@ -62,5 +68,6 @@ pub use partition::{partition_certificate, PartitionCertificate, PartitionItem};
 pub use plan::{plan, Plan, PreparedPlan};
 pub use query::{Atom, Query, QueryError};
 pub use set_intersection::{set_intersection, set_intersection_galloping};
+pub use sharded::{ShardStats, ShardedExecution, ShardedPlan, ShardedStream};
 pub use stream::TupleStream;
 pub use triangle::triangle_join;

@@ -46,7 +46,7 @@ pub struct JoinResult {
 /// Use [`ProbeMode::Chain`] when the GAO is a nested elimination order
 /// (β-acyclic queries, Theorem 2.7) and [`ProbeMode::General`] otherwise
 /// (Theorem 5.1); [`crate::choose_gao`] picks this automatically — or use
-/// [`crate::plan`] / [`crate::Plan::stream`] for the planned, lazily
+/// [`crate::plan()`] / [`crate::Plan::stream`] for the planned, lazily
 /// streaming form of the same loop.
 ///
 /// ```

@@ -173,6 +173,25 @@ impl Plan {
         Ok(self.prepare(db)?.execute())
     }
 
+    /// Runs the plan to completion on up to `threads` worker threads by
+    /// sharding the first GAO attribute's domain — shorthand for
+    /// [`Plan::sharded`] + [`crate::ShardedPlan::execute`]. Output is
+    /// byte-identical to [`Plan::execute`]; see [`crate::ShardedPlan`] for
+    /// the sharding strategy and per-shard statistics.
+    pub fn execute_parallel(
+        &self,
+        db: &Database,
+        threads: usize,
+    ) -> Result<crate::ShardedExecution, QueryError> {
+        self.clone().sharded(threads).execute(db)
+    }
+
+    /// Wraps the plan for parallel execution on up to `threads` workers
+    /// (see [`crate::ShardedPlan`]).
+    pub fn sharded(self, threads: usize) -> crate::ShardedPlan {
+        crate::ShardedPlan::new(self, threads)
+    }
+
     /// A human-readable description of the planning decisions, for the
     /// CLI's `--explain` (attribute names are applied by the text layer).
     pub fn explain(&self) -> String {
@@ -238,11 +257,23 @@ pub struct PreparedPlan<'db> {
 }
 
 impl PreparedPlan<'_> {
-    fn db(&self) -> &Database {
+    pub(crate) fn db(&self) -> &Database {
         match &self.db {
             PreparedDb::Borrowed(d) => d,
             PreparedDb::Owned(b) => b,
         }
+    }
+
+    /// The execution-side query (re-indexed when the GAO demanded it);
+    /// attribute positions are GAO positions.
+    pub(crate) fn exec_query(&self) -> &Query {
+        &self.exec_query
+    }
+
+    /// `inv[a]` = execution column of original attribute `a`, when the
+    /// GAO is not the identity.
+    pub(crate) fn inv(&self) -> Option<&[usize]> {
+        self.inv.as_deref()
     }
 
     /// The GAO this prepared plan executes under.

@@ -1,0 +1,480 @@
+//! Sharded parallel execution.
+//!
+//! The probe loop of Algorithm 2 is embarrassingly parallel in the first
+//! GAO attribute: a constraint discovered while probing inside one
+//! interval of that attribute's domain can never exclude a point of a
+//! disjoint interval, so the loops share no state. A [`ShardedPlan`]
+//! exploits this:
+//!
+//! 1. **Partition** — the domain is split into at most `K` contiguous
+//!    [`ShardBounds`] by [`minesweeper_storage::shard::shard_relation`]:
+//!    equi-depth over the *primary* relation (the largest-fanout relation
+//!    whose index starts at GAO position 0), weighted by tuples per
+//!    distinct first value so skew still balances. Fewer shards come back
+//!    when the data cannot feed `K` (few distinct values, or one giant
+//!    duplicate run) — never an empty shard.
+//! 2. **Probe** — each shard runs an independent
+//!    [`crate::TupleStream`] on a scoped worker pool
+//!    ([`scoped_pool::scoped_map`]), with its own `ConstraintTree`, its
+//!    own [`minesweeper_storage::GapCursor`]s, and its own
+//!    [`ExecStats`]. The confinement is two pre-seeded depth-0
+//!    constraints `(−∞, lo)` / `(hi, +∞)` — the CDS then terminates the
+//!    loop once the shard's slice of the output space is covered.
+//! 3. **Concatenate** — shards are ordered intervals, so appending their
+//!    outputs in shard order *is* the order-preserving K-way merge: the
+//!    concatenation equals the serial stream's GAO-lexicographic
+//!    sequence, and after the usual original-numbering translation (and
+//!    sort, when the plan re-indexed) the materialized result is
+//!    **byte-identical** to [`crate::Plan::execute`].
+//!
+//! Statistics: per-shard counters are kept in [`ShardStats`] and their sum
+//! (plus the ≤ 2·K seed constraints) is the aggregate [`ExecStats`] — in
+//! particular `outputs` sums exactly to the tuple count. Total probe work
+//! slightly exceeds the serial run's because each shard pays its own
+//! warm-up probes around the boundaries; that is the usual
+//! parallel-speedup trade, bounded by `O(K)` extra probes per relation.
+
+use minesweeper_storage::{shard::shard_relation, Database, ExecStats, ShardBounds, Tuple};
+
+use crate::gao::GaoChoice;
+use crate::minesweeper::JoinResult;
+use crate::plan::{Plan, PreparedPlan};
+use crate::query::QueryError;
+use crate::stream::{DbHandle, TupleStream};
+
+/// A [`Plan`] wrapped for parallel execution on up to `threads` workers
+/// (see the module docs for the sharding strategy). Build with
+/// [`Plan::sharded`] or [`ShardedPlan::new`]; run with
+/// [`ShardedPlan::execute`] or [`ShardedPlan::stream`].
+#[derive(Debug, Clone)]
+pub struct ShardedPlan {
+    plan: Plan,
+    threads: usize,
+}
+
+/// One shard's interval and the execution counters its probe loop
+/// accumulated.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// The shard's inclusive interval of the first GAO attribute.
+    pub bounds: ShardBounds,
+    /// Counters of this shard's probe loop only.
+    pub stats: ExecStats,
+}
+
+/// The outcome of a sharded run: the same sorted [`JoinResult`] a serial
+/// [`crate::Plan::execute`] produces (aggregate statistics inside), plus
+/// the per-shard breakdown.
+#[derive(Debug, Clone)]
+pub struct ShardedExecution {
+    /// Output tuples (sorted in the original attribute numbering) and the
+    /// aggregate statistics summed over all shards.
+    pub result: JoinResult,
+    /// The chosen GAO, probe mode, and elimination width.
+    pub gao: GaoChoice,
+    /// Per-shard intervals and counters, in domain order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ShardedPlan {
+    /// Wraps `plan` for execution on up to `threads` workers (`0` is
+    /// treated as `1`; the shard count actually used is data-dependent
+    /// and never exceeds `threads`).
+    pub fn new(plan: Plan, threads: usize) -> Self {
+        ShardedPlan {
+            plan,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The worker / maximum shard count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The serial plan description plus the parallel strategy line.
+    pub fn explain(&self) -> String {
+        format!(
+            "{}\nparallel: up to {} equi-depth shard(s) of GAO attribute 0, \
+             one probe loop per shard, order-preserving concatenation",
+            self.plan.explain(),
+            self.threads
+        )
+    }
+
+    /// The shard intervals this plan would use against `db` (equi-depth
+    /// over the primary relation — data-dependent, hence a method, not a
+    /// plan field). Mostly for inspection and tests; `execute` computes
+    /// the same split internally.
+    pub fn shard_bounds(&self, db: &Database) -> Result<Vec<ShardBounds>, QueryError> {
+        let prepared = self.plan.prepare(db)?;
+        Ok(compute_shards(&prepared, self.threads))
+    }
+
+    /// Runs the plan to completion across the worker pool.
+    ///
+    /// The returned tuples are byte-identical to the serial
+    /// [`crate::Plan::execute`]: sorted lexicographically in the original
+    /// attribute numbering.
+    pub fn execute(&self, db: &Database) -> Result<ShardedExecution, QueryError> {
+        let (tuples, shards, agg, inv) = self.run(db)?;
+        // Translate to the original numbering and sort, exactly as the
+        // serial `PreparedPlan::execute` does.
+        let tuples = match inv {
+            None => tuples,
+            Some(inv) => {
+                let mut translated: Vec<Tuple> = tuples
+                    .into_iter()
+                    .map(|t| inv.iter().map(|&c| t[c]).collect())
+                    .collect();
+                translated.sort_unstable();
+                translated
+            }
+        };
+        Ok(ShardedExecution {
+            result: JoinResult { tuples, stats: agg },
+            gao: self.plan.gao().clone(),
+            shards,
+        })
+    }
+
+    /// Opens a [`ShardedStream`] over `db`.
+    ///
+    /// Unlike the serial [`crate::Plan::stream`], the probe work is paid
+    /// **eagerly and in parallel** when the stream is opened (scoped
+    /// workers cannot outlive this call); iteration then yields the
+    /// already-certified tuples in the same order the serial stream would
+    /// — GAO-lexicographic, translated to the original attribute
+    /// numbering on the fly. Use the serial stream when `take(k)` must
+    /// skip probe work; use this one when the full result is wanted fast.
+    pub fn stream(&self, db: &Database) -> Result<ShardedStream, QueryError> {
+        let (tuples, shards, agg, inv) = self.run(db)?;
+        Ok(ShardedStream {
+            tuples: tuples.into_iter(),
+            inv,
+            stats: agg,
+            shards,
+        })
+    }
+
+    /// The shared prepare → shard → aggregate step behind both
+    /// [`ShardedPlan::execute`] and [`ShardedPlan::stream`]: GAO-order
+    /// tuples in the *execution* numbering, per-shard stats, their exact
+    /// sum, and the original-numbering translation (when re-indexed).
+    #[allow(clippy::type_complexity)]
+    fn run(
+        &self,
+        db: &Database,
+    ) -> Result<(Vec<Tuple>, Vec<ShardStats>, ExecStats, Option<Vec<usize>>), QueryError> {
+        let prepared = self.plan.prepare(db)?;
+        let (tuples, shards) = run_shards(&prepared, self.threads);
+        let mut agg = ExecStats::new();
+        for s in &shards {
+            agg.merge(&s.stats);
+        }
+        Ok((tuples, shards, agg, prepared.inv().map(|s| s.to_vec())))
+    }
+}
+
+/// Picks the primary relation (largest root fanout among atoms indexed on
+/// GAO position 0 — query validation guarantees at least one) and splits
+/// its first column equi-depth.
+fn compute_shards(prepared: &PreparedPlan<'_>, threads: usize) -> Vec<ShardBounds> {
+    let db = prepared.db();
+    let primary = prepared
+        .exec_query()
+        .atoms
+        .iter()
+        .filter(|a| a.attrs.first() == Some(&0))
+        .map(|a| db.relation(a.rel))
+        .max_by_key(|r| r.root_fanout());
+    match primary {
+        Some(rel) => shard_relation(rel, threads),
+        None => vec![ShardBounds::unbounded()],
+    }
+}
+
+/// Runs one probe loop per shard on the pool and concatenates the
+/// GAO-order outputs in shard order (still GAO-lexicographic overall).
+/// Tuples stay in the *execution* numbering; the caller translates/sorts.
+fn run_shards(prepared: &PreparedPlan<'_>, threads: usize) -> (Vec<Tuple>, Vec<ShardStats>) {
+    let bounds = compute_shards(prepared, threads);
+    let jobs: Vec<_> = bounds
+        .iter()
+        .map(|&b| {
+            move || {
+                let mut stream = TupleStream::with_bounds(
+                    DbHandle::Borrowed(prepared.db()),
+                    prepared.exec_query().clone(),
+                    prepared.gao().mode,
+                    None,
+                    b,
+                );
+                let tuples: Vec<Tuple> = stream.by_ref().collect();
+                (tuples, stream.stats())
+            }
+        })
+        .collect();
+    let per_shard = scoped_pool::scoped_map(threads, jobs);
+    let mut tuples = Vec::with_capacity(per_shard.iter().map(|(t, _)| t.len()).sum());
+    let mut shards = Vec::with_capacity(per_shard.len());
+    for (b, (shard_tuples, stats)) in bounds.into_iter().zip(per_shard) {
+        debug_assert!(shard_tuples.iter().all(|t| b.contains(t[0])));
+        tuples.extend(shard_tuples);
+        shards.push(ShardStats { bounds: b, stats });
+    }
+    debug_assert!(
+        tuples.windows(2).all(|w| w[0] < w[1]),
+        "shard concatenation must be lexicographic in the execution numbering"
+    );
+    (tuples, shards)
+}
+
+/// The iterator returned by [`ShardedPlan::stream`]: already-certified
+/// tuples in GAO-lexicographic order, translated to the original
+/// attribute numbering lazily. Aggregate and per-shard statistics are
+/// complete from the moment the stream is opened.
+pub struct ShardedStream {
+    tuples: std::vec::IntoIter<Tuple>,
+    inv: Option<Vec<usize>>,
+    stats: ExecStats,
+    shards: Vec<ShardStats>,
+}
+
+impl ShardedStream {
+    /// Aggregate counters summed over every shard's probe loop.
+    pub fn stats(&self) -> ExecStats {
+        self.stats.clone()
+    }
+
+    /// Per-shard intervals and counters, in domain order.
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.shards
+    }
+
+    /// Number of tuples not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+impl Iterator for ShardedStream {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let t = self.tuples.next()?;
+        Some(match &self.inv {
+            None => t,
+            Some(inv) => inv.iter().map(|&c| t[c]).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_join;
+    use crate::plan::plan;
+    use crate::query::Query;
+    use minesweeper_storage::{builder, RelationBuilder};
+
+    fn path_db(n: i64) -> (Database, Query) {
+        let mut db = Database::new();
+        let e1 = db
+            .add(builder::binary("E1", (0..n).map(|i| (i, (i * 7) % n))))
+            .unwrap();
+        let e2 = db
+            .add(builder::binary("E2", (0..n).map(|i| ((i * 3) % n, i))))
+            .unwrap();
+        let q = Query::new(3).atom(e1, &[0, 1]).atom(e2, &[1, 2]);
+        (db, q)
+    }
+
+    #[test]
+    fn parallel_matches_serial_identity_gao() {
+        let (db, q) = path_db(40);
+        let p = plan(&db, &q).unwrap();
+        let serial = p.execute(&db).unwrap();
+        for k in [1, 2, 3, 8] {
+            let par = p.execute_parallel(&db, k).unwrap();
+            assert_eq!(par.result.tuples, serial.result.tuples, "k={k}");
+            assert_eq!(par.gao, serial.gao);
+            assert!(par.shards.len() <= k.max(1));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_reindexed_gao() {
+        // Example B.7's shape forces a non-identity GAO (re-index path).
+        let mut db = Database::new();
+        let mut rb = RelationBuilder::new("R", 3);
+        for a in 1..=6 {
+            for b in 1..=6 {
+                rb.push(&[a, b, (a * b) % 4 + 1]);
+            }
+        }
+        let r = db.add(rb.build().unwrap()).unwrap();
+        let s = db
+            .add(builder::binary(
+                "S",
+                (1..=6).flat_map(|a| [(a, 1), (a, 2), (a, 3), (a, 4)]),
+            ))
+            .unwrap();
+        let t = db
+            .add(builder::binary("T", (1..=6).flat_map(|b| [(b, 1), (b, 3)])))
+            .unwrap();
+        let q = Query::new(3)
+            .atom(r, &[0, 1, 2])
+            .atom(s, &[0, 2])
+            .atom(t, &[1, 2]);
+        let p = plan(&db, &q).unwrap();
+        assert!(p.is_reindexed());
+        let serial = p.execute(&db).unwrap();
+        assert!(!serial.result.tuples.is_empty());
+        for k in [2, 4, 16] {
+            let par = p.execute_parallel(&db, k).unwrap();
+            assert_eq!(par.result.tuples, serial.result.tuples, "k={k}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_cyclic_general_mode() {
+        let mut db = Database::new();
+        let e = db
+            .add(builder::binary(
+                "E",
+                (0..60).map(|i: i64| (i % 12, (i * 5 + 1) % 12)),
+            ))
+            .unwrap();
+        let q = Query::new(3)
+            .atom(e, &[0, 1])
+            .atom(e, &[1, 2])
+            .atom(e, &[0, 2]);
+        let p = plan(&db, &q).unwrap();
+        let serial = p.execute(&db).unwrap();
+        let par = p.execute_parallel(&db, 4).unwrap();
+        assert_eq!(par.result.tuples, serial.result.tuples);
+        assert_eq!(par.result.tuples, naive_join(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn shard_stats_sum_to_aggregate() {
+        let (db, q) = path_db(50);
+        let p = plan(&db, &q).unwrap();
+        let par = p.execute_parallel(&db, 4).unwrap();
+        assert!(par.shards.len() >= 2, "enough distinct values to shard");
+        let mut sum = ExecStats::new();
+        for s in &par.shards {
+            sum.merge(&s.stats);
+        }
+        assert_eq!(sum, par.result.stats);
+        assert_eq!(sum.outputs as usize, par.result.tuples.len());
+        // Shards are disjoint, contiguous, and cover the domain.
+        for w in par.shards.windows(2) {
+            assert_eq!(w[0].bounds.hi + 1, w[1].bounds.lo);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_distinct_values() {
+        // The primary is the largest-fanout attr-0 relation (S, 4 values):
+        // 64 requested workers must cap at 4 shards, all non-empty.
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [2, 5, 9])).unwrap();
+        let s = db.add(builder::unary("S", [1, 2, 5, 9])).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        let p = plan(&db, &q).unwrap();
+        let par = p.execute_parallel(&db, 64).unwrap();
+        assert_eq!(par.result.tuples, vec![vec![2], vec![5], vec![9]]);
+        assert_eq!(
+            par.shards.len(),
+            4,
+            "capped at the primary's distinct values"
+        );
+    }
+
+    #[test]
+    fn giant_duplicate_run_degrades_to_one_shard() {
+        // Every relation that could be primary holds a single distinct
+        // first value (one giant duplicate run): the split must fall back
+        // to a single unbounded shard — no empty shard, no panic.
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [7])).unwrap();
+        let s = db.add(builder::unary("S", [7])).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        let p = plan(&db, &q).unwrap();
+        let par = p.execute_parallel(&db, 8).unwrap();
+        assert_eq!(par.shards.len(), 1);
+        assert!(par.shards[0].bounds.is_unbounded());
+        assert_eq!(par.result.tuples, vec![vec![7]]);
+    }
+
+    #[test]
+    fn skewed_first_attribute_still_matches_serial() {
+        // R's first column is one giant duplicate run; whatever GAO and
+        // primary the planner picks, the parallel result must equal the
+        // serial one and every shard must be non-trivial.
+        let mut db = Database::new();
+        let r = db
+            .add(builder::binary("R", (0..30).map(|i| (7, i))))
+            .unwrap();
+        let s = db
+            .add(builder::binary("S", (0..30).map(|i| (i, i % 5))))
+            .unwrap();
+        let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+        let p = plan(&db, &q).unwrap();
+        let par = p.execute_parallel(&db, 8).unwrap();
+        assert!(!par.shards.is_empty() && par.shards.len() <= 8);
+        assert_eq!(par.result.tuples, p.execute(&db).unwrap().result.tuples);
+        assert_eq!(
+            par.result.stats.outputs as usize,
+            par.result.tuples.len(),
+            "aggregated outputs match the materialized count"
+        );
+    }
+
+    #[test]
+    fn empty_primary_relation() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [])).unwrap();
+        let s = db.add(builder::unary("S", [])).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        let p = plan(&db, &q).unwrap();
+        let par = p.execute_parallel(&db, 4).unwrap();
+        assert!(par.result.tuples.is_empty());
+        assert_eq!(par.shards.len(), 1, "no values ⇒ one unbounded shard");
+    }
+
+    #[test]
+    fn sharded_stream_yields_serial_stream_order() {
+        let (db, q) = path_db(30);
+        let p = plan(&db, &q).unwrap();
+        let serial: Vec<Tuple> = p.stream(&db).unwrap().collect();
+        let sharded = p.clone().sharded(3);
+        let mut stream = sharded.stream(&db).unwrap();
+        assert_eq!(stream.stats().outputs as usize, serial.len());
+        assert_eq!(stream.remaining(), serial.len());
+        let got: Vec<Tuple> = stream.by_ref().collect();
+        assert_eq!(got, serial);
+        assert!(stream.shard_stats().len() >= 2);
+    }
+
+    #[test]
+    fn explain_and_accessors() {
+        let (db, q) = path_db(10);
+        let p = plan(&db, &q).unwrap();
+        let sp = p.clone().sharded(0);
+        assert_eq!(sp.threads(), 1, "0 workers clamps to 1");
+        let sp = p.clone().sharded(4);
+        assert_eq!(sp.threads(), 4);
+        assert_eq!(sp.plan().gao(), p.gao());
+        assert!(sp.explain().contains("parallel: up to 4"));
+        let bounds = sp.shard_bounds(&db).unwrap();
+        assert!(!bounds.is_empty() && bounds.len() <= 4);
+    }
+}

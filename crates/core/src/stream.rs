@@ -18,14 +18,16 @@
 //!   numbering on the fly. Tuples are yielded in certification order, which
 //!   is lexicographic in the *GAO*; it therefore coincides with
 //!   lexicographic order in the original numbering exactly when the GAO is
-//!   the identity (see [`crate::execute`] for the sorted-collect wrapper).
+//!   the identity (see [`mod@crate::execute`] for the sorted-collect wrapper).
 //!
 //! Relations are probed through [`GapCursor`]s that persist across resumed
 //! probes, so a forward-moving probe sequence gallops from the previous
 //! landing position instead of re-running full binary searches.
 
 use minesweeper_cds::{Constraint, ConstraintTree, Pattern, PatternComp, ProbeMode, ProbeStats};
-use minesweeper_storage::{Database, ExecStats, GapCursor, NodeId, TrieRelation, Tuple, Val};
+use minesweeper_storage::{
+    Database, ExecStats, GapCursor, NodeId, ShardBounds, TrieRelation, Tuple, Val, NEG_INF, POS_INF,
+};
 
 use crate::query::{Atom, Query};
 
@@ -69,6 +71,27 @@ impl<'db> TupleStream<'db> {
         mode: ProbeMode,
         inv: Option<Vec<usize>>,
     ) -> Self {
+        Self::with_bounds(db, query, mode, inv, ShardBounds::unbounded())
+    }
+
+    /// Builds a stream whose probe loop is confined to `bounds` on the
+    /// first GAO attribute. The restriction is expressed in the CDS
+    /// itself: the open intervals `(−∞, lo)` and `(hi, +∞)` are inserted
+    /// as depth-0 constraints before any probing, so `getProbePoint`
+    /// never proposes a tuple outside `[lo, hi]` and the loop terminates
+    /// once the *shard's* slice of the output space is covered. This is
+    /// the per-shard engine of [`crate::ShardedPlan`]: disjoint bounds
+    /// give probe loops that share no state, and within its interval each
+    /// stream yields exactly the serial stream's tuples in the same
+    /// (GAO-lexicographic) order. The two seed constraints are counted in
+    /// `constraints_inserted` like any other.
+    pub(crate) fn with_bounds(
+        db: DbHandle<'db>,
+        query: Query,
+        mode: ProbeMode,
+        inv: Option<Vec<usize>>,
+        bounds: ShardBounds,
+    ) -> Self {
         let n = query.n_attrs;
         let cursors = {
             let dbr: &Database = match &db {
@@ -81,11 +104,25 @@ impl<'db> TupleStream<'db> {
                 .map(|a| GapCursor::new(dbr.relation(a.rel).arity()))
                 .collect()
         };
+        let mut cds = ConstraintTree::new(n, mode);
+        let mut pst = ProbeStats::default();
+        if bounds.lo != NEG_INF {
+            cds.insert_constraint(
+                &Constraint::new(Pattern::empty(), NEG_INF, bounds.lo),
+                &mut pst,
+            );
+        }
+        if bounds.hi != POS_INF {
+            cds.insert_constraint(
+                &Constraint::new(Pattern::empty(), bounds.hi, POS_INF),
+                &mut pst,
+            );
+        }
         TupleStream {
             db,
             query,
-            cds: ConstraintTree::new(n, mode),
-            pst: ProbeStats::default(),
+            cds,
+            pst,
             stats: ExecStats::new(),
             cursors,
             gaps: Vec::new(),

@@ -1,0 +1,135 @@
+//! Offline stand-in for a scoped thread-pool crate.
+//!
+//! The workspace builds without network access, so instead of `rayon` or
+//! `scoped_threadpool` this crate implements the one primitive the
+//! parallel executor needs: run a batch of closures that **borrow** the
+//! caller's data on a bounded number of OS threads, and hand the results
+//! back in input order. It is a thin layer over [`std::thread::scope`] —
+//! workers pull jobs from a shared queue (so a skewed batch keeps every
+//! thread busy), and a panic inside any job propagates to the caller
+//! exactly as `std::thread::scope` propagates it.
+
+use std::sync::Mutex;
+
+/// Number of hardware threads, with a serial fallback of 1 when the
+/// platform cannot say ([`std::thread::available_parallelism`] errors).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs every job on at most `threads` scoped worker threads and returns
+/// the results **in input order**.
+///
+/// Jobs may borrow from the caller's stack (the workers are scoped).
+/// Scheduling is dynamic: workers repeatedly pop the next unstarted job,
+/// so one slow job does not idle the other threads. With `threads <= 1`
+/// or a single job, everything runs inline on the caller's thread — no
+/// spawn cost on the serial path.
+///
+/// ```
+/// let data = vec![1u64, 2, 3, 4, 5];
+/// let squares = scoped_pool::scoped_map(
+///     3,
+///     data.iter().map(|&x| move || x * x).collect::<Vec<_>>(),
+/// );
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn scoped_map<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if threads <= 1 || n <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let workers = threads.min(n);
+    // Jobs are popped from the back; results land by index, so execution
+    // order never shows in the output.
+    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = queue.lock().unwrap().pop();
+                let Some((i, f)) = job else { break };
+                *slots[i].lock().unwrap() = Some(f());
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every job ran exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_keep_input_order() {
+        let jobs: Vec<_> = (0..37usize).map(|i| move || i * 2).collect();
+        assert_eq!(
+            scoped_map(4, jobs),
+            (0..37).map(|i| i * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn serial_paths_run_inline() {
+        let main_thread = std::thread::current().id();
+        let ids = scoped_map(1, vec![|| std::thread::current().id()]);
+        assert_eq!(ids, vec![main_thread], "threads=1 stays on the caller");
+        let ids = scoped_map(8, vec![|| std::thread::current().id()]);
+        assert_eq!(ids, vec![main_thread], "a single job stays on the caller");
+    }
+
+    #[test]
+    fn borrows_caller_data_and_runs_concurrently() {
+        let data: Vec<u64> = (0..100).collect();
+        let touched = AtomicUsize::new(0);
+        let sums = scoped_map(
+            3,
+            data.chunks(10)
+                .map(|c| {
+                    let touched = &touched;
+                    move || {
+                        touched.fetch_add(1, Ordering::Relaxed);
+                        c.iter().sum::<u64>()
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(touched.load(Ordering::Relaxed), 10);
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        assert_eq!(
+            scoped_map(64, (0..3).map(|i| move || i).collect::<Vec<_>>()),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        scoped_map(
+            2,
+            vec![
+                Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
+                Box::new(|| panic!("boom")),
+            ],
+        );
+    }
+}

@@ -26,6 +26,7 @@ pub mod cursor;
 pub mod database;
 pub mod error;
 pub mod gap_cursor;
+pub mod shard;
 pub mod sorted;
 pub mod stats;
 pub mod trie;
@@ -36,6 +37,7 @@ pub use cursor::TrieCursor;
 pub use database::{Database, RelId};
 pub use error::StorageError;
 pub use gap_cursor::GapCursor;
+pub use shard::{equi_depth_shards, shard_relation, ShardBounds};
 pub use stats::ExecStats;
 pub use trie::{Gap, NodeId, TrieRelation};
 pub use value::{Tuple, Val, NEG_INF, POS_INF};

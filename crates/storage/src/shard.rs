@@ -1,0 +1,230 @@
+//! Domain sharding for parallel execution.
+//!
+//! The Minesweeper probe loop is independent across disjoint intervals of
+//! the *first* GAO attribute: constraints discovered while probing inside
+//! one interval never exclude points of another, so each interval can be
+//! swept by its own probe loop with its own constraint store. This module
+//! provides the value-domain partitioning that makes those intervals: an
+//! **equi-depth** split of `(−∞, +∞)` into at most `k` contiguous
+//! [`ShardBounds`], weighted by how many tuples of the primary relation
+//! fall under each distinct first-column value
+//! ([`TrieRelation::first_level_tuple_counts`]).
+//!
+//! Skew degrades gracefully by construction: a shard is never emitted
+//! empty — when the distinct-value count (or one giant duplicate run
+//! concentrated under a single value) cannot feed `k` shards, fewer shards
+//! come back, down to a single unbounded shard.
+
+use crate::trie::TrieRelation;
+use crate::value::{Val, NEG_INF, POS_INF};
+
+/// One contiguous, inclusive interval `[lo, hi]` of the first GAO
+/// attribute's domain (`lo = −∞` / `hi = +∞` at the outer shards). Shards
+/// returned by [`equi_depth_shards`] are disjoint, sorted, and cover the
+/// whole domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBounds {
+    /// Inclusive lower endpoint ([`NEG_INF`] for the first shard).
+    pub lo: Val,
+    /// Inclusive upper endpoint ([`POS_INF`] for the last shard).
+    pub hi: Val,
+}
+
+impl ShardBounds {
+    /// The single shard covering the entire domain.
+    pub fn unbounded() -> Self {
+        ShardBounds {
+            lo: NEG_INF,
+            hi: POS_INF,
+        }
+    }
+
+    /// True when the shard covers the entire domain (serial execution).
+    pub fn is_unbounded(&self) -> bool {
+        self.lo == NEG_INF && self.hi == POS_INF
+    }
+
+    /// True when `v` lies inside the (inclusive) interval.
+    pub fn contains(&self, v: Val) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+impl std::fmt::Display for ShardBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}, {}]",
+            crate::value::fmt_val(self.lo),
+            crate::value::fmt_val(self.hi)
+        )
+    }
+}
+
+/// Splits the domain into at most `k` equi-depth shards.
+///
+/// `values` are the distinct first-column values of the primary relation
+/// (sorted ascending, as [`TrieRelation::first_column`] returns them) and
+/// `weights[i]` is the number of tuples under `values[i]`. The split is
+/// greedy equi-depth: cut whenever the running weight reaches the next
+/// multiple of `total / k`, so every shard holds at least one distinct
+/// value and roughly `total / k` tuples. Fewer than `k` shards come back
+/// when there are fewer than `k` distinct values or when skew concentrates
+/// the weight (one giant run under a single value fills a whole shard on
+/// its own) — never an empty shard, never a panic.
+pub fn equi_depth_shards(values: &[Val], weights: &[usize], k: usize) -> Vec<ShardBounds> {
+    assert_eq!(values.len(), weights.len(), "one weight per value");
+    debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "values sorted");
+    let k = k.max(1);
+    if k == 1 || values.len() <= 1 {
+        return vec![ShardBounds::unbounded()];
+    }
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    if total == 0 {
+        return vec![ShardBounds::unbounded()];
+    }
+    let k = k.min(values.len()) as u64;
+    // Interior cut points: shard j ends before the first value whose
+    // cumulative weight crosses j·total/k. Greedy from the left; a heavy
+    // value can swallow several targets, yielding fewer shards.
+    let mut cuts: Vec<Val> = Vec::with_capacity(k as usize - 1);
+    let mut acc: u64 = 0;
+    let mut next_target = 1u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w as u64;
+        // `acc * k >= target * total` ⇔ acc >= target·total/k, exactly.
+        while next_target < k && acc * k >= next_target * total {
+            next_target += 1;
+            if i + 1 < values.len() {
+                cuts.push(values[i + 1]);
+            }
+        }
+    }
+    cuts.dedup();
+    let mut shards = Vec::with_capacity(cuts.len() + 1);
+    let mut lo = NEG_INF;
+    for &c in &cuts {
+        shards.push(ShardBounds { lo, hi: c - 1 });
+        lo = c;
+    }
+    shards.push(ShardBounds { lo, hi: POS_INF });
+    shards
+}
+
+/// [`equi_depth_shards`] over a primary relation: distinct first-column
+/// values weighted by their subtree tuple counts.
+pub fn shard_relation(rel: &TrieRelation, k: usize) -> Vec<ShardBounds> {
+    equi_depth_shards(rel.first_column(), &rel.first_level_tuple_counts(), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(shards: &[ShardBounds]) {
+        assert!(!shards.is_empty());
+        assert_eq!(shards[0].lo, NEG_INF);
+        assert_eq!(shards.last().unwrap().hi, POS_INF);
+        for w in shards.windows(2) {
+            assert_eq!(w[0].hi + 1, w[1].lo, "contiguous: {} {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let values: Vec<Val> = (0..8).collect();
+        let weights = vec![1usize; 8];
+        let shards = equi_depth_shards(&values, &weights, 4);
+        check_cover(&shards);
+        assert_eq!(shards.len(), 4);
+        // Each shard holds exactly two of the eight values.
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(values.iter().filter(|&&v| s.contains(v)).count(), 2, "{i}");
+        }
+    }
+
+    #[test]
+    fn skewed_weight_fills_a_shard_alone() {
+        // One value carries 90% of the tuples: it must own a shard by
+        // itself and the split must fall back to fewer, non-empty shards.
+        let values: Vec<Val> = vec![1, 2, 3, 4];
+        let weights = vec![1usize, 90, 1, 1];
+        let shards = equi_depth_shards(&values, &weights, 4);
+        check_cover(&shards);
+        assert!(shards.len() <= 4);
+        for s in &shards {
+            assert!(
+                values.iter().any(|&v| s.contains(v)),
+                "no shard may be empty of primary values: {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn giant_duplicate_run_degrades_to_one_shard() {
+        // All tuples share one first value (the duplicate-run skew case):
+        // a single unbounded shard, no panic.
+        let shards = equi_depth_shards(&[7], &[1_000_000], 8);
+        assert_eq!(shards, vec![ShardBounds::unbounded()]);
+    }
+
+    #[test]
+    fn more_shards_than_values_caps_at_values() {
+        let values: Vec<Val> = vec![10, 20, 30];
+        let shards = equi_depth_shards(&values, &[5, 5, 5], 64);
+        check_cover(&shards);
+        assert_eq!(shards.len(), 3);
+        for (s, &v) in shards.iter().zip(&values) {
+            assert!(s.contains(v));
+        }
+    }
+
+    #[test]
+    fn k_one_and_empty_are_unbounded() {
+        assert_eq!(
+            equi_depth_shards(&[1, 2, 3], &[1, 1, 1], 1),
+            vec![ShardBounds::unbounded()]
+        );
+        assert_eq!(
+            equi_depth_shards(&[], &[], 4),
+            vec![ShardBounds::unbounded()]
+        );
+        assert_eq!(
+            equi_depth_shards(&[5], &[0], 3),
+            vec![ShardBounds::unbounded()],
+            "zero total weight"
+        );
+    }
+
+    #[test]
+    fn shard_relation_weighs_by_tuple_count() {
+        // First value 1 has 4 tuples, values 2 and 3 have 1 each: with two
+        // shards the cut must isolate value 1.
+        let rel = TrieRelation::from_tuples(
+            "R",
+            2,
+            vec![
+                vec![1, 1],
+                vec![1, 2],
+                vec![1, 3],
+                vec![1, 4],
+                vec![2, 1],
+                vec![3, 1],
+            ],
+        )
+        .unwrap();
+        let shards = shard_relation(&rel, 2);
+        check_cover(&shards);
+        assert_eq!(shards.len(), 2);
+        assert!(shards[0].contains(1) && !shards[0].contains(2));
+        assert!(shards[1].contains(2) && shards[1].contains(3));
+    }
+
+    #[test]
+    fn bounds_display_and_contains() {
+        let s = ShardBounds { lo: 3, hi: 9 };
+        assert!(s.contains(3) && s.contains(9) && !s.contains(10));
+        assert_eq!(s.to_string(), "[3, 9]");
+        assert_eq!(ShardBounds::unbounded().to_string(), "[-inf, +inf]");
+    }
+}

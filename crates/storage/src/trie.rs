@@ -352,6 +352,28 @@ impl TrieRelation {
         self.levels.iter().map(|l| l.values.len()).sum()
     }
 
+    /// Number of tuples under each distinct first-column value, aligned
+    /// with [`TrieRelation::first_column`] (so `counts.iter().sum() ==
+    /// len()`). This is the weight vector equi-depth sharding uses to keep
+    /// per-shard work balanced under skew; computed by cascading each root
+    /// child's range through the child-offset arrays in `O(arity · |R[*]|)`.
+    pub fn first_level_tuple_counts(&self) -> Vec<usize> {
+        if self.n_tuples == 0 {
+            return Vec::new();
+        }
+        let fanout = self.levels[0].values.len();
+        (0..fanout)
+            .map(|root_child| {
+                let (mut lo, mut hi) = (root_child, root_child + 1);
+                for depth in 0..self.arity - 1 {
+                    let off = &self.levels[depth].child_off;
+                    (lo, hi) = (off[lo] as usize, off[hi] as usize);
+                }
+                hi - lo
+            })
+            .collect()
+    }
+
     /// All node values of a trie level (0-based), across all parents.
     /// Sibling groups are contiguous; cursors slice this column by the
     /// parent's child range.
@@ -560,6 +582,19 @@ mod tests {
         ];
         let r = figure3();
         assert_eq!(r.to_tuples(), tuples);
+    }
+
+    #[test]
+    fn first_level_tuple_counts_cascade() {
+        let r = figure3();
+        assert_eq!(r.first_level_tuple_counts(), vec![3, 1, 1]);
+        assert_eq!(r.first_level_tuple_counts().iter().sum::<usize>(), r.len());
+        // Unary: every value carries exactly one tuple.
+        let u = rel(&[&[4], &[2], &[9]]);
+        assert_eq!(u.first_level_tuple_counts(), vec![1, 1, 1]);
+        // Empty: no weights.
+        let e = TrieRelation::from_tuples("E", 2, vec![]).unwrap();
+        assert!(e.first_level_tuple_counts().is_empty());
     }
 
     #[test]

@@ -14,13 +14,20 @@
 //! * `--explain` prints the plan (GAO, probe mode, width, runtime bound)
 //!   without executing.
 //! * `--algo NAME` dispatches through the algorithm registry
-//!   (`minesweeper`, `yannakakis`, `leapfrog`, `generic`, `hash`,
-//!   `sort-merge`, `nested-loop`, `naive`); every algorithm prints the
-//!   same sorted output.
+//!   (`minesweeper`, `minesweeper-par`, `yannakakis`, `leapfrog`,
+//!   `generic`, `hash`, `sort-merge`, `nested-loop`, `naive`); every
+//!   algorithm prints the same sorted output.
 //! * `--limit K` with the default Minesweeper engine is pushed into the
 //!   streaming executor: the probe loop stops after `K` certified tuples
 //!   instead of materializing the whole result (tuples then appear in
 //!   certification order rather than sorted).
+//! * `--threads N` (or `--algo minesweeper-par`) runs the sharded
+//!   parallel engine: the first GAO attribute's domain is split into up
+//!   to `N` equi-depth shards, each swept by an independent probe loop on
+//!   its own worker thread; output is byte-identical to the serial
+//!   engine's. `--stats` then also reports the per-shard breakdown.
+//!   `--limit` with the parallel engine only truncates the printout — the
+//!   probe work is paid in full (use the serial engine for pushdown).
 
 use std::process::ExitCode;
 
@@ -34,7 +41,7 @@ use minesweeper_join::text::{parse_query, parse_relation, render_plan};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: msj --rel NAME=FILE [--rel NAME=FILE ...] 'QUERY' \
-         [--algo NAME] [--explain] [--stats] [--limit K]\n\
+         [--algo NAME] [--explain] [--stats] [--limit K] [--threads N]\n\
          example: msj --rel R=edges.tsv --rel S=edges.tsv 'R(x,y), S(y,z)' --stats\n\
          algorithms: {}",
         algorithm_names().join(", ")
@@ -60,6 +67,23 @@ fn print_tuples(out: &mut impl Write, tuples: &[Tuple]) -> bool {
     true
 }
 
+/// Prints the attribute header and a materialized result truncated to
+/// `limit`, with the `# … N more` marker — the shared output shape of the
+/// registry-dispatch and parallel-engine paths.
+fn print_limited(
+    out: &mut impl Write,
+    attr_names: &[String],
+    tuples: &[Tuple],
+    limit: Option<usize>,
+) {
+    let shown = limit.unwrap_or(usize::MAX).min(tuples.len());
+    let open = out_line(out, format_args!("# {}", attr_names.join("\t")))
+        && print_tuples(out, &tuples[..shown]);
+    if open && tuples.len() > shown {
+        out_line(out, format_args!("# … {} more", tuples.len() - shown));
+    }
+}
+
 fn print_stats(stats: &ExecStats) {
     eprintln!("# outputs: {}", stats.outputs);
     eprintln!(
@@ -81,6 +105,7 @@ fn main() -> ExitCode {
     let mut explain = false;
     let mut algo_name: Option<String> = None;
     let mut limit: Option<usize> = None;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -115,6 +140,13 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 limit = Some(k);
+                i += 2;
+            }
+            "--threads" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                threads = Some(n);
                 i += 2;
             }
             "--help" | "-h" => return usage(),
@@ -178,9 +210,27 @@ fn main() -> ExitCode {
     };
 
     // The Minesweeper plan (GAO search, re-index mapping) is only computed
-    // for the paths that use it: `--explain` and the default engine.
-    // Registry algorithms other than Minesweeper never consult it.
-    let uses_planner = algo.as_ref().is_none_or(|a| a.name() == "minesweeper");
+    // for the paths that use it: `--explain` and the two Minesweeper
+    // engines. Registry algorithms other than those never consult it.
+    let uses_planner = algo
+        .as_ref()
+        .is_none_or(|a| matches!(a.name(), "minesweeper" | "minesweeper-par"));
+
+    // `--threads N`, or `--algo minesweeper-par` (auto-sized workers),
+    // selects the sharded parallel engine.
+    let par_threads: Option<usize> = match (&algo, threads) {
+        _ if !uses_planner => {
+            if threads.is_some() {
+                eprintln!("note: --threads only applies to the minesweeper engines; ignored");
+            }
+            None
+        }
+        (Some(a), t) if a.name() == "minesweeper-par" => {
+            Some(t.unwrap_or_else(|| minesweeper_join::core::MinesweeperPar::default().threads))
+        }
+        (_, Some(t)) => Some(t.max(1)),
+        (_, None) => None,
+    };
 
     // Buffered, checked stdout: a consumer closing the pipe (`msj … |
     // head`) stops a streaming run quietly instead of panicking.
@@ -188,31 +238,39 @@ fn main() -> ExitCode {
     let mut out = std::io::BufWriter::new(stdout.lock());
 
     if explain {
-        match &algo {
-            Some(a) if a.name() != "minesweeper" => {
-                out_line(
-                    &mut out,
-                    format_args!("algorithm: {} — {}", a.name(), a.description()),
-                );
+        if !uses_planner {
+            let a = algo.as_ref().expect("non-planner implies --algo");
+            out_line(
+                &mut out,
+                format_args!("algorithm: {} — {}", a.name(), a.description()),
+            );
+            out_line(
+                &mut out,
+                format_args!(
+                    "(no Minesweeper plan applies; GAO/probe-mode planning is \
+                     specific to the default engine)"
+                ),
+            );
+        } else {
+            let query_plan = match plan(&db, &parsed.query) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            out_line(
+                &mut out,
+                format_args!("{}", render_plan(&db, &query_plan, &parsed.attr_names)),
+            );
+            if let Some(t) = par_threads {
                 out_line(
                     &mut out,
                     format_args!(
-                        "(no Minesweeper plan applies; GAO/probe-mode planning is \
-                         specific to the default engine)"
+                        "parallel: up to {t} equi-depth shard(s) of the first GAO \
+                         attribute, one probe loop per shard, order-preserving \
+                         concatenation"
                     ),
-                );
-            }
-            _ => {
-                let query_plan = match plan(&db, &parsed.query) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                out_line(
-                    &mut out,
-                    format_args!("{}", render_plan(&db, &query_plan, &parsed.attr_names)),
                 );
             }
         }
@@ -230,15 +288,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let shown = limit.unwrap_or(usize::MAX).min(result.tuples.len());
-            let open = out_line(&mut out, format_args!("# {}", parsed.attr_names.join("\t")))
-                && print_tuples(&mut out, &result.tuples[..shown]);
-            if open && result.tuples.len() > shown {
-                out_line(
-                    &mut out,
-                    format_args!("# … {} more", result.tuples.len() - shown),
-                );
-            }
+            print_limited(&mut out, &parsed.attr_names, &result.tuples, limit);
             drop(out);
             if show_stats {
                 eprintln!("# algorithm: {}", algo.name());
@@ -261,6 +311,43 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Sharded parallel engine (`--threads` / `--algo minesweeper-par`):
+    // materialize across the worker pool, then print (optionally
+    // truncated — the probe work is already done, unlike serial --limit).
+    if let Some(t) = par_threads {
+        let exec = match query_plan.execute_parallel(&db, t) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print_limited(&mut out, &parsed.attr_names, &exec.result.tuples, limit);
+        drop(out);
+        if show_stats {
+            eprintln!(
+                "# gao order: {:?} (mode {:?}, width {})",
+                query_plan.gao().order,
+                query_plan.gao().mode,
+                query_plan.gao().width
+            );
+            eprintln!(
+                "# parallel: {} worker(s), {} shard(s)",
+                t,
+                exec.shards.len()
+            );
+            for (i, s) in exec.shards.iter().enumerate() {
+                eprintln!(
+                    "#   shard {i} {}: outputs={} findgap={} probes={}",
+                    s.bounds, s.stats.outputs, s.stats.find_gap_calls, s.stats.probe_points
+                );
+            }
+            print_stats(&exec.result.stats);
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let mut open = out_line(&mut out, format_args!("# {}", parsed.attr_names.join("\t")));
     let stats = if let Some(k) = limit {
         let mut stream = match query_plan.stream(&db) {

@@ -20,12 +20,13 @@
 //!
 //! ## Quick start
 //!
-//! The public API is a plan/execute split: [`core::plan`] makes every
+//! The public API is a plan/execute split: [`core::plan()`] makes every
 //! decision that doesn't touch tuples (GAO choice, probe mode, re-index
 //! mapping) and returns a reusable [`core::Plan`]; [`core::Plan::stream`]
 //! opens a lazy [`core::TupleStream`] that yields tuples as they are
 //! certified — stop after `k` tuples and the remaining certificate work is
-//! never paid. [`core::execute`] is the materialize-everything wrapper.
+//! never paid. [`core::execute()`] is the materialize-everything wrapper,
+//! and [`core::Plan::execute_parallel`] its sharded multi-threaded twin.
 //!
 //! ```
 //! use minesweeper_join::prelude::*;
@@ -89,7 +90,7 @@ pub use minesweeper_baselines as baselines;
 pub use minesweeper_workloads as workloads;
 
 /// The most common imports in one place: the plan/stream API
-/// ([`core::plan`], [`core::Plan`], [`core::TupleStream`]), the
+/// ([`core::plan()`], [`core::Plan`], [`core::TupleStream`]), the
 /// [`core::Algorithm`] trait with its baselines registry
 /// ([`baselines::registry::lookup`]), and the storage/CDS types they rely
 /// on.
@@ -99,10 +100,10 @@ pub mod prelude {
     pub use minesweeper_core::{
         bowtie_join, canonical_certificate_size, choose_gao, execute, minesweeper_join, naive_join,
         plan, reindex_for_gao, set_intersection, triangle_join, Algorithm, Execution, JoinResult,
-        Plan, PreparedPlan, Query, TupleStream,
+        Plan, PreparedPlan, Query, ShardedExecution, ShardedPlan, TupleStream,
     };
     pub use minesweeper_storage::{
-        builder, Database, ExecStats, GapCursor, RelId, TrieRelation, Val,
+        builder, Database, ExecStats, GapCursor, RelId, ShardBounds, TrieRelation, Val,
     };
 }
 

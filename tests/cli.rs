@@ -143,6 +143,48 @@ fn algo_registry_entries_agree_on_sorted_output() {
 }
 
 #[test]
+fn parallel_engine_matches_serial_output_and_reports_shards() {
+    let edges = write_temp("edges4.tsv", "1 2\n2 3\n1 3\n3 4\n2 4\n4 5\n3 5\n1 5\n");
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "--rel".to_string(),
+            format!("R={}", edges.display()),
+            "--rel".to_string(),
+            format!("S={}", edges.display()),
+            "--rel".to_string(),
+            format!("T={}", edges.display()),
+            "R(a,b), S(b,c), T(a,c)".to_string(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = msj().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+    let serial = run(&["--algo", "minesweeper"]);
+    let par = run(&["--algo", "minesweeper-par", "--threads", "4"]);
+    assert_eq!(
+        serial.stdout, par.stdout,
+        "parallel output must be byte-identical to serial"
+    );
+    let threads_only = run(&["--threads", "3"]);
+    assert_eq!(serial.stdout, threads_only.stdout, "--threads alone too");
+    // `--stats` adds the per-shard breakdown on stderr.
+    let stats = run(&["--threads", "3", "--stats"]);
+    let stderr = String::from_utf8_lossy(&stats.stderr);
+    assert!(stderr.contains("# parallel: 3 worker(s)"), "{stderr}");
+    assert!(stderr.contains("shard 0"), "{stderr}");
+    // `--explain` mentions the parallel strategy.
+    let explain = run(&["--algo", "minesweeper-par", "--explain"]);
+    let stdout = String::from_utf8_lossy(&explain.stdout);
+    assert!(stdout.contains("equi-depth shard"), "{stdout}");
+    assert!(stdout.contains("probe mode"), "{stdout}");
+}
+
+#[test]
 fn unknown_algo_is_reported_with_choices() {
     let r = write_temp("r3.tsv", "1\n");
     let out = msj()
