@@ -39,5 +39,5 @@ pub use generic_join::generic_join;
 pub use leapfrog::leapfrog_triejoin;
 pub use merge::merge_intersection;
 pub use nested_loop::index_nested_loop;
-pub use registry::{algorithm_names, algorithms, lookup};
+pub use registry::{algorithm_names, algorithms, lookup, lookup_configured};
 pub use yannakakis::yannakakis;

@@ -142,6 +142,16 @@ pub fn algorithm_names() -> Vec<&'static str> {
 /// Finds an algorithm by canonical name or a common alias
 /// (case-insensitive): e.g. `lftj` → `leapfrog`, `nprr` → `generic`.
 pub fn lookup(name: &str) -> Option<Box<dyn Algorithm>> {
+    lookup_configured(name, None)
+}
+
+/// [`lookup`] with execution knobs applied: `threads` configures the
+/// worker count of thread-aware entries (today `minesweeper-par`; every
+/// other algorithm ignores it). This is the single dispatch point the
+/// engine front door and the CLI route *all* evaluators through, so a
+/// `--threads`-style option behaves uniformly instead of each caller
+/// special-casing the parallel entry.
+pub fn lookup_configured(name: &str, threads: Option<usize>) -> Option<Box<dyn Algorithm>> {
     let canonical = match name.to_ascii_lowercase().as_str() {
         "minesweeper" | "ms" | "msj" => "minesweeper",
         "minesweeper-par" | "minesweeper_par" | "ms-par" | "parallel" => "minesweeper-par",
@@ -154,6 +164,12 @@ pub fn lookup(name: &str) -> Option<Box<dyn Algorithm>> {
         "naive" => "naive",
         _ => return None,
     };
+    if canonical == "minesweeper-par" {
+        return Some(Box::new(match threads {
+            Some(t) => MinesweeperPar::with_threads(t),
+            None => MinesweeperPar::default(),
+        }));
+    }
     algorithms().into_iter().find(|a| a.name() == canonical)
 }
 
@@ -171,6 +187,23 @@ mod tests {
         }
         assert!(lookup("LFTJ").is_some(), "aliases are case-insensitive");
         assert!(lookup("no-such-algorithm").is_none());
+    }
+
+    #[test]
+    fn configured_lookup_applies_threads() {
+        let par = lookup_configured("minesweeper-par", Some(3)).unwrap();
+        assert_eq!(par.name(), "minesweeper-par");
+        let serial = lookup_configured("minesweeper", Some(3)).unwrap();
+        assert_eq!(serial.name(), "minesweeper", "threads ignored elsewhere");
+        assert!(lookup_configured("nope", Some(2)).is_none());
+        // The configured entry still honours the output contract.
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", [2, 1, 3])).unwrap();
+        let q = Query::new(1).atom(r, &[0]);
+        assert_eq!(
+            par.run(&db, &q).unwrap().tuples,
+            vec![vec![1], vec![2], vec![3]]
+        );
     }
 
     #[test]

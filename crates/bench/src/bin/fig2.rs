@@ -4,10 +4,13 @@
 //! three scaled SNAP-like datasets.
 //!
 //! Usage: `cargo run --release -p minesweeper-bench --bin fig2
-//! [--scale k] [--p prob] [--seed s]`. `--scale` multiplies the built-in
-//! per-dataset divisors (1 reproduces the default laptop-scale setup).
+//! [--scale k] [--p prob] [--seed s] [--json FILE]`. `--scale` multiplies
+//! the built-in per-dataset divisors (1 reproduces the default
+//! laptop-scale setup). With `--json` the deterministic work counters
+//! (FindGap = the |C| proxy, probe points, Z) and ungated wall times are
+//! written as flat JSON for CI's `bench_gate` regression check.
 
-use minesweeper_bench::{arg_or, human, human_time, timed, Table};
+use minesweeper_bench::{arg_opt, arg_or, human, human_time, timed, BenchRecord, Table};
 use minesweeper_cds::ProbeMode;
 use minesweeper_core::minesweeper_join;
 use minesweeper_workloads::queries::Instance;
@@ -18,6 +21,8 @@ fn main() {
     let scale: u64 = arg_or("--scale", 1);
     let p: f64 = arg_or("--p", 0.001);
     let seed: u64 = arg_or("--seed", 20140618);
+    let json = arg_opt("--json");
+    let mut record = BenchRecord::new();
     // Per-dataset base divisors chosen so the default run is laptop-sized
     // (~100–250K edges per graph).
     let configs = [(ORKUT, 1024u64), (EPINIONS, 4), (LIVEJOURNAL, 1024)];
@@ -48,6 +53,15 @@ fn main() {
             let n = db.total_tuples() as u64;
             let (res, t) = timed(|| minesweeper_join(&db, &query, ProbeMode::Chain).unwrap());
             let c = res.stats.certificate_estimate();
+            let tag = format!(
+                "fig2_{}_{}",
+                qname.to_ascii_lowercase().replace('-', ""),
+                profile.name.to_ascii_lowercase()
+            );
+            record.metric(format!("{tag}_findgap"), c);
+            record.metric(format!("{tag}_probes"), res.stats.probe_points);
+            record.metric(format!("{tag}_z"), res.stats.outputs);
+            record.time_ms(&tag, t);
             table.row(&[
                 qname.to_string(),
                 profile.name.to_string(),
@@ -66,4 +80,8 @@ fn main() {
         "\nPaper's shape: |C| is 3-4 orders of magnitude below N on every\n\
          query/dataset pair (e.g. Star on Orkut: N=352M vs |C|=214K)."
     );
+    if let Some(path) = json {
+        record.write_json(&path).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

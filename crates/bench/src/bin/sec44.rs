@@ -6,10 +6,13 @@
 //! paths.
 //!
 //! Usage: `cargo run --release -p minesweeper-bench --bin sec44
-//! [--layers l] [--wmax width]`.
+//! [--layers l] [--wmax width] [--json FILE]`. With `--json` the
+//! deterministic work counters (MS probes, LFTJ seeks, NPRR comparisons)
+//! and ungated wall times are written as flat JSON for CI's `bench_gate`
+//! regression check.
 
 use minesweeper_baselines::{generic_join, leapfrog_triejoin};
-use minesweeper_bench::{arg_or, human, human_time, timed, Table};
+use minesweeper_bench::{arg_opt, arg_or, human, human_time, timed, BenchRecord, Table};
 use minesweeper_cds::ProbeMode;
 use minesweeper_core::minesweeper_join;
 use minesweeper_workloads::layered_path_instance;
@@ -17,6 +20,8 @@ use minesweeper_workloads::layered_path_instance;
 fn main() {
     let layers: usize = arg_or("--layers", 5);
     let wmax: i64 = arg_or("--wmax", 16);
+    let json = arg_opt("--json");
+    let mut record = BenchRecord::new();
     println!(
         "Section 4.4: ℓ = {layers}-edge path query on an (ℓ−1)-edge-deep\n\
          layered DAG (empty output; width^(ℓ−1) maximal paths to explore).\n"
@@ -41,6 +46,15 @@ fn main() {
         let (lf, t_lf) = timed(|| leapfrog_triejoin(&inst.db, &inst.query).unwrap());
         let (np, t_np) = timed(|| generic_join(&inst.db, &inst.query).unwrap());
         assert!(ms.tuples.is_empty() && lf.tuples.is_empty() && np.tuples.is_empty());
+        record.metric(format!("sec44_w{width}_ms_probes"), ms.stats.probe_points);
+        record.metric(format!("sec44_w{width}_lftj_seeks"), lf.stats.seeks);
+        record.metric(
+            format!("sec44_w{width}_nprr_comparisons"),
+            np.stats.comparisons,
+        );
+        record.time_ms(&format!("sec44_w{width}_ms"), t_ms);
+        record.time_ms(&format!("sec44_w{width}_lftj"), t_lf);
+        record.time_ms(&format!("sec44_w{width}_nprr"), t_np);
         table.row(&[
             width.to_string(),
             human(inst.db.total_tuples() as u64),
@@ -60,4 +74,8 @@ fn main() {
          while LFTJ's seeks and NPRR's comparisons track the exponential\n\
          count of maximal paths."
     );
+    if let Some(path) = json {
+        record.write_json(&path).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

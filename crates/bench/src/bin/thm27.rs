@@ -9,9 +9,11 @@
 //!    input grows quadratically.
 //!
 //! Usage: `cargo run --release -p minesweeper-bench --bin thm27
-//! [--n size] [--m atoms]`.
+//! [--n size] [--m atoms] [--json FILE]`. With `--json` the deterministic
+//! work counters and ungated wall times are written as flat JSON for CI's
+//! `bench_gate` regression check.
 
-use minesweeper_bench::{arg_or, human, human_time, timed, Table};
+use minesweeper_bench::{arg_opt, arg_or, human, human_time, timed, BenchRecord, Table};
 use minesweeper_cds::ProbeMode;
 use minesweeper_core::{minesweeper_join, set_intersection};
 use minesweeper_storage::TrieRelation;
@@ -21,6 +23,8 @@ use minesweeper_workloads::intersection::blocks;
 fn main() {
     let n: i64 = arg_or("--n", 1 << 16);
     let m: usize = arg_or("--m", 4);
+    let json = arg_opt("--json");
+    let mut record = BenchRecord::new();
     println!(
         "Theorem 2.7: runtime Õ(|C| + Z) for β-acyclic queries under a NEO.\n\
          Part 1 — set intersection with N = {} fixed, block size b sweeping\n\
@@ -34,6 +38,12 @@ fn main() {
         let refs: Vec<&TrieRelation> = sets.iter().collect();
         let (res, t) = timed(|| set_intersection(&refs));
         assert!(res.tuples.is_empty());
+        record.metric(
+            format!("thm27_b{b}_findgap"),
+            res.stats.certificate_estimate(),
+        );
+        record.metric(format!("thm27_b{b}_probes"), res.stats.probe_points);
+        record.time_ms(&format!("thm27_b{b}"), t);
         t1.row(&[
             b.to_string(),
             human(2 * n as u64),
@@ -53,6 +63,12 @@ fn main() {
         let inst = hidden_certificate_instance(m, chunk);
         let (res, t) = timed(|| minesweeper_join(&inst.db, &inst.query, ProbeMode::Chain).unwrap());
         assert!(res.tuples.is_empty());
+        record.metric(
+            format!("thm27_M{chunk}_findgap"),
+            res.stats.certificate_estimate(),
+        );
+        record.metric(format!("thm27_M{chunk}_probes"), res.stats.probe_points);
+        record.time_ms(&format!("thm27_M{chunk}"), t);
         t2.row(&[
             chunk.to_string(),
             human(inst.db.total_tuples() as u64),
@@ -67,4 +83,8 @@ fn main() {
         "\nPaper's shape: both sweeps show work ∝ |C| while N is fixed (part 1)\n\
          or grows quadratically faster than the work (part 2)."
     );
+    if let Some(path) = json {
+        record.write_json(&path).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

@@ -46,6 +46,7 @@ pub mod algorithm;
 pub mod bowtie;
 pub mod certificate;
 pub mod execute;
+pub mod explain;
 pub mod gao;
 pub mod minesweeper;
 pub mod naive;
@@ -61,11 +62,12 @@ pub use algorithm::{Algorithm, Minesweeper, MinesweeperPar, Naive};
 pub use bowtie::bowtie_join;
 pub use certificate::{canonical_certificate_size, Argument, Comparison, VarRef};
 pub use execute::{execute, Execution};
+pub use explain::{json_string, ExplainAtom, ExplainCache, ExplainPlan, ExplainShards};
 pub use gao::{choose_gao, private_attributes_last, reindex_for_gao, GaoChoice};
 pub use minesweeper::{minesweeper_join, JoinResult};
 pub use naive::naive_join;
 pub use partition::{partition_certificate, PartitionCertificate, PartitionItem};
-pub use plan::{plan, Plan, PreparedPlan};
+pub use plan::{plan, Plan, PreparedExec, PreparedPlan};
 pub use query::{Atom, Query, QueryError};
 pub use set_intersection::{set_intersection, set_intersection_galloping};
 pub use sharded::{ShardStats, ShardedExecution, ShardedPlan, ShardedStream};

@@ -6,8 +6,9 @@
 //! a minimum elimination width order — Theorem 5.1), the probe mode that
 //! order supports, and the column permutation needed to re-index the stored
 //! relations when the chosen GAO differs from the identity. The resulting
-//! [`Plan`] is cheap to build, inspectable ([`Plan::explain`]), and
-//! executable any number of times against a database:
+//! [`Plan`] is cheap to build, inspectable ([`Plan::explain`] /
+//! [`Plan::explain_plan`]), and executable any number of times against a
+//! database:
 //!
 //! * [`Plan::stream`] — the lazy [`TupleStream`] executor (pull tuples one
 //!   at a time, stop early, read stats mid-flight);
@@ -15,7 +16,11 @@
 //!   attribute numbering;
 //! * [`Plan::prepare`] — bind to a database once (including any re-index
 //!   build) and get a [`PreparedPlan`] whose `stream`/`execute` pay only
-//!   probe work on every call.
+//!   probe work on every call;
+//! * [`Plan::prepare_exec`] — the *owned* variant of the same bind: a
+//!   [`PreparedExec`] holds the (at most one) re-indexed database itself,
+//!   so an engine can cache it next to its catalog and replay executions
+//!   with zero planning or re-indexing work.
 //!
 //! ```
 //! use minesweeper_core::{plan, Query};
@@ -39,9 +44,10 @@
 //! ```
 
 use minesweeper_cds::ProbeMode;
-use minesweeper_storage::{Database, Tuple};
+use minesweeper_storage::{Database, ShardBounds, Tuple, Val};
 
 use crate::execute::Execution;
+use crate::explain::{ExplainAtom, ExplainPlan};
 use crate::gao::{choose_gao, reindex_for_gao, GaoChoice};
 use crate::minesweeper::JoinResult;
 use crate::query::{Query, QueryError};
@@ -104,6 +110,16 @@ impl Plan {
         self.inv.is_some()
     }
 
+    /// The paper's runtime bound for this plan's mode and width.
+    pub fn runtime_bound(&self) -> String {
+        match self.gao.mode {
+            ProbeMode::Chain => "Õ(|C| + Z)  [Theorem 2.7]".to_string(),
+            ProbeMode::General => {
+                format!("Õ(|C|^{} + Z)  [Theorem 5.1]", self.gao.width + 1)
+            }
+        }
+    }
+
     /// Binds the plan to a database: validation plus the (at most one)
     /// re-index build happen here, so every subsequent
     /// [`PreparedPlan::stream`] / [`PreparedPlan::execute`] call pays only
@@ -111,21 +127,33 @@ impl Plan {
     /// use it whenever a plan will run more than once, or when
     /// `stream().take(k)` must not pay a re-index on a non-identity GAO.
     pub fn prepare<'db>(&self, db: &'db Database) -> Result<PreparedPlan<'db>, QueryError> {
+        Ok(PreparedPlan {
+            exec: self.prepare_exec(db)?,
+            db,
+        })
+    }
+
+    /// The owned form of [`Plan::prepare`]: the returned [`PreparedExec`]
+    /// carries the re-indexed database (when the GAO demanded one) inside
+    /// itself and borrows nothing, so it can be stored — e.g. in an
+    /// engine's statement cache — and bound to the database again at each
+    /// call ([`PreparedExec::stream`] / [`PreparedExec::execute`]).
+    pub fn prepare_exec(&self, db: &Database) -> Result<PreparedExec, QueryError> {
         self.query.validate(db)?;
         Ok(match &self.inv {
-            None => PreparedPlan {
+            None => PreparedExec {
                 gao: self.gao.clone(),
                 exec_query: self.query.clone(),
                 inv: None,
-                db: PreparedDb::Borrowed(db),
+                reindexed: None,
             },
             Some(inv) => {
                 let (db2, q2) = reindex_for_gao(db, &self.query, &self.gao.order)?;
-                PreparedPlan {
+                PreparedExec {
                     gao: self.gao.clone(),
                     exec_query: q2,
                     inv: Some(inv.clone()),
-                    db: PreparedDb::Owned(Box::new(db2)),
+                    reindexed: Some(Box::new(db2)),
                 }
             }
         })
@@ -192,80 +220,80 @@ impl Plan {
         crate::ShardedPlan::new(self, threads)
     }
 
-    /// A human-readable description of the planning decisions, for the
-    /// CLI's `--explain` (attribute names are applied by the text layer).
+    /// The structured form of every planning decision — serialize with
+    /// [`ExplainPlan::to_json`], render with [`ExplainPlan::render`].
+    /// Relation/attribute names and execution-level context (shards,
+    /// cache provenance) are filled in by the layers that know them.
+    pub fn explain_plan(&self) -> ExplainPlan {
+        ExplainPlan {
+            algorithm: "minesweeper".to_string(),
+            n_attrs: self.query.n_attrs,
+            attr_names: None,
+            atoms: self
+                .query
+                .atoms
+                .iter()
+                .map(|a| ExplainAtom {
+                    relation: None,
+                    attrs: a.attrs.clone(),
+                })
+                .collect(),
+            gao_order: self.gao.order.clone(),
+            probe_mode: self.gao.mode,
+            width: self.gao.width,
+            reindexed: self.is_reindexed(),
+            runtime_bound: self.runtime_bound(),
+            shards: None,
+            cache: None,
+        }
+    }
+
+    /// A human-readable description of the planning decisions, rendered
+    /// from [`Plan::explain_plan`] (attribute names are applied by the
+    /// text layer).
     pub fn explain(&self) -> String {
-        let mode = match self.gao.mode {
-            ProbeMode::Chain => "chain (nested elimination order, β-acyclic)",
-            ProbeMode::General => "general (minimum elimination width order)",
-        };
-        let bound = match self.gao.mode {
-            ProbeMode::Chain => "Õ(|C| + Z)  [Theorem 2.7]".to_string(),
-            ProbeMode::General => {
-                format!("Õ(|C|^{} + Z)  [Theorem 5.1]", self.gao.width + 1)
-            }
-        };
-        let indexes = if self.is_reindexed() {
-            format!(
-                "re-index {} atom(s) to match the GAO",
-                self.query.atoms.len()
-            )
-        } else {
-            "stored indexes already consistent with the GAO".to_string()
-        };
-        let atoms: Vec<String> = self
-            .query
-            .atoms
-            .iter()
-            .map(|a| format!("{:?}", a.attrs))
-            .collect();
-        format!(
-            "plan: minesweeper\n\
-             attributes: {}\n\
-             atoms (GAO positions): {}\n\
-             gao order: {:?}\n\
-             probe mode: {mode}\n\
-             elimination width: {}\n\
-             indexes: {indexes}\n\
-             runtime bound: {bound}",
-            self.query.n_attrs,
-            atoms.join(" "),
-            self.gao.order,
-            self.gao.width,
-        )
+        self.explain_plan().render()
     }
 }
 
-/// The database side of a prepared plan: borrowed when the stored indexes
-/// already match the GAO, owned when [`Plan::prepare`] had to re-index.
-enum PreparedDb<'db> {
-    Borrowed(&'db Database),
-    Owned(Box<Database>),
-}
-
-/// A [`Plan`] bound to a database (see [`Plan::prepare`]): any re-indexing
-/// is already done, so [`PreparedPlan::stream`] and
-/// [`PreparedPlan::execute`] start probing immediately, however many times
-/// they are called.
-pub struct PreparedPlan<'db> {
+/// A plan bound to a database with the re-index work already done and
+/// **owned** (see [`Plan::prepare_exec`]): no borrow of the planning-time
+/// database remains, so the value can live in caches. Every
+/// [`PreparedExec::stream`] / [`PreparedExec::execute`] call pays probe
+/// work only.
+#[derive(Debug, Clone)]
+pub struct PreparedExec {
     gao: GaoChoice,
     /// Execution-side query (re-indexed when the GAO demanded it).
     exec_query: Query,
     /// `inv[a]` = execution column of original attribute `a`.
     inv: Option<Vec<usize>>,
-    db: PreparedDb<'db>,
+    /// The re-indexed database, when the GAO is not the identity. `None`
+    /// means the caller's own database is probed directly.
+    reindexed: Option<Box<Database>>,
 }
 
-impl PreparedPlan<'_> {
-    pub(crate) fn db(&self) -> &Database {
-        match &self.db {
-            PreparedDb::Borrowed(d) => d,
-            PreparedDb::Owned(b) => b,
+impl PreparedExec {
+    /// The GAO this prepared execution runs under.
+    pub fn gao(&self) -> &GaoChoice {
+        &self.gao
+    }
+
+    /// True when this execution probes privately re-indexed relations.
+    pub fn is_reindexed(&self) -> bool {
+        self.reindexed.is_some()
+    }
+
+    /// The database the probe loop reads: the cached re-indexed copy when
+    /// one was built, otherwise the caller's `db`.
+    pub(crate) fn db_for<'a>(&'a self, db: &'a Database) -> &'a Database {
+        match &self.reindexed {
+            Some(b) => b,
+            None => db,
         }
     }
 
-    /// The execution-side query (re-indexed when the GAO demanded it);
-    /// attribute positions are GAO positions.
+    /// The execution-side query (re-indexed numbering when applicable).
     pub(crate) fn exec_query(&self) -> &Query {
         &self.exec_query
     }
@@ -276,25 +304,63 @@ impl PreparedPlan<'_> {
         self.inv.as_deref()
     }
 
-    /// The GAO this prepared plan executes under.
-    pub fn gao(&self) -> &GaoChoice {
-        &self.gao
+    /// Translates equality seeds given in the *original* attribute
+    /// numbering into the execution numbering the probe loop uses.
+    pub(crate) fn exec_seeds(&self, eq_seeds: &[(usize, Val)]) -> Vec<(usize, Val)> {
+        eq_seeds
+            .iter()
+            .map(|&(a, v)| {
+                (
+                    match &self.inv {
+                        Some(inv) => inv[a],
+                        None => a,
+                    },
+                    v,
+                )
+            })
+            .collect()
     }
 
-    /// Opens a lazy [`TupleStream`]; only probe work is paid here.
-    pub fn stream(&self) -> TupleStream<'_> {
-        TupleStream::new(
-            DbHandle::Borrowed(self.db()),
+    /// Opens a lazy [`TupleStream`]; only probe work is paid here. `db`
+    /// must be the database the plan was prepared against (it is ignored
+    /// when the execution re-indexed).
+    pub fn stream<'a>(&'a self, db: &'a Database) -> TupleStream<'a> {
+        self.stream_seeded(db, &[])
+    }
+
+    /// [`PreparedExec::stream`] with equality constraints pre-seeded into
+    /// the probe loop's CDS: each `(attr, value)` pair — `attr` in the
+    /// **original** numbering — pins that attribute to the constant, so
+    /// the loop only certifies tuples matching every seed. This is how an
+    /// engine front door evaluates query literals: no synthetic
+    /// relations, no re-planning — the constraint store does the
+    /// selection, and the certificate the loop pays is the one for the
+    /// *restricted* output space.
+    pub fn stream_seeded<'a>(
+        &'a self,
+        db: &'a Database,
+        eq_seeds: &[(usize, Val)],
+    ) -> TupleStream<'a> {
+        TupleStream::with_bounds(
+            DbHandle::Borrowed(self.db_for(db)),
             self.exec_query.clone(),
             self.gao.mode,
             self.inv.clone(),
+            ShardBounds::unbounded(),
+            &self.exec_seeds(eq_seeds),
         )
     }
 
     /// Runs to completion with the same sorted-output guarantee as
     /// [`Plan::execute`].
-    pub fn execute(&self) -> Execution {
-        let mut stream = self.stream();
+    pub fn execute(&self, db: &Database) -> Execution {
+        self.execute_seeded(db, &[])
+    }
+
+    /// [`PreparedExec::execute`] under equality seeds (see
+    /// [`PreparedExec::stream_seeded`]).
+    pub fn execute_seeded(&self, db: &Database, eq_seeds: &[(usize, Val)]) -> Execution {
+        let mut stream = self.stream_seeded(db, eq_seeds);
         let mut tuples: Vec<Tuple> = stream.by_ref().collect();
         if self.inv.is_some() {
             tuples.sort_unstable();
@@ -311,6 +377,69 @@ impl PreparedPlan<'_> {
             },
             gao: self.gao.clone(),
         }
+    }
+
+    /// Runs across up to `threads` shard workers (see
+    /// [`crate::ShardedPlan`]), optionally capping each shard's
+    /// materialization at `limit` tuples so memory stays bounded at
+    /// `O(shards × limit)`. With a `limit`, probe work is still paid on
+    /// **every** shard (each runs until its cap or exhaustion — unlike the
+    /// serial stream's pushdown, which never starts the suffix). See
+    /// [`crate::ShardedPlan::execute_limited`] for exactly which `limit`
+    /// tuples are returned on identity vs. re-indexed GAOs.
+    pub fn execute_parallel(
+        &self,
+        db: &Database,
+        threads: usize,
+        limit: Option<usize>,
+    ) -> crate::ShardedExecution {
+        self.execute_parallel_seeded(db, threads, limit, &[])
+    }
+
+    /// [`PreparedExec::execute_parallel`] under equality seeds (see
+    /// [`PreparedExec::stream_seeded`]); every shard's probe loop gets
+    /// the same seed constraints on top of its interval bounds.
+    pub fn execute_parallel_seeded(
+        &self,
+        db: &Database,
+        threads: usize,
+        limit: Option<usize>,
+        eq_seeds: &[(usize, Val)],
+    ) -> crate::ShardedExecution {
+        crate::sharded::execute_prepared(self, db, threads, limit, &self.exec_seeds(eq_seeds))
+    }
+}
+
+/// A [`Plan`] bound to a borrowed database (see [`Plan::prepare`]): any
+/// re-indexing is already done, so [`PreparedPlan::stream`] and
+/// [`PreparedPlan::execute`] start probing immediately, however many times
+/// they are called. For a cacheable, non-borrowing variant see
+/// [`Plan::prepare_exec`].
+pub struct PreparedPlan<'db> {
+    exec: PreparedExec,
+    db: &'db Database,
+}
+
+impl PreparedPlan<'_> {
+    /// The bound execution state (shared with [`Plan::prepare_exec`]).
+    pub fn exec(&self) -> &PreparedExec {
+        &self.exec
+    }
+
+    /// The GAO this prepared plan executes under.
+    pub fn gao(&self) -> &GaoChoice {
+        self.exec.gao()
+    }
+
+    /// Opens a lazy [`TupleStream`]; only probe work is paid here.
+    pub fn stream(&self) -> TupleStream<'_> {
+        self.exec.stream(self.db)
+    }
+
+    /// Runs to completion with the same sorted-output guarantee as
+    /// [`Plan::execute`].
+    pub fn execute(&self) -> Execution {
+        self.exec.execute(self.db)
     }
 }
 
@@ -384,6 +513,23 @@ mod tests {
     }
 
     #[test]
+    fn prepared_exec_is_owned_and_replayable() {
+        let (db, q) = b7_db_query();
+        let p = plan(&db, &q).unwrap();
+        let exec = p.prepare_exec(&db).unwrap();
+        assert!(exec.is_reindexed(), "B.7 forces a re-index");
+        assert_eq!(exec.gao(), p.gao());
+        // The exec can outlive the plan and be bound repeatedly.
+        drop(p);
+        let a = exec.execute(&db);
+        let b = exec.execute(&db);
+        assert_eq!(a.result.tuples, b.result.tuples);
+        assert_eq!(a.result.tuples, naive_join(&db, &q).unwrap());
+        let streamed: Vec<Tuple> = exec.stream(&db).take(1).collect();
+        assert_eq!(streamed.len(), 1);
+    }
+
+    #[test]
     fn stream_translates_to_original_numbering() {
         let (db, q) = b7_db_query();
         let p = plan(&db, &q).unwrap();
@@ -431,5 +577,10 @@ mod tests {
         let text = p.explain();
         assert!(text.contains("general"), "{text}");
         assert!(text.contains("|C|^3"), "width-2 triangle bound: {text}");
+        // The structured form agrees with the rendered string.
+        let ep = p.explain_plan();
+        assert_eq!(ep.width, 2);
+        assert_eq!(ep.render(), text);
+        assert!(ep.to_json().contains("\"probe_mode\":\"general\""));
     }
 }

@@ -38,7 +38,7 @@ use minesweeper_storage::{shard::shard_relation, Database, ExecStats, ShardBound
 
 use crate::gao::GaoChoice;
 use crate::minesweeper::JoinResult;
-use crate::plan::{Plan, PreparedPlan};
+use crate::plan::{Plan, PreparedExec};
 use crate::query::QueryError;
 use crate::stream::{DbHandle, TupleStream};
 
@@ -74,6 +74,11 @@ pub struct ShardedExecution {
     pub gao: GaoChoice,
     /// Per-shard intervals and counters, in domain order.
     pub shards: Vec<ShardStats>,
+    /// True only when a [`ShardedPlan::execute_limited`] cap actually cut
+    /// tuples — some shard stopped before exhaustion, or the final
+    /// truncation dropped collected tuples. A result that merely *equals*
+    /// the limit is not truncated.
+    pub truncated: bool,
 }
 
 impl ShardedPlan {
@@ -112,8 +117,8 @@ impl ShardedPlan {
     /// plan field). Mostly for inspection and tests; `execute` computes
     /// the same split internally.
     pub fn shard_bounds(&self, db: &Database) -> Result<Vec<ShardBounds>, QueryError> {
-        let prepared = self.plan.prepare(db)?;
-        Ok(compute_shards(&prepared, self.threads))
+        let prepared = self.plan.prepare_exec(db)?;
+        Ok(compute_shards(&prepared, db, self.threads))
     }
 
     /// Runs the plan to completion across the worker pool.
@@ -122,25 +127,31 @@ impl ShardedPlan {
     /// [`crate::Plan::execute`]: sorted lexicographically in the original
     /// attribute numbering.
     pub fn execute(&self, db: &Database) -> Result<ShardedExecution, QueryError> {
-        let (tuples, shards, agg, inv) = self.run(db)?;
-        // Translate to the original numbering and sort, exactly as the
-        // serial `PreparedPlan::execute` does.
-        let tuples = match inv {
-            None => tuples,
-            Some(inv) => {
-                let mut translated: Vec<Tuple> = tuples
-                    .into_iter()
-                    .map(|t| inv.iter().map(|&c| t[c]).collect())
-                    .collect();
-                translated.sort_unstable();
-                translated
-            }
-        };
-        Ok(ShardedExecution {
-            result: JoinResult { tuples, stats: agg },
-            gao: self.plan.gao().clone(),
-            shards,
-        })
+        self.execute_limited(db, None)
+    }
+
+    /// [`ShardedPlan::execute`] with a per-shard materialization cap.
+    ///
+    /// With `limit = Some(k)` each shard's probe loop stops after `k`
+    /// tuples, bounding peak memory at `O(shards × k)` instead of the
+    /// full `Z`, and the returned result is truncated to the first `k`
+    /// tuples. **Probe work is still paid on every shard** (each runs
+    /// until its own cap or exhaustion — unlike the serial stream's
+    /// `take(k)` pushdown, which never starts the suffix); the cap bounds
+    /// memory, not work. Under an identity GAO the `k` tuples are exactly
+    /// the first `k` of the full sorted result. Under a re-indexed GAO
+    /// each shard contributes its GAO-order prefix of up to `k` tuples;
+    /// the collected set is translated, sorted in the original numbering,
+    /// and cut to `k` — a deterministic size-`k` subset of the full
+    /// result, but not necessarily the globally smallest `k` tuples (use
+    /// the serial stream when a specific prefix is required).
+    pub fn execute_limited(
+        &self,
+        db: &Database,
+        limit: Option<usize>,
+    ) -> Result<ShardedExecution, QueryError> {
+        let prepared = self.plan.prepare_exec(db)?;
+        Ok(execute_prepared(&prepared, db, self.threads, limit, &[]))
     }
 
     /// Opens a [`ShardedStream`] over `db`.
@@ -153,39 +164,68 @@ impl ShardedPlan {
     /// numbering on the fly. Use the serial stream when `take(k)` must
     /// skip probe work; use this one when the full result is wanted fast.
     pub fn stream(&self, db: &Database) -> Result<ShardedStream, QueryError> {
-        let (tuples, shards, agg, inv) = self.run(db)?;
-        Ok(ShardedStream {
-            tuples: tuples.into_iter(),
-            inv,
-            stats: agg,
-            shards,
-        })
-    }
-
-    /// The shared prepare → shard → aggregate step behind both
-    /// [`ShardedPlan::execute`] and [`ShardedPlan::stream`]: GAO-order
-    /// tuples in the *execution* numbering, per-shard stats, their exact
-    /// sum, and the original-numbering translation (when re-indexed).
-    #[allow(clippy::type_complexity)]
-    fn run(
-        &self,
-        db: &Database,
-    ) -> Result<(Vec<Tuple>, Vec<ShardStats>, ExecStats, Option<Vec<usize>>), QueryError> {
-        let prepared = self.plan.prepare(db)?;
-        let (tuples, shards) = run_shards(&prepared, self.threads);
+        let prepared = self.plan.prepare_exec(db)?;
+        let (tuples, shards, _) = run_shards(&prepared, db, self.threads, None, &[]);
         let mut agg = ExecStats::new();
         for s in &shards {
             agg.merge(&s.stats);
         }
-        Ok((tuples, shards, agg, prepared.inv().map(|s| s.to_vec())))
+        Ok(ShardedStream {
+            tuples: tuples.into_iter(),
+            inv: prepared.inv().map(|s| s.to_vec()),
+            stats: agg,
+            shards,
+        })
+    }
+}
+
+/// The shared shard → probe → aggregate step behind [`ShardedPlan`] and
+/// [`PreparedExec::execute_parallel`]: runs the already-prepared
+/// execution across the pool and assembles the sorted, optionally
+/// truncated result (see [`ShardedPlan::execute_limited`] for the limit
+/// semantics).
+pub(crate) fn execute_prepared(
+    prepared: &PreparedExec,
+    db: &Database,
+    threads: usize,
+    limit: Option<usize>,
+    eq_seeds: &[(usize, minesweeper_storage::Val)],
+) -> ShardedExecution {
+    let (tuples, shards, any_capped) = run_shards(prepared, db, threads, limit, eq_seeds);
+    let mut agg = ExecStats::new();
+    for s in &shards {
+        agg.merge(&s.stats);
+    }
+    // Translate to the original numbering and sort, exactly as the serial
+    // `PreparedExec::execute` does.
+    let mut tuples = match prepared.inv() {
+        None => tuples,
+        Some(inv) => {
+            let mut translated: Vec<Tuple> = tuples
+                .into_iter()
+                .map(|t| inv.iter().map(|&c| t[c]).collect())
+                .collect();
+            translated.sort_unstable();
+            translated
+        }
+    };
+    let collected = tuples.len();
+    if let Some(k) = limit {
+        tuples.truncate(k);
+    }
+    ShardedExecution {
+        truncated: any_capped || collected > tuples.len(),
+        result: JoinResult { tuples, stats: agg },
+        gao: prepared.gao().clone(),
+        shards,
     }
 }
 
 /// Picks the primary relation (largest root fanout among atoms indexed on
 /// GAO position 0 — query validation guarantees at least one) and splits
 /// its first column equi-depth.
-fn compute_shards(prepared: &PreparedPlan<'_>, threads: usize) -> Vec<ShardBounds> {
-    let db = prepared.db();
+fn compute_shards(prepared: &PreparedExec, db: &Database, threads: usize) -> Vec<ShardBounds> {
+    let db = prepared.db_for(db);
     let primary = prepared
         .exec_query()
         .atoms
@@ -199,40 +239,56 @@ fn compute_shards(prepared: &PreparedPlan<'_>, threads: usize) -> Vec<ShardBound
     }
 }
 
-/// Runs one probe loop per shard on the pool and concatenates the
-/// GAO-order outputs in shard order (still GAO-lexicographic overall).
-/// Tuples stay in the *execution* numbering; the caller translates/sorts.
-fn run_shards(prepared: &PreparedPlan<'_>, threads: usize) -> (Vec<Tuple>, Vec<ShardStats>) {
-    let bounds = compute_shards(prepared, threads);
+/// Runs one probe loop per shard on the pool (stopping each shard after
+/// `limit` tuples when set) and concatenates the GAO-order outputs in
+/// shard order (still GAO-lexicographic overall). Tuples stay in the
+/// *execution* numbering; the caller translates/sorts. The returned flag
+/// reports whether any shard actually stopped at its cap (verified by a
+/// one-tuple peek whose work is excluded from the shard's stats).
+fn run_shards(
+    prepared: &PreparedExec,
+    db: &Database,
+    threads: usize,
+    limit: Option<usize>,
+    eq_seeds: &[(usize, minesweeper_storage::Val)],
+) -> (Vec<Tuple>, Vec<ShardStats>, bool) {
+    let exec_db = prepared.db_for(db);
+    let bounds = compute_shards(prepared, db, threads);
+    let cap = limit.unwrap_or(usize::MAX);
     let jobs: Vec<_> = bounds
         .iter()
         .map(|&b| {
             move || {
                 let mut stream = TupleStream::with_bounds(
-                    DbHandle::Borrowed(prepared.db()),
+                    DbHandle::Borrowed(exec_db),
                     prepared.exec_query().clone(),
                     prepared.gao().mode,
                     None,
                     b,
+                    eq_seeds,
                 );
-                let tuples: Vec<Tuple> = stream.by_ref().collect();
-                (tuples, stream.stats())
+                let tuples: Vec<Tuple> = stream.by_ref().take(cap).collect();
+                let stats = stream.stats();
+                let capped = tuples.len() == cap && stream.next().is_some();
+                (tuples, stats, capped)
             }
         })
         .collect();
     let per_shard = scoped_pool::scoped_map(threads, jobs);
-    let mut tuples = Vec::with_capacity(per_shard.iter().map(|(t, _)| t.len()).sum());
+    let mut tuples = Vec::with_capacity(per_shard.iter().map(|(t, _, _)| t.len()).sum());
     let mut shards = Vec::with_capacity(per_shard.len());
-    for (b, (shard_tuples, stats)) in bounds.into_iter().zip(per_shard) {
+    let mut any_capped = false;
+    for (b, (shard_tuples, stats, capped)) in bounds.into_iter().zip(per_shard) {
         debug_assert!(shard_tuples.iter().all(|t| b.contains(t[0])));
         tuples.extend(shard_tuples);
+        any_capped |= capped;
         shards.push(ShardStats { bounds: b, stats });
     }
     debug_assert!(
         tuples.windows(2).all(|w| w[0] < w[1]),
         "shard concatenation must be lexicographic in the execution numbering"
     );
-    (tuples, shards)
+    (tuples, shards, any_capped)
 }
 
 /// The iterator returned by [`ShardedPlan::stream`]: already-certified
@@ -448,6 +504,69 @@ mod tests {
         let par = p.execute_parallel(&db, 4).unwrap();
         assert!(par.result.tuples.is_empty());
         assert_eq!(par.shards.len(), 1, "no values ⇒ one unbounded shard");
+    }
+
+    #[test]
+    fn limited_execution_truncates_to_the_sorted_prefix() {
+        // A unary intersection has a single attribute, so the plan cannot
+        // re-index and the cap yields exactly the first k of the full
+        // sorted result.
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", 0..40)).unwrap();
+        let s = db.add(builder::unary("S", (0..40).map(|i| i * 2))).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        let p = plan(&db, &q).unwrap();
+        assert!(!p.is_reindexed());
+        let full = p.execute(&db).unwrap().result.tuples;
+        assert!(full.len() > 5);
+        let sp = p.clone().sharded(4);
+        let limited = sp.execute_limited(&db, Some(5)).unwrap();
+        assert_eq!(limited.result.tuples, full[..5]);
+        // Every shard materialized at most the cap.
+        for s in &limited.shards {
+            assert!(s.stats.outputs <= 5, "shard over cap: {:?}", s.stats);
+        }
+        // A limit beyond Z changes nothing and is not "truncated".
+        let all = sp.execute_limited(&db, Some(full.len() + 10)).unwrap();
+        assert_eq!(all.result.tuples, full);
+        assert!(!all.truncated);
+        assert!(limited.truncated, "the 5-cap really cut tuples");
+        // A limit exactly equal to Z returns everything, un-truncated.
+        let exact = sp.execute_limited(&db, Some(full.len())).unwrap();
+        assert_eq!(exact.result.tuples, full);
+        assert!(!exact.truncated, "equal-to-limit results are complete");
+        // The unlimited path never reports truncation.
+        assert!(!sp.execute(&db).unwrap().truncated);
+    }
+
+    #[test]
+    fn limited_execution_on_a_reindexed_plan_stays_within_budget() {
+        // Re-indexed plans translate + sort the per-shard prefixes; the
+        // cap still bounds materialization and the truncated result is a
+        // subset of the full one, sorted.
+        let (db, q) = path_db(40);
+        let p = plan(&db, &q).unwrap();
+        let full = p.execute(&db).unwrap().result.tuples;
+        let limited = p.clone().sharded(4).execute_limited(&db, Some(5)).unwrap();
+        assert_eq!(limited.result.tuples.len(), 5);
+        assert!(limited.result.tuples.windows(2).all(|w| w[0] < w[1]));
+        for t in &limited.result.tuples {
+            assert!(full.contains(t));
+        }
+        for s in &limited.shards {
+            assert!(s.stats.outputs <= 5);
+        }
+    }
+
+    #[test]
+    fn prepared_exec_parallel_matches_sharded_plan() {
+        let (db, q) = path_db(30);
+        let p = plan(&db, &q).unwrap();
+        let via_plan = p.execute_parallel(&db, 3).unwrap();
+        let prepared = p.prepare_exec(&db).unwrap();
+        let via_exec = prepared.execute_parallel(&db, 3, None);
+        assert_eq!(via_exec.result.tuples, via_plan.result.tuples);
+        assert_eq!(via_exec.shards.len(), via_plan.shards.len());
     }
 
     #[test]

@@ -71,26 +71,39 @@ impl<'db> TupleStream<'db> {
         mode: ProbeMode,
         inv: Option<Vec<usize>>,
     ) -> Self {
-        Self::with_bounds(db, query, mode, inv, ShardBounds::unbounded())
+        Self::with_bounds(db, query, mode, inv, ShardBounds::unbounded(), &[])
     }
 
     /// Builds a stream whose probe loop is confined to `bounds` on the
-    /// first GAO attribute. The restriction is expressed in the CDS
-    /// itself: the open intervals `(−∞, lo)` and `(hi, +∞)` are inserted
-    /// as depth-0 constraints before any probing, so `getProbePoint`
-    /// never proposes a tuple outside `[lo, hi]` and the loop terminates
-    /// once the *shard's* slice of the output space is covered. This is
-    /// the per-shard engine of [`crate::ShardedPlan`]: disjoint bounds
-    /// give probe loops that share no state, and within its interval each
-    /// stream yields exactly the serial stream's tuples in the same
-    /// (GAO-lexicographic) order. The two seed constraints are counted in
-    /// `constraints_inserted` like any other.
+    /// first GAO attribute and to `eq_seeds` equality constraints
+    /// (`(position, value)` in the *execution* numbering). Both
+    /// restrictions are expressed in the CDS itself, as pre-seeded
+    /// constraints inserted before any probing:
+    ///
+    /// * `bounds` becomes the depth-0 open intervals `(−∞, lo)` and
+    ///   `(hi, +∞)`, so `getProbePoint` never proposes a tuple outside
+    ///   `[lo, hi]` and the loop terminates once the *shard's* slice of
+    ///   the output space is covered — the per-shard engine of
+    ///   [`crate::ShardedPlan`]: disjoint bounds give probe loops that
+    ///   share no state, and within its interval each stream yields
+    ///   exactly the serial stream's tuples in the same
+    ///   (GAO-lexicographic) order;
+    /// * each `(k, v)` seed becomes `⟨*,…,*, (−∞, v)⟩` and
+    ///   `⟨*,…,*, (v, +∞)⟩` at position `k` — the same all-star-prefix
+    ///   shape `explore_atom` discovers for gaps at an atom's first
+    ///   attribute — pinning attribute `k` to the constant `v`. This is
+    ///   how the engine front door implements query literals without
+    ///   touching the catalog.
+    ///
+    /// Seed constraints are counted in `constraints_inserted` like any
+    /// other.
     pub(crate) fn with_bounds(
         db: DbHandle<'db>,
         query: Query,
         mode: ProbeMode,
         inv: Option<Vec<usize>>,
         bounds: ShardBounds,
+        eq_seeds: &[(usize, Val)],
     ) -> Self {
         let n = query.n_attrs;
         let cursors = {
@@ -117,6 +130,16 @@ impl<'db> TupleStream<'db> {
                 &Constraint::new(Pattern::empty(), bounds.hi, POS_INF),
                 &mut pst,
             );
+        }
+        for &(k, v) in eq_seeds {
+            debug_assert!(k < n, "seed position inside the attribute space");
+            let stars = Pattern(vec![PatternComp::Star; k]);
+            if v != NEG_INF {
+                cds.insert_constraint(&Constraint::new(stars.clone(), NEG_INF, v), &mut pst);
+            }
+            if v != POS_INF {
+                cds.insert_constraint(&Constraint::new(stars, v, POS_INF), &mut pst);
+            }
         }
         TupleStream {
             db,

@@ -1,0 +1,210 @@
+//! Dictionary encoding: interning typed values into the `i64` domain.
+//!
+//! The paper's model (Section 2.1) — and every index, cursor, and
+//! constraint structure in this workspace — speaks the totally ordered
+//! integer domain [`Val`]. Real workloads also carry strings. Rather than
+//! teach the hot path about a second value kind, an engine-level
+//! [`Dictionary`] interns each distinct string to a dense [`Val`] id once,
+//! at load/prepare time, and decodes ids back to strings only at the
+//! output boundary. Joins are equality joins, so any *injective* mapping
+//! preserves their semantics exactly: running the join over the encoded
+//! `i64` relations and decoding the result equals running a string-level
+//! join directly (the dictionary round-trip property tested in
+//! `tests/engine.rs`).
+//!
+//! Ids are assigned in first-intern order starting at `0`, which keeps
+//! them inside `0..=MAX_DOMAIN_VALUE` like every workload-generated value,
+//! far away from the `±∞` sentinels and the `−1` probe sentinel.
+//!
+//! Ordering note: encoded order is *id* order (first-appearance), not
+//! lexicographic string order — deliberately, so encoding is a single
+//! hash-map hit. Results are therefore sorted the way an equivalent
+//! integer-relabelled instance would sort, which is the contract the
+//! engine's output guarantees are written against.
+
+use std::collections::HashMap;
+
+use crate::value::Val;
+
+/// The kind of values a relation column holds. The storage layer itself
+/// always stores [`Val`]; the type records how the engine boundary
+/// encodes/decodes the column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// Values are native integers, stored as themselves.
+    Int,
+    /// Values are strings, interned through the engine's [`Dictionary`].
+    Str,
+}
+
+impl std::fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColumnType::Int => write!(f, "int"),
+            ColumnType::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// A typed value at the engine boundary. Inside the storage and join
+/// layers every value is a [`Val`]; `Value` exists only on the way in
+/// (encode/intern) and the way out (decode).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A native integer, encoded as itself.
+    Int(Val),
+    /// A string, encoded via the per-engine [`Dictionary`].
+    Str(String),
+}
+
+impl Value {
+    /// The column type this value belongs to.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int(_) => ColumnType::Int,
+            Value::Str(_) => ColumnType::Str,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<Val> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<Val> for Value {
+    fn from(v: Val) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// A string-interning dictionary: each distinct string maps to a dense
+/// [`Val`] id (`0, 1, 2, …` in first-intern order) and back.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_string: HashMap<String, Val>,
+    by_id: Vec<String>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id (allocating the next dense id on
+    /// first sight).
+    pub fn intern(&mut self, s: &str) -> Val {
+        if let Some(&id) = self.by_string.get(s) {
+            return id;
+        }
+        let id = self.by_id.len() as Val;
+        self.by_string.insert(s.to_string(), id);
+        self.by_id.push(s.to_string());
+        id
+    }
+
+    /// The id of `s` if it has been interned. A string never interned
+    /// cannot appear in any stored relation, so a `None` here means a
+    /// query literal matches nothing.
+    pub fn id_of(&self, s: &str) -> Option<Val> {
+        self.by_string.get(s).copied()
+    }
+
+    /// Decodes an id back to its string. `None` for ids this dictionary
+    /// never produced.
+    pub fn resolve(&self, id: Val) -> Option<&str> {
+        usize::try_from(id)
+            .ok()
+            .and_then(|i| self.by_id.get(i))
+            .map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.intern("amsterdam");
+        let b = d.intern("berlin");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(d.intern("amsterdam"), a, "re-intern returns the same id");
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut d = Dictionary::new();
+        let id = d.intern("query");
+        assert_eq!(d.resolve(id), Some("query"));
+        assert_eq!(d.id_of("query"), Some(id));
+        assert_eq!(d.id_of("missing"), None);
+        assert_eq!(d.resolve(99), None);
+        assert_eq!(d.resolve(-1), None, "negative ids never decode");
+    }
+
+    #[test]
+    fn value_accessors_and_display() {
+        let i = Value::Int(42);
+        let s = Value::from("x");
+        assert_eq!(i.column_type(), ColumnType::Int);
+        assert_eq!(s.column_type(), ColumnType::Str);
+        assert_eq!(i.as_int(), Some(42));
+        assert_eq!(i.as_str(), None);
+        assert_eq!(s.as_str(), Some("x"));
+        assert_eq!(s.as_int(), None);
+        assert_eq!(i.to_string(), "42");
+        assert_eq!(s.to_string(), "x");
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from("a".to_string()), Value::Str("a".into()));
+        assert_eq!(ColumnType::Int.to_string(), "int");
+        assert_eq!(ColumnType::Str.to_string(), "str");
+    }
+}

@@ -24,6 +24,7 @@
 pub mod builder;
 pub mod cursor;
 pub mod database;
+pub mod dict;
 pub mod error;
 pub mod gap_cursor;
 pub mod shard;
@@ -35,6 +36,7 @@ pub mod value;
 pub use builder::RelationBuilder;
 pub use cursor::TrieCursor;
 pub use database::{Database, RelId};
+pub use dict::{ColumnType, Dictionary, Value};
 pub use error::StorageError;
 pub use gap_cursor::GapCursor;
 pub use shard::{equi_depth_shards, shard_relation, ShardBounds};

@@ -2,17 +2,27 @@
 //!
 //! ```text
 //! msj --rel R=edges.tsv --rel S=edges.tsv 'R(x, y), S(y, z)' \
-//!     [--algo NAME] [--explain] [--stats] [--limit K]
+//!     [--algo NAME] [--explain] [--explain-json] [--stats] [--limit K] \
+//!     [--threads N]
 //! ```
 //!
-//! Relations are whitespace-separated integer tuple files (see
-//! `minesweeper_join::text`); the query lists atoms with named attributes
-//! whose first-appearance order is the GAO. The planner picks a nested
-//! elimination order when the query is β-acyclic and falls back to a
-//! minimum-elimination-width order otherwise.
+//! Relations are whitespace-separated tuple files (see
+//! `minesweeper_join::text`); columns may hold integers or strings —
+//! string columns are dictionary-encoded by the engine and decoded on
+//! output. The query lists atoms with named attributes whose
+//! first-appearance order is the GAO; arguments may also be literals
+//! (`Cities(c, "north-america")`, `R(x, 7)`) that constrain a position to
+//! a constant. The planner picks a nested elimination order when the
+//! query is β-acyclic and falls back to a minimum-elimination-width order
+//! otherwise.
 //!
-//! * `--explain` prints the plan (GAO, probe mode, width, runtime bound)
-//!   without executing.
+//! Everything runs through the `Engine` front door: the query is
+//! prepared once (plan + any GAO re-indexing, cached by query shape) and
+//! each evaluator dispatches through the same `PreparedStatement` path.
+//!
+//! * `--explain` prints the plan (GAO, probe mode, width, runtime bound,
+//!   cache status) without executing; `--explain-json` prints the same
+//!   structured `ExplainPlan` as JSON.
 //! * `--algo NAME` dispatches through the algorithm registry
 //!   (`minesweeper`, `minesweeper-par`, `yannakakis`, `leapfrog`,
 //!   `generic`, `hash`, `sort-merge`, `nested-loop`, `naive`); every
@@ -26,22 +36,23 @@
 //!   to `N` equi-depth shards, each swept by an independent probe loop on
 //!   its own worker thread; output is byte-identical to the serial
 //!   engine's. `--stats` then also reports the per-shard breakdown.
-//!   `--limit` with the parallel engine only truncates the printout — the
-//!   probe work is paid in full (use the serial engine for pushdown).
+//!   `--limit` with the parallel engine caps **each shard's**
+//!   materialization at `K` tuples, bounding memory at `O(shards × K)` —
+//!   probe work is still paid across every shard (each runs until its cap
+//!   or exhaustion), so prefer the serial engine when pushdown matters.
 
 use std::process::ExitCode;
 
 use std::io::Write;
 
 use minesweeper_join::baselines::{algorithm_names, lookup};
-use minesweeper_join::core::plan;
-use minesweeper_join::storage::{Database, ExecStats, Tuple};
-use minesweeper_join::text::{parse_query, parse_relation, render_plan};
+use minesweeper_join::engine::{Engine, ExecOptions, PreparedStatement};
+use minesweeper_join::storage::{ExecStats, Value};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: msj --rel NAME=FILE [--rel NAME=FILE ...] 'QUERY' \
-         [--algo NAME] [--explain] [--stats] [--limit K] [--threads N]\n\
+         [--algo NAME] [--explain] [--explain-json] [--stats] [--limit K] [--threads N]\n\
          example: msj --rel R=edges.tsv --rel S=edges.tsv 'R(x,y), S(y,z)' --stats\n\
          algorithms: {}",
         algorithm_names().join(", ")
@@ -57,10 +68,14 @@ fn out_line(out: &mut impl Write, line: std::fmt::Arguments<'_>) -> bool {
     writeln!(out, "{line}").is_ok()
 }
 
-fn print_tuples(out: &mut impl Write, tuples: &[Tuple]) -> bool {
-    for t in tuples {
-        let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
-        if !out_line(out, format_args!("{}", row.join("\t"))) {
+fn row_text(row: &[Value]) -> String {
+    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+    cells.join("\t")
+}
+
+fn print_rows(out: &mut impl Write, rows: &[Vec<Value>]) -> bool {
+    for r in rows {
+        if !out_line(out, format_args!("{}", row_text(r))) {
             return false;
         }
     }
@@ -68,19 +83,20 @@ fn print_tuples(out: &mut impl Write, tuples: &[Tuple]) -> bool {
 }
 
 /// Prints the attribute header and a materialized result truncated to
-/// `limit`, with the `# … N more` marker — the shared output shape of the
-/// registry-dispatch and parallel-engine paths.
+/// `limit`, with the `# … N more` marker — the output shape of the
+/// registry-dispatch path (which materializes everything, so the exact
+/// remainder is known).
 fn print_limited(
     out: &mut impl Write,
-    attr_names: &[String],
-    tuples: &[Tuple],
+    columns: &[String],
+    rows: &[Vec<Value>],
     limit: Option<usize>,
 ) {
-    let shown = limit.unwrap_or(usize::MAX).min(tuples.len());
-    let open = out_line(out, format_args!("# {}", attr_names.join("\t")))
-        && print_tuples(out, &tuples[..shown]);
-    if open && tuples.len() > shown {
-        out_line(out, format_args!("# … {} more", tuples.len() - shown));
+    let shown = limit.unwrap_or(usize::MAX).min(rows.len());
+    let open =
+        out_line(out, format_args!("# {}", columns.join("\t"))) && print_rows(out, &rows[..shown]);
+    if open && rows.len() > shown {
+        out_line(out, format_args!("# … {} more", rows.len() - shown));
     }
 }
 
@@ -97,12 +113,21 @@ fn print_stats(stats: &ExecStats) {
     eprintln!("# intermediate tuples: {}", stats.intermediate_tuples);
 }
 
+fn print_gao_line(stmt: &PreparedStatement<'_>) {
+    let gao = stmt.plan().gao();
+    eprintln!(
+        "# gao order: {:?} (mode {:?}, width {})",
+        gao.order, gao.mode, gao.width
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut rels: Vec<(String, String)> = Vec::new();
     let mut query_text: Option<String> = None;
     let mut show_stats = false;
     let mut explain = false;
+    let mut explain_json = false;
     let mut algo_name: Option<String> = None;
     let mut limit: Option<usize> = None;
     let mut threads: Option<usize> = None;
@@ -126,6 +151,10 @@ fn main() -> ExitCode {
             }
             "--explain" => {
                 explain = true;
+                i += 1;
+            }
+            "--explain-json" => {
+                explain_json = true;
                 i += 1;
             }
             "--algo" => {
@@ -166,7 +195,7 @@ fn main() -> ExitCode {
     if rels.is_empty() {
         return usage();
     }
-    let mut db = Database::new();
+    let mut engine = Engine::new();
     for (name, path) in &rels {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -175,30 +204,16 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let rel = match parse_relation(name, &text) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Err(e) = db.add(rel) {
-            eprintln!("{e}");
+        if let Err(e) = engine.load_tsv(name, &text) {
+            eprintln!("{path}: {e}");
             return ExitCode::FAILURE;
         }
     }
-    let parsed = match parse_query(&query_text, &db) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
     // Resolve `--algo` up front so typos fail before any planning work.
-    let algo = match &algo_name {
+    let canonical_algo = match &algo_name {
         None => None,
         Some(name) => match lookup(name) {
-            Some(a) => Some(a),
+            Some(a) => Some(a.name()),
             None => {
                 eprintln!(
                     "unknown algorithm {name:?}; available: {}",
@@ -209,27 +224,43 @@ fn main() -> ExitCode {
         },
     };
 
-    // The Minesweeper plan (GAO search, re-index mapping) is only computed
-    // for the paths that use it: `--explain` and the two Minesweeper
-    // engines. Registry algorithms other than those never consult it.
-    let uses_planner = algo
-        .as_ref()
-        .is_none_or(|a| matches!(a.name(), "minesweeper" | "minesweeper-par"));
+    // The Minesweeper plan (GAO search, re-index mapping, cache) drives
+    // `--explain` and both Minesweeper engines; registry baselines only
+    // use it as the dispatch host.
+    let uses_planner =
+        canonical_algo.is_none_or(|a| matches!(a, "minesweeper" | "minesweeper-par"));
+    if !uses_planner && threads.is_some() {
+        eprintln!("note: --threads only applies to the minesweeper engines; ignored");
+    }
 
-    // `--threads N`, or `--algo minesweeper-par` (auto-sized workers),
-    // selects the sharded parallel engine.
-    let par_threads: Option<usize> = match (&algo, threads) {
-        _ if !uses_planner => {
-            if threads.is_some() {
-                eprintln!("note: --threads only applies to the minesweeper engines; ignored");
-            }
-            None
+    let stmt = match engine.prepare(&query_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-        (Some(a), t) if a.name() == "minesweeper-par" => {
-            Some(t.unwrap_or_else(|| minesweeper_join::core::MinesweeperPar::default().threads))
+    };
+
+    // The one options struct every path below dispatches with; the
+    // engine resolves thread defaults (e.g. minesweeper-par's
+    // hardware-sized worker count), and `effective_threads` reports the
+    // resolved worker count back for printing.
+    let mut opts = ExecOptions {
+        algo: algo_name.clone(),
+        threads: if uses_planner {
+            threads.map(|t| t.max(1)).unwrap_or(0)
+        } else {
+            0
+        },
+        limit,
+        collect_stats: true,
+    };
+    let par_threads = match stmt.effective_threads(&opts) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-        (_, Some(t)) => Some(t.max(1)),
-        (_, None) => None,
     };
 
     // Buffered, checked stdout: a consumer closing the pipe (`msj … |
@@ -237,120 +268,134 @@ fn main() -> ExitCode {
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
 
-    if explain {
+    if explain || explain_json {
+        // Baselines have no Minesweeper plan: the human form says so, and
+        // the JSON form reports the algorithm with a null plan rather
+        // than mislabelling the planner's GAO/bound as the baseline's.
         if !uses_planner {
-            let a = algo.as_ref().expect("non-planner implies --algo");
-            out_line(
-                &mut out,
-                format_args!("algorithm: {} — {}", a.name(), a.description()),
-            );
-            out_line(
-                &mut out,
-                format_args!(
-                    "(no Minesweeper plan applies; GAO/probe-mode planning is \
-                     specific to the default engine)"
-                ),
-            );
-        } else {
-            let query_plan = match plan(&db, &parsed.query) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            out_line(
-                &mut out,
-                format_args!("{}", render_plan(&db, &query_plan, &parsed.attr_names)),
-            );
-            if let Some(t) = par_threads {
+            let a = lookup(canonical_algo.expect("non-planner implies --algo"))
+                .expect("canonical name resolves");
+            if explain_json {
+                use minesweeper_join::core::json_string;
                 out_line(
                     &mut out,
                     format_args!(
-                        "parallel: up to {t} equi-depth shard(s) of the first GAO \
-                         attribute, one probe loop per shard, order-preserving \
-                         concatenation"
+                        "{{\"algorithm\":{},\"description\":{},\"plan\":null}}",
+                        json_string(a.name()),
+                        json_string(a.description())
+                    ),
+                );
+            } else {
+                out_line(
+                    &mut out,
+                    format_args!("algorithm: {} — {}", a.name(), a.description()),
+                );
+                out_line(
+                    &mut out,
+                    format_args!(
+                        "(no Minesweeper plan applies; GAO/probe-mode planning is \
+                         specific to the default engine)"
                     ),
                 );
             }
-        }
-        return ExitCode::SUCCESS;
-    }
-
-    // Registry dispatch (`--algo`): run to completion through the unified
-    // Algorithm trait; output is sorted identically for every entry.
-    if let Some(algo) = &algo {
-        if !uses_planner {
-            let result = match algo.run(&db, &parsed.query) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            print_limited(&mut out, &parsed.attr_names, &result.tuples, limit);
-            drop(out);
-            if show_stats {
-                eprintln!("# algorithm: {}", algo.name());
-                print_stats(&result.stats);
-            }
             return ExitCode::SUCCESS;
         }
-        // `--algo minesweeper` falls through to the default engine so it
-        // benefits from the streaming `--limit` pushdown too.
-    }
-
-    // Default engine: Minesweeper through the plan. With `--limit` the
-    // limit is pushed into the streaming executor — the probe loop stops
-    // after K certified tuples (or as soon as the consumer closes the
-    // pipe); without it, materialize sorted output.
-    let query_plan = match plan(&db, &parsed.query) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    // Sharded parallel engine (`--threads` / `--algo minesweeper-par`):
-    // materialize across the worker pool, then print (optionally
-    // truncated — the probe work is already done, unlike serial --limit).
-    if let Some(t) = par_threads {
-        let exec = match query_plan.execute_parallel(&db, t) {
-            Ok(x) => x,
+        let ep = match stmt.explain(&opts) {
+            Ok(e) => e,
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         };
-        print_limited(&mut out, &parsed.attr_names, &exec.result.tuples, limit);
+        if explain_json {
+            out_line(&mut out, format_args!("{}", ep.to_json()));
+        } else {
+            out_line(&mut out, format_args!("{}", ep.render()));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Registry dispatch (`--algo` naming a baseline): run to completion
+    // through the unified PreparedStatement path; output is sorted
+    // identically for every entry, and the exact remainder under --limit
+    // is known because baselines materialize everything.
+    if !uses_planner {
+        opts.limit = None;
+        let result = match stmt.execute(&opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print_limited(&mut out, &result.columns, &result.rows, limit);
         drop(out);
         if show_stats {
+            eprintln!("# algorithm: {}", canonical_algo.expect("baseline name"));
+            if let Some(stats) = &result.stats {
+                print_stats(stats);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Sharded parallel engine (`--threads` / `--algo minesweeper-par`):
+    // materialize across the worker pool. With `--limit` each shard's
+    // materialization is capped at K (memory stays bounded) — the cap is
+    // announced instead of silently truncating the printout.
+    if let Some(t) = par_threads {
+        if let Some(k) = limit {
             eprintln!(
-                "# gao order: {:?} (mode {:?}, width {})",
-                query_plan.gao().order,
-                query_plan.gao().mode,
-                query_plan.gao().width
+                "note: --limit {k} with --threads caps each shard's materialization at {k} \
+                 (memory O(shards × {k})); probe work is still paid across all shards — \
+                 use the serial engine for true pushdown"
             );
-            eprintln!(
-                "# parallel: {} worker(s), {} shard(s)",
-                t,
-                exec.shards.len()
+        }
+        let result = match stmt.execute(&opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let open = out_line(&mut out, format_args!("# {}", result.columns.join("\t")))
+            && print_rows(&mut out, &result.rows);
+        if open && result.truncated {
+            let k = limit.unwrap_or(result.rows.len());
+            out_line(
+                &mut out,
+                format_args!("# … output truncated at {k} (parallel)"),
             );
-            for (i, s) in exec.shards.iter().enumerate() {
+        }
+        drop(out);
+        if show_stats {
+            print_gao_line(&stmt);
+            let shards = result.shards.as_deref().unwrap_or(&[]);
+            eprintln!("# parallel: {} worker(s), {} shard(s)", t, shards.len());
+            for (i, s) in shards.iter().enumerate() {
                 eprintln!(
                     "#   shard {i} {}: outputs={} findgap={} probes={}",
                     s.bounds, s.stats.outputs, s.stats.find_gap_calls, s.stats.probe_points
                 );
             }
-            print_stats(&exec.result.stats);
+            if let Some(stats) = &result.stats {
+                print_stats(stats);
+            }
         }
         return ExitCode::SUCCESS;
     }
 
-    let mut open = out_line(&mut out, format_args!("# {}", parsed.attr_names.join("\t")));
+    // Default engine: serial Minesweeper through the cached plan. With
+    // `--limit` the limit is pushed into the streaming executor — the
+    // probe loop stops after K certified tuples (or as soon as the
+    // consumer closes the pipe); without it, materialize sorted output.
+    let mut open = out_line(&mut out, format_args!("# {}", stmt.columns().join("\t")));
     let stats = if let Some(k) = limit {
-        let mut stream = match query_plan.stream(&db) {
+        let stream_opts = ExecOptions {
+            limit: None,
+            ..opts.clone()
+        };
+        let mut stream = match stmt.stream(&stream_opts) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("{e}");
@@ -362,9 +407,8 @@ fn main() -> ExitCode {
         // never done.
         let mut yielded = 0usize;
         while open && yielded < k {
-            let Some(t) = stream.next() else { break };
-            let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
-            open = out_line(&mut out, format_args!("{}", row.join("\t")));
+            let Some(row) = stream.next() else { break };
+            open = out_line(&mut out, format_args!("{}", row_text(&row)));
             yielded += 1;
         }
         // Snapshot before peeking so `--stats` reflects only the shown
@@ -379,24 +423,19 @@ fn main() -> ExitCode {
         }
         stats
     } else {
-        let exec = match query_plan.execute(&db) {
-            Ok(x) => x,
+        let result = match stmt.execute(&opts) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         };
-        print_tuples(&mut out, &exec.result.tuples);
-        exec.result.stats
+        print_rows(&mut out, &result.rows);
+        result.stats.unwrap_or_default()
     };
     drop(out);
     if show_stats {
-        eprintln!(
-            "# gao order: {:?} (mode {:?}, width {})",
-            query_plan.gao().order,
-            query_plan.gao().mode,
-            query_plan.gao().width
-        );
+        print_gao_line(&stmt);
         print_stats(&stats);
     }
     ExitCode::SUCCESS

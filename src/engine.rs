@@ -1,0 +1,1180 @@
+//! The engine front door: prepared statements over a typed catalog.
+//!
+//! The paper's certificate bound `Õ(|C| + Z)` (Theorem 3.2) is a statement
+//! about the *probe loop* — it assumes the ordered indexes consistent with
+//! the GAO already exist. A service that re-plans and physically re-indexes
+//! on every call pays that setup cost per query; a service whose domain is
+//! raw `i64` cannot speak real workloads at all. [`Engine`] closes both
+//! gaps:
+//!
+//! * it owns the [`Database`] **plus a schema catalog** (per-column
+//!   [`ColumnType`]s) and a [`Dictionary`] that interns string values into
+//!   the storage-level integer domain at the input boundary and decodes
+//!   them back at the output boundary — the hot path never sees a string;
+//! * [`Engine::prepare`] parses a query once and returns a
+//!   [`PreparedStatement`] backed by a cache **keyed by query shape**
+//!   holding the parsed [`Query`], the [`Plan`], *and the GAO-re-indexed
+//!   relations* ([`minesweeper_core::PreparedExec`]) — repeated executions
+//!   skip straight to the probe loop, and the [`ExplainPlan`] reports the
+//!   cache hit and a stable plan identity. Query literals (`F(a, "jfk")`)
+//!   become equality constraints **pre-seeded into the probe loop's CDS**,
+//!   so differently-parameterized statements of one shape share a single
+//!   cache entry and the catalog/dictionary are never touched by queries —
+//!   which is also why `prepare` takes `&self` and any number of
+//!   statements can be alive at once;
+//! * a single [`ExecOptions`] (`algo`, `threads`, `limit`,
+//!   `collect_stats`) replaces per-call-site knobs, and every evaluator —
+//!   serial Minesweeper, the sharded `minesweeper-par`, and each baseline
+//!   in the registry — dispatches through the same
+//!   [`PreparedStatement::execute`] / [`PreparedStatement::stream`] path.
+//!
+//! ```
+//! use minesweeper_join::engine::{Engine, ExecOptions};
+//! use minesweeper_join::storage::{ColumnType, Value};
+//!
+//! let mut engine = Engine::new();
+//! engine
+//!     .add_relation(
+//!         "Flight",
+//!         &[ColumnType::Str, ColumnType::Str],
+//!         [
+//!             vec![Value::from("jfk"), Value::from("lhr")],
+//!             vec![Value::from("lhr"), Value::from("nrt")],
+//!             vec![Value::from("sfo"), Value::from("jfk")],
+//!         ],
+//!     )
+//!     .unwrap();
+//! // Two-hop itineraries; planning and any re-indexing happen once.
+//! let stmt = engine.prepare("Flight(a, b), Flight(b, c)").unwrap();
+//! let result = stmt.execute(&ExecOptions::default()).unwrap();
+//! assert_eq!(result.columns, vec!["a", "b", "c"]);
+//! assert_eq!(
+//!     result.rows[0],
+//!     vec![Value::from("jfk"), Value::from("lhr"), Value::from("nrt")]
+//! );
+//! // String literals constrain a position to a constant; both statements
+//! // can be held at the same time.
+//! let hubs = engine.prepare("Flight(a, \"jfk\")").unwrap();
+//! assert_eq!(
+//!     hubs.execute(&ExecOptions::default()).unwrap().rows,
+//!     vec![vec![Value::from("sfo")]]
+//! );
+//! assert_eq!(stmt.execute(&ExecOptions::default()).unwrap().rows, result.rows);
+//! ```
+
+use std::cell::{Cell, OnceCell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use minesweeper_baselines::lookup_configured;
+use minesweeper_core::{
+    plan, Atom, ExplainCache, ExplainPlan, ExplainShards, MinesweeperPar, Plan, PreparedExec,
+    Query, QueryError,
+};
+use minesweeper_storage::{
+    ColumnType, Database, Dictionary, ExecStats, RelId, RelationBuilder, StorageError,
+    TrieRelation, Tuple, Val, Value,
+};
+
+use crate::text::{parse_query_ast, parse_typed_relation, QueryArg, TextError};
+
+/// Strategy line shared by every sharded-execution explain.
+const SHARD_STRATEGY: &str = "equi-depth shard(s) of the first GAO attribute, one probe loop \
+                              per shard, order-preserving concatenation";
+
+/// Errors from the engine front door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Query / relation text failed to parse or resolve.
+    Text(TextError),
+    /// Planning or execution rejected the query.
+    Query(QueryError),
+    /// The storage catalog rejected an operation.
+    Storage(String),
+    /// An attribute is bound to columns of conflicting types (or a
+    /// literal's type does not match its column).
+    TypeMismatch {
+        /// The attribute's name.
+        attr: String,
+        /// Type seen first (for literals: the column's type).
+        expected: ColumnType,
+        /// Conflicting type.
+        found: ColumnType,
+    },
+    /// A row's cell count does not match the declared column count.
+    RowArity {
+        /// Relation being loaded.
+        relation: String,
+        /// Declared column count.
+        expected: usize,
+        /// Cells found in the offending row.
+        got: usize,
+    },
+    /// A row cell does not match the declared column type.
+    ValueType {
+        /// Relation being loaded.
+        relation: String,
+        /// 0-based column.
+        column: usize,
+        /// The declared type the cell violated.
+        expected: ColumnType,
+    },
+    /// `ExecOptions::algo` named no registered algorithm.
+    UnknownAlgorithm(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Text(e) => write!(f, "{e}"),
+            EngineError::Query(e) => write!(f, "{e}"),
+            EngineError::Storage(msg) => write!(f, "{msg}"),
+            EngineError::TypeMismatch {
+                attr,
+                expected,
+                found,
+            } => write!(
+                f,
+                "attribute {attr} is bound to both {expected} and {found} columns"
+            ),
+            EngineError::RowArity {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation {relation}: row has {got} cells but {expected} columns are declared"
+            ),
+            EngineError::ValueType {
+                relation,
+                column,
+                expected,
+            } => write!(
+                f,
+                "relation {relation} column {column}: value does not match declared type \
+                 {expected}"
+            ),
+            EngineError::UnknownAlgorithm(name) => write!(f, "unknown algorithm {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TextError> for EngineError {
+    fn from(e: TextError) -> Self {
+        EngineError::Text(e)
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e.to_string())
+    }
+}
+
+/// Execution knobs — the one options struct every evaluator honours.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Evaluator name or alias from the registry (`None` = the planned
+    /// Minesweeper engine; `"minesweeper-par"` = the sharded engine).
+    pub algo: Option<String>,
+    /// Worker threads. `0` (the default) runs serially; any explicit
+    /// count — including `1` — selects the sharded parallel engine for
+    /// the Minesweeper evaluators (baselines ignore it).
+    pub threads: usize,
+    /// Cap on materialized output tuples. The serial engine pushes the
+    /// limit into the probe loop; the parallel engine caps each shard's
+    /// materialization (memory `O(shards × limit)`, probe work still paid
+    /// on every shard); baselines truncate after running to completion.
+    pub limit: Option<usize>,
+    /// Attach [`ExecStats`] (and per-shard stats, when sharded) to the
+    /// result.
+    pub collect_stats: bool,
+}
+
+impl ExecOptions {
+    /// Selects an evaluator by registry name or alias.
+    pub fn with_algo(mut self, name: impl Into<String>) -> Self {
+        self.algo = Some(name.into());
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Caps materialized output.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Requests statistics on the result.
+    pub fn with_stats(mut self) -> Self {
+        self.collect_stats = true;
+        self
+    }
+}
+
+/// Declared shape of one stored relation.
+#[derive(Debug, Clone)]
+struct RelSchema {
+    cols: Vec<ColumnType>,
+}
+
+/// One cached prepared-statement entry: everything repeated executions of
+/// a query *shape* reuse — differently-parameterized literals share it,
+/// since literal values live in per-statement seed constraints, not here.
+/// Shared (`Rc`) between the cache and the statements hitting it.
+#[derive(Debug)]
+struct CachedStatement {
+    /// Stable plan identity: statements reporting the same id share one
+    /// plan and one set of re-indexed relations.
+    id: u64,
+    /// The query (original numbering) over the engine's database.
+    query: Query,
+    /// The planning decisions.
+    plan: Plan,
+    /// The bound execution: owns the GAO-re-indexed relations when the
+    /// plan demanded them — the expensive half of the cache. Built
+    /// lazily on the first Minesweeper-path execution, so statements
+    /// dispatched to a baseline never pay the physical re-index.
+    exec: OnceCell<PreparedExec>,
+    /// Per-attribute value types (decode map).
+    attr_types: Vec<ColumnType>,
+}
+
+impl CachedStatement {
+    /// The bound execution, built (at most once, then cached) on first
+    /// use. `plan()` already validated the query against this immutable
+    /// catalog, so the bind cannot newly fail.
+    fn exec(&self, db: &Database) -> &PreparedExec {
+        self.exec.get_or_init(|| {
+            self.plan
+                .prepare_exec(db)
+                .expect("query validated when the plan was built")
+        })
+    }
+}
+
+/// The engine front door (see the module docs). Loading relations takes
+/// `&mut self`; preparing and executing statements take `&self`, so any
+/// number of prepared statements can be alive concurrently.
+#[derive(Debug, Default)]
+pub struct Engine {
+    db: Database,
+    schemas: Vec<RelSchema>,
+    dict: Dictionary,
+    cache: RefCell<HashMap<String, Rc<CachedStatement>>>,
+    next_plan_id: Cell<u64>,
+}
+
+impl Engine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing integer database: every column is catalogued as
+    /// [`ColumnType::Int`], so embedded callers migrating from the raw
+    /// `Database` API keep their exact semantics.
+    pub fn from_database(db: Database) -> Self {
+        let schemas = db
+            .iter()
+            .map(|(_, r)| RelSchema {
+                cols: vec![ColumnType::Int; r.arity()],
+            })
+            .collect();
+        Engine {
+            db,
+            schemas,
+            ..Self::default()
+        }
+    }
+
+    /// The underlying database (encoded values).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The engine's string dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The declared column types of a stored relation.
+    pub fn schema(&self, rel: RelId) -> &[ColumnType] {
+        &self.schemas[rel.0].cols
+    }
+
+    /// Adds a typed relation: rows are checked against `types`, string
+    /// cells are interned through the dictionary, and the encoded tuples
+    /// are indexed exactly like native integers. Equality joins are
+    /// preserved by any injective encoding, so the decoded result of a
+    /// join over encoded relations equals the string-level join.
+    pub fn add_relation(
+        &mut self,
+        name: &str,
+        types: &[ColumnType],
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<RelId, EngineError> {
+        let mut b = RelationBuilder::new(name, types.len());
+        let mut buf: Tuple = vec![0; types.len()];
+        for row in rows {
+            if row.len() != types.len() {
+                return Err(EngineError::RowArity {
+                    relation: name.to_string(),
+                    expected: types.len(),
+                    got: row.len(),
+                });
+            }
+            for (c, (cell, ty)) in row.iter().zip(types).enumerate() {
+                buf[c] = match (cell, ty) {
+                    (Value::Int(v), ColumnType::Int) => *v,
+                    (Value::Str(s), ColumnType::Str) => self.dict.intern(s),
+                    _ => {
+                        return Err(EngineError::ValueType {
+                            relation: name.to_string(),
+                            column: c,
+                            expected: *ty,
+                        })
+                    }
+                };
+            }
+            b.push(&buf);
+        }
+        self.add_built(b.build()?, types.to_vec())
+    }
+
+    /// Loads a whitespace-separated tuple file (see
+    /// [`crate::text::parse_typed_relation`]): column types are inferred,
+    /// integer-only files stay byte-identical to the untyped path.
+    pub fn load_tsv(&mut self, name: &str, text: &str) -> Result<RelId, EngineError> {
+        let typed = parse_typed_relation(name, text)?;
+        self.add_relation(&typed.name, &typed.types, typed.rows)
+    }
+
+    /// Adds an already-built integer relation under an all-`Int` schema.
+    pub fn add_int_relation(&mut self, rel: TrieRelation) -> Result<RelId, EngineError> {
+        let types = vec![ColumnType::Int; rel.arity()];
+        self.add_built(rel, types)
+    }
+
+    fn add_built(
+        &mut self,
+        rel: TrieRelation,
+        cols: Vec<ColumnType>,
+    ) -> Result<RelId, EngineError> {
+        let id = self.db.add(rel)?;
+        debug_assert_eq!(id.0, self.schemas.len(), "schema catalog tracks RelIds");
+        self.schemas.push(RelSchema { cols });
+        Ok(id)
+    }
+
+    /// Parses and prepares a query. Planning, GAO selection, and any
+    /// physical re-indexing happen **at most once per query shape**: a
+    /// repeat prepare (different variable names, different literal
+    /// values) returns the cached plan and re-indexed relations, and
+    /// every [`PreparedStatement::execute`] after that goes straight to
+    /// the probe loop. Literals never touch the catalog or dictionary —
+    /// they become pre-seeded CDS constraints on this statement.
+    pub fn prepare(&self, text: &str) -> Result<PreparedStatement<'_>, EngineError> {
+        let ast = parse_query_ast(text)?;
+        // Attribute *slots* in first-appearance order: one per variable,
+        // one per literal occurrence (literals become hidden attributes
+        // pinned by equality seeds).
+        let mut slot_ids: HashMap<String, usize> = HashMap::new();
+        let mut slot_names: Vec<String> = Vec::new();
+        let mut slot_visible: Vec<bool> = Vec::new();
+        let mut slot_literals: Vec<(usize, QueryArg)> = Vec::new();
+        let mut data_atoms: Vec<(String, Vec<usize>)> = Vec::new();
+        for atom in &ast {
+            let mut slots = Vec::new();
+            for arg in &atom.args {
+                let slot = match arg {
+                    QueryArg::Var(v) => *slot_ids.entry(v.clone()).or_insert_with(|| {
+                        slot_names.push(v.clone());
+                        slot_visible.push(true);
+                        slot_names.len() - 1
+                    }),
+                    QueryArg::StrLit(s) => {
+                        slot_names.push(format!("{s:?}"));
+                        slot_visible.push(false);
+                        let a = slot_names.len() - 1;
+                        slot_literals.push((a, arg.clone()));
+                        a
+                    }
+                    QueryArg::IntLit(v) => {
+                        slot_names.push(v.to_string());
+                        slot_visible.push(false);
+                        let a = slot_names.len() - 1;
+                        slot_literals.push((a, arg.clone()));
+                        a
+                    }
+                };
+                slots.push(slot);
+            }
+            data_atoms.push((atom.relation.clone(), slots));
+        }
+        // GAO positions consistent with every atom's written column order
+        // (shared with `text::parse_query`): first-appearance numbering
+        // when feasible, the closest consistent reordering otherwise —
+        // this is what lets a literal sit before an already-bound
+        // variable, as in `F(a, b), F("jfk", b)`.
+        let pos = crate::text::assign_gao_positions(slot_names.len(), &data_atoms)?;
+        let n = slot_names.len();
+        let mut attr_names = vec![String::new(); n];
+        let mut visible = vec![false; n];
+        for slot in 0..n {
+            attr_names[pos[slot]] = slot_names[slot].clone();
+            visible[pos[slot]] = slot_visible[slot];
+        }
+        let mut query = Query::new(n);
+        for (name, slots) in data_atoms {
+            let rel = self
+                .db
+                .id_of(&name)
+                .map_err(|_| TextError::UnknownRelation(name.clone()))?;
+            let arity = self.db.relation(rel).arity();
+            if arity != slots.len() {
+                return Err(TextError::AtomArity {
+                    relation: name,
+                    atom: slots.len(),
+                    relation_arity: arity,
+                }
+                .into());
+            }
+            query.atoms.push(Atom {
+                rel,
+                attrs: slots.iter().map(|&s| pos[s]).collect(),
+            });
+        }
+        let (entry, hit) = self.entry_for(&query, &attr_names)?;
+        // Literals: type-check against the column the slot landed in,
+        // then encode as equality seeds. A string the dictionary has
+        // never seen cannot occur in any stored (immutable) relation, so
+        // the statement is vacuously empty.
+        let mut seeds: Vec<(usize, Val)> = Vec::new();
+        let mut vacuous = false;
+        for (slot, arg) in slot_literals {
+            let attr = pos[slot];
+            let column_ty = entry.attr_types[attr];
+            let lit_ty = match arg {
+                QueryArg::StrLit(_) => ColumnType::Str,
+                QueryArg::IntLit(_) => ColumnType::Int,
+                QueryArg::Var(_) => unreachable!("only literals are recorded"),
+            };
+            if lit_ty != column_ty {
+                return Err(EngineError::TypeMismatch {
+                    attr: attr_names[attr].clone(),
+                    expected: column_ty,
+                    found: lit_ty,
+                });
+            }
+            match arg {
+                QueryArg::IntLit(v) => seeds.push((attr, v)),
+                QueryArg::StrLit(s) => match self.dict.id_of(&s) {
+                    Some(id) => seeds.push((attr, id)),
+                    None => vacuous = true,
+                },
+                QueryArg::Var(_) => unreachable!(),
+            }
+        }
+        Ok(PreparedStatement {
+            engine: self,
+            entry,
+            attr_names,
+            visible,
+            seeds,
+            vacuous,
+            hit,
+        })
+    }
+
+    /// Prepares an already-built [`Query`] over this engine's database —
+    /// the programmatic twin of [`Engine::prepare`], sharing the same
+    /// plan/re-index cache (bench harnesses and embedded callers use
+    /// this). Attributes are named by position (`a0`, `a1`, …).
+    pub fn prepare_query(&self, query: &Query) -> Result<PreparedStatement<'_>, EngineError> {
+        let attr_names: Vec<String> = (0..query.n_attrs).map(|a| format!("a{a}")).collect();
+        let (entry, hit) = self.entry_for(query, &attr_names)?;
+        Ok(PreparedStatement {
+            engine: self,
+            entry,
+            visible: vec![true; attr_names.len()],
+            attr_names,
+            seeds: Vec::new(),
+            vacuous: false,
+            hit,
+        })
+    }
+
+    /// One-shot convenience: prepare (against the cache) and execute.
+    pub fn execute(&self, text: &str, opts: &ExecOptions) -> Result<StatementResult, EngineError> {
+        self.prepare(text)?.execute(opts)
+    }
+
+    /// Cache lookup / population for a structural query.
+    fn entry_for(
+        &self,
+        query: &Query,
+        attr_names: &[String],
+    ) -> Result<(Rc<CachedStatement>, bool), EngineError> {
+        // Guard stale handles before any indexing: a Query built against
+        // a different database must error, not panic.
+        if let Some(atom) = query.atoms.iter().find(|a| a.rel.0 >= self.db.len()) {
+            return Err(EngineError::Storage(format!(
+                "relation id {} is not in this engine's catalog",
+                atom.rel.0
+            )));
+        }
+        let key = shape_key(query);
+        if let Some(entry) = self.cache.borrow().get(&key) {
+            return Ok((Rc::clone(entry), true));
+        }
+        let attr_types = self.unify_attr_types(query, attr_names)?;
+        let plan = plan(&self.db, query)?;
+        let id = self.next_plan_id.get();
+        self.next_plan_id.set(id + 1);
+        let entry = Rc::new(CachedStatement {
+            id,
+            query: query.clone(),
+            plan,
+            exec: OnceCell::new(),
+            attr_types,
+        });
+        self.cache.borrow_mut().insert(key, Rc::clone(&entry));
+        Ok((entry, false))
+    }
+
+    /// Derives each attribute's value type from the columns binding it,
+    /// rejecting conflicting bindings.
+    fn unify_attr_types(
+        &self,
+        query: &Query,
+        attr_names: &[String],
+    ) -> Result<Vec<ColumnType>, EngineError> {
+        let mut types: Vec<Option<ColumnType>> = vec![None; query.n_attrs];
+        for atom in &query.atoms {
+            let schema = &self.schemas[atom.rel.0];
+            for (col, &a) in atom.attrs.iter().enumerate() {
+                let Some(&ty) = schema.cols.get(col) else {
+                    continue; // arity mismatch; plan() reports it properly
+                };
+                match types.get(a).copied().flatten() {
+                    None => {
+                        if let Some(slot) = types.get_mut(a) {
+                            *slot = Some(ty);
+                        }
+                    }
+                    Some(prev) if prev != ty => {
+                        return Err(EngineError::TypeMismatch {
+                            attr: attr_names
+                                .get(a)
+                                .cloned()
+                                .unwrap_or_else(|| format!("a{a}")),
+                            expected: prev,
+                            found: ty,
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(types
+            .into_iter()
+            .map(|t| t.unwrap_or(ColumnType::Int))
+            .collect())
+    }
+}
+
+/// A structural cache key: two query texts with the same atoms over the
+/// same relations — whatever the variables are called, whatever constants
+/// the literals carry — share one entry.
+fn shape_key(query: &Query) -> String {
+    use std::fmt::Write;
+    let mut key = format!("{}", query.n_attrs);
+    for atom in &query.atoms {
+        let _ = write!(key, "|{}:{:?}", atom.rel.0, atom.attrs);
+    }
+    key
+}
+
+/// The materialized outcome of [`PreparedStatement::execute`].
+#[derive(Debug, Clone)]
+pub struct StatementResult {
+    /// Output column names (hidden literal positions excluded).
+    pub columns: Vec<String>,
+    /// Decoded rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Execution counters, when [`ExecOptions::collect_stats`] was set.
+    pub stats: Option<ExecStats>,
+    /// Per-shard counters, when the sharded engine ran with stats.
+    pub shards: Option<Vec<minesweeper_core::ShardStats>>,
+    /// True when a `limit` actually cut materialized rows; a result that
+    /// merely equals the limit is complete and not flagged.
+    pub truncated: bool,
+}
+
+/// A prepared query handle (see [`Engine::prepare`]): parsing, planning,
+/// and any GAO re-indexing are already done and cached; `execute` /
+/// `stream` go straight to the probe loop. Statements only borrow the
+/// engine immutably, so many can be live at once.
+pub struct PreparedStatement<'e> {
+    engine: &'e Engine,
+    entry: Rc<CachedStatement>,
+    attr_names: Vec<String>,
+    /// `visible[a]` = attribute `a` appears in the caller's output
+    /// (literal-bound positions are hidden).
+    visible: Vec<bool>,
+    /// Equality seeds `(attr, encoded value)` from query literals,
+    /// original numbering.
+    seeds: Vec<(usize, Val)>,
+    /// True when a string literal can never match any stored value (it
+    /// was never interned, and relations are immutable): the statement's
+    /// result is empty without running anything.
+    vacuous: bool,
+    hit: bool,
+}
+
+impl PreparedStatement<'_> {
+    /// Output column names (hidden literal positions excluded).
+    pub fn columns(&self) -> Vec<String> {
+        self.attr_names
+            .iter()
+            .zip(&self.visible)
+            .filter(|&(_, &v)| v)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// The cached plan.
+    pub fn plan(&self) -> &Plan {
+        &self.entry.plan
+    }
+
+    /// Stable identity of the cached plan: equal ids ⇒ the statements
+    /// share one plan and one set of re-indexed relations.
+    pub fn plan_id(&self) -> u64 {
+        self.entry.id
+    }
+
+    /// True when this statement was served from the engine's cache (its
+    /// plan and re-indexed relations were built by an earlier prepare).
+    pub fn cache_hit(&self) -> bool {
+        self.hit
+    }
+
+    /// The worker count `opts` resolves to: `Some(t)` when the sharded
+    /// engine will run with `t` workers (explicit `threads`, or
+    /// `minesweeper-par`'s hardware default), `None` for serial and
+    /// baseline execution. The CLI uses this instead of re-deriving
+    /// defaults.
+    pub fn effective_threads(&self, opts: &ExecOptions) -> Result<Option<usize>, EngineError> {
+        Ok(match self.dispatch(opts)? {
+            Dispatch::Parallel(t) => Some(t),
+            Dispatch::Serial | Dispatch::Baseline(_) => None,
+        })
+    }
+
+    /// The structured explanation for an execution with `opts`: the
+    /// plan's decisions plus attribute/relation names, the shard strategy
+    /// (when `opts` selects the parallel engine), and the cache
+    /// provenance. Serialize with [`ExplainPlan::to_json`]; render with
+    /// [`ExplainPlan::render`].
+    pub fn explain(&self, opts: &ExecOptions) -> Result<ExplainPlan, EngineError> {
+        let dispatch = self.dispatch(opts)?;
+        let mut ep = self.entry.plan.explain_plan();
+        ep.attr_names = Some(self.attr_names.clone());
+        for (atom, ea) in self.entry.query.atoms.iter().zip(ep.atoms.iter_mut()) {
+            ea.relation = Some(self.engine.db.relation(atom.rel).name().to_string());
+        }
+        ep.cache = Some(ExplainCache {
+            hit: self.hit,
+            plan_id: self.entry.id,
+        });
+        match dispatch {
+            Dispatch::Parallel(threads) => {
+                ep.shards = Some(ExplainShards {
+                    threads,
+                    strategy: SHARD_STRATEGY.to_string(),
+                });
+            }
+            Dispatch::Baseline(algo) => ep.algorithm = algo.name().to_string(),
+            Dispatch::Serial => {}
+        }
+        Ok(ep)
+    }
+
+    /// Resolves the evaluator `opts` selects.
+    fn dispatch(&self, opts: &ExecOptions) -> Result<Dispatch, EngineError> {
+        let threads = if opts.threads > 0 {
+            Some(opts.threads)
+        } else {
+            None
+        };
+        // Any explicit thread count — including 1 — selects the sharded
+        // engine, so callers asking for "the threaded engine, one worker"
+        // get real shard accounting rather than a silent serial fallback.
+        match opts.algo.as_deref() {
+            None => Ok(match threads {
+                Some(t) => Dispatch::Parallel(t),
+                None => Dispatch::Serial,
+            }),
+            Some(name) => {
+                let algo = lookup_configured(name, threads)
+                    .ok_or_else(|| EngineError::UnknownAlgorithm(name.to_string()))?;
+                Ok(match algo.name() {
+                    // The cached plan paths: the registry entries would
+                    // re-plan per call, the cache must not.
+                    "minesweeper" => match threads {
+                        Some(t) => Dispatch::Parallel(t),
+                        None => Dispatch::Serial,
+                    },
+                    "minesweeper-par" => Dispatch::Parallel(
+                        threads.unwrap_or_else(|| MinesweeperPar::default().threads),
+                    ),
+                    _ => Dispatch::Baseline(algo),
+                })
+            }
+        }
+    }
+
+    /// Decodes one stored tuple into the visible, typed output row.
+    fn decode_row(&self, t: &[Val]) -> Vec<Value> {
+        decode(self.engine, &self.entry.attr_types, &self.visible, t)
+    }
+
+    /// True when `t` satisfies every literal seed (baseline evaluators
+    /// run the unconstrained shape and are filtered here).
+    fn matches_seeds(&self, t: &[Val]) -> bool {
+        self.seeds.iter().all(|&(a, v)| t[a] == v)
+    }
+
+    /// Runs the statement to completion (modulo `limit`) and decodes the
+    /// result. Rows are sorted lexicographically in the query's attribute
+    /// order — for every evaluator, so results are directly comparable
+    /// across `algo` choices.
+    pub fn execute(&self, opts: &ExecOptions) -> Result<StatementResult, EngineError> {
+        let entry = &self.entry;
+        let engine = self.engine;
+        if self.vacuous {
+            let _ = self.dispatch(opts)?; // still surface unknown-algo errors
+            return Ok(StatementResult {
+                columns: self.columns(),
+                rows: Vec::new(),
+                stats: opts.collect_stats.then(ExecStats::new),
+                shards: None,
+                truncated: false,
+            });
+        }
+        let (tuples, stats, shards, truncated) = match self.dispatch(opts)? {
+            Dispatch::Serial => match opts.limit {
+                None => {
+                    let exec = entry
+                        .exec(&engine.db)
+                        .execute_seeded(&engine.db, &self.seeds);
+                    (exec.result.tuples, exec.result.stats, None, false)
+                }
+                Some(k) => {
+                    // Limit pushdown: the probe loop stops after k
+                    // certified tuples (plus one peek for the truncation
+                    // flag); the suffix's certificate work is never paid.
+                    // Stats are snapshotted before the peek so they
+                    // reflect only the shown prefix.
+                    let mut stream = entry
+                        .exec(&engine.db)
+                        .stream_seeded(&engine.db, &self.seeds);
+                    let mut tuples: Vec<Tuple> = stream.by_ref().take(k).collect();
+                    let stats = stream.stats();
+                    let truncated = stream.next().is_some();
+                    tuples.sort_unstable();
+                    (tuples, stats, None, truncated)
+                }
+            },
+            Dispatch::Parallel(threads) => {
+                let sharded = entry.exec(&engine.db).execute_parallel_seeded(
+                    &engine.db,
+                    threads,
+                    opts.limit,
+                    &self.seeds,
+                );
+                let truncated = sharded.truncated;
+                (
+                    sharded.result.tuples,
+                    sharded.result.stats,
+                    Some(sharded.shards),
+                    truncated,
+                )
+            }
+            Dispatch::Baseline(algo) => {
+                let res = algo.run(&engine.db, &entry.query)?;
+                let mut tuples: Vec<Tuple> = res
+                    .tuples
+                    .into_iter()
+                    .filter(|t| self.matches_seeds(t))
+                    .collect();
+                let total = tuples.len();
+                if let Some(k) = opts.limit {
+                    tuples.truncate(k);
+                }
+                let truncated = total > tuples.len();
+                (tuples, res.stats, None, truncated)
+            }
+        };
+        Ok(StatementResult {
+            columns: self.columns(),
+            rows: tuples.iter().map(|t| self.decode_row(t)).collect(),
+            stats: opts.collect_stats.then_some(stats),
+            shards: if opts.collect_stats { shards } else { None },
+            truncated,
+        })
+    }
+
+    /// Opens a decoded stream over the statement.
+    ///
+    /// With the serial Minesweeper engine the stream is **lazy**: rows
+    /// are yielded as the probe loop certifies them (GAO order), and
+    /// dropping the stream early skips the remaining certificate work.
+    /// The parallel engine and the baselines materialize eagerly and the
+    /// stream then yields the sorted rows. Either way `opts.limit` caps
+    /// the yielded rows.
+    pub fn stream(&self, opts: &ExecOptions) -> Result<StatementStream<'_>, EngineError> {
+        let inner = if self.vacuous {
+            let _ = self.dispatch(opts)?;
+            StreamInner::Materialized(Vec::new().into_iter(), ExecStats::new())
+        } else {
+            match self.dispatch(opts)? {
+                Dispatch::Serial => StreamInner::Lazy(
+                    self.entry
+                        .exec(&self.engine.db)
+                        .stream_seeded(&self.engine.db, &self.seeds),
+                ),
+                Dispatch::Parallel(threads) => {
+                    let sharded = self.entry.exec(&self.engine.db).execute_parallel_seeded(
+                        &self.engine.db,
+                        threads,
+                        opts.limit,
+                        &self.seeds,
+                    );
+                    StreamInner::Materialized(
+                        sharded.result.tuples.into_iter(),
+                        sharded.result.stats,
+                    )
+                }
+                Dispatch::Baseline(algo) => {
+                    let res = algo.run(&self.engine.db, &self.entry.query)?;
+                    let tuples: Vec<Tuple> = res
+                        .tuples
+                        .into_iter()
+                        .filter(|t| self.matches_seeds(t))
+                        .collect();
+                    StreamInner::Materialized(tuples.into_iter(), res.stats)
+                }
+            }
+        };
+        Ok(StatementStream {
+            engine: self.engine,
+            entry: Rc::clone(&self.entry),
+            visible: self.visible.clone(),
+            inner,
+            remaining: opts.limit.unwrap_or(usize::MAX),
+        })
+    }
+}
+
+/// Shared row decode used by statements and streams.
+fn decode(engine: &Engine, attr_types: &[ColumnType], visible: &[bool], t: &[Val]) -> Vec<Value> {
+    t.iter()
+        .enumerate()
+        .filter(|&(a, _)| visible[a])
+        .map(|(a, &v)| match attr_types[a] {
+            ColumnType::Int => Value::Int(v),
+            ColumnType::Str => Value::Str(
+                engine
+                    .dict
+                    .resolve(v)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("#{v}")),
+            ),
+        })
+        .collect()
+}
+
+/// The evaluator an [`ExecOptions`] resolves to.
+enum Dispatch {
+    Serial,
+    Parallel(usize),
+    Baseline(Box<dyn minesweeper_core::Algorithm>),
+}
+
+enum StreamInner<'e> {
+    Lazy(minesweeper_core::TupleStream<'e>),
+    Materialized(std::vec::IntoIter<Tuple>, ExecStats),
+}
+
+/// A decoded row stream (see [`PreparedStatement::stream`]).
+pub struct StatementStream<'e> {
+    engine: &'e Engine,
+    entry: Rc<CachedStatement>,
+    visible: Vec<bool>,
+    inner: StreamInner<'e>,
+    remaining: usize,
+}
+
+impl StatementStream<'_> {
+    /// Execution counters so far (live mid-stream on the lazy path;
+    /// complete from the start on materialized paths).
+    pub fn stats(&self) -> ExecStats {
+        match &self.inner {
+            StreamInner::Lazy(s) => s.stats(),
+            StreamInner::Materialized(_, stats) => stats.clone(),
+        }
+    }
+}
+
+impl Iterator for StatementStream<'_> {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let t = match &mut self.inner {
+            StreamInner::Lazy(s) => s.next()?,
+            StreamInner::Materialized(it, _) => it.next()?,
+        };
+        Some(decode(
+            self.engine,
+            &self.entry.attr_types,
+            &self.visible,
+            &t,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flights_engine() -> Engine {
+        let mut e = Engine::new();
+        e.add_relation(
+            "F",
+            &[ColumnType::Str, ColumnType::Str],
+            [
+                vec![Value::from("jfk"), Value::from("lhr")],
+                vec![Value::from("lhr"), Value::from("nrt")],
+                vec![Value::from("sfo"), Value::from("jfk")],
+                vec![Value::from("jfk"), Value::from("nrt")],
+            ],
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn string_join_round_trips() {
+        let e = flights_engine();
+        let stmt = e.prepare("F(a, b), F(b, c)").unwrap();
+        assert!(!stmt.cache_hit());
+        let res = stmt.execute(&ExecOptions::default()).unwrap();
+        assert_eq!(res.columns, vec!["a", "b", "c"]);
+        let rows: Vec<Vec<&str>> = res
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.as_str().unwrap()).collect())
+            .collect();
+        assert!(rows.contains(&vec!["jfk", "lhr", "nrt"]));
+        assert!(rows.contains(&vec!["sfo", "jfk", "lhr"]));
+        assert!(rows.contains(&vec!["sfo", "jfk", "nrt"]));
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn repeat_prepare_hits_the_cache_with_stable_identity() {
+        let e = flights_engine();
+        let first = e.prepare("F(a, b), F(b, c)").unwrap();
+        assert!(!first.cache_hit());
+        let id0 = first.plan_id();
+        // Different variable names, same shape: cache hit, same plan —
+        // and both statements are alive at once.
+        let stmt = e.prepare("F(x, y), F(y, z)").unwrap();
+        assert!(stmt.cache_hit());
+        assert_eq!(stmt.plan_id(), id0);
+        assert_eq!(stmt.columns(), vec!["x", "y", "z"]);
+        let ep = stmt.explain(&ExecOptions::default()).unwrap();
+        assert_eq!(
+            ep.cache,
+            Some(ExplainCache {
+                hit: true,
+                plan_id: id0
+            })
+        );
+        assert_eq!(
+            first.execute(&ExecOptions::default()).unwrap().rows,
+            stmt.execute(&ExecOptions::default()).unwrap().rows
+        );
+    }
+
+    #[test]
+    fn literal_values_share_one_cache_entry() {
+        let e = flights_engine();
+        let to_nrt = e.prepare("F(a, \"nrt\")").unwrap();
+        let to_lhr = e.prepare("F(a, \"lhr\")").unwrap();
+        let plain = e.prepare("F(a, b)").unwrap();
+        // One shape, one plan — the literal is a per-statement seed.
+        assert_eq!(to_nrt.plan_id(), to_lhr.plan_id());
+        assert_eq!(to_nrt.plan_id(), plain.plan_id());
+        assert!(to_lhr.cache_hit() && plain.cache_hit());
+        let nrt = to_nrt.execute(&ExecOptions::default()).unwrap();
+        assert_eq!(
+            nrt.rows,
+            vec![vec![Value::from("jfk")], vec![Value::from("lhr")]]
+        );
+        let lhr = to_lhr.execute(&ExecOptions::default()).unwrap();
+        assert_eq!(lhr.rows, vec![vec![Value::from("jfk")]]);
+        assert_eq!(
+            plain.execute(&ExecOptions::default()).unwrap().rows.len(),
+            4
+        );
+    }
+
+    #[test]
+    fn literals_constrain_and_are_hidden() {
+        let e = flights_engine();
+        let stmt = e.prepare("F(a, \"nrt\")").unwrap();
+        assert_eq!(stmt.columns(), vec!["a"]);
+        let res = stmt.execute(&ExecOptions::default()).unwrap();
+        assert_eq!(
+            res.rows,
+            vec![vec![Value::from("jfk")], vec![Value::from("lhr")]]
+        );
+        // A literal that appears in no data row matches nothing — and
+        // leaves no trace in the catalog or dictionary.
+        let rels = e.db().len();
+        let words = e.dict().len();
+        let none = e
+            .prepare("F(a, \"never-seen\")")
+            .unwrap()
+            .execute(&ExecOptions::default())
+            .unwrap();
+        assert!(none.rows.is_empty());
+        assert_eq!(e.db().len(), rels, "no literal relations created");
+        assert_eq!(e.dict().len(), words, "no literal interning");
+    }
+
+    #[test]
+    fn int_literal_and_type_checks() {
+        let mut e = Engine::new();
+        e.add_relation(
+            "R",
+            &[ColumnType::Int, ColumnType::Str],
+            [
+                vec![Value::Int(1), Value::from("one")],
+                vec![Value::Int(2), Value::from("two")],
+            ],
+        )
+        .unwrap();
+        let res = e
+            .prepare("R(2, name)")
+            .unwrap()
+            .execute(&ExecOptions::default())
+            .unwrap();
+        assert_eq!(res.rows, vec![vec![Value::from("two")]]);
+        // Binding a string literal into the int column is a type error.
+        assert!(matches!(
+            e.prepare("R(\"x\", name)"),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+        // And an int literal into the string column likewise.
+        assert!(matches!(
+            e.prepare("R(x, 7)"),
+            Err(EngineError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn baseline_dispatch_never_builds_the_reindex() {
+        // A shape whose written order is not a NEO: the Minesweeper path
+        // must re-index, but a baseline runs on the stored indexes, so
+        // the expensive bind must stay unbuilt until a planner path asks.
+        let mut e = Engine::new();
+        e.load_tsv("R", "1 2\n3 4\n").unwrap();
+        e.load_tsv("S", "5 2\n6 4\n").unwrap();
+        let stmt = e.prepare("R(a, c), S(b, c)").unwrap();
+        assert!(stmt.plan().is_reindexed());
+        assert!(stmt.entry.exec.get().is_none(), "lazy until needed");
+        let base = stmt
+            .execute(&ExecOptions::default().with_algo("naive"))
+            .unwrap();
+        assert!(
+            stmt.entry.exec.get().is_none(),
+            "baseline dispatch skips the physical re-index"
+        );
+        let ms = stmt.execute(&ExecOptions::default()).unwrap();
+        assert!(stmt.entry.exec.get().is_some(), "built on first use");
+        assert_eq!(base.rows, ms.rows);
+    }
+
+    #[test]
+    fn row_arity_reported_distinctly() {
+        let mut e = Engine::new();
+        let err = e
+            .add_relation(
+                "R",
+                &[ColumnType::Int, ColumnType::Int],
+                [vec![Value::Int(1), Value::Int(2), Value::Int(3)]],
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::RowArity {
+                    expected: 2,
+                    got: 3,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("3 cells"), "{err}");
+    }
+
+    #[test]
+    fn value_type_checked_at_load() {
+        let mut e = Engine::new();
+        let err = e
+            .add_relation("R", &[ColumnType::Int], [vec![Value::from("not-an-int")]])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ValueType { column: 0, .. }));
+    }
+
+    #[test]
+    fn unknown_algo_reported() {
+        let e = flights_engine();
+        let stmt = e.prepare("F(a, b)").unwrap();
+        let err = stmt
+            .execute(&ExecOptions::default().with_algo("quantum"))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownAlgorithm(_)));
+        assert_eq!(
+            stmt.effective_threads(&ExecOptions::default().with_algo("minesweeper-par"))
+                .unwrap()
+                .map(|t| t >= 1),
+            Some(true),
+            "minesweeper-par resolves to a concrete worker count"
+        );
+    }
+}

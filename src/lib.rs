@@ -20,7 +20,32 @@
 //!
 //! ## Quick start
 //!
-//! The public API is a plan/execute split: [`core::plan()`] makes every
+//! The front door is the [`engine::Engine`]: it owns the database, a
+//! schema catalog with typed (integer *and* string) columns behind a
+//! dictionary encoder, and a prepared-statement cache, so planning and
+//! GAO re-indexing are paid once per query shape and repeated executions
+//! go straight to the probe loop:
+//!
+//! ```
+//! use minesweeper_join::engine::{Engine, ExecOptions};
+//! use minesweeper_join::storage::Value;
+//!
+//! let mut engine = Engine::new();
+//! engine.load_tsv("R", "1 5\n2 7\n4 9\n").unwrap();
+//! engine.load_tsv("T", "5\n9\n").unwrap();
+//!
+//! // Prepare once: parse + plan + (if needed) re-index, all cached.
+//! let stmt = engine.prepare("R(x, y), T(y)").unwrap();
+//! let result = stmt.execute(&ExecOptions::default()).unwrap();
+//! assert_eq!(result.columns, vec!["x", "y"]);
+//! assert_eq!(result.rows[0], vec![Value::Int(1), Value::Int(5)]);
+//!
+//! // A repeat prepare (any variable names) hits the cache.
+//! let again = engine.prepare("R(a, b), T(b)").unwrap();
+//! assert!(again.cache_hit());
+//! ```
+//!
+//! Underneath sits the plan/execute split: [`core::plan()`] makes every
 //! decision that doesn't touch tuples (GAO choice, probe mode, re-index
 //! mapping) and returns a reusable [`core::Plan`]; [`core::Plan::stream`]
 //! opens a lazy [`core::TupleStream`] that yields tuples as they are
@@ -69,6 +94,7 @@
 //! | [`baselines`] | Yannakakis, LFTJ, NPRR, binary plans, DLM intersection |
 //! | [`workloads`] | synthetic graphs and the paper's instance families |
 
+pub mod engine;
 pub mod text;
 
 /// Re-export of `minesweeper-storage`.
@@ -89,21 +115,25 @@ pub use minesweeper_baselines as baselines;
 /// Re-export of `minesweeper-workloads`.
 pub use minesweeper_workloads as workloads;
 
-/// The most common imports in one place: the plan/stream API
-/// ([`core::plan()`], [`core::Plan`], [`core::TupleStream`]), the
-/// [`core::Algorithm`] trait with its baselines registry
-/// ([`baselines::registry::lookup`]), and the storage/CDS types they rely
-/// on.
+/// The most common imports in one place: the engine front door
+/// ([`engine::Engine`], [`engine::PreparedStatement`],
+/// [`engine::ExecOptions`]), the plan/stream API ([`core::plan()`],
+/// [`core::Plan`], [`core::TupleStream`]), the [`core::Algorithm`] trait
+/// with its baselines registry ([`baselines::registry::lookup`]), and the
+/// storage/CDS types they rely on.
 pub mod prelude {
-    pub use minesweeper_baselines::{algorithm_names, algorithms, lookup};
+    pub use crate::engine::{Engine, ExecOptions, PreparedStatement, StatementResult};
+    pub use minesweeper_baselines::{algorithm_names, algorithms, lookup, lookup_configured};
     pub use minesweeper_cds::{Constraint, ConstraintTree, IntervalSet, Pattern, ProbeMode};
     pub use minesweeper_core::{
         bowtie_join, canonical_certificate_size, choose_gao, execute, minesweeper_join, naive_join,
-        plan, reindex_for_gao, set_intersection, triangle_join, Algorithm, Execution, JoinResult,
-        Plan, PreparedPlan, Query, ShardedExecution, ShardedPlan, TupleStream,
+        plan, reindex_for_gao, set_intersection, triangle_join, Algorithm, Execution, ExplainPlan,
+        JoinResult, Plan, PreparedExec, PreparedPlan, Query, ShardedExecution, ShardedPlan,
+        TupleStream,
     };
     pub use minesweeper_storage::{
-        builder, Database, ExecStats, GapCursor, RelId, ShardBounds, TrieRelation, Val,
+        builder, ColumnType, Database, Dictionary, ExecStats, GapCursor, RelId, ShardBounds,
+        TrieRelation, Val, Value,
     };
 }
 

@@ -12,6 +12,16 @@
 //! 2   3
 //! ```
 //!
+//! Columns may hold strings: [`parse_typed_relation`] infers each column's
+//! [`ColumnType`] (a column where every token parses as an integer stays
+//! `Int`; any other column is `Str`), and the [`crate::engine::Engine`]
+//! interns the string cells through its dictionary. The older
+//! [`parse_relation`] keeps the integer-only contract. Because cells are
+//! whitespace-separated and `#` starts a comment, **string cells cannot
+//! contain whitespace or `#`** — there is no quoting or escaping in the
+//! relation file format (load such data programmatically via
+//! [`crate::engine::Engine::add_relation`] instead).
+//!
 //! ## Query syntax
 //!
 //! A query is a `⋈`- or `,`-separated list of atoms `Name(Attr, …)`;
@@ -22,12 +32,26 @@
 //! ```text
 //! R(x, y), S(y, z), T(z)
 //! ```
+//!
+//! Atom arguments may also be literals — double-quoted strings or bare
+//! integers — which constrain that position to a constant:
+//!
+//! ```text
+//! Flights(origin, dest), Cities(dest, "north-america")
+//! ```
+//!
+//! Literals are resolved by the [`crate::engine::Engine`] front door
+//! (which owns the dictionary a string literal must be interned through);
+//! the database-level [`parse_query`] used by embedded integer-only
+//! callers reports them as unsupported.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use minesweeper_core::{Plan, Query};
-use minesweeper_storage::{Database, RelationBuilder, StorageError, TrieRelation, Val};
+use minesweeper_storage::{
+    ColumnType, Database, RelationBuilder, StorageError, TrieRelation, Val, Value,
+};
 
 /// Errors from parsing relation files or query strings.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,8 +120,10 @@ impl From<StorageError> for TextError {
     }
 }
 
-/// Parses a whitespace-separated tuple file into a relation. Arity is
-/// inferred from the first tuple line.
+/// Parses a whitespace-separated **integer** tuple file into a relation.
+/// Arity is inferred from the first tuple line. For files with string
+/// columns, load through [`parse_typed_relation`] +
+/// [`crate::engine::Engine::add_relation`] instead.
 pub fn parse_relation(name: &str, text: &str) -> Result<TrieRelation, TextError> {
     let mut builder: Option<RelationBuilder> = None;
     let mut arity = 0usize;
@@ -138,6 +164,189 @@ pub fn parse_relation(name: &str, text: &str) -> Result<TrieRelation, TextError>
     Ok(builder.build()?)
 }
 
+/// A relation parsed with per-column type inference, ready for
+/// [`crate::engine::Engine::add_relation`].
+#[derive(Debug, Clone)]
+pub struct TypedRelation {
+    /// Relation name.
+    pub name: String,
+    /// Inferred column types: `Int` when every cell of the column parses
+    /// as an integer, `Str` otherwise.
+    pub types: Vec<ColumnType>,
+    /// The rows, cell-typed according to `types`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Parses a whitespace-separated tuple file, inferring each column's
+/// type. Integer-only files produce exactly the same `Int` cells
+/// [`parse_relation`] would, so loading them through an engine is
+/// byte-compatible with the untyped path.
+pub fn parse_typed_relation(name: &str, text: &str) -> Result<TypedRelation, TextError> {
+    let mut raw: Vec<Vec<String>> = Vec::new();
+    let mut arity = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        if raw.is_empty() {
+            arity = row.len();
+        } else if row.len() != arity {
+            return Err(TextError::InconsistentArity {
+                line: i + 1,
+                expected: arity,
+                got: row.len(),
+            });
+        }
+        raw.push(row);
+    }
+    if raw.is_empty() {
+        return Err(TextError::EmptyRelation);
+    }
+    let types: Vec<ColumnType> = (0..arity)
+        .map(|c| {
+            if raw.iter().all(|r| r[c].parse::<Val>().is_ok()) {
+                ColumnType::Int
+            } else {
+                ColumnType::Str
+            }
+        })
+        .collect();
+    let rows = raw
+        .into_iter()
+        .map(|r| {
+            r.into_iter()
+                .zip(&types)
+                .map(|(cell, ty)| match ty {
+                    ColumnType::Int => Value::Int(cell.parse().expect("column inferred Int")),
+                    ColumnType::Str => Value::Str(cell),
+                })
+                .collect()
+        })
+        .collect();
+    Ok(TypedRelation {
+        name: name.to_string(),
+        types,
+        rows,
+    })
+}
+
+/// One argument of a parsed query atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryArg {
+    /// A named attribute.
+    Var(String),
+    /// A double-quoted string literal (constrains the position to a
+    /// constant; resolved by the engine's dictionary).
+    StrLit(String),
+    /// A bare integer literal.
+    IntLit(Val),
+}
+
+/// One atom of the raw query syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAtomAst {
+    /// The relation name.
+    pub relation: String,
+    /// The atom's arguments in written order.
+    pub args: Vec<QueryArg>,
+}
+
+/// Parses query text into its syntax tree without resolving anything
+/// against a database: `R(x, y), S(y, "nyc") ⋈ T(7, z)` becomes three
+/// [`QueryAtomAst`]s. The engine front door builds executable queries
+/// from this (interning literals); [`parse_query`] is the
+/// integer-variable-only wrapper.
+pub fn parse_query_ast(text: &str) -> Result<Vec<QueryAtomAst>, TextError> {
+    let mut atoms = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let open = rest
+            .find('(')
+            .ok_or_else(|| TextError::BadQuery(format!("expected '(' in {rest:?}")))?;
+        let name = rest[..open].trim().trim_start_matches([',', '⋈']).trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(TextError::BadQuery(format!("bad relation name {name:?}")));
+        }
+        // Scan for the matching ')' respecting double-quoted literals, so
+        // `R(x, "a,b)")` parses.
+        let mut close = None;
+        let mut in_quote = false;
+        for (off, c) in rest[open + 1..].char_indices() {
+            match c {
+                '"' => in_quote = !in_quote,
+                ')' if !in_quote => {
+                    close = Some(open + 1 + off);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let close = close.ok_or_else(|| {
+            TextError::BadQuery(if in_quote {
+                "unterminated string literal".to_string()
+            } else {
+                "unbalanced parentheses".to_string()
+            })
+        })?;
+        let args_text = &rest[open + 1..close];
+        let mut args = Vec::new();
+        for raw in split_args(args_text) {
+            let raw = raw.trim();
+            if let Some(body) = raw
+                .strip_prefix('"')
+                .and_then(|r| r.strip_suffix('"'))
+                .filter(|_| raw.len() >= 2)
+            {
+                if body.contains('"') {
+                    return Err(TextError::BadQuery(format!("bad string literal {raw:?}")));
+                }
+                args.push(QueryArg::StrLit(body.to_string()));
+            } else if let Ok(v) = raw.parse::<Val>() {
+                args.push(QueryArg::IntLit(v));
+            } else if !raw.is_empty() && raw.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                args.push(QueryArg::Var(raw.to_string()));
+            } else {
+                return Err(TextError::BadQuery(format!("bad attribute {raw:?}")));
+            }
+        }
+        atoms.push(QueryAtomAst {
+            relation: name.to_string(),
+            args,
+        });
+        rest = rest[close + 1..]
+            .trim()
+            .trim_start_matches([',', '⋈'])
+            .trim();
+    }
+    if atoms.is_empty() {
+        return Err(TextError::BadQuery("no atoms".to_string()));
+    }
+    Ok(atoms)
+}
+
+/// Splits an atom's argument text on commas that are outside quotes.
+fn split_args(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_quote = !in_quote;
+                cur.push(c);
+            }
+            ',' if !in_quote => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
 /// A parsed query: the attribute names in GAO (first-appearance) order and
 /// the query over a database.
 #[derive(Debug, Clone)]
@@ -148,46 +357,95 @@ pub struct ParsedQuery {
     pub query: Query,
 }
 
-/// Parses `R(x, y), S(y, z)`-style query text against a database. The GAO
-/// is the order of first appearance of each attribute name.
-pub fn parse_query(text: &str, db: &Database) -> Result<ParsedQuery, TextError> {
-    let mut attr_ids: BTreeMap<String, usize> = BTreeMap::new();
-    let mut attr_names: Vec<String> = Vec::new();
-    let mut atoms: Vec<(String, Vec<usize>)> = Vec::new();
-    let mut rest = text.trim();
-    while !rest.is_empty() {
-        let open = rest
-            .find('(')
-            .ok_or_else(|| TextError::BadQuery(format!("expected '(' in {rest:?}")))?;
-        let name = rest[..open].trim().trim_start_matches([',', '⋈']).trim();
-        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
-            return Err(TextError::BadQuery(format!("bad relation name {name:?}")));
-        }
-        let close = rest[open..]
-            .find(')')
-            .map(|p| open + p)
-            .ok_or_else(|| TextError::BadQuery("unbalanced parentheses".to_string()))?;
-        let args = &rest[open + 1..close];
-        let mut positions = Vec::new();
-        for raw in args.split(',') {
-            let attr = raw.trim();
-            if attr.is_empty() || !attr.chars().all(|c| c.is_alphanumeric() || c == '_') {
-                return Err(TextError::BadQuery(format!("bad attribute {attr:?}")));
+/// Assigns GAO positions to attribute *slots* (variables, and — in the
+/// engine — literal occurrences), numbered `0..n_slots` in
+/// first-appearance order, such that every atom's slot sequence is
+/// strictly increasing in the returned positions. Queries written in a
+/// usable order keep exactly their first-appearance numbering (the
+/// greedy topological sort prefers lower slot numbers); queries whose
+/// atoms order the same pair of attributes both ways have no consistent
+/// GAO and are rejected. Returns `pos[slot]` = GAO position.
+pub(crate) fn assign_gao_positions(
+    n_slots: usize,
+    atoms: &[(String, Vec<usize>)],
+) -> Result<Vec<usize>, TextError> {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_slots];
+    let mut indegree = vec![0usize; n_slots];
+    for (rel, slots) in atoms {
+        for w in slots.windows(2) {
+            if w[0] == w[1] {
+                return Err(TextError::BadQuery(format!(
+                    "atom over {rel} repeats an attribute in adjacent positions"
+                )));
             }
-            let id = *attr_ids.entry(attr.to_string()).or_insert_with(|| {
-                attr_names.push(attr.to_string());
-                attr_names.len() - 1
+            adj[w[0]].push(w[1]);
+            indegree[w[1]] += 1;
+        }
+    }
+    // Kahn's algorithm, always taking the lowest-numbered ready slot so a
+    // feasible first-appearance order is reproduced verbatim.
+    let mut ready: std::collections::BTreeSet<usize> =
+        (0..n_slots).filter(|&v| indegree[v] == 0).collect();
+    let mut pos = vec![usize::MAX; n_slots];
+    let mut next = 0usize;
+    while let Some(&v) = ready.iter().next() {
+        ready.remove(&v);
+        pos[v] = next;
+        next += 1;
+        for &w in &adj[v] {
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                ready.insert(w);
+            }
+        }
+    }
+    if next != n_slots {
+        return Err(TextError::BadQuery(
+            "no GAO order is consistent with the atoms' attribute sequences \
+             (two atoms order the same attributes both ways); reorder the query"
+                .to_string(),
+        ));
+    }
+    Ok(pos)
+}
+
+/// Parses `R(x, y), S(y, z)`-style query text against a database. The GAO
+/// is the order of first appearance of each attribute name whenever that
+/// order is consistent with every atom; otherwise the closest consistent
+/// reordering is chosen (and truly conflicting queries are rejected).
+/// Literal arguments (string or integer constants) are reported as errors
+/// here — they need the engine front door, which owns the dictionary and
+/// the constant-binding relations.
+pub fn parse_query(text: &str, db: &Database) -> Result<ParsedQuery, TextError> {
+    let ast = parse_query_ast(text)?;
+    let mut attr_ids: BTreeMap<String, usize> = BTreeMap::new();
+    let mut slot_names: Vec<String> = Vec::new();
+    let mut atoms: Vec<(String, Vec<usize>)> = Vec::new();
+    for atom in ast {
+        let mut positions = Vec::new();
+        for arg in atom.args {
+            let attr = match arg {
+                QueryArg::Var(v) => v,
+                QueryArg::StrLit(_) | QueryArg::IntLit(_) => {
+                    return Err(TextError::BadQuery(
+                        "literal arguments are only supported through the Engine \
+                         (use minesweeper_join::engine::Engine::prepare)"
+                            .to_string(),
+                    ))
+                }
+            };
+            let id = *attr_ids.entry(attr.clone()).or_insert_with(|| {
+                slot_names.push(attr.clone());
+                slot_names.len() - 1
             });
             positions.push(id);
         }
-        atoms.push((name.to_string(), positions));
-        rest = rest[close + 1..]
-            .trim()
-            .trim_start_matches([',', '⋈'])
-            .trim();
+        atoms.push((atom.relation, positions));
     }
-    if atoms.is_empty() {
-        return Err(TextError::BadQuery("no atoms".to_string()));
+    let pos = assign_gao_positions(slot_names.len(), &atoms)?;
+    let mut attr_names = vec![String::new(); slot_names.len()];
+    for (slot, name) in slot_names.into_iter().enumerate() {
+        attr_names[pos[slot]] = name;
     }
     let mut query = Query::new(attr_names.len());
     for (name, positions) in atoms {
@@ -202,63 +460,37 @@ pub fn parse_query(text: &str, db: &Database) -> Result<ParsedQuery, TextError> 
                 relation_arity: arity,
             });
         }
-        // Atom attribute lists must be strictly increasing in the GAO; the
-        // planner (execute) re-indexes, so here we only need the atom's
-        // positions sorted with the relation columns permuted accordingly —
-        // delegate that to reindexing by sorting positions and permuting at
-        // load time is NOT possible (columns are fixed). Instead, require
-        // the query to be written consistently and report otherwise.
-        if !positions.windows(2).all(|w| w[0] < w[1]) {
-            return Err(TextError::BadQuery(format!(
-                "atom over {} lists attributes out of GAO order; write attributes in \
-                 first-appearance order or reorder the query",
-                db.relation(rel).name()
-            )));
-        }
         query.atoms.push(minesweeper_core::Atom {
             rel,
-            attrs: positions,
+            attrs: positions.iter().map(|&s| pos[s]).collect(),
         });
     }
     Ok(ParsedQuery { attr_names, query })
 }
 
 /// Renders a [`Plan`] with the caller's relation and attribute names — the
-/// CLI's `--explain` output. `attr_names[i]` names GAO position `i` of the
-/// *original* numbering (as produced by [`parse_query`]).
+/// CLI's `--explain` output, built by filling names into the structured
+/// [`minesweeper_core::ExplainPlan`] and rendering it. `attr_names[i]`
+/// names GAO position `i` of the *original* numbering (as produced by
+/// [`parse_query`]).
 pub fn render_plan(db: &Database, plan: &Plan, attr_names: &[String]) -> String {
-    let name_of = |a: usize| -> &str { attr_names.get(a).map(String::as_str).unwrap_or("?") };
-    let atoms: Vec<String> = plan
-        .query()
-        .atoms
-        .iter()
-        .map(|atom| {
-            let attrs: Vec<&str> = atom.attrs.iter().map(|&a| name_of(a)).collect();
-            format!("{}({})", db.relation(atom.rel).name(), attrs.join(", "))
-        })
-        .collect();
-    let order: Vec<&str> = plan.gao().order.iter().map(|&a| name_of(a)).collect();
-    let reindex = if plan.is_reindexed() {
-        "re-indexed copies built at execution"
-    } else {
-        "stored indexes used directly"
-    };
-    format!(
-        "query: {}\ngao: {}  ({reindex})\n{}",
-        atoms.join(" ⋈ "),
-        order.join(", "),
-        plan.explain()
-            .lines()
-            .filter(|l| {
-                // Names replace the positional forms rendered by
-                // `Plan::explain`.
-                !l.starts_with("atoms (GAO positions)")
-                    && !l.starts_with("gao order")
-                    && !l.starts_with("indexes:")
-            })
-            .collect::<Vec<_>>()
-            .join("\n"),
-    )
+    named_explain_plan(db, plan, attr_names).render()
+}
+
+/// The structured form behind [`render_plan`]: the plan's
+/// [`minesweeper_core::ExplainPlan`] with relation and attribute names
+/// filled in from the caller's catalog.
+pub fn named_explain_plan(
+    db: &Database,
+    plan: &Plan,
+    attr_names: &[String],
+) -> minesweeper_core::ExplainPlan {
+    let mut ep = plan.explain_plan();
+    ep.attr_names = Some(attr_names.to_vec());
+    for (atom, ea) in plan.query().atoms.iter().zip(ep.atoms.iter_mut()) {
+        ea.relation = Some(db.relation(atom.rel).name().to_string());
+    }
+    ep
 }
 
 #[cfg(test)]
@@ -292,6 +524,69 @@ mod tests {
             parse_relation("R", "# none\n"),
             Err(TextError::EmptyRelation)
         ));
+    }
+
+    #[test]
+    fn typed_relation_infers_columns() {
+        let t = parse_typed_relation("Cities", "nyc 1\nsf 2\n# c\nla 3\n").unwrap();
+        assert_eq!(t.types, vec![ColumnType::Str, ColumnType::Int]);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0], vec![Value::Str("nyc".into()), Value::Int(1)]);
+        // All-integer columns stay Int even when another column is Str.
+        let t = parse_typed_relation("R", "1 2\n3 4\n").unwrap();
+        assert_eq!(t.types, vec![ColumnType::Int, ColumnType::Int]);
+        assert_eq!(t.rows[1], vec![Value::Int(3), Value::Int(4)]);
+        // A single non-numeric cell flips the whole column to Str.
+        let t = parse_typed_relation("R", "1 2\nx 4\n").unwrap();
+        assert_eq!(t.types, vec![ColumnType::Str, ColumnType::Int]);
+        assert_eq!(t.rows[0][0], Value::Str("1".into()));
+    }
+
+    #[test]
+    fn typed_relation_errors() {
+        assert!(matches!(
+            parse_typed_relation("R", ""),
+            Err(TextError::EmptyRelation)
+        ));
+        assert!(matches!(
+            parse_typed_relation("R", "1 2\n3\n"),
+            Err(TextError::InconsistentArity { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn ast_parses_vars_and_literals() {
+        let ast = parse_query_ast("R(x, \"new york\"), S(x, 7) ⋈ T(y_2)").unwrap();
+        assert_eq!(ast.len(), 3);
+        assert_eq!(ast[0].relation, "R");
+        assert_eq!(
+            ast[0].args,
+            vec![
+                QueryArg::Var("x".into()),
+                QueryArg::StrLit("new york".into())
+            ]
+        );
+        assert_eq!(
+            ast[1].args,
+            vec![QueryArg::Var("x".into()), QueryArg::IntLit(7)]
+        );
+        assert_eq!(ast[2].args, vec![QueryArg::Var("y_2".into())]);
+    }
+
+    #[test]
+    fn ast_literal_edge_cases() {
+        // Commas and parens inside quotes don't split or close.
+        let ast = parse_query_ast("R(x, \"a,b)\")").unwrap();
+        assert_eq!(ast[0].args[1], QueryArg::StrLit("a,b)".into()));
+        // Negative integers are literals, not variables.
+        let ast = parse_query_ast("R(-3)").unwrap();
+        assert_eq!(ast[0].args, vec![QueryArg::IntLit(-3)]);
+        assert!(matches!(
+            parse_query_ast("R(\"open"),
+            Err(TextError::BadQuery(msg)) if msg.contains("unterminated")
+        ));
+        assert!(parse_query_ast("R(x y)").is_err(), "space-separated args");
+        assert!(parse_query_ast("").is_err(), "no atoms");
     }
 
     #[test]
@@ -341,6 +636,34 @@ mod tests {
             parse_query("R(x, y), S(y, x)", &db),
             Err(TextError::BadQuery(_))
         ));
+        // Literals are an engine-level feature.
+        assert!(matches!(
+            parse_query("R(x, \"lit\")", &db),
+            Err(TextError::BadQuery(msg)) if msg.contains("Engine")
+        ));
+        assert!(matches!(
+            parse_query("R(x, 7)", &db),
+            Err(TextError::BadQuery(msg)) if msg.contains("Engine")
+        ));
+    }
+
+    #[test]
+    fn parse_query_malformed_atoms() {
+        let db = Database::new();
+        for bad in [
+            "R x, y)",  // missing '('
+            "R(x, y",   // missing ')'
+            "(x)",      // empty relation name
+            "R-Q(x)",   // bad relation character
+            "R(x, y%)", // bad attribute character
+            "R()",      // empty argument
+        ] {
+            let got = parse_query(bad, &db);
+            assert!(
+                matches!(got, Err(TextError::BadQuery(_))),
+                "{bad:?} must be a syntax error, got {got:?}"
+            );
+        }
     }
 
     #[test]
@@ -351,6 +674,16 @@ mod tests {
         };
         assert!(e.to_string().contains("line 3"));
         assert!(TextError::EmptyRelation.to_string().contains("no tuples"));
+        assert!(TextError::AtomArity {
+            relation: "R".into(),
+            atom: 1,
+            relation_arity: 2
+        }
+        .to_string()
+        .contains("arity 2"));
+        assert!(TextError::UnknownRelation("Q".into())
+            .to_string()
+            .contains("unknown relation Q"));
     }
 
     #[test]
@@ -366,5 +699,9 @@ mod tests {
         assert!(text.contains("runtime bound"), "{text}");
         // GAO line shows names, not positions.
         assert!(text.lines().any(|l| l.starts_with("gao: ")), "{text}");
+        // The structured form carries the same names.
+        let ep = named_explain_plan(&db, &plan, &pq.attr_names);
+        assert_eq!(ep.atoms[0].relation.as_deref(), Some("R"));
+        assert!(ep.to_json().contains("\"attr_names\":[\"x\",\"y\",\"z\"]"));
     }
 }

@@ -185,6 +185,110 @@ fn parallel_engine_matches_serial_output_and_reports_shards() {
 }
 
 #[test]
+fn explain_json_is_structured() {
+    let edges = write_temp("edges5.tsv", "1 2\n2 3\n");
+    let out = msj()
+        .args([
+            "--rel",
+            &format!("R={}", edges.display()),
+            "--rel",
+            &format!("S={}", edges.display()),
+            "R(x,y), S(y,z)",
+            "--explain-json",
+            "--threads",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"algorithm\":\"minesweeper\""), "{stdout}");
+    assert!(
+        stdout.contains("\"attr_names\":[\"x\",\"y\",\"z\"]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"runtime_bound\""), "{stdout}");
+    assert!(stdout.contains("\"cache\":{\"hit\":false"), "{stdout}");
+    assert!(stdout.contains("\"shards\":{\"threads\":4"), "{stdout}");
+}
+
+#[test]
+fn string_columns_round_trip_through_the_cli() {
+    let flights = write_temp("flights.tsv", "jfk lhr\nlhr nrt\nsfo jfk\n");
+    let out = msj()
+        .args([
+            "--rel",
+            &format!("F={}", flights.display()),
+            "F(a, b), F(b, c)",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# a\tb\tc"), "{stdout}");
+    assert!(
+        stdout.contains("jfk\tlhr\tnrt"),
+        "decoded strings: {stdout}"
+    );
+    assert!(stdout.contains("sfo\tjfk\tlhr"), "{stdout}");
+    // A string literal constrains the position and is hidden from output.
+    let lit = msj()
+        .args([
+            "--rel",
+            &format!("F={}", flights.display()),
+            "F(a, \"lhr\")",
+        ])
+        .output()
+        .unwrap();
+    assert!(lit.status.success());
+    let stdout = String::from_utf8_lossy(&lit.stdout);
+    assert_eq!(stdout, "# a\njfk\n", "{stdout}");
+}
+
+#[test]
+fn parallel_limit_warns_and_caps_instead_of_silently_truncating() {
+    let r = write_temp(
+        "r4.tsv",
+        (1..=64)
+            .map(|i| format!("{i}\n"))
+            .collect::<String>()
+            .as_str(),
+    );
+    let out = msj()
+        .args([
+            "--rel",
+            &format!("R={}", r.display()),
+            "R(x)",
+            "--threads",
+            "4",
+            "--limit",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1\n2\n3\n"), "first three tuples: {stdout}");
+    assert!(!stdout.contains("\n4\n"), "capped: {stdout}");
+    assert!(stdout.contains("truncated at 3 (parallel)"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("caps each shard's materialization"),
+        "warning announced: {stderr}"
+    );
+    assert!(stderr.contains("probe work is still paid"), "{stderr}");
+}
+
+#[test]
 fn unknown_algo_is_reported_with_choices() {
     let r = write_temp("r3.tsv", "1\n");
     let out = msj()
