@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Doc-link check: fails when a markdown file references a repository
+# path that does not exist. Two kinds of references are checked:
+#
+#   1. relative markdown link targets:   [text](docs/FOO.md)
+#   2. backticked repo paths:            `crates/core/src/plan.rs`
+#      (only tokens rooted at a known top-level directory are checked,
+#      so prose like `cargo test` or `a/b` pseudo-paths are ignored)
+#
+# Usage: ci/check_docs.sh [FILE.md ...]   (defaults to docs/*.md,
+# README.md, and ci/README.md, run from the repository root)
+
+set -euo pipefail
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+    files=(docs/*.md README.md ci/README.md)
+fi
+
+fail=0
+
+check_path() {
+    # $1 = markdown file, $2 = referenced path (relative to repo root or
+    # to the markdown file's directory).
+    local md="$1" ref="$2"
+    ref="${ref%%#*}"          # drop fragment
+    ref="${ref%/}"            # drop trailing slash
+    [ -z "$ref" ] && return 0
+    if [ -e "$ref" ] || [ -e "$(dirname "$md")/$ref" ]; then
+        return 0
+    fi
+    echo "ERROR: $md references nonexistent path: $ref"
+    fail=1
+}
+
+for md in "${files[@]}"; do
+    [ -f "$md" ] || { echo "ERROR: no such file: $md"; fail=1; continue; }
+
+    # 1. Relative markdown link targets (skip http(s):, mailto:, and
+    #    pure-fragment links).
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) ;;
+            *) check_path "$md" "$target" ;;
+        esac
+    done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+
+    # 2. Backticked tokens rooted at a real top-level directory.
+    while IFS= read -r token; do
+        check_path "$md" "$token"
+    done < <(grep -oE '`(crates|src|ci|docs|examples|tests|\.github)/[A-Za-z0-9_./-]+`' "$md" \
+             | tr -d '`')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc check: FAILED"
+    exit 1
+fi
+echo "doc check: OK (${#files[@]} file(s))"

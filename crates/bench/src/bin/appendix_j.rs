@@ -3,6 +3,14 @@
 //! Yannakakis, Leapfrog Triejoin, the NPRR generic join, and the binary
 //! hash plan all need `Ω(mM²)` (they cannot skip the full `(M−1)²` grids).
 //!
+//! The binary also runs a **skewed parallel workload** per chunk size: a
+//! path query whose first GAO attribute is one giant duplicate run, so
+//! the sharded executor must engage its nested second-attribute split.
+//! Its effective shard count and aggregate work counters are emitted as
+//! `appendixj_skew_*` metrics — scheduling-independent (per-shard probe
+//! loops are deterministic and the counters are their sum), so CI's
+//! `bench_gate` can guard the nested-sharding path.
+//!
 //! Usage: `cargo run --release -p minesweeper-bench --bin appendix_j
 //! [--m atoms] [--mmax chunk] [--json FILE]`. With `--json` the
 //! deterministic work counters (and ungated wall times) are also written
@@ -13,8 +21,29 @@ use minesweeper_baselines::{
 };
 use minesweeper_bench::{arg_opt, arg_or, human, human_time, timed, BenchRecord, Table};
 use minesweeper_cds::ProbeMode;
-use minesweeper_core::minesweeper_join;
+use minesweeper_core::{minesweeper_join, plan, Query};
+use minesweeper_storage::{builder, Database};
 use minesweeper_workloads::appendix_j::hidden_certificate_instance;
+
+/// Workers for the skewed parallel runs — fixed so the shard split (and
+/// hence the gated counters) is machine-independent.
+const SKEW_THREADS: usize = 4;
+
+/// A path instance `R(a,b) ⋈ S(b,c)` with every S tuple sharing one
+/// attribute-2 value: under the planner's nested elimination order
+/// `[2,1,0]` that value is a giant duplicate run on the first execution
+/// attribute.
+fn skewed_instance(n: i64) -> (Database, Query) {
+    let mut db = Database::new();
+    let r = db
+        .add(builder::binary("R", (0..n).map(|i| ((i * 7) % n, i))))
+        .unwrap();
+    let s = db
+        .add(builder::binary("S", (0..n).map(|i| (i, n + 1))))
+        .unwrap();
+    let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+    (db, q)
+}
 
 fn main() {
     let m: usize = arg_or("--m", 4);
@@ -85,6 +114,53 @@ fn main() {
         "\nPaper's shape: doubling M doubles Minesweeper's work (probes ∝ mM)\n\
          but quadruples every baseline's (they touch the Θ(M²) grids)."
     );
+
+    println!(
+        "\nSkewed parallel workload: one dominant first-GAO-attribute value,\n\
+         {SKEW_THREADS} workers — the nested second-attribute split must engage.\n"
+    );
+    let mut skew_table = Table::new(&["M", "N", "shards", "nested", "Z", "probes", "par time"]);
+    let mut chunk = 8i64;
+    while chunk <= mmax {
+        let n = chunk * 16;
+        let (db, q) = skewed_instance(n);
+        let p = plan(&db, &q).expect("skewed instance plans");
+        let serial = p.execute(&db).expect("serial run");
+        let (par, t_par) = timed(|| p.execute_parallel(&db, SKEW_THREADS).expect("parallel run"));
+        assert_eq!(
+            par.result.tuples, serial.result.tuples,
+            "skewed parallel output must stay byte-identical"
+        );
+        let nested = par.shards.iter().filter(|s| s.spec.is_nested()).count();
+        assert!(
+            par.shards.len() > 1 && nested > 0,
+            "nested split must engage on the duplicate run"
+        );
+        record.metric(
+            format!("appendixj_skew_M{chunk}_shards"),
+            par.shards.len() as u64,
+        );
+        record.metric(
+            format!("appendixj_skew_M{chunk}_probes"),
+            par.result.stats.probe_points,
+        );
+        record.metric(
+            format!("appendixj_skew_M{chunk}_findgap"),
+            par.result.stats.find_gap_calls,
+        );
+        record.time_ms(&format!("appendixj_skew_M{chunk}_par"), t_par);
+        skew_table.row(&[
+            chunk.to_string(),
+            human(db.total_tuples() as u64),
+            par.shards.len().to_string(),
+            nested.to_string(),
+            human(par.result.stats.outputs),
+            human(par.result.stats.probe_points),
+            human_time(t_par),
+        ]);
+        chunk *= 2;
+    }
+    skew_table.print();
     if let Some(path) = json {
         record.write_json(&path).expect("write --json file");
         println!("wrote {path}");

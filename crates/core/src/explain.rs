@@ -26,10 +26,19 @@ pub struct ExplainAtom {
 /// The parallel strategy attached by a sharded executor.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExplainShards {
-    /// Worker / maximum shard count.
+    /// Worker-thread count.
     pub threads: usize,
-    /// Human description of the partitioning strategy.
+    /// Number of shard tasks the split produced against the bound
+    /// database (tasks can exceed workers — the steal queue balances).
+    pub tasks: usize,
+    /// Partitioning strategy variant: `"equi-depth"` (plain first-
+    /// attribute split, one task per worker), `"nested"` (a heavy
+    /// duplicate run was additionally split on the second GAO
+    /// attribute), or `"stolen"` (more tasks than workers, so idle
+    /// workers steal). See [`crate::shard_strategy`].
     pub strategy: String,
+    /// Human description of the shard pipeline.
+    pub detail: String,
 }
 
 /// Plan-cache provenance attached by an engine front door.
@@ -155,7 +164,10 @@ impl ExplainPlan {
             ));
         }
         if let Some(s) = &self.shards {
-            lines.push(format!("parallel: up to {} {}", s.threads, s.strategy));
+            lines.push(format!(
+                "parallel: up to {} worker(s), {} shard task(s), strategy {} — {}",
+                s.threads, s.tasks, s.strategy, s.detail
+            ));
         }
         lines.join("\n")
     }
@@ -196,7 +208,9 @@ impl ExplainPlan {
             Some(s) => {
                 let mut so = JsonObj::new();
                 so.num("threads", s.threads as f64);
+                so.num("tasks", s.tasks as f64);
                 so.str("strategy", &s.strategy);
+                so.str("detail", &s.detail);
                 o.raw("shards", &so.finish());
             }
             None => o.raw("shards", "null"),
@@ -342,13 +356,18 @@ mod tests {
         });
         e.shards = Some(ExplainShards {
             threads: 4,
-            strategy: "equi-depth shard(s) of the first GAO attribute".into(),
+            tasks: 8,
+            strategy: "stolen".into(),
+            detail: "equi-depth shard tasks of the first GAO attribute".into(),
         });
         let text = e.render();
         assert!(text.starts_with("query: R(x, y) ⋈ S(y, z)"), "{text}");
         assert!(text.contains("gao: x, y, z"), "{text}");
         assert!(text.contains("cache: hit (plan 7)"), "{text}");
-        assert!(text.contains("parallel: up to 4 equi-depth"), "{text}");
+        assert!(
+            text.contains("parallel: up to 4 worker(s), 8 shard task(s), strategy stolen"),
+            "{text}"
+        );
     }
 
     #[test]

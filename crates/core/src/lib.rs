@@ -22,10 +22,12 @@
 //! * [`execute()`] — the materialize-everything wrapper (sorted in the
 //!   original attribute numbering);
 //! * [`ShardedPlan`] / [`Plan::execute_parallel`] — parallel execution:
-//!   equi-depth shards of the first GAO attribute's domain, one
-//!   independent probe loop per shard on a scoped worker pool, and an
-//!   order-preserving concatenation whose output is byte-identical to the
-//!   serial run;
+//!   equi-depth shards of the first GAO attribute's domain (nested
+//!   second-attribute splits for heavy duplicate runs), one independent
+//!   probe loop per shard task on a work-stealing deque, and an
+//!   order-preserving reassembly whose output is byte-identical to the
+//!   serial run; [`ShardedStream`] is the incremental form on background
+//!   workers and bounded channels, with early cancellation;
 //! * [`Algorithm`] — the unified evaluator trait implemented by
 //!   [`Minesweeper`], [`Naive`], and every baseline (registry in
 //!   `minesweeper_baselines::registry`);
@@ -41,6 +43,8 @@
 //! * [`naive_join`] — nested-loop ground truth for testing;
 //! * [`certificate`] — the certificate formalism of Section 2.2 with the
 //!   Proposition 2.6 upper-bound construction.
+
+#![warn(missing_docs)]
 
 pub mod algorithm;
 pub mod bowtie;
@@ -70,6 +74,9 @@ pub use partition::{partition_certificate, PartitionCertificate, PartitionItem};
 pub use plan::{plan, Plan, PreparedExec, PreparedPlan};
 pub use query::{Atom, Query, QueryError};
 pub use set_intersection::{set_intersection, set_intersection_galloping};
-pub use sharded::{ShardStats, ShardedExecution, ShardedPlan, ShardedStream};
+pub use sharded::{
+    shard_strategy, ShardReport, ShardStats, ShardedExecution, ShardedPlan, ShardedStream,
+    MAX_TASKS_PER_THREAD, OVERSPLIT,
+};
 pub use stream::TupleStream;
 pub use triangle::triangle_join;

@@ -43,8 +43,10 @@
 //! assert_eq!(exec.result.tuples, vec![vec![1, 10, 5], vec![2, 20, 9]]);
 //! ```
 
+use std::sync::Arc;
+
 use minesweeper_cds::ProbeMode;
-use minesweeper_storage::{Database, ShardBounds, Tuple, Val};
+use minesweeper_storage::{Database, ShardSpec, Tuple, Val};
 
 use crate::execute::Execution;
 use crate::explain::{ExplainAtom, ExplainPlan};
@@ -153,7 +155,7 @@ impl Plan {
                     gao: self.gao.clone(),
                     exec_query: q2,
                     inv: Some(inv.clone()),
-                    reindexed: Some(Box::new(db2)),
+                    reindexed: Some(Arc::new(db2)),
                 }
             }
         })
@@ -269,8 +271,10 @@ pub struct PreparedExec {
     /// `inv[a]` = execution column of original attribute `a`.
     inv: Option<Vec<usize>>,
     /// The re-indexed database, when the GAO is not the identity. `None`
-    /// means the caller's own database is probed directly.
-    reindexed: Option<Box<Database>>,
+    /// means the caller's own database is probed directly. Shared
+    /// (`Arc`) so the background workers of a parallel stream can co-own
+    /// it.
+    reindexed: Option<Arc<Database>>,
 }
 
 impl PreparedExec {
@@ -290,6 +294,15 @@ impl PreparedExec {
         match &self.reindexed {
             Some(b) => b,
             None => db,
+        }
+    }
+
+    /// The shared form of [`PreparedExec::db_for`]: an owning handle to
+    /// the execution database, for detached parallel-stream workers.
+    pub(crate) fn shared_db(&self, db: &Arc<Database>) -> Arc<Database> {
+        match &self.reindexed {
+            Some(a) => Arc::clone(a),
+            None => Arc::clone(db),
         }
     }
 
@@ -341,12 +354,12 @@ impl PreparedExec {
         db: &'a Database,
         eq_seeds: &[(usize, Val)],
     ) -> TupleStream<'a> {
-        TupleStream::with_bounds(
+        TupleStream::with_shard(
             DbHandle::Borrowed(self.db_for(db)),
             self.exec_query.clone(),
             self.gao.mode,
             self.inv.clone(),
-            ShardBounds::unbounded(),
+            ShardSpec::unbounded(),
             &self.exec_seeds(eq_seeds),
         )
     }
@@ -380,11 +393,11 @@ impl PreparedExec {
     }
 
     /// Runs across up to `threads` shard workers (see
-    /// [`crate::ShardedPlan`]), optionally capping each shard's
-    /// materialization at `limit` tuples so memory stays bounded at
-    /// `O(shards × limit)`. With a `limit`, probe work is still paid on
-    /// **every** shard (each runs until its cap or exhaustion — unlike the
-    /// serial stream's pushdown, which never starts the suffix). See
+    /// [`crate::ShardedPlan`]), optionally stopping after `limit` tuples:
+    /// the order-preserving consumer cancels queued and in-flight shards
+    /// once the cap (plus a one-tuple truncation probe) is reached, so
+    /// memory stays bounded at `O(tasks × channel capacity + limit)` and
+    /// the suffix's probe work is skipped. See
     /// [`crate::ShardedPlan::execute_limited`] for exactly which `limit`
     /// tuples are returned on identity vs. re-indexed GAOs.
     pub fn execute_parallel(
@@ -407,6 +420,44 @@ impl PreparedExec {
         eq_seeds: &[(usize, Val)],
     ) -> crate::ShardedExecution {
         crate::sharded::execute_prepared(self, db, threads, limit, &self.exec_seeds(eq_seeds))
+    }
+
+    /// Opens an incremental parallel [`crate::ShardedStream`] over up to
+    /// `threads` background workers. Unlike
+    /// [`PreparedExec::execute_parallel`] nothing is materialized up
+    /// front: tuples are yielded as shard channels fill, in the serial
+    /// stream's GAO-lexicographic order, and dropping (or
+    /// [`crate::ShardedStream::finish`]ing) the stream cancels the
+    /// remaining work. With `limit = Some(k)` the stream yields at most
+    /// `k` tuples (each shard is also capped at `k`, plus one
+    /// truncation-evidence tuple that
+    /// [`crate::ShardedStream::truncated`] consumes).
+    pub fn stream_parallel(
+        &self,
+        db: &Arc<Database>,
+        threads: usize,
+        limit: Option<usize>,
+    ) -> crate::ShardedStream {
+        self.stream_parallel_seeded(db, threads, limit, &[])
+    }
+
+    /// [`PreparedExec::stream_parallel`] under equality seeds (see
+    /// [`PreparedExec::stream_seeded`]).
+    pub fn stream_parallel_seeded(
+        &self,
+        db: &Arc<Database>,
+        threads: usize,
+        limit: Option<usize>,
+        eq_seeds: &[(usize, Val)],
+    ) -> crate::ShardedStream {
+        crate::sharded::open_stream(self, db, threads, limit, &self.exec_seeds(eq_seeds))
+    }
+
+    /// The shard tasks a parallel run with `threads` workers would use
+    /// against `db` — what an engine's explain inspects to report the
+    /// shard strategy (see [`crate::shard_strategy`]).
+    pub fn shard_specs(&self, db: &Database, threads: usize) -> Vec<ShardSpec> {
+        crate::sharded::compute_shard_specs(self, db, threads)
     }
 }
 

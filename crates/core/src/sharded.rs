@@ -1,4 +1,5 @@
-//! Sharded parallel execution.
+//! Sharded parallel execution: nested splits, work stealing, and an
+//! incremental parallel stream.
 //!
 //! The probe loop of Algorithm 2 is embarrassingly parallel in the first
 //! GAO attribute: a constraint discovered while probing inside one
@@ -6,60 +7,125 @@
 //! disjoint interval, so the loops share no state. A [`ShardedPlan`]
 //! exploits this:
 //!
-//! 1. **Partition** — the domain is split into at most `K` contiguous
-//!    [`ShardBounds`] by [`minesweeper_storage::shard::shard_relation`]:
-//!    equi-depth over the *primary* relation (the largest-fanout relation
-//!    whose index starts at GAO position 0), weighted by tuples per
-//!    distinct first value so skew still balances. Fewer shards come back
-//!    when the data cannot feed `K` (few distinct values, or one giant
-//!    duplicate run) — never an empty shard.
-//! 2. **Probe** — each shard runs an independent
-//!    [`crate::TupleStream`] on a scoped worker pool
-//!    ([`scoped_pool::scoped_map`]), with its own `ConstraintTree`, its
-//!    own [`minesweeper_storage::GapCursor`]s, and its own
-//!    [`ExecStats`]. The confinement is two pre-seeded depth-0
-//!    constraints `(−∞, lo)` / `(hi, +∞)` — the CDS then terminates the
-//!    loop once the shard's slice of the output space is covered.
-//! 3. **Concatenate** — shards are ordered intervals, so appending their
-//!    outputs in shard order *is* the order-preserving K-way merge: the
-//!    concatenation equals the serial stream's GAO-lexicographic
-//!    sequence, and after the usual original-numbering translation (and
-//!    sort, when the plan re-indexed) the materialized result is
-//!    **byte-identical** to [`crate::Plan::execute`].
+//! 1. **Partition** — the domain is split into contiguous
+//!    [`ShardSpec`]s: equi-depth over the *primary* relation (the
+//!    largest-fanout relation whose index starts at GAO position 0),
+//!    weighted by tuples per distinct first value so skew still
+//!    balances, with an **oversplit** of [`OVERSPLIT`] tasks per worker
+//!    so the steal queue has depth. A heavy value — one duplicate run
+//!    holding at least twice the per-task depth — is isolated and then
+//!    **nested-split on the second GAO attribute** (single-value first
+//!    interval × equi-depth second intervals), so one giant duplicate
+//!    run becomes many parallel tasks instead of a serial fallback.
+//! 2. **Probe** — the specs become tasks on a work-stealing deque
+//!    ([`scoped_pool::StealQueue`]): each worker pops its own share
+//!    front-first and steals from the back of busy peers, so shards
+//!    whose certificates turn out unbalanced no longer gate wall-clock
+//!    on the slowest worker. Each task runs an independent
+//!    [`crate::TupleStream`] with its own `ConstraintTree`, its own
+//!    [`minesweeper_storage::GapCursor`]s, and its own [`ExecStats`];
+//!    the confinement is the pre-seeded constraint pairs of
+//!    [`crate::TupleStream`]'s shard constructor — depth-0 intervals for
+//!    the first attribute, all-star depth-1 intervals for a nested
+//!    shard's second attribute.
+//! 3. **Reassemble** — specs are ordered slices of the output space, so
+//!    draining per-task channels in spec order *is* the
+//!    order-preserving K-way merge: the concatenation equals the serial
+//!    stream's GAO-lexicographic sequence, and after the usual
+//!    original-numbering translation (and sort, when the plan
+//!    re-indexed) the materialized result is **byte-identical** to
+//!    [`crate::Plan::execute`]. An unlimited `execute` lets every
+//!    worker materialize its shard concurrently (one batch per task, no
+//!    backpressure); [`ShardedPlan::execute_limited`] switches to
+//!    per-tuple bounded channels, stops consuming after its cap (plus a
+//!    one-tuple truncation probe), and **cancels** in-flight and queued
+//!    shards via a cooperative flag polled inside the probe loop, so
+//!    even shards with no further output stop promptly;
+//!    [`ShardedPlan::stream`] runs the bounded pipeline on detached
+//!    background workers and yields tuples incrementally as shard 0's
+//!    channel fills.
 //!
-//! Statistics: per-shard counters are kept in [`ShardStats`] and their sum
-//! (plus the ≤ 2·K seed constraints) is the aggregate [`ExecStats`] — in
-//! particular `outputs` sums exactly to the tuple count. Total probe work
+//! Statistics: per-shard counters are kept in [`ShardStats`] and their
+//! sum is the aggregate [`ExecStats`] — in particular, on an uncancelled
+//! run `outputs` sums exactly to the tuple count. Total probe work
 //! slightly exceeds the serial run's because each shard pays its own
 //! warm-up probes around the boundaries; that is the usual
-//! parallel-speedup trade, bounded by `O(K)` extra probes per relation.
+//! parallel-speedup trade, bounded by `O(tasks)` extra probes per
+//! relation.
 
-use minesweeper_storage::{shard::shard_relation, Database, ExecStats, ShardBounds, Tuple};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+
+use minesweeper_cds::ProbeMode;
+use minesweeper_storage::{
+    equi_depth_shards, nested_shards, second_level_profile, Database, ExecStats, ShardSpec, Tuple,
+    Val,
+};
+use scoped_pool::StealQueue;
 
 use crate::gao::GaoChoice;
 use crate::minesweeper::JoinResult;
 use crate::plan::{Plan, PreparedExec};
-use crate::query::QueryError;
+use crate::query::{Query, QueryError};
 use crate::stream::{DbHandle, TupleStream};
+
+/// Shard tasks created per worker thread (beyond one worker): the deque
+/// depth that makes work stealing effective. More tasks smooth unbalanced
+/// certificates at the cost of `O(1)` warm-up probes per extra task.
+pub const OVERSPLIT: usize = 2;
+
+/// Hard ceiling on shard tasks per requested worker: the equi-depth pass
+/// makes at most `OVERSPLIT` tasks per worker and each nested split of a
+/// heavy value at most doubles its share, so `tasks ≤ threads ×
+/// MAX_TASKS_PER_THREAD` always holds (tests pin this contract).
+pub const MAX_TASKS_PER_THREAD: usize = 2 * OVERSPLIT;
+
+/// Bounded per-shard channel capacity: the backpressure that keeps an
+/// incremental parallel stream's memory at `O(tasks × CHANNEL_CAP)`
+/// instead of `O(Z)`.
+const CHANNEL_CAP: usize = 64;
 
 /// A [`Plan`] wrapped for parallel execution on up to `threads` workers
 /// (see the module docs for the sharding strategy). Build with
 /// [`Plan::sharded`] or [`ShardedPlan::new`]; run with
-/// [`ShardedPlan::execute`] or [`ShardedPlan::stream`].
+/// [`ShardedPlan::execute`], [`ShardedPlan::execute_limited`], or
+/// [`ShardedPlan::stream`].
 #[derive(Debug, Clone)]
 pub struct ShardedPlan {
     plan: Plan,
     threads: usize,
 }
 
-/// One shard's interval and the execution counters its probe loop
-/// accumulated.
+/// One shard task's slice of the output space and the execution counters
+/// its probe loop accumulated.
 #[derive(Debug, Clone)]
 pub struct ShardStats {
-    /// The shard's inclusive interval of the first GAO attribute.
-    pub bounds: ShardBounds,
-    /// Counters of this shard's probe loop only.
+    /// The shard's slice: a first-attribute interval, plus a
+    /// second-attribute interval when the shard is a nested slice of a
+    /// heavy duplicate run.
+    pub spec: ShardSpec,
+    /// Counters of this shard's probe loop only (excluding the one-tuple
+    /// truncation probe a capped shard runs).
     pub stats: ExecStats,
+    /// True when a worker other than the task's round-robin owner ran it
+    /// (it was stolen from the owner's deque).
+    pub stolen: bool,
+    /// True when the probe loop ran to exhaustion: the shard's slice of
+    /// the output space is fully certified. False for shards stopped at a
+    /// cap, cancelled mid-flight, or abandoned in the queue (those report
+    /// zero counters).
+    pub completed: bool,
+}
+
+impl ShardStats {
+    fn unrun(spec: ShardSpec) -> Self {
+        ShardStats {
+            spec,
+            stats: ExecStats::new(),
+            stolen: false,
+            completed: false,
+        }
+    }
 }
 
 /// The outcome of a sharded run: the same sorted [`JoinResult`] a serial
@@ -72,19 +138,37 @@ pub struct ShardedExecution {
     pub result: JoinResult,
     /// The chosen GAO, probe mode, and elimination width.
     pub gao: GaoChoice,
-    /// Per-shard intervals and counters, in domain order.
+    /// Per-shard slices and counters, in output-space order. Shards the
+    /// limit cancelled before they started are present with zero
+    /// counters (`completed == false`), so the list always covers the
+    /// whole domain and the counter sum still reconciles.
     pub shards: Vec<ShardStats>,
+    /// Number of shard tasks executed by a worker other than their
+    /// round-robin owner — how much the steal queue rebalanced.
+    pub steals: u64,
     /// True only when a [`ShardedPlan::execute_limited`] cap actually cut
-    /// tuples — some shard stopped before exhaustion, or the final
-    /// truncation dropped collected tuples. A result that merely *equals*
-    /// the limit is not truncated.
+    /// tuples. A result that merely *equals* the limit is not truncated.
     pub truncated: bool,
+}
+
+/// Final accounting of an incremental parallel stream (see
+/// [`ShardedStream::finish`]).
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Aggregate counters summed over every shard's probe loop.
+    pub stats: ExecStats,
+    /// Per-shard slices and counters, in output-space order (cancelled
+    /// shards report zero counters).
+    pub shards: Vec<ShardStats>,
+    /// Number of stolen shard tasks.
+    pub steals: u64,
 }
 
 impl ShardedPlan {
     /// Wraps `plan` for execution on up to `threads` workers (`0` is
-    /// treated as `1`; the shard count actually used is data-dependent
-    /// and never exceeds `threads`).
+    /// treated as `1`; the shard-task count actually used is
+    /// data-dependent, between 1 and `threads ×`
+    /// [`MAX_TASKS_PER_THREAD`]).
     pub fn new(plan: Plan, threads: usize) -> Self {
         ShardedPlan {
             plan,
@@ -97,7 +181,7 @@ impl ShardedPlan {
         &self.plan
     }
 
-    /// The worker / maximum shard count.
+    /// The worker count.
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -105,20 +189,21 @@ impl ShardedPlan {
     /// The serial plan description plus the parallel strategy line.
     pub fn explain(&self) -> String {
         format!(
-            "{}\nparallel: up to {} equi-depth shard(s) of GAO attribute 0, \
-             one probe loop per shard, order-preserving concatenation",
+            "{}\nparallel: up to {} worker(s) over equi-depth shard tasks of GAO attribute 0 \
+             (nested second-attribute splits for heavy runs) on a work-stealing deque, \
+             order-preserving reassembly",
             self.plan.explain(),
             self.threads
         )
     }
 
-    /// The shard intervals this plan would use against `db` (equi-depth
-    /// over the primary relation — data-dependent, hence a method, not a
-    /// plan field). Mostly for inspection and tests; `execute` computes
-    /// the same split internally.
-    pub fn shard_bounds(&self, db: &Database) -> Result<Vec<ShardBounds>, QueryError> {
+    /// The shard tasks this plan would use against `db` (equi-depth over
+    /// the primary relation plus nested splits — data-dependent, hence a
+    /// method, not a plan field). Mostly for inspection and tests;
+    /// `execute` computes the same split internally.
+    pub fn shard_specs(&self, db: &Database) -> Result<Vec<ShardSpec>, QueryError> {
         let prepared = self.plan.prepare_exec(db)?;
-        Ok(compute_shards(&prepared, db, self.threads))
+        Ok(compute_shard_specs(&prepared, db, self.threads))
     }
 
     /// Runs the plan to completion across the worker pool.
@@ -130,21 +215,21 @@ impl ShardedPlan {
         self.execute_limited(db, None)
     }
 
-    /// [`ShardedPlan::execute`] with a per-shard materialization cap.
+    /// [`ShardedPlan::execute`] with a global materialization cap.
     ///
-    /// With `limit = Some(k)` each shard's probe loop stops after `k`
-    /// tuples, bounding peak memory at `O(shards × k)` instead of the
-    /// full `Z`, and the returned result is truncated to the first `k`
-    /// tuples. **Probe work is still paid on every shard** (each runs
-    /// until its own cap or exhaustion — unlike the serial stream's
-    /// `take(k)` pushdown, which never starts the suffix); the cap bounds
-    /// memory, not work. Under an identity GAO the `k` tuples are exactly
-    /// the first `k` of the full sorted result. Under a re-indexed GAO
-    /// each shard contributes its GAO-order prefix of up to `k` tuples;
-    /// the collected set is translated, sorted in the original numbering,
-    /// and cut to `k` — a deterministic size-`k` subset of the full
-    /// result, but not necessarily the globally smallest `k` tuples (use
-    /// the serial stream when a specific prefix is required).
+    /// With `limit = Some(k)` the order-preserving consumer stops after
+    /// `k` tuples plus a one-tuple truncation probe, then **cancels**:
+    /// queued shards never start and in-flight shards stop at their next
+    /// probe point (a cooperative flag polled inside the loop), so —
+    /// unlike the PR 2 behavior this API replaced — probe work for the
+    /// untaken suffix is not paid once the cap is known to be exceeded. Peak memory is `O(tasks × channel
+    /// capacity + k)` instead of the full `Z`. Under an identity GAO the `k`
+    /// tuples are exactly the first `k` of the full sorted result. Under
+    /// a re-indexed GAO they are the GAO-order prefix of the output,
+    /// translated and sorted in the original numbering — a deterministic
+    /// size-`k` subset of the full result, but not necessarily the
+    /// globally smallest `k` tuples (use the serial stream when that
+    /// specific prefix is required).
     pub fn execute_limited(
         &self,
         db: &Database,
@@ -154,32 +239,19 @@ impl ShardedPlan {
         Ok(execute_prepared(&prepared, db, self.threads, limit, &[]))
     }
 
-    /// Opens a [`ShardedStream`] over `db`.
+    /// Opens an incremental [`ShardedStream`] over `db`.
     ///
-    /// Unlike the serial [`crate::Plan::stream`], the probe work is paid
-    /// **eagerly and in parallel** when the stream is opened (scoped
-    /// workers cannot outlive this call); iteration then yields the
-    /// already-certified tuples in the same order the serial stream would
-    /// — GAO-lexicographic, translated to the original attribute
-    /// numbering on the fly. Use the serial stream when `take(k)` must
-    /// skip probe work; use this one when the full result is wanted fast.
-    pub fn stream(&self, db: &Database) -> Result<ShardedStream, QueryError> {
+    /// The database is taken as an [`Arc`] because the probe work runs on
+    /// detached background workers that must co-own it; the handle clone
+    /// is `O(1)`. See [`ShardedStream`] for the channel pipeline and the
+    /// cancellation contract.
+    pub fn stream(&self, db: &Arc<Database>) -> Result<ShardedStream, QueryError> {
         let prepared = self.plan.prepare_exec(db)?;
-        let (tuples, shards, _) = run_shards(&prepared, db, self.threads, None, &[]);
-        let mut agg = ExecStats::new();
-        for s in &shards {
-            agg.merge(&s.stats);
-        }
-        Ok(ShardedStream {
-            tuples: tuples.into_iter(),
-            inv: prepared.inv().map(|s| s.to_vec()),
-            stats: agg,
-            shards,
-        })
+        Ok(open_stream(&prepared, db, self.threads, None, &[]))
     }
 }
 
-/// The shared shard → probe → aggregate step behind [`ShardedPlan`] and
+/// The shared shard → probe → reassemble step behind [`ShardedPlan`] and
 /// [`PreparedExec::execute_parallel`]: runs the already-prepared
 /// execution across the pool and assembles the sorted, optionally
 /// truncated result (see [`ShardedPlan::execute_limited`] for the limit
@@ -189,19 +261,20 @@ pub(crate) fn execute_prepared(
     db: &Database,
     threads: usize,
     limit: Option<usize>,
-    eq_seeds: &[(usize, minesweeper_storage::Val)],
+    eq_seeds: &[(usize, Val)],
 ) -> ShardedExecution {
-    let (tuples, shards, any_capped) = run_shards(prepared, db, threads, limit, eq_seeds);
+    let run = run_shards(prepared, db, threads, limit, eq_seeds);
     let mut agg = ExecStats::new();
-    for s in &shards {
+    for s in &run.shards {
         agg.merge(&s.stats);
     }
     // Translate to the original numbering and sort, exactly as the serial
     // `PreparedExec::execute` does.
     let mut tuples = match prepared.inv() {
-        None => tuples,
+        None => run.tuples,
         Some(inv) => {
-            let mut translated: Vec<Tuple> = tuples
+            let mut translated: Vec<Tuple> = run
+                .tuples
                 .into_iter()
                 .map(|t| inv.iter().map(|&c| t[c]).collect())
                 .collect();
@@ -209,113 +282,564 @@ pub(crate) fn execute_prepared(
             translated
         }
     };
-    let collected = tuples.len();
     if let Some(k) = limit {
         tuples.truncate(k);
     }
     ShardedExecution {
-        truncated: any_capped || collected > tuples.len(),
+        truncated: run.saw_extra,
         result: JoinResult { tuples, stats: agg },
         gao: prepared.gao().clone(),
-        shards,
+        shards: run.shards,
+        steals: run.steals,
     }
 }
 
 /// Picks the primary relation (largest root fanout among atoms indexed on
-/// GAO position 0 — query validation guarantees at least one) and splits
-/// its first column equi-depth.
-fn compute_shards(prepared: &PreparedExec, db: &Database, threads: usize) -> Vec<ShardBounds> {
+/// GAO position 0 — query validation guarantees at least one), splits its
+/// first column equi-depth into up to `threads ×` [`OVERSPLIT`] tasks,
+/// and nested-splits any isolated heavy value on the second GAO
+/// attribute.
+pub(crate) fn compute_shard_specs(
+    prepared: &PreparedExec,
+    db: &Database,
+    threads: usize,
+) -> Vec<ShardSpec> {
     let db = prepared.db_for(db);
-    let primary = prepared
-        .exec_query()
+    let threads = threads.max(1);
+    let query = prepared.exec_query();
+    let primary = query
         .atoms
         .iter()
         .filter(|a| a.attrs.first() == Some(&0))
         .map(|a| db.relation(a.rel))
-        .max_by_key(|r| r.root_fanout());
-    match primary {
-        Some(rel) => shard_relation(rel, threads),
-        None => vec![ShardBounds::unbounded()],
+        .max_by_key(|r| (r.root_fanout(), r.len()));
+    let Some(rel) = primary else {
+        return vec![ShardSpec::unbounded()];
+    };
+    let tasks = if threads == 1 { 1 } else { threads * OVERSPLIT };
+    let values = rel.first_column();
+    let weights = rel.first_level_tuple_counts();
+    let bounds = equi_depth_shards(values, &weights, tasks);
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    if threads == 1 || total == 0 || query.n_attrs < 2 {
+        return bounds.into_iter().map(ShardSpec::plain).collect();
+    }
+    // The same per-task depth the equi-depth pass aimed for; a
+    // single-value shard holding at least twice that is worth splitting
+    // again on the second attribute.
+    let target = (total / tasks as u64).max(1);
+    let mut specs = Vec::with_capacity(bounds.len());
+    for b in bounds {
+        let heavy = single_value_in(values, &weights, b).filter(|&(_, w)| w as u64 >= 2 * target);
+        match heavy {
+            Some((v, w)) => {
+                let sub_k = (w as u64).div_ceil(target).min(tasks as u64) as usize;
+                let (child_vals, child_weights) = second_attr_profile(query, db, v);
+                if child_vals.len() >= 2 && sub_k >= 2 {
+                    specs.extend(nested_shards(b, &child_vals, &child_weights, sub_k));
+                } else {
+                    specs.push(ShardSpec::plain(b));
+                }
+            }
+            None => specs.push(ShardSpec::plain(b)),
+        }
+    }
+    debug_assert!(specs.len() <= threads * MAX_TASKS_PER_THREAD);
+    specs
+}
+
+/// The single primary-column value covered by `b`, with its weight, if
+/// there is exactly one.
+fn single_value_in(
+    values: &[Val],
+    weights: &[usize],
+    b: minesweeper_storage::ShardBounds,
+) -> Option<(Val, usize)> {
+    let lo = values.partition_point(|&v| v < b.lo);
+    let hi = values.partition_point(|&v| v <= b.hi);
+    if hi - lo == 1 {
+        Some((values[lo], weights[lo]))
+    } else {
+        None
     }
 }
 
-/// Runs one probe loop per shard on the pool (stopping each shard after
-/// `limit` tuples when set) and concatenates the GAO-order outputs in
-/// shard order (still GAO-lexicographic overall). Tuples stay in the
-/// *execution* numbering; the caller translates/sorts. The returned flag
-/// reports whether any shard actually stopped at its cap (verified by a
-/// one-tuple peek whose work is excluded from the shard's stats).
+/// Distinct values (and tuple weights) available for splitting the
+/// *second* GAO attribute inside the heavy first value `v`: preferably
+/// the second trie level of a relation indexed `(0, 1, …)` — conditioned
+/// on `v` — otherwise the first level of a relation indexed on attribute
+/// 1. Empty when no relation can anchor the split.
+fn second_attr_profile(query: &Query, db: &Database, v: Val) -> (Vec<Val>, Vec<usize>) {
+    let conditioned = query
+        .atoms
+        .iter()
+        .filter(|a| a.attrs.len() >= 2 && a.attrs[0] == 0 && a.attrs[1] == 1)
+        .map(|a| db.relation(a.rel))
+        .max_by_key(|r| r.root_fanout());
+    if let Some(rel) = conditioned {
+        let profile = second_level_profile(rel, v);
+        if !profile.0.is_empty() {
+            return profile;
+        }
+    }
+    let anchored = query
+        .atoms
+        .iter()
+        .filter(|a| a.attrs.first() == Some(&1))
+        .map(|a| db.relation(a.rel))
+        .max_by_key(|r| r.root_fanout());
+    match anchored {
+        Some(rel) => (rel.first_column().to_vec(), rel.first_level_tuple_counts()),
+        None => (Vec::new(), Vec::new()),
+    }
+}
+
+/// Runs one confined probe loop, handing each certified tuple (execution
+/// numbering) to `emit`. Stops when the shard is exhausted, when `emit`
+/// returns `false` (the consumer went away), when the `cancel` flag
+/// fires (polled inside the probe loop, so a cancelled shard stops even
+/// if its remaining work would emit nothing), or after `cap` tuples — in
+/// which case the stats are snapshotted first and **one** extra tuple, if
+/// it exists, is still emitted as truncation evidence whose probe work is
+/// excluded from the returned counters. Returns the counters and whether
+/// the loop ran to exhaustion.
+fn probe_shard<F: FnMut(Tuple) -> bool>(
+    ctx: &RunCtx<'_>,
+    spec: ShardSpec,
+    cap: usize,
+    cancel: Option<&Arc<std::sync::atomic::AtomicBool>>,
+    mut emit: F,
+) -> (ExecStats, bool) {
+    let mut stream = TupleStream::with_shard(
+        DbHandle::Borrowed(ctx.db),
+        ctx.query.clone(),
+        ctx.mode,
+        None,
+        spec,
+        ctx.eq_seeds,
+    );
+    if let Some(flag) = cancel {
+        stream.set_cancel(Arc::clone(flag));
+    }
+    let mut produced = 0usize;
+    loop {
+        if produced == cap {
+            let stats = stream.stats();
+            return match stream.next() {
+                Some(t) => {
+                    let _ = emit(t);
+                    (stats, false)
+                }
+                None => (stats, !stream.is_cancelled()),
+            };
+        }
+        match stream.next() {
+            Some(t) => {
+                produced += 1;
+                if !emit(t) {
+                    return (stream.stats(), false);
+                }
+            }
+            None => return (stream.stats(), !stream.is_cancelled()),
+        }
+    }
+}
+
+/// One shard task on the steal queue: spec index, output-space slice,
+/// and the channel its output batches flow through.
+type ShardTask = (usize, ShardSpec, SyncSender<Vec<Tuple>>);
+
+/// The probe-loop context shared by every task of one sharded run: the
+/// execution database, the execution-side query, the probe mode, the
+/// pre-seeded equality constraints, and the per-shard tuple cap.
+struct RunCtx<'a> {
+    db: &'a Database,
+    query: &'a Query,
+    mode: ProbeMode,
+    eq_seeds: &'a [(usize, Val)],
+    cap: usize,
+}
+
+/// How a worker hands tuples to the consumer.
+#[derive(Clone, Copy, PartialEq)]
+enum EmitMode {
+    /// Send each tuple as it is certified (singleton batches): the
+    /// incremental pipeline with channel backpressure — for limited
+    /// runs and streams, where early cancellation matters.
+    Incremental,
+    /// Buffer the whole shard and send one batch at completion: full
+    /// concurrency for unlimited materializing runs — no worker ever
+    /// stalls on the in-order consumer.
+    Materialize,
+}
+
+/// The worker loop shared by the scoped (`run_shards`) and detached
+/// (`open_stream`) pipelines: pop tasks — own deque front first, then
+/// steals — run each confined probe loop, and record its accounting.
+fn drive_worker(
+    w: usize,
+    queue: &StealQueue<ShardTask>,
+    slots: &Mutex<Vec<Option<ShardStats>>>,
+    ctx: &RunCtx<'_>,
+    emit_mode: EmitMode,
+) {
+    let cancel = queue.cancel_handle();
+    while let Some(((idx, spec, tx), stolen)) = queue.take(w) {
+        let (stats, completed) = match emit_mode {
+            EmitMode::Incremental => probe_shard(ctx, spec, ctx.cap, Some(&cancel), |t| {
+                if tx.send(vec![t]).is_err() {
+                    // The consumer tore the pipeline down: stop queued
+                    // tasks too.
+                    queue.cancel();
+                    false
+                } else {
+                    true
+                }
+            }),
+            EmitMode::Materialize => {
+                let mut buf: Vec<Tuple> = Vec::new();
+                let out = probe_shard(ctx, spec, ctx.cap, Some(&cancel), |t| {
+                    buf.push(t);
+                    true
+                });
+                let _ = tx.send(buf);
+                out
+            }
+        };
+        slots.lock().unwrap()[idx] = Some(ShardStats {
+            spec,
+            stats,
+            stolen,
+            completed,
+        });
+    }
+}
+
+/// What [`run_shards`] hands back: execution-numbering tuples in
+/// GAO-lexicographic order, the per-shard accounting, and whether the
+/// consumer saw a tuple beyond the cap.
+struct RunOutcome {
+    tuples: Vec<Tuple>,
+    shards: Vec<ShardStats>,
+    steals: u64,
+    saw_extra: bool,
+}
+
+/// The scoped (borrowing) pipeline behind `execute` / `execute_limited`:
+/// shard tasks on a steal queue, one channel per task, and an in-scope
+/// consumer that drains them in spec order. Without a limit, workers
+/// materialize their shards concurrently and send one batch each (no
+/// backpressure, full parallelism); with a limit, workers stream
+/// singleton batches and the consumer stops at the cap (+ one truncation
+/// probe) and cancels the rest.
 fn run_shards(
     prepared: &PreparedExec,
     db: &Database,
     threads: usize,
     limit: Option<usize>,
-    eq_seeds: &[(usize, minesweeper_storage::Val)],
-) -> (Vec<Tuple>, Vec<ShardStats>, bool) {
-    let exec_db = prepared.db_for(db);
-    let bounds = compute_shards(prepared, db, threads);
+    eq_seeds: &[(usize, Val)],
+) -> RunOutcome {
+    let specs = compute_shard_specs(prepared, db, threads);
     let cap = limit.unwrap_or(usize::MAX);
-    let jobs: Vec<_> = bounds
-        .iter()
-        .map(|&b| {
-            move || {
-                let mut stream = TupleStream::with_bounds(
-                    DbHandle::Borrowed(exec_db),
-                    prepared.exec_query().clone(),
-                    prepared.gao().mode,
-                    None,
-                    b,
-                    eq_seeds,
-                );
-                let tuples: Vec<Tuple> = stream.by_ref().take(cap).collect();
-                let stats = stream.stats();
-                let capped = tuples.len() == cap && stream.next().is_some();
-                (tuples, stats, capped)
-            }
-        })
-        .collect();
-    let per_shard = scoped_pool::scoped_map(threads, jobs);
-    let mut tuples = Vec::with_capacity(per_shard.iter().map(|(t, _, _)| t.len()).sum());
-    let mut shards = Vec::with_capacity(per_shard.len());
-    let mut any_capped = false;
-    for (b, (shard_tuples, stats, capped)) in bounds.into_iter().zip(per_shard) {
-        debug_assert!(shard_tuples.iter().all(|t| b.contains(t[0])));
-        tuples.extend(shard_tuples);
-        any_capped |= capped;
-        shards.push(ShardStats { bounds: b, stats });
+    let ctx = RunCtx {
+        db: prepared.db_for(db),
+        query: prepared.exec_query(),
+        mode: prepared.gao().mode,
+        eq_seeds,
+        cap,
+    };
+    if threads <= 1 || specs.len() <= 1 {
+        return run_serial(&ctx, &specs);
     }
+    let emit_mode = match limit {
+        None => EmitMode::Materialize,
+        Some(_) => EmitMode::Incremental,
+    };
+    let mut rxs: Vec<Receiver<Vec<Tuple>>> = Vec::with_capacity(specs.len());
+    let mut tasks: Vec<ShardTask> = Vec::with_capacity(specs.len());
+    for (i, &spec) in specs.iter().enumerate() {
+        let (tx, rx) = sync_channel::<Vec<Tuple>>(CHANNEL_CAP);
+        tasks.push((i, spec, tx));
+        rxs.push(rx);
+    }
+    let workers = threads.min(specs.len());
+    let queue = StealQueue::new(workers, tasks);
+    let slots: Mutex<Vec<Option<ShardStats>>> = Mutex::new(vec![None; specs.len()]);
+    let mut tuples: Vec<Tuple> = Vec::new();
+    let mut saw_extra = false;
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let queue = &queue;
+            let slots = &slots;
+            let ctx = &ctx;
+            s.spawn(move || {
+                drive_worker(w, queue, slots, ctx, emit_mode);
+            });
+        }
+        // Consumer (this thread): order-preserving reassembly with the
+        // global cap and a one-tuple truncation probe.
+        'drain: for rx in &rxs {
+            while let Ok(batch) = rx.recv() {
+                for t in batch {
+                    if tuples.len() == cap {
+                        saw_extra = true;
+                        break 'drain;
+                    }
+                    tuples.push(t);
+                }
+            }
+        }
+        queue.cancel();
+        drop(rxs); // unblock workers parked on full channels
+    });
+    let shards = specs
+        .iter()
+        .zip(slots.into_inner().unwrap())
+        .map(|(&spec, slot)| slot.unwrap_or_else(|| ShardStats::unrun(spec)))
+        .collect();
     debug_assert!(
         tuples.windows(2).all(|w| w[0] < w[1]),
-        "shard concatenation must be lexicographic in the execution numbering"
+        "shard reassembly must be lexicographic in the execution numbering"
     );
-    (tuples, shards, any_capped)
+    RunOutcome {
+        tuples,
+        shards,
+        steals: queue.steals(),
+        saw_extra,
+    }
 }
 
-/// The iterator returned by [`ShardedPlan::stream`]: already-certified
-/// tuples in GAO-lexicographic order, translated to the original
-/// attribute numbering lazily. Aggregate and per-shard statistics are
-/// complete from the moment the stream is opened.
+/// The inline path for one worker or one shard: same cap-and-probe
+/// semantics as the parallel pipeline, without threads or channels.
+fn run_serial(ctx: &RunCtx<'_>, specs: &[ShardSpec]) -> RunOutcome {
+    let mut tuples: Vec<Tuple> = Vec::new();
+    let mut shards: Vec<ShardStats> = Vec::with_capacity(specs.len());
+    let mut saw_extra = false;
+    for &spec in specs {
+        if saw_extra {
+            shards.push(ShardStats::unrun(spec));
+            continue;
+        }
+        let budget = ctx.cap - tuples.len();
+        let mut local = 0usize;
+        let (stats, completed) = probe_shard(ctx, spec, budget, None, |t| {
+            if local == budget {
+                saw_extra = true;
+                return false;
+            }
+            local += 1;
+            tuples.push(t);
+            true
+        });
+        shards.push(ShardStats {
+            spec,
+            stats,
+            stolen: false,
+            completed,
+        });
+    }
+    RunOutcome {
+        tuples,
+        shards,
+        steals: 0,
+        saw_extra,
+    }
+}
+
+/// An incremental, order-preserving parallel tuple stream.
+///
+/// Opened by [`ShardedPlan::stream`] or
+/// [`PreparedExec::stream_parallel`]: shard tasks run on detached
+/// background workers (co-owning the database through an [`Arc`]), each
+/// sending its certified tuples through a bounded channel, and the
+/// iterator drains those channels in spec order — so tuples arrive
+/// **incrementally**, in exactly the serial stream's GAO-lexicographic
+/// order (translated to the original attribute numbering on the fly),
+/// while later shards probe ahead no further than their channel capacity
+/// allows. Memory therefore stays at `O(tasks × channel capacity)`
+/// regardless of `Z`.
+///
+/// Cancellation: dropping the stream cancels the task queue and closes
+/// every channel, so queued shards never start and in-flight shards stop
+/// at their next probe point (a cooperative flag polled inside the probe
+/// loop — a shard whose remaining work would emit nothing still stops
+/// promptly). A consumer that takes `k` tuples and drops the stream pays
+/// nowhere near the full probe work (the contract `msj --threads
+/// --limit` relies on). Call [`ShardedStream::finish`] instead of
+/// dropping to also join the workers and read the final, stable
+/// counters.
+///
+/// A `limit` (from [`PreparedExec::stream_parallel`]) is enforced by
+/// the stream itself: the iterator yields at most `limit` tuples — the
+/// global GAO-order prefix, since channels drain in spec order — while
+/// each shard task is also capped at `limit` certified tuples plus one
+/// truncation-evidence tuple whose probe work is excluded from the
+/// counters. After the limit is exhausted, [`ShardedStream::truncated`]
+/// probes exactly one tuple further to report whether the result was
+/// cut.
 pub struct ShardedStream {
-    tuples: std::vec::IntoIter<Tuple>,
+    rxs: Vec<Receiver<Vec<Tuple>>>,
+    /// Remainder of the batch most recently received.
+    current: std::vec::IntoIter<Tuple>,
+    next: usize,
+    /// Tuples the iterator may still yield (the global `limit`).
+    remaining: usize,
     inv: Option<Vec<usize>>,
-    stats: ExecStats,
-    shards: Vec<ShardStats>,
+    specs: Vec<ShardSpec>,
+    queue: Arc<StealQueue<ShardTask>>,
+    slots: Arc<Mutex<Vec<Option<ShardStats>>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Builds the detached-worker pipeline behind [`ShardedStream`].
+pub(crate) fn open_stream(
+    prepared: &PreparedExec,
+    db: &Arc<Database>,
+    threads: usize,
+    limit: Option<usize>,
+    eq_seeds: &[(usize, Val)],
+) -> ShardedStream {
+    let shared = prepared.shared_db(db);
+    let specs = compute_shard_specs(prepared, db, threads);
+    let query = prepared.exec_query().clone();
+    let mode = prepared.gao().mode;
+    let inv = prepared.inv().map(<[usize]>::to_vec);
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut rxs: Vec<Receiver<Vec<Tuple>>> = Vec::with_capacity(specs.len());
+    let mut tasks: Vec<ShardTask> = Vec::with_capacity(specs.len());
+    for (idx, &spec) in specs.iter().enumerate() {
+        let (tx, rx) = sync_channel::<Vec<Tuple>>(CHANNEL_CAP);
+        tasks.push((idx, spec, tx));
+        rxs.push(rx);
+    }
+    let workers = threads.max(1).min(specs.len());
+    let queue = Arc::new(StealQueue::new(workers, tasks));
+    let slots: Arc<Mutex<Vec<Option<ShardStats>>>> = Arc::new(Mutex::new(vec![None; specs.len()]));
+    let seeds: Vec<(usize, Val)> = eq_seeds.to_vec();
+    let handles = (0..workers)
+        .map(|w| {
+            let queue = Arc::clone(&queue);
+            let slots = Arc::clone(&slots);
+            let db = Arc::clone(&shared);
+            let query = query.clone();
+            let seeds = seeds.clone();
+            std::thread::spawn(move || {
+                let ctx = RunCtx {
+                    db: &db,
+                    query: &query,
+                    mode,
+                    eq_seeds: &seeds,
+                    cap,
+                };
+                drive_worker(w, &queue, &slots, &ctx, EmitMode::Incremental);
+            })
+        })
+        .collect();
+    ShardedStream {
+        rxs,
+        current: Vec::new().into_iter(),
+        next: 0,
+        remaining: cap,
+        inv,
+        specs,
+        queue,
+        slots,
+        handles,
+    }
 }
 
 impl ShardedStream {
-    /// Aggregate counters summed over every shard's probe loop.
+    /// A live snapshot of the aggregate counters: the sum over shards
+    /// whose probe loops have finished so far. Complete (and stable) only
+    /// after the stream is exhausted or [`ShardedStream::finish`] ran —
+    /// mid-flight it undercounts by the shards still probing.
     pub fn stats(&self) -> ExecStats {
-        self.stats.clone()
+        let mut agg = ExecStats::new();
+        for s in self.slots.lock().unwrap().iter().flatten() {
+            agg.merge(&s.stats);
+        }
+        agg
     }
 
-    /// Per-shard intervals and counters, in domain order.
-    pub fn shard_stats(&self) -> &[ShardStats] {
-        &self.shards
+    /// Snapshot of the per-shard accounting recorded so far (finished
+    /// shards only), in output-space order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.slots
+            .lock()
+            .unwrap()
+            .iter()
+            .flatten()
+            .cloned()
+            .collect()
     }
 
-    /// Number of tuples not yet yielded.
-    pub fn remaining(&self) -> usize {
-        self.tuples.len()
+    /// The shard tasks this stream runs, in output-space order.
+    pub fn specs(&self) -> &[ShardSpec] {
+        &self.specs
+    }
+
+    /// Cancels outstanding work, joins the workers, and returns the
+    /// final accounting: every spec is represented (cancelled shards
+    /// with zero counters), the aggregate is the exact per-shard sum,
+    /// and nothing mutates afterwards — what the cancellation tests
+    /// assert work bounds against.
+    pub fn finish(mut self) -> ShardReport {
+        self.queue.cancel();
+        self.rxs.clear(); // close every channel: unblock parked senders
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        let recorded = self.slots.lock().unwrap();
+        let shards: Vec<ShardStats> = self
+            .specs
+            .iter()
+            .zip(recorded.iter())
+            .map(|(&spec, slot)| match slot {
+                Some(s) => s.clone(),
+                None => ShardStats::unrun(spec),
+            })
+            .collect();
+        drop(recorded);
+        let mut stats = ExecStats::new();
+        for s in &shards {
+            stats.merge(&s.stats);
+        }
+        ShardReport {
+            stats,
+            shards,
+            steals: self.queue.steals(),
+        }
+    }
+}
+
+impl ShardedStream {
+    /// The next tuple off the reassembly pipeline, ignoring the global
+    /// limit (shared by `next` and the truncation probe).
+    fn pull(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some(t) = self.current.next() {
+                return Some(match &self.inv {
+                    None => t,
+                    Some(inv) => inv.iter().map(|&c| t[c]).collect(),
+                });
+            }
+            if self.next >= self.rxs.len() {
+                return None;
+            }
+            match self.rxs[self.next].recv() {
+                Ok(batch) => self.current = batch.into_iter(),
+                Err(_) => self.next += 1,
+            }
+        }
+    }
+
+    /// After the iterator has yielded its `limit` tuples, reports
+    /// whether at least one more existed — the truthfulness probe behind
+    /// truncation markers. Bypasses the limit to pull exactly one tuple
+    /// further (shard workers emit one tuple of truncation evidence
+    /// beyond their cap for exactly this call).
+    pub fn truncated(&mut self) -> bool {
+        self.pull().is_some()
     }
 }
 
@@ -323,11 +847,35 @@ impl Iterator for ShardedStream {
     type Item = Tuple;
 
     fn next(&mut self) -> Option<Tuple> {
-        let t = self.tuples.next()?;
-        Some(match &self.inv {
-            None => t,
-            Some(inv) => inv.iter().map(|&c| t[c]).collect(),
-        })
+        if self.remaining == 0 {
+            return None;
+        }
+        let t = self.pull()?;
+        self.remaining -= 1;
+        Some(t)
+    }
+}
+
+impl Drop for ShardedStream {
+    fn drop(&mut self) {
+        // Idempotent teardown (also runs after `finish`): abandon queued
+        // tasks; dropping `rxs` then errors every in-flight send. Workers
+        // are detached but co-own all their data, so not joining is safe.
+        self.queue.cancel();
+    }
+}
+
+/// The `strategy` value an explain reports for a shard split: `"nested"`
+/// when any task is a second-attribute slice of a heavy run, `"stolen"`
+/// when there are more tasks than workers (idle workers will steal), and
+/// `"equi-depth"` for a plain one-task-per-worker split.
+pub fn shard_strategy(specs: &[ShardSpec], threads: usize) -> &'static str {
+    if specs.iter().any(|s| s.is_nested()) {
+        "nested"
+    } else if specs.len() > threads {
+        "stolen"
+    } else {
+        "equi-depth"
     }
 }
 
@@ -360,7 +908,7 @@ mod tests {
             let par = p.execute_parallel(&db, k).unwrap();
             assert_eq!(par.result.tuples, serial.result.tuples, "k={k}");
             assert_eq!(par.gao, serial.gao);
-            assert!(par.shards.len() <= k.max(1));
+            assert!(par.shards.len() <= k.max(1) * MAX_TASKS_PER_THREAD);
         }
     }
 
@@ -426,13 +974,31 @@ mod tests {
         assert!(par.shards.len() >= 2, "enough distinct values to shard");
         let mut sum = ExecStats::new();
         for s in &par.shards {
+            assert!(s.completed, "an unlimited run exhausts every shard");
             sum.merge(&s.stats);
         }
         assert_eq!(sum, par.result.stats);
         assert_eq!(sum.outputs as usize, par.result.tuples.len());
-        // Shards are disjoint, contiguous, and cover the domain.
-        for w in par.shards.windows(2) {
-            assert_eq!(w[0].bounds.hi + 1, w[1].bounds.lo);
+        // Specs are disjoint, contiguous, and cover the output space.
+        check_spec_cover(&par.shards);
+    }
+
+    /// Asserts the shard list tiles the output space: plain shards are
+    /// contiguous on the first attribute; a nested group shares one
+    /// single-value first interval and tiles the second attribute.
+    fn check_spec_cover(shards: &[ShardStats]) {
+        for w in shards.windows(2) {
+            let (a, b) = (w[0].spec, w[1].spec);
+            if a.bounds == b.bounds {
+                let (s1, s2) = (a.second.unwrap(), b.second.unwrap());
+                assert_eq!(s1.hi + 1, s2.lo, "nested slices contiguous: {a} {b}");
+            } else {
+                assert_eq!(
+                    a.bounds.hi + 1,
+                    b.bounds.lo,
+                    "first-attr contiguous: {a} {b}"
+                );
+            }
         }
     }
 
@@ -455,10 +1021,11 @@ mod tests {
     }
 
     #[test]
-    fn giant_duplicate_run_degrades_to_one_shard() {
+    fn unary_duplicate_run_stays_one_shard() {
         // Every relation that could be primary holds a single distinct
-        // first value (one giant duplicate run): the split must fall back
-        // to a single unbounded shard — no empty shard, no panic.
+        // first value and there is no second attribute to nest on: the
+        // split must fall back to a single unbounded shard — no empty
+        // shard, no panic.
         let mut db = Database::new();
         let r = db.add(builder::unary("R", [7])).unwrap();
         let s = db.add(builder::unary("S", [7])).unwrap();
@@ -466,18 +1033,57 @@ mod tests {
         let p = plan(&db, &q).unwrap();
         let par = p.execute_parallel(&db, 8).unwrap();
         assert_eq!(par.shards.len(), 1);
-        assert!(par.shards[0].bounds.is_unbounded());
+        assert!(par.shards[0].spec.bounds.is_unbounded());
+        assert!(!par.shards[0].spec.is_nested());
         assert_eq!(par.result.tuples, vec![vec![7]]);
     }
 
     #[test]
-    fn skewed_first_attribute_still_matches_serial() {
-        // R's first column is one giant duplicate run; whatever GAO and
-        // primary the planner picks, the parallel result must equal the
-        // serial one and every shard must be non-trivial.
+    fn giant_duplicate_run_splits_on_the_second_attribute() {
+        // One giant duplicate run on the first *GAO* attribute: the
+        // planner's (data-blind) nested elimination order for this path
+        // shape is [2, 1, 0], so concentrating every S tuple on one value
+        // of attribute 2 puts the run at execution position 0. PR 2
+        // degraded this to a single serial shard; the nested split must
+        // now divide the run on the second execution attribute and still
+        // match the serial output byte for byte.
         let mut db = Database::new();
         let r = db
-            .add(builder::binary("R", (0..30).map(|i| (7, i))))
+            .add(builder::binary("R", (0..200).map(|i| ((i * 7) % 200, i))))
+            .unwrap();
+        let s = db
+            .add(builder::binary("S", (0..200).map(|i| (i, 9))))
+            .unwrap();
+        let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+        let p = plan(&db, &q).unwrap();
+        assert!(p.is_reindexed(), "precondition: the run sits at GAO 0");
+        let par = p.execute_parallel(&db, 4).unwrap();
+        assert!(
+            par.shards.len() > 1,
+            "nested split must engage: {:?}",
+            par.shards.iter().map(|s| s.spec).collect::<Vec<_>>()
+        );
+        assert!(par.shards.iter().all(|s| s.spec.is_nested()));
+        assert_eq!(par.result.tuples, p.execute(&db).unwrap().result.tuples);
+        check_spec_cover(&par.shards);
+        let mut sum = ExecStats::new();
+        for s in &par.shards {
+            sum.merge(&s.stats);
+        }
+        assert_eq!(sum, par.result.stats, "nested shards still reconcile");
+    }
+
+    #[test]
+    fn skewed_first_attribute_still_matches_serial() {
+        // One heavy first value among light ones; whatever GAO and
+        // primary the planner picks, the parallel result must equal the
+        // serial one.
+        let mut db = Database::new();
+        let r = db
+            .add(builder::binary(
+                "R",
+                (0..30).map(|i| (7, i)).chain([(1, 3), (2, 5)]),
+            ))
             .unwrap();
         let s = db
             .add(builder::binary("S", (0..30).map(|i| (i, i % 5))))
@@ -485,7 +1091,7 @@ mod tests {
         let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
         let p = plan(&db, &q).unwrap();
         let par = p.execute_parallel(&db, 8).unwrap();
-        assert!(!par.shards.is_empty() && par.shards.len() <= 8);
+        assert!(!par.shards.is_empty());
         assert_eq!(par.result.tuples, p.execute(&db).unwrap().result.tuples);
         assert_eq!(
             par.result.stats.outputs as usize,
@@ -522,7 +1128,8 @@ mod tests {
         let sp = p.clone().sharded(4);
         let limited = sp.execute_limited(&db, Some(5)).unwrap();
         assert_eq!(limited.result.tuples, full[..5]);
-        // Every shard materialized at most the cap.
+        // Every shard certified at most the cap (the truncation probe is
+        // excluded from the counters).
         for s in &limited.shards {
             assert!(s.stats.outputs <= 5, "shard over cap: {:?}", s.stats);
         }
@@ -541,7 +1148,7 @@ mod tests {
 
     #[test]
     fn limited_execution_on_a_reindexed_plan_stays_within_budget() {
-        // Re-indexed plans translate + sort the per-shard prefixes; the
+        // Re-indexed plans translate + sort the collected GAO prefix; the
         // cap still bounds materialization and the truncated result is a
         // subset of the full one, sorted.
         let (db, q) = path_db(40);
@@ -559,6 +1166,30 @@ mod tests {
     }
 
     #[test]
+    fn limited_execution_cancels_the_suffix() {
+        // With a tiny cap on a large result, shards after the truncation
+        // probe must be abandoned: zero counters, not completed.
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", 0..4000)).unwrap();
+        let s = db.add(builder::unary("S", 0..4000)).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        let p = plan(&db, &q).unwrap();
+        let full = p.execute_parallel(&db, 4).unwrap();
+        let limited = p.clone().sharded(4).execute_limited(&db, Some(1)).unwrap();
+        assert!(limited.truncated);
+        assert!(
+            limited.result.stats.probe_points * 2 < full.result.stats.probe_points,
+            "cancellation must skip most probe work: {} vs {}",
+            limited.result.stats.probe_points,
+            full.result.stats.probe_points
+        );
+        assert!(
+            limited.shards.iter().any(|s| !s.completed),
+            "some shard was cancelled or capped"
+        );
+    }
+
+    #[test]
     fn prepared_exec_parallel_matches_sharded_plan() {
         let (db, q) = path_db(30);
         let p = plan(&db, &q).unwrap();
@@ -570,17 +1201,54 @@ mod tests {
     }
 
     #[test]
-    fn sharded_stream_yields_serial_stream_order() {
+    fn sharded_stream_yields_serial_stream_order_incrementally() {
         let (db, q) = path_db(30);
         let p = plan(&db, &q).unwrap();
         let serial: Vec<Tuple> = p.stream(&db).unwrap().collect();
         let sharded = p.clone().sharded(3);
-        let mut stream = sharded.stream(&db).unwrap();
-        assert_eq!(stream.stats().outputs as usize, serial.len());
-        assert_eq!(stream.remaining(), serial.len());
-        let got: Vec<Tuple> = stream.by_ref().collect();
+        let db = Arc::new(db);
+        let got: Vec<Tuple> = sharded.stream(&db).unwrap().collect();
         assert_eq!(got, serial);
-        assert!(stream.shard_stats().len() >= 2);
+        // Finish after full consumption: stable, reconciling accounting.
+        let mut stream = sharded.stream(&db).unwrap();
+        let first = stream.next().unwrap();
+        assert_eq!(first, serial[0], "incremental: first tuple mid-flight");
+        let rest: Vec<Tuple> = stream.by_ref().collect();
+        assert_eq!(rest.len(), serial.len() - 1);
+        let report = stream.finish();
+        assert_eq!(report.stats.outputs as usize, serial.len());
+        assert!(report.shards.iter().all(|s| s.completed));
+        let mut sum = ExecStats::new();
+        for s in &report.shards {
+            sum.merge(&s.stats);
+        }
+        assert_eq!(sum, report.stats);
+    }
+
+    #[test]
+    fn dropping_a_sharded_stream_cancels_the_workers() {
+        let mut db = Database::new();
+        let r = db.add(builder::unary("R", 0..8000)).unwrap();
+        let s = db.add(builder::unary("S", 0..8000)).unwrap();
+        let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+        let p = plan(&db, &q).unwrap();
+        let db = Arc::new(db);
+        let full = p.execute_parallel(&db, 4).unwrap();
+        let mut stream = p.clone().sharded(4).stream(&db).unwrap();
+        assert!(stream.next().is_some());
+        let report = stream.finish();
+        assert!(
+            report.stats.probe_points * 2 < full.result.stats.probe_points,
+            "early finish must cancel most probe work: {} vs {}",
+            report.stats.probe_points,
+            full.result.stats.probe_points
+        );
+        assert!(report.shards.iter().any(|s| !s.completed));
+        assert_eq!(report.shards.len(), stream_specs_len(&p, &db, 4));
+    }
+
+    fn stream_specs_len(p: &Plan, db: &Arc<Database>, threads: usize) -> usize {
+        p.clone().sharded(threads).shard_specs(db).unwrap().len()
     }
 
     #[test]
@@ -593,7 +1261,9 @@ mod tests {
         assert_eq!(sp.threads(), 4);
         assert_eq!(sp.plan().gao(), p.gao());
         assert!(sp.explain().contains("parallel: up to 4"));
-        let bounds = sp.shard_bounds(&db).unwrap();
-        assert!(!bounds.is_empty() && bounds.len() <= 4);
+        let specs = sp.shard_specs(&db).unwrap();
+        assert!(!specs.is_empty() && specs.len() <= 4 * MAX_TASKS_PER_THREAD);
+        assert_eq!(shard_strategy(&specs, 4), "stolen");
+        assert_eq!(shard_strategy(&specs[..1], 4), "equi-depth");
     }
 }

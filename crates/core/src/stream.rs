@@ -24,9 +24,12 @@
 //! probes, so a forward-moving probe sequence gallops from the previous
 //! landing position instead of re-running full binary searches.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use minesweeper_cds::{Constraint, ConstraintTree, Pattern, PatternComp, ProbeMode, ProbeStats};
 use minesweeper_storage::{
-    Database, ExecStats, GapCursor, NodeId, ShardBounds, TrieRelation, Tuple, Val, NEG_INF, POS_INF,
+    Database, ExecStats, GapCursor, NodeId, ShardSpec, TrieRelation, Tuple, Val, NEG_INF, POS_INF,
 };
 
 use crate::query::{Atom, Query};
@@ -60,6 +63,11 @@ pub struct TupleStream<'db> {
     /// `inv[a]` = execution column holding original attribute `a`; `None`
     /// when the GAO is the identity.
     inv: Option<Vec<usize>>,
+    /// Cooperative-cancellation flag, polled once per probe point: a
+    /// parallel consumer tearing its pipeline down flips it so in-flight
+    /// shards stop promptly even when their remaining probe work would
+    /// emit nothing (a channel send alone can't observe that).
+    cancel: Option<Arc<AtomicBool>>,
     done: bool,
 }
 
@@ -71,16 +79,17 @@ impl<'db> TupleStream<'db> {
         mode: ProbeMode,
         inv: Option<Vec<usize>>,
     ) -> Self {
-        Self::with_bounds(db, query, mode, inv, ShardBounds::unbounded(), &[])
+        Self::with_shard(db, query, mode, inv, ShardSpec::unbounded(), &[])
     }
 
-    /// Builds a stream whose probe loop is confined to `bounds` on the
-    /// first GAO attribute and to `eq_seeds` equality constraints
-    /// (`(position, value)` in the *execution* numbering). Both
+    /// Builds a stream whose probe loop is confined to the shard `spec`
+    /// (a first-GAO-attribute interval, plus a second-attribute interval
+    /// for nested shards) and to `eq_seeds` equality constraints
+    /// (`(position, value)` in the *execution* numbering). All
     /// restrictions are expressed in the CDS itself, as pre-seeded
     /// constraints inserted before any probing:
     ///
-    /// * `bounds` becomes the depth-0 open intervals `(−∞, lo)` and
+    /// * `spec.bounds` becomes the depth-0 open intervals `(−∞, lo)` and
     ///   `(hi, +∞)`, so `getProbePoint` never proposes a tuple outside
     ///   `[lo, hi]` and the loop terminates once the *shard's* slice of
     ///   the output space is covered — the per-shard engine of
@@ -88,6 +97,12 @@ impl<'db> TupleStream<'db> {
     ///   share no state, and within its interval each stream yields
     ///   exactly the serial stream's tuples in the same
     ///   (GAO-lexicographic) order;
+    /// * `spec.second`, when present, becomes the all-star depth-1
+    ///   intervals `⟨*, (−∞, lo₂)⟩` and `⟨*, (hi₂, +∞)⟩`. A nested spec
+    ///   pins the first attribute to a single heavy value, so within the
+    ///   shard the star matches only that value and the pair confines the
+    ///   second attribute to `[lo₂, hi₂]` — one slice of a giant
+    ///   duplicate run;
     /// * each `(k, v)` seed becomes `⟨*,…,*, (−∞, v)⟩` and
     ///   `⟨*,…,*, (v, +∞)⟩` at position `k` — the same all-star-prefix
     ///   shape `explore_atom` discovers for gaps at an atom's first
@@ -97,12 +112,12 @@ impl<'db> TupleStream<'db> {
     ///
     /// Seed constraints are counted in `constraints_inserted` like any
     /// other.
-    pub(crate) fn with_bounds(
+    pub(crate) fn with_shard(
         db: DbHandle<'db>,
         query: Query,
         mode: ProbeMode,
         inv: Option<Vec<usize>>,
-        bounds: ShardBounds,
+        spec: ShardSpec,
         eq_seeds: &[(usize, Val)],
     ) -> Self {
         let n = query.n_attrs;
@@ -119,17 +134,27 @@ impl<'db> TupleStream<'db> {
         };
         let mut cds = ConstraintTree::new(n, mode);
         let mut pst = ProbeStats::default();
-        if bounds.lo != NEG_INF {
+        if spec.bounds.lo != NEG_INF {
             cds.insert_constraint(
-                &Constraint::new(Pattern::empty(), NEG_INF, bounds.lo),
+                &Constraint::new(Pattern::empty(), NEG_INF, spec.bounds.lo),
                 &mut pst,
             );
         }
-        if bounds.hi != POS_INF {
+        if spec.bounds.hi != POS_INF {
             cds.insert_constraint(
-                &Constraint::new(Pattern::empty(), bounds.hi, POS_INF),
+                &Constraint::new(Pattern::empty(), spec.bounds.hi, POS_INF),
                 &mut pst,
             );
+        }
+        if let Some(b2) = spec.second {
+            debug_assert!(n >= 2, "nested shards need a second GAO attribute");
+            let star = Pattern(vec![PatternComp::Star]);
+            if b2.lo != NEG_INF {
+                cds.insert_constraint(&Constraint::new(star.clone(), NEG_INF, b2.lo), &mut pst);
+            }
+            if b2.hi != POS_INF {
+                cds.insert_constraint(&Constraint::new(star, b2.hi, POS_INF), &mut pst);
+            }
         }
         for &(k, v) in eq_seeds {
             debug_assert!(k < n, "seed position inside the attribute space");
@@ -150,8 +175,25 @@ impl<'db> TupleStream<'db> {
             cursors,
             gaps: Vec::new(),
             inv,
+            cancel: None,
             done: false,
         }
+    }
+
+    /// Arms cooperative cancellation: once `flag` turns true, the probe
+    /// loop stops between probe points and `next` returns `None` without
+    /// marking the stream exhausted. Used by the parallel executors so
+    /// cancelled shards stop even when no further output would be
+    /// emitted; counters stay valid for the work actually done.
+    pub(crate) fn set_cancel(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    /// True when an armed cancellation flag has fired.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_deref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
     /// A snapshot of the execution counters accumulated so far, valid at
@@ -185,7 +227,10 @@ impl Iterator for TupleStream<'_> {
             DbHandle::Borrowed(d) => d,
             DbHandle::Owned(b) => b,
         };
-        while let Some(t) = self.cds.get_probe_point(&mut self.pst) {
+        while !self.is_cancelled() {
+            let Some(t) = self.cds.get_probe_point(&mut self.pst) else {
+                break;
+            };
             self.gaps.clear();
             let mut is_output = true;
             for (atom, cursor) in self.query.atoms.iter().zip(&mut self.cursors) {
@@ -214,7 +259,11 @@ impl Iterator for TupleStream<'_> {
                 self.cds.insert_constraint(c, &mut self.pst);
             }
         }
-        self.done = true;
+        // Fuse only on genuine exhaustion; a cancelled stream simply
+        // stops yielding (the shard's accounting marks it incomplete).
+        if !self.is_cancelled() {
+            self.done = true;
+        }
         None
     }
 }

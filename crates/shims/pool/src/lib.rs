@@ -1,15 +1,19 @@
-//! Offline stand-in for a scoped thread-pool crate.
+//! Offline stand-in for a work-stealing thread-pool crate.
 //!
 //! The workspace builds without network access, so instead of `rayon` or
-//! `scoped_threadpool` this crate implements the one primitive the
-//! parallel executor needs: run a batch of closures that **borrow** the
-//! caller's data on a bounded number of OS threads, and hand the results
-//! back in input order. It is a thin layer over [`std::thread::scope`] —
-//! workers pull jobs from a shared queue (so a skewed batch keeps every
-//! thread busy), and a panic inside any job propagates to the caller
-//! exactly as `std::thread::scope` propagates it.
+//! `crossbeam-deque` this crate implements the one primitive the
+//! parallel executor needs: [`StealQueue`], a work-stealing task deque.
+//! Every worker owns a deque seeded round-robin, pops its own front, and
+//! when empty **steals from the back** of a victim's deque. A skewed
+//! batch therefore keeps every thread busy — an idle worker drains the
+//! tail of whichever deque still has work — and the queue doubles as
+//! the cancellation point for early-terminating consumers.
+//! [`available_threads`] reports the hardware parallelism the callers
+//! size their pools by.
 
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Number of hardware threads, with a serial fallback of 1 when the
 /// platform cannot say ([`std::thread::available_parallelism`] errors).
@@ -19,102 +23,109 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs every job on at most `threads` scoped worker threads and returns
-/// the results **in input order**.
+/// A work-stealing deque of tasks shared by a fixed set of workers.
 ///
-/// Jobs may borrow from the caller's stack (the workers are scoped).
-/// Scheduling is dynamic: workers repeatedly pop the next unstarted job,
-/// so one slow job does not idle the other threads. With `threads <= 1`
-/// or a single job, everything runs inline on the caller's thread — no
-/// spawn cost on the serial path.
+/// Tasks are distributed round-robin at construction so worker `w` owns
+/// tasks `w, w + workers, w + 2·workers, …` and pops them front-first —
+/// low task indexes start earliest across the pool, which is what lets an
+/// order-preserving consumer of per-task output start draining
+/// immediately. A worker whose own deque is empty steals from the **back**
+/// of the first non-empty victim, so stolen work is the work farthest
+/// from the consumption frontier. [`StealQueue::cancel`] flips a flag
+/// that makes every subsequent [`StealQueue::take`] return `None`,
+/// abandoning still-queued tasks (the cancellation path of streaming
+/// consumers that stop early).
 ///
 /// ```
-/// let data = vec![1u64, 2, 3, 4, 5];
-/// let squares = scoped_pool::scoped_map(
-///     3,
-///     data.iter().map(|&x| move || x * x).collect::<Vec<_>>(),
-/// );
-/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// use scoped_pool::StealQueue;
+/// let q: StealQueue<usize> = StealQueue::new(2, (0..4).collect());
+/// // Worker 0 owns [0, 2]; worker 1 owns [1, 3].
+/// assert_eq!(q.take(0), Some((0, false)));
+/// assert_eq!(q.take(0), Some((2, false)));
+/// assert_eq!(q.take(0), Some((3, true)), "stolen from worker 1's back");
 /// ```
-pub fn scoped_map<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    let n = jobs.len();
-    if threads <= 1 || n <= 1 {
-        return jobs.into_iter().map(|f| f()).collect();
-    }
-    let workers = threads.min(n);
-    // Jobs are popped from the back; results land by index, so execution
-    // order never shows in the output.
-    let queue: Mutex<Vec<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let job = queue.lock().unwrap().pop();
-                let Some((i, f)) = job else { break };
-                *slots[i].lock().unwrap() = Some(f());
-            });
+pub struct StealQueue<T> {
+    deques: Vec<Mutex<VecDeque<T>>>,
+    steals: AtomicU64,
+    /// Shared (`Arc`) so long-running task bodies can poll the flag
+    /// through [`StealQueue::cancel_handle`] without borrowing the
+    /// queue.
+    cancelled: Arc<AtomicBool>,
+}
+
+impl<T> StealQueue<T> {
+    /// Distributes `tasks` round-robin over `workers` deques.
+    pub fn new(workers: usize, tasks: Vec<T>) -> Self {
+        let workers = workers.max(1);
+        let mut deques: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, t) in tasks.into_iter().enumerate() {
+            deques[i % workers].push_back(t);
         }
-    });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("every job ran exactly once"))
-        .collect()
+        StealQueue {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+            steals: AtomicU64::new(0),
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// The next task for `worker`: its own front, else a steal from the
+    /// back of the first non-empty victim (scanning from `worker + 1`).
+    /// Returns the task and whether it was stolen; `None` once every
+    /// deque is empty or the queue was cancelled.
+    pub fn take(&self, worker: usize) -> Option<(T, bool)> {
+        if self.cancelled.load(Ordering::Acquire) {
+            return None;
+        }
+        let n = self.deques.len();
+        if let Some(t) = self.deques[worker % n].lock().unwrap().pop_front() {
+            return Some((t, false));
+        }
+        for i in 1..n {
+            let victim = (worker + i) % n;
+            if let Some(t) = self.deques[victim].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some((t, true));
+            }
+        }
+        None
+    }
+
+    /// Abandons every still-queued task: subsequent [`StealQueue::take`]
+    /// calls return `None`. In-flight tasks are unaffected — the caller's
+    /// output channel or a polled [`StealQueue::cancel_handle`] is what
+    /// interrupts those.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`StealQueue::cancel`] ran.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// An owning handle to the cancellation flag, for task bodies that
+    /// must poll it mid-task (e.g. inside a long probe loop) without
+    /// borrowing the queue.
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancelled)
+    }
+
+    /// Number of tasks taken from a victim's deque rather than the
+    /// taker's own (a balance measure: 0 means the round-robin seed was
+    /// already even).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn results_keep_input_order() {
-        let jobs: Vec<_> = (0..37usize).map(|i| move || i * 2).collect();
-        assert_eq!(
-            scoped_map(4, jobs),
-            (0..37).map(|i| i * 2).collect::<Vec<_>>()
-        );
-    }
-
-    #[test]
-    fn serial_paths_run_inline() {
-        let main_thread = std::thread::current().id();
-        let ids = scoped_map(1, vec![|| std::thread::current().id()]);
-        assert_eq!(ids, vec![main_thread], "threads=1 stays on the caller");
-        let ids = scoped_map(8, vec![|| std::thread::current().id()]);
-        assert_eq!(ids, vec![main_thread], "a single job stays on the caller");
-    }
-
-    #[test]
-    fn borrows_caller_data_and_runs_concurrently() {
-        let data: Vec<u64> = (0..100).collect();
-        let touched = AtomicUsize::new(0);
-        let sums = scoped_map(
-            3,
-            data.chunks(10)
-                .map(|c| {
-                    let touched = &touched;
-                    move || {
-                        touched.fetch_add(1, Ordering::Relaxed);
-                        c.iter().sum::<u64>()
-                    }
-                })
-                .collect(),
-        );
-        assert_eq!(touched.load(Ordering::Relaxed), 10);
-        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
-    }
-
-    #[test]
-    fn more_threads_than_jobs_is_fine() {
-        assert_eq!(
-            scoped_map(64, (0..3).map(|i| move || i).collect::<Vec<_>>()),
-            vec![0, 1, 2]
-        );
-    }
 
     #[test]
     fn available_threads_is_positive() {
@@ -122,14 +133,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn worker_panic_propagates() {
-        scoped_map(
-            2,
-            vec![
-                Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
-                Box::new(|| panic!("boom")),
-            ],
-        );
+    fn steal_queue_round_robins_and_steals_from_the_back() {
+        let q: StealQueue<usize> = StealQueue::new(2, (0..6).collect());
+        // Worker 0 owns [0, 2, 4], worker 1 owns [1, 3, 5].
+        assert_eq!(q.take(0), Some((0, false)));
+        assert_eq!(q.take(0), Some((2, false)));
+        assert_eq!(q.take(0), Some((4, false)));
+        // Worker 0's deque is empty: it steals worker 1's *back* task.
+        assert_eq!(q.take(0), Some((5, true)));
+        assert_eq!(q.steals(), 1);
+        assert_eq!(q.take(1), Some((1, false)));
+        assert_eq!(q.take(1), Some((3, false)));
+        assert_eq!(q.take(1), None, "drained");
+    }
+
+    #[test]
+    fn steal_queue_runs_every_task_exactly_once_across_threads() {
+        use std::sync::atomic::AtomicUsize;
+        let q: StealQueue<usize> = StealQueue::new(3, (0..300).collect());
+        let seen = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for w in 0..3 {
+                let q = &q;
+                let seen = &seen;
+                s.spawn(move || {
+                    while let Some((_, _)) = q.take(w) {
+                        seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn steal_queue_cancellation_abandons_queued_tasks() {
+        let q: StealQueue<usize> = StealQueue::new(3, (0..9).collect());
+        assert!(q.take(0).is_some());
+        assert!(!q.is_cancelled());
+        let handle = q.cancel_handle();
+        assert!(!handle.load(Ordering::Acquire));
+        q.cancel();
+        assert!(q.is_cancelled());
+        assert!(handle.load(Ordering::Acquire), "handle observes the flag");
+        assert_eq!(q.take(0), None);
+        assert_eq!(q.take(1), None, "every worker sees the cancellation");
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let q: StealQueue<u8> = StealQueue::new(0, vec![7]);
+        assert_eq!(q.workers(), 1);
+        assert_eq!(q.take(0), Some((7, false)));
     }
 }

@@ -39,7 +39,9 @@ pub use database::{Database, RelId};
 pub use dict::{ColumnType, Dictionary, Value};
 pub use error::StorageError;
 pub use gap_cursor::GapCursor;
-pub use shard::{equi_depth_shards, shard_relation, ShardBounds};
+pub use shard::{
+    equi_depth_shards, nested_shards, second_level_profile, shard_relation, ShardBounds, ShardSpec,
+};
 pub use stats::ExecStats;
 pub use trie::{Gap, NodeId, TrieRelation};
 pub use value::{Tuple, Val, NEG_INF, POS_INF};

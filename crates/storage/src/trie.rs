@@ -361,12 +361,28 @@ impl TrieRelation {
         if self.n_tuples == 0 {
             return Vec::new();
         }
-        let fanout = self.levels[0].values.len();
-        (0..fanout)
-            .map(|root_child| {
-                let (mut lo, mut hi) = (root_child, root_child + 1);
-                for depth in 0..self.arity - 1 {
-                    let off = &self.levels[depth].child_off;
+        self.child_tuple_counts(self.root())
+    }
+
+    /// Number of tuples (leaves) under each child of `node`, aligned with
+    /// [`TrieRelation::child_values`]. The generalization of
+    /// [`TrieRelation::first_level_tuple_counts`] to any interior node —
+    /// nested sharding uses it to weigh the *second*-level split inside
+    /// one heavy first value. Panics if `node` is a leaf.
+    pub fn child_tuple_counts(&self, node: NodeId) -> Vec<usize> {
+        assert!(node.depth < self.arity, "leaf nodes have no children");
+        if self.n_tuples == 0 {
+            return Vec::new();
+        }
+        // A child of `node` sits in level `node.depth`; leaves sit in level
+        // `arity - 1`. Cascading a position range through the child-offset
+        // arrays of the levels in between turns it into a leaf range.
+        let (child_lo, child_hi) = self.child_bounds(node);
+        (child_lo..child_hi)
+            .map(|child| {
+                let (mut lo, mut hi) = (child, child + 1);
+                for level in node.depth..self.arity - 1 {
+                    let off = &self.levels[level].child_off;
                     (lo, hi) = (off[lo] as usize, off[hi] as usize);
                 }
                 hi - lo
@@ -595,6 +611,19 @@ mod tests {
         // Empty: no weights.
         let e = TrieRelation::from_tuples("E", 2, vec![]).unwrap();
         assert!(e.first_level_tuple_counts().is_empty());
+    }
+
+    #[test]
+    fn child_tuple_counts_at_interior_nodes() {
+        let r = figure3();
+        // Root counts equal the first-level counts.
+        assert_eq!(r.child_tuple_counts(r.root()), vec![3, 1, 1]);
+        // Under value 1 the children 2 and 3 hold 2 and 1 tuples.
+        let n1 = r.child(r.root(), 1);
+        assert_eq!(r.child_tuple_counts(n1), vec![2, 1]);
+        // At the last interior level every child is a single leaf.
+        let n12 = r.child(n1, 1);
+        assert_eq!(r.child_tuple_counts(n12), vec![1, 1]);
     }
 
     #[test]

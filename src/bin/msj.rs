@@ -32,14 +32,16 @@
 //!   instead of materializing the whole result (tuples then appear in
 //!   certification order rather than sorted).
 //! * `--threads N` (or `--algo minesweeper-par`) runs the sharded
-//!   parallel engine: the first GAO attribute's domain is split into up
-//!   to `N` equi-depth shards, each swept by an independent probe loop on
-//!   its own worker thread; output is byte-identical to the serial
-//!   engine's. `--stats` then also reports the per-shard breakdown.
-//!   `--limit` with the parallel engine caps **each shard's**
-//!   materialization at `K` tuples, bounding memory at `O(shards × K)` —
-//!   probe work is still paid across every shard (each runs until its cap
-//!   or exhaustion), so prefer the serial engine when pushdown matters.
+//!   parallel engine: the first GAO attribute's domain is split into
+//!   equi-depth shard tasks (a heavy duplicate run is nested-split on
+//!   the *second* attribute), the tasks run on a work-stealing deque of
+//!   `N` workers, and the per-shard outputs are reassembled in order —
+//!   byte-identical to the serial engine's output. `--stats` then also
+//!   reports the per-shard breakdown (including stolen and cancelled
+//!   tasks). `--limit K` with `--threads` streams the first `K` tuples
+//!   incrementally and **cancels** the remaining shard work early, so
+//!   parallel runs now benefit from limits too (tuples appear in
+//!   certification order, as in the serial `--limit` path).
 
 use std::process::ExitCode;
 
@@ -119,6 +121,32 @@ fn print_gao_line(stmt: &PreparedStatement<'_>) {
         "# gao order: {:?} (mode {:?}, width {})",
         gao.order, gao.mode, gao.width
     );
+}
+
+/// The per-shard breakdown of a parallel run: one line per shard task
+/// with its output-space slice and counters, flagged when the task was
+/// stolen by an idle worker or cancelled before completing.
+fn print_shard_lines(threads: usize, shards: &[minesweeper_join::core::ShardStats]) {
+    eprintln!(
+        "# parallel: {} worker(s), {} shard task(s)",
+        threads,
+        shards.len()
+    );
+    for (i, s) in shards.iter().enumerate() {
+        eprintln!(
+            "#   shard {i} {}: outputs={} findgap={} probes={}{}{}",
+            s.spec,
+            s.stats.outputs,
+            s.stats.find_gap_calls,
+            s.stats.probe_points,
+            if s.stolen { " (stolen)" } else { "" },
+            if s.completed {
+                ""
+            } else {
+                " (cancelled/capped)"
+            },
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -339,17 +367,48 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    // Sharded parallel engine (`--threads` / `--algo minesweeper-par`):
-    // materialize across the worker pool. With `--limit` each shard's
-    // materialization is capped at K (memory stays bounded) — the cap is
-    // announced instead of silently truncating the printout.
+    // Sharded parallel engine (`--threads` / `--algo minesweeper-par`).
+    // With `--limit K` the incremental parallel stream yields tuples in
+    // certification order and cancels queued and in-flight shards once K
+    // tuples (plus a one-tuple truncation probe) are out — memory and
+    // probe work both stay proportional to K, matching the serial
+    // stream's pushdown. Without a limit, materialize across the worker
+    // pool: sorted output, byte-identical to the serial engine.
     if let Some(t) = par_threads {
         if let Some(k) = limit {
             eprintln!(
-                "note: --limit {k} with --threads caps each shard's materialization at {k} \
-                 (memory O(shards × {k})); probe work is still paid across all shards — \
-                 use the serial engine for true pushdown"
+                "note: --limit {k} with --threads streams the first {k} tuples in \
+                 certification order and cancels the remaining shard work early"
             );
+            let mut stream = match stmt.stream(&opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut open = out_line(&mut out, format_args!("# {}", stmt.columns().join("\t")));
+            let mut yielded = 0usize;
+            while open && yielded < k {
+                let Some(row) = stream.next() else { break };
+                open = out_line(&mut out, format_args!("{}", row_text(&row)));
+                yielded += 1;
+            }
+            if open && yielded == k && stream.truncated() {
+                out_line(
+                    &mut out,
+                    format_args!("# … output truncated at {k} (parallel)"),
+                );
+            }
+            drop(out);
+            if show_stats {
+                // Join the workers first so the counters are final.
+                let (stats, shards) = stream.finish();
+                print_gao_line(&stmt);
+                print_shard_lines(t, shards.as_deref().unwrap_or(&[]));
+                print_stats(&stats);
+            }
+            return ExitCode::SUCCESS;
         }
         let result = match stmt.execute(&opts) {
             Ok(r) => r,
@@ -358,26 +417,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let open = out_line(&mut out, format_args!("# {}", result.columns.join("\t")))
+        let _ = out_line(&mut out, format_args!("# {}", result.columns.join("\t")))
             && print_rows(&mut out, &result.rows);
-        if open && result.truncated {
-            let k = limit.unwrap_or(result.rows.len());
-            out_line(
-                &mut out,
-                format_args!("# … output truncated at {k} (parallel)"),
-            );
-        }
         drop(out);
         if show_stats {
             print_gao_line(&stmt);
-            let shards = result.shards.as_deref().unwrap_or(&[]);
-            eprintln!("# parallel: {} worker(s), {} shard(s)", t, shards.len());
-            for (i, s) in shards.iter().enumerate() {
-                eprintln!(
-                    "#   shard {i} {}: outputs={} findgap={} probes={}",
-                    s.bounds, s.stats.outputs, s.stats.find_gap_calls, s.stats.probe_points
-                );
-            }
+            print_shard_lines(t, result.shards.as_deref().unwrap_or(&[]));
             if let Some(stats) = &result.stats {
                 print_stats(stats);
             }

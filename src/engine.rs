@@ -66,11 +66,12 @@ use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use minesweeper_baselines::lookup_configured;
 use minesweeper_core::{
-    plan, Atom, ExplainCache, ExplainPlan, ExplainShards, MinesweeperPar, Plan, PreparedExec,
-    Query, QueryError,
+    plan, shard_strategy, Atom, ExplainCache, ExplainPlan, ExplainShards, MinesweeperPar, Plan,
+    PreparedExec, Query, QueryError,
 };
 use minesweeper_storage::{
     ColumnType, Database, Dictionary, ExecStats, RelId, RelationBuilder, StorageError,
@@ -79,9 +80,11 @@ use minesweeper_storage::{
 
 use crate::text::{parse_query_ast, parse_typed_relation, QueryArg, TextError};
 
-/// Strategy line shared by every sharded-execution explain.
-const SHARD_STRATEGY: &str = "equi-depth shard(s) of the first GAO attribute, one probe loop \
-                              per shard, order-preserving concatenation";
+/// Pipeline description shared by every sharded-execution explain (the
+/// `strategy` field carries the data-dependent variant).
+const SHARD_DETAIL: &str = "equi-depth shard tasks of the first GAO attribute (nested \
+                            second-attribute splits for heavy runs) on a work-stealing deque, \
+                            order-preserving reassembly";
 
 /// Errors from the engine front door.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -191,9 +194,10 @@ pub struct ExecOptions {
     /// the Minesweeper evaluators (baselines ignore it).
     pub threads: usize,
     /// Cap on materialized output tuples. The serial engine pushes the
-    /// limit into the probe loop; the parallel engine caps each shard's
-    /// materialization (memory `O(shards × limit)`, probe work still paid
-    /// on every shard); baselines truncate after running to completion.
+    /// limit into the probe loop; the parallel engine stops its
+    /// order-preserving consumer at the cap and cancels queued and
+    /// in-flight shards (memory `O(tasks × channel capacity + limit)`);
+    /// baselines truncate after running to completion.
     pub limit: Option<usize>,
     /// Attach [`ExecStats`] (and per-shard stats, when sharded) to the
     /// result.
@@ -272,7 +276,10 @@ impl CachedStatement {
 /// number of prepared statements can be alive concurrently.
 #[derive(Debug, Default)]
 pub struct Engine {
-    db: Database,
+    /// Shared so the detached workers of a parallel statement stream can
+    /// co-own the relations; unique (and hence cheaply mutable) while
+    /// relations are being loaded.
+    db: Arc<Database>,
     schemas: Vec<RelSchema>,
     dict: Dictionary,
     cache: RefCell<HashMap<String, Rc<CachedStatement>>>,
@@ -296,7 +303,7 @@ impl Engine {
             })
             .collect();
         Engine {
-            db,
+            db: Arc::new(db),
             schemas,
             ..Self::default()
         }
@@ -375,7 +382,11 @@ impl Engine {
         rel: TrieRelation,
         cols: Vec<ColumnType>,
     ) -> Result<RelId, EngineError> {
-        let id = self.db.add(rel)?;
+        // The Arc is unique during the loading phase (statements only
+        // borrow the engine), so this mutates in place; a clone happens
+        // only if a detached stream from an earlier statement is still
+        // running, which keeps that stream's view consistent.
+        let id = Arc::make_mut(&mut self.db).add(rel)?;
         debug_assert_eq!(id.0, self.schemas.len(), "schema catalog tracks RelIds");
         self.schemas.push(RelSchema { cols });
         Ok(id)
@@ -692,6 +703,12 @@ impl PreparedStatement<'_> {
     /// (when `opts` selects the parallel engine), and the cache
     /// provenance. Serialize with [`ExplainPlan::to_json`]; render with
     /// [`ExplainPlan::render`].
+    ///
+    /// The shard strategy is data-dependent, so a parallel explain binds
+    /// the statement's execution (building the GAO re-index when the
+    /// plan demands one) to inspect the *actual* split. That bind fills
+    /// the same per-shape cache a later `execute` reuses — the cost is
+    /// paid at most once per query shape, not per explain.
     pub fn explain(&self, opts: &ExecOptions) -> Result<ExplainPlan, EngineError> {
         let dispatch = self.dispatch(opts)?;
         let mut ep = self.entry.plan.explain_plan();
@@ -705,9 +722,19 @@ impl PreparedStatement<'_> {
         });
         match dispatch {
             Dispatch::Parallel(threads) => {
+                // The split is data-dependent, so the explain inspects
+                // the actual tasks the bound execution would run; the
+                // bind lands in the shared per-shape cache, so a later
+                // execute skips it.
+                let specs = self
+                    .entry
+                    .exec(&self.engine.db)
+                    .shard_specs(&self.engine.db, threads);
                 ep.shards = Some(ExplainShards {
                     threads,
-                    strategy: SHARD_STRATEGY.to_string(),
+                    tasks: specs.len(),
+                    strategy: shard_strategy(&specs, threads).to_string(),
+                    detail: SHARD_DETAIL.to_string(),
                 });
             }
             Dispatch::Baseline(algo) => ep.algorithm = algo.name().to_string(),
@@ -846,9 +873,13 @@ impl PreparedStatement<'_> {
     /// With the serial Minesweeper engine the stream is **lazy**: rows
     /// are yielded as the probe loop certifies them (GAO order), and
     /// dropping the stream early skips the remaining certificate work.
-    /// The parallel engine and the baselines materialize eagerly and the
-    /// stream then yields the sorted rows. Either way `opts.limit` caps
-    /// the yielded rows.
+    /// With the parallel engine the stream is **incremental**: shard
+    /// tasks run on background workers feeding bounded channels, rows
+    /// arrive in the same GAO order as the serial stream's, and dropping
+    /// the stream cancels queued and in-flight shards — `--limit` and
+    /// `--threads` finally compose. Baselines materialize eagerly and
+    /// the stream then yields the rows. Either way `opts.limit` caps the
+    /// yielded rows.
     pub fn stream(&self, opts: &ExecOptions) -> Result<StatementStream<'_>, EngineError> {
         let inner = if self.vacuous {
             let _ = self.dispatch(opts)?;
@@ -861,16 +892,12 @@ impl PreparedStatement<'_> {
                         .stream_seeded(&self.engine.db, &self.seeds),
                 ),
                 Dispatch::Parallel(threads) => {
-                    let sharded = self.entry.exec(&self.engine.db).execute_parallel_seeded(
+                    StreamInner::Sharded(self.entry.exec(&self.engine.db).stream_parallel_seeded(
                         &self.engine.db,
                         threads,
                         opts.limit,
                         &self.seeds,
-                    );
-                    StreamInner::Materialized(
-                        sharded.result.tuples.into_iter(),
-                        sharded.result.stats,
-                    )
+                    ))
                 }
                 Dispatch::Baseline(algo) => {
                     let res = algo.run(&self.engine.db, &self.entry.query)?;
@@ -920,6 +947,7 @@ enum Dispatch {
 
 enum StreamInner<'e> {
     Lazy(minesweeper_core::TupleStream<'e>),
+    Sharded(minesweeper_core::ShardedStream),
     Materialized(std::vec::IntoIter<Tuple>, ExecStats),
 }
 
@@ -933,12 +961,43 @@ pub struct StatementStream<'e> {
 }
 
 impl StatementStream<'_> {
-    /// Execution counters so far (live mid-stream on the lazy path;
+    /// Execution counters so far (live mid-stream on the lazy path; the
+    /// sum over finished shards on the parallel path — use
+    /// [`StatementStream::finish`] for final, stable parallel counters;
     /// complete from the start on materialized paths).
     pub fn stats(&self) -> ExecStats {
         match &self.inner {
             StreamInner::Lazy(s) => s.stats(),
+            StreamInner::Sharded(s) => s.stats(),
             StreamInner::Materialized(_, stats) => stats.clone(),
+        }
+    }
+
+    /// After the stream has yielded its `limit` rows, reports whether at
+    /// least one more row existed — the truthfulness check behind the
+    /// CLI's truncation marker. Bypasses the limit to probe exactly one
+    /// tuple further (parallel workers emit one tuple of truncation
+    /// evidence beyond the cap for exactly this call).
+    pub fn truncated(&mut self) -> bool {
+        match &mut self.inner {
+            StreamInner::Lazy(s) => s.next().is_some(),
+            StreamInner::Sharded(s) => s.truncated(),
+            StreamInner::Materialized(it, _) => it.next().is_some(),
+        }
+    }
+
+    /// Consumes the stream and returns final counters: on the parallel
+    /// path this cancels outstanding shard work, joins the workers, and
+    /// returns the complete per-shard breakdown; other paths return
+    /// their counters with no shard list.
+    pub fn finish(self) -> (ExecStats, Option<Vec<minesweeper_core::ShardStats>>) {
+        match self.inner {
+            StreamInner::Lazy(s) => (s.stats(), None),
+            StreamInner::Sharded(s) => {
+                let report = s.finish();
+                (report.stats, Some(report.shards))
+            }
+            StreamInner::Materialized(_, stats) => (stats, None),
         }
     }
 }
@@ -953,6 +1012,7 @@ impl Iterator for StatementStream<'_> {
         self.remaining -= 1;
         let t = match &mut self.inner {
             StreamInner::Lazy(s) => s.next()?,
+            StreamInner::Sharded(s) => s.next()?,
             StreamInner::Materialized(it, _) => it.next()?,
         };
         Some(decode(

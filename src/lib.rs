@@ -51,7 +51,9 @@
 //! opens a lazy [`core::TupleStream`] that yields tuples as they are
 //! certified — stop after `k` tuples and the remaining certificate work is
 //! never paid. [`core::execute()`] is the materialize-everything wrapper,
-//! and [`core::Plan::execute_parallel`] its sharded multi-threaded twin.
+//! [`core::Plan::execute_parallel`] its sharded multi-threaded twin, and
+//! [`core::ShardedStream`] the incremental parallel form (background
+//! workers, bounded channels, early cancellation).
 //!
 //! ```
 //! use minesweeper_join::prelude::*;
@@ -128,12 +130,12 @@ pub mod prelude {
     pub use minesweeper_core::{
         bowtie_join, canonical_certificate_size, choose_gao, execute, minesweeper_join, naive_join,
         plan, reindex_for_gao, set_intersection, triangle_join, Algorithm, Execution, ExplainPlan,
-        JoinResult, Plan, PreparedExec, PreparedPlan, Query, ShardedExecution, ShardedPlan,
-        TupleStream,
+        JoinResult, Plan, PreparedExec, PreparedPlan, Query, ShardStats, ShardedExecution,
+        ShardedPlan, ShardedStream, TupleStream,
     };
     pub use minesweeper_storage::{
         builder, ColumnType, Database, Dictionary, ExecStats, GapCursor, RelId, ShardBounds,
-        TrieRelation, Val, Value,
+        ShardSpec, TrieRelation, Val, Value,
     };
 }
 

@@ -255,7 +255,7 @@ fn string_columns_round_trip_through_the_cli() {
 }
 
 #[test]
-fn parallel_limit_warns_and_caps_instead_of_silently_truncating() {
+fn parallel_limit_streams_and_announces_truncation() {
     let r = write_temp(
         "r4.tsv",
         (1..=64)
@@ -282,10 +282,13 @@ fn parallel_limit_warns_and_caps_instead_of_silently_truncating() {
     assert!(stdout.contains("truncated at 3 (parallel)"), "{stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("caps each shard's materialization"),
-        "warning announced: {stderr}"
+        stderr.contains("streams the first 3 tuples"),
+        "streaming announced: {stderr}"
     );
-    assert!(stderr.contains("probe work is still paid"), "{stderr}");
+    assert!(
+        stderr.contains("cancels the remaining shard work"),
+        "{stderr}"
+    );
 }
 
 #[test]

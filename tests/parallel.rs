@@ -9,9 +9,17 @@
 //! [`minesweeper_workloads::random_queries`] and sweep `K` across the
 //! interesting regimes: serial (`K = 1`), genuinely parallel, and
 //! `K` far beyond the distinct-value count of the primary relation.
+//!
+//! Two further properties pin this PR's additions: a >90%-skewed first
+//! GAO attribute must still produce more than one effective shard (the
+//! nested second-attribute split), and a parallel stream consumed for
+//! one tuple must cancel the remaining shard work (asserted through the
+//! deterministic work counters, not wall-clock).
 
-use minesweeper_join::core::plan;
-use minesweeper_join::storage::ExecStats;
+use std::sync::Arc;
+
+use minesweeper_join::core::{plan, Query, MAX_TASKS_PER_THREAD};
+use minesweeper_join::storage::{builder, Database, ExecStats};
 use minesweeper_workloads::random_queries::{random_tree_instance, TreeQueryConfig};
 use proptest::prelude::*;
 
@@ -30,11 +38,14 @@ fn check_equivalence(cfg: TreeQueryConfig, seed: u64, threads: usize) -> Result<
     );
     prop_assert_eq!(&par.gao, &serial.gao);
     prop_assert!(
-        par.shards.len() <= threads.max(1),
-        "never more shards than workers"
+        par.shards.len() <= threads.max(1) * MAX_TASKS_PER_THREAD,
+        "task count bounded: {} tasks for {} workers",
+        par.shards.len(),
+        threads
     );
     let mut sum = ExecStats::new();
     for s in &par.shards {
+        prop_assert!(s.completed, "an unlimited run exhausts every shard");
         sum.merge(&s.stats);
     }
     prop_assert_eq!(
@@ -43,10 +54,18 @@ fn check_equivalence(cfg: TreeQueryConfig, seed: u64, threads: usize) -> Result<
         "aggregate stats must be the exact sum of per-shard stats"
     );
     prop_assert_eq!(par.result.stats.outputs as usize, par.result.tuples.len());
-    // Shards must partition the domain: contiguous, in order.
+    // Shard specs must tile the output space in lexicographic order:
+    // plain shards are contiguous on the first attribute; nested shards
+    // share one first interval and are contiguous on the second.
     for w in par.shards.windows(2) {
-        prop_assert!(w[0].bounds.hi < w[1].bounds.lo, "shards ordered/disjoint");
-        prop_assert_eq!(w[0].bounds.hi + 1, w[1].bounds.lo, "no domain holes");
+        let (a, b) = (w[0].spec, w[1].spec);
+        if a.bounds == b.bounds {
+            let s1 = a.second.expect("grouped shards are nested");
+            let s2 = b.second.expect("grouped shards are nested");
+            prop_assert_eq!(s1.hi + 1, s2.lo, "nested slices contiguous");
+        } else {
+            prop_assert_eq!(a.bounds.hi + 1, b.bounds.lo, "no domain holes");
+        }
     }
     Ok(())
 }
@@ -104,4 +123,152 @@ proptest! {
         };
         check_equivalence(cfg, seed, threads)?;
     }
+}
+
+/// A path instance `R(a,b) ⋈ S(b,c)` whose planner GAO is `[2,1,0]`
+/// (data-blind nested elimination order), with `heavy_share` of S's
+/// attribute-2 tuples concentrated on one value — i.e. a duplicate run on
+/// the first *execution* attribute.
+fn skewed_instance(n: i64, light: i64) -> (Database, Query) {
+    let mut db = Database::new();
+    let r = db
+        .add(builder::binary("R", (0..n).map(|i| ((i * 7) % n, i))))
+        .unwrap();
+    // `light` tuples spread over distinct attribute-2 values; the rest
+    // share the single value `n + 1`.
+    let s = db
+        .add(builder::binary(
+            "S",
+            (0..n).map(|i| (i, if i < light { i } else { n + 1 })),
+        ))
+        .unwrap();
+    let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+    (db, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Acceptance (ISSUE 4): when one first-GAO-attribute value holds
+    /// >90% of the primary's tuples, the run must still execute in more
+    /// than one effective shard — the nested split engages instead of the
+    /// PR 2 serial fallback — with byte-identical output.
+    #[test]
+    fn dominant_first_value_still_shards(
+        n in 60i64..200,
+        light_frac in 0usize..10,   // ≤ 9% of tuples off the heavy value
+        threads in 2usize..6,
+    ) {
+        let light = (n as usize * light_frac / 100) as i64;
+        let (db, q) = skewed_instance(n, light);
+        let p = plan(&db, &q).expect("valid query");
+        let serial = p.execute(&db).expect("serial run");
+        let par = p.execute_parallel(&db, threads).expect("parallel run");
+        prop_assert_eq!(&par.result.tuples, &serial.result.tuples);
+        prop_assert!(
+            par.shards.len() > 1,
+            "n={} light={} threads={}: >90% skew must still shard, got {:?}",
+            n,
+            light,
+            threads,
+            par.shards.iter().map(|s| s.spec).collect::<Vec<_>>()
+        );
+        prop_assert!(
+            par.shards.iter().any(|s| s.spec.is_nested()),
+            "the dominant run must be split on the second attribute"
+        );
+        let mut sum = ExecStats::new();
+        for s in &par.shards {
+            sum.merge(&s.stats);
+        }
+        prop_assert_eq!(sum, par.result.stats);
+    }
+}
+
+/// Acceptance (ISSUE 4): a parallel stream consumed for one tuple and
+/// finished must stop all workers early — the total probe work stays far
+/// below a full parallel run's, proving shards were cancelled rather
+/// than materialized.
+#[test]
+fn limit_one_parallel_stream_cancels_all_workers() {
+    let mut db = Database::new();
+    let r = db.add(builder::unary("R", 0..20_000)).unwrap();
+    let s = db.add(builder::unary("S", 0..20_000)).unwrap();
+    let q = Query::new(1).atom(r, &[0]).atom(s, &[0]);
+    let p = plan(&db, &q).unwrap();
+    let db = Arc::new(db);
+    let full = p.execute_parallel(&db, 4).unwrap();
+    assert_eq!(full.result.tuples.len(), 20_000);
+
+    // Stream with a per-shard limit of 1, take one tuple, finish.
+    let prepared = p.prepare_exec(&db).unwrap();
+    let mut stream = prepared.stream_parallel(&db, 4, Some(1));
+    assert_eq!(stream.next(), Some(vec![0]));
+    let report = stream.finish();
+    assert!(
+        report.stats.probe_points * 4 < full.result.stats.probe_points,
+        "limit-1 stream must skip almost all probe work: {} vs {}",
+        report.stats.probe_points,
+        full.result.stats.probe_points
+    );
+    assert!(
+        report.stats.outputs < 64,
+        "no shard materialized beyond its cap: {} outputs",
+        report.stats.outputs
+    );
+    assert!(
+        report.shards.iter().any(|s| !s.completed),
+        "capped or cancelled shards must be flagged"
+    );
+    // The report covers every planned shard task, cancelled ones with
+    // zero counters, and the sum still reconciles.
+    let mut sum = ExecStats::new();
+    for s in &report.shards {
+        sum.merge(&s.stats);
+    }
+    assert_eq!(sum, report.stats);
+}
+
+/// The same cancellation through the engine front door: a `--threads`
+/// plus `--limit` statement stream stops after its rows without running
+/// the remaining shards.
+#[test]
+fn engine_parallel_stream_with_limit_terminates_early() {
+    use minesweeper_join::engine::{Engine, ExecOptions};
+    let mut e = Engine::new();
+    e.load_tsv(
+        "R",
+        &(0..20_000).map(|i| format!("{i}\n")).collect::<String>(),
+    )
+    .unwrap();
+    e.load_tsv(
+        "S",
+        &(0..20_000).map(|i| format!("{i}\n")).collect::<String>(),
+    )
+    .unwrap();
+    let stmt = e.prepare("R(x), S(x)").unwrap();
+    let full_stats = stmt
+        .execute(&ExecOptions::default().with_threads(4).with_stats())
+        .unwrap()
+        .stats
+        .unwrap();
+    let stream = stmt
+        .stream(&ExecOptions::default().with_threads(4).with_limit(1))
+        .unwrap();
+    let rows: Vec<_> = stream.collect();
+    assert_eq!(rows.len(), 1, "limit enforced");
+    // A fresh stream, finished after one row, exposes the counters.
+    let mut stream = stmt
+        .stream(&ExecOptions::default().with_threads(4).with_limit(1))
+        .unwrap();
+    assert!(stream.next().is_some());
+    let (stats, shards) = stream.finish();
+    assert!(
+        stats.probe_points * 4 < full_stats.probe_points,
+        "parallel stream limit must cancel shard work: {} vs {}",
+        stats.probe_points,
+        full_stats.probe_points
+    );
+    let shards = shards.expect("parallel path reports shards");
+    assert!(shards.iter().any(|s| !s.completed));
 }
