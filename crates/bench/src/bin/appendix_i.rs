@@ -5,16 +5,22 @@
 //! must still scan `S` end to end.
 //!
 //! Usage: `cargo run --release -p minesweeper-bench --bin appendix_i
-//! [--nmax size]`.
+//! [--nmax size] [--json FILE]`. With `--json` the deterministic work
+//! counters (bow-tie and generic-Minesweeper probe points, `FindGap`
+//! calls — the I.3 instances are fully deterministic) and ungated wall
+//! times are written as flat JSON for CI's `bench_gate` regression
+//! check.
 
 use minesweeper_baselines::yannakakis;
-use minesweeper_bench::{arg_or, human, human_time, timed, Table};
+use minesweeper_bench::{arg_opt, arg_or, human, human_time, timed, BenchRecord, Table};
 use minesweeper_cds::ProbeMode;
 use minesweeper_core::{bowtie_join, minesweeper_join};
 use minesweeper_workloads::examples::example_i3;
 
 fn main() {
     let nmax: i64 = arg_or("--nmax", 1 << 18);
+    let json = arg_opt("--json");
+    let mut record = BenchRecord::new();
     println!(
         "Appendix I: bow-tie R(X) ⋈ S(X,Y) ⋈ T(Y) on the I.3 instance\n\
          (|C| = O(1), Z = 0, N sweeping):\n"
@@ -39,6 +45,12 @@ fn main() {
         assert!(ms.tuples.is_empty());
         let (ya, t_ya) = timed(|| yannakakis(&inst.db, &inst.query).unwrap());
         assert!(ya.tuples.is_empty());
+        record.metric(format!("apxi_n{n}_bowtie_probes"), bt.stats.probe_points);
+        record.metric(format!("apxi_n{n}_ms_probes"), ms.stats.probe_points);
+        record.metric(format!("apxi_n{n}_ms_findgap"), ms.stats.find_gap_calls);
+        record.time_ms(&format!("apxi_n{n}_bowtie"), t_bt);
+        record.time_ms(&format!("apxi_n{n}_ms"), t_ms);
+        record.time_ms(&format!("apxi_n{n}_yannakakis"), t_ya);
         table.row(&[
             human(inst.db.total_tuples() as u64),
             bt.stats.probe_points.to_string(),
@@ -53,4 +65,8 @@ fn main() {
         "\nPaper's shape: bow-tie probes stay constant as N grows 64x;\n\
          Yannakakis' runtime grows linearly with N."
     );
+    if let Some(path) = json {
+        record.write_json(&path).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

@@ -5,15 +5,20 @@
 //! paper's proof counts.
 //!
 //! Usage: `cargo run --release -p minesweeper-bench --bin prop53
-//! [--mmax m]`.
+//! [--mmax m] [--json FILE]`. With `--json` the deterministic work
+//! counters (probe points, backtracks, CDS next calls — `Q_w` instances
+//! are fully deterministic) and ungated wall times are written as flat
+//! JSON for CI's `bench_gate` regression check.
 
-use minesweeper_bench::{arg_or, human, human_time, timed, Table};
+use minesweeper_bench::{arg_opt, arg_or, human, human_time, timed, BenchRecord, Table};
 use minesweeper_cds::ProbeMode;
 use minesweeper_core::{canonical_certificate_size, minesweeper_join};
 use minesweeper_workloads::prop53::qw_instance;
 
 fn main() {
     let mmax: i64 = arg_or("--mmax", 48);
+    let json = arg_opt("--json");
+    let mut record = BenchRecord::new();
     println!(
         "Proposition 5.3: Q_2 = R12 ⋈ R13 ⋈ R23 ⋈ U with |C| = O(m);\n\
          Minesweeper's merge work must grow ~m² (backtracks / Next calls).\n"
@@ -35,6 +40,10 @@ fn main() {
         let (res, t) =
             timed(|| minesweeper_join(&inst.db, &inst.query, ProbeMode::General).unwrap());
         assert!(res.tuples.is_empty());
+        record.metric(format!("prop53_m{m}_probes"), res.stats.probe_points);
+        record.metric(format!("prop53_m{m}_backtracks"), res.stats.backtracks);
+        record.metric(format!("prop53_m{m}_next"), res.stats.cds_next_calls);
+        record.time_ms(&format!("prop53_m{m}"), t);
         table.row(&[
             m.to_string(),
             human(inst.db.total_tuples() as u64),
@@ -52,4 +61,8 @@ fn main() {
         "\nPaper's shape: backtracks/m² stays ~constant (the Ω(m^w) lower\n\
          bound for Minesweeper, tight against Theorem 5.1's O(|C|^{{w+1}}))."
     );
+    if let Some(path) = json {
+        record.write_json(&path).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

@@ -9,10 +9,14 @@
 //! LFTJ and NPRR provide the worst-case-optimal reference points.
 //!
 //! Usage: `cargo run --release -p minesweeper-bench --bin thm51
-//! [--nmax size]`.
+//! [--nmax size] [--json FILE]`. With `--json` the deterministic work
+//! counters (probe points, CDS next calls, output size, LFTJ seeks — the
+//! instances are seeded, so every counter is reproducible) and ungated
+//! wall times are written as flat JSON for CI's `bench_gate` regression
+//! check.
 
 use minesweeper_baselines::{generic_join, leapfrog_triejoin};
-use minesweeper_bench::{arg_or, human, human_time, timed, Table};
+use minesweeper_bench::{arg_opt, arg_or, human, human_time, timed, BenchRecord, Table};
 use minesweeper_cds::ProbeMode;
 use minesweeper_core::{canonical_certificate_size, minesweeper_join, Query};
 use minesweeper_storage::{builder, Database, Val};
@@ -20,6 +24,8 @@ use minesweeper_workloads::graphs::erdos_renyi;
 
 fn main() {
     let nmax: i64 = arg_or("--nmax", 512);
+    let json = arg_opt("--json");
+    let mut record = BenchRecord::new();
     println!(
         "Theorem 5.1: width-2 β-cyclic query (4-cycle) under the general\n\
          shadow-chain getProbePoint; bound Õ(|C|^3 + Z).\n"
@@ -59,6 +65,13 @@ fn main() {
         let (np, t_np) = timed(|| generic_join(&db, &q).unwrap());
         assert_eq!(ms.tuples.len(), lf.tuples.len());
         assert_eq!(ms.tuples.len(), np.tuples.len());
+        record.metric(format!("thm51_n{n}_z"), ms.stats.outputs);
+        record.metric(format!("thm51_n{n}_probes"), ms.stats.probe_points);
+        record.metric(format!("thm51_n{n}_next"), ms.stats.cds_next_calls);
+        record.metric(format!("thm51_n{n}_lftj_seeks"), lf.stats.seeks);
+        record.time_ms(&format!("thm51_n{n}_ms"), t_ms);
+        record.time_ms(&format!("thm51_n{n}_lftj"), t_lf);
+        record.time_ms(&format!("thm51_n{n}_nprr"), t_np);
         table.row(&[
             n.to_string(),
             human(db.total_tuples() as u64),
@@ -80,4 +93,8 @@ fn main() {
          random data — certificate optimality is a *sparse/skewed-data*\n\
          guarantee (Prop 2.8 says no algorithm gets |C|^(4/3−ε) here)."
     );
+    if let Some(path) = json {
+        record.write_json(&path).expect("write --json file");
+        println!("wrote {path}");
+    }
 }

@@ -37,6 +37,10 @@ pub struct ExplainShards {
     /// attribute), or `"stolen"` (more tasks than workers, so idle
     /// workers steal). See [`crate::shard_strategy`].
     pub strategy: String,
+    /// Reassembly strategy: how per-shard streams become one globally
+    /// ordered output ([`crate::MERGE_STRATEGY`] — the k-way heap merge
+    /// keyed by GAO-translated tuples).
+    pub merge: String,
     /// Human description of the shard pipeline.
     pub detail: String,
 }
@@ -165,8 +169,8 @@ impl ExplainPlan {
         }
         if let Some(s) = &self.shards {
             lines.push(format!(
-                "parallel: up to {} worker(s), {} shard task(s), strategy {} — {}",
-                s.threads, s.tasks, s.strategy, s.detail
+                "parallel: up to {} worker(s), {} shard task(s), strategy {}, merge {} — {}",
+                s.threads, s.tasks, s.strategy, s.merge, s.detail
             ));
         }
         lines.join("\n")
@@ -210,6 +214,7 @@ impl ExplainPlan {
                 so.num("threads", s.threads as f64);
                 so.num("tasks", s.tasks as f64);
                 so.str("strategy", &s.strategy);
+                so.str("merge", &s.merge);
                 so.str("detail", &s.detail);
                 o.raw("shards", &so.finish());
             }
@@ -358,6 +363,7 @@ mod tests {
             threads: 4,
             tasks: 8,
             strategy: "stolen".into(),
+            merge: "global-order-heap".into(),
             detail: "equi-depth shard tasks of the first GAO attribute".into(),
         });
         let text = e.render();
@@ -365,7 +371,10 @@ mod tests {
         assert!(text.contains("gao: x, y, z"), "{text}");
         assert!(text.contains("cache: hit (plan 7)"), "{text}");
         assert!(
-            text.contains("parallel: up to 4 worker(s), 8 shard task(s), strategy stolen"),
+            text.contains(
+                "parallel: up to 4 worker(s), 8 shard task(s), strategy stolen, \
+                 merge global-order-heap"
+            ),
             "{text}"
         );
     }

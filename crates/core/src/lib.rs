@@ -76,7 +76,7 @@ pub use query::{Atom, Query, QueryError};
 pub use set_intersection::{set_intersection, set_intersection_galloping};
 pub use sharded::{
     shard_strategy, ShardReport, ShardStats, ShardedExecution, ShardedPlan, ShardedStream,
-    MAX_TASKS_PER_THREAD, OVERSPLIT,
+    MAX_TASKS_PER_THREAD, MERGE_STRATEGY, OVERSPLIT,
 };
 pub use stream::TupleStream;
 pub use triangle::triangle_join;

@@ -394,12 +394,12 @@ impl PreparedExec {
 
     /// Runs across up to `threads` shard workers (see
     /// [`crate::ShardedPlan`]), optionally stopping after `limit` tuples:
-    /// the order-preserving consumer cancels queued and in-flight shards
-    /// once the cap (plus a one-tuple truncation probe) is reached, so
-    /// memory stays bounded at `O(tasks × channel capacity + limit)` and
-    /// the suffix's probe work is skipped. See
-    /// [`crate::ShardedPlan::execute_limited`] for exactly which `limit`
-    /// tuples are returned on identity vs. re-indexed GAOs.
+    /// the global-order merge cancels queued and in-flight shards once
+    /// the cap (plus a one-tuple truncation probe) is reached, so memory
+    /// stays bounded at `O(tasks × channel capacity + limit)` and the
+    /// suffix's probe work is skipped. The `limit` tuples are the serial
+    /// stream's exact first `limit` under any GAO (see
+    /// [`crate::ShardedPlan::execute_limited`]).
     pub fn execute_parallel(
         &self,
         db: &Database,
@@ -425,10 +425,10 @@ impl PreparedExec {
     /// Opens an incremental parallel [`crate::ShardedStream`] over up to
     /// `threads` background workers. Unlike
     /// [`PreparedExec::execute_parallel`] nothing is materialized up
-    /// front: tuples are yielded as shard channels fill, in the serial
-    /// stream's GAO-lexicographic order, and dropping (or
-    /// [`crate::ShardedStream::finish`]ing) the stream cancels the
-    /// remaining work. With `limit = Some(k)` the stream yields at most
+    /// front: tuples are yielded as shard channels feed the global-order
+    /// heap merge, byte-identical to the serial stream's sequence under
+    /// any GAO, and dropping (or [`crate::ShardedStream::finish`]ing)
+    /// the stream cancels the remaining work. With `limit = Some(k)` the stream yields at most
     /// `k` tuples (each shard is also capped at `k`, plus one
     /// truncation-evidence tuple that
     /// [`crate::ShardedStream::truncated`] consumes).

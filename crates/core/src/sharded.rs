@@ -28,22 +28,33 @@
 //!    [`crate::TupleStream`]'s shard constructor — depth-0 intervals for
 //!    the first attribute, all-star depth-1 intervals for a nested
 //!    shard's second attribute.
-//! 3. **Reassemble** — specs are ordered slices of the output space, so
-//!    draining per-task channels in spec order *is* the
-//!    order-preserving K-way merge: the concatenation equals the serial
-//!    stream's GAO-lexicographic sequence, and after the usual
-//!    original-numbering translation (and sort, when the plan
-//!    re-indexed) the materialized result is **byte-identical** to
-//!    [`crate::Plan::execute`]. An unlimited `execute` lets every
-//!    worker materialize its shard concurrently (one batch per task, no
-//!    backpressure); [`ShardedPlan::execute_limited`] switches to
-//!    per-tuple bounded channels, stops consuming after its cap (plus a
-//!    one-tuple truncation probe), and **cancels** in-flight and queued
-//!    shards via a cooperative flag polled inside the probe loop, so
-//!    even shards with no further output stop promptly;
-//!    [`ShardedPlan::stream`] runs the bounded pipeline on detached
-//!    background workers and yields tuples incrementally as shard 0's
-//!    channel fills.
+//! 3. **Merge** — every worker translates its certified tuples to the
+//!    caller's attribute numbering *inside the shard task* (the
+//!    [`crate::TupleStream`] does it on the fly), so the per-task
+//!    channels carry directly comparable tuples, and the consumer runs a
+//!    **global-order k-way merge**: a binary heap keyed by
+//!    [`minesweeper_storage::GaoOrder`] — the GAO-lexicographic
+//!    comparison of translated tuples — with one *frontier watermark*
+//!    rule deciding when the heap's minimum is safe to emit (a buffered
+//!    tuple whose [`minesweeper_storage::GaoOrder::key2`] lies strictly
+//!    below the first still-silent shard's
+//!    [`ShardSpec::lower_corner`] cannot be out-ordered by anything that
+//!    shard will produce, because spec slices are disjoint in the
+//!    first-two-GAO-coordinate plane). The merged sequence equals the
+//!    serial stream's **global attribute order** exactly — the output
+//!    contract of the paper's §2 — for every consumer: the incremental
+//!    [`ShardedStream`], [`ShardedPlan::execute_limited`], and the
+//!    unlimited [`ShardedPlan::execute`] (which sorts the merged
+//!    sequence into the original-numbering order when the plan
+//!    re-indexed, exactly like the serial path, and is therefore
+//!    **byte-identical** to [`crate::Plan::execute`]). An unlimited
+//!    `execute` still lets every worker materialize its shard
+//!    concurrently (one batch per task — no worker ever stalls on the
+//!    in-order consumer); limited and streaming runs send per-tuple
+//!    batches through bounded channels, giving the merge
+//!    `O(tasks × channel capacity)` memory, and the cancellation flag
+//!    fires as soon as the heap has emitted the cap (plus a one-tuple
+//!    truncation probe), so in-flight and queued shards stop promptly.
 //!
 //! Statistics: per-shard counters are kept in [`ShardStats`] and their
 //! sum is the aggregate [`ExecStats`] — in particular, on an uncancelled
@@ -53,13 +64,15 @@
 //! parallel-speedup trade, bounded by `O(tasks)` extra probes per
 //! relation.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
 
 use minesweeper_cds::ProbeMode;
 use minesweeper_storage::{
-    equi_depth_shards, nested_shards, second_level_profile, Database, ExecStats, ShardSpec, Tuple,
-    Val,
+    equi_depth_shards, nested_shards, second_level_profile, Database, ExecStats, GaoOrder,
+    ShardSpec, Tuple, Val,
 };
 use scoped_pool::StealQueue;
 
@@ -82,8 +95,14 @@ pub const MAX_TASKS_PER_THREAD: usize = 2 * OVERSPLIT;
 
 /// Bounded per-shard channel capacity: the backpressure that keeps an
 /// incremental parallel stream's memory at `O(tasks × CHANNEL_CAP)`
-/// instead of `O(Z)`.
+/// instead of `O(Z)` — a shard task can probe ahead of the global-order
+/// merge by at most this many tuples before its sender parks.
 const CHANNEL_CAP: usize = 64;
+
+/// The reassembly strategy label explains report for every parallel run:
+/// a k-way binary heap over per-shard streams, keyed by the
+/// GAO-lexicographic comparison of worker-translated tuples.
+pub const MERGE_STRATEGY: &str = "global-order-heap";
 
 /// A [`Plan`] wrapped for parallel execution on up to `threads` workers
 /// (see the module docs for the sharding strategy). Build with
@@ -191,7 +210,7 @@ impl ShardedPlan {
         format!(
             "{}\nparallel: up to {} worker(s) over equi-depth shard tasks of GAO attribute 0 \
              (nested second-attribute splits for heavy runs) on a work-stealing deque, \
-             order-preserving reassembly",
+             global-order k-way heap merge",
             self.plan.explain(),
             self.threads
         )
@@ -217,19 +236,18 @@ impl ShardedPlan {
 
     /// [`ShardedPlan::execute`] with a global materialization cap.
     ///
-    /// With `limit = Some(k)` the order-preserving consumer stops after
-    /// `k` tuples plus a one-tuple truncation probe, then **cancels**:
+    /// With `limit = Some(k)` the global-order merge stops after `k`
+    /// tuples plus a one-tuple truncation probe, then **cancels**:
     /// queued shards never start and in-flight shards stop at their next
     /// probe point (a cooperative flag polled inside the loop), so —
     /// unlike the PR 2 behavior this API replaced — probe work for the
-    /// untaken suffix is not paid once the cap is known to be exceeded. Peak memory is `O(tasks × channel
-    /// capacity + k)` instead of the full `Z`. Under an identity GAO the `k`
-    /// tuples are exactly the first `k` of the full sorted result. Under
-    /// a re-indexed GAO they are the GAO-order prefix of the output,
-    /// translated and sorted in the original numbering — a deterministic
-    /// size-`k` subset of the full result, but not necessarily the
-    /// globally smallest `k` tuples (use the serial stream when that
-    /// specific prefix is required).
+    /// untaken suffix is not paid once the cap is known to be exceeded.
+    /// Peak memory is `O(tasks × channel capacity + k)` instead of the
+    /// full `Z`. Because the merge emits the serial stream's global
+    /// attribute order exactly, the `k` tuples are the serial stream's
+    /// first `k` under **any** GAO — identity or re-indexed — returned
+    /// sorted in the original numbering, byte-identical to running the
+    /// serial `stream().take(k)` and sorting.
     pub fn execute_limited(
         &self,
         db: &Database,
@@ -268,20 +286,15 @@ pub(crate) fn execute_prepared(
     for s in &run.shards {
         agg.merge(&s.stats);
     }
-    // Translate to the original numbering and sort, exactly as the serial
-    // `PreparedExec::execute` does.
-    let mut tuples = match prepared.inv() {
-        None => run.tuples,
-        Some(inv) => {
-            let mut translated: Vec<Tuple> = run
-                .tuples
-                .into_iter()
-                .map(|t| inv.iter().map(|&c| t[c]).collect())
-                .collect();
-            translated.sort_unstable();
-            translated
-        }
-    };
+    // Workers already translated to the original numbering and the merge
+    // delivered the global (GAO) order, so only the serial path's final
+    // sort remains when the plan re-indexed. Under a limit the merged
+    // prefix is the serial stream's exact first-k, so the sorted result
+    // is the serial sorted prefix byte for byte.
+    let mut tuples = run.tuples;
+    if prepared.inv().is_some() {
+        tuples.sort_unstable();
+    }
     if let Some(k) = limit {
         tuples.truncate(k);
     }
@@ -394,15 +407,17 @@ fn second_attr_profile(query: &Query, db: &Database, v: Val) -> (Vec<Val>, Vec<u
     }
 }
 
-/// Runs one confined probe loop, handing each certified tuple (execution
-/// numbering) to `emit`. Stops when the shard is exhausted, when `emit`
-/// returns `false` (the consumer went away), when the `cancel` flag
-/// fires (polled inside the probe loop, so a cancelled shard stops even
-/// if its remaining work would emit nothing), or after `cap` tuples — in
-/// which case the stats are snapshotted first and **one** extra tuple, if
-/// it exists, is still emitted as truncation evidence whose probe work is
-/// excluded from the returned counters. Returns the counters and whether
-/// the loop ran to exhaustion.
+/// Runs one confined probe loop, handing each certified tuple —
+/// **translated to the caller's attribute numbering inside the worker**,
+/// so the consumer's merge can compare tuples without a post-hoc
+/// translation pass — to `emit`. Stops when the shard is exhausted, when
+/// `emit` returns `false` (the consumer went away), when the `cancel`
+/// flag fires (polled inside the probe loop, so a cancelled shard stops
+/// even if its remaining work would emit nothing), or after `cap` tuples
+/// — in which case the stats are snapshotted first and **one** extra
+/// tuple, if it exists, is still emitted as truncation evidence whose
+/// probe work is excluded from the returned counters. Returns the
+/// counters and whether the loop ran to exhaustion.
 fn probe_shard<F: FnMut(Tuple) -> bool>(
     ctx: &RunCtx<'_>,
     spec: ShardSpec,
@@ -414,7 +429,7 @@ fn probe_shard<F: FnMut(Tuple) -> bool>(
         DbHandle::Borrowed(ctx.db),
         ctx.query.clone(),
         ctx.mode,
-        None,
+        ctx.inv.map(<[usize]>::to_vec),
         spec,
         ctx.eq_seeds,
     );
@@ -451,11 +466,14 @@ type ShardTask = (usize, ShardSpec, SyncSender<Vec<Tuple>>);
 
 /// The probe-loop context shared by every task of one sharded run: the
 /// execution database, the execution-side query, the probe mode, the
-/// pre-seeded equality constraints, and the per-shard tuple cap.
+/// original-numbering translation (`inv[a]` = execution column of
+/// original attribute `a`, applied inside the worker), the pre-seeded
+/// equality constraints, and the per-shard tuple cap.
 struct RunCtx<'a> {
     db: &'a Database,
     query: &'a Query,
     mode: ProbeMode,
+    inv: Option<&'a [usize]>,
     eq_seeds: &'a [(usize, Val)],
     cap: usize,
 }
@@ -515,9 +533,204 @@ fn drive_worker(
     }
 }
 
-/// What [`run_shards`] hands back: execution-numbering tuples in
-/// GAO-lexicographic order, the per-shard accounting, and whether the
-/// consumer saw a tuple beyond the cap.
+/// One buffered head inside the merge heap: a worker-translated tuple
+/// plus the shard it came from. Ordered by the GAO-lexicographic
+/// comparison of the tuples (shard index only as a deterministic
+/// tiebreak — disjoint spec slices make genuine ties impossible).
+struct HeapEntry {
+    order: Arc<GaoOrder>,
+    shard: usize,
+    tuple: Tuple,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order
+            .cmp_tuples(&self.tuple, &other.tuple)
+            .then(self.shard.cmp(&other.shard))
+    }
+}
+
+/// One shard's end of the merge: its receiver (`None` once the channel
+/// closed), the remainder of the batch most recently received, and
+/// whether its next tuple currently sits in the heap.
+struct ShardSource {
+    rx: Option<Receiver<Vec<Tuple>>>,
+    buf: std::vec::IntoIter<Tuple>,
+    in_heap: bool,
+}
+
+/// The global-order k-way merge at the consumer end of every parallel
+/// pipeline (see the module docs, step 3).
+///
+/// Invariants:
+///
+/// * each source's stream is sorted under `order` (a shard's probe loop
+///   certifies in GAO order and the worker's translation preserves it);
+/// * spec slices are disjoint and ordered in the first-two-GAO-coordinate
+///   plane, so a buffered tuple whose [`GaoOrder::key2`] is strictly
+///   below the **frontier watermark** — the
+///   [`ShardSpec::lower_corner`] of the first shard that is still open
+///   but has nothing buffered — precedes everything that shard (and
+///   every later one) can emit.
+///
+/// Each [`GlobalOrderMerge::next`] therefore: lifts every available head
+/// into the heap (non-blocking, which also drains channels early and
+/// releases sender backpressure), emits the heap minimum when the
+/// watermark rule allows, and otherwise blocks on the frontier shard's
+/// channel — the only stream that can still own the global minimum.
+/// Memory stays at one in-flight batch per shard plus the bounded
+/// channels: `O(tasks × channel capacity)` on per-tuple pipelines.
+struct GlobalOrderMerge {
+    sources: Vec<ShardSource>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    order: Arc<GaoOrder>,
+    /// Per-shard [`ShardSpec::lower_corner`] watermarks, in spec order.
+    corners: Vec<(Val, Val)>,
+    /// Number of sources whose channel is still open. Once it hits zero
+    /// no new data can arrive, every remaining tuple is buffered (the
+    /// popped-source refill keeps each non-empty source's head in the
+    /// heap), and `next` collapses to a plain heap pop — the steady
+    /// state of the one-batch-per-shard materializing pipeline, whose
+    /// senders close right after their single send.
+    open: usize,
+}
+
+impl GlobalOrderMerge {
+    fn new(rxs: Vec<Receiver<Vec<Tuple>>>, specs: &[ShardSpec], order: GaoOrder) -> Self {
+        let open = rxs.len();
+        GlobalOrderMerge {
+            sources: rxs
+                .into_iter()
+                .map(|rx| ShardSource {
+                    rx: Some(rx),
+                    buf: Vec::new().into_iter(),
+                    in_heap: false,
+                })
+                .collect(),
+            heap: BinaryHeap::new(),
+            order: Arc::new(order),
+            corners: specs.iter().map(ShardSpec::lower_corner).collect(),
+            open,
+        }
+    }
+
+    /// Lifts source `s`'s next tuple into the heap if one is available
+    /// without blocking (buffered batch first, then `try_recv`, which
+    /// also notices a closed channel).
+    fn refill(&mut self, s: usize) {
+        let src = &mut self.sources[s];
+        if src.in_heap {
+            return;
+        }
+        loop {
+            if let Some(t) = src.buf.next() {
+                src.in_heap = true;
+                self.heap.push(Reverse(HeapEntry {
+                    order: Arc::clone(&self.order),
+                    shard: s,
+                    tuple: t,
+                }));
+                return;
+            }
+            match &src.rx {
+                None => return,
+                Some(rx) => match rx.try_recv() {
+                    Ok(batch) => src.buf = batch.into_iter(),
+                    Err(TryRecvError::Empty) => return,
+                    Err(TryRecvError::Disconnected) => {
+                        src.rx = None;
+                        self.open -= 1;
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Pops the heap minimum and immediately lifts the popped source's
+    /// next buffered tuple back in, so every non-empty source always has
+    /// its head in the heap when `next` returns.
+    fn pop_and_refill(&mut self) -> Option<Tuple> {
+        let Reverse(e) = self.heap.pop()?;
+        self.sources[e.shard].in_heap = false;
+        self.refill(e.shard);
+        Some(e.tuple)
+    }
+
+    /// The next tuple of the globally merged (GAO-ordered) sequence, or
+    /// `None` once every shard stream is closed and drained.
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if self.open == 0 {
+                // Every channel closed: the heap minimum is the global
+                // minimum, no frontier to guard, no channels to probe.
+                return self.pop_and_refill();
+            }
+            // Lift every available head (which also drains channels
+            // early, releasing sender backpressure); the first shard
+            // that stays both open and silent is the frontier the
+            // watermark guards.
+            let mut frontier = None;
+            for s in 0..self.sources.len() {
+                self.refill(s);
+                let src = &self.sources[s];
+                if frontier.is_none() && !src.in_heap && src.rx.is_some() {
+                    frontier = Some(s);
+                }
+            }
+            if let Some(Reverse(top)) = self.heap.peek() {
+                let emittable = match frontier {
+                    None => true,
+                    Some(f) => self.order.key2(&top.tuple) < self.corners[f],
+                };
+                if emittable {
+                    return self.pop_and_refill();
+                }
+            }
+            // Nothing emittable: only the frontier can own the global
+            // minimum now, so block for its next batch (or its close).
+            let f = frontier?;
+            let rx = self.sources[f].rx.as_ref().expect("frontier is open");
+            match rx.recv() {
+                Ok(batch) => self.sources[f].buf = batch.into_iter(),
+                Err(_) => {
+                    self.sources[f].rx = None;
+                    self.open -= 1;
+                }
+            }
+        }
+    }
+
+    /// Drops every receiver (erroring all parked senders) and clears the
+    /// buffered heads — the teardown half of a cancelled pipeline.
+    fn close(&mut self) {
+        for src in &mut self.sources {
+            src.rx = None;
+            src.buf = Vec::new().into_iter();
+        }
+        self.heap.clear();
+        self.open = 0;
+    }
+}
+
+/// What [`run_shards`] hands back: worker-translated tuples in the
+/// global (GAO-lexicographic) order, the per-shard accounting, and
+/// whether the consumer saw a tuple beyond the cap.
 struct RunOutcome {
     tuples: Vec<Tuple>,
     shards: Vec<ShardStats>,
@@ -545,6 +758,7 @@ fn run_shards(
         db: prepared.db_for(db),
         query: prepared.exec_query(),
         mode: prepared.gao().mode,
+        inv: prepared.inv(),
         eq_seeds,
         cap,
     };
@@ -565,6 +779,8 @@ fn run_shards(
     let workers = threads.min(specs.len());
     let queue = StealQueue::new(workers, tasks);
     let slots: Mutex<Vec<Option<ShardStats>>> = Mutex::new(vec![None; specs.len()]);
+    let order = GaoOrder::new(prepared.gao().order.clone());
+    let mut merge = GlobalOrderMerge::new(rxs, &specs, order);
     let mut tuples: Vec<Tuple> = Vec::new();
     let mut saw_extra = false;
     std::thread::scope(|s| {
@@ -576,21 +792,18 @@ fn run_shards(
                 drive_worker(w, queue, slots, ctx, emit_mode);
             });
         }
-        // Consumer (this thread): order-preserving reassembly with the
-        // global cap and a one-tuple truncation probe.
-        'drain: for rx in &rxs {
-            while let Ok(batch) = rx.recv() {
-                for t in batch {
-                    if tuples.len() == cap {
-                        saw_extra = true;
-                        break 'drain;
-                    }
-                    tuples.push(t);
-                }
+        // Consumer (this thread): the global-order heap merge, with the
+        // global cap and a one-tuple truncation probe; cancellation fires
+        // the moment the heap has emitted the cap.
+        while let Some(t) = merge.next() {
+            if tuples.len() == cap {
+                saw_extra = true;
+                break;
             }
+            tuples.push(t);
         }
         queue.cancel();
-        drop(rxs); // unblock workers parked on full channels
+        merge.close(); // unblock workers parked on full channels
     });
     let shards = specs
         .iter()
@@ -598,8 +811,8 @@ fn run_shards(
         .map(|(&spec, slot)| slot.unwrap_or_else(|| ShardStats::unrun(spec)))
         .collect();
     debug_assert!(
-        tuples.windows(2).all(|w| w[0] < w[1]),
-        "shard reassembly must be lexicographic in the execution numbering"
+        GaoOrder::new(prepared.gao().order.clone()).is_strictly_sorted(&tuples),
+        "merged reassembly must be GAO-lexicographic"
     );
     RunOutcome {
         tuples,
@@ -651,13 +864,14 @@ fn run_serial(ctx: &RunCtx<'_>, specs: &[ShardSpec]) -> RunOutcome {
 /// Opened by [`ShardedPlan::stream`] or
 /// [`PreparedExec::stream_parallel`]: shard tasks run on detached
 /// background workers (co-owning the database through an [`Arc`]), each
-/// sending its certified tuples through a bounded channel, and the
-/// iterator drains those channels in spec order — so tuples arrive
-/// **incrementally**, in exactly the serial stream's GAO-lexicographic
-/// order (translated to the original attribute numbering on the fly),
-/// while later shards probe ahead no further than their channel capacity
-/// allows. Memory therefore stays at `O(tasks × channel capacity)`
-/// regardless of `Z`.
+/// sending its certified tuples — already translated to the caller's
+/// attribute numbering — through a bounded channel, and the iterator
+/// runs the same global-order k-way heap merge as the scoped pipeline
+/// — so tuples arrive **incrementally**, in exactly the serial stream's
+/// global attribute order (byte-identical to
+/// [`crate::Plan::stream`], re-indexed GAO or not), while later shards
+/// probe ahead no further than their channel capacity allows. Memory
+/// therefore stays at `O(tasks × channel capacity)` regardless of `Z`.
 ///
 /// Cancellation: dropping the stream cancels the task queue and closes
 /// every channel, so queued shards never start and in-flight shards stop
@@ -671,20 +885,17 @@ fn run_serial(ctx: &RunCtx<'_>, specs: &[ShardSpec]) -> RunOutcome {
 ///
 /// A `limit` (from [`PreparedExec::stream_parallel`]) is enforced by
 /// the stream itself: the iterator yields at most `limit` tuples — the
-/// global GAO-order prefix, since channels drain in spec order — while
-/// each shard task is also capped at `limit` certified tuples plus one
+/// exact global-order prefix the heap merge emits — while each shard
+/// task is also capped at `limit` certified tuples plus one
 /// truncation-evidence tuple whose probe work is excluded from the
 /// counters. After the limit is exhausted, [`ShardedStream::truncated`]
 /// probes exactly one tuple further to report whether the result was
 /// cut.
 pub struct ShardedStream {
-    rxs: Vec<Receiver<Vec<Tuple>>>,
-    /// Remainder of the batch most recently received.
-    current: std::vec::IntoIter<Tuple>,
-    next: usize,
+    /// The global-order heap merge over the per-shard channels.
+    merge: GlobalOrderMerge,
     /// Tuples the iterator may still yield (the global `limit`).
     remaining: usize,
-    inv: Option<Vec<usize>>,
     specs: Vec<ShardSpec>,
     queue: Arc<StealQueue<ShardTask>>,
     slots: Arc<Mutex<Vec<Option<ShardStats>>>>,
@@ -723,11 +934,13 @@ pub(crate) fn open_stream(
             let db = Arc::clone(&shared);
             let query = query.clone();
             let seeds = seeds.clone();
+            let inv = inv.clone();
             std::thread::spawn(move || {
                 let ctx = RunCtx {
                     db: &db,
                     query: &query,
                     mode,
+                    inv: inv.as_deref(),
                     eq_seeds: &seeds,
                     cap,
                 };
@@ -735,12 +948,10 @@ pub(crate) fn open_stream(
             })
         })
         .collect();
+    let order = GaoOrder::new(prepared.gao().order.clone());
     ShardedStream {
-        rxs,
-        current: Vec::new().into_iter(),
-        next: 0,
+        merge: GlobalOrderMerge::new(rxs, &specs, order),
         remaining: cap,
-        inv,
         specs,
         queue,
         slots,
@@ -785,7 +996,7 @@ impl ShardedStream {
     /// assert work bounds against.
     pub fn finish(mut self) -> ShardReport {
         self.queue.cancel();
-        self.rxs.clear(); // close every channel: unblock parked senders
+        self.merge.close(); // close every channel: unblock parked senders
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -813,24 +1024,11 @@ impl ShardedStream {
 }
 
 impl ShardedStream {
-    /// The next tuple off the reassembly pipeline, ignoring the global
-    /// limit (shared by `next` and the truncation probe).
+    /// The next tuple off the merge, ignoring the global limit (shared
+    /// by `next` and the truncation probe). Workers translated already,
+    /// so the merged tuple is returned as-is.
     fn pull(&mut self) -> Option<Tuple> {
-        loop {
-            if let Some(t) = self.current.next() {
-                return Some(match &self.inv {
-                    None => t,
-                    Some(inv) => inv.iter().map(|&c| t[c]).collect(),
-                });
-            }
-            if self.next >= self.rxs.len() {
-                return None;
-            }
-            match self.rxs[self.next].recv() {
-                Ok(batch) => self.current = batch.into_iter(),
-                Err(_) => self.next += 1,
-            }
-        }
+        self.merge.next()
     }
 
     /// After the iterator has yielded its `limit` tuples, reports
@@ -859,8 +1057,9 @@ impl Iterator for ShardedStream {
 impl Drop for ShardedStream {
     fn drop(&mut self) {
         // Idempotent teardown (also runs after `finish`): abandon queued
-        // tasks; dropping `rxs` then errors every in-flight send. Workers
-        // are detached but co-own all their data, so not joining is safe.
+        // tasks; the merge's receivers drop with it, erroring every
+        // in-flight send. Workers are detached but co-own all their
+        // data, so not joining is safe.
         self.queue.cancel();
     }
 }
@@ -1147,22 +1346,77 @@ mod tests {
     }
 
     #[test]
-    fn limited_execution_on_a_reindexed_plan_stays_within_budget() {
-        // Re-indexed plans translate + sort the collected GAO prefix; the
-        // cap still bounds materialization and the truncated result is a
-        // subset of the full one, sorted.
+    fn limited_execution_on_a_reindexed_plan_is_the_serial_sorted_prefix() {
+        // The global-order merge makes the limited parallel result exact
+        // under a re-indexed GAO: the same tuples the serial stream's
+        // first k are, sorted in the original numbering — not merely some
+        // deterministic k-subset.
         let (db, q) = path_db(40);
         let p = plan(&db, &q).unwrap();
+        assert!(p.is_reindexed(), "path query re-indexes (GAO [2,1,0])");
         let full = p.execute(&db).unwrap().result.tuples;
+        for k in [1, 5, 17] {
+            let mut serial_prefix: Vec<Tuple> = p.stream(&db).unwrap().take(k).collect();
+            serial_prefix.sort_unstable();
+            let limited = p.clone().sharded(4).execute_limited(&db, Some(k)).unwrap();
+            assert_eq!(
+                limited.result.tuples, serial_prefix,
+                "k={k}: parallel limit must equal the serial sorted prefix"
+            );
+            for s in &limited.shards {
+                assert!(s.stats.outputs <= k as u64);
+            }
+        }
         let limited = p.clone().sharded(4).execute_limited(&db, Some(5)).unwrap();
-        assert_eq!(limited.result.tuples.len(), 5);
-        assert!(limited.result.tuples.windows(2).all(|w| w[0] < w[1]));
         for t in &limited.result.tuples {
             assert!(full.contains(t));
         }
-        for s in &limited.shards {
-            assert!(s.stats.outputs <= 5);
+    }
+
+    #[test]
+    fn sharded_stream_limit_is_the_exact_serial_stream_prefix_reindexed() {
+        // Byte-identity of the *sequence* (content and order) between the
+        // parallel stream under a limit and the serial stream's take(k),
+        // on a re-indexed GAO — the tentpole contract of the merge.
+        let (db, q) = path_db(60);
+        let p = plan(&db, &q).unwrap();
+        assert!(p.is_reindexed());
+        let prepared = p.prepare_exec(&db).unwrap();
+        let db = Arc::new(db);
+        for threads in [2, 4, 7] {
+            for k in [1, 3, 11, 40] {
+                let serial: Vec<Tuple> = p.stream(&db).unwrap().take(k).collect();
+                let par: Vec<Tuple> = prepared.stream_parallel(&db, threads, Some(k)).collect();
+                assert_eq!(par, serial, "threads={threads} k={k}");
+            }
         }
+    }
+
+    #[test]
+    fn merge_handles_nested_shards_in_global_order() {
+        // A giant duplicate run forces nested specs; the stream's merge
+        // must still reproduce the serial sequence across the
+        // second-attribute slices.
+        let mut db = Database::new();
+        let r = db
+            .add(builder::binary("R", (0..200).map(|i| ((i * 7) % 200, i))))
+            .unwrap();
+        let s = db
+            .add(builder::binary("S", (0..200).map(|i| (i, 9))))
+            .unwrap();
+        let q = Query::new(3).atom(r, &[0, 1]).atom(s, &[1, 2]);
+        let p = plan(&db, &q).unwrap();
+        assert!(p.is_reindexed());
+        let specs = p.clone().sharded(4).shard_specs(&db).unwrap();
+        assert!(specs.iter().any(|s| s.is_nested()), "nested split engages");
+        let serial: Vec<Tuple> = p.stream(&db).unwrap().collect();
+        let prepared = p.prepare_exec(&db).unwrap();
+        let db = Arc::new(db);
+        let par: Vec<Tuple> = prepared.stream_parallel(&db, 4, None).collect();
+        assert_eq!(par, serial);
+        let k = serial.len() / 3;
+        let prefix: Vec<Tuple> = prepared.stream_parallel(&db, 4, Some(k)).collect();
+        assert_eq!(prefix, serial[..k]);
     }
 
     #[test]

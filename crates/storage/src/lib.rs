@@ -40,7 +40,8 @@ pub use dict::{ColumnType, Dictionary, Value};
 pub use error::StorageError;
 pub use gap_cursor::GapCursor;
 pub use shard::{
-    equi_depth_shards, nested_shards, second_level_profile, shard_relation, ShardBounds, ShardSpec,
+    equi_depth_shards, nested_shards, second_level_profile, shard_relation, GaoOrder, ShardBounds,
+    ShardSpec,
 };
 pub use stats::ExecStats;
 pub use trie::{Gap, NodeId, TrieRelation};

@@ -35,13 +35,13 @@
 //!   parallel engine: the first GAO attribute's domain is split into
 //!   equi-depth shard tasks (a heavy duplicate run is nested-split on
 //!   the *second* attribute), the tasks run on a work-stealing deque of
-//!   `N` workers, and the per-shard outputs are reassembled in order —
-//!   byte-identical to the serial engine's output. `--stats` then also
-//!   reports the per-shard breakdown (including stolen and cancelled
-//!   tasks). `--limit K` with `--threads` streams the first `K` tuples
-//!   incrementally and **cancels** the remaining shard work early, so
-//!   parallel runs now benefit from limits too (tuples appear in
-//!   certification order, as in the serial `--limit` path).
+//!   `N` workers, and the per-shard streams are reassembled by a
+//!   **global-order k-way heap merge** — byte-identical to the serial
+//!   engine's output. `--stats` then also reports the per-shard
+//!   breakdown (including stolen and cancelled tasks). `--limit K` with
+//!   `--threads` streams the first `K` tuples of the global attribute
+//!   order — byte-identical to the serial `--limit` stream, under any
+//!   re-indexed GAO — and **cancels** the remaining shard work early.
 
 use std::process::ExitCode;
 
@@ -368,17 +368,19 @@ fn main() -> ExitCode {
     }
 
     // Sharded parallel engine (`--threads` / `--algo minesweeper-par`).
-    // With `--limit K` the incremental parallel stream yields tuples in
-    // certification order and cancels queued and in-flight shards once K
-    // tuples (plus a one-tuple truncation probe) are out — memory and
-    // probe work both stay proportional to K, matching the serial
-    // stream's pushdown. Without a limit, materialize across the worker
-    // pool: sorted output, byte-identical to the serial engine.
+    // With `--limit K` the incremental parallel stream yields the first K
+    // tuples of the global attribute order — the serial stream's exact
+    // sequence — and cancels queued and in-flight shards once K tuples
+    // (plus a one-tuple truncation probe) are out: memory and probe work
+    // both stay proportional to K, matching the serial stream's
+    // pushdown. Without a limit, materialize across the worker pool:
+    // sorted output, byte-identical to the serial engine.
     if let Some(t) = par_threads {
         if let Some(k) = limit {
             eprintln!(
                 "note: --limit {k} with --threads streams the first {k} tuples in \
-                 certification order and cancels the remaining shard work early"
+                 global order (identical to the serial --limit stream) and cancels \
+                 the remaining shard work early"
             );
             let mut stream = match stmt.stream(&opts) {
                 Ok(s) => s,
@@ -394,11 +396,10 @@ fn main() -> ExitCode {
                 open = out_line(&mut out, format_args!("{}", row_text(&row)));
                 yielded += 1;
             }
+            // Same marker as the serial streaming path: the parallel
+            // stream is byte-identical to it, truncation line included.
             if open && yielded == k && stream.truncated() {
-                out_line(
-                    &mut out,
-                    format_args!("# … output truncated at {k} (parallel)"),
-                );
+                out_line(&mut out, format_args!("# … output truncated at {k}"));
             }
             drop(out);
             if show_stats {
@@ -461,10 +462,7 @@ fn main() -> ExitCode {
         // truncation marker truthful).
         let stats = stream.stats();
         if open && yielded == k && stream.next().is_some() {
-            out_line(
-                &mut out,
-                format_args!("# … output truncated at {k} (streaming)"),
-            );
+            out_line(&mut out, format_args!("# … output truncated at {k}"));
         }
         stats
     } else {

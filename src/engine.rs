@@ -81,10 +81,11 @@ use minesweeper_storage::{
 use crate::text::{parse_query_ast, parse_typed_relation, QueryArg, TextError};
 
 /// Pipeline description shared by every sharded-execution explain (the
-/// `strategy` field carries the data-dependent variant).
+/// `strategy` field carries the data-dependent variant; the `merge`
+/// field names the global-order reassembly).
 const SHARD_DETAIL: &str = "equi-depth shard tasks of the first GAO attribute (nested \
                             second-attribute splits for heavy runs) on a work-stealing deque, \
-                            order-preserving reassembly";
+                            k-way heap merge keyed by GAO-translated tuples";
 
 /// Errors from the engine front door.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -195,9 +196,10 @@ pub struct ExecOptions {
     pub threads: usize,
     /// Cap on materialized output tuples. The serial engine pushes the
     /// limit into the probe loop; the parallel engine stops its
-    /// order-preserving consumer at the cap and cancels queued and
-    /// in-flight shards (memory `O(tasks × channel capacity + limit)`);
-    /// baselines truncate after running to completion.
+    /// global-order merge at the cap and cancels queued and in-flight
+    /// shards (memory `O(tasks × channel capacity + limit)`), returning
+    /// the exact serial prefix; baselines truncate after running to
+    /// completion.
     pub limit: Option<usize>,
     /// Attach [`ExecStats`] (and per-shard stats, when sharded) to the
     /// result.
@@ -734,6 +736,7 @@ impl PreparedStatement<'_> {
                     threads,
                     tasks: specs.len(),
                     strategy: shard_strategy(&specs, threads).to_string(),
+                    merge: minesweeper_core::MERGE_STRATEGY.to_string(),
                     detail: SHARD_DETAIL.to_string(),
                 });
             }
@@ -871,15 +874,16 @@ impl PreparedStatement<'_> {
     /// Opens a decoded stream over the statement.
     ///
     /// With the serial Minesweeper engine the stream is **lazy**: rows
-    /// are yielded as the probe loop certifies them (GAO order), and
-    /// dropping the stream early skips the remaining certificate work.
-    /// With the parallel engine the stream is **incremental**: shard
-    /// tasks run on background workers feeding bounded channels, rows
-    /// arrive in the same GAO order as the serial stream's, and dropping
-    /// the stream cancels queued and in-flight shards — `--limit` and
-    /// `--threads` finally compose. Baselines materialize eagerly and
-    /// the stream then yields the rows. Either way `opts.limit` caps the
-    /// yielded rows.
+    /// are yielded as the probe loop certifies them (global attribute
+    /// order), and dropping the stream early skips the remaining
+    /// certificate work. With the parallel engine the stream is
+    /// **incremental**: shard tasks run on background workers feeding
+    /// bounded channels into a global-order heap merge, rows arrive
+    /// **byte-identical to the serial stream's sequence** (re-indexed
+    /// GAO or not), and dropping the stream cancels queued and in-flight
+    /// shards — `--limit` and `--threads` compose exactly. Baselines
+    /// materialize eagerly and the stream then yields the rows. Either
+    /// way `opts.limit` caps the yielded rows.
     pub fn stream(&self, opts: &ExecOptions) -> Result<StatementStream<'_>, EngineError> {
         let inner = if self.vacuous {
             let _ = self.dispatch(opts)?;

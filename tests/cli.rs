@@ -177,11 +177,50 @@ fn parallel_engine_matches_serial_output_and_reports_shards() {
     let stderr = String::from_utf8_lossy(&stats.stderr);
     assert!(stderr.contains("# parallel: 3 worker(s)"), "{stderr}");
     assert!(stderr.contains("shard 0"), "{stderr}");
-    // `--explain` mentions the parallel strategy.
+    // `--explain` mentions the parallel strategy and the merge.
     let explain = run(&["--algo", "minesweeper-par", "--explain"]);
     let stdout = String::from_utf8_lossy(&explain.stdout);
     assert!(stdout.contains("equi-depth shard"), "{stdout}");
+    assert!(stdout.contains("merge global-order-heap"), "{stdout}");
     assert!(stdout.contains("probe mode"), "{stdout}");
+}
+
+/// Acceptance (ISSUE 5), CLI level: on a path query whose plan re-indexes,
+/// `--threads N --limit k` prints stdout byte-identical to the serial
+/// `--limit k` stream — the exact serial prefix, truncation marker
+/// included.
+#[test]
+fn parallel_limit_output_is_byte_identical_to_serial_limit() {
+    let edges = write_temp(
+        "edges_limit.tsv",
+        "1 2\n2 3\n1 3\n3 4\n2 4\n4 5\n3 5\n1 5\n",
+    );
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "--rel".to_string(),
+            format!("R={}", edges.display()),
+            "--rel".to_string(),
+            format!("S={}", edges.display()),
+            "R(a,b), S(b,c)".to_string(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = msj().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    for k in ["1", "3", "7"] {
+        let serial = run(&["--limit", k]);
+        let par = run(&["--threads", "4", "--limit", k]);
+        assert_eq!(
+            String::from_utf8_lossy(&serial),
+            String::from_utf8_lossy(&par),
+            "k={k}: parallel --limit must print the serial prefix"
+        );
+    }
 }
 
 #[test]
@@ -279,7 +318,7 @@ fn parallel_limit_streams_and_announces_truncation() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1\n2\n3\n"), "first three tuples: {stdout}");
     assert!(!stdout.contains("\n4\n"), "capped: {stdout}");
-    assert!(stdout.contains("truncated at 3 (parallel)"), "{stdout}");
+    assert!(stdout.contains("truncated at 3"), "{stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("streams the first 3 tuples"),

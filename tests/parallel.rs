@@ -10,16 +10,22 @@
 //! interesting regimes: serial (`K = 1`), genuinely parallel, and
 //! `K` far beyond the distinct-value count of the primary relation.
 //!
-//! Two further properties pin this PR's additions: a >90%-skewed first
+//! Two further properties pin the PR 4 additions: a >90%-skewed first
 //! GAO attribute must still produce more than one effective shard (the
 //! nested second-attribute split), and a parallel stream consumed for
 //! one tuple must cancel the remaining shard work (asserted through the
 //! deterministic work counters, not wall-clock).
+//!
+//! The global-order merge (ISSUE 5) adds the exact-prefix contract:
+//! parallel `--limit k` output must be **byte-identical to the serial
+//! sorted prefix** — the serial stream's first `k` tuples — under random
+//! re-indexed GAOs and random shard/thread counts, and cancelling the
+//! merge after `k` must skip most of the suffix's probe work.
 
 use std::sync::Arc;
 
 use minesweeper_join::core::{plan, Query, MAX_TASKS_PER_THREAD};
-use minesweeper_join::storage::{builder, Database, ExecStats};
+use minesweeper_join::storage::{builder, Database, ExecStats, Tuple};
 use minesweeper_workloads::random_queries::{random_tree_instance, TreeQueryConfig};
 use proptest::prelude::*;
 
@@ -183,6 +189,102 @@ proptest! {
         }
         prop_assert_eq!(sum, par.result.stats);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Acceptance (ISSUE 5): parallel `--limit k` is byte-identical to
+    /// the serial sorted prefix under random tree queries (re-indexed
+    /// GAOs included — the generator's path shapes routinely force a
+    /// non-identity order) and random thread counts. Checked at both
+    /// API levels: the incremental stream must reproduce the serial
+    /// stream's exact *sequence*, and `execute_limited` must return the
+    /// serial prefix sorted in the original numbering.
+    #[test]
+    fn parallel_limit_is_the_exact_serial_prefix(
+        seed in 0u64..1_000_000,
+        n_attrs in 3usize..6,
+        threads in 1usize..9,
+        k in 1usize..30,
+    ) {
+        let cfg = TreeQueryConfig { n_attrs, ..TreeQueryConfig::default() };
+        let inst = random_tree_instance(cfg, seed);
+        let p = plan(&inst.db, &inst.query).expect("generated queries are valid");
+        let serial: Vec<Tuple> = p.stream(&inst.db).expect("serial stream").take(k).collect();
+        let prepared = p.prepare_exec(&inst.db).expect("prepare");
+        let limited = p
+            .clone()
+            .sharded(threads)
+            .execute_limited(&inst.db, Some(k))
+            .expect("parallel limited run");
+        let db = Arc::new(inst.db);
+        let par: Vec<Tuple> = prepared.stream_parallel(&db, threads, Some(k)).collect();
+        prop_assert_eq!(
+            &par,
+            &serial,
+            "seed {} threads {} k {}: parallel stream must be the serial sequence",
+            seed,
+            threads,
+            k
+        );
+        let mut sorted_prefix = serial;
+        sorted_prefix.sort_unstable();
+        prop_assert_eq!(
+            &limited.result.tuples,
+            &sorted_prefix,
+            "seed {} threads {} k {}: execute_limited must be the serial sorted prefix",
+            seed,
+            threads,
+            k
+        );
+    }
+}
+
+/// Acceptance (ISSUE 5): `msj --threads N --limit k` semantics on a
+/// workload whose plan re-indexes — the parallel stream prefix must be
+/// byte-identical (content *and* order) to the serial stream's, for every
+/// tested thread count and k, including k beyond Z.
+#[test]
+fn reindexed_limit_prefix_matches_serial_byte_for_byte() {
+    let (db, q) = skewed_instance(120, 120);
+    let p = plan(&db, &q).unwrap();
+    assert!(p.is_reindexed(), "precondition: non-identity GAO");
+    let full: Vec<Tuple> = p.stream(&db).unwrap().collect();
+    assert!(full.len() > 16, "needs a non-trivial output");
+    let prepared = p.prepare_exec(&db).unwrap();
+    let db = Arc::new(db);
+    for threads in [2, 4, 8] {
+        for k in [1, 2, 7, full.len() - 1, full.len(), full.len() + 5] {
+            let serial: Vec<Tuple> = full.iter().take(k).cloned().collect();
+            let par: Vec<Tuple> = prepared.stream_parallel(&db, threads, Some(k)).collect();
+            assert_eq!(par, serial, "threads={threads} k={k}");
+        }
+    }
+}
+
+/// Acceptance (ISSUE 5): cancelling the merge after `k` tuples skips most
+/// of the suffix's probe work on a re-indexed plan — the work counters,
+/// not wall-clock, prove the heap's cancellation fires.
+#[test]
+fn merge_cancellation_after_k_skips_probe_work_on_reindexed_plan() {
+    let (db, q) = skewed_instance(4000, 4000);
+    let p = plan(&db, &q).unwrap();
+    assert!(p.is_reindexed());
+    let full = p.execute_parallel(&db, 4).unwrap();
+    assert!(full.result.tuples.len() > 1000);
+    let limited = p.clone().sharded(4).execute_limited(&db, Some(3)).unwrap();
+    assert!(limited.truncated);
+    assert!(
+        limited.result.stats.probe_points * 2 < full.result.stats.probe_points,
+        "merge cancellation must skip most probe work: {} vs {}",
+        limited.result.stats.probe_points,
+        full.result.stats.probe_points
+    );
+    assert!(
+        limited.shards.iter().any(|s| !s.completed),
+        "capped or cancelled shards must be flagged"
+    );
 }
 
 /// Acceptance (ISSUE 4): a parallel stream consumed for one tuple and
