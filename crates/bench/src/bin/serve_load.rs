@@ -1,0 +1,226 @@
+//! Experiment `serve_load` — the query service under concurrent load.
+//!
+//! Starts an in-process `msj serve` (one shared `Engine`, a bounded
+//! worker budget) and drives it with concurrent clients over real TCP
+//! sockets, in three phases:
+//!
+//! 1. **serial fan-in** — every client runs full (no-limit) queries over
+//!    the same prepared shapes; all work counters are deterministic
+//!    (each request performs the same probe work), so rows, `FindGap`
+//!    calls and probe points are **gated** metrics;
+//! 2. **parallel limited streams** — `threads=… limit=k` requests
+//!    exercise admission (declared cost > 1) and the global-order
+//!    streaming merge; the *row* counters stay deterministic (every
+//!    request yields exactly `k` rows) and are gated, while the probe
+//!    counters depend on cancellation timing and are reported ungated;
+//! 3. **disconnects** — clients abandon large limited streams after a
+//!    few rows; the count of registered disconnects is gated, and the
+//!    harness asserts the cancelled probe work stayed well below one
+//!    full execution per abandoned request.
+//!
+//! Throughout, the harness asserts the admission invariant (peak
+//! in-flight worker permits ≤ budget) and zero protocol errors.
+//!
+//! Usage: `cargo run --release -p minesweeper-bench --bin serve_load
+//! [--n edges] [--clients c] [--reps r] [--budget b] [--json FILE]`.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use minesweeper_bench::{arg_opt, arg_or, human, human_time, timed, BenchRecord, Table};
+use minesweeper_join::engine::Engine;
+use minesweeper_join::server::{Client, Reply, Server, ServerStats};
+
+/// Runs `clients` threads, each sending every request in `reqs` `reps`
+/// times; returns the total data rows received. Panics on any `ERR`.
+fn drive(addr: std::net::SocketAddr, clients: usize, reps: usize, reqs: &[String]) -> u64 {
+    let barrier = Arc::new(Barrier::new(clients));
+    let reqs = Arc::new(reqs.to_vec());
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            let reqs = Arc::clone(&reqs);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                barrier.wait();
+                let mut rows = 0u64;
+                for rep in 0..reps {
+                    for k in 0..reqs.len() {
+                        let req = &reqs[(c + rep + k) % reqs.len()];
+                        match client.request(req).expect("request") {
+                            Reply::Ok { rows: r, .. } => rows += r,
+                            Reply::Err { code, message } => {
+                                panic!("{req}: ERR {code} {message}")
+                            }
+                        }
+                    }
+                }
+                rows
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().expect("client")).sum()
+}
+
+/// Work-counter deltas between two server snapshots.
+fn delta(after: &ServerStats, before: &ServerStats) -> (u64, u64, u64) {
+    (
+        after.outputs - before.outputs,
+        after.find_gap_calls - before.find_gap_calls,
+        after.probe_points - before.probe_points,
+    )
+}
+
+fn main() {
+    let n: usize = arg_or("--n", 20_000);
+    let clients: usize = arg_or("--clients", 8);
+    let reps: usize = arg_or("--reps", 3);
+    let budget: usize = arg_or("--budget", 4);
+    let json = arg_opt("--json");
+    let mut record = BenchRecord::new();
+
+    println!(
+        "Query service under load: {clients} clients × {reps} reps against one\n\
+         shared engine (path graph, {n} edges), worker budget {budget}.\n"
+    );
+
+    // One engine for every connection: a path graph for the two-hop
+    // join, and a wide-string relation big enough that an abandoned
+    // stream must be cancelled long before it completes.
+    let mut engine = Engine::new();
+    let edges: String = (0..n).map(|i| format!("{} {}\n", i, i + 1)).collect();
+    engine.load_tsv("E", &edges).unwrap();
+    let big_rows = 5 * n;
+    let big: String = (0..big_rows).map(|i| format!("k{i:0>60} {i}\n")).collect();
+    engine.load_tsv("B", &big).unwrap();
+
+    let server = Server::start(Arc::new(engine), "127.0.0.1:0", budget).unwrap();
+    let addr = server.addr();
+    let mut table = Table::new(&["phase", "requests", "rows", "outputs", "findgap", "time"]);
+
+    // Phase 1: serial full scans — every counter deterministic.
+    let serial_reqs = vec![
+        "Q E(x, y), E(y, z)".to_string(),
+        "Q algo=leapfrog E(x, y), E(y, z)".to_string(),
+    ];
+    let before = server.stats();
+    let (serial_rows, t_serial) = timed(|| drive(addr, clients, reps, &serial_reqs));
+    let after = server.stats();
+    let (outputs, findgap, probes) = delta(&after, &before);
+    let serial_requests = (clients * reps * serial_reqs.len()) as u64;
+    table.row(&[
+        "serial full".into(),
+        serial_requests.to_string(),
+        human(serial_rows),
+        human(outputs),
+        human(findgap),
+        human_time(t_serial),
+    ]);
+    record.metric("serve_load_serial_requests", serial_requests);
+    record.metric("serve_load_serial_rows", serial_rows);
+    record.metric("serve_load_serial_outputs", outputs);
+    record.metric("serve_load_serial_findgap", findgap);
+    record.metric("serve_load_serial_probes", probes);
+    record.time_ms("serve_load_serial", t_serial);
+
+    // Phase 2: parallel limited streams — rows deterministic (each
+    // request yields exactly k), probe counters cancellation-dependent.
+    let k = 500u64;
+    let limited_reqs = vec![
+        format!("Q threads=2 limit={k} E(x, y), E(y, z)"),
+        format!("Q threads=4 limit={k} E(x, y), E(y, z)"),
+    ];
+    let before = server.stats();
+    let (limit_rows, t_limit) = timed(|| drive(addr, clients, reps, &limited_reqs));
+    let after = server.stats();
+    let (outputs, findgap, _) = delta(&after, &before);
+    let limit_requests = (clients * reps * limited_reqs.len()) as u64;
+    assert_eq!(
+        limit_rows,
+        limit_requests * k,
+        "every limited request must stream exactly {k} rows"
+    );
+    table.row(&[
+        format!("parallel limit={k}"),
+        limit_requests.to_string(),
+        human(limit_rows),
+        human(outputs),
+        human(findgap),
+        human_time(t_limit),
+    ]);
+    record.metric("serve_load_limit_requests", limit_requests);
+    record.metric("serve_load_limit_rows", limit_rows);
+    // Probe work under a cancelled parallel stream depends on worker
+    // timing: report it for humans, keep it out of the gate.
+    record.time_ms("serve_load_limit", t_limit);
+
+    // Phase 3: abandoned streams — disconnect-triggered cancellation.
+    let abandons = 4usize;
+    let before = server.stats();
+    let (_, t_abandon) = timed(|| {
+        for _ in 0..abandons {
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .send(&format!("Q threads=2 limit={big_rows} B(k, v)"))
+                .expect("send");
+            for _ in 0..5 {
+                client.read_line().expect("stream is live");
+            }
+            // Drop with megabytes unread: the server's next flush fails
+            // and the session cancels the stream's remaining work.
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.stats().disconnects < before.disconnects + abandons as u64 {
+            assert!(
+                Instant::now() < deadline,
+                "server never registered all {abandons} disconnects"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    });
+    let after = server.stats();
+    let (cancelled_outputs, cancelled_findgap, _) = delta(&after, &before);
+    let full = (abandons * big_rows) as u64;
+    assert!(
+        cancelled_outputs < full / 2,
+        "cancellation must stop well short of the {full} outputs the \
+         abandoned requests would have produced, got {cancelled_outputs}"
+    );
+    table.row(&[
+        "abandoned streams".into(),
+        abandons.to_string(),
+        human(after.rows - before.rows),
+        human(cancelled_outputs),
+        human(cancelled_findgap),
+        human_time(t_abandon),
+    ]);
+    record.metric("serve_load_disconnects", abandons as u64);
+    record.time_ms("serve_load_abandon", t_abandon);
+
+    // Service-level invariants, asserted after all phases.
+    let stats = server.stats();
+    assert_eq!(stats.errors, 0, "no request may fail under load");
+    assert!(
+        stats.peak_in_flight <= budget as u64,
+        "admission broke its bound: peak {} > budget {budget}",
+        stats.peak_in_flight
+    );
+    record.metric("serve_load_errors", stats.errors);
+    record.metric("serve_load_peak_budget_ok", 1);
+
+    table.print();
+    println!(
+        "\nadmission: budget {budget}, peak in-flight {}, admitted {}, queued {}",
+        stats.peak_in_flight, stats.admitted, stats.waited
+    );
+    println!(
+        "cancellation: {cancelled_outputs} of {full} potential outputs before \
+         the {abandons} disconnects were honoured"
+    );
+    server.shutdown().unwrap();
+
+    if let Some(path) = json {
+        record.write_json(&path).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,9 +1,12 @@
-//! `msj` — run a join from the command line.
+//! `msj` — run a join from the command line, serve joins over TCP, or
+//! talk to a running server.
 //!
 //! ```text
 //! msj --rel R=edges.tsv --rel S=edges.tsv 'R(x, y), S(y, z)' \
 //!     [--algo NAME] [--explain] [--explain-json] [--stats] [--limit K] \
 //!     [--threads N]
+//! msj serve  --rel NAME=FILE ... [--addr 127.0.0.1:PORT] [--budget N]
+//! msj client --addr 127.0.0.1:PORT
 //! ```
 //!
 //! Relations are whitespace-separated tuple files (see
@@ -29,32 +32,48 @@
 //!   algorithm prints the same sorted output.
 //! * `--limit K` with the default Minesweeper engine is pushed into the
 //!   streaming executor: the probe loop stops after `K` certified tuples
-//!   instead of materializing the whole result (tuples then appear in
-//!   certification order rather than sorted).
+//!   instead of materializing the whole result.
 //! * `--threads N` (or `--algo minesweeper-par`) runs the sharded
-//!   parallel engine: the first GAO attribute's domain is split into
-//!   equi-depth shard tasks (a heavy duplicate run is nested-split on
-//!   the *second* attribute), the tasks run on a work-stealing deque of
-//!   `N` workers, and the per-shard streams are reassembled by a
-//!   **global-order k-way heap merge** — byte-identical to the serial
-//!   engine's output. `--stats` then also reports the per-shard
-//!   breakdown (including stolen and cancelled tasks). `--limit K` with
-//!   `--threads` streams the first `K` tuples of the global attribute
-//!   order — byte-identical to the serial `--limit` stream, under any
-//!   re-indexed GAO — and **cancels** the remaining shard work early.
+//!   parallel engine — equi-depth shard tasks on a work-stealing deque,
+//!   reassembled by a global-order k-way heap merge, byte-identical to
+//!   the serial engine (`--limit` streams included, cancelling remaining
+//!   shard work early). `--stats` adds the per-shard breakdown.
+//!
+//! **`msj serve`** loads the same `--rel` relations once, then serves
+//! the line protocol documented in `docs/SERVICE.md` on `--addr`
+//! (default `127.0.0.1:0`; the chosen address is printed as the first
+//! stdout line, `listening on HOST:PORT`). Each request line carries
+//! per-request options (`Q algo=… threads=… limit=… explain …`), all
+//! connections share one engine (and so one plan/re-index cache), and a
+//! global `--budget` of pool workers (default: the CPU count) bounds
+//! concurrent execution. **`msj client`** sends each stdin line as a
+//! request and prints response bodies to stdout — byte-identical to
+//! what the one-shot CLI prints for the same query and options.
+//!
+//! Exit codes: `0` success, `2` usage, `3` the query was rejected
+//! (parse/plan/type/unknown-algorithm — before any tuple work), `1`
+//! execution or I/O failure.
 
 use std::process::ExitCode;
 
-use std::io::Write;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 use minesweeper_join::baselines::{algorithm_names, lookup};
-use minesweeper_join::engine::{Engine, ExecOptions, PreparedStatement};
-use minesweeper_join::storage::{ExecStats, Value};
+use minesweeper_join::engine::{DispatchKind, Engine, EngineError, ExecOptions, PreparedStatement};
+use minesweeper_join::render;
+use minesweeper_join::server::{self, Client, Reply, Server};
+use minesweeper_join::storage::ExecStats;
+
+/// Exit code for queries the engine rejected before doing tuple work.
+const EXIT_REJECTED: u8 = 3;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: msj --rel NAME=FILE [--rel NAME=FILE ...] 'QUERY' \
          [--algo NAME] [--explain] [--explain-json] [--stats] [--limit K] [--threads N]\n\
+         \x20      msj serve --rel NAME=FILE [...] [--addr HOST:PORT] [--budget N]\n\
+         \x20      msj client --addr HOST:PORT  (requests on stdin; see docs/SERVICE.md)\n\
          example: msj --rel R=edges.tsv --rel S=edges.tsv 'R(x,y), S(y,z)' --stats\n\
          algorithms: {}",
         algorithm_names().join(", ")
@@ -62,43 +81,14 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Writes one output line, reporting whether stdout is still open. A
-/// closed pipe (e.g. `msj … | head`) is a normal way for a consumer to
-/// stop a streaming run, so callers treat `false` as "stop quietly", not
-/// as an error.
-fn out_line(out: &mut impl Write, line: std::fmt::Arguments<'_>) -> bool {
-    writeln!(out, "{line}").is_ok()
-}
-
-fn row_text(row: &[Value]) -> String {
-    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
-    cells.join("\t")
-}
-
-fn print_rows(out: &mut impl Write, rows: &[Vec<Value>]) -> bool {
-    for r in rows {
-        if !out_line(out, format_args!("{}", row_text(r))) {
-            return false;
-        }
-    }
-    true
-}
-
-/// Prints the attribute header and a materialized result truncated to
-/// `limit`, with the `# … N more` marker — the output shape of the
-/// registry-dispatch path (which materializes everything, so the exact
-/// remainder is known).
-fn print_limited(
-    out: &mut impl Write,
-    columns: &[String],
-    rows: &[Vec<Value>],
-    limit: Option<usize>,
-) {
-    let shown = limit.unwrap_or(usize::MAX).min(rows.len());
-    let open =
-        out_line(out, format_args!("# {}", columns.join("\t"))) && print_rows(out, &rows[..shown]);
-    if open && rows.len() > shown {
-        out_line(out, format_args!("# … {} more", rows.len() - shown));
+/// Reports an engine error and maps it onto the exit-code policy:
+/// rejected queries (nothing executed) exit 3, execution failures 1.
+fn engine_failure(e: &EngineError) -> ExitCode {
+    eprintln!("{e}");
+    if e.is_query_rejection() {
+        ExitCode::from(EXIT_REJECTED)
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -149,8 +139,196 @@ fn print_shard_lines(threads: usize, shards: &[minesweeper_join::core::ShardStat
     }
 }
 
+/// Parses the `--rel NAME=FILE` pairs common to the one-shot and serve
+/// modes and loads them into a fresh engine.
+fn load_relations(rels: &[(String, String)]) -> Result<Engine, ExitCode> {
+    let mut engine = Engine::new();
+    for (name, path) in rels {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        })?;
+        engine.load_tsv(name, &text).map_err(|e| {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        })?;
+    }
+    Ok(engine)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_main(&args[1..]),
+        Some("client") => client_main(&args[1..]),
+        _ => query_main(&args),
+    }
+}
+
+// ---------------------------------------------------------------- serve
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut rels: Vec<(String, String)> = Vec::new();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut budget = server::default_budget();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rel" => {
+                let Some(spec) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Some((name, path)) = spec.split_once('=') else {
+                    eprintln!("--rel expects NAME=FILE, got {spec:?}");
+                    return ExitCode::from(2);
+                };
+                rels.push((name.to_string(), path.to_string()));
+                i += 2;
+            }
+            "--addr" => {
+                let Some(a) = args.get(i + 1) else {
+                    return usage();
+                };
+                addr = a.clone();
+                i += 2;
+            }
+            "--budget" => {
+                let Some(b) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                budget = b;
+                i += 2;
+            }
+            "--help" | "-h" => return usage(),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if rels.is_empty() {
+        return usage();
+    }
+    let engine = match load_relations(&rels) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    let server = match Server::start(Arc::new(engine), &addr, budget) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot serve on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The first stdout line is machine-readable so scripts (and the CI
+    // smoke job) can discover an OS-assigned port.
+    println!("listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "# msj serve: {} relation(s), worker budget {}; protocol in docs/SERVICE.md",
+        rels.len(),
+        server.stats().budget
+    );
+    // Serve until killed; sessions and the accept loop run on their own
+    // threads, so the main thread just keeps the handle alive.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+// --------------------------------------------------------------- client
+
+/// `ERR` codes that mean the request was rejected before execution —
+/// they map onto exit 3 like the one-shot CLI's rejections.
+fn code_is_rejection(code: &str) -> bool {
+    matches!(code, "PROTO" | "PARSE" | "PLAN" | "TYPE" | "ALGO")
+}
+
+fn client_main(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                let Some(a) = args.get(i + 1) else {
+                    return usage();
+                };
+                addr = Some(a.clone());
+                i += 2;
+            }
+            "--help" | "-h" => return usage(),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        return usage();
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut rejected = false;
+    let mut failed = false;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match client.request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match reply {
+            Reply::Ok { body, .. } => {
+                if out
+                    .write_all(body.as_bytes())
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    // stdout consumer gone (e.g. `… | head`): stop quietly.
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Reply::Err { code, message } => {
+                eprintln!("ERR {code} {message}");
+                if code_is_rejection(&code) {
+                    rejected = true;
+                } else {
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else if rejected {
+        ExitCode::from(EXIT_REJECTED)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// -------------------------------------------------------------- one-shot
+
+fn query_main(args: &[String]) -> ExitCode {
     let mut rels: Vec<(String, String)> = Vec::new();
     let mut query_text: Option<String> = None;
     let mut show_stats = false;
@@ -223,21 +401,12 @@ fn main() -> ExitCode {
     if rels.is_empty() {
         return usage();
     }
-    let mut engine = Engine::new();
-    for (name, path) in &rels {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Err(e) = engine.load_tsv(name, &text) {
-            eprintln!("{path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-    // Resolve `--algo` up front so typos fail before any planning work.
+    let engine = match load_relations(&rels) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
+    // Resolve `--algo` up front so typos fail before any planning work —
+    // a rejection (exit 3), like every other pre-execution refusal.
     let canonical_algo = match &algo_name {
         None => None,
         Some(name) => match lookup(name) {
@@ -247,7 +416,7 @@ fn main() -> ExitCode {
                     "unknown algorithm {name:?}; available: {}",
                     algorithm_names().join(", ")
                 );
-                return ExitCode::from(2);
+                return ExitCode::from(EXIT_REJECTED);
             }
         },
     };
@@ -263,17 +432,13 @@ fn main() -> ExitCode {
 
     let stmt = match engine.prepare(&query_text) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return engine_failure(&e),
     };
 
     // The one options struct every path below dispatches with; the
     // engine resolves thread defaults (e.g. minesweeper-par's
-    // hardware-sized worker count), and `effective_threads` reports the
-    // resolved worker count back for printing.
-    let mut opts = ExecOptions {
+    // hardware-sized worker count) inside `dispatch_kind`.
+    let opts = ExecOptions {
         algo: algo_name.clone(),
         threads: if uses_planner {
             threads.map(|t| t.max(1)).unwrap_or(0)
@@ -283,203 +448,53 @@ fn main() -> ExitCode {
         limit,
         collect_stats: true,
     };
-    let par_threads = match stmt.effective_threads(&opts) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+    let kind = match stmt.dispatch_kind(&opts) {
+        Ok(k) => k,
+        Err(e) => return engine_failure(&e),
     };
 
     // Buffered, checked stdout: a consumer closing the pipe (`msj … |
-    // head`) stops a streaming run quietly instead of panicking.
+    // head`) stops a streaming run quietly instead of panicking. The
+    // body bytes come from the shared renderer — the same one `msj
+    // serve` streams to sockets, which is what makes the service's
+    // byte-identity contract hold by construction.
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
 
     if explain || explain_json {
-        // Baselines have no Minesweeper plan: the human form says so, and
-        // the JSON form reports the algorithm with a null plan rather
-        // than mislabelling the planner's GAO/bound as the baseline's.
-        if !uses_planner {
-            let a = lookup(canonical_algo.expect("non-planner implies --algo"))
-                .expect("canonical name resolves");
-            if explain_json {
-                use minesweeper_join::core::json_string;
-                out_line(
-                    &mut out,
-                    format_args!(
-                        "{{\"algorithm\":{},\"description\":{},\"plan\":null}}",
-                        json_string(a.name()),
-                        json_string(a.description())
-                    ),
-                );
-            } else {
-                out_line(
-                    &mut out,
-                    format_args!("algorithm: {} — {}", a.name(), a.description()),
-                );
-                out_line(
-                    &mut out,
-                    format_args!(
-                        "(no Minesweeper plan applies; GAO/probe-mode planning is \
-                         specific to the default engine)"
-                    ),
-                );
-            }
-            return ExitCode::SUCCESS;
-        }
-        let ep = match stmt.explain(&opts) {
-            Ok(e) => e,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
+        return match render::write_explain(&mut out, &stmt, &opts, explain_json) {
+            Ok(_connected) => ExitCode::SUCCESS,
+            Err(e) => engine_failure(&e),
         };
-        if explain_json {
-            out_line(&mut out, format_args!("{}", ep.to_json()));
-        } else {
-            out_line(&mut out, format_args!("{}", ep.render()));
-        }
-        return ExitCode::SUCCESS;
     }
 
-    // Registry dispatch (`--algo` naming a baseline): run to completion
-    // through the unified PreparedStatement path; output is sorted
-    // identically for every entry, and the exact remainder under --limit
-    // is known because baselines materialize everything.
-    if !uses_planner {
-        opts.limit = None;
-        let result = match stmt.execute(&opts) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        print_limited(&mut out, &result.columns, &result.rows, limit);
-        drop(out);
-        if show_stats {
-            eprintln!("# algorithm: {}", canonical_algo.expect("baseline name"));
-            if let Some(stats) = &result.stats {
-                print_stats(stats);
-            }
-        }
-        return ExitCode::SUCCESS;
-    }
-
-    // Sharded parallel engine (`--threads` / `--algo minesweeper-par`).
-    // With `--limit K` the incremental parallel stream yields the first K
-    // tuples of the global attribute order — the serial stream's exact
-    // sequence — and cancels queued and in-flight shards once K tuples
-    // (plus a one-tuple truncation probe) are out: memory and probe work
-    // both stay proportional to K, matching the serial stream's
-    // pushdown. Without a limit, materialize across the worker pool:
-    // sorted output, byte-identical to the serial engine.
-    if let Some(t) = par_threads {
+    if let DispatchKind::Parallel(_) = kind {
         if let Some(k) = limit {
             eprintln!(
                 "note: --limit {k} with --threads streams the first {k} tuples in \
                  global order (identical to the serial --limit stream) and cancels \
                  the remaining shard work early"
             );
-            let mut stream = match stmt.stream(&opts) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let mut open = out_line(&mut out, format_args!("# {}", stmt.columns().join("\t")));
-            let mut yielded = 0usize;
-            while open && yielded < k {
-                let Some(row) = stream.next() else { break };
-                open = out_line(&mut out, format_args!("{}", row_text(&row)));
-                yielded += 1;
-            }
-            // Same marker as the serial streaming path: the parallel
-            // stream is byte-identical to it, truncation line included.
-            if open && yielded == k && stream.truncated() {
-                out_line(&mut out, format_args!("# … output truncated at {k}"));
-            }
-            drop(out);
-            if show_stats {
-                // Join the workers first so the counters are final.
-                let (stats, shards) = stream.finish();
-                print_gao_line(&stmt);
-                print_shard_lines(t, shards.as_deref().unwrap_or(&[]));
-                print_stats(&stats);
-            }
-            return ExitCode::SUCCESS;
         }
-        let result = match stmt.execute(&opts) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let _ = out_line(&mut out, format_args!("# {}", result.columns.join("\t")))
-            && print_rows(&mut out, &result.rows);
-        drop(out);
-        if show_stats {
-            print_gao_line(&stmt);
-            print_shard_lines(t, result.shards.as_deref().unwrap_or(&[]));
-            if let Some(stats) = &result.stats {
-                print_stats(stats);
-            }
-        }
-        return ExitCode::SUCCESS;
     }
 
-    // Default engine: serial Minesweeper through the cached plan. With
-    // `--limit` the limit is pushed into the streaming executor — the
-    // probe loop stops after K certified tuples (or as soon as the
-    // consumer closes the pipe); without it, materialize sorted output.
-    let mut open = out_line(&mut out, format_args!("# {}", stmt.columns().join("\t")));
-    let stats = if let Some(k) = limit {
-        let stream_opts = ExecOptions {
-            limit: None,
-            ..opts.clone()
-        };
-        let mut stream = match stmt.stream(&stream_opts) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        // Print tuples as they are certified; stop at the limit or when
-        // the consumer goes away — either way the remaining probe work is
-        // never done.
-        let mut yielded = 0usize;
-        while open && yielded < k {
-            let Some(row) = stream.next() else { break };
-            open = out_line(&mut out, format_args!("{}", row_text(&row)));
-            yielded += 1;
-        }
-        // Snapshot before peeking so `--stats` reflects only the shown
-        // work (the peek certifies at most one extra tuple to make the
-        // truncation marker truthful).
-        let stats = stream.stats();
-        if open && yielded == k && stream.next().is_some() {
-            out_line(&mut out, format_args!("# … output truncated at {k}"));
-        }
-        stats
-    } else {
-        let result = match stmt.execute(&opts) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        print_rows(&mut out, &result.rows);
-        result.stats.unwrap_or_default()
+    let outcome = match render::write_body(&mut out, &stmt, &opts) {
+        Ok(o) => o,
+        Err(e) => return engine_failure(&e),
     };
     drop(out);
     if show_stats {
-        print_gao_line(&stmt);
-        print_stats(&stats);
+        match &kind {
+            DispatchKind::Baseline(name) => {
+                eprintln!("# algorithm: {name}");
+            }
+            DispatchKind::Parallel(t) => {
+                print_gao_line(&stmt);
+                print_shard_lines(*t, outcome.shards.as_deref().unwrap_or(&[]));
+            }
+            DispatchKind::Serial => print_gao_line(&stmt),
+        }
+        print_stats(&outcome.stats);
     }
     ExitCode::SUCCESS
 }

@@ -62,11 +62,10 @@
 //! assert_eq!(stmt.execute(&ExecOptions::default()).unwrap().rows, result.rows);
 //! ```
 
-use std::cell::{Cell, OnceCell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use minesweeper_baselines::lookup_configured;
 use minesweeper_core::{
@@ -164,6 +163,38 @@ impl fmt::Display for EngineError {
     }
 }
 
+impl EngineError {
+    /// The stable protocol error code for this error — what `msj serve`
+    /// puts on an `ERR <code> <message>` response line (see
+    /// `docs/SERVICE.md`). Codes are part of the wire contract: they
+    /// name error *categories*, never message text, so clients can
+    /// switch on them across releases.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineError::Text(_) => "PARSE",
+            EngineError::Query(_) => "PLAN",
+            EngineError::Storage(_) => "STORAGE",
+            EngineError::TypeMismatch { .. } => "TYPE",
+            EngineError::RowArity { .. } | EngineError::ValueType { .. } => "LOAD",
+            EngineError::UnknownAlgorithm(_) => "ALGO",
+        }
+    }
+
+    /// True when the error rejects the *request itself* (unparseable or
+    /// unplannable query text, a type conflict, an unknown algorithm)
+    /// rather than reporting a failure while executing it. The CLI maps
+    /// the two classes to distinct process exit codes (3 vs. 1).
+    pub fn is_query_rejection(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Text(_)
+                | EngineError::Query(_)
+                | EngineError::TypeMismatch { .. }
+                | EngineError::UnknownAlgorithm(_)
+        )
+    }
+}
+
 impl std::error::Error for EngineError {}
 
 impl From<TextError> for EngineError {
@@ -185,7 +216,7 @@ impl From<StorageError> for EngineError {
 }
 
 /// Execution knobs — the one options struct every evaluator honours.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecOptions {
     /// Evaluator name or alias from the registry (`None` = the planned
     /// Minesweeper engine; `"minesweeper-par"` = the sharded engine).
@@ -241,7 +272,8 @@ struct RelSchema {
 /// One cached prepared-statement entry: everything repeated executions of
 /// a query *shape* reuse — differently-parameterized literals share it,
 /// since literal values live in per-statement seed constraints, not here.
-/// Shared (`Rc`) between the cache and the statements hitting it.
+/// Shared (`Arc`) between the cache and the statements hitting it — also
+/// across threads, which is what lets one engine serve many connections.
 #[derive(Debug)]
 struct CachedStatement {
     /// Stable plan identity: statements reporting the same id share one
@@ -255,7 +287,9 @@ struct CachedStatement {
     /// plan demanded them — the expensive half of the cache. Built
     /// lazily on the first Minesweeper-path execution, so statements
     /// dispatched to a baseline never pay the physical re-index.
-    exec: OnceCell<PreparedExec>,
+    /// `OnceLock`, so concurrent first executions race safely and every
+    /// later one reads the same bound state.
+    exec: OnceLock<PreparedExec>,
     /// Per-attribute value types (decode map).
     attr_types: Vec<ColumnType>,
 }
@@ -276,6 +310,13 @@ impl CachedStatement {
 /// The engine front door (see the module docs). Loading relations takes
 /// `&mut self`; preparing and executing statements take `&self`, so any
 /// number of prepared statements can be alive concurrently.
+///
+/// The engine is `Send + Sync`: once loaded it can sit behind an
+/// `Arc<Engine>` shared by many connection threads — the statement cache
+/// is the shared hot state (`RwLock`-protected, read-mostly), and a
+/// cached entry's expensive bound execution is a `OnceLock` so exactly
+/// one thread pays any physical re-index. This is the contract the
+/// `msj serve` front door (see [`crate::server`]) is built on.
 #[derive(Debug, Default)]
 pub struct Engine {
     /// Shared so the detached workers of a parallel statement stream can
@@ -284,9 +325,18 @@ pub struct Engine {
     db: Arc<Database>,
     schemas: Vec<RelSchema>,
     dict: Dictionary,
-    cache: RefCell<HashMap<String, Rc<CachedStatement>>>,
-    next_plan_id: Cell<u64>,
+    cache: RwLock<HashMap<String, Arc<CachedStatement>>>,
+    next_plan_id: AtomicU64,
 }
+
+// The service front door shares one engine across connection threads;
+// losing either marker is an API break, so fail at compile time, not in
+// a server stress test.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<EngineError>();
+};
 
 impl Engine {
     /// An empty engine.
@@ -542,7 +592,7 @@ impl Engine {
         &self,
         query: &Query,
         attr_names: &[String],
-    ) -> Result<(Rc<CachedStatement>, bool), EngineError> {
+    ) -> Result<(Arc<CachedStatement>, bool), EngineError> {
         // Guard stale handles before any indexing: a Query built against
         // a different database must error, not panic.
         if let Some(atom) = query.atoms.iter().find(|a| a.rel.0 >= self.db.len()) {
@@ -552,21 +602,27 @@ impl Engine {
             )));
         }
         let key = shape_key(query);
-        if let Some(entry) = self.cache.borrow().get(&key) {
-            return Ok((Rc::clone(entry), true));
+        if let Some(entry) = self.cache.read().unwrap().get(&key) {
+            return Ok((Arc::clone(entry), true));
         }
+        // Plan outside any lock: planning is pure and read-only, so two
+        // threads racing on a cold shape at worst both plan — the loser's
+        // entry is discarded below, keeping plan identity one-per-shape.
         let attr_types = self.unify_attr_types(query, attr_names)?;
         let plan = plan(&self.db, query)?;
-        let id = self.next_plan_id.get();
-        self.next_plan_id.set(id + 1);
-        let entry = Rc::new(CachedStatement {
+        let mut cache = self.cache.write().unwrap();
+        if let Some(entry) = cache.get(&key) {
+            return Ok((Arc::clone(entry), true));
+        }
+        let id = self.next_plan_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(CachedStatement {
             id,
             query: query.clone(),
             plan,
-            exec: OnceCell::new(),
+            exec: OnceLock::new(),
             attr_types,
         });
-        self.cache.borrow_mut().insert(key, Rc::clone(&entry));
+        cache.insert(key, Arc::clone(&entry));
         Ok((entry, false))
     }
 
@@ -645,7 +701,7 @@ pub struct StatementResult {
 /// engine immutably, so many can be live at once.
 pub struct PreparedStatement<'e> {
     engine: &'e Engine,
-    entry: Rc<CachedStatement>,
+    entry: Arc<CachedStatement>,
     attr_names: Vec<String>,
     /// `visible[a]` = attribute `a` appears in the caller's output
     /// (literal-bound positions are hidden).
@@ -697,6 +753,19 @@ impl PreparedStatement<'_> {
         Ok(match self.dispatch(opts)? {
             Dispatch::Parallel(t) => Some(t),
             Dispatch::Serial | Dispatch::Baseline(_) => None,
+        })
+    }
+
+    /// The evaluator `opts` resolves to, as data: which engine runs, how
+    /// many workers, or which registry baseline. The CLI and the server
+    /// both branch on this (rather than re-deriving it from flag
+    /// combinations), and the server's admission control prices a
+    /// request by its [`DispatchKind::worker_cost`].
+    pub fn dispatch_kind(&self, opts: &ExecOptions) -> Result<DispatchKind, EngineError> {
+        Ok(match self.dispatch(opts)? {
+            Dispatch::Serial => DispatchKind::Serial,
+            Dispatch::Parallel(t) => DispatchKind::Parallel(t),
+            Dispatch::Baseline(a) => DispatchKind::Baseline(a.name().to_string()),
         })
     }
 
@@ -916,7 +985,7 @@ impl PreparedStatement<'_> {
         };
         Ok(StatementStream {
             engine: self.engine,
-            entry: Rc::clone(&self.entry),
+            entry: Arc::clone(&self.entry),
             visible: self.visible.clone(),
             inner,
             remaining: opts.limit.unwrap_or(usize::MAX),
@@ -949,6 +1018,32 @@ enum Dispatch {
     Baseline(Box<dyn minesweeper_core::Algorithm>),
 }
 
+/// The public form of the dispatch decision (see
+/// [`PreparedStatement::dispatch_kind`]): which evaluator an
+/// [`ExecOptions`] selects for a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchKind {
+    /// The serial Minesweeper probe loop on the cached plan.
+    Serial,
+    /// The sharded parallel engine with this many workers.
+    Parallel(usize),
+    /// A registry baseline, by canonical name.
+    Baseline(String),
+}
+
+impl DispatchKind {
+    /// How many pool workers the request occupies while it runs — what
+    /// the server's admission control debits from its global budget. A
+    /// serial or baseline execution costs one worker; a parallel one
+    /// costs its thread count.
+    pub fn worker_cost(&self) -> usize {
+        match self {
+            DispatchKind::Parallel(t) => (*t).max(1),
+            DispatchKind::Serial | DispatchKind::Baseline(_) => 1,
+        }
+    }
+}
+
 enum StreamInner<'e> {
     Lazy(minesweeper_core::TupleStream<'e>),
     Sharded(minesweeper_core::ShardedStream),
@@ -958,7 +1053,7 @@ enum StreamInner<'e> {
 /// A decoded row stream (see [`PreparedStatement::stream`]).
 pub struct StatementStream<'e> {
     engine: &'e Engine,
-    entry: Rc<CachedStatement>,
+    entry: Arc<CachedStatement>,
     visible: Vec<bool>,
     inner: StreamInner<'e>,
     remaining: usize,

@@ -97,6 +97,8 @@
 //! | [`workloads`] | synthetic graphs and the paper's instance families |
 
 pub mod engine;
+pub mod render;
+pub mod server;
 pub mod text;
 
 /// Re-export of `minesweeper-storage`.

@@ -1,0 +1,187 @@
+//! Admission control: a bounded global worker budget.
+//!
+//! Every query a connection runs occupies pool workers — one for a
+//! serial or baseline execution, `t` for a parallel one (see
+//! [`crate::engine::DispatchKind::worker_cost`]). Without a bound, a
+//! flood of `threads=8` requests would oversubscribe the machine: each
+//! request spawns its own shard workers, so 50 concurrent clients could
+//! stand up 400 probe threads fighting for the same cores. The
+//! [`WorkerBudget`] is a counting semaphore over that sum: a request
+//! **acquires** its worker cost before executing and releases it when
+//! its response (or cancellation) completes, so excess requests *queue*
+//! instead of oversubscribing — throughput degrades gracefully under
+//! flood, and the peak number of in-flight workers is bounded by
+//! construction.
+//!
+//! The budget is deliberately engine-agnostic: it counts *declared*
+//! worker cost, not threads the OS happens to schedule, which makes the
+//! accounting deterministic and testable (the saturation test asserts
+//! `peak ≤ budget` from these counters).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Counters behind the budget's mutex: the live permit count and the
+/// high-water mark.
+#[derive(Debug, Default)]
+struct State {
+    in_flight: usize,
+    peak: usize,
+}
+
+/// A counting semaphore over pool-worker permits (see the module docs).
+#[derive(Debug)]
+pub struct WorkerBudget {
+    budget: usize,
+    state: Mutex<State>,
+    freed: Condvar,
+    admitted: AtomicU64,
+    waited: AtomicU64,
+}
+
+impl WorkerBudget {
+    /// A budget of `budget` concurrent workers (clamped to at least 1 —
+    /// a zero budget would admit nothing, ever).
+    pub fn new(budget: usize) -> Self {
+        WorkerBudget {
+            budget: budget.max(1),
+            state: Mutex::new(State::default()),
+            freed: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            waited: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Blocks until `cost` workers are available, then debits them.
+    /// A cost above the whole budget is clamped to it — such a request
+    /// runs alone rather than deadlocking — and a cost of zero still
+    /// debits one worker (every admitted request occupies at least the
+    /// connection's own execution). The permit credits the budget back
+    /// on drop.
+    pub fn acquire(&self, cost: usize) -> Permit<'_> {
+        let cost = cost.clamp(1, self.budget);
+        let mut state = self.state.lock().unwrap();
+        if state.in_flight + cost > self.budget {
+            self.waited.fetch_add(1, Ordering::Relaxed);
+            while state.in_flight + cost > self.budget {
+                state = self.freed.wait(state).unwrap();
+            }
+        }
+        state.in_flight += cost;
+        state.peak = state.peak.max(state.in_flight);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Permit { budget: self, cost }
+    }
+
+    /// The live accounting: `(in_flight, peak)`.
+    pub fn in_flight_and_peak(&self) -> (usize, usize) {
+        let state = self.state.lock().unwrap();
+        (state.in_flight, state.peak)
+    }
+
+    /// Total requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to queue before being admitted.
+    pub fn waited(&self) -> u64 {
+        self.waited.load(Ordering::Relaxed)
+    }
+
+    fn release(&self, cost: usize) {
+        let mut state = self.state.lock().unwrap();
+        debug_assert!(state.in_flight >= cost, "release without acquire");
+        state.in_flight -= cost;
+        drop(state);
+        // Several queued requests with small costs may now fit at once.
+        self.freed.notify_all();
+    }
+}
+
+/// A held admission: `cost` workers debited from the budget, credited
+/// back on drop (including on panic — the session thread unwinding must
+/// not leak budget).
+#[derive(Debug)]
+pub struct Permit<'b> {
+    budget: &'b WorkerBudget,
+    cost: usize,
+}
+
+impl Permit<'_> {
+    /// The worker cost this permit holds.
+    pub fn cost(&self) -> usize {
+        self.cost
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_accounting() {
+        let b = WorkerBudget::new(4);
+        assert_eq!(b.budget(), 4);
+        let p1 = b.acquire(3);
+        assert_eq!(p1.cost(), 3);
+        assert_eq!(b.in_flight_and_peak(), (3, 3));
+        let p2 = b.acquire(1);
+        assert_eq!(b.in_flight_and_peak(), (4, 4));
+        drop(p1);
+        assert_eq!(b.in_flight_and_peak(), (1, 4), "peak is sticky");
+        drop(p2);
+        assert_eq!(b.in_flight_and_peak(), (0, 4));
+        assert_eq!(b.admitted(), 2);
+        assert_eq!(b.waited(), 0, "nothing queued");
+    }
+
+    #[test]
+    fn oversized_and_zero_costs_are_clamped() {
+        let b = WorkerBudget::new(2);
+        let p = b.acquire(100);
+        assert_eq!(p.cost(), 2, "clamped to the whole budget");
+        drop(p);
+        let p = b.acquire(0);
+        assert_eq!(p.cost(), 1, "every request occupies at least one");
+    }
+
+    #[test]
+    fn saturation_queues_and_bounds_peak() {
+        let b = Arc::new(WorkerBudget::new(2));
+        let running = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&b);
+            let running = Arc::clone(&running);
+            handles.push(std::thread::spawn(move || {
+                let _p = b.acquire(2);
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                assert!(now <= 1, "cost-2 permits on budget 2 are exclusive");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                running.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (in_flight, peak) = b.in_flight_and_peak();
+        assert_eq!(in_flight, 0);
+        assert!(peak <= 2, "peak {peak} must respect the budget");
+        assert_eq!(b.admitted(), 8, "every request eventually admitted");
+        assert!(b.waited() >= 1, "saturation forced queueing");
+    }
+}

@@ -1,0 +1,355 @@
+//! `msj serve` — the concurrent query service front door.
+//!
+//! A std-only TCP line-protocol server over the engine: one process owns
+//! one [`Engine`] (database + plan/re-index caches) behind an [`Arc`],
+//! and any number of concurrent client connections execute queries
+//! against it. The subsystem splits into:
+//!
+//! * [`protocol`] — the request grammar and response framing (and the
+//!   client-side classifier for it);
+//! * `session` (private) — the per-connection loop: parse, admit,
+//!   execute, stream, and the disconnect-triggers-cancellation path;
+//! * [`admission`] — the global [`WorkerBudget`] semaphore bounding the
+//!   total pool workers in flight across all connections;
+//! * [`client`] — a small blocking client used by `msj client`, the
+//!   integration tests, and the `serve_load` generator.
+//!
+//! The service's contract, tested end to end in `tests/server.rs`:
+//!
+//! 1. **Byte identity** — a response body, `|` prefixes stripped, is
+//!    byte-identical to the `msj` CLI's stdout for the same query and
+//!    options (both call [`crate::render`]).
+//! 2. **Admission** — with budget `B`, the peak sum of declared worker
+//!    costs in flight never exceeds `B`; excess requests queue and all
+//!    eventually complete.
+//! 3. **Cancellation** — a client that disconnects mid-stream stops its
+//!    query: the tuple stream is dropped, shard workers are cancelled,
+//!    and the work counters stop advancing.
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+mod session;
+
+pub use admission::{Permit, WorkerBudget};
+pub use client::{Client, Reply};
+pub use protocol::{ExplainFormat, Request, ResponseLine};
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use crate::engine::Engine;
+use crate::render::BodyOutcome;
+
+/// The default worker budget when `--budget` is not given: one worker
+/// per logical CPU, the same capacity one all-cores parallel query uses.
+pub fn default_budget() -> usize {
+    thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// State shared by the accept loop and every session thread.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) budget: WorkerBudget,
+    pub(crate) metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// A coherent-enough snapshot of the service counters (each counter
+    /// is individually consistent; the set is not a transaction).
+    pub(crate) fn stats(&self) -> ServerStats {
+        let m = &self.metrics;
+        let (in_flight, peak) = self.budget.in_flight_and_peak();
+        ServerStats {
+            connections: m.connections.load(Ordering::Relaxed),
+            active: m.active.load(Ordering::Relaxed),
+            requests: m.requests.load(Ordering::Relaxed),
+            errors: m.errors.load(Ordering::Relaxed),
+            rows: m.rows.load(Ordering::Relaxed),
+            disconnects: m.disconnects.load(Ordering::Relaxed),
+            outputs: m.outputs.load(Ordering::Relaxed),
+            find_gap_calls: m.find_gap_calls.load(Ordering::Relaxed),
+            probe_points: m.probe_points.load(Ordering::Relaxed),
+            budget: self.budget.budget() as u64,
+            in_flight: in_flight as u64,
+            peak_in_flight: peak as u64,
+            admitted: self.budget.admitted(),
+            waited: self.budget.waited(),
+        }
+    }
+}
+
+/// Whole-process service counters. Relaxed atomics: these are monotonic
+/// tallies, not synchronization.
+#[derive(Default)]
+pub(crate) struct Metrics {
+    pub(crate) connections: AtomicU64,
+    pub(crate) active: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) rows: AtomicU64,
+    pub(crate) disconnects: AtomicU64,
+    pub(crate) outputs: AtomicU64,
+    pub(crate) find_gap_calls: AtomicU64,
+    pub(crate) probe_points: AtomicU64,
+}
+
+impl Metrics {
+    /// Folds one completed (or cancelled) response body into the tallies.
+    pub(crate) fn absorb(&self, outcome: &BodyOutcome) {
+        self.rows.fetch_add(outcome.rows as u64, Ordering::Relaxed);
+        self.outputs
+            .fetch_add(outcome.stats.outputs, Ordering::Relaxed);
+        self.find_gap_calls
+            .fetch_add(outcome.stats.find_gap_calls, Ordering::Relaxed);
+        self.probe_points
+            .fetch_add(outcome.stats.probe_points, Ordering::Relaxed);
+    }
+}
+
+/// A public snapshot of the server's counters — what `STATS` reports and
+/// what the tests assert against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Query requests received (well-formed `Q` lines).
+    pub requests: u64,
+    /// Requests answered with an `ERR` line (protocol or engine).
+    pub errors: u64,
+    /// Data rows streamed to clients.
+    pub rows: u64,
+    /// Bodies cut short by a client disconnect (work was cancelled).
+    pub disconnects: u64,
+    /// Engine output tuples produced across all requests.
+    pub outputs: u64,
+    /// Engine `FindGap` calls across all requests (≈ certificate work).
+    pub find_gap_calls: u64,
+    /// Engine probe points across all requests.
+    pub probe_points: u64,
+    /// The configured admission budget.
+    pub budget: u64,
+    /// Worker permits currently held.
+    pub in_flight: u64,
+    /// High-water mark of held permits (never exceeds `budget`).
+    pub peak_in_flight: u64,
+    /// Requests admitted through the budget.
+    pub admitted: u64,
+    /// Requests that queued before admission.
+    pub waited: u64,
+}
+
+impl ServerStats {
+    /// The counters as `(name, value)` pairs — the `STATS` body, one
+    /// `name value` line each, in this order.
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
+        [
+            ("connections", self.connections),
+            ("active", self.active),
+            ("requests", self.requests),
+            ("errors", self.errors),
+            ("rows", self.rows),
+            ("disconnects", self.disconnects),
+            ("outputs", self.outputs),
+            ("find_gap_calls", self.find_gap_calls),
+            ("probe_points", self.probe_points),
+            ("budget", self.budget),
+            ("in_flight", self.in_flight),
+            ("peak_in_flight", self.peak_in_flight),
+            ("admitted", self.admitted),
+            ("waited", self.waited),
+        ]
+    }
+
+    /// Parses a `STATS` response body (the inverse of [`fields`]).
+    ///
+    /// [`fields`]: ServerStats::fields
+    pub fn parse_body(body: &str) -> Option<ServerStats> {
+        let mut stats = ServerStats {
+            connections: 0,
+            active: 0,
+            requests: 0,
+            errors: 0,
+            rows: 0,
+            disconnects: 0,
+            outputs: 0,
+            find_gap_calls: 0,
+            probe_points: 0,
+            budget: 0,
+            in_flight: 0,
+            peak_in_flight: 0,
+            admitted: 0,
+            waited: 0,
+        };
+        for line in body.lines() {
+            let (name, value) = line.split_once(' ')?;
+            let value: u64 = value.parse().ok()?;
+            match name {
+                "connections" => stats.connections = value,
+                "active" => stats.active = value,
+                "requests" => stats.requests = value,
+                "errors" => stats.errors = value,
+                "rows" => stats.rows = value,
+                "disconnects" => stats.disconnects = value,
+                "outputs" => stats.outputs = value,
+                "find_gap_calls" => stats.find_gap_calls = value,
+                "probe_points" => stats.probe_points = value,
+                "budget" => stats.budget = value,
+                "in_flight" => stats.in_flight = value,
+                "peak_in_flight" => stats.peak_in_flight = value,
+                "admitted" => stats.admitted = value,
+                "waited" => stats.waited = value,
+                _ => return None,
+            }
+        }
+        Some(stats)
+    }
+}
+
+/// A running query service: a bound listener, its accept thread, and the
+/// session threads it spawned. Dropping the handle shuts the service
+/// down (idempotently; [`Server::shutdown`] does it with error
+/// reporting).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 to let the OS pick — the effective
+    /// address is [`Server::addr`]) and starts accepting connections
+    /// against `engine`, with a global admission budget of `budget`
+    /// workers.
+    pub fn start(engine: Arc<Engine>, addr: &str, budget: usize) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            budget: WorkerBudget::new(budget),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("msj-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the service is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the service counters (the same numbers `STATS`
+    /// reports over the wire).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, wakes every session (they poll the shutdown flag
+    /// between reads), and joins all service threads.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> io::Result<()> {
+        let Some(accept) = self.accept.take() else {
+            return Ok(());
+        };
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // The accept loop blocks in `accept(2)`; a throwaway self-connect
+        // wakes it so it can observe the flag.
+        drop(TcpStream::connect(self.addr));
+        accept
+            .join()
+            .map_err(|_| io::Error::other("accept thread panicked"))
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+/// Accepts connections until shutdown, then joins every session thread
+/// (sessions notice the flag within one read-poll interval).
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let handle = thread::Builder::new()
+            .name("msj-session".to_string())
+            .spawn(move || session::run(stream, &shared));
+        match handle {
+            Ok(h) => sessions.push(h),
+            Err(_) => continue, // spawn failure: drop the connection
+        }
+    }
+    for h in sessions {
+        let _ = h.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_body_round_trips() {
+        let stats = ServerStats {
+            connections: 3,
+            active: 1,
+            requests: 17,
+            errors: 2,
+            rows: 420,
+            disconnects: 1,
+            outputs: 999,
+            find_gap_calls: 1234,
+            probe_points: 777,
+            budget: 8,
+            in_flight: 2,
+            peak_in_flight: 8,
+            admitted: 16,
+            waited: 5,
+        };
+        let body: String = stats
+            .fields()
+            .iter()
+            .map(|(n, v)| format!("{n} {v}\n"))
+            .collect();
+        assert_eq!(ServerStats::parse_body(&body), Some(stats));
+        assert_eq!(ServerStats::parse_body("nonsense line"), None);
+    }
+
+    #[test]
+    fn server_starts_and_shuts_down_cleanly() {
+        let server = Server::start(Arc::new(Engine::new()), "127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0, "OS assigned a real port");
+        assert_eq!(server.stats().budget, 2);
+        server.shutdown().unwrap();
+    }
+}

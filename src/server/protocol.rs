@@ -1,0 +1,288 @@
+//! The `msj serve` line protocol: requests, framing, error codes.
+//!
+//! Everything is newline-delimited UTF-8 over TCP — std-only, trivially
+//! scriptable (`nc` works), and friendly to the streaming contract: one
+//! request line in, a framed response out, repeat on the same
+//! connection. The full grammar lives in `docs/SERVICE.md`; in short:
+//!
+//! ```text
+//! request  := "Q" { SP option } [ SP "--" ] SP query-text
+//!           | "PING" | "STATS" | "QUIT"
+//! option   := "algo=" NAME | "threads=" N | "limit=" K
+//!           | "explain" | "explain=json"
+//! ```
+//!
+//! A query response is the CLI's stdout **body** (see
+//! [`crate::render`]), each line prefixed with `|`, terminated by one
+//! `OK <rows>` control line; failures are a single `ERR <code>
+//! <message>` line whose code comes from
+//! [`crate::engine::EngineError::code`] (plus [`CODE_PROTO`] for
+//! request-level violations). The prefix makes the framing
+//! self-describing — a client strips one leading `|` per body line and
+//! recovers the CLI's bytes exactly, and no tuple content can ever be
+//! mistaken for a control line.
+
+use crate::engine::ExecOptions;
+
+/// Error code for malformed request lines (the engine never sees them).
+pub const CODE_PROTO: &str = "PROTO";
+
+/// The one-character prefix every response body line carries.
+pub const BODY_PREFIX: char = '|';
+
+/// How an `explain` option wants the plan rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainFormat {
+    /// The human-readable multi-line rendering (`--explain`).
+    Human,
+    /// The structured single-line JSON form (`--explain-json`).
+    Json,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute (or explain) a query with per-request options.
+    Query {
+        /// Engine options the option tokens mapped onto.
+        opts: ExecOptions,
+        /// `Some` when the request asks for the plan instead of rows.
+        explain: Option<ExplainFormat>,
+        /// The query text (everything after the options).
+        text: String,
+    },
+    /// Liveness probe; response `OK 0`.
+    Ping,
+    /// Server counters as a body of `name value` lines.
+    Stats,
+    /// Close the connection (after an `OK 0` acknowledgement).
+    Quit,
+}
+
+/// Parses one request line (already stripped of its newline). Errors are
+/// the human message for an `ERR PROTO` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim_end_matches('\r');
+    let trimmed = line.trim_start();
+    let (verb, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r),
+        None => (trimmed, ""),
+    };
+    match verb {
+        "PING" => expect_no_operand("PING", rest).map(|()| Request::Ping),
+        "STATS" => expect_no_operand("STATS", rest).map(|()| Request::Stats),
+        "QUIT" => expect_no_operand("QUIT", rest).map(|()| Request::Quit),
+        "Q" => parse_query_request(rest),
+        "" => Err("empty request".to_string()),
+        other => Err(format!(
+            "unknown verb {other:?} (expected Q, PING, STATS, or QUIT)"
+        )),
+    }
+}
+
+fn expect_no_operand(verb: &str, rest: &str) -> Result<(), String> {
+    if rest.trim().is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{verb} takes no operand"))
+    }
+}
+
+/// Parses the operand of a `Q` line: leading `key=value` / `explain`
+/// option tokens, an optional `--` separator, then the query text
+/// verbatim. The first token that is not a recognized option starts the
+/// query, so relation names never collide with option syntax unless
+/// they *are* option syntax — in which case `--` disambiguates.
+fn parse_query_request(mut rest: &str) -> Result<Request, String> {
+    let mut opts = ExecOptions::default();
+    let mut explain = None;
+    loop {
+        rest = rest.trim_start();
+        let token = rest.split_whitespace().next().unwrap_or("");
+        let consumed = match token {
+            "--" => {
+                rest = &rest[token.len()..];
+                break;
+            }
+            "explain" => {
+                explain = Some(ExplainFormat::Human);
+                true
+            }
+            "explain=json" => {
+                explain = Some(ExplainFormat::Json);
+                true
+            }
+            _ => match token.split_once('=') {
+                Some(("algo", v)) if !v.is_empty() => {
+                    opts.algo = Some(v.to_string());
+                    true
+                }
+                Some(("threads", v)) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("threads= expects a count, got {v:?}"))?;
+                    // Mirror the CLI: any explicit thread request —
+                    // including 0 — selects the parallel engine with at
+                    // least one worker.
+                    opts.threads = n.max(1);
+                    true
+                }
+                Some(("limit", v)) => {
+                    let k: usize = v
+                        .parse()
+                        .map_err(|_| format!("limit= expects a count, got {v:?}"))?;
+                    opts.limit = Some(k);
+                    true
+                }
+                Some(("explain", v)) => {
+                    return Err(format!("explain takes no value except json, got {v:?}"))
+                }
+                _ => false,
+            },
+        };
+        if !consumed {
+            break;
+        }
+        rest = &rest[token.len()..];
+    }
+    let text = rest.trim();
+    if text.is_empty() {
+        return Err("Q needs a query, e.g. Q limit=10 R(a,b), S(b,c)".to_string());
+    }
+    Ok(Request::Query {
+        opts,
+        explain,
+        text: text.to_string(),
+    })
+}
+
+/// Renders the `OK` terminator for a body of `rows` data rows.
+pub fn ok_line(rows: usize) -> String {
+    format!("OK {rows}")
+}
+
+/// Renders an `ERR` line; the message is flattened to one line.
+pub fn err_line(code: &str, message: &str) -> String {
+    format!("ERR {code} {}", message.replace('\n', "; "))
+}
+
+/// Classifies one raw response line (the client side of the framing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseLine {
+    /// A body line, already stripped of its [`BODY_PREFIX`].
+    Body(String),
+    /// The success terminator with its data-row count.
+    Ok(u64),
+    /// A failure terminator: `(code, message)`.
+    Err(String, String),
+}
+
+/// Parses one response line. `None` for lines that violate the framing
+/// (a server this client should stop trusting).
+pub fn parse_response_line(line: &str) -> Option<ResponseLine> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    if let Some(body) = line.strip_prefix(BODY_PREFIX) {
+        return Some(ResponseLine::Body(body.to_string()));
+    }
+    if let Some(rest) = line.strip_prefix("OK ") {
+        return rest.trim().parse().ok().map(ResponseLine::Ok);
+    }
+    if let Some(rest) = line.strip_prefix("ERR ") {
+        let (code, msg) = rest.split_once(' ').unwrap_or((rest, ""));
+        return Some(ResponseLine::Err(code.to_string(), msg.to_string()));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("STATS\r"), Ok(Request::Stats));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+        assert!(parse_request("PING now").is_err());
+        assert!(parse_request("").is_err());
+        assert!(parse_request("HELLO").unwrap_err().contains("unknown verb"));
+    }
+
+    #[test]
+    fn query_options_map_onto_exec_options() {
+        let Request::Query {
+            opts,
+            explain,
+            text,
+        } = parse_request("Q algo=leapfrog threads=3 limit=7 R(a,b), S(b,c)").unwrap()
+        else {
+            panic!("expected a query");
+        };
+        assert_eq!(opts.algo.as_deref(), Some("leapfrog"));
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.limit, Some(7));
+        assert_eq!(explain, None);
+        assert_eq!(text, "R(a,b), S(b,c)");
+    }
+
+    #[test]
+    fn explain_and_separator() {
+        let Request::Query { explain, text, .. } =
+            parse_request("Q explain=json -- R(x, y)").unwrap()
+        else {
+            panic!("expected a query");
+        };
+        assert_eq!(explain, Some(ExplainFormat::Json));
+        assert_eq!(text, "R(x, y)");
+        let Request::Query { text, .. } = parse_request("Q explain R(x)").unwrap() else {
+            panic!()
+        };
+        assert_eq!(text, "R(x)");
+    }
+
+    #[test]
+    fn threads_zero_selects_one_worker_like_the_cli() {
+        let Request::Query { opts, .. } = parse_request("Q threads=0 R(x)").unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.threads, 1);
+    }
+
+    #[test]
+    fn malformed_options_are_proto_errors() {
+        assert!(parse_request("Q threads=lots R(x)").is_err());
+        assert!(parse_request("Q limit=-3 R(x)").is_err());
+        assert!(parse_request("Q explain=yaml R(x)").is_err());
+        assert!(parse_request("Q").is_err(), "query text required");
+        assert!(parse_request("Q limit=3").is_err(), "options alone too");
+    }
+
+    #[test]
+    fn unrecognized_token_starts_the_query() {
+        let Request::Query { opts, text, .. } = parse_request("Q weird=thing R(x)").unwrap() else {
+            panic!()
+        };
+        assert!(opts.algo.is_none());
+        assert_eq!(text, "weird=thing R(x)", "not an option, so query text");
+    }
+
+    #[test]
+    fn response_lines_round_trip() {
+        assert_eq!(
+            parse_response_line(&ok_line(42)),
+            Some(ResponseLine::Ok(42))
+        );
+        assert_eq!(
+            parse_response_line(&err_line("PARSE", "bad\nquery")),
+            Some(ResponseLine::Err(
+                "PARSE".to_string(),
+                "bad; query".to_string()
+            ))
+        );
+        assert_eq!(
+            parse_response_line("|1\t2\t3"),
+            Some(ResponseLine::Body("1\t2\t3".to_string()))
+        );
+        assert_eq!(parse_response_line("gibberish"), None);
+    }
+}

@@ -1,0 +1,328 @@
+//! One connection's request/response loop.
+//!
+//! A session owns its [`TcpStream`] and runs on a dedicated thread: read
+//! one request line, act on it, write one framed response, repeat until
+//! `QUIT`, EOF, a protocol violation, or server shutdown. Three
+//! properties do the heavy lifting:
+//!
+//! * **Shared hot state** — queries go through the one
+//!   [`crate::engine::Engine`] behind the server, so concurrent clients
+//!   hit the same plan/re-index cache and concurrent *different* shapes
+//!   warm it for each other.
+//! * **Admission before execution** — the request's declared worker cost
+//!   (see [`crate::engine::DispatchKind::worker_cost`]) is acquired from
+//!   the global [`super::WorkerBudget`] *before* the probe loop starts,
+//!   so a flood queues instead of oversubscribing the machine.
+//! * **Disconnect ⇒ cancellation** — the response body streams through a
+//!   per-line-flushed writer; a client that goes away turns the next
+//!   write into an error, [`crate::render::write_body`] stops and drops
+//!   the tuple stream, and the drop cancels queued and in-flight shard
+//!   work. The suffix of the output the client will never read is never
+//!   computed.
+
+use std::io::{self, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use crate::render::{write_body, write_explain};
+
+use super::protocol::{
+    err_line, ok_line, parse_request, ExplainFormat, Request, BODY_PREFIX, CODE_PROTO,
+};
+use super::Shared;
+
+/// How often a blocked read wakes up to poll the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Request lines longer than this are a protocol violation (the engine's
+/// query grammar never needs more; this bounds a hostile client's
+/// memory use).
+const MAX_LINE: usize = 1 << 20;
+
+/// Runs one connection to completion. IO errors end the session quietly
+/// (the peer is gone; there is nobody left to report them to).
+pub(super) fn run(stream: TcpStream, shared: &Shared) {
+    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.active.fetch_add(1, Ordering::Relaxed);
+    let _ = serve(stream, shared);
+    shared.metrics.active.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn serve(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    // Per-line flushing only helps if the OS sends the line promptly:
+    // without NODELAY a small response sits in the Nagle buffer and a
+    // disconnect is discovered a round-trip late.
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut reader = LineReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let line = match reader.next_line(shared) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()), // EOF or shutdown
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized request: report and hang up — the rest of
+                // the line would have to be skipped blind.
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                control(&mut writer, &err_line(CODE_PROTO, &e.to_string()))?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        if line.trim().is_empty() {
+            continue; // blank lines keep the connection usable interactively
+        }
+        let request = match parse_request(&line) {
+            Ok(r) => r,
+            Err(msg) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                control(&mut writer, &err_line(CODE_PROTO, &msg))?;
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => control(&mut writer, &ok_line(0))?,
+            Request::Quit => {
+                control(&mut writer, &ok_line(0))?;
+                return Ok(());
+            }
+            Request::Stats => {
+                let snapshot = shared.stats();
+                let mut body = PrefixWriter::new(&mut writer);
+                for (name, value) in snapshot.fields() {
+                    writeln!(body, "{name} {value}")?;
+                }
+                control(&mut writer, &ok_line(0))?;
+            }
+            Request::Query {
+                opts,
+                explain,
+                text,
+            } => {
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                if !run_query(&mut writer, shared, &opts, explain, &text)? {
+                    // The client disconnected mid-body; the stream drop
+                    // already cancelled its remaining work.
+                    shared.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Executes one query request and writes its framed response. Returns
+/// `false` when the client disconnected mid-body (session over), `true`
+/// otherwise — engine errors become `ERR` lines, not session failures.
+fn run_query(
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+    opts: &crate::engine::ExecOptions,
+    explain: Option<ExplainFormat>,
+    text: &str,
+) -> io::Result<bool> {
+    let stmt = match shared.engine.prepare(text) {
+        Ok(stmt) => stmt,
+        Err(e) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            control(writer, &err_line(e.code(), &e.to_string()))?;
+            return Ok(true);
+        }
+    };
+
+    if let Some(format) = explain {
+        let result = {
+            let mut body = PrefixWriter::new(writer);
+            write_explain(&mut body, &stmt, opts, format == ExplainFormat::Json)
+        };
+        let connected = match result {
+            Ok(connected) => connected,
+            Err(e) => {
+                shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                control(writer, &err_line(e.code(), &e.to_string()))?;
+                return Ok(true);
+            }
+        };
+        if connected {
+            control(writer, &ok_line(0))?;
+        }
+        return Ok(connected);
+    }
+
+    // Admission control: figure out what the request will cost in pool
+    // workers and block until the global budget can cover it. Planning
+    // (above) is deliberately *not* gated — it is cheap, cached, and
+    // needed to know the cost in the first place.
+    let kind = match stmt.dispatch_kind(opts) {
+        Ok(kind) => kind,
+        Err(e) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            control(writer, &err_line(e.code(), &e.to_string()))?;
+            return Ok(true);
+        }
+    };
+    let permit = shared.budget.acquire(kind.worker_cost());
+
+    let outcome = {
+        let mut body = PrefixWriter::new(writer);
+        write_body(&mut body, &stmt, opts)
+    };
+    drop(permit); // the response is produced; free the workers before flushing OK
+    match outcome {
+        Ok(o) => {
+            shared.metrics.absorb(&o);
+            if o.disconnected {
+                return Ok(false);
+            }
+            control(writer, &ok_line(o.rows))?;
+            Ok(true)
+        }
+        Err(e) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            control(writer, &err_line(e.code(), &e.to_string()))?;
+            Ok(true)
+        }
+    }
+}
+
+/// Writes one control line (`OK …` / `ERR …`) and flushes it out.
+fn control(writer: &mut BufWriter<TcpStream>, line: &str) -> io::Result<()> {
+    writeln!(writer, "{line}")?;
+    writer.flush()
+}
+
+/// A newline reader over a non-blocking-ish socket: read timeouts are
+/// polling opportunities for the shutdown flag, so idle connections
+/// cannot hold up server shutdown.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The next request line (without its newline), `None` on EOF or
+    /// server shutdown, `InvalidData` when a line exceeds [`MAX_LINE`].
+    fn next_line(&mut self, shared: &Shared) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop();
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if self.pending.len() > MAX_LINE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("request line exceeds {MAX_LINE} bytes"),
+                ));
+            }
+            if shared.shutting_down() {
+                return Ok(None);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Frames a response body: inserts [`BODY_PREFIX`] at the start of every
+/// line and flushes at every line end, so the peer sees tuples as they
+/// are certified and a gone peer turns the next line into an error (the
+/// cancellation trigger).
+struct PrefixWriter<'w, W: Write> {
+    inner: &'w mut W,
+    at_line_start: bool,
+}
+
+impl<'w, W: Write> PrefixWriter<'w, W> {
+    fn new(inner: &'w mut W) -> Self {
+        PrefixWriter {
+            inner,
+            at_line_start: true,
+        }
+    }
+}
+
+impl<W: Write> Write for PrefixWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut rest = buf;
+        while !rest.is_empty() {
+            if self.at_line_start {
+                let mut prefix = [0u8; 4];
+                self.inner
+                    .write_all(BODY_PREFIX.encode_utf8(&mut prefix).as_bytes())?;
+                self.at_line_start = false;
+            }
+            match rest.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    self.inner.write_all(&rest[..=pos])?;
+                    self.inner.flush()?;
+                    self.at_line_start = true;
+                    rest = &rest[pos + 1..];
+                }
+                None => {
+                    self.inner.write_all(rest)?;
+                    rest = &[];
+                }
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_writer_frames_each_line_once() {
+        let mut out = Vec::new();
+        {
+            let mut w = PrefixWriter::new(&mut out);
+            // Multiple write calls per line, multiple lines per call —
+            // exactly one prefix per physical line either way.
+            write!(w, "# a").unwrap();
+            writeln!(w, "\tb").unwrap();
+            write!(w, "1\t2\nthree").unwrap();
+            writeln!(w, "\tfour").unwrap();
+        }
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "|# a\tb\n|1\t2\n|three\tfour\n"
+        );
+    }
+
+    #[test]
+    fn prefix_writer_leaves_empty_lines_framed() {
+        let mut out = Vec::new();
+        {
+            let mut w = PrefixWriter::new(&mut out);
+            writeln!(w).unwrap();
+            writeln!(w, "x").unwrap();
+        }
+        assert_eq!(String::from_utf8(out).unwrap(), "|\n|x\n");
+    }
+}

@@ -1,0 +1,461 @@
+//! End-to-end tests for the `msj serve` query service: the byte-identity
+//! contract (a response body equals the CLI's stdout for the same query
+//! and options), admission control under saturation, and
+//! disconnect-triggered cancellation. See `docs/SERVICE.md` for the
+//! contracts these pin down.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use minesweeper_join::engine::{Engine, ExecOptions};
+use minesweeper_join::render;
+use minesweeper_join::server::{Client, Reply, Server, ServerStats};
+
+/// A small two-relation engine with string keys, enough rows for limits
+/// and truncation markers to engage.
+fn small_engine() -> Engine {
+    let mut e = Engine::new();
+    e.load_tsv(
+        "R",
+        "ams 1\nbcn 2\ncdg 3\ndub 4\newr 5\nfra 6\ngva 7\nhel 8\n",
+    )
+    .unwrap();
+    e.load_tsv("S", "1 lis\n2 mad\n3 nce\n4 osl\n5 prg\n6 rix\n")
+        .unwrap();
+    e
+}
+
+/// The serve-side acceptance contract: N concurrent clients over one
+/// shared engine each receive bodies byte-identical to the serial CLI's
+/// stdout — including `limit k` prefixes under `threads > 1`, where the
+/// global-order merge must reproduce the serial stream's exact prefix.
+#[test]
+fn concurrent_clients_get_serial_cli_bytes() {
+    let engine = Arc::new(small_engine());
+
+    // Request lines paired with the *serial* options whose CLI stdout
+    // they must reproduce (the renderer is what the CLI prints through).
+    let shapes: Vec<(String, ExecOptions)> = vec![
+        ("Q R(x, y), S(y, z)".into(), ExecOptions::default()),
+        (
+            "Q threads=3 R(x, y), S(y, z)".into(),
+            ExecOptions::default(),
+        ),
+        (
+            "Q threads=2 limit=2 R(x, y), S(y, z)".into(),
+            ExecOptions::default().with_limit(2),
+        ),
+        (
+            "Q limit=3 R(a, b)".into(),
+            ExecOptions::default().with_limit(3),
+        ),
+        (
+            "Q algo=leapfrog limit=4 R(x, y), S(y, z)".into(),
+            ExecOptions::default().with_algo("leapfrog").with_limit(4),
+        ),
+    ];
+    let expected: Vec<(String, String, u64)> = shapes
+        .iter()
+        .map(|(req, serial_opts)| {
+            let text = req
+                .trim_start_matches('Q')
+                .trim_start()
+                .split(' ')
+                .skip_while(|t| t.contains('='))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let stmt = engine.prepare(&text).unwrap();
+            let body = render::body_string(&stmt, serial_opts).unwrap();
+            let rows = body.lines().filter(|l| !l.starts_with('#')).count() as u64;
+            (req.clone(), body, rows)
+        })
+        .collect();
+
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", 4).unwrap();
+    let addr = server.addr();
+
+    let clients = 8;
+    let rounds = 4;
+    let barrier = Arc::new(Barrier::new(clients));
+    let expected = Arc::new(expected);
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                for round in 0..rounds {
+                    // Stagger shape order per client so different plans
+                    // hit the shared cache concurrently.
+                    for k in 0..expected.len() {
+                        let (req, body, rows) = &expected[(c + round + k) % expected.len()];
+                        match client.request(req).unwrap() {
+                            Reply::Ok {
+                                body: got,
+                                rows: got_rows,
+                            } => {
+                                assert_eq!(&got, body, "body mismatch for {req}");
+                                assert_eq!(got_rows, *rows, "row count for {req}");
+                            }
+                            Reply::Err { code, message } => {
+                                panic!("unexpected error for {req}: {code} {message}")
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.connections, clients as u64);
+    assert_eq!(stats.requests, (clients * rounds * expected.len()) as u64);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.disconnects, 0);
+    server.shutdown().unwrap();
+}
+
+/// Admission saturation: with a worker budget of 2, eight concurrent
+/// cost-2 (`threads=2`) requests all complete, but never overlap — the
+/// peak sum of in-flight worker permits respects the budget.
+#[test]
+fn admission_bounds_peak_in_flight_under_saturation() {
+    let mut engine = Engine::new();
+    // Enough rows that concurrent requests genuinely overlap in time.
+    let tsv: String = (0..20_000).map(|i| format!("{} {}\n", i, i + 1)).collect();
+    engine.load_tsv("E", &tsv).unwrap();
+    let engine = Arc::new(engine);
+
+    let budget = 2;
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", budget).unwrap();
+    let addr = server.addr();
+
+    let clients = 8;
+    let barrier = Arc::new(Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                match client.request("Q threads=2 E(x, y), E(y, z)").unwrap() {
+                    Reply::Ok { rows, .. } => rows,
+                    Reply::Err { code, message } => panic!("ERR {code} {message}"),
+                }
+            })
+        })
+        .collect();
+    let rows: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        rows.iter().all(|&r| r == rows[0] && r > 0),
+        "all saturated requests complete with the full result: {rows:?}"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.admitted, clients as u64, "everyone got through");
+    assert!(
+        stats.peak_in_flight <= budget as u64,
+        "peak {} exceeded budget {budget}",
+        stats.peak_in_flight
+    );
+    assert!(
+        stats.waited >= 1,
+        "8 synchronized cost-2 requests on budget 2 must queue"
+    );
+    server.shutdown().unwrap();
+}
+
+/// Disconnect-triggered cancellation: a client that vanishes mid-stream
+/// stops its query. The response body is far larger than any socket
+/// buffering, so the session is still producing when the client hangs
+/// up; the server registers the disconnect, absorbs only the partial
+/// work, and the counters stop advancing.
+#[test]
+fn disconnect_mid_stream_cancels_remaining_work() {
+    let mut engine = Engine::new();
+    // ~100-byte string keys × 100k rows ⇒ a ~10 MB body, well past what
+    // kernel buffers can absorb on loopback.
+    let tsv: String = (0..100_000).map(|i| format!("k{i:0>96} {i}\n")).collect();
+    engine.load_tsv("B", &tsv).unwrap();
+    let engine = Arc::new(engine);
+
+    let full_rows = {
+        let stmt = engine.prepare("B(k, v)").unwrap();
+        stmt.execute(&ExecOptions::default().with_stats())
+            .unwrap()
+            .rows
+            .len() as u64
+    };
+    assert_eq!(full_rows, 100_000);
+
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", 4).unwrap();
+    let addr = server.addr();
+
+    {
+        let mut client = Client::connect(addr).unwrap();
+        // A limited request streams tuples as they are certified (the
+        // cancellable path); the limit spans the whole result, so only
+        // the disconnect can stop it early.
+        client.send("Q threads=2 limit=100000 B(k, v)").unwrap();
+        // Read a handful of body lines to prove the stream is live …
+        for _ in 0..5 {
+            client.read_line().unwrap();
+        }
+        // … then vanish: dropping the socket with megabytes unread makes
+        // the server's next flush fail, which drops the tuple stream and
+        // cancels its shard workers.
+    }
+
+    // The session notices on its next write; give it a bounded moment.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let stats = server.stats();
+        if stats.disconnects == 1 {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never registered the disconnect: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        stats.rows < full_rows,
+        "only a prefix was streamed, got {} of {full_rows}",
+        stats.rows
+    );
+    assert!(
+        stats.outputs < full_rows,
+        "cancellation stopped the probe loop at {} of {full_rows} outputs",
+        stats.outputs
+    );
+
+    // "Stops advancing": the counters are final once the disconnect is
+    // registered — no background worker keeps producing.
+    std::thread::sleep(Duration::from_millis(100));
+    let later = server.stats();
+    assert_eq!(later.outputs, stats.outputs);
+    assert_eq!(later.find_gap_calls, stats.find_gap_calls);
+    server.shutdown().unwrap();
+}
+
+/// Protocol-level behaviour over a live socket: PING/STATS/QUIT, stable
+/// error codes, and blank-line tolerance.
+#[test]
+fn protocol_errors_and_stats_over_the_wire() {
+    let server = Server::start(Arc::new(small_engine()), "127.0.0.1:0", 3).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    assert_eq!(
+        client.request("PING").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 0
+        }
+    );
+    match client.request("Q R(x").unwrap() {
+        Reply::Err { code, .. } => assert_eq!(code, "PARSE"),
+        other => panic!("expected PARSE, got {other:?}"),
+    }
+    match client.request("Q algo=quantum R(x, y)").unwrap() {
+        Reply::Err { code, .. } => assert_eq!(code, "ALGO"),
+        other => panic!("expected ALGO, got {other:?}"),
+    }
+    match client.request("Q Nope(x, y)").unwrap() {
+        Reply::Err { code, .. } => assert_eq!(code, "PARSE"),
+        other => panic!("expected PARSE for unknown relation, got {other:?}"),
+    }
+    match client.request("HELLO").unwrap() {
+        Reply::Err { code, .. } => assert_eq!(code, "PROTO"),
+        other => panic!("expected PROTO, got {other:?}"),
+    }
+    match client.request("Q threads=many R(x, y)").unwrap() {
+        Reply::Err { code, .. } => assert_eq!(code, "PROTO"),
+        other => panic!("expected PROTO, got {other:?}"),
+    }
+
+    let reply = client.request("STATS").unwrap();
+    let body = reply.body().expect("STATS succeeds");
+    let stats = ServerStats::parse_body(body).expect("STATS body parses");
+    assert_eq!(stats.budget, 3);
+    assert_eq!(stats.errors, 5);
+    assert_eq!(stats.active, 1);
+
+    assert_eq!(
+        client.request("QUIT").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 0
+        }
+    );
+    server.shutdown().unwrap();
+}
+
+// ------------------------------------------------------------ processes
+
+/// Drives the real binaries: `msj serve` + `msj client` against the
+/// one-shot `msj` for the same queries must produce identical stdout,
+/// and the process exit codes follow the documented policy (2 usage,
+/// 3 rejected query, 1 execution failure).
+#[test]
+fn serve_and_client_binaries_match_one_shot_stdout() {
+    let bin = env!("CARGO_BIN_EXE_msj");
+    let dir = std::env::temp_dir().join(format!("msj-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let r = dir.join("R.tsv");
+    let s = dir.join("S.tsv");
+    std::fs::write(&r, "1 5\n2 7\n4 9\n").unwrap();
+    std::fs::write(&s, "5 1\n7 2\n9 4\n").unwrap();
+    let rel_r = format!("R={}", r.display());
+    let rel_s = format!("S={}", s.display());
+
+    // Kill-on-drop guard: without it, a panic between spawn and the
+    // explicit kill below leaks a serve process past the test run.
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+
+    let mut serve = KillOnDrop(
+        std::process::Command::new(bin)
+            .args([
+                "serve",
+                "--rel",
+                &rel_r,
+                "--rel",
+                &rel_s,
+                "--addr",
+                "127.0.0.1:0",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap(),
+    );
+    let serve = &mut serve.0;
+    let mut first_line = String::new();
+    BufReader::new(serve.stdout.as_mut().unwrap())
+        .read_line(&mut first_line)
+        .unwrap();
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first_line:?}"))
+        .to_string();
+
+    // (request line, one-shot CLI flags) pairs that must print the same
+    // bytes — the serve path through `msj client`, and directly.
+    // The explain case goes first: its body includes cache provenance,
+    // which matches the fresh one-shot process only while the server's
+    // cache is also cold.
+    let cases: &[(&str, &[&str])] = &[
+        ("Q explain=json R(x, y), S(y, z)", &["--explain-json"]),
+        ("Q R(x, y), S(y, z)", &[]),
+        ("Q threads=2 R(x, y), S(y, z)", &["--threads", "2"]),
+        (
+            "Q threads=2 limit=2 R(x, y), S(y, z)",
+            &["--threads", "2", "--limit", "2"],
+        ),
+        (
+            "Q algo=naive limit=1 R(x, y), S(y, z)",
+            &["--algo", "naive", "--limit", "1"],
+        ),
+    ];
+
+    let mut requests = String::new();
+    let mut one_shot = Vec::new();
+    for (req, flags) in cases {
+        requests.push_str(req);
+        requests.push('\n');
+        let out = std::process::Command::new(bin)
+            .args(["--rel", &rel_r, "--rel", &rel_s, "R(x, y), S(y, z)"])
+            .args(*flags)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "one-shot failed for {flags:?}");
+        one_shot.extend_from_slice(&out.stdout);
+    }
+
+    let mut client = std::process::Command::new(bin)
+        .args(["client", "--addr", &addr])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    client
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(requests.as_bytes())
+        .unwrap();
+    let mut client_out = Vec::new();
+    client
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_end(&mut client_out)
+        .unwrap();
+    assert!(client.wait().unwrap().success());
+    assert_eq!(
+        String::from_utf8_lossy(&client_out),
+        String::from_utf8_lossy(&one_shot),
+        "serve/client bytes must match the one-shot CLI"
+    );
+
+    // Exit-code policy, client side: a rejected query exits 3.
+    let mut bad = std::process::Command::new(bin)
+        .args(["client", "--addr", &addr])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    bad.stdin.take().unwrap().write_all(b"Q R(x\n").unwrap();
+    assert_eq!(bad.wait().unwrap().code(), Some(3));
+
+    serve.kill().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Exit-code policy, one-shot side: usage errors exit 2, rejected
+/// queries 3, execution/I-O failures 1.
+#[test]
+fn one_shot_exit_codes_distinguish_rejection_from_failure() {
+    let bin = env!("CARGO_BIN_EXE_msj");
+    let dir = std::env::temp_dir().join(format!("msj-exit-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let r = dir.join("R.tsv");
+    std::fs::write(&r, "1 2\n").unwrap();
+    let rel = format!("R={}", r.display());
+
+    let run = |args: &[&str]| {
+        std::process::Command::new(bin)
+            .args(args)
+            .output()
+            .unwrap()
+            .status
+            .code()
+    };
+    assert_eq!(run(&[]), Some(2), "usage");
+    assert_eq!(run(&["--rel", &rel, "R(x"]), Some(3), "parse rejection");
+    assert_eq!(
+        run(&["--rel", &rel, "--algo", "quantum", "R(x, y)"]),
+        Some(3),
+        "unknown algorithm rejection"
+    );
+    assert_eq!(
+        run(&["--rel", "R=/nonexistent/path.tsv", "R(x, y)"]),
+        Some(1),
+        "I/O failure"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
