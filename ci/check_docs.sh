@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # Doc-link check: fails when a markdown file references a repository
-# path that does not exist. Two kinds of references are checked:
+# path that does not exist, or when a design doc is unreachable. Three
+# kinds of checks run:
 #
 #   1. relative markdown link targets:   [text](docs/FOO.md)
 #   2. backticked repo paths:            `crates/core/src/plan.rs`
 #      (only tokens rooted at a known top-level directory are checked,
 #      so prose like `cargo test` or `a/b` pseudo-paths are ignored)
+#   3. reachability: every docs/*.md must be linked from README.md,
+#      directly or via the docs/README.md index (which itself must be
+#      linked from README.md) — no orphaned design docs.
 #
 # Usage: ci/check_docs.sh [FILE.md ...]   (defaults to docs/*.md,
-# README.md, and ci/README.md, run from the repository root)
+# README.md, and ci/README.md, run from the repository root; the
+# reachability check always runs against the real README/docs set)
 
 set -euo pipefail
 
@@ -33,6 +38,25 @@ check_path() {
     fail=1
 }
 
+# True when $1 contains a markdown link whose target resolves to the
+# file $2 (targets are resolved relative to $1's directory and to the
+# repository root, fragments dropped).
+links_to() {
+    local md="$1" want="$2" target
+    while IFS= read -r target; do
+        target="${target%%#*}"
+        target="${target%/}"
+        [ -z "$target" ] && continue
+        for candidate in "$target" "$(dirname "$md")/$target"; do
+            if [ -e "$candidate" ] &&
+               [ "$(realpath -m "$candidate")" = "$(realpath -m "$want")" ]; then
+                return 0
+            fi
+        done
+    done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+    return 1
+}
+
 for md in "${files[@]}"; do
     [ -f "$md" ] || { echo "ERROR: no such file: $md"; fail=1; continue; }
 
@@ -51,6 +75,26 @@ for md in "${files[@]}"; do
     done < <(grep -oE '`(crates|src|ci|docs|examples|tests|\.github)/[A-Za-z0-9_./-]+`' "$md" \
              | tr -d '`')
 done
+
+# 3. Reachability: every design doc must be discoverable from README.md.
+if [ -f README.md ] && [ -d docs ]; then
+    index=docs/README.md
+    if [ -f "$index" ] && ! links_to README.md "$index"; then
+        echo "ERROR: README.md does not link the doc index $index"
+        fail=1
+    fi
+    for doc in docs/*.md; do
+        [ "$doc" = "$index" ] && continue
+        if links_to README.md "$doc"; then
+            continue
+        fi
+        if [ -f "$index" ] && links_to "$index" "$doc"; then
+            continue
+        fi
+        echo "ERROR: $doc is unreachable (not linked from README.md or $index)"
+        fail=1
+    done
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "doc check: FAILED"

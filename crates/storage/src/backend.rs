@@ -1,0 +1,157 @@
+//! The storage-layer trait: the node-level read contract every physical
+//! trie representation must honour.
+//!
+//! The probe loop, the cursors, and the sharding layer only ever *read*
+//! relations, and they read them through a small node-addressed API:
+//! navigate (`root`/`child`/`value`), measure (`child_count`/
+//! `subtree_tuple_count`), and probe (`child_values` + `find_gap`).
+//! [`TrieStorage`] names that contract so alternative physical layouts —
+//! the ROADMAP's bitset/SIMD leaf representation, mmap-backed levels — can
+//! slot in under the same cursor layer without touching the algorithms.
+//! [`crate::TrieRelation`] is the canonical (columnar sorted-array)
+//! implementation; [`crate::GapCursor`] is written against the trait, so
+//! its position-reuse optimization carries to every implementation.
+//!
+//! The trait deliberately exposes sorted child slices (`child_values`):
+//! the paper's index model (Section 2.1) is an ordered search tree, and
+//! every consumer — galloping seeks, equi-depth sharding, the merge layer
+//! of `docs/STORAGE.md` — relies on per-node sorted order. A future
+//! non-slice representation would implement the trait for its *cursor*
+//! view rather than its raw storage.
+
+use crate::stats::ExecStats;
+use crate::trie::{Gap, NodeId, TrieRelation};
+use crate::value::Val;
+
+/// Node-addressed read access to one stored relation (see the module
+/// docs). All coordinates are the paper's 1-based child coordinates; the
+/// out-of-range conventions of `FindGap` are those of
+/// [`TrieRelation::find_gap`].
+pub trait TrieStorage {
+    /// Relation name (catalog key).
+    fn name(&self) -> &str;
+
+    /// Number of columns (trie depth).
+    fn arity(&self) -> usize;
+
+    /// Number of distinct tuples.
+    fn len(&self) -> usize;
+
+    /// True when the relation holds no tuples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The root node (empty index tuple).
+    fn root(&self) -> NodeId;
+
+    /// Number of children of an interior `node`.
+    fn child_count(&self, node: NodeId) -> usize;
+
+    /// The child of `node` at 1-based coordinate `coord`.
+    fn child(&self, node: NodeId, coord: usize) -> NodeId;
+
+    /// The value stored at a non-root node.
+    fn value(&self, node: NodeId) -> Val;
+
+    /// The sorted child values of an interior `node`.
+    fn child_values(&self, node: NodeId) -> &[Val];
+
+    /// Number of tuples (leaves) under `node`.
+    fn subtree_tuple_count(&self, node: NodeId) -> usize;
+
+    /// The paper's `R.FindGap(x, a)` over this storage (same contract and
+    /// accounting as [`TrieRelation::find_gap`]).
+    fn find_gap(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> Gap;
+}
+
+impl TrieStorage for TrieRelation {
+    fn name(&self) -> &str {
+        TrieRelation::name(self)
+    }
+
+    fn arity(&self) -> usize {
+        TrieRelation::arity(self)
+    }
+
+    fn len(&self) -> usize {
+        TrieRelation::len(self)
+    }
+
+    fn root(&self) -> NodeId {
+        TrieRelation::root(self)
+    }
+
+    fn child_count(&self, node: NodeId) -> usize {
+        TrieRelation::child_count(self, node)
+    }
+
+    fn child(&self, node: NodeId, coord: usize) -> NodeId {
+        TrieRelation::child(self, node, coord)
+    }
+
+    fn value(&self, node: NodeId) -> Val {
+        TrieRelation::value(self, node)
+    }
+
+    fn child_values(&self, node: NodeId) -> &[Val] {
+        TrieRelation::child_values(self, node)
+    }
+
+    fn subtree_tuple_count(&self, node: NodeId) -> usize {
+        TrieRelation::subtree_tuple_count(self, node)
+    }
+
+    fn find_gap(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> Gap {
+        TrieRelation::find_gap(self, node, a, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait methods must coincide with the inherent ones on the
+    /// canonical implementation.
+    #[test]
+    fn trait_matches_inherent_api() {
+        fn probe<S: TrieStorage>(s: &S) -> (usize, usize, Val, usize) {
+            let mut st = ExecStats::new();
+            let root = s.root();
+            let g = s.find_gap(root, 3, &mut st);
+            let c1 = s.child(root, 1);
+            (
+                s.child_count(root),
+                s.subtree_tuple_count(c1),
+                g.hi_val,
+                s.child_values(root).len(),
+            )
+        }
+        let r =
+            TrieRelation::from_tuples("R", 2, vec![vec![1, 5], vec![1, 9], vec![4, 2]]).unwrap();
+        let (fanout, under_first, hi, vals) = probe(&r);
+        assert_eq!(fanout, 2);
+        assert_eq!(under_first, 2);
+        assert_eq!(hi, 4);
+        assert_eq!(vals, 2);
+        assert_eq!(TrieStorage::name(&r), "R");
+        assert!(!TrieStorage::is_empty(&r));
+    }
+
+    #[test]
+    fn subtree_counts_cascade() {
+        let r = TrieRelation::from_tuples(
+            "R",
+            3,
+            vec![vec![1, 2, 4], vec![1, 2, 7], vec![1, 3, 5], vec![7, 4, 2]],
+        )
+        .unwrap();
+        assert_eq!(r.subtree_tuple_count(r.root()), 4);
+        let n1 = r.child(r.root(), 1);
+        assert_eq!(r.subtree_tuple_count(n1), 3);
+        let n12 = r.child(n1, 1);
+        assert_eq!(r.subtree_tuple_count(n12), 2);
+        let leaf = r.child(n12, 2);
+        assert_eq!(r.subtree_tuple_count(leaf), 1);
+    }
+}

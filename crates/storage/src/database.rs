@@ -1,9 +1,20 @@
-//! Database catalog: a set of named, indexed relations.
+//! Database catalog: a set of named, versioned relations.
+//!
+//! Each relation lives behind a [`VersionedRelation`] (immutable base +
+//! write delta + version counter). The read path is unchanged from the
+//! load-once days: [`Database::relation`] hands executors a plain
+//! [`TrieRelation`] — the relation's materialized snapshot, built lazily at
+//! most once per version. Because snapshots are `Arc`-shared,
+//! `Database::clone()` is O(relations) regardless of data size; the engine
+//! exploits this for copy-on-write (`Arc::make_mut`) so that readers
+//! holding an older `Arc<Database>` keep their versions alive — snapshot
+//! isolation, documented in `docs/STORAGE.md`.
 
 use std::collections::BTreeMap;
 
 use crate::error::StorageError;
 use crate::trie::TrieRelation;
+use crate::versioned::{VersionedRelation, WriteOp, WriteOutcome};
 
 /// Opaque handle to a relation inside a [`Database`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -14,7 +25,7 @@ pub struct RelId(pub usize);
 /// of the paper's star query all share one index).
 #[derive(Debug, Default, Clone)]
 pub struct Database {
-    relations: Vec<TrieRelation>,
+    relations: Vec<VersionedRelation>,
     by_name: BTreeMap<String, RelId>,
 }
 
@@ -24,14 +35,15 @@ impl Database {
         Self::default()
     }
 
-    /// Adds a relation; its name must be unique within the catalog.
+    /// Adds a relation (as version 0 of a fresh versioned relation); its
+    /// name must be unique within the catalog.
     pub fn add(&mut self, rel: TrieRelation) -> Result<RelId, StorageError> {
         if self.by_name.contains_key(rel.name()) {
             return Err(StorageError::DuplicateRelation(rel.name().to_string()));
         }
         let id = RelId(self.relations.len());
         self.by_name.insert(rel.name().to_string(), id);
-        self.relations.push(rel);
+        self.relations.push(VersionedRelation::from_base(rel));
         Ok(id)
     }
 
@@ -43,14 +55,58 @@ impl Database {
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
-    /// Fetches a relation by handle.
+    /// Fetches a relation's current snapshot by handle. With no pending
+    /// writes this is the immutable base; otherwise the materialized merge,
+    /// built lazily once per version.
     pub fn relation(&self, id: RelId) -> &TrieRelation {
+        self.relations[id.0].snapshot()
+    }
+
+    /// Fetches a relation's current snapshot by name.
+    pub fn relation_by_name(&self, name: &str) -> Result<&TrieRelation, StorageError> {
+        Ok(self.relation(self.id_of(name)?))
+    }
+
+    /// The versioned relation behind a handle (delta introspection, lazy
+    /// merge views).
+    pub fn versioned(&self, id: RelId) -> &VersionedRelation {
         &self.relations[id.0]
     }
 
-    /// Fetches a relation by name.
-    pub fn relation_by_name(&self, name: &str) -> Result<&TrieRelation, StorageError> {
-        Ok(self.relation(self.id_of(name)?))
+    /// Current version counter of a relation.
+    pub fn version(&self, id: RelId) -> u64 {
+        self.relations[id.0].version()
+    }
+
+    /// `(id, version)` for every relation, in id order — the cache key the
+    /// engine snapshots to detect staleness.
+    pub fn versions(&self) -> Vec<(RelId, u64)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i), r.version()))
+            .collect()
+    }
+
+    /// Applies a write batch to one relation (see
+    /// [`VersionedRelation::apply`] for semantics).
+    pub fn apply(&mut self, id: RelId, ops: &[WriteOp]) -> Result<WriteOutcome, StorageError> {
+        self.relations[id.0].apply(ops)
+    }
+
+    /// Folds one relation's delta into its base; false when there was
+    /// nothing to fold.
+    pub fn compact(&mut self, id: RelId) -> bool {
+        self.relations[id.0].compact()
+    }
+
+    /// Compacts every relation with a non-empty delta; returns how many were
+    /// folded.
+    pub fn compact_all(&mut self) -> usize {
+        self.relations
+            .iter_mut()
+            .map(|r| r.compact() as usize)
+            .sum()
     }
 
     /// Number of relations in the catalog.
@@ -63,18 +119,18 @@ impl Database {
         self.relations.is_empty()
     }
 
-    /// Total number of tuples across all relations — the paper's input size
-    /// `N`.
+    /// Total number of (logical) tuples across all relations — the paper's
+    /// input size `N`.
     pub fn total_tuples(&self) -> usize {
         self.relations.iter().map(|r| r.len()).sum()
     }
 
-    /// Iterates `(id, relation)` pairs.
+    /// Iterates `(id, snapshot)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (RelId, &TrieRelation)> {
         self.relations
             .iter()
             .enumerate()
-            .map(|(i, r)| (RelId(i), r))
+            .map(|(i, r)| (RelId(i), &**r.snapshot()))
     }
 }
 
@@ -112,5 +168,31 @@ mod tests {
             db.id_of("nope"),
             Err(StorageError::UnknownRelation(_))
         ));
+    }
+
+    #[test]
+    fn writes_flow_through_the_catalog() {
+        let mut db = Database::new();
+        let r = db.add(unary("R", [1, 5])).unwrap();
+        assert_eq!(db.version(r), 0);
+        let out = db.apply(r, &[WriteOp::Insert(vec![3])]).unwrap();
+        assert_eq!(out.inserted, 1);
+        assert_eq!(db.version(r), 1);
+        assert_eq!(db.relation(r).to_tuples(), vec![vec![1], vec![3], vec![5]]);
+        assert_eq!(db.versions(), vec![(r, 1)]);
+        assert!(db.compact(r));
+        assert_eq!(db.version(r), 1, "compaction is content-neutral");
+        assert!(db.versioned(r).delta_is_empty());
+        assert_eq!(db.compact_all(), 0);
+    }
+
+    #[test]
+    fn clone_preserves_old_snapshots() {
+        let mut db = Database::new();
+        let r = db.add(unary("R", [1])).unwrap();
+        let reader = db.clone();
+        db.apply(r, &[WriteOp::Insert(vec![2])]).unwrap();
+        assert_eq!(reader.relation(r).to_tuples(), vec![vec![1]]);
+        assert_eq!(db.relation(r).to_tuples(), vec![vec![1], vec![2]]);
     }
 }

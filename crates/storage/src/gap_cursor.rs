@@ -11,13 +11,14 @@
 //! (Section 6.2) — while backward or cross-node probes fall back to the
 //! plain `O(log |R|)` search.
 //!
-//! Results are bit-for-bit identical to [`TrieRelation::find_gap`],
+//! Results are bit-for-bit identical to [`crate::TrieRelation::find_gap`],
 //! including the `find_gap_calls` accounting, so certificate-proxy
 //! measurements are unaffected by the reuse.
 
+use crate::backend::TrieStorage;
 use crate::sorted;
 use crate::stats::ExecStats;
-use crate::trie::{gap_from_cnt_le, Gap, NodeId, TrieRelation};
+use crate::trie::{gap_from_cnt_le, Gap, NodeId};
 use crate::value::Val;
 
 /// One remembered landing site: the node probed and the `count_le` result.
@@ -54,11 +55,13 @@ impl GapCursor {
     }
 
     /// The paper's `R.FindGap(x, a)` (same contract and statistics as
-    /// [`TrieRelation::find_gap`]), reusing the previous landing position
-    /// at this depth when the probe revisits the same node.
-    pub fn find_gap(
+    /// [`crate::TrieRelation::find_gap`]), reusing the previous landing
+    /// position at this depth when the probe revisits the same node. Generic
+    /// over [`TrieStorage`], so the reuse optimization carries to any
+    /// physical layout behind the storage trait.
+    pub fn find_gap<S: TrieStorage>(
         &mut self,
-        rel: &TrieRelation,
+        rel: &S,
         node: NodeId,
         a: Val,
         stats: &mut ExecStats,

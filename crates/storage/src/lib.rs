@@ -19,26 +19,38 @@
 //! * [`ExecStats`] — operation counters; the number of `FindGap` calls is the
 //!   empirical certificate-size proxy used in the paper's Section 5.2,
 //! * [`TrieCursor`] — a leapfrog-style positional iterator used by the
-//!   baseline worst-case-optimal algorithms.
+//!   baseline worst-case-optimal algorithms,
+//! * [`VersionedRelation`] + [`MergeView`] — the write path: immutable base
+//!   tries with sorted in-memory deltas, merged lazily under the same
+//!   cursor contract (see `docs/STORAGE.md`),
+//! * [`TrieStorage`] — the node-level read trait every physical trie layout
+//!   implements.
 
+#![warn(missing_docs)]
+
+pub mod backend;
 pub mod builder;
 pub mod cursor;
 pub mod database;
 pub mod dict;
 pub mod error;
 pub mod gap_cursor;
+pub mod merge;
 pub mod shard;
 pub mod sorted;
 pub mod stats;
 pub mod trie;
 pub mod value;
+pub mod versioned;
 
+pub use backend::TrieStorage;
 pub use builder::RelationBuilder;
 pub use cursor::TrieCursor;
 pub use database::{Database, RelId};
 pub use dict::{ColumnType, Dictionary, Value};
 pub use error::StorageError;
 pub use gap_cursor::GapCursor;
+pub use merge::{MergeCursor, MergeIter, MergeNode, MergeView};
 pub use shard::{
     equi_depth_shards, nested_shards, second_level_profile, shard_relation, GaoOrder, ShardBounds,
     ShardSpec,
@@ -46,3 +58,4 @@ pub use shard::{
 pub use stats::ExecStats;
 pub use trie::{Gap, NodeId, TrieRelation};
 pub use value::{Tuple, Val, NEG_INF, POS_INF};
+pub use versioned::{VersionedRelation, WriteOp, WriteOutcome, COMPACT_DELTA_RATIO};

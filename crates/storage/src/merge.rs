@@ -1,0 +1,618 @@
+//! Lazy merge of a base trie with its write delta.
+//!
+//! A versioned relation (see [`crate::VersionedRelation`] and
+//! `docs/STORAGE.md`) is three tries over the same column order: an
+//! immutable **base**, a sorted **insert delta** (`ins`, disjoint from the
+//! base), and a sorted **tombstone delta** (`del`, a subset of the base).
+//! The logical relation is `(base ∖ del) ∪ ins`. A [`MergeView`] answers
+//! the paper's cursor contract — `FindGap`, descent by value, membership,
+//! ordered iteration — against that logical relation *without building it*:
+//! every probe consults the base plus the (small) deltas and combines the
+//! answers.
+//!
+//! The contract the merge layer guarantees to the CDS/cursor layer above is
+//! **observational equivalence**: every [`MergeView::find_gap`] returns
+//! bit-for-bit the same [`Gap`] (coordinates *and* values) that
+//! [`TrieRelation::find_gap`] would return on the materialized merge, and
+//! [`MergeView::iter_tuples`] yields exactly the materialized tuple
+//! sequence. Minesweeper's correctness rests only on that contract
+//! (Section 2.1's ordered-search-tree model), so certificate-style
+//! guarantees survive mutation unchanged. The property tests in this crate
+//! assert the equivalence against [`MergeView::materialize`].
+//!
+//! Cost accounting: probes that consult a non-empty delta bump
+//! [`ExecStats::delta_probes`], and each elementary union/liveness step
+//! bumps [`ExecStats::merge_steps`] — the index-maintenance overhead the
+//! WCOJ survey singles out, measured by the `mutation` bench.
+//!
+//! A merged child coordinate counts **live** base children (base children
+//! whose subtree is not fully tombstoned) plus insert children not already
+//! present live in the base. A base child is *dead* when the tombstones
+//! under it cover its whole subtree — detected in `O(arity)` by comparing
+//! [`TrieRelation::subtree_tuple_count`] on both sides, which is what makes
+//! deletion of whole subtrees cheap.
+
+use crate::sorted;
+use crate::stats::ExecStats;
+use crate::trie::{gap_from_cnt_le, Gap, NodeId, TrieRelation, TupleIter};
+use crate::value::{Tuple, Val, NEG_INF, POS_INF};
+
+/// A node of the merged trie: the base / insert / tombstone nodes that share
+/// this node's value prefix (each side is absent when the prefix does not
+/// occur there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeNode {
+    depth: usize,
+    base: Option<NodeId>,
+    ins: Option<NodeId>,
+    del: Option<NodeId>,
+}
+
+impl MergeNode {
+    /// Depth of the node (0 = root, `arity` = leaf).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// Read-only merged view of `(base ∖ del) ∪ ins` (see the module docs).
+///
+/// ```
+/// use minesweeper_storage::{ExecStats, MergeView, TrieRelation};
+/// let base = TrieRelation::from_tuples("R", 1, vec![vec![1], vec![5]]).unwrap();
+/// let ins = TrieRelation::from_tuples("R", 1, vec![vec![3]]).unwrap();
+/// let del = TrieRelation::from_tuples("R", 1, vec![vec![5]]).unwrap();
+/// let view = MergeView::new(&base, &ins, &del);
+/// let mut st = ExecStats::new();
+/// // Logical relation is {1, 3}: a probe at 4 sees 3 and +∞.
+/// let g = view.find_gap(&view.root(), 4, &mut st);
+/// assert_eq!(g.lo_val, 3);
+/// assert_eq!(st.delta_probes, 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MergeView<'a> {
+    base: &'a TrieRelation,
+    ins: &'a TrieRelation,
+    del: &'a TrieRelation,
+}
+
+impl<'a> MergeView<'a> {
+    /// Builds a view over a base trie and its deltas. All three must share
+    /// one arity; the caller (the versioned relation) maintains the set
+    /// invariants `ins ∩ base = ∅` and `del ⊆ base`.
+    pub fn new(base: &'a TrieRelation, ins: &'a TrieRelation, del: &'a TrieRelation) -> Self {
+        assert_eq!(base.arity(), ins.arity(), "insert delta arity mismatch");
+        assert_eq!(base.arity(), del.arity(), "tombstone delta arity mismatch");
+        MergeView { base, ins, del }
+    }
+
+    /// Relation name (the base's name).
+    pub fn name(&self) -> &str {
+        self.base.name()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.base.arity()
+    }
+
+    /// Logical tuple count: `|base| − |del| + |ins|`.
+    pub fn len(&self) -> usize {
+        self.base.len() - self.del.len() + self.ins.len()
+    }
+
+    /// True when the logical relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when both deltas are empty (the view is the base).
+    pub fn delta_is_empty(&self) -> bool {
+        self.ins.is_empty() && self.del.is_empty()
+    }
+
+    /// The merged root node.
+    pub fn root(&self) -> MergeNode {
+        MergeNode {
+            depth: 0,
+            base: Some(self.base.root()),
+            ins: Some(self.ins.root()),
+            del: Some(self.del.root()),
+        }
+    }
+
+    fn side_vals(rel: &'a TrieRelation, node: Option<NodeId>) -> &'a [Val] {
+        node.map_or(&[][..], |n| rel.child_values(n))
+    }
+
+    /// True when the base child at 0-based index `idx` under `node` is fully
+    /// tombstoned (its whole subtree is in `del`). One merge step.
+    fn base_child_dead(&self, node: &MergeNode, idx: usize, stats: &mut ExecStats) -> bool {
+        let (Some(bn), Some(dn)) = (node.base, node.del) else {
+            return false;
+        };
+        stats.merge_steps += 1;
+        let v = self.base.child_values(bn)[idx];
+        match self.del.child_values(dn).binary_search(&v) {
+            Ok(j) => {
+                let bc = self.base.child(bn, idx + 1);
+                let dc = self.del.child(dn, j + 1);
+                self.del.subtree_tuple_count(dc) == self.base.subtree_tuple_count(bc)
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The paper's `R.FindGap(x, a)` against the merged relation. Returns
+    /// exactly the [`Gap`] (coordinates in the *merged* child ordering,
+    /// values with `±∞` sentinels) that [`TrieRelation::find_gap`] would
+    /// return on [`MergeView::materialize`]. Increments `find_gap_calls`
+    /// always, `delta_probes` when a non-empty delta was consulted, and
+    /// `merge_steps` per liveness/union step.
+    pub fn find_gap(&self, node: &MergeNode, a: Val, stats: &mut ExecStats) -> Gap {
+        stats.find_gap_calls += 1;
+        let base_vals = Self::side_vals(self.base, node.base);
+        let ins_vals = Self::side_vals(self.ins, node.ins);
+        let del_vals = Self::side_vals(self.del, node.del);
+        if ins_vals.is_empty() && del_vals.is_empty() {
+            return gap_from_cnt_le(base_vals, sorted::count_le(base_vals, a), a);
+        }
+        stats.delta_probes += 1;
+
+        // Count dead base children (≤ a, and in total).
+        let (mut dead_le, mut dead_total) = (0usize, 0usize);
+        for &v in del_vals {
+            let idx = base_vals
+                .binary_search(&v)
+                .expect("tombstone child value must exist in base (del ⊆ base)");
+            if self.base_child_dead(node, idx, stats) {
+                dead_total += 1;
+                if v <= a {
+                    dead_le += 1;
+                }
+            }
+        }
+        // Count insert children that coincide with a live base child.
+        let (mut overlap_le, mut overlap_total) = (0usize, 0usize);
+        for &v in ins_vals {
+            stats.merge_steps += 1;
+            if let Ok(idx) = base_vals.binary_search(&v) {
+                if !self.base_child_dead(node, idx, stats) {
+                    overlap_total += 1;
+                    if v <= a {
+                        overlap_le += 1;
+                    }
+                }
+            }
+        }
+
+        let b_le = sorted::count_le(base_vals, a);
+        let i_le = sorted::count_le(ins_vals, a);
+        let merged_le = b_le - dead_le + i_le - overlap_le;
+        let merged_len = base_vals.len() - dead_total + ins_vals.len() - overlap_total;
+
+        // Largest live value ≤ a on each side.
+        let mut bi = b_le;
+        while bi > 0 && self.base_child_dead(node, bi - 1, stats) {
+            bi -= 1;
+        }
+        let base_lo = (bi > 0).then(|| base_vals[bi - 1]);
+        let ins_lo = (i_le > 0).then(|| ins_vals[i_le - 1]);
+        let lo = base_lo.into_iter().chain(ins_lo).max();
+
+        // Smallest live value ≥ a on each side.
+        let mut bj = sorted::count_lt(base_vals, a);
+        while bj < base_vals.len() && self.base_child_dead(node, bj, stats) {
+            bj += 1;
+        }
+        let base_hi = (bj < base_vals.len()).then(|| base_vals[bj]);
+        let i_lt = sorted::count_lt(ins_vals, a);
+        let ins_hi = (i_lt < ins_vals.len()).then(|| ins_vals[i_lt]);
+        let hi = base_hi.into_iter().chain(ins_hi).min();
+
+        let (lo_coord, lo_val) = match lo {
+            Some(v) if merged_le > 0 => (merged_le, v),
+            _ => (0, NEG_INF),
+        };
+        let (hi_coord, hi_val) = if lo_coord > 0 && lo_val == a {
+            (lo_coord, a)
+        } else if merged_le == merged_len {
+            (merged_len + 1, POS_INF)
+        } else {
+            (
+                merged_le + 1,
+                hi.expect("a merged value > a must exist when merged_le < merged_len"),
+            )
+        };
+        Gap {
+            lo_coord,
+            hi_coord,
+            lo_val,
+            hi_val,
+        }
+    }
+
+    /// Steps to the merged child of `node` carrying value `v`, or `None`
+    /// when `v` is not a live merged child value. Counts one `delta_probes`
+    /// when a delta was consulted.
+    pub fn child_by_value(
+        &self,
+        node: &MergeNode,
+        v: Val,
+        stats: &mut ExecStats,
+    ) -> Option<MergeNode> {
+        assert!(node.depth < self.arity(), "leaf nodes have no children");
+        let ins_vals = Self::side_vals(self.ins, node.ins);
+        let del_vals = Self::side_vals(self.del, node.del);
+        if !ins_vals.is_empty() || !del_vals.is_empty() {
+            stats.delta_probes += 1;
+        }
+        let mut base_side = None;
+        let mut del_side = None;
+        if let Some(bn) = node.base {
+            if let Ok(i) = self.base.child_values(bn).binary_search(&v) {
+                if !self.base_child_dead(node, i, stats) {
+                    base_side = Some(self.base.child(bn, i + 1));
+                    if let Some(dn) = node.del {
+                        if let Ok(j) = del_vals.binary_search(&v) {
+                            del_side = Some(self.del.child(dn, j + 1));
+                        }
+                    }
+                }
+            }
+        }
+        let ins_side = node.ins.and_then(|inn| {
+            ins_vals
+                .binary_search(&v)
+                .ok()
+                .map(|j| self.ins.child(inn, j + 1))
+        });
+        if base_side.is_none() && ins_side.is_none() {
+            return None;
+        }
+        Some(MergeNode {
+            depth: node.depth + 1,
+            base: base_side,
+            ins: ins_side,
+            del: del_side,
+        })
+    }
+
+    /// The sorted merged child values of `node` (allocates; the lazy probes
+    /// above never need the full list).
+    pub fn child_values(&self, node: &MergeNode, stats: &mut ExecStats) -> Vec<Val> {
+        let base_vals = Self::side_vals(self.base, node.base);
+        let ins_vals = Self::side_vals(self.ins, node.ins);
+        let mut out = Vec::with_capacity(base_vals.len() + ins_vals.len());
+        let (mut i, mut j) = (0, 0);
+        while i < base_vals.len() || j < ins_vals.len() {
+            stats.merge_steps += 1;
+            if j >= ins_vals.len() || (i < base_vals.len() && base_vals[i] <= ins_vals[j]) {
+                let live = !self.base_child_dead(node, i, stats);
+                if live {
+                    out.push(base_vals[i]);
+                    if j < ins_vals.len() && ins_vals[j] == base_vals[i] {
+                        j += 1; // live-overlap value emitted once
+                    }
+                }
+                // A dead base child leaves any equal insert value to the
+                // ins side of the merge.
+                i += 1;
+            } else {
+                out.push(ins_vals[j]);
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Membership test against the logical relation.
+    pub fn contains(&self, tuple: &[Val], stats: &mut ExecStats) -> bool {
+        if !self.delta_is_empty() {
+            stats.delta_probes += 1;
+        }
+        (self.base.contains(tuple) && !self.del.contains(tuple)) || self.ins.contains(tuple)
+    }
+
+    /// Iterates the merged tuples in lexicographic order.
+    pub fn iter_tuples(&self) -> MergeIter<'a> {
+        MergeIter {
+            base: self.base.iter_tuples().peekable(),
+            ins: self.ins.iter_tuples().peekable(),
+            del: self.del.iter_tuples().peekable(),
+            steps: 0,
+        }
+    }
+
+    /// Materializes the merged relation as a plain [`TrieRelation`] — the
+    /// reference semantics for the lazy probes, and the snapshot/compaction
+    /// builder. Returns the number of merge steps taken alongside.
+    pub fn materialize(&self) -> (TrieRelation, u64) {
+        let mut it = self.iter_tuples();
+        let tuples: Vec<Tuple> = it.by_ref().collect();
+        let rel = TrieRelation::from_sorted_unique(self.name().to_string(), self.arity(), &tuples);
+        (rel, it.steps())
+    }
+}
+
+/// Merging iterator over `(base ∖ del) ∪ ins` in lexicographic order.
+pub struct MergeIter<'a> {
+    base: std::iter::Peekable<TupleIter<'a>>,
+    ins: std::iter::Peekable<TupleIter<'a>>,
+    del: std::iter::Peekable<TupleIter<'a>>,
+    steps: u64,
+}
+
+impl<'a> MergeIter<'a> {
+    /// Elementary merge steps taken so far (one per tuple advanced on any
+    /// side); feeds [`ExecStats::merge_steps`] in the `mutation` bench.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+impl<'a> Iterator for MergeIter<'a> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            self.steps += 1;
+            let take_base = match (self.base.peek(), self.ins.peek()) {
+                (Some(b), Some(i)) => b < i, // sides are disjoint, never equal
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return None,
+            };
+            if !take_base {
+                return self.ins.next();
+            }
+            let t = self.base.next().expect("peeked");
+            // Tombstones are a subset of the base and both run in order, so
+            // the del head either equals the base head (skip it) or is ahead.
+            if self.del.peek() == Some(&t) {
+                self.del.next();
+                continue;
+            }
+            debug_assert!(self.del.peek().is_none_or(|d| *d > t), "del ⊄ base");
+            return Some(t);
+        }
+    }
+}
+
+/// A descent cursor over a [`MergeView`]: maintains the current node path
+/// and answers `FindGap` at the top — the merged analogue of the
+/// [`crate::GapCursor`] probe pattern, for point reads and delta-aware
+/// probing without materializing a snapshot.
+#[derive(Debug, Clone)]
+pub struct MergeCursor<'a> {
+    view: MergeView<'a>,
+    stack: Vec<MergeNode>,
+}
+
+impl<'a> MergeCursor<'a> {
+    /// A cursor positioned at the merged root.
+    pub fn new(view: MergeView<'a>) -> Self {
+        let root = view.root();
+        MergeCursor {
+            view,
+            stack: vec![root],
+        }
+    }
+
+    /// The view this cursor walks.
+    pub fn view(&self) -> &MergeView<'a> {
+        &self.view
+    }
+
+    /// The current node (top of the descent path).
+    pub fn node(&self) -> &MergeNode {
+        self.stack.last().expect("stack holds at least the root")
+    }
+
+    /// Depth of the current node (0 = root).
+    pub fn depth(&self) -> usize {
+        self.node().depth
+    }
+
+    /// `FindGap(current, a)` against the merged relation.
+    pub fn find_gap(&self, a: Val, stats: &mut ExecStats) -> Gap {
+        self.view.find_gap(self.node(), a, stats)
+    }
+
+    /// Descends to the child carrying `v`; returns false (and stays) when
+    /// `v` is not a live merged child value.
+    pub fn descend(&mut self, v: Val, stats: &mut ExecStats) -> bool {
+        let node = *self.node();
+        match self.view.child_by_value(&node, v, stats) {
+            Some(child) => {
+                self.stack.push(child);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pops back to the parent; returns false at the root.
+    pub fn up(&mut self) -> bool {
+        if self.stack.len() > 1 {
+            self.stack.pop();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(name: &str, arity: usize, tuples: &[&[Val]]) -> TrieRelation {
+        TrieRelation::from_tuples(name, arity, tuples.iter().map(|t| t.to_vec()).collect()).unwrap()
+    }
+
+    fn empty(arity: usize) -> TrieRelation {
+        TrieRelation::from_tuples("R", arity, vec![]).unwrap()
+    }
+
+    /// Probes every node of the materialized merge at a range of values and
+    /// demands bit-identical gaps from the lazy view.
+    fn assert_equivalent(base: &TrieRelation, ins: &TrieRelation, del: &TrieRelation) {
+        let view = MergeView::new(base, ins, del);
+        let (mat, _) = view.materialize();
+        assert_eq!(view.len(), mat.len(), "len mismatch");
+        assert_eq!(
+            view.iter_tuples().collect::<Vec<_>>(),
+            mat.to_tuples(),
+            "tuple stream mismatch"
+        );
+        // Walk both tries in lockstep, probing each interior node.
+        fn walk(view: &MergeView, vnode: &MergeNode, mat: &TrieRelation, mnode: NodeId) {
+            let mut st = ExecStats::new();
+            let mvals: Vec<Val> = mat.child_values(mnode).to_vec();
+            assert_eq!(
+                view.child_values(vnode, &mut st),
+                mvals,
+                "child values at depth {}",
+                mnode.depth()
+            );
+            // Probe around every child value plus sentinels.
+            let mut probes = vec![0, 1, Val::MAX / 8];
+            for &v in &mvals {
+                probes.extend([v - 1, v, v + 1]);
+            }
+            for a in probes {
+                let got = view.find_gap(vnode, a, &mut st);
+                let expect = mat.find_gap(mnode, a, &mut ExecStats::new());
+                assert_eq!(got, expect, "probe {a} at depth {}", mnode.depth());
+            }
+            if mnode.depth() + 1 < mat.arity() {
+                for (i, &v) in mvals.iter().enumerate() {
+                    let vchild = view.child_by_value(vnode, v, &mut st).unwrap();
+                    walk(view, &vchild, mat, mat.child(mnode, i + 1));
+                }
+            } else {
+                for &v in &mvals {
+                    assert!(view.child_by_value(vnode, v, &mut st).is_some());
+                }
+            }
+        }
+        walk(&view, &view.root(), &mat, mat.root());
+    }
+
+    #[test]
+    fn pure_base_is_transparent() {
+        let base = rel("R", 2, &[&[1, 5], &[1, 9], &[4, 2]]);
+        let (no_ins, no_del) = (empty(2), empty(2));
+        let view = MergeView::new(&base, &no_ins, &no_del);
+        let mut st = ExecStats::new();
+        let g = view.find_gap(&view.root(), 2, &mut st);
+        assert_eq!((g.lo_val, g.hi_val), (1, 4));
+        assert_eq!(st.delta_probes, 0, "no delta, no delta probes");
+        assert_equivalent(&base, &empty(2), &empty(2));
+    }
+
+    #[test]
+    fn inserts_appear_deletes_vanish() {
+        let base = rel("R", 2, &[&[1, 5], &[1, 9], &[4, 2], &[7, 3]]);
+        let ins = rel("R", 2, &[&[1, 7], &[3, 3]]);
+        let del = rel("R", 2, &[&[4, 2]]);
+        let view = MergeView::new(&base, &ins, &del);
+        let mut st = ExecStats::new();
+        assert!(view.contains(&[3, 3], &mut st));
+        assert!(view.contains(&[1, 7], &mut st));
+        assert!(!view.contains(&[4, 2], &mut st));
+        assert!(view.contains(&[1, 5], &mut st));
+        assert_eq!(view.len(), 5);
+        assert!(st.delta_probes > 0);
+        assert_equivalent(&base, &ins, &del);
+    }
+
+    #[test]
+    fn fully_tombstoned_subtree_disappears() {
+        // Both tuples under first value 1 deleted: root child 1 must vanish.
+        let base = rel("R", 2, &[&[1, 5], &[1, 9], &[4, 2]]);
+        let del = rel("R", 2, &[&[1, 5], &[1, 9]]);
+        let no_ins = empty(2);
+        let view = MergeView::new(&base, &no_ins, &del);
+        let mut st = ExecStats::new();
+        let g = view.find_gap(&view.root(), 1, &mut st);
+        assert_eq!((g.lo_val, g.hi_val), (NEG_INF, 4));
+        assert!(view.child_by_value(&view.root(), 1, &mut st).is_none());
+        assert_equivalent(&base, &empty(2), &del);
+    }
+
+    #[test]
+    fn insert_under_tombstoned_subtree() {
+        // Subtree 1 fully tombstoned in the base but revived by an insert.
+        let base = rel("R", 2, &[&[1, 5], &[4, 2]]);
+        let ins = rel("R", 2, &[&[1, 8]]);
+        let del = rel("R", 2, &[&[1, 5]]);
+        assert_equivalent(&base, &ins, &del);
+        let view = MergeView::new(&base, &ins, &del);
+        let mut st = ExecStats::new();
+        let child = view.child_by_value(&view.root(), 1, &mut st).unwrap();
+        let g = view.find_gap(&child, 5, &mut st);
+        assert_eq!((g.lo_val, g.hi_val), (NEG_INF, 8));
+    }
+
+    #[test]
+    fn empty_base_all_inserts() {
+        let ins = rel("R", 3, &[&[1, 2, 3], &[1, 2, 5], &[9, 0, 0]]);
+        assert_equivalent(&empty(3), &ins, &empty(3));
+    }
+
+    #[test]
+    fn everything_deleted() {
+        let base = rel("R", 2, &[&[1, 5], &[4, 2]]);
+        let del = base.clone();
+        let no_ins = empty(2);
+        let view = MergeView::new(&base, &no_ins, &del);
+        assert!(view.is_empty());
+        assert_eq!(view.iter_tuples().count(), 0);
+        assert_equivalent(&base, &empty(2), &del);
+    }
+
+    #[test]
+    fn partial_overlap_prefixes() {
+        // Inserts share the prefix 1 with base tuples; deletes hit only part
+        // of that subtree.
+        let base = rel(
+            "R",
+            3,
+            &[&[1, 2, 4], &[1, 2, 7], &[1, 3, 5], &[7, 4, 2], &[10, 4, 1]],
+        );
+        let ins = rel("R", 3, &[&[1, 2, 5], &[1, 9, 9], &[8, 8, 8]]);
+        let del = rel("R", 3, &[&[1, 2, 7], &[10, 4, 1]]);
+        assert_equivalent(&base, &ins, &del);
+    }
+
+    #[test]
+    fn merge_cursor_descends_and_probes() {
+        let base = rel("R", 2, &[&[1, 5], &[4, 2]]);
+        let ins = rel("R", 2, &[&[1, 8]]);
+        let del = rel("R", 2, &[&[4, 2]]);
+        let view = MergeView::new(&base, &ins, &del);
+        let mut cur = MergeCursor::new(view);
+        let mut st = ExecStats::new();
+        assert_eq!(cur.depth(), 0);
+        assert!(!cur.descend(4, &mut st), "fully dead child unreachable");
+        assert!(cur.descend(1, &mut st));
+        let g = cur.find_gap(6, &mut st);
+        assert_eq!((g.lo_val, g.hi_val), (5, 8));
+        assert!(cur.up());
+        assert!(!cur.up());
+        assert!(cur.view().contains(&[1, 8], &mut st));
+    }
+
+    #[test]
+    fn materialize_counts_steps() {
+        let base = rel("R", 1, &[&[1], &[3], &[5]]);
+        let ins = rel("R", 1, &[&[2]]);
+        let no_del = empty(1);
+        let view = MergeView::new(&base, &ins, &no_del);
+        let (mat, steps) = view.materialize();
+        assert_eq!(mat.to_tuples(), vec![vec![1], vec![2], vec![3], vec![5]]);
+        assert!(steps >= 4);
+    }
+}

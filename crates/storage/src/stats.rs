@@ -33,6 +33,15 @@ pub struct ExecStats {
     /// Intermediate tuples materialized by baseline algorithms (semijoin or
     /// binary-join intermediates).
     pub intermediate_tuples: u64,
+    /// Probes answered against a relation's *delta* (insert or tombstone
+    /// side) by the versioned-storage [`crate::MergeView`] — the
+    /// incremental-maintenance cost the WCOJ survey names as the practical
+    /// barrier; see `docs/STORAGE.md`.
+    pub delta_probes: u64,
+    /// Elementary steps taken while merging a base trie with its delta
+    /// (per-value union/liveness work in `FindGap`, and per-tuple steps of
+    /// the merging iterator that materializes snapshots and compactions).
+    pub merge_steps: u64,
 }
 
 impl ExecStats {
@@ -53,6 +62,8 @@ impl ExecStats {
         self.comparisons += other.comparisons;
         self.seeks += other.seeks;
         self.intermediate_tuples += other.intermediate_tuples;
+        self.delta_probes += other.delta_probes;
+        self.merge_steps += other.merge_steps;
     }
 
     /// The certificate-size estimate used for reporting: the number of

@@ -390,6 +390,24 @@ impl TrieRelation {
             .collect()
     }
 
+    /// Number of tuples (leaves) in the subtree rooted at `node`, in
+    /// `O(arity)` by cascading the node's position range through the
+    /// child-offset arrays. The root's subtree count is [`TrieRelation::len`];
+    /// a leaf's is 1. The versioned-storage merge layer uses this to decide
+    /// whether a tombstone set kills a base subtree outright (see
+    /// `docs/STORAGE.md`).
+    pub fn subtree_tuple_count(&self, node: NodeId) -> usize {
+        if node.depth == 0 {
+            return self.n_tuples;
+        }
+        let (mut lo, mut hi) = (node.pos, node.pos + 1);
+        for level in node.depth - 1..self.arity - 1 {
+            let off = &self.levels[level].child_off;
+            (lo, hi) = (off[lo] as usize, off[hi] as usize);
+        }
+        hi - lo
+    }
+
     /// All node values of a trie level (0-based), across all parents.
     /// Sibling groups are contiguous; cursors slice this column by the
     /// parent's child range.

@@ -1,0 +1,417 @@
+//! Versioned relations: an immutable base trie plus an in-memory write
+//! delta, with cheap snapshots.
+//!
+//! A [`VersionedRelation`] is the storage layer's unit of mutability (the
+//! full design rationale lives in `docs/STORAGE.md`):
+//!
+//! * **base** — an immutable, `Arc`-shared [`TrieRelation`] holding the bulk
+//!   of the data;
+//! * **ins** — a small sorted trie of pending inserts, disjoint from the
+//!   base;
+//! * **del** — a small sorted trie of tombstones, a subset of the base;
+//! * **version** — a counter bumped exactly when the logical content
+//!   changes, used by the engine to key plan- and re-index-cache
+//!   invalidation.
+//!
+//! The logical relation is `(base ∖ del) ∪ ins`. Reads go through either
+//! the lazy [`MergeView`] (point reads, delta-aware probing) or a
+//! **snapshot**: a materialized merge, built at most once per version and
+//! `Arc`-shared, so executors keep their plain `&TrieRelation` fast path
+//! and a clone of the enclosing catalog is O(1) per relation. A reader
+//! holding a snapshot `Arc` keeps it alive across any number of later
+//! writes — that is the whole snapshot-isolation story; there is no lock in
+//! the probe loop.
+//!
+//! [`VersionedRelation::apply`] enforces set semantics: inserting a present
+//! tuple or deleting an absent one is a no-op, deleting a delta insert
+//! removes it from `ins`, and re-inserting a tombstoned tuple just clears
+//! the tombstone. Batches that change nothing do not bump the version, so
+//! caches keyed on versions stay warm. [`VersionedRelation::compact`] folds
+//! the delta back into a fresh base when it has grown past the documented
+//! threshold; compaction never changes logical content and therefore never
+//! bumps the version.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
+
+use crate::error::StorageError;
+use crate::merge::MergeView;
+use crate::trie::TrieRelation;
+use crate::value::{Tuple, Val};
+
+/// One element of a write batch against a single relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Add a tuple (no-op if already present — set semantics).
+    Insert(Tuple),
+    /// Remove a tuple (no-op if absent).
+    Delete(Tuple),
+}
+
+impl WriteOp {
+    /// The tuple the operation carries.
+    pub fn tuple(&self) -> &[Val] {
+        match self {
+            WriteOp::Insert(t) | WriteOp::Delete(t) => t,
+        }
+    }
+}
+
+/// Effect of an applied batch: how many operations actually changed the
+/// relation (no-ops excluded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Tuples that became present and were not before the operation ran.
+    pub inserted: usize,
+    /// Tuples that became absent and were present before the operation ran.
+    pub deleted: usize,
+}
+
+impl WriteOutcome {
+    /// Total rows affected.
+    pub fn affected(&self) -> usize {
+        self.inserted + self.deleted
+    }
+}
+
+/// Fraction of the base size the delta may reach before
+/// [`VersionedRelation::should_compact`] recommends folding it in. The
+/// merge overhead per probe is `O(delta-fanout)` work against `O(log |R|)`
+/// base work, so a small constant fraction keeps probes near base speed; see
+/// the compaction policy in `docs/STORAGE.md`.
+pub const COMPACT_DELTA_RATIO: f64 = 0.25;
+
+/// An immutable base trie plus its write delta and version counter (see the
+/// module docs).
+///
+/// ```
+/// use minesweeper_storage::{TrieRelation, VersionedRelation, WriteOp};
+/// let base = TrieRelation::from_tuples("R", 1, vec![vec![1], vec![5]]).unwrap();
+/// let mut rel = VersionedRelation::from_base(base);
+/// let out = rel
+///     .apply(&[WriteOp::Insert(vec![3]), WriteOp::Delete(vec![5])])
+///     .unwrap();
+/// assert_eq!((out.inserted, out.deleted), (1, 1));
+/// assert_eq!(rel.version(), 1);
+/// assert_eq!(rel.snapshot().to_tuples(), vec![vec![1], vec![3]]);
+/// // Set semantics: re-inserting a present tuple changes nothing.
+/// let out = rel.apply(&[WriteOp::Insert(vec![1])]).unwrap();
+/// assert_eq!(out.affected(), 0);
+/// assert_eq!(rel.version(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VersionedRelation {
+    base: Arc<TrieRelation>,
+    ins: Arc<TrieRelation>,
+    del: Arc<TrieRelation>,
+    version: u64,
+    compactions: u64,
+    /// Materialized merge for the current version, built on first use.
+    snapshot: OnceLock<Arc<TrieRelation>>,
+}
+
+impl VersionedRelation {
+    /// Wraps an immutable trie as version 0 with an empty delta.
+    pub fn from_base(base: TrieRelation) -> Self {
+        let ins = Self::empty_delta(&base);
+        let del = ins.clone();
+        VersionedRelation {
+            base: Arc::new(base),
+            ins: Arc::new(ins),
+            del: Arc::new(del),
+            version: 0,
+            compactions: 0,
+            snapshot: OnceLock::new(),
+        }
+    }
+
+    fn empty_delta(base: &TrieRelation) -> TrieRelation {
+        TrieRelation::from_sorted_unique(base.name().to_string(), base.arity(), &[])
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        self.base.name()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.base.arity()
+    }
+
+    /// Logical tuple count (`|base| − |del| + |ins|`).
+    pub fn len(&self) -> usize {
+        self.base.len() - self.del.len() + self.ins.len()
+    }
+
+    /// True when the logical relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tuple count of the immutable base.
+    pub fn base_len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Total delta size (`|ins| + |del|`) — the quantity the compaction
+    /// policy watches.
+    pub fn delta_len(&self) -> usize {
+        self.ins.len() + self.del.len()
+    }
+
+    /// True when no writes are pending against the base.
+    pub fn delta_is_empty(&self) -> bool {
+        self.delta_len() == 0
+    }
+
+    /// Version counter: bumped exactly when a batch changes logical content.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of compactions performed over this relation's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The immutable base trie.
+    pub fn base(&self) -> &Arc<TrieRelation> {
+        &self.base
+    }
+
+    /// Lazy merged view of the current version — probes consult base plus
+    /// delta without materializing anything.
+    pub fn merge_view(&self) -> MergeView<'_> {
+        MergeView::new(&self.base, &self.ins, &self.del)
+    }
+
+    /// The materialized snapshot of the current version, built at most once
+    /// and `Arc`-shared. With an empty delta this is the base itself (no
+    /// copy); readers that clone the `Arc` keep their version alive across
+    /// later writes — snapshot isolation with zero probe-loop locking.
+    pub fn snapshot(&self) -> &Arc<TrieRelation> {
+        if self.delta_is_empty() {
+            return &self.base;
+        }
+        self.snapshot
+            .get_or_init(|| Arc::new(self.merge_view().materialize().0))
+    }
+
+    /// Applies a batch of writes atomically, in order, under set semantics.
+    /// The whole batch is validated (arity, domain) before any state
+    /// changes. The version is bumped exactly when the delta content
+    /// changed; the returned [`WriteOutcome`] counts effective operations
+    /// (an insert-then-delete of the same new tuple counts in both fields
+    /// yet leaves the version untouched).
+    pub fn apply(&mut self, ops: &[WriteOp]) -> Result<WriteOutcome, StorageError> {
+        for op in ops {
+            let t = op.tuple();
+            if t.len() != self.arity() {
+                return Err(StorageError::ArityMismatch {
+                    relation: self.name().to_string(),
+                    expected: self.arity(),
+                    got: t.len(),
+                });
+            }
+            for &v in t {
+                if !(0..=crate::value::MAX_DOMAIN_VALUE).contains(&v) {
+                    return Err(StorageError::ValueOutOfDomain {
+                        relation: self.name().to_string(),
+                        value: v,
+                    });
+                }
+            }
+        }
+        let mut ins: BTreeSet<Tuple> = self.ins.iter_tuples().collect();
+        let mut del: BTreeSet<Tuple> = self.del.iter_tuples().collect();
+        let mut out = WriteOutcome::default();
+        for op in ops {
+            match op {
+                WriteOp::Insert(t) => {
+                    if del.remove(t) {
+                        out.inserted += 1; // un-tombstone a base tuple
+                    } else if !self.base.contains(t) && ins.insert(t.clone()) {
+                        out.inserted += 1;
+                    }
+                }
+                WriteOp::Delete(t) => {
+                    if ins.remove(t) {
+                        out.deleted += 1; // retract a pending insert
+                    } else if self.base.contains(t) && del.insert(t.clone()) {
+                        out.deleted += 1;
+                    }
+                }
+            }
+        }
+        let changed = ins.len() != self.ins.len()
+            || del.len() != self.del.len()
+            || !ins.iter().zip(self.ins.iter_tuples()).all(|(a, b)| *a == b)
+            || !del.iter().zip(self.del.iter_tuples()).all(|(a, b)| *a == b);
+        if changed {
+            let name = self.name().to_string();
+            let arity = self.arity();
+            let ins: Vec<Tuple> = ins.into_iter().collect();
+            let del: Vec<Tuple> = del.into_iter().collect();
+            self.ins = Arc::new(TrieRelation::from_sorted_unique(name.clone(), arity, &ins));
+            self.del = Arc::new(TrieRelation::from_sorted_unique(name, arity, &del));
+            self.version += 1;
+            self.snapshot = OnceLock::new();
+        }
+        Ok(out)
+    }
+
+    /// True when the delta has outgrown [`COMPACT_DELTA_RATIO`] of the base
+    /// (always true for a non-empty delta over an empty base).
+    pub fn should_compact(&self) -> bool {
+        !self.delta_is_empty()
+            && self.delta_len() as f64 > COMPACT_DELTA_RATIO * self.base.len() as f64
+    }
+
+    /// Folds the delta into a fresh immutable base (reusing the snapshot if
+    /// one was already materialized). Logical content and version are
+    /// unchanged — readers holding the old base simply keep it alive via
+    /// their `Arc`. Returns false (and does nothing) when the delta is
+    /// empty.
+    pub fn compact(&mut self) -> bool {
+        if self.delta_is_empty() {
+            return false;
+        }
+        self.base = self.snapshot().clone();
+        self.ins = Arc::new(Self::empty_delta(&self.base));
+        self.del = Arc::new(Self::empty_delta(&self.base));
+        self.snapshot = OnceLock::new();
+        self.compactions += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ExecStats;
+
+    fn base3() -> TrieRelation {
+        TrieRelation::from_tuples("R", 2, vec![vec![1, 5], vec![1, 9], vec![4, 2]]).unwrap()
+    }
+
+    #[test]
+    fn apply_updates_logical_content_and_version() {
+        let mut r = VersionedRelation::from_base(base3());
+        assert_eq!(r.version(), 0);
+        assert!(r.delta_is_empty());
+        let out = r
+            .apply(&[WriteOp::Insert(vec![2, 2]), WriteOp::Delete(vec![1, 9])])
+            .unwrap();
+        assert_eq!((out.inserted, out.deleted), (1, 1));
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            r.snapshot().to_tuples(),
+            vec![vec![1, 5], vec![2, 2], vec![4, 2]]
+        );
+    }
+
+    #[test]
+    fn no_ops_do_not_bump_version() {
+        let mut r = VersionedRelation::from_base(base3());
+        // Insert a present tuple, delete an absent one.
+        let out = r
+            .apply(&[WriteOp::Insert(vec![1, 5]), WriteOp::Delete(vec![9, 9])])
+            .unwrap();
+        assert_eq!(out.affected(), 0);
+        assert_eq!(r.version(), 0);
+        // Insert-then-delete of a brand-new tuple: two effective ops, but the
+        // delta round-trips to its previous (empty) content.
+        let out = r
+            .apply(&[WriteOp::Insert(vec![3, 3]), WriteOp::Delete(vec![3, 3])])
+            .unwrap();
+        assert_eq!(out.affected(), 2);
+        assert_eq!(r.version(), 0);
+        assert!(r.delta_is_empty());
+    }
+
+    #[test]
+    fn delete_then_reinsert_clears_tombstone() {
+        let mut r = VersionedRelation::from_base(base3());
+        r.apply(&[WriteOp::Delete(vec![1, 5])]).unwrap();
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.len(), 2);
+        r.apply(&[WriteOp::Insert(vec![1, 5])]).unwrap();
+        assert_eq!(r.version(), 2);
+        assert!(r.delta_is_empty(), "tombstone cleared, not double-stored");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn snapshot_isolation_across_writes() {
+        let mut r = VersionedRelation::from_base(base3());
+        r.apply(&[WriteOp::Insert(vec![2, 2])]).unwrap();
+        let old = r.snapshot().clone();
+        r.apply(&[WriteOp::Delete(vec![2, 2]), WriteOp::Delete(vec![1, 5])])
+            .unwrap();
+        // The old snapshot still sees version-1 content.
+        assert_eq!(
+            old.to_tuples(),
+            vec![vec![1, 5], vec![1, 9], vec![2, 2], vec![4, 2]]
+        );
+        assert_eq!(r.snapshot().to_tuples(), vec![vec![1, 9], vec![4, 2]]);
+    }
+
+    #[test]
+    fn snapshot_is_base_when_delta_empty() {
+        let r = VersionedRelation::from_base(base3());
+        assert!(Arc::ptr_eq(r.snapshot(), r.base()));
+    }
+
+    #[test]
+    fn compact_folds_delta_without_version_bump() {
+        let mut r = VersionedRelation::from_base(base3());
+        r.apply(&[WriteOp::Insert(vec![9, 9]), WriteOp::Delete(vec![4, 2])])
+            .unwrap();
+        let v = r.version();
+        let before = r.snapshot().to_tuples();
+        assert!(r.should_compact());
+        assert!(r.compact());
+        assert_eq!(r.version(), v, "compaction is content-neutral");
+        assert_eq!(r.compactions(), 1);
+        assert!(r.delta_is_empty());
+        assert_eq!(r.base_len(), 3);
+        assert_eq!(r.snapshot().to_tuples(), before);
+        assert!(!r.compact(), "empty delta: nothing to fold");
+    }
+
+    #[test]
+    fn batch_validation_is_atomic() {
+        let mut r = VersionedRelation::from_base(base3());
+        let err = r
+            .apply(&[WriteOp::Insert(vec![2, 2]), WriteOp::Insert(vec![1, 2, 3])])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+        assert_eq!(r.version(), 0, "failed batch leaves no trace");
+        assert!(r.delta_is_empty());
+        let err = r.apply(&[WriteOp::Delete(vec![-1, 0])]).unwrap_err();
+        assert!(matches!(err, StorageError::ValueOutOfDomain { .. }));
+        assert_eq!(r.version(), 0);
+    }
+
+    #[test]
+    fn merge_view_agrees_with_snapshot() {
+        let mut r = VersionedRelation::from_base(base3());
+        r.apply(&[
+            WriteOp::Insert(vec![0, 1]),
+            WriteOp::Insert(vec![1, 7]),
+            WriteOp::Delete(vec![4, 2]),
+        ])
+        .unwrap();
+        let view = r.merge_view();
+        let mut st = ExecStats::new();
+        assert_eq!(
+            view.iter_tuples().collect::<Vec<_>>(),
+            r.snapshot().to_tuples()
+        );
+        assert!(view.contains(&[0, 1], &mut st));
+        assert!(!view.contains(&[4, 2], &mut st));
+        assert!(st.delta_probes > 0);
+    }
+}

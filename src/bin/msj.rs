@@ -105,7 +105,7 @@ fn print_stats(stats: &ExecStats) {
     eprintln!("# intermediate tuples: {}", stats.intermediate_tuples);
 }
 
-fn print_gao_line(stmt: &PreparedStatement<'_>) {
+fn print_gao_line(stmt: &PreparedStatement) {
     let gao = stmt.plan().gao();
     eprintln!(
         "# gao order: {:?} (mode {:?}, width {})",

@@ -74,7 +74,7 @@ use minesweeper_core::{
 };
 use minesweeper_storage::{
     ColumnType, Database, Dictionary, ExecStats, RelId, RelationBuilder, StorageError,
-    TrieRelation, Tuple, Val, Value,
+    TrieRelation, Tuple, Val, Value, WriteOp, WriteOutcome,
 };
 
 use crate::text::{parse_query_ast, parse_typed_relation, QueryArg, TextError};
@@ -263,6 +263,26 @@ impl ExecOptions {
     }
 }
 
+/// One row-level write in an [`Engine::apply_batch`] batch, with typed
+/// cells (the write-path twin of the typed rows [`Engine::add_relation`]
+/// loads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowOp {
+    /// Add a row (no-op if present — set semantics).
+    Insert(Vec<Value>),
+    /// Remove a row (no-op if absent).
+    Delete(Vec<Value>),
+}
+
+impl RowOp {
+    /// The row the operation carries.
+    pub fn row(&self) -> &[Value] {
+        match self {
+            RowOp::Insert(r) | RowOp::Delete(r) => r,
+        }
+    }
+}
+
 /// Declared shape of one stored relation.
 #[derive(Debug, Clone)]
 struct RelSchema {
@@ -292,6 +312,12 @@ struct CachedStatement {
     exec: OnceLock<PreparedExec>,
     /// Per-attribute value types (decode map).
     attr_types: Vec<ColumnType>,
+    /// `(relation, version)` for every relation the query touches, at plan
+    /// time. A later prepare whose database disagrees treats the entry as
+    /// stale — the write path's cache-invalidation key (see
+    /// `docs/STORAGE.md`). Writes to relations *not* listed here leave the
+    /// entry warm.
+    versions: Vec<(RelId, u64)>,
 }
 
 impl CachedStatement {
@@ -319,12 +345,19 @@ impl CachedStatement {
 /// `msj serve` front door (see [`crate::server`]) is built on.
 #[derive(Debug, Default)]
 pub struct Engine {
-    /// Shared so the detached workers of a parallel statement stream can
-    /// co-own the relations; unique (and hence cheaply mutable) while
-    /// relations are being loaded.
-    db: Arc<Database>,
+    /// The current database version, behind a copy-on-write `Arc`: readers
+    /// (prepared statements, detached parallel streams) clone the `Arc`
+    /// once and never lock again — that clone *is* their snapshot, kept
+    /// alive across any number of later writes. Writers take the write
+    /// lock briefly to `Arc::make_mut` (cheap: relations are `Arc`-shared
+    /// inside) and swap in the next version. See `docs/STORAGE.md`.
+    db: RwLock<Arc<Database>>,
     schemas: Vec<RelSchema>,
-    dict: Dictionary,
+    /// Copy-on-write like `db`: decode paths hold an `Arc` snapshot and
+    /// never lock; write batches interning new strings clone-on-write.
+    /// The dictionary only ever grows, so any newer snapshot decodes any
+    /// older database version.
+    dict: RwLock<Arc<Dictionary>>,
     cache: RwLock<HashMap<String, Arc<CachedStatement>>>,
     next_plan_id: AtomicU64,
 }
@@ -355,20 +388,23 @@ impl Engine {
             })
             .collect();
         Engine {
-            db: Arc::new(db),
+            db: RwLock::new(Arc::new(db)),
             schemas,
             ..Self::default()
         }
     }
 
-    /// The underlying database (encoded values).
-    pub fn db(&self) -> &Database {
-        &self.db
+    /// A snapshot of the current database version (encoded values). The
+    /// returned `Arc` stays valid — and unchanged — across later writes;
+    /// call again to observe them.
+    pub fn db(&self) -> Arc<Database> {
+        self.db.read().unwrap().clone()
     }
 
-    /// The engine's string dictionary.
-    pub fn dict(&self) -> &Dictionary {
-        &self.dict
+    /// A snapshot of the engine's string dictionary (append-only: any
+    /// snapshot decodes any database version no newer than itself).
+    pub fn dict(&self) -> Arc<Dictionary> {
+        self.dict.read().unwrap().clone()
     }
 
     /// The declared column types of a stored relation.
@@ -389,6 +425,7 @@ impl Engine {
     ) -> Result<RelId, EngineError> {
         let mut b = RelationBuilder::new(name, types.len());
         let mut buf: Tuple = vec![0; types.len()];
+        let dict = Arc::make_mut(self.dict.get_mut().unwrap());
         for row in rows {
             if row.len() != types.len() {
                 return Err(EngineError::RowArity {
@@ -400,7 +437,7 @@ impl Engine {
             for (c, (cell, ty)) in row.iter().zip(types).enumerate() {
                 buf[c] = match (cell, ty) {
                     (Value::Int(v), ColumnType::Int) => *v,
-                    (Value::Str(s), ColumnType::Str) => self.dict.intern(s),
+                    (Value::Str(s), ColumnType::Str) => dict.intern(s),
                     _ => {
                         return Err(EngineError::ValueType {
                             relation: name.to_string(),
@@ -438,20 +475,146 @@ impl Engine {
         // borrow the engine), so this mutates in place; a clone happens
         // only if a detached stream from an earlier statement is still
         // running, which keeps that stream's view consistent.
-        let id = Arc::make_mut(&mut self.db).add(rel)?;
+        let id = Arc::make_mut(self.db.get_mut().unwrap()).add(rel)?;
         debug_assert_eq!(id.0, self.schemas.len(), "schema catalog tracks RelIds");
         self.schemas.push(RelSchema { cols });
         Ok(id)
     }
 
+    /// Inserts typed rows into a stored relation (set semantics: rows
+    /// already present are no-ops). Takes `&self` — writes go through the
+    /// copy-on-write database, so statements and streams prepared earlier
+    /// keep their snapshots; the relation's version is bumped iff content
+    /// actually changed, invalidating cached plans over it. See
+    /// `docs/STORAGE.md` for the full lifecycle contract.
+    pub fn insert(
+        &self,
+        relation: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<WriteOutcome, EngineError> {
+        self.apply_batch(relation, rows.into_iter().map(RowOp::Insert))
+    }
+
+    /// Deletes typed rows from a stored relation (rows not present are
+    /// no-ops). Same snapshot/version semantics as [`Engine::insert`].
+    pub fn delete(
+        &self,
+        relation: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<WriteOutcome, EngineError> {
+        self.apply_batch(relation, rows.into_iter().map(RowOp::Delete))
+    }
+
+    /// Applies a mixed batch of inserts and deletes to one relation,
+    /// atomically and in order. The whole batch is validated against the
+    /// declared schema before any state changes; the returned
+    /// [`WriteOutcome`] counts rows that actually changed membership.
+    /// Concurrent readers are never blocked: they keep the `Arc` snapshot
+    /// they already hold, and the next prepare sees the new version.
+    pub fn apply_batch(
+        &self,
+        relation: &str,
+        ops: impl IntoIterator<Item = RowOp>,
+    ) -> Result<WriteOutcome, EngineError> {
+        let ops: Vec<RowOp> = ops.into_iter().collect();
+        let id = self.db.read().unwrap().id_of(relation)?;
+        let types = self.schemas[id.0].cols.clone();
+        // Validate the whole batch before interning or applying anything.
+        for op in &ops {
+            let row = op.row();
+            if row.len() != types.len() {
+                return Err(EngineError::RowArity {
+                    relation: relation.to_string(),
+                    expected: types.len(),
+                    got: row.len(),
+                });
+            }
+            for (c, (cell, ty)) in row.iter().zip(&types).enumerate() {
+                match (cell, ty) {
+                    (Value::Int(_), ColumnType::Int) | (Value::Str(_), ColumnType::Str) => {}
+                    _ => {
+                        return Err(EngineError::ValueType {
+                            relation: relation.to_string(),
+                            column: c,
+                            expected: *ty,
+                        })
+                    }
+                }
+            }
+        }
+        // Encode. Inserts may intern new strings (copy-on-write on the
+        // dictionary); a delete naming a string the dictionary has never
+        // seen cannot match any stored tuple and is dropped as a no-op
+        // without polluting the dictionary.
+        let mut encoded: Vec<WriteOp> = Vec::with_capacity(ops.len());
+        {
+            let mut dict = self.dict.write().unwrap();
+            'ops: for op in &ops {
+                let row = op.row();
+                let mut t: Tuple = Vec::with_capacity(row.len());
+                for cell in row {
+                    t.push(match cell {
+                        Value::Int(v) => *v,
+                        Value::Str(s) => match op {
+                            RowOp::Insert(_) => Arc::make_mut(&mut dict).intern(s),
+                            RowOp::Delete(_) => match dict.id_of(s) {
+                                Some(v) => v,
+                                None => continue 'ops, // vacuous delete
+                            },
+                        },
+                    });
+                }
+                encoded.push(match op {
+                    RowOp::Insert(_) => WriteOp::Insert(t),
+                    RowOp::Delete(_) => WriteOp::Delete(t),
+                });
+            }
+        }
+        let mut db = self.db.write().unwrap();
+        Ok(Arc::make_mut(&mut db).apply(id, &encoded)?)
+    }
+
+    /// Current version counter of a relation (bumped per content-changing
+    /// batch; the cache-invalidation key).
+    pub fn relation_version(&self, relation: &str) -> Result<u64, EngineError> {
+        let db = self.db.read().unwrap();
+        Ok(db.version(db.id_of(relation)?))
+    }
+
+    /// Folds one relation's write delta into a fresh immutable base.
+    /// Content-neutral: versions, cached plans, and snapshots held by
+    /// running readers are all unaffected. Returns false when the delta
+    /// was already empty.
+    pub fn compact_relation(&self, relation: &str) -> Result<bool, EngineError> {
+        let mut db = self.db.write().unwrap();
+        let id = db.id_of(relation)?;
+        Ok(Arc::make_mut(&mut db).compact(id))
+    }
+
+    /// Compacts every relation with pending writes; returns how many were
+    /// folded.
+    pub fn compact(&self) -> usize {
+        let mut db = self.db.write().unwrap();
+        Arc::make_mut(&mut db).compact_all()
+    }
+
     /// Parses and prepares a query. Planning, GAO selection, and any
-    /// physical re-indexing happen **at most once per query shape**: a
-    /// repeat prepare (different variable names, different literal
-    /// values) returns the cached plan and re-indexed relations, and
-    /// every [`PreparedStatement::execute`] after that goes straight to
-    /// the probe loop. Literals never touch the catalog or dictionary —
-    /// they become pre-seeded CDS constraints on this statement.
-    pub fn prepare(&self, text: &str) -> Result<PreparedStatement<'_>, EngineError> {
+    /// physical re-indexing happen **at most once per query shape per
+    /// data version**: a repeat prepare (different variable names,
+    /// different literal values) returns the cached plan and re-indexed
+    /// relations, and every [`PreparedStatement::execute`] after that
+    /// goes straight to the probe loop. A write to a relation the shape
+    /// touches bumps that relation's version and the next prepare
+    /// rebuilds the entry; writes elsewhere leave it warm. Literals never
+    /// touch the catalog or dictionary — they become pre-seeded CDS
+    /// constraints on this statement.
+    ///
+    /// The statement is bound to the engine's **current snapshot**: later
+    /// writes never change what it returns (snapshot isolation);
+    /// re-prepare to observe them.
+    pub fn prepare(&self, text: &str) -> Result<PreparedStatement, EngineError> {
+        let db = self.db();
+        let dict = self.dict();
         let ast = parse_query_ast(text)?;
         // Attribute *slots* in first-appearance order: one per variable,
         // one per literal occurrence (literals become hidden attributes
@@ -504,11 +667,10 @@ impl Engine {
         }
         let mut query = Query::new(n);
         for (name, slots) in data_atoms {
-            let rel = self
-                .db
+            let rel = db
                 .id_of(&name)
                 .map_err(|_| TextError::UnknownRelation(name.clone()))?;
-            let arity = self.db.relation(rel).arity();
+            let arity = db.relation(rel).arity();
             if arity != slots.len() {
                 return Err(TextError::AtomArity {
                     relation: name,
@@ -522,11 +684,12 @@ impl Engine {
                 attrs: slots.iter().map(|&s| pos[s]).collect(),
             });
         }
-        let (entry, hit) = self.entry_for(&query, &attr_names)?;
+        let (entry, hit) = self.entry_for(&db, &query, &attr_names)?;
         // Literals: type-check against the column the slot landed in,
-        // then encode as equality seeds. A string the dictionary has
-        // never seen cannot occur in any stored (immutable) relation, so
-        // the statement is vacuously empty.
+        // then encode as equality seeds. A string the dictionary snapshot
+        // has never seen cannot occur in this statement's database
+        // snapshot (interning happens before a write lands), so the
+        // statement is vacuously empty.
         let mut seeds: Vec<(usize, Val)> = Vec::new();
         let mut vacuous = false;
         for (slot, arg) in slot_literals {
@@ -546,7 +709,7 @@ impl Engine {
             }
             match arg {
                 QueryArg::IntLit(v) => seeds.push((attr, v)),
-                QueryArg::StrLit(s) => match self.dict.id_of(&s) {
+                QueryArg::StrLit(s) => match dict.id_of(&s) {
                     Some(id) => seeds.push((attr, id)),
                     None => vacuous = true,
                 },
@@ -554,7 +717,8 @@ impl Engine {
             }
         }
         Ok(PreparedStatement {
-            engine: self,
+            db,
+            dict,
             entry,
             attr_names,
             visible,
@@ -568,11 +732,13 @@ impl Engine {
     /// the programmatic twin of [`Engine::prepare`], sharing the same
     /// plan/re-index cache (bench harnesses and embedded callers use
     /// this). Attributes are named by position (`a0`, `a1`, …).
-    pub fn prepare_query(&self, query: &Query) -> Result<PreparedStatement<'_>, EngineError> {
+    pub fn prepare_query(&self, query: &Query) -> Result<PreparedStatement, EngineError> {
+        let db = self.db();
         let attr_names: Vec<String> = (0..query.n_attrs).map(|a| format!("a{a}")).collect();
-        let (entry, hit) = self.entry_for(query, &attr_names)?;
+        let (entry, hit) = self.entry_for(&db, query, &attr_names)?;
         Ok(PreparedStatement {
-            engine: self,
+            db,
+            dict: self.dict(),
             entry,
             visible: vec![true; attr_names.len()],
             attr_names,
@@ -587,32 +753,46 @@ impl Engine {
         self.prepare(text)?.execute(opts)
     }
 
-    /// Cache lookup / population for a structural query.
+    /// Cache lookup / population for a structural query against one
+    /// database snapshot. An entry hits only when the versions of every
+    /// relation the shape touches still match `db` — a write to one of
+    /// them bumps its version and the stale entry is rebuilt (and
+    /// replaced) here; writes to other relations leave it warm.
     fn entry_for(
         &self,
+        db: &Arc<Database>,
         query: &Query,
         attr_names: &[String],
     ) -> Result<(Arc<CachedStatement>, bool), EngineError> {
         // Guard stale handles before any indexing: a Query built against
         // a different database must error, not panic.
-        if let Some(atom) = query.atoms.iter().find(|a| a.rel.0 >= self.db.len()) {
+        if let Some(atom) = query.atoms.iter().find(|a| a.rel.0 >= db.len()) {
             return Err(EngineError::Storage(format!(
                 "relation id {} is not in this engine's catalog",
                 atom.rel.0
             )));
         }
+        let mut rels: Vec<RelId> = query.atoms.iter().map(|a| a.rel).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        let versions: Vec<(RelId, u64)> = rels.into_iter().map(|r| (r, db.version(r))).collect();
         let key = shape_key(query);
         if let Some(entry) = self.cache.read().unwrap().get(&key) {
-            return Ok((Arc::clone(entry), true));
+            if entry.versions == versions {
+                return Ok((Arc::clone(entry), true));
+            }
         }
         // Plan outside any lock: planning is pure and read-only, so two
         // threads racing on a cold shape at worst both plan — the loser's
-        // entry is discarded below, keeping plan identity one-per-shape.
+        // entry is discarded below, keeping plan identity one-per-shape
+        // (per data version).
         let attr_types = self.unify_attr_types(query, attr_names)?;
-        let plan = plan(&self.db, query)?;
+        let plan = plan(db, query)?;
         let mut cache = self.cache.write().unwrap();
         if let Some(entry) = cache.get(&key) {
-            return Ok((Arc::clone(entry), true));
+            if entry.versions == versions {
+                return Ok((Arc::clone(entry), true));
+            }
         }
         let id = self.next_plan_id.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(CachedStatement {
@@ -621,6 +801,7 @@ impl Engine {
             plan,
             exec: OnceLock::new(),
             attr_types,
+            versions,
         });
         cache.insert(key, Arc::clone(&entry));
         Ok((entry, false))
@@ -697,10 +878,16 @@ pub struct StatementResult {
 
 /// A prepared query handle (see [`Engine::prepare`]): parsing, planning,
 /// and any GAO re-indexing are already done and cached; `execute` /
-/// `stream` go straight to the probe loop. Statements only borrow the
-/// engine immutably, so many can be live at once.
-pub struct PreparedStatement<'e> {
-    engine: &'e Engine,
+/// `stream` go straight to the probe loop. A statement owns `Arc`
+/// snapshots of the database and dictionary taken at prepare time, so any
+/// number can be live at once and **later writes never change what a
+/// statement returns** — snapshot isolation; re-prepare to observe a new
+/// version.
+pub struct PreparedStatement {
+    /// The database version this statement is bound to.
+    db: Arc<Database>,
+    /// Dictionary snapshot for decode (append-only, ≥ the db snapshot).
+    dict: Arc<Dictionary>,
     entry: Arc<CachedStatement>,
     attr_names: Vec<String>,
     /// `visible[a]` = attribute `a` appears in the caller's output
@@ -709,14 +896,14 @@ pub struct PreparedStatement<'e> {
     /// Equality seeds `(attr, encoded value)` from query literals,
     /// original numbering.
     seeds: Vec<(usize, Val)>,
-    /// True when a string literal can never match any stored value (it
-    /// was never interned, and relations are immutable): the statement's
+    /// True when a string literal can never match any stored value in
+    /// this statement's snapshot (it was never interned): the statement's
     /// result is empty without running anything.
     vacuous: bool,
     hit: bool,
 }
 
-impl PreparedStatement<'_> {
+impl PreparedStatement {
     /// Output column names (hidden literal positions excluded).
     pub fn columns(&self) -> Vec<String> {
         self.attr_names
@@ -785,7 +972,7 @@ impl PreparedStatement<'_> {
         let mut ep = self.entry.plan.explain_plan();
         ep.attr_names = Some(self.attr_names.clone());
         for (atom, ea) in self.entry.query.atoms.iter().zip(ep.atoms.iter_mut()) {
-            ea.relation = Some(self.engine.db.relation(atom.rel).name().to_string());
+            ea.relation = Some(self.db.relation(atom.rel).name().to_string());
         }
         ep.cache = Some(ExplainCache {
             hit: self.hit,
@@ -797,10 +984,7 @@ impl PreparedStatement<'_> {
                 // the actual tasks the bound execution would run; the
                 // bind lands in the shared per-shape cache, so a later
                 // execute skips it.
-                let specs = self
-                    .entry
-                    .exec(&self.engine.db)
-                    .shard_specs(&self.engine.db, threads);
+                let specs = self.entry.exec(&self.db).shard_specs(&self.db, threads);
                 ep.shards = Some(ExplainShards {
                     threads,
                     tasks: specs.len(),
@@ -851,7 +1035,7 @@ impl PreparedStatement<'_> {
 
     /// Decodes one stored tuple into the visible, typed output row.
     fn decode_row(&self, t: &[Val]) -> Vec<Value> {
-        decode(self.engine, &self.entry.attr_types, &self.visible, t)
+        decode(&self.dict, &self.entry.attr_types, &self.visible, t)
     }
 
     /// True when `t` satisfies every literal seed (baseline evaluators
@@ -866,7 +1050,7 @@ impl PreparedStatement<'_> {
     /// across `algo` choices.
     pub fn execute(&self, opts: &ExecOptions) -> Result<StatementResult, EngineError> {
         let entry = &self.entry;
-        let engine = self.engine;
+        let db = &self.db;
         if self.vacuous {
             let _ = self.dispatch(opts)?; // still surface unknown-algo errors
             return Ok(StatementResult {
@@ -880,9 +1064,7 @@ impl PreparedStatement<'_> {
         let (tuples, stats, shards, truncated) = match self.dispatch(opts)? {
             Dispatch::Serial => match opts.limit {
                 None => {
-                    let exec = entry
-                        .exec(&engine.db)
-                        .execute_seeded(&engine.db, &self.seeds);
+                    let exec = entry.exec(db).execute_seeded(db, &self.seeds);
                     (exec.result.tuples, exec.result.stats, None, false)
                 }
                 Some(k) => {
@@ -891,9 +1073,7 @@ impl PreparedStatement<'_> {
                     // flag); the suffix's certificate work is never paid.
                     // Stats are snapshotted before the peek so they
                     // reflect only the shown prefix.
-                    let mut stream = entry
-                        .exec(&engine.db)
-                        .stream_seeded(&engine.db, &self.seeds);
+                    let mut stream = entry.exec(db).stream_seeded(db, &self.seeds);
                     let mut tuples: Vec<Tuple> = stream.by_ref().take(k).collect();
                     let stats = stream.stats();
                     let truncated = stream.next().is_some();
@@ -902,12 +1082,10 @@ impl PreparedStatement<'_> {
                 }
             },
             Dispatch::Parallel(threads) => {
-                let sharded = entry.exec(&engine.db).execute_parallel_seeded(
-                    &engine.db,
-                    threads,
-                    opts.limit,
-                    &self.seeds,
-                );
+                let sharded =
+                    entry
+                        .exec(db)
+                        .execute_parallel_seeded(db, threads, opts.limit, &self.seeds);
                 let truncated = sharded.truncated;
                 (
                     sharded.result.tuples,
@@ -917,7 +1095,7 @@ impl PreparedStatement<'_> {
                 )
             }
             Dispatch::Baseline(algo) => {
-                let res = algo.run(&engine.db, &entry.query)?;
+                let res = algo.run(db, &entry.query)?;
                 let mut tuples: Vec<Tuple> = res
                     .tuples
                     .into_iter()
@@ -961,19 +1139,19 @@ impl PreparedStatement<'_> {
             match self.dispatch(opts)? {
                 Dispatch::Serial => StreamInner::Lazy(
                     self.entry
-                        .exec(&self.engine.db)
-                        .stream_seeded(&self.engine.db, &self.seeds),
+                        .exec(&self.db)
+                        .stream_seeded(&self.db, &self.seeds),
                 ),
                 Dispatch::Parallel(threads) => {
-                    StreamInner::Sharded(self.entry.exec(&self.engine.db).stream_parallel_seeded(
-                        &self.engine.db,
+                    StreamInner::Sharded(self.entry.exec(&self.db).stream_parallel_seeded(
+                        &self.db,
                         threads,
                         opts.limit,
                         &self.seeds,
                     ))
                 }
                 Dispatch::Baseline(algo) => {
-                    let res = algo.run(&self.engine.db, &self.entry.query)?;
+                    let res = algo.run(&self.db, &self.entry.query)?;
                     let tuples: Vec<Tuple> = res
                         .tuples
                         .into_iter()
@@ -984,7 +1162,7 @@ impl PreparedStatement<'_> {
             }
         };
         Ok(StatementStream {
-            engine: self.engine,
+            dict: Arc::clone(&self.dict),
             entry: Arc::clone(&self.entry),
             visible: self.visible.clone(),
             inner,
@@ -994,16 +1172,14 @@ impl PreparedStatement<'_> {
 }
 
 /// Shared row decode used by statements and streams.
-fn decode(engine: &Engine, attr_types: &[ColumnType], visible: &[bool], t: &[Val]) -> Vec<Value> {
+fn decode(dict: &Dictionary, attr_types: &[ColumnType], visible: &[bool], t: &[Val]) -> Vec<Value> {
     t.iter()
         .enumerate()
         .filter(|&(a, _)| visible[a])
         .map(|(a, &v)| match attr_types[a] {
             ColumnType::Int => Value::Int(v),
             ColumnType::Str => Value::Str(
-                engine
-                    .dict
-                    .resolve(v)
+                dict.resolve(v)
                     .map(str::to_string)
                     .unwrap_or_else(|| format!("#{v}")),
             ),
@@ -1050,9 +1226,11 @@ enum StreamInner<'e> {
     Materialized(std::vec::IntoIter<Tuple>, ExecStats),
 }
 
-/// A decoded row stream (see [`PreparedStatement::stream`]).
+/// A decoded row stream (see [`PreparedStatement::stream`]). The lifetime
+/// ties lazy serial streams to the statement's database snapshot; the
+/// dictionary snapshot is owned, so decoding never takes a lock.
 pub struct StatementStream<'e> {
-    engine: &'e Engine,
+    dict: Arc<Dictionary>,
     entry: Arc<CachedStatement>,
     visible: Vec<bool>,
     inner: StreamInner<'e>,
@@ -1115,7 +1293,7 @@ impl Iterator for StatementStream<'_> {
             StreamInner::Materialized(it, _) => it.next()?,
         };
         Some(decode(
-            self.engine,
+            &self.dict,
             &self.entry.attr_types,
             &self.visible,
             &t,

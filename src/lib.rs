@@ -96,6 +96,7 @@
 //! | [`baselines`] | Yannakakis, LFTJ, NPRR, binary plans, DLM intersection |
 //! | [`workloads`] | synthetic graphs and the paper's instance families |
 
+#[warn(missing_docs)]
 pub mod engine;
 pub mod render;
 pub mod server;

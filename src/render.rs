@@ -64,7 +64,7 @@ fn row_text(row: &[Value]) -> String {
 /// disconnects are reported in the outcome.
 pub fn write_body(
     out: &mut impl Write,
-    stmt: &PreparedStatement<'_>,
+    stmt: &PreparedStatement,
     opts: &ExecOptions,
 ) -> Result<BodyOutcome, EngineError> {
     let kind = stmt.dispatch_kind(opts)?;
@@ -178,7 +178,7 @@ pub fn write_body(
 /// connected.
 pub fn write_explain(
     out: &mut impl Write,
-    stmt: &PreparedStatement<'_>,
+    stmt: &PreparedStatement,
     opts: &ExecOptions,
     json: bool,
 ) -> Result<bool, EngineError> {
@@ -258,10 +258,7 @@ impl<'w, W: Write> CheckedWriter<'w, W> {
 
 /// Convenience used by tests and the load generator: the body bytes for
 /// `stmt` under `opts`, exactly as the CLI would print them.
-pub fn body_string(
-    stmt: &PreparedStatement<'_>,
-    opts: &ExecOptions,
-) -> Result<String, EngineError> {
+pub fn body_string(stmt: &PreparedStatement, opts: &ExecOptions) -> Result<String, EngineError> {
     let mut buf = Vec::new();
     let outcome = write_body(&mut buf, stmt, opts)?;
     debug_assert!(!outcome.disconnected, "Vec writes cannot fail");

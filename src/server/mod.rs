@@ -33,7 +33,7 @@ mod session;
 
 pub use admission::{Permit, WorkerBudget};
 pub use client::{Client, Reply};
-pub use protocol::{ExplainFormat, Request, ResponseLine};
+pub use protocol::{ExplainFormat, Request, ResponseLine, WriteAction};
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -68,6 +68,16 @@ impl Shared {
     pub(crate) fn stats(&self) -> ServerStats {
         let m = &self.metrics;
         let (in_flight, peak) = self.budget.in_flight_and_peak();
+        // The sum of all relation version counters: a global monotone
+        // data-version clock. Two STATS snapshots with equal
+        // `data_version` saw identical logical data.
+        let data_version = self
+            .engine
+            .db()
+            .versions()
+            .iter()
+            .map(|&(_, v)| v)
+            .sum::<u64>();
         ServerStats {
             connections: m.connections.load(Ordering::Relaxed),
             active: m.active.load(Ordering::Relaxed),
@@ -78,6 +88,11 @@ impl Shared {
             outputs: m.outputs.load(Ordering::Relaxed),
             find_gap_calls: m.find_gap_calls.load(Ordering::Relaxed),
             probe_points: m.probe_points.load(Ordering::Relaxed),
+            writes: m.writes.load(Ordering::Relaxed),
+            rows_inserted: m.rows_inserted.load(Ordering::Relaxed),
+            rows_deleted: m.rows_deleted.load(Ordering::Relaxed),
+            compactions: m.compactions.load(Ordering::Relaxed),
+            data_version,
             budget: self.budget.budget() as u64,
             in_flight: in_flight as u64,
             peak_in_flight: peak as u64,
@@ -100,6 +115,10 @@ pub(crate) struct Metrics {
     pub(crate) outputs: AtomicU64,
     pub(crate) find_gap_calls: AtomicU64,
     pub(crate) probe_points: AtomicU64,
+    pub(crate) writes: AtomicU64,
+    pub(crate) rows_inserted: AtomicU64,
+    pub(crate) rows_deleted: AtomicU64,
+    pub(crate) compactions: AtomicU64,
 }
 
 impl Metrics {
@@ -117,7 +136,7 @@ impl Metrics {
 
 /// A public snapshot of the server's counters — what `STATS` reports and
 /// what the tests assert against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Connections accepted since start.
     pub connections: u64,
@@ -137,6 +156,19 @@ pub struct ServerStats {
     pub find_gap_calls: u64,
     /// Engine probe points across all requests.
     pub probe_points: u64,
+    /// Write requests executed (`W INSERT` / `W DELETE` that reached the
+    /// engine, whether or not they changed anything).
+    pub writes: u64,
+    /// Rows that actually joined a relation (set semantics — duplicate
+    /// inserts don't count).
+    pub rows_inserted: u64,
+    /// Rows that actually left a relation (missing deletes don't count).
+    pub rows_deleted: u64,
+    /// Write deltas folded into fresh bases by `W COMPACT`.
+    pub compactions: u64,
+    /// Sum of every relation's version counter — a monotone data-version
+    /// clock (equal clocks ⇒ identical logical data).
+    pub data_version: u64,
     /// The configured admission budget.
     pub budget: u64,
     /// Worker permits currently held.
@@ -152,7 +184,7 @@ pub struct ServerStats {
 impl ServerStats {
     /// The counters as `(name, value)` pairs — the `STATS` body, one
     /// `name value` line each, in this order.
-    pub fn fields(&self) -> [(&'static str, u64); 14] {
+    pub fn fields(&self) -> [(&'static str, u64); 19] {
         [
             ("connections", self.connections),
             ("active", self.active),
@@ -163,6 +195,11 @@ impl ServerStats {
             ("outputs", self.outputs),
             ("find_gap_calls", self.find_gap_calls),
             ("probe_points", self.probe_points),
+            ("writes", self.writes),
+            ("rows_inserted", self.rows_inserted),
+            ("rows_deleted", self.rows_deleted),
+            ("compactions", self.compactions),
+            ("data_version", self.data_version),
             ("budget", self.budget),
             ("in_flight", self.in_flight),
             ("peak_in_flight", self.peak_in_flight),
@@ -175,22 +212,7 @@ impl ServerStats {
     ///
     /// [`fields`]: ServerStats::fields
     pub fn parse_body(body: &str) -> Option<ServerStats> {
-        let mut stats = ServerStats {
-            connections: 0,
-            active: 0,
-            requests: 0,
-            errors: 0,
-            rows: 0,
-            disconnects: 0,
-            outputs: 0,
-            find_gap_calls: 0,
-            probe_points: 0,
-            budget: 0,
-            in_flight: 0,
-            peak_in_flight: 0,
-            admitted: 0,
-            waited: 0,
-        };
+        let mut stats = ServerStats::default();
         for line in body.lines() {
             let (name, value) = line.split_once(' ')?;
             let value: u64 = value.parse().ok()?;
@@ -204,6 +226,11 @@ impl ServerStats {
                 "outputs" => stats.outputs = value,
                 "find_gap_calls" => stats.find_gap_calls = value,
                 "probe_points" => stats.probe_points = value,
+                "writes" => stats.writes = value,
+                "rows_inserted" => stats.rows_inserted = value,
+                "rows_deleted" => stats.rows_deleted = value,
+                "compactions" => stats.compactions = value,
+                "data_version" => stats.data_version = value,
                 "budget" => stats.budget = value,
                 "in_flight" => stats.in_flight = value,
                 "peak_in_flight" => stats.peak_in_flight = value,
@@ -329,6 +356,11 @@ mod tests {
             outputs: 999,
             find_gap_calls: 1234,
             probe_points: 777,
+            writes: 21,
+            rows_inserted: 13,
+            rows_deleted: 6,
+            compactions: 2,
+            data_version: 19,
             budget: 8,
             in_flight: 2,
             peak_in_flight: 8,

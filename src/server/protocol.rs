@@ -7,10 +7,20 @@
 //!
 //! ```text
 //! request  := "Q" { SP option } [ SP "--" ] SP query-text
+//!           | "W" SP ("INSERT" | "DELETE") SP relation { SP cell }
+//!           | "W" SP "COMPACT" [ SP relation ]
 //!           | "PING" | "STATS" | "QUIT"
 //! option   := "algo=" NAME | "threads=" N | "limit=" K
 //!           | "explain" | "explain=json"
 //! ```
+//!
+//! A `W INSERT` / `W DELETE` carries one row of whitespace-separated
+//! cells, typed by the relation's declared schema exactly like the TSV
+//! loader (integer columns parse, string columns take the token
+//! verbatim); the `OK <n>` terminator reports how many rows actually
+//! changed membership (set semantics — 0 for a duplicate insert or a
+//! missing delete). `W COMPACT` folds pending write deltas into fresh
+//! immutable bases and reports how many relations were folded.
 //!
 //! A query response is the CLI's stdout **body** (see
 //! [`crate::render`]), each line prefixed with `|`, terminated by one
@@ -39,6 +49,15 @@ pub enum ExplainFormat {
     Json,
 }
 
+/// Which membership change a `W` request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAction {
+    /// Add the row (no-op if already present).
+    Insert,
+    /// Remove the row (no-op if absent).
+    Delete,
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -50,6 +69,23 @@ pub enum Request {
         explain: Option<ExplainFormat>,
         /// The query text (everything after the options).
         text: String,
+    },
+    /// Insert or delete one row of a stored relation; response
+    /// `OK <changed>`.
+    Write {
+        /// Insert or delete.
+        action: WriteAction,
+        /// The target relation's name.
+        relation: String,
+        /// The row's cells, still text — the session types them against
+        /// the relation's declared schema.
+        cells: Vec<String>,
+    },
+    /// Fold pending write deltas into fresh bases (one relation, or all
+    /// of them); response `OK <folded>`.
+    Compact {
+        /// `None` compacts every relation with pending writes.
+        relation: Option<String>,
     },
     /// Liveness probe; response `OK 0`.
     Ping,
@@ -73,9 +109,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "STATS" => expect_no_operand("STATS", rest).map(|()| Request::Stats),
         "QUIT" => expect_no_operand("QUIT", rest).map(|()| Request::Quit),
         "Q" => parse_query_request(rest),
+        "W" => parse_write_request(rest),
         "" => Err("empty request".to_string()),
         other => Err(format!(
-            "unknown verb {other:?} (expected Q, PING, STATS, or QUIT)"
+            "unknown verb {other:?} (expected Q, W, PING, STATS, or QUIT)"
         )),
     }
 }
@@ -154,6 +191,47 @@ fn parse_query_request(mut rest: &str) -> Result<Request, String> {
         explain,
         text: text.to_string(),
     })
+}
+
+/// Parses the operand of a `W` line: an action keyword, then the target
+/// relation, then (for row writes) the row's cells as bare tokens. Cell
+/// *typing* is the session's job — the protocol layer has no schema.
+fn parse_write_request(rest: &str) -> Result<Request, String> {
+    let mut tokens = rest.split_whitespace();
+    let action = tokens.next().unwrap_or("");
+    match action {
+        "INSERT" | "DELETE" => {
+            let Some(relation) = tokens.next() else {
+                return Err(format!("W {action} needs a relation name"));
+            };
+            let cells: Vec<String> = tokens.map(str::to_string).collect();
+            if cells.is_empty() {
+                return Err(format!(
+                    "W {action} {relation} needs a row, e.g. W {action} {relation} 1 2"
+                ));
+            }
+            Ok(Request::Write {
+                action: if action == "INSERT" {
+                    WriteAction::Insert
+                } else {
+                    WriteAction::Delete
+                },
+                relation: relation.to_string(),
+                cells,
+            })
+        }
+        "COMPACT" => {
+            let relation = tokens.next().map(str::to_string);
+            if tokens.next().is_some() {
+                return Err("W COMPACT takes at most one relation".to_string());
+            }
+            Ok(Request::Compact { relation })
+        }
+        "" => Err("W needs an action (INSERT, DELETE, or COMPACT)".to_string()),
+        other => Err(format!(
+            "unknown write action {other:?} (expected INSERT, DELETE, or COMPACT)"
+        )),
+    }
 }
 
 /// Renders the `OK` terminator for a body of `rows` data rows.
@@ -264,6 +342,45 @@ mod tests {
         };
         assert!(opts.algo.is_none());
         assert_eq!(text, "weird=thing R(x)", "not an option, so query text");
+    }
+
+    #[test]
+    fn write_requests_parse() {
+        assert_eq!(
+            parse_request("W INSERT F jfk sfo"),
+            Ok(Request::Write {
+                action: WriteAction::Insert,
+                relation: "F".to_string(),
+                cells: vec!["jfk".to_string(), "sfo".to_string()],
+            })
+        );
+        assert_eq!(
+            parse_request("W DELETE R 1 2\r"),
+            Ok(Request::Write {
+                action: WriteAction::Delete,
+                relation: "R".to_string(),
+                cells: vec!["1".to_string(), "2".to_string()],
+            })
+        );
+        assert_eq!(
+            parse_request("W COMPACT"),
+            Ok(Request::Compact { relation: None })
+        );
+        assert_eq!(
+            parse_request("W COMPACT R"),
+            Ok(Request::Compact {
+                relation: Some("R".to_string())
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_writes_are_proto_errors() {
+        assert!(parse_request("W").is_err(), "action required");
+        assert!(parse_request("W UPSERT R 1").is_err(), "unknown action");
+        assert!(parse_request("W INSERT").is_err(), "relation required");
+        assert!(parse_request("W INSERT R").is_err(), "row required");
+        assert!(parse_request("W COMPACT R S").is_err(), "one relation max");
     }
 
     #[test]

@@ -28,9 +28,11 @@ use std::time::Duration;
 use crate::render::{write_body, write_explain};
 
 use super::protocol::{
-    err_line, ok_line, parse_request, ExplainFormat, Request, BODY_PREFIX, CODE_PROTO,
+    err_line, ok_line, parse_request, ExplainFormat, Request, WriteAction, BODY_PREFIX, CODE_PROTO,
 };
 use super::Shared;
+use crate::engine::EngineError;
+use crate::storage::{ColumnType, Value};
 
 /// How often a blocked read wakes up to poll the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(50);
@@ -95,6 +97,36 @@ fn serve(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     writeln!(body, "{name} {value}")?;
                 }
                 control(&mut writer, &ok_line(0))?;
+            }
+            Request::Write {
+                action,
+                relation,
+                cells,
+            } => match run_write(shared, action, &relation, &cells) {
+                Ok(changed) => control(&mut writer, &ok_line(changed))?,
+                Err(e) => {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    control(&mut writer, &err_line(e.code(), &e.to_string()))?;
+                }
+            },
+            Request::Compact { relation } => {
+                let folded = match relation {
+                    Some(rel) => shared.engine.compact_relation(&rel).map(usize::from),
+                    None => Ok(shared.engine.compact()),
+                };
+                match folded {
+                    Ok(n) => {
+                        shared
+                            .metrics
+                            .compactions
+                            .fetch_add(n as u64, Ordering::Relaxed);
+                        control(&mut writer, &ok_line(n))?;
+                    }
+                    Err(e) => {
+                        shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        control(&mut writer, &err_line(e.code(), &e.to_string()))?;
+                    }
+                }
             }
             Request::Query {
                 opts,
@@ -185,6 +217,56 @@ fn run_query(
             Ok(true)
         }
     }
+}
+
+/// Executes one `W INSERT` / `W DELETE`: types the text cells against
+/// the relation's declared schema (same rules as the TSV loader —
+/// integer columns parse, string columns take the token verbatim), then
+/// applies the row through the engine's write path. Returns how many
+/// rows actually changed membership (0 or 1 — set semantics).
+fn run_write(
+    shared: &Shared,
+    action: WriteAction,
+    relation: &str,
+    cells: &[String],
+) -> Result<usize, EngineError> {
+    let engine = &shared.engine;
+    let id = engine.db().id_of(relation)?;
+    let types = engine.schema(id);
+    if cells.len() != types.len() {
+        return Err(EngineError::RowArity {
+            relation: relation.to_string(),
+            expected: types.len(),
+            got: cells.len(),
+        });
+    }
+    let row: Vec<Value> = cells
+        .iter()
+        .zip(types)
+        .enumerate()
+        .map(|(c, (cell, ty))| match ty {
+            ColumnType::Int => cell
+                .parse()
+                .map(Value::Int)
+                .map_err(|_| EngineError::ValueType {
+                    relation: relation.to_string(),
+                    column: c,
+                    expected: ColumnType::Int,
+                }),
+            ColumnType::Str => Ok(Value::Str(cell.clone())),
+        })
+        .collect::<Result<_, _>>()?;
+    let outcome = match action {
+        WriteAction::Insert => engine.insert(relation, [row])?,
+        WriteAction::Delete => engine.delete(relation, [row])?,
+    };
+    let m = &shared.metrics;
+    m.writes.fetch_add(1, Ordering::Relaxed);
+    m.rows_inserted
+        .fetch_add(outcome.inserted as u64, Ordering::Relaxed);
+    m.rows_deleted
+        .fetch_add(outcome.deleted as u64, Ordering::Relaxed);
+    Ok(outcome.affected())
 }
 
 /// Writes one control line (`OK …` / `ERR …`) and flushes it out.

@@ -204,3 +204,70 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The write path's lazy merge: a versioned relation under random
+    /// insert/delete batches equals a set model, and its [`MergeView`]
+    /// is observationally equivalent to the materialized snapshot —
+    /// same tuples, same `FindGap` gaps at every probe.
+    ///
+    /// [`MergeView`]: minesweeper_join::storage::MergeView
+    #[test]
+    fn versioned_relation_merge_matches_set_model(
+        base in pairs_strategy(25, 9),
+        ins in pairs_strategy(12, 9),
+        del in pairs_strategy(12, 9),
+        probes in prop::collection::vec(-1i64..11, 1..10),
+    ) {
+        use std::collections::BTreeSet;
+        use minesweeper_join::storage::{ExecStats, VersionedRelation, WriteOp};
+
+        let base_set: BTreeSet<(Val, Val)> = base.iter().copied().collect();
+        let mut model: BTreeSet<(Val, Val)> = base_set.clone();
+        let mut rel = VersionedRelation::from_base(builder::binary("R", base_set));
+
+        let mut ops: Vec<WriteOp> = Vec::new();
+        for &(a, b) in &ins {
+            ops.push(WriteOp::Insert(vec![a, b]));
+            model.insert((a, b));
+        }
+        for &(a, b) in &del {
+            ops.push(WriteOp::Delete(vec![a, b]));
+            model.remove(&(a, b));
+        }
+        rel.apply(&ops).unwrap();
+
+        // Logical content equals the model, via the materialized
+        // snapshot and via the lazy merge iterator alike.
+        let expect: Vec<Vec<Val>> = model.iter().map(|&(a, b)| vec![a, b]).collect();
+        prop_assert_eq!(rel.snapshot().to_tuples(), expect.clone());
+        let view = rel.merge_view();
+        prop_assert_eq!(view.iter_tuples().collect::<Vec<_>>(), expect);
+        prop_assert_eq!(rel.len(), model.len());
+
+        // FindGap through the merge view is bit-identical to FindGap on
+        // the materialized trie: at the root, and one level down under
+        // every root child.
+        let snap = rel.snapshot().clone();
+        let mut s1 = ExecStats::new();
+        let mut s2 = ExecStats::new();
+        for &a in &probes {
+            prop_assert_eq!(
+                view.find_gap(&view.root(), a, &mut s1),
+                snap.find_gap(snap.root(), a, &mut s2)
+            );
+        }
+        for &(x, _) in &model {
+            let mnode = view.child_by_value(&view.root(), x, &mut s1).unwrap();
+            let tnode = snap.child(snap.root(), snap.find_gap(snap.root(), x, &mut s2).lo_coord);
+            for &a in &probes {
+                prop_assert_eq!(
+                    view.find_gap(&mnode, a, &mut s1),
+                    snap.find_gap(tnode, a, &mut s2)
+                );
+            }
+        }
+    }
+}

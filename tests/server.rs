@@ -296,6 +296,117 @@ fn protocol_errors_and_stats_over_the_wire() {
     server.shutdown().unwrap();
 }
 
+/// The write verbs over a live socket: `W INSERT` / `W DELETE` change
+/// what later prepares see (with set-semantics `OK` counts), `W
+/// COMPACT` is observationally silent, error codes are stable, and
+/// `STATS` tracks the write counters and the data-version clock.
+#[test]
+fn write_verbs_mutate_compact_and_count_over_the_wire() {
+    let engine = Arc::new(small_engine());
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", 2).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let join_rows = |client: &mut Client| match client.request("Q R(x, y), S(y, z)").unwrap() {
+        Reply::Ok { rows, body } => (rows, body),
+        other => panic!("query failed: {other:?}"),
+    };
+    let (rows_before, _) = join_rows(&mut client);
+
+    // A new R row joining S's `9 zrh` partner row (inserted first).
+    assert_eq!(
+        client.request("W INSERT S 9 zrh").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 1
+        }
+    );
+    assert_eq!(
+        client.request("W INSERT R ibz 9").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 1
+        }
+    );
+    // Duplicate insert: set semantics, nothing changes.
+    assert_eq!(
+        client.request("W INSERT R ibz 9").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 0
+        }
+    );
+    // Delete one pre-loaded row; deleting it again is a no-op.
+    assert_eq!(
+        client.request("W DELETE R ams 1").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 1
+        }
+    );
+    assert_eq!(
+        client.request("W DELETE R ams 1").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 0
+        }
+    );
+
+    let (rows_after, body_after) = join_rows(&mut client);
+    assert_eq!(rows_after, rows_before, "one row gained, one lost");
+    assert!(body_after.contains("ibz"), "the insert is visible");
+    assert!(!body_after.contains("ams"), "the delete is visible");
+
+    // Stable error codes: unknown relation (STORAGE), bad arity and a
+    // non-integer cell in an Int column (LOAD), malformed line (PROTO).
+    for (req, want) in [
+        ("W INSERT Nope 1 2", "STORAGE"),
+        ("W INSERT R onlyone", "LOAD"),
+        ("W INSERT S notanint x", "LOAD"),
+        ("W UPSERT R 1 2", "PROTO"),
+    ] {
+        match client.request(req).unwrap() {
+            Reply::Err { code, .. } => assert_eq!(code, want, "{req}"),
+            other => panic!("expected {want} for {req}, got {other:?}"),
+        }
+    }
+
+    // Compaction folds the pending deltas of R and S, changes nothing a
+    // query can see, and a second compaction finds nothing to fold.
+    assert_eq!(
+        client.request("W COMPACT").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 2
+        }
+    );
+    assert_eq!(join_rows(&mut client).1, body_after);
+    assert_eq!(
+        client.request("W COMPACT R").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 0
+        }
+    );
+
+    let reply = client.request("STATS").unwrap();
+    let stats = ServerStats::parse_body(reply.body().unwrap()).expect("STATS body parses");
+    assert_eq!(stats.writes, 5, "5 row writes reached the engine");
+    assert_eq!(stats.rows_inserted, 2);
+    assert_eq!(stats.rows_deleted, 1);
+    assert_eq!(stats.compactions, 2);
+    // The data-version clock is the sum of per-relation version
+    // counters: R moved twice (insert + delete; the no-op repeats and
+    // the compaction don't count), S moved once.
+    assert_eq!(
+        stats.data_version,
+        engine.relation_version("R").unwrap() + engine.relation_version("S").unwrap()
+    );
+    assert!(stats.data_version >= 3);
+    assert_eq!(stats.errors, 4);
+
+    server.shutdown().unwrap();
+}
+
 // ------------------------------------------------------------ processes
 
 /// Drives the real binaries: `msj serve` + `msj client` against the
