@@ -1,0 +1,483 @@
+//! Checkpoints: atomically published snapshot dumps.
+//!
+//! A checkpoint is a directory `ckpt-NNNNNN/` under the store's
+//! `checkpoints/` root holding one escaped-TSV file per relation
+//! (`rel-000.tsv`, … — the same tab-separated shape the engine's loader
+//! reads, with cells percent-escaped as in [`crate::record`]) plus a
+//! `MANIFEST` that pins the WAL position the dump is consistent with,
+//! the next LSN, and every relation's `(name, types, version, rows)`.
+//! The manifest's final line is `ok <fnv64>` over everything above it, so
+//! a half-written manifest is detectable.
+//!
+//! Publication is atomic: everything is written and fsynced into a
+//! `.tmp` directory, then renamed into place. Readers
+//! ([`load_latest`]) walk checkpoints newest-first and fall back past
+//! any that fail validation, collecting warnings — only running out of
+//! candidates while the WAL still holds records is fatal (the store
+//! decides that; this module just reports what it found).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::record::{escape_cell, fnv64, unescape_cell};
+use crate::wal::WalPosition;
+use crate::DurabilityError;
+
+/// One relation's row in a [`Manifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationMeta {
+    /// Relation name (unescaped).
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+    /// Column type tokens as the engine spells them (`int` / `str`).
+    pub types: Vec<String>,
+    /// The relation's version counter at dump time — recovery restores
+    /// it so the version clock survives a restart.
+    pub version: u64,
+    /// Row count of the dump file, cross-checked on load.
+    pub rows: u64,
+}
+
+/// The parsed `MANIFEST` of one checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Checkpoint sequence number (monotonic per store).
+    pub id: u64,
+    /// The WAL position this dump is consistent with: replay starts here.
+    pub wal: WalPosition,
+    /// The LSN the first replayed record must carry.
+    pub next_lsn: u64,
+    /// Per-relation metadata, in dump-file order.
+    pub relations: Vec<RelationMeta>,
+}
+
+/// One relation's full dump: what the engine hands in at checkpoint
+/// time and gets back at recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationDump {
+    /// Relation name.
+    pub name: String,
+    /// Column type tokens (`int` / `str`), one per column.
+    pub types: Vec<String>,
+    /// Version counter at dump time.
+    pub version: u64,
+    /// Decoded rows, cells as text exactly as the engine renders them.
+    pub rows: Vec<Vec<String>>,
+}
+
+fn ckpt_dir(root: &Path, id: u64) -> PathBuf {
+    root.join(format!("ckpt-{id:06}"))
+}
+
+fn rel_file(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("rel-{idx:03}.tsv"))
+}
+
+/// Lists checkpoint ids present under `root`, ascending. Stray `.tmp`
+/// directories (a crash mid-publish) are ignored here and swept by
+/// [`prune_checkpoints`].
+pub fn list_checkpoints(root: &Path) -> io::Result<Vec<u64>> {
+    let mut ids = Vec::new();
+    for entry in fs::read_dir(root)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(id) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
+}
+
+fn sync_file(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(path)?;
+    f.write_all(bytes)?;
+    f.sync_data()
+}
+
+fn sync_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    File::open(path)?.sync_data()?;
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// Writes checkpoint `id` under `root` and atomically publishes it.
+/// Returns the manifest it recorded.
+pub fn write_checkpoint(
+    root: &Path,
+    id: u64,
+    wal: WalPosition,
+    next_lsn: u64,
+    dumps: &[RelationDump],
+) -> Result<Manifest, DurabilityError> {
+    let tmp = root.join(format!("ckpt-{id:06}.tmp"));
+    if tmp.exists() {
+        fs::remove_dir_all(&tmp)?;
+    }
+    fs::create_dir_all(&tmp)?;
+
+    let mut relations = Vec::with_capacity(dumps.len());
+    for (idx, dump) in dumps.iter().enumerate() {
+        let mut tsv = String::new();
+        for row in &dump.rows {
+            debug_assert_eq!(row.len(), dump.types.len(), "row arity matches types");
+            let cells: Vec<String> = row.iter().map(|c| escape_cell(c)).collect();
+            tsv.push_str(&cells.join("\t"));
+            tsv.push('\n');
+        }
+        sync_file(&rel_file(&tmp, idx), tsv.as_bytes())?;
+        relations.push(RelationMeta {
+            name: dump.name.clone(),
+            arity: dump.types.len(),
+            types: dump.types.clone(),
+            version: dump.version,
+            rows: dump.rows.len() as u64,
+        });
+    }
+
+    let mut body = String::new();
+    body.push_str(&format!("manifest {id}\n"));
+    body.push_str(&format!("wal {} {} {next_lsn}\n", wal.segment, wal.offset));
+    for meta in &relations {
+        body.push_str(&format!(
+            "rel {} {} {} {}\n",
+            escape_cell(&meta.name),
+            meta.version,
+            meta.rows,
+            meta.types.join(" ")
+        ));
+    }
+    body.push_str(&format!("ok {:016x}\n", fnv64(body.as_bytes())));
+    sync_file(&tmp.join("MANIFEST"), body.as_bytes())?;
+    sync_dir(&tmp)?;
+
+    let dest = ckpt_dir(root, id);
+    if dest.exists() {
+        fs::remove_dir_all(&dest)?;
+    }
+    fs::rename(&tmp, &dest)?;
+    sync_dir(root)?;
+    Ok(Manifest {
+        id,
+        wal,
+        next_lsn,
+        relations,
+    })
+}
+
+/// Parses and checksum-verifies one checkpoint's `MANIFEST`.
+pub fn load_manifest(root: &Path, id: u64) -> Result<Manifest, DurabilityError> {
+    let path = ckpt_dir(root, id).join("MANIFEST");
+    let mut text = String::new();
+    File::open(&path)?.read_to_string(&mut text)?;
+    let corrupt = |msg: &str| DurabilityError::Corrupt(format!("{}: {msg}", path.display()));
+
+    let ok_at = text
+        .trim_end_matches('\n')
+        .rfind("\nok ")
+        .ok_or_else(|| corrupt("missing ok line"))?;
+    let (body, tail) = text.split_at(ok_at + 1);
+    let sum = tail
+        .strip_prefix("ok ")
+        .and_then(|s| u64::from_str_radix(s.trim_end(), 16).ok())
+        .ok_or_else(|| corrupt("malformed ok line"))?;
+    if sum != fnv64(body.as_bytes()) {
+        return Err(corrupt("manifest checksum mismatch"));
+    }
+
+    let mut lines = body.lines();
+    let manifest_id: u64 = lines
+        .next()
+        .and_then(|l| l.strip_prefix("manifest "))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| corrupt("bad manifest line"))?;
+    if manifest_id != id {
+        return Err(corrupt("manifest id does not match its directory"));
+    }
+    let wal_line = lines
+        .next()
+        .and_then(|l| l.strip_prefix("wal "))
+        .ok_or_else(|| corrupt("bad wal line"))?;
+    let mut it = wal_line.split_whitespace();
+    let (seg, off, next_lsn) = match (it.next(), it.next(), it.next(), it.next()) {
+        (Some(a), Some(b), Some(c), None) => (
+            a.parse().map_err(|_| corrupt("bad wal segment"))?,
+            b.parse().map_err(|_| corrupt("bad wal offset"))?,
+            c.parse().map_err(|_| corrupt("bad next lsn"))?,
+        ),
+        _ => return Err(corrupt("bad wal line")),
+    };
+
+    let mut relations = Vec::new();
+    for line in lines {
+        let rest = line
+            .strip_prefix("rel ")
+            .ok_or_else(|| corrupt("unexpected manifest line"))?;
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        if toks.len() < 4 {
+            return Err(corrupt("short rel line"));
+        }
+        let name =
+            unescape_cell(toks[0]).map_err(|e| corrupt(&format!("bad relation name: {e}")))?;
+        let version = toks[1].parse().map_err(|_| corrupt("bad version"))?;
+        let rows = toks[2].parse().map_err(|_| corrupt("bad row count"))?;
+        let types: Vec<String> = toks[3..].iter().map(|s| s.to_string()).collect();
+        relations.push(RelationMeta {
+            name,
+            arity: types.len(),
+            types,
+            version,
+            rows,
+        });
+    }
+    Ok(Manifest {
+        id,
+        wal: WalPosition {
+            segment: seg,
+            offset: off,
+        },
+        next_lsn,
+        relations,
+    })
+}
+
+/// Loads one checkpoint's dumps, validating row counts and arities
+/// against its (already verified) manifest.
+pub fn load_dumps(root: &Path, manifest: &Manifest) -> Result<Vec<RelationDump>, DurabilityError> {
+    let dir = ckpt_dir(root, manifest.id);
+    let mut dumps = Vec::with_capacity(manifest.relations.len());
+    for (idx, meta) in manifest.relations.iter().enumerate() {
+        let path = rel_file(&dir, idx);
+        let mut text = String::new();
+        File::open(&path)?.read_to_string(&mut text)?;
+        let corrupt = |msg: String| DurabilityError::Corrupt(format!("{}: {msg}", path.display()));
+        let mut rows = Vec::with_capacity(meta.rows as usize);
+        for (lineno, line) in text.lines().enumerate() {
+            let cells: Result<Vec<String>, _> = line.split('\t').map(unescape_cell).collect();
+            let cells = cells.map_err(|e| corrupt(format!("line {}: {e}", lineno + 1)))?;
+            if cells.len() != meta.arity {
+                return Err(corrupt(format!(
+                    "line {}: {} cells, expected {}",
+                    lineno + 1,
+                    cells.len(),
+                    meta.arity
+                )));
+            }
+            rows.push(cells);
+        }
+        if rows.len() as u64 != meta.rows {
+            return Err(corrupt(format!(
+                "{} rows, manifest says {}",
+                rows.len(),
+                meta.rows
+            )));
+        }
+        dumps.push(RelationDump {
+            name: meta.name.clone(),
+            types: meta.types.clone(),
+            version: meta.version,
+            rows,
+        });
+    }
+    Ok(dumps)
+}
+
+/// A successfully loaded checkpoint.
+#[derive(Debug)]
+pub struct Loaded {
+    /// Its verified manifest.
+    pub manifest: Manifest,
+    /// Its relation dumps, in manifest order.
+    pub dumps: Vec<RelationDump>,
+}
+
+/// Walks checkpoints newest-first and returns the first that validates
+/// end-to-end, with one warning per invalid checkpoint skipped.
+pub fn load_latest(root: &Path) -> Result<(Option<Loaded>, Vec<String>), DurabilityError> {
+    let mut warnings = Vec::new();
+    for id in list_checkpoints(root)?.into_iter().rev() {
+        match load_manifest(root, id).and_then(|m| {
+            let dumps = load_dumps(root, &m)?;
+            Ok(Loaded { manifest: m, dumps })
+        }) {
+            Ok(loaded) => return Ok((Some(loaded), warnings)),
+            Err(e) => warnings.push(format!("skipping checkpoint {id}: {e}")),
+        }
+    }
+    Ok((None, warnings))
+}
+
+/// Removes all but the newest `keep` checkpoints, plus any stray `.tmp`
+/// directories from an interrupted publish. Returns how many went.
+pub fn prune_checkpoints(root: &Path, keep: usize) -> io::Result<usize> {
+    let mut removed = 0;
+    for entry in fs::read_dir(root)? {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().ends_with(".tmp") {
+            fs::remove_dir_all(entry.path())?;
+            removed += 1;
+        }
+    }
+    let ids = list_checkpoints(root)?;
+    if ids.len() > keep {
+        for &id in &ids[..ids.len() - keep] {
+            fs::remove_dir_all(ckpt_dir(root, id))?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// The smallest WAL segment any *valid* retained checkpoint pins —
+/// segments below it are prunable. Returns `None` (prune nothing) if any
+/// retained manifest fails to validate, since that checkpoint may still
+/// be the fallback that needs old segments.
+pub fn min_pinned_segment(root: &Path) -> io::Result<Option<u64>> {
+    let mut min = None;
+    for id in list_checkpoints(root)? {
+        match load_manifest(root, id) {
+            Ok(m) => {
+                min = Some(match min {
+                    None => m.wal.segment,
+                    Some(cur) if m.wal.segment < cur => m.wal.segment,
+                    Some(cur) => cur,
+                })
+            }
+            Err(_) => return Ok(None),
+        }
+    }
+    Ok(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("msj-ckpt-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_dumps() -> Vec<RelationDump> {
+        vec![
+            RelationDump {
+                name: "R".into(),
+                types: vec!["int".into(), "int".into()],
+                version: 7,
+                rows: vec![vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+            },
+            RelationDump {
+                name: "weird rel".into(),
+                types: vec!["str".into()],
+                version: 0,
+                rows: vec![
+                    vec!["".into()],
+                    vec!["tab\there".into()],
+                    vec!["%-literal".into()],
+                    vec!["# not a comment".into()],
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn checkpoint_round_trips_hostile_data() {
+        let root = tmp("round");
+        let wal = WalPosition {
+            segment: 3,
+            offset: 99,
+        };
+        let written = write_checkpoint(&root, 1, wal, 42, &sample_dumps()).unwrap();
+        let (loaded, warnings) = load_latest(&root).unwrap();
+        let loaded = loaded.expect("checkpoint present");
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(loaded.manifest, written);
+        assert_eq!(loaded.manifest.wal, wal);
+        assert_eq!(loaded.manifest.next_lsn, 42);
+        assert_eq!(loaded.dumps, sample_dumps());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older_with_warning() {
+        let root = tmp("fallback");
+        let wal = WalPosition {
+            segment: 1,
+            offset: 0,
+        };
+        write_checkpoint(&root, 1, wal, 1, &sample_dumps()).unwrap();
+        write_checkpoint(
+            &root,
+            2,
+            WalPosition {
+                segment: 2,
+                offset: 5,
+            },
+            9,
+            &sample_dumps(),
+        )
+        .unwrap();
+        // Flip one byte of checkpoint 2's manifest.
+        let path = ckpt_dir(&root, 2).join("MANIFEST");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[10] = bytes[10].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        let (loaded, warnings) = load_latest(&root).unwrap();
+        assert_eq!(loaded.expect("fallback").manifest.id, 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].contains("skipping checkpoint 2"),
+            "{warnings:?}"
+        );
+        // A damaged retained manifest also blocks WAL pruning.
+        assert_eq!(min_pinned_segment(&root).unwrap(), None);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn row_count_mismatch_is_detected() {
+        let root = tmp("rows");
+        let wal = WalPosition {
+            segment: 1,
+            offset: 0,
+        };
+        write_checkpoint(&root, 1, wal, 1, &sample_dumps()).unwrap();
+        let tsv = ckpt_dir(&root, 1).join("rel-000.tsv");
+        fs::write(&tsv, b"1\t2\n").unwrap(); // manifest says 2 rows
+        let (loaded, warnings) = load_latest(&root).unwrap();
+        assert!(loaded.is_none());
+        assert_eq!(warnings.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn prune_keeps_newest_and_sweeps_tmp() {
+        let root = tmp("prune");
+        let wal = WalPosition {
+            segment: 1,
+            offset: 0,
+        };
+        for id in 1..=4 {
+            write_checkpoint(&root, id, wal, id, &sample_dumps()).unwrap();
+        }
+        fs::create_dir_all(root.join("ckpt-000099.tmp")).unwrap();
+        let removed = prune_checkpoints(&root, 2).unwrap();
+        assert_eq!(removed, 3);
+        assert_eq!(list_checkpoints(&root).unwrap(), vec![3, 4]);
+        assert_eq!(min_pinned_segment(&root).unwrap(), Some(1));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,72 @@
+//! Durability for the join engine: a human-readable write-ahead log,
+//! checkpoints, and lossless crash recovery.
+//!
+//! This crate is deliberately **string-level and engine-agnostic**: WAL
+//! records and checkpoint rows carry relation names and text cells, and
+//! the engine types them against its schema catalog on replay — the same
+//! code path a live `W INSERT` takes over the wire. That keeps the layer
+//! below the dictionary encoder, so nothing here depends on value
+//! interning order, and a recovered engine re-interns strings in replay
+//! order (ids may differ; decoded query output is byte-identical).
+//!
+//! The pieces (full design in `docs/DURABILITY.md`):
+//!
+//! * [`record`] — the WAL record grammar: one checksummed line per
+//!   committed batch, mirroring the `W INSERT/DELETE/COMPACT` wire verbs,
+//!   with percent-escaped cells so any string value survives the
+//!   whitespace-separated format;
+//! * [`wal`] — the append-only segmented log: [`wal::Wal`] writes records
+//!   under an [`wal::FsyncPolicy`], rotates segments by size, and
+//!   [`wal::read_tail`] replays from a position, tolerating a torn final
+//!   line (truncate-and-warn, never refuse);
+//! * [`checkpoint`] — atomically published snapshot dumps: per-relation
+//!   escaped-TSV files plus a checksummed `MANIFEST` pinning the WAL
+//!   position and every relation's `(arity, types, version, rows)`;
+//! * [`store`] — [`store::DurableStore`], the data-directory orchestrator
+//!   the engine talks to: open-or-recover, log, checkpoint, prune, and
+//!   the durability counters `STATS` reports.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod record;
+pub mod store;
+pub mod wal;
+
+pub use checkpoint::{Manifest, RelationDump, RelationMeta};
+pub use record::{Batch, CellOp, SequencedRecord, WalRecord};
+pub use store::{
+    DurabilityCounters, DurabilityOptions, DurableStore, Opened, RecoveredRelation, Recovery,
+};
+pub use wal::{FsyncPolicy, WalPosition};
+
+use std::fmt;
+use std::io;
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A WAL record or checkpoint file is malformed in a way recovery
+    /// must not paper over (corruption *before* the final record, an LSN
+    /// gap, a manifest that fails its checksum with no older fallback).
+    Corrupt(String),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "durability I/O error: {e}"),
+            DurabilityError::Corrupt(msg) => write!(f, "durability data corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<io::Error> for DurabilityError {
+    fn from(e: io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}

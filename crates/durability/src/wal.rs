@@ -1,0 +1,653 @@
+//! The segmented, append-only write-ahead log.
+//!
+//! A log lives in one directory as numbered segment files
+//! (`000001.wal`, `000002.wal`, …), each holding newline-terminated
+//! [record lines](crate::record). [`Wal`] appends — one record per
+//! committed batch, fsynced per [`FsyncPolicy`] — and rotates to a fresh
+//! segment when the current one passes the configured size. Reading
+//! happens once, at recovery: [`read_tail`] replays every record from a
+//! [`WalPosition`] (the newest checkpoint manifest pins it) and
+//! classifies whatever ends the log:
+//!
+//! * a clean end — every line parsed, LSNs contiguous;
+//! * a **torn tail** — the final line of the final segment fails its
+//!   checksum or lacks its newline (a crash mid-`write(2)`): the reader
+//!   reports the byte offset to truncate back to and recovery proceeds
+//!   with a warning, never a refusal;
+//! * **corruption** — a bad line *with valid data after it*, an LSN gap,
+//!   or a missing segment: recovery refuses, because silently dropping
+//!   committed records the log still acknowledges would be data loss.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::record::{encode_record, parse_record, SequencedRecord, WalRecord};
+use crate::DurabilityError;
+
+/// When `fsync(2)` runs relative to record appends — the knob trading
+/// durability of the last few batches against write latency (policy
+/// table in `docs/DURABILITY.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every record (the default): a crash loses at most a
+    /// torn final line, never an acknowledged batch.
+    Always,
+    /// Sync after every `n` records: a crash loses at most the last
+    /// `n-1` acknowledged batches.
+    EveryN(u64),
+    /// Never sync explicitly (the OS flushes when it pleases): fastest,
+    /// bounded only by the page cache. Checkpoints still sync.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the `--fsync` flag syntax: `always`, `never`, `every=N`.
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            _ => {
+                let n: u64 = s.strip_prefix("every=")?.parse().ok()?;
+                Some(FsyncPolicy::EveryN(n.max(1)))
+            }
+        }
+    }
+}
+
+/// A byte position in the log: segment sequence number + offset within
+/// that segment's file. Checkpoint manifests pin one; replay starts
+/// there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WalPosition {
+    /// 1-based segment sequence number.
+    pub segment: u64,
+    /// Byte offset within the segment file.
+    pub offset: u64,
+}
+
+/// The file name of segment `seq`.
+pub fn segment_file(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{seq:06}.wal"))
+}
+
+/// Lists the segment sequence numbers present in `dir`, ascending.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut seqs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(stem) = name.strip_suffix(".wal") {
+            if let Ok(seq) = stem.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// The append half of the log (see the module docs).
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    segment: u64,
+    offset: u64,
+    next_lsn: u64,
+    policy: FsyncPolicy,
+    rotate_bytes: u64,
+    unsynced: u64,
+    records: u64,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Creates a fresh log (segment 1, LSN 1) in `dir`, which must exist
+    /// and hold no segments.
+    pub fn create(dir: &Path, policy: FsyncPolicy, rotate_bytes: u64) -> io::Result<Wal> {
+        let file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(segment_file(dir, 1))?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            file,
+            segment: 1,
+            offset: 0,
+            next_lsn: 1,
+            policy,
+            rotate_bytes,
+            unsynced: 0,
+            records: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Reopens an existing log for appending at `end` (the position
+    /// [`read_tail`] reported, after any torn-tail truncation was
+    /// applied), with the next record taking `next_lsn`.
+    pub fn reopen(
+        dir: &Path,
+        end: WalPosition,
+        next_lsn: u64,
+        policy: FsyncPolicy,
+        rotate_bytes: u64,
+    ) -> io::Result<Wal> {
+        let path = segment_file(dir, end.segment);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let len = file.metadata()?.len();
+        if len != end.offset {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "segment {} is {len} bytes but the log ends at {}",
+                    path.display(),
+                    end.offset
+                ),
+            ));
+        }
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            file,
+            segment: end.segment,
+            offset: end.offset,
+            next_lsn,
+            policy,
+            rotate_bytes,
+            unsynced: 0,
+            records: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Appends one record (rotating first when the current segment is
+    /// full), applies the fsync policy, and returns the record's LSN.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
+        if self.offset >= self.rotate_bytes && self.rotate_bytes > 0 {
+            self.rotate()?;
+        }
+        let lsn = self.next_lsn;
+        let mut line = encode_record(lsn, record);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.offset += line.len() as u64;
+        self.next_lsn += 1;
+        self.records += 1;
+        self.bytes += line.len() as u64;
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(lsn)
+    }
+
+    /// Forces any unsynced records to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.sync()?;
+        self.segment += 1;
+        self.file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(segment_file(&self.dir, self.segment))?;
+        self.offset = 0;
+        Ok(())
+    }
+
+    /// The position one past the last appended byte — what a checkpoint
+    /// pins after [`Wal::sync`].
+    pub fn position(&self) -> WalPosition {
+        WalPosition {
+            segment: self.segment,
+            offset: self.offset,
+        }
+    }
+
+    /// The LSN the next appended record will take.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Records appended through this handle (not lifetime-of-log).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes appended through this handle.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Deletes every segment strictly below `segment` — safe once no
+    /// retained checkpoint needs them. Returns how many files went.
+    pub fn prune_below(&self, segment: u64) -> io::Result<usize> {
+        let mut removed = 0;
+        for seq in list_segments(&self.dir)? {
+            if seq < segment {
+                fs::remove_file(segment_file(&self.dir, seq))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Where and why a torn tail was found (see [`read_tail`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// The position the log must be truncated back to.
+    pub truncate_at: WalPosition,
+    /// Human-readable diagnosis for the recovery warning.
+    pub reason: String,
+}
+
+/// Everything [`read_tail`] learned from one replay pass.
+#[derive(Debug)]
+pub struct WalTail {
+    /// The complete, checksum-valid, LSN-contiguous records from the
+    /// start position to the end of the log.
+    pub records: Vec<SequencedRecord>,
+    /// The clean end of the log — after truncating any torn tail, this
+    /// is where the reopened [`Wal`] appends.
+    pub end: WalPosition,
+    /// `Some` when the final line was torn (the caller truncates the
+    /// file and warns).
+    pub torn: Option<TornTail>,
+}
+
+/// Replays the log from `start` (exclusive of anything before it),
+/// expecting the first record to carry `expect_lsn`. See the module docs
+/// for the torn-tail / corruption distinction.
+pub fn read_tail(
+    dir: &Path,
+    start: WalPosition,
+    mut expect_lsn: u64,
+) -> Result<WalTail, DurabilityError> {
+    let segments: Vec<u64> = list_segments(dir)?
+        .into_iter()
+        .filter(|&s| s >= start.segment)
+        .collect();
+    if segments.is_empty() || segments[0] != start.segment {
+        return Err(DurabilityError::Corrupt(format!(
+            "wal segment {:06} (pinned by the checkpoint manifest) is missing",
+            start.segment
+        )));
+    }
+    if let Some(gap) = segments.windows(2).find(|w| w[1] != w[0] + 1) {
+        return Err(DurabilityError::Corrupt(format!(
+            "wal segments jump from {:06} to {:06}",
+            gap[0], gap[1]
+        )));
+    }
+    let mut records = Vec::new();
+    let mut end = start;
+    let mut torn = None;
+    let last_seg = *segments.last().expect("non-empty");
+    for &seq in &segments {
+        let path = segment_file(dir, seq);
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        let mut pos = if seq == start.segment {
+            if bytes.len() < start.offset as usize {
+                return Err(DurabilityError::Corrupt(format!(
+                    "segment {:06} is shorter than the checkpoint's pinned offset",
+                    seq
+                )));
+            }
+            start.offset as usize
+        } else {
+            0
+        };
+        end = WalPosition {
+            segment: seq,
+            offset: pos as u64,
+        };
+        while pos < bytes.len() {
+            let nl = bytes[pos..].iter().position(|&b| b == b'\n');
+            let (line_bytes, complete) = match nl {
+                Some(n) => (&bytes[pos..pos + n], true),
+                None => (&bytes[pos..], false),
+            };
+            let parsed = std::str::from_utf8(line_bytes)
+                .map_err(|_| DurabilityError::Corrupt("wal line is not UTF-8".into()))
+                .and_then(parse_record_checked(expect_lsn));
+            match parsed {
+                Ok(rec) if complete => {
+                    records.push(rec);
+                    expect_lsn += 1;
+                    pos += line_bytes.len() + 1;
+                    end.offset = pos as u64;
+                }
+                // An incomplete-but-valid line still lacks its newline:
+                // the crash hit between the payload and the terminator.
+                // It is the final line or nothing follows it — torn.
+                Ok(_) | Err(_) if seq == last_seg && nl.is_none() => {
+                    torn = Some(TornTail {
+                        truncate_at: end,
+                        reason: format!(
+                            "torn final wal line at segment {seq:06} byte {}: {}",
+                            end.offset,
+                            match parsed {
+                                Ok(_) => "record missing its newline".to_string(),
+                                Err(e) => e.to_string(),
+                            }
+                        ),
+                    });
+                    pos = bytes.len();
+                }
+                Ok(_) | Err(_) if seq == last_seg => {
+                    // A newline-terminated line failed to parse in the
+                    // last segment. If only garbage follows (no further
+                    // valid record), treat the whole suffix as torn;
+                    // a valid record *after* it means real corruption.
+                    let rest = &bytes[pos + line_bytes.len() + 1..];
+                    if suffix_has_valid_record(rest) {
+                        return Err(DurabilityError::Corrupt(format!(
+                            "segment {seq:06} byte {}: invalid record with valid records after it",
+                            end.offset
+                        )));
+                    }
+                    torn = Some(TornTail {
+                        truncate_at: end,
+                        reason: format!(
+                            "invalid trailing wal data at segment {seq:06} byte {}: {}",
+                            end.offset,
+                            match parsed {
+                                Ok(_) => "unexpected lsn".to_string(),
+                                Err(e) => e.to_string(),
+                            }
+                        ),
+                    });
+                    pos = bytes.len();
+                }
+                Ok(_) => {
+                    return Err(DurabilityError::Corrupt(format!(
+                        "segment {seq:06} byte {}: lsn discontinuity mid-log",
+                        end.offset
+                    )));
+                }
+                Err(e) => {
+                    return Err(DurabilityError::Corrupt(format!(
+                        "segment {seq:06} byte {}: {e} (mid-log, not a tail)",
+                        end.offset
+                    )));
+                }
+            }
+        }
+    }
+    Ok(WalTail { records, end, torn })
+}
+
+/// A parse that also enforces the expected LSN, as a closure usable in a
+/// `Result` chain.
+fn parse_record_checked(
+    expect_lsn: u64,
+) -> impl Fn(&str) -> Result<SequencedRecord, DurabilityError> {
+    move |line| {
+        let rec = parse_record(line)?;
+        if rec.lsn != expect_lsn {
+            return Err(DurabilityError::Corrupt(format!(
+                "expected lsn {expect_lsn}, found {}",
+                rec.lsn
+            )));
+        }
+        Ok(rec)
+    }
+}
+
+/// True when `bytes` contains at least one newline-terminated line that
+/// parses as a record — the corruption/torn-tail discriminator.
+fn suffix_has_valid_record(bytes: &[u8]) -> bool {
+    let mut pos = 0;
+    while let Some(n) = bytes[pos..].iter().position(|&b| b == b'\n') {
+        if let Ok(line) = std::str::from_utf8(&bytes[pos..pos + n]) {
+            if parse_record(line).is_ok() {
+                return true;
+            }
+        }
+        pos += n + 1;
+    }
+    false
+}
+
+/// Truncates the log back to `pos` (applying a [`TornTail`] verdict):
+/// cuts the segment file and removes any later segments.
+pub fn truncate_to(dir: &Path, pos: WalPosition) -> io::Result<()> {
+    for seq in list_segments(dir)? {
+        if seq > pos.segment {
+            fs::remove_file(segment_file(dir, seq))?;
+        }
+    }
+    let file = OpenOptions::new()
+        .write(true)
+        .open(segment_file(dir, pos.segment))?;
+    file.set_len(pos.offset)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+/// Reads the raw bytes of one segment — test and tooling support for
+/// crash-injection (cutting a log at an arbitrary byte offset).
+pub fn read_segment_bytes(dir: &Path, seq: u64) -> io::Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    File::open(segment_file(dir, seq))?.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+/// Overwrites one segment with `bytes` — the other half of the
+/// crash-injection toolkit.
+pub fn write_segment_bytes(dir: &Path, seq: u64, bytes: &[u8]) -> io::Result<()> {
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(segment_file(dir, seq))?;
+    f.write_all(bytes)?;
+    f.sync_data()
+}
+
+/// Seek is unused today but keeps the import graph honest if reopen ever
+/// needs positioned reads.
+#[allow(dead_code)]
+fn _seek_assert(f: &mut File) -> io::Result<u64> {
+    f.seek(SeekFrom::End(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Batch, CellOp};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("msj-wal-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ins(rel: &str, ver: u64, cell: &str) -> WalRecord {
+        WalRecord::Batch(Batch {
+            relation: rel.into(),
+            version_before: ver,
+            ops: vec![CellOp::Insert(vec![cell.into()])],
+        })
+    }
+
+    #[test]
+    fn append_read_round_trip_with_rotation() {
+        let dir = tmp("rotate");
+        let mut wal = Wal::create(&dir, FsyncPolicy::Never, 128).unwrap();
+        for i in 0..20 {
+            let lsn = wal.append(&ins("R", i, &format!("{i}"))).unwrap();
+            assert_eq!(lsn, i + 1);
+        }
+        wal.sync().unwrap();
+        assert!(
+            list_segments(&dir).unwrap().len() > 1,
+            "128-byte segments must rotate over 20 records"
+        );
+        let tail = read_tail(
+            &dir,
+            WalPosition {
+                segment: 1,
+                offset: 0,
+            },
+            1,
+        )
+        .unwrap();
+        assert!(tail.torn.is_none());
+        assert_eq!(tail.records.len(), 20);
+        assert_eq!(
+            tail.records[7],
+            SequencedRecord {
+                lsn: 8,
+                record: ins("R", 7, "7")
+            }
+        );
+        assert_eq!(tail.end, wal.position());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_at_every_byte_offset_is_tolerated() {
+        let dir = tmp("torn");
+        let mut wal = Wal::create(&dir, FsyncPolicy::Never, u64::MAX).unwrap();
+        for i in 0..4 {
+            wal.append(&ins("R", i, "x y z")).unwrap();
+        }
+        wal.sync().unwrap();
+        let full = read_segment_bytes(&dir, 1).unwrap();
+        // Boundaries of complete records, judged by newline positions.
+        let mut boundaries = vec![0usize];
+        boundaries.extend(
+            full.iter()
+                .enumerate()
+                .filter(|&(_, &b)| b == b'\n')
+                .map(|(i, _)| i + 1),
+        );
+        for cut in 0..=full.len() {
+            write_segment_bytes(&dir, 1, &full[..cut]).unwrap();
+            let tail = read_tail(
+                &dir,
+                WalPosition {
+                    segment: 1,
+                    offset: 0,
+                },
+                1,
+            )
+            .unwrap();
+            let complete = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(tail.records.len(), complete, "cut at {cut}");
+            assert_eq!(
+                tail.torn.is_some(),
+                !boundaries.contains(&cut),
+                "cut at {cut}"
+            );
+            if let Some(t) = &tail.torn {
+                // Applying the verdict yields a clean log.
+                truncate_to(&dir, t.truncate_at).unwrap();
+                let clean = read_tail(
+                    &dir,
+                    WalPosition {
+                        segment: 1,
+                        offset: 0,
+                    },
+                    1,
+                )
+                .unwrap();
+                assert!(clean.torn.is_none());
+                assert_eq!(clean.records.len(), complete);
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_refused() {
+        let dir = tmp("corrupt");
+        let mut wal = Wal::create(&dir, FsyncPolicy::Never, u64::MAX).unwrap();
+        for i in 0..3 {
+            wal.append(&ins("R", i, "abcdef")).unwrap();
+        }
+        wal.sync().unwrap();
+        let mut bytes = read_segment_bytes(&dir, 1).unwrap();
+        // Flip a byte in the *first* record: valid records follow it.
+        bytes[20] = bytes[20].wrapping_add(1);
+        write_segment_bytes(&dir, 1, &bytes).unwrap();
+        let err = read_tail(
+            &dir,
+            WalPosition {
+                segment: 1,
+                offset: 0,
+            },
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DurabilityError::Corrupt(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_the_sequence() {
+        let dir = tmp("reopen");
+        let mut wal = Wal::create(&dir, FsyncPolicy::Always, u64::MAX).unwrap();
+        wal.append(&ins("R", 0, "a")).unwrap();
+        wal.append(&ins("R", 1, "b")).unwrap();
+        let end = wal.position();
+        let next = wal.next_lsn();
+        drop(wal);
+        let mut wal = Wal::reopen(&dir, end, next, FsyncPolicy::Always, u64::MAX).unwrap();
+        assert_eq!(wal.append(&ins("R", 2, "c")).unwrap(), 3);
+        let tail = read_tail(
+            &dir,
+            WalPosition {
+                segment: 1,
+                offset: 0,
+            },
+            1,
+        )
+        .unwrap();
+        assert_eq!(tail.records.len(), 3);
+        assert_eq!(tail.records[2].lsn, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_below_drops_old_segments() {
+        let dir = tmp("prune");
+        let mut wal = Wal::create(&dir, FsyncPolicy::Never, 64).unwrap();
+        for i in 0..12 {
+            wal.append(&ins("R", i, "0123456789")).unwrap();
+        }
+        wal.sync().unwrap();
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.len() >= 3);
+        let keep_from = segs[segs.len() - 2];
+        wal.prune_below(keep_from).unwrap();
+        assert_eq!(list_segments(&dir).unwrap().first(), Some(&keep_from));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policy_flag_syntax() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("every=8"), Some(FsyncPolicy::EveryN(8)));
+        assert_eq!(FsyncPolicy::parse("every=0"), Some(FsyncPolicy::EveryN(1)));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+}

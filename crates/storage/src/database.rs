@@ -88,6 +88,14 @@ impl Database {
             .collect()
     }
 
+    /// Restores a persisted version counter onto a freshly added relation
+    /// (see [`VersionedRelation::restore_version`]) — used by crash
+    /// recovery so the rebuilt catalog continues the version clock the
+    /// checkpoint manifest pinned instead of restarting from 0.
+    pub fn restore_version(&mut self, id: RelId, version: u64) {
+        self.relations[id.0].restore_version(version);
+    }
+
     /// Applies a write batch to one relation (see
     /// [`VersionedRelation::apply`] for semantics).
     pub fn apply(&mut self, id: RelId, ops: &[WriteOp]) -> Result<WriteOutcome, StorageError> {

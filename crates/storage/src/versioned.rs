@@ -125,6 +125,21 @@ impl VersionedRelation {
         }
     }
 
+    /// Restores a persisted version counter onto a freshly loaded base —
+    /// the crash-recovery constructor. Checkpoints dump a relation's
+    /// *compacted* snapshot together with its version; loading that dump
+    /// through [`VersionedRelation::from_base`] would reset the counter to
+    /// 0 and break the engine's version-continuity check against the WAL
+    /// tail. Only valid while the delta is empty (i.e. immediately after
+    /// construction), which is the only state recovery ever sees.
+    pub fn restore_version(&mut self, version: u64) {
+        debug_assert!(
+            self.delta_is_empty(),
+            "restore_version is a recovery-time operation on a fresh base"
+        );
+        self.version = version;
+    }
+
     fn empty_delta(base: &TrieRelation) -> TrieRelation {
         TrieRelation::from_sorted_unique(base.name().to_string(), base.arity(), &[])
     }

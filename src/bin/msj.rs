@@ -4,8 +4,10 @@
 //! ```text
 //! msj --rel R=edges.tsv --rel S=edges.tsv 'R(x, y), S(y, z)' \
 //!     [--algo NAME] [--explain] [--explain-json] [--stats] [--limit K] \
-//!     [--threads N]
-//! msj serve  --rel NAME=FILE ... [--addr 127.0.0.1:PORT] [--budget N]
+//!     [--threads N] [--data-dir DIR]
+//! msj serve  --rel NAME=FILE ... [--addr 127.0.0.1:PORT] [--budget N] \
+//!     [--data-dir DIR] [--fsync always|never|every=N] \
+//!     [--checkpoint-every N] [--no-auto-compact]
 //! msj client --addr 127.0.0.1:PORT
 //! ```
 //!
@@ -50,6 +52,19 @@
 //! request and prints response bodies to stdout — byte-identical to
 //! what the one-shot CLI prints for the same query and options.
 //!
+//! **`--data-dir DIR`** makes the engine durable (see
+//! `docs/DURABILITY.md`): a first boot loads the `--rel` relations,
+//! writes the boot checkpoint, and logs every committed write batch to a
+//! write-ahead log before applying it; a later boot recovers — newest
+//! valid checkpoint, then WAL-tail replay, tolerating a torn final line
+//! — and ignores `--rel` (the directory is the source of truth).
+//! `--fsync` picks the log's sync policy (default `always`),
+//! `--checkpoint-every N` checkpoints every `N` logged records
+//! (`W CHECKPOINT` forces one any time), and `--no-auto-compact` turns
+//! off threshold-triggered compaction after writes. `msj serve` drains
+//! on SIGTERM/SIGINT: it stops accepting, lets in-flight sessions
+//! finish, writes a final checkpoint, and exits 0.
+//!
 //! Exit codes: `0` success, `2` usage, `3` the query was rejected
 //! (parse/plan/type/unknown-algorithm — before any tuple work), `1`
 //! execution or I/O failure.
@@ -57,10 +72,14 @@
 use std::process::ExitCode;
 
 use std::io::{BufRead, Write};
+use std::path::Path;
 use std::sync::Arc;
 
 use minesweeper_join::baselines::{algorithm_names, lookup};
-use minesweeper_join::engine::{DispatchKind, Engine, EngineError, ExecOptions, PreparedStatement};
+use minesweeper_join::durability::{DurabilityOptions, FsyncPolicy};
+use minesweeper_join::engine::{
+    DispatchKind, DurableBoot, Engine, EngineError, ExecOptions, PreparedStatement,
+};
 use minesweeper_join::render;
 use minesweeper_join::server::{self, Client, Reply, Server};
 use minesweeper_join::storage::ExecStats;
@@ -71,8 +90,11 @@ const EXIT_REJECTED: u8 = 3;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: msj --rel NAME=FILE [--rel NAME=FILE ...] 'QUERY' \
-         [--algo NAME] [--explain] [--explain-json] [--stats] [--limit K] [--threads N]\n\
+         [--algo NAME] [--explain] [--explain-json] [--stats] [--limit K] [--threads N] \
+         [--data-dir DIR]\n\
          \x20      msj serve --rel NAME=FILE [...] [--addr HOST:PORT] [--budget N]\n\
+         \x20                [--data-dir DIR] [--fsync always|never|every=N]\n\
+         \x20                [--checkpoint-every N] [--no-auto-compact]\n\
          \x20      msj client --addr HOST:PORT  (requests on stdin; see docs/SERVICE.md)\n\
          example: msj --rel R=edges.tsv --rel S=edges.tsv 'R(x,y), S(y,z)' --stats\n\
          algorithms: {}",
@@ -139,10 +161,9 @@ fn print_shard_lines(threads: usize, shards: &[minesweeper_join::core::ShardStat
     }
 }
 
-/// Parses the `--rel NAME=FILE` pairs common to the one-shot and serve
-/// modes and loads them into a fresh engine.
-fn load_relations(rels: &[(String, String)]) -> Result<Engine, ExitCode> {
-    let mut engine = Engine::new();
+/// Loads `--rel NAME=FILE` pairs into an engine (fresh or just-opened
+/// durable — the same loader either way).
+fn load_relations_into(engine: &mut Engine, rels: &[(String, String)]) -> Result<(), ExitCode> {
     for (name, path) in rels {
         let text = std::fs::read_to_string(path).map_err(|e| {
             eprintln!("cannot read {path}: {e}");
@@ -152,6 +173,62 @@ fn load_relations(rels: &[(String, String)]) -> Result<Engine, ExitCode> {
             eprintln!("{path}: {e}");
             ExitCode::FAILURE
         })?;
+    }
+    Ok(())
+}
+
+/// Parses the `--rel NAME=FILE` pairs common to the one-shot and serve
+/// modes and loads them into a fresh in-memory engine.
+fn load_relations(rels: &[(String, String)]) -> Result<Engine, ExitCode> {
+    let mut engine = Engine::new();
+    load_relations_into(&mut engine, rels)?;
+    Ok(engine)
+}
+
+/// Opens (or recovers) a durable engine over `--data-dir`. A fresh
+/// directory loads the `--rel` relations and writes the boot checkpoint;
+/// a recovered one ignores `--rel` with a warning and reports what
+/// recovery did on stderr.
+fn open_data_dir(
+    dir: &str,
+    options: DurabilityOptions,
+    rels: &[(String, String)],
+) -> Result<Engine, ExitCode> {
+    let (mut engine, boot) = Engine::open_durable(Path::new(dir), options).map_err(|e| {
+        eprintln!("cannot open data directory {dir}: {e}");
+        ExitCode::FAILURE
+    })?;
+    match boot {
+        DurableBoot::Fresh => {
+            load_relations_into(&mut engine, rels)?;
+            match engine.checkpoint() {
+                Ok(Some(report)) => eprintln!(
+                    "# msj: initialized {dir}: checkpoint {} ({} relation(s), {} row(s))",
+                    report.id, report.relations, report.rows
+                ),
+                Ok(None) => unreachable!("durable engines always checkpoint"),
+                Err(e) => {
+                    eprintln!("cannot write the boot checkpoint in {dir}: {e}");
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+        }
+        DurableBoot::Recovered(report) => {
+            for warning in &report.warnings {
+                eprintln!("# msj: recovery warning: {warning}");
+            }
+            eprintln!(
+                "# msj: recovered {dir}: checkpoint {} + {} replayed wal record(s), \
+                 {} relation(s)",
+                report.checkpoint_id, report.replayed_records, report.relations
+            );
+            if !rels.is_empty() {
+                eprintln!(
+                    "# msj: note: {} --rel argument(s) ignored — {dir} already holds the data",
+                    rels.len()
+                );
+            }
+        }
     }
     Ok(engine)
 }
@@ -171,6 +248,10 @@ fn serve_main(args: &[String]) -> ExitCode {
     let mut rels: Vec<(String, String)> = Vec::new();
     let mut addr = "127.0.0.1:0".to_string();
     let mut budget = server::default_budget();
+    let mut data_dir: Option<String> = None;
+    let mut durability = DurabilityOptions::default();
+    let mut durability_flags = false;
+    let mut auto_compact = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -199,6 +280,34 @@ fn serve_main(args: &[String]) -> ExitCode {
                 budget = b;
                 i += 2;
             }
+            "--data-dir" => {
+                let Some(d) = args.get(i + 1) else {
+                    return usage();
+                };
+                data_dir = Some(d.clone());
+                i += 2;
+            }
+            "--fsync" => {
+                let Some(policy) = args.get(i + 1).and_then(|s| FsyncPolicy::parse(s)) else {
+                    eprintln!("--fsync expects always, never, or every=N");
+                    return ExitCode::from(2);
+                };
+                durability.fsync = policy;
+                durability_flags = true;
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                durability.checkpoint_every = n;
+                durability_flags = true;
+                i += 2;
+            }
+            "--no-auto-compact" => {
+                auto_compact = false;
+                i += 1;
+            }
             "--help" | "-h" => return usage(),
             other => {
                 eprintln!("unexpected argument {other:?}");
@@ -206,14 +315,26 @@ fn serve_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    if rels.is_empty() {
+    if durability_flags && data_dir.is_none() {
+        eprintln!("--fsync / --checkpoint-every require --data-dir");
+        return ExitCode::from(2);
+    }
+    if rels.is_empty() && data_dir.is_none() {
         return usage();
     }
-    let engine = match load_relations(&rels) {
-        Ok(e) => e,
-        Err(code) => return code,
+    let engine = match &data_dir {
+        Some(dir) => match open_data_dir(dir, durability, &rels) {
+            Ok(e) => e,
+            Err(code) => return code,
+        },
+        None => match load_relations(&rels) {
+            Ok(e) => e,
+            Err(code) => return code,
+        },
     };
-    let server = match Server::start(Arc::new(engine), &addr, budget) {
+    engine.set_auto_compact(auto_compact);
+    let engine = Arc::new(engine);
+    let server = match Server::start(Arc::clone(&engine), &addr, budget) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot serve on {addr}: {e}");
@@ -225,14 +346,82 @@ fn serve_main(args: &[String]) -> ExitCode {
     println!("listening on {}", server.addr());
     let _ = std::io::stdout().flush();
     eprintln!(
-        "# msj serve: {} relation(s), worker budget {}; protocol in docs/SERVICE.md",
-        rels.len(),
-        server.stats().budget
+        "# msj serve: {} relation(s), worker budget {}{}; protocol in docs/SERVICE.md",
+        engine.db().len(),
+        server.stats().budget,
+        match &data_dir {
+            Some(dir) => format!(", durable in {dir}"),
+            None => String::new(),
+        }
     );
-    // Serve until killed; sessions and the accept loop run on their own
-    // threads, so the main thread just keeps the handle alive.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    // Serve until SIGTERM/SIGINT, then drain: stop accepting, let
+    // in-flight sessions finish (they poll the shutdown flag between
+    // reads, bounded by the 50ms read-poll), write a final checkpoint,
+    // and exit 0. Sessions and the accept loop run on their own threads;
+    // the main thread only watches the drain flag.
+    sig::install();
+    while !sig::draining() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("# msj serve: signal received, draining");
+    if let Err(e) = server.shutdown() {
+        eprintln!("msj serve: shutdown: {e}");
+        return ExitCode::FAILURE;
+    }
+    match engine.checkpoint() {
+        Ok(Some(report)) => eprintln!(
+            "# msj serve: final checkpoint {} ({} relation(s), {} row(s))",
+            report.id, report.relations, report.rows
+        ),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("msj serve: final checkpoint failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Minimal signal handling without a libc crate: `std` already links
+/// libc, so declaring `signal(2)` directly is enough to flip an atomic
+/// from the handler (store-to-atomic is async-signal-safe).
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static DRAIN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        DRAIN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler: extern "C" fn(i32) = on_signal;
+        unsafe {
+            signal(SIGINT, handler as usize);
+            signal(SIGTERM, handler as usize);
+        }
+    }
+
+    pub fn draining() -> bool {
+        DRAIN.load(Ordering::SeqCst)
+    }
+}
+
+/// Non-unix fallback: no drain signal; the process serves until killed.
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn draining() -> bool {
+        false
     }
 }
 
@@ -337,6 +526,7 @@ fn query_main(args: &[String]) -> ExitCode {
     let mut algo_name: Option<String> = None;
     let mut limit: Option<usize> = None;
     let mut threads: Option<usize> = None;
+    let mut data_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -384,6 +574,13 @@ fn query_main(args: &[String]) -> ExitCode {
                 threads = Some(n);
                 i += 2;
             }
+            "--data-dir" => {
+                let Some(d) = args.get(i + 1) else {
+                    return usage();
+                };
+                data_dir = Some(d.clone());
+                i += 2;
+            }
             "--help" | "-h" => return usage(),
             other => {
                 if query_text.is_some() {
@@ -398,12 +595,18 @@ fn query_main(args: &[String]) -> ExitCode {
     let Some(query_text) = query_text else {
         return usage();
     };
-    if rels.is_empty() {
+    if rels.is_empty() && data_dir.is_none() {
         return usage();
     }
-    let engine = match load_relations(&rels) {
-        Ok(e) => e,
-        Err(code) => return code,
+    let engine = match &data_dir {
+        Some(dir) => match open_data_dir(dir, DurabilityOptions::default(), &rels) {
+            Ok(e) => e,
+            Err(code) => return code,
+        },
+        None => match load_relations(&rels) {
+            Ok(e) => e,
+            Err(code) => return code,
+        },
     };
     // Resolve `--algo` up front so typos fail before any planning work —
     // a rejection (exit 3), like every other pre-execution refusal.

@@ -64,17 +64,22 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use minesweeper_baselines::lookup_configured;
 use minesweeper_core::{
     plan, shard_strategy, Atom, ExplainCache, ExplainPlan, ExplainShards, MinesweeperPar, Plan,
     PreparedExec, Query, QueryError,
 };
+use minesweeper_durability::{
+    Batch as WalBatch, CellOp, DurabilityCounters, DurabilityOptions, DurableStore, Opened,
+    RelationDump, WalRecord,
+};
 use minesweeper_storage::{
-    ColumnType, Database, Dictionary, ExecStats, RelId, RelationBuilder, StorageError,
-    TrieRelation, Tuple, Val, Value, WriteOp, WriteOutcome,
+    value::MAX_DOMAIN_VALUE, ColumnType, Database, Dictionary, ExecStats, RelId, RelationBuilder,
+    StorageError, TrieRelation, Tuple, Val, Value, WriteOp, WriteOutcome,
 };
 
 use crate::text::{parse_query_ast, parse_typed_relation, QueryArg, TextError};
@@ -283,6 +288,83 @@ impl RowOp {
     }
 }
 
+/// How a durable engine came up (see [`Engine::open_durable`]).
+#[derive(Debug)]
+pub enum DurableBoot {
+    /// A new data directory: the caller loads initial relations, then
+    /// writes the boot checkpoint.
+    Fresh,
+    /// An existing directory was recovered losslessly.
+    Recovered(RecoveryReport),
+}
+
+/// What a recovery did — surfaced on `msj serve` startup.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The checkpoint the catalog was rebuilt from.
+    pub checkpoint_id: u64,
+    /// Relations restored from that checkpoint.
+    pub relations: usize,
+    /// WAL tail records replayed on top of it.
+    pub replayed_records: u64,
+    /// Conditions recovery tolerated (torn final line, an invalid newest
+    /// checkpoint it fell back past).
+    pub warnings: Vec<String>,
+}
+
+/// What one checkpoint wrote (see [`Engine::checkpoint`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointReport {
+    /// The published checkpoint's sequence number.
+    pub id: u64,
+    /// Relations dumped.
+    pub relations: usize,
+    /// Total rows across all dumps.
+    pub rows: u64,
+}
+
+/// The WAL text form of one typed row (integers print, strings pass
+/// through; escaping happens at the record layer).
+fn cells_of(row: &[Value]) -> Vec<String> {
+    row.iter()
+        .map(|cell| match cell {
+            Value::Int(v) => v.to_string(),
+            Value::Str(s) => s.clone(),
+        })
+        .collect()
+}
+
+/// Decodes one stored tuple back to text cells for a checkpoint dump —
+/// the exact inverse of the loader's encoding.
+fn decode_cells(tuple: &[Val], types: &[ColumnType], dict: &Dictionary) -> Vec<String> {
+    tuple
+        .iter()
+        .zip(types)
+        .map(|(&v, ty)| match ty {
+            ColumnType::Int => v.to_string(),
+            ColumnType::Str => dict
+                .resolve(v)
+                .expect("stored string ids always resolve")
+                .to_string(),
+        })
+        .collect()
+}
+
+/// Parses a checkpoint manifest's column-type tokens back into the
+/// schema catalog's types.
+fn parse_type_tokens(relation: &str, tokens: &[String]) -> Result<Vec<ColumnType>, EngineError> {
+    tokens
+        .iter()
+        .map(|t| match t.as_str() {
+            "int" => Ok(ColumnType::Int),
+            "str" => Ok(ColumnType::Str),
+            other => Err(EngineError::Storage(format!(
+                "checkpoint manifest: relation {relation} has unknown column type {other:?}"
+            ))),
+        })
+        .collect()
+}
+
 /// Declared shape of one stored relation.
 #[derive(Debug, Clone)]
 struct RelSchema {
@@ -343,7 +425,7 @@ impl CachedStatement {
 /// cached entry's expensive bound execution is a `OnceLock` so exactly
 /// one thread pays any physical re-index. This is the contract the
 /// `msj serve` front door (see [`crate::server`]) is built on.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
     /// The current database version, behind a copy-on-write `Arc`: readers
     /// (prepared statements, detached parallel streams) clone the `Arc`
@@ -360,6 +442,33 @@ pub struct Engine {
     dict: RwLock<Arc<Dictionary>>,
     cache: RwLock<HashMap<String, Arc<CachedStatement>>>,
     next_plan_id: AtomicU64,
+    /// The write-ahead log + checkpoint store when the engine is durable
+    /// (see [`Engine::open_durable`]); `None` for in-memory engines.
+    /// Locked only inside the `db` write lock, so WAL order equals
+    /// commit order by construction.
+    durability: Option<Mutex<DurableStore>>,
+    /// Threshold-triggered compaction after writes (default on): when a
+    /// batch leaves a relation's delta above
+    /// [`minesweeper_storage::COMPACT_DELTA_RATIO`], the engine folds it
+    /// immediately, under the same write lock. Content-neutral —
+    /// versions, cached plans, and reader snapshots are unaffected.
+    auto_compact: AtomicBool,
+    auto_compactions: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine {
+            db: RwLock::default(),
+            schemas: Vec::new(),
+            dict: RwLock::default(),
+            cache: RwLock::default(),
+            next_plan_id: AtomicU64::new(0),
+            durability: None,
+            auto_compact: AtomicBool::new(true),
+            auto_compactions: AtomicU64::new(0),
+        }
+    }
 }
 
 // The service front door shares one engine across connection threads;
@@ -511,6 +620,12 @@ impl Engine {
     /// [`WriteOutcome`] counts rows that actually changed membership.
     /// Concurrent readers are never blocked: they keep the `Arc` snapshot
     /// they already hold, and the next prepare sees the new version.
+    ///
+    /// On a durable engine ([`Engine::open_durable`]) the batch is
+    /// appended to the write-ahead log *before* the copy-on-write swap —
+    /// validation up front is exhaustive (arity, type, value domain), so
+    /// a logged record can never fail to apply, and a WAL append failure
+    /// aborts the batch with nothing applied.
     pub fn apply_batch(
         &self,
         relation: &str,
@@ -518,8 +633,14 @@ impl Engine {
     ) -> Result<WriteOutcome, EngineError> {
         let ops: Vec<RowOp> = ops.into_iter().collect();
         let id = self.db.read().unwrap().id_of(relation)?;
+        if ops.is_empty() {
+            return Ok(WriteOutcome::default());
+        }
         let types = self.schemas[id.0].cols.clone();
-        // Validate the whole batch before interning or applying anything.
+        // Validate the whole batch before interning, logging, or applying
+        // anything. The checks mirror everything `Database::apply` would
+        // reject (arity, cell type, integer domain), which is what makes
+        // log-before-apply safe.
         for op in &ops {
             let row = op.row();
             if row.len() != types.len() {
@@ -531,7 +652,16 @@ impl Engine {
             }
             for (c, (cell, ty)) in row.iter().zip(&types).enumerate() {
                 match (cell, ty) {
-                    (Value::Int(_), ColumnType::Int) | (Value::Str(_), ColumnType::Str) => {}
+                    (Value::Int(v), ColumnType::Int) => {
+                        if !(0..=MAX_DOMAIN_VALUE).contains(v) {
+                            return Err(StorageError::ValueOutOfDomain {
+                                relation: relation.to_string(),
+                                value: *v,
+                            }
+                            .into());
+                        }
+                    }
+                    (Value::Str(_), ColumnType::Str) => {}
                     _ => {
                         return Err(EngineError::ValueType {
                             relation: relation.to_string(),
@@ -571,7 +701,58 @@ impl Engine {
             }
         }
         let mut db = self.db.write().unwrap();
-        Ok(Arc::make_mut(&mut db).apply(id, &encoded)?)
+        // Log before the swap, under the same write lock, so the WAL's
+        // record order is exactly the commit order. The record carries the
+        // *original* text-level ops (vacuous deletes included — replay
+        // re-drops them the same way) plus the relation's pre-batch
+        // version, which recovery uses as a continuity check.
+        if let Some(store) = &self.durability {
+            let record = WalRecord::Batch(WalBatch {
+                relation: relation.to_string(),
+                version_before: db.version(id),
+                ops: ops
+                    .iter()
+                    .map(|op| match op {
+                        RowOp::Insert(row) => CellOp::Insert(cells_of(row)),
+                        RowOp::Delete(row) => CellOp::Delete(cells_of(row)),
+                    })
+                    .collect(),
+            });
+            store
+                .lock()
+                .unwrap()
+                .log(&record)
+                .map_err(|e| EngineError::Storage(e.to_string()))?;
+        }
+        let outcome = Arc::make_mut(&mut db).apply(id, &encoded)?;
+        // Threshold-triggered compaction, still under the write lock:
+        // fold the delta the moment it outgrows the ratio, so read-path
+        // merge overhead stays bounded without anyone asking. Not logged —
+        // compaction is content-neutral and recovery re-converges on its
+        // own (replayed deltas re-trigger the same threshold).
+        if self.auto_compact.load(Ordering::Relaxed) && db.versioned(id).should_compact() {
+            Arc::make_mut(&mut db).compact(id);
+            self.auto_compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(outcome)
+    }
+
+    /// Whether threshold-triggered compaction after writes is enabled
+    /// (see [`Engine::set_auto_compact`]; default on).
+    pub fn auto_compact_enabled(&self) -> bool {
+        self.auto_compact.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables threshold-triggered compaction after writes.
+    /// Off restores the advise-only behavior: deltas accumulate until an
+    /// explicit [`Engine::compact`] / `W COMPACT`.
+    pub fn set_auto_compact(&self, on: bool) {
+        self.auto_compact.store(on, Ordering::Relaxed);
+    }
+
+    /// How many threshold-triggered compactions the engine has performed.
+    pub fn auto_compactions(&self) -> u64 {
+        self.auto_compactions.load(Ordering::Relaxed)
     }
 
     /// Current version counter of a relation (bumped per content-changing
@@ -596,6 +777,244 @@ impl Engine {
     pub fn compact(&self) -> usize {
         let mut db = self.db.write().unwrap();
         Arc::make_mut(&mut db).compact_all()
+    }
+
+    /// Types one text row against a declared schema, with exactly the
+    /// rules the TSV loader and the `W INSERT` wire path use: integer
+    /// columns parse the token, string columns take it verbatim. Shared
+    /// by the server session and WAL replay, so a replayed record is
+    /// typed bit-for-bit like the live request that produced it.
+    pub fn type_row(
+        relation: &str,
+        types: &[ColumnType],
+        cells: &[String],
+    ) -> Result<Vec<Value>, EngineError> {
+        if cells.len() != types.len() {
+            return Err(EngineError::RowArity {
+                relation: relation.to_string(),
+                expected: types.len(),
+                got: cells.len(),
+            });
+        }
+        cells
+            .iter()
+            .zip(types)
+            .enumerate()
+            .map(|(c, (cell, ty))| match ty {
+                ColumnType::Int => {
+                    cell.parse()
+                        .map(Value::Int)
+                        .map_err(|_| EngineError::ValueType {
+                            relation: relation.to_string(),
+                            column: c,
+                            expected: ColumnType::Int,
+                        })
+                }
+                ColumnType::Str => Ok(Value::Str(cell.clone())),
+            })
+            .collect()
+    }
+
+    /// Opens a durable engine over a data directory (see
+    /// `docs/DURABILITY.md`): creates the directory layout on first boot,
+    /// or recovers — newest valid checkpoint, then WAL-tail replay
+    /// through the normal typed write path — on every later one. The
+    /// returned [`DurableBoot`] says which happened; after a fresh boot
+    /// the caller loads its initial relations and calls
+    /// [`Engine::checkpoint`] once before accepting writes.
+    pub fn open_durable(
+        dir: &Path,
+        options: DurabilityOptions,
+    ) -> Result<(Engine, DurableBoot), EngineError> {
+        let opened =
+            DurableStore::open(dir, options).map_err(|e| EngineError::Storage(e.to_string()))?;
+        let mut engine = Engine::new();
+        match opened {
+            Opened::Fresh(store) => {
+                engine.durability = Some(Mutex::new(store));
+                Ok((engine, DurableBoot::Fresh))
+            }
+            Opened::Recovered(store, recovery) => {
+                // Rebuild the catalog from the checkpoint dumps. Strings
+                // re-intern in row order; ids may differ from the crashed
+                // process, but every decoded answer is byte-identical —
+                // the dictionary is an equality-preserving encoding, not
+                // persisted state.
+                for dump in &recovery.relations {
+                    let types = parse_type_tokens(&dump.name, &dump.types)?;
+                    let rows = dump
+                        .rows
+                        .iter()
+                        .map(|cells| Self::type_row(&dump.name, &types, cells))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let id = engine.add_relation(&dump.name, &types, rows)?;
+                    Arc::make_mut(engine.db.get_mut().unwrap()).restore_version(id, dump.version);
+                }
+                // Replay the tail through the public write path —
+                // durability is not attached yet, so nothing re-logs.
+                let mut replayed = 0u64;
+                for rec in &recovery.tail {
+                    match &rec.record {
+                        WalRecord::Batch(batch) => {
+                            let version = engine.relation_version(&batch.relation)?;
+                            if version != batch.version_before {
+                                return Err(EngineError::Storage(format!(
+                                    "wal record {} expects relation {} at version {}, found {} — \
+                                     the log does not continue this checkpoint",
+                                    rec.lsn, batch.relation, batch.version_before, version
+                                )));
+                            }
+                            let id = engine.db.get_mut().unwrap().id_of(&batch.relation)?;
+                            let types = engine.schemas[id.0].cols.clone();
+                            let ops = batch
+                                .ops
+                                .iter()
+                                .map(|op| {
+                                    Ok(match op {
+                                        CellOp::Insert(cells) => RowOp::Insert(Self::type_row(
+                                            &batch.relation,
+                                            &types,
+                                            cells,
+                                        )?),
+                                        CellOp::Delete(cells) => RowOp::Delete(Self::type_row(
+                                            &batch.relation,
+                                            &types,
+                                            cells,
+                                        )?),
+                                    })
+                                })
+                                .collect::<Result<Vec<_>, EngineError>>()?;
+                            engine.apply_batch(&batch.relation, ops)?;
+                        }
+                        WalRecord::Compact { relation } => match relation {
+                            Some(rel) => {
+                                engine.compact_relation(rel)?;
+                            }
+                            None => {
+                                engine.compact();
+                            }
+                        },
+                    }
+                    replayed += 1;
+                }
+                let report = RecoveryReport {
+                    checkpoint_id: recovery.checkpoint_id,
+                    relations: recovery.relations.len(),
+                    replayed_records: replayed,
+                    warnings: recovery.warnings,
+                };
+                engine.durability = Some(Mutex::new(store));
+                Ok((engine, DurableBoot::Recovered(report)))
+            }
+        }
+    }
+
+    /// True when this engine logs to a data directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durability counters `STATS` reports; `None` on an in-memory
+    /// engine.
+    pub fn durability_stats(&self) -> Option<DurabilityCounters> {
+        self.durability
+            .as_ref()
+            .map(|store| store.lock().unwrap().counters())
+    }
+
+    /// Writes a checkpoint: fsyncs the WAL, pins its position together
+    /// with a consistent database snapshot (both under the write lock),
+    /// dumps every relation's decoded rows outside the lock, publishes
+    /// atomically, and prunes old checkpoints plus the WAL segments
+    /// nothing retained still needs. Logs a `COMPACT`-free, read-only
+    /// view — concurrent readers are unaffected; writers wait only for
+    /// the position pin, then queue behind the WAL mutex until the dump
+    /// is published. Returns `None` on an in-memory engine.
+    pub fn checkpoint(&self) -> Result<Option<CheckpointReport>, EngineError> {
+        let Some(store) = &self.durability else {
+            return Ok(None);
+        };
+        // Pin (position, snapshot) atomically: holding the db read lock
+        // excludes committers (they need the write lock), so no batch
+        // can land between the two. Lock order is db before the WAL
+        // mutex, the same order `apply_batch` uses — taking the store
+        // mutex first would deadlock against a concurrent writer.
+        let (pos, next_lsn, db, mut store) = {
+            let db = self.db.read().unwrap();
+            let mut store = store.lock().unwrap();
+            let (pos, next_lsn) = store
+                .sync_position()
+                .map_err(|e| EngineError::Storage(e.to_string()))?;
+            (pos, next_lsn, (*db).clone(), store)
+        };
+        let dict = self.dict.read().unwrap().clone();
+        let mut dumps = Vec::with_capacity(db.len());
+        let mut rows_total = 0u64;
+        for (id, rel) in db.iter() {
+            let types = &self.schemas[id.0].cols;
+            let mut rows = Vec::with_capacity(rel.len());
+            for tuple in rel.iter_tuples() {
+                rows.push(decode_cells(&tuple, types, &dict));
+            }
+            rows_total += rows.len() as u64;
+            dumps.push(RelationDump {
+                name: rel.name().to_string(),
+                types: types.iter().map(|t| t.to_string()).collect(),
+                version: db.version(id),
+                rows,
+            });
+        }
+        let manifest = store
+            .commit_checkpoint(pos, next_lsn, &dumps)
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
+        Ok(Some(CheckpointReport {
+            id: manifest.id,
+            relations: dumps.len(),
+            rows: rows_total,
+        }))
+    }
+
+    /// Writes a checkpoint iff the periodic policy
+    /// ([`DurabilityOptions::checkpoint_every`]) says one is due — the
+    /// call servers make after each write.
+    pub fn maybe_checkpoint(&self) -> Result<Option<CheckpointReport>, EngineError> {
+        let due = match &self.durability {
+            Some(store) => store.lock().unwrap().checkpoint_due(),
+            None => false,
+        };
+        if due {
+            self.checkpoint()
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Logs an explicit compaction (`W COMPACT`) to the WAL, then
+    /// performs it. Threshold-triggered compactions are *not* logged —
+    /// they are content-neutral and recovery re-triggers them — but an
+    /// explicit one is a client-visible command, so replay repeats it.
+    pub fn compact_logged(&self, relation: Option<&str>) -> Result<usize, EngineError> {
+        let mut db = self.db.write().unwrap();
+        if let Some(rel) = relation {
+            db.id_of(rel)?; // validate before logging
+        }
+        if let Some(store) = &self.durability {
+            let record = WalRecord::Compact {
+                relation: relation.map(|r| r.to_string()),
+            };
+            store
+                .lock()
+                .unwrap()
+                .log(&record)
+                .map_err(|e| EngineError::Storage(e.to_string()))?;
+        }
+        Ok(match relation {
+            Some(rel) => {
+                let id = db.id_of(rel)?;
+                Arc::make_mut(&mut db).compact(id) as usize
+            }
+            None => Arc::make_mut(&mut db).compact_all(),
+        })
     }
 
     /// Parses and prepares a query. Planning, GAO selection, and any

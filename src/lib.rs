@@ -105,6 +105,9 @@ pub mod text;
 /// Re-export of `minesweeper-storage`.
 pub use minesweeper_storage as storage;
 
+/// Re-export of `minesweeper-durability`.
+pub use minesweeper_durability as durability;
+
 /// Re-export of `minesweeper-hypergraph`.
 pub use minesweeper_hypergraph as hypergraph;
 

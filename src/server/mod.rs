@@ -78,6 +78,10 @@ impl Shared {
             .iter()
             .map(|&(_, v)| v)
             .sum::<u64>();
+        // Durability numbers come from the engine's store, not Metrics:
+        // the WAL/checkpoint machinery is the source of truth and also
+        // counts recovery-time work no session ever saw.
+        let d = self.engine.durability_stats().unwrap_or_default();
         ServerStats {
             connections: m.connections.load(Ordering::Relaxed),
             active: m.active.load(Ordering::Relaxed),
@@ -98,6 +102,11 @@ impl Shared {
             peak_in_flight: peak as u64,
             admitted: self.budget.admitted(),
             waited: self.budget.waited(),
+            wal_records: d.wal_records,
+            wal_bytes: d.wal_bytes,
+            checkpoints: d.checkpoints,
+            recoveries: d.recoveries,
+            replayed_records: d.replayed_records,
         }
     }
 }
@@ -179,12 +188,22 @@ pub struct ServerStats {
     pub admitted: u64,
     /// Requests that queued before admission.
     pub waited: u64,
+    /// WAL records appended since open (0 without `--data-dir`).
+    pub wal_records: u64,
+    /// WAL bytes appended since open.
+    pub wal_bytes: u64,
+    /// Durability checkpoints committed since open.
+    pub checkpoints: u64,
+    /// 1 when this process recovered its data directory on boot.
+    pub recoveries: u64,
+    /// WAL tail records replayed during that recovery.
+    pub replayed_records: u64,
 }
 
 impl ServerStats {
     /// The counters as `(name, value)` pairs — the `STATS` body, one
     /// `name value` line each, in this order.
-    pub fn fields(&self) -> [(&'static str, u64); 19] {
+    pub fn fields(&self) -> [(&'static str, u64); 24] {
         [
             ("connections", self.connections),
             ("active", self.active),
@@ -205,6 +224,11 @@ impl ServerStats {
             ("peak_in_flight", self.peak_in_flight),
             ("admitted", self.admitted),
             ("waited", self.waited),
+            ("wal_records", self.wal_records),
+            ("wal_bytes", self.wal_bytes),
+            ("checkpoints", self.checkpoints),
+            ("recoveries", self.recoveries),
+            ("replayed_records", self.replayed_records),
         ]
     }
 
@@ -236,6 +260,11 @@ impl ServerStats {
                 "peak_in_flight" => stats.peak_in_flight = value,
                 "admitted" => stats.admitted = value,
                 "waited" => stats.waited = value,
+                "wal_records" => stats.wal_records = value,
+                "wal_bytes" => stats.wal_bytes = value,
+                "checkpoints" => stats.checkpoints = value,
+                "recoveries" => stats.recoveries = value,
+                "replayed_records" => stats.replayed_records = value,
                 _ => return None,
             }
         }
@@ -366,6 +395,11 @@ mod tests {
             peak_in_flight: 8,
             admitted: 16,
             waited: 5,
+            wal_records: 40,
+            wal_bytes: 2048,
+            checkpoints: 3,
+            recoveries: 1,
+            replayed_records: 7,
         };
         let body: String = stats
             .fields()

@@ -9,6 +9,7 @@
 //! request  := "Q" { SP option } [ SP "--" ] SP query-text
 //!           | "W" SP ("INSERT" | "DELETE") SP relation { SP cell }
 //!           | "W" SP "COMPACT" [ SP relation ]
+//!           | "W" SP "CHECKPOINT"
 //!           | "PING" | "STATS" | "QUIT"
 //! option   := "algo=" NAME | "threads=" N | "limit=" K
 //!           | "explain" | "explain=json"
@@ -21,6 +22,9 @@
 //! changed membership (set semantics — 0 for a duplicate insert or a
 //! missing delete). `W COMPACT` folds pending write deltas into fresh
 //! immutable bases and reports how many relations were folded.
+//! `W CHECKPOINT` forces a durability checkpoint (`OK <relations>`) on a
+//! server running with `--data-dir`; without one it is a `STORAGE`
+//! error — see `docs/DURABILITY.md`.
 //!
 //! A query response is the CLI's stdout **body** (see
 //! [`crate::render`]), each line prefixed with `|`, terminated by one
@@ -87,6 +91,9 @@ pub enum Request {
         /// `None` compacts every relation with pending writes.
         relation: Option<String>,
     },
+    /// Force a durability checkpoint; response `OK <relations dumped>`
+    /// (requires a `--data-dir` server).
+    Checkpoint,
     /// Liveness probe; response `OK 0`.
     Ping,
     /// Server counters as a body of `name value` lines.
@@ -227,9 +234,15 @@ fn parse_write_request(rest: &str) -> Result<Request, String> {
             }
             Ok(Request::Compact { relation })
         }
-        "" => Err("W needs an action (INSERT, DELETE, or COMPACT)".to_string()),
+        "CHECKPOINT" => {
+            if tokens.next().is_some() {
+                return Err("W CHECKPOINT takes no operand".to_string());
+            }
+            Ok(Request::Checkpoint)
+        }
+        "" => Err("W needs an action (INSERT, DELETE, COMPACT, or CHECKPOINT)".to_string()),
         other => Err(format!(
-            "unknown write action {other:?} (expected INSERT, DELETE, or COMPACT)"
+            "unknown write action {other:?} (expected INSERT, DELETE, COMPACT, or CHECKPOINT)"
         )),
     }
 }
@@ -372,6 +385,7 @@ mod tests {
                 relation: Some("R".to_string())
             })
         );
+        assert_eq!(parse_request("W CHECKPOINT"), Ok(Request::Checkpoint));
     }
 
     #[test]
@@ -381,6 +395,7 @@ mod tests {
         assert!(parse_request("W INSERT").is_err(), "relation required");
         assert!(parse_request("W INSERT R").is_err(), "row required");
         assert!(parse_request("W COMPACT R S").is_err(), "one relation max");
+        assert!(parse_request("W CHECKPOINT now").is_err(), "no operand");
     }
 
     #[test]

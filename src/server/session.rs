@@ -31,8 +31,7 @@ use super::protocol::{
     err_line, ok_line, parse_request, ExplainFormat, Request, WriteAction, BODY_PREFIX, CODE_PROTO,
 };
 use super::Shared;
-use crate::engine::EngineError;
-use crate::storage::{ColumnType, Value};
+use crate::engine::{Engine, EngineError};
 
 /// How often a blocked read wakes up to poll the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(50);
@@ -110,11 +109,10 @@ fn serve(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 }
             },
             Request::Compact { relation } => {
-                let folded = match relation {
-                    Some(rel) => shared.engine.compact_relation(&rel).map(usize::from),
-                    None => Ok(shared.engine.compact()),
-                };
-                match folded {
+                // Explicit compactions go through the logged path, so a
+                // recovered engine repeats them (threshold-triggered ones
+                // are content-neutral and re-trigger on their own).
+                match shared.engine.compact_logged(relation.as_deref()) {
                     Ok(n) => {
                         shared
                             .metrics
@@ -128,6 +126,23 @@ fn serve(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                     }
                 }
             }
+            Request::Checkpoint => match shared.engine.checkpoint() {
+                Ok(Some(report)) => control(&mut writer, &ok_line(report.relations))?,
+                Ok(None) => {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    control(
+                        &mut writer,
+                        &err_line(
+                            "STORAGE",
+                            "this server has no data directory (start with --data-dir)",
+                        ),
+                    )?;
+                }
+                Err(e) => {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    control(&mut writer, &err_line(e.code(), &e.to_string()))?;
+                }
+            },
             Request::Query {
                 opts,
                 explain,
@@ -232,30 +247,7 @@ fn run_write(
 ) -> Result<usize, EngineError> {
     let engine = &shared.engine;
     let id = engine.db().id_of(relation)?;
-    let types = engine.schema(id);
-    if cells.len() != types.len() {
-        return Err(EngineError::RowArity {
-            relation: relation.to_string(),
-            expected: types.len(),
-            got: cells.len(),
-        });
-    }
-    let row: Vec<Value> = cells
-        .iter()
-        .zip(types)
-        .enumerate()
-        .map(|(c, (cell, ty))| match ty {
-            ColumnType::Int => cell
-                .parse()
-                .map(Value::Int)
-                .map_err(|_| EngineError::ValueType {
-                    relation: relation.to_string(),
-                    column: c,
-                    expected: ColumnType::Int,
-                }),
-            ColumnType::Str => Ok(Value::Str(cell.clone())),
-        })
-        .collect::<Result<_, _>>()?;
+    let row = Engine::type_row(relation, engine.schema(id), cells)?;
     let outcome = match action {
         WriteAction::Insert => engine.insert(relation, [row])?,
         WriteAction::Delete => engine.delete(relation, [row])?,
@@ -266,6 +258,12 @@ fn run_write(
         .fetch_add(outcome.inserted as u64, Ordering::Relaxed);
     m.rows_deleted
         .fetch_add(outcome.deleted as u64, Ordering::Relaxed);
+    // Periodic checkpoint policy: a due checkpoint rides on the write
+    // that made it due. A checkpoint failure is logged, not returned —
+    // the write itself committed (and is in the WAL).
+    if let Err(e) = engine.maybe_checkpoint() {
+        eprintln!("msj serve: periodic checkpoint failed: {e}");
+    }
     Ok(outcome.affected())
 }
 

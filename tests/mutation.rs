@@ -238,6 +238,76 @@ fn version_counters_track_content() {
     assert_eq!(e.relation_version("S").unwrap(), 0, "S untouched");
 }
 
+/// Auto-compaction fires after a write exactly when the delta outgrows
+/// `COMPACT_DELTA_RATIO` of the base — below the threshold the delta is
+/// left pending, above it the fold happens inside the write.
+#[test]
+fn auto_compaction_triggers_at_the_delta_threshold() {
+    let e = mutable_engine();
+    assert!(e.auto_compact_enabled(), "on by default");
+    assert_eq!(e.auto_compactions(), 0);
+
+    // R's base has 4 rows; the ratio is 0.25, so one delta row is at
+    // the threshold but not over it.
+    e.insert("R", int_rows(&[(20, 5)])).unwrap();
+    assert_eq!(e.auto_compactions(), 0, "delta of 1 on a base of 4 waits");
+
+    // Two more rows push the delta to 3 > 0.25 * 4: the write compacts.
+    e.insert("R", int_rows(&[(21, 5), (22, 5)])).unwrap();
+    assert_eq!(e.auto_compactions(), 1);
+    assert_eq!(e.compact(), 0, "nothing left pending after the auto-fold");
+}
+
+/// Opting out (`set_auto_compact(false)`) restores the advisory
+/// behavior: deltas accumulate until an explicit `compact()` — and
+/// either way the answers, versions, and cache behavior are identical.
+#[test]
+fn auto_compaction_opt_out_and_observational_silence() {
+    let auto = mutable_engine();
+    let manual = mutable_engine();
+    manual.set_auto_compact(false);
+
+    for e in [&auto, &manual] {
+        e.insert("R", int_rows(&[(20, 5), (21, 5), (22, 5)]))
+            .unwrap();
+        e.delete("S", int_rows(&[(9, 12)])).unwrap();
+        e.insert("S", int_rows(&[(9, 13)])).unwrap();
+    }
+    assert!(auto.auto_compactions() >= 1, "threshold crossed");
+    assert_eq!(manual.auto_compactions(), 0, "opted out");
+    assert!(manual.compact() >= 1, "the delta stayed pending");
+
+    // Compaction is content- and version-neutral, so both engines agree
+    // on versions and on every answer.
+    for rel in ["R", "S"] {
+        assert_eq!(
+            auto.relation_version(rel).unwrap(),
+            manual.relation_version(rel).unwrap(),
+            "auto-compaction must not move {rel}'s version"
+        );
+    }
+    let opts = ExecOptions::default();
+    assert_eq!(
+        run(&auto, CHAIN, &opts).rows,
+        run(&manual, CHAIN, &opts).rows
+    );
+
+    // And the plan cache stays warm across an auto-fold, exactly as it
+    // does across a manual one. (The run above warmed the entry.)
+    assert!(auto.prepare(CHAIN).unwrap().cache_hit(), "warm after run");
+    auto.insert("R", int_rows(&[(30, 5), (31, 5), (32, 5), (33, 5)]))
+        .unwrap();
+    assert!(auto.auto_compactions() >= 2, "the big batch folds too");
+    assert!(
+        !auto.prepare(CHAIN).unwrap().cache_hit(),
+        "the write itself invalidates once"
+    );
+    assert!(
+        auto.prepare(CHAIN).unwrap().cache_hit(),
+        "then warm — the auto-fold adds no extra invalidation"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -407,6 +407,95 @@ fn write_verbs_mutate_compact_and_count_over_the_wire() {
     server.shutdown().unwrap();
 }
 
+/// `W CHECKPOINT` over the wire: a stable `STORAGE` error on an
+/// in-memory server, a published checkpoint (with the durability STATS
+/// counters moving) on a durable one — and the directory recovers.
+#[test]
+fn checkpoint_verb_and_durability_stats_over_the_wire() {
+    use minesweeper_join::durability::DurabilityOptions;
+    use minesweeper_join::engine::DurableBoot;
+
+    // In-memory: the verb parses but the engine has nowhere to write.
+    let server = Server::start(Arc::new(small_engine()), "127.0.0.1:0", 2).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.request("W CHECKPOINT").unwrap() {
+        Reply::Err { code, message } => {
+            assert_eq!(code, "STORAGE");
+            assert!(message.contains("data directory"), "{message}");
+        }
+        other => panic!("expected STORAGE, got {other:?}"),
+    }
+    match client.request("W CHECKPOINT now").unwrap() {
+        Reply::Err { code, .. } => assert_eq!(code, "PROTO"),
+        other => panic!("expected PROTO, got {other:?}"),
+    }
+    let stats = ServerStats::parse_body(client.request("STATS").unwrap().body().unwrap()).unwrap();
+    assert_eq!(
+        (stats.wal_records, stats.checkpoints, stats.recoveries),
+        (0, 0, 0),
+        "an in-memory server reports zero durability activity"
+    );
+    server.shutdown().unwrap();
+
+    // Durable: boot a data directory, write over the wire, checkpoint.
+    let dir = std::env::temp_dir().join(format!("msj-ckpt-verb-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut e, boot) = Engine::open_durable(&dir, DurabilityOptions::default()).unwrap();
+    assert!(matches!(boot, DurableBoot::Fresh));
+    e.load_tsv("R", "ams 1\nbcn 2\n").unwrap();
+    e.load_tsv("S", "1 lis\n2 mad\n").unwrap();
+    e.checkpoint().unwrap().unwrap();
+    let engine = Arc::new(e);
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", 2).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for req in ["W INSERT S 9 zrh", "W INSERT R ibz 9"] {
+        assert!(matches!(
+            client.request(req).unwrap(),
+            Reply::Ok { rows: 1, .. }
+        ));
+    }
+    assert_eq!(
+        client.request("W CHECKPOINT").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 2
+        },
+        "OK counts the relations dumped"
+    );
+    let stats = ServerStats::parse_body(client.request("STATS").unwrap().body().unwrap()).unwrap();
+    assert_eq!(stats.wal_records, 2, "one record per committed batch");
+    assert!(stats.wal_bytes > 0);
+    assert_eq!(stats.checkpoints, 2, "boot checkpoint + the verb");
+    assert_eq!((stats.recoveries, stats.replayed_records), (0, 0));
+
+    server.shutdown().unwrap();
+    drop(client);
+    drop(engine);
+
+    // The directory reopens: the verb's checkpoint is current, so
+    // nothing replays, and the wire writes are all present.
+    let (e, boot) = Engine::open_durable(&dir, DurabilityOptions::default()).unwrap();
+    match boot {
+        DurableBoot::Recovered(report) => {
+            assert_eq!(
+                report.replayed_records, 0,
+                "the checkpoint absorbed the log"
+            );
+        }
+        DurableBoot::Fresh => panic!("the directory holds data"),
+    }
+    assert_eq!(e.durability_stats().unwrap().recoveries, 1);
+    let body = render::body_string(
+        &e.prepare("R(x, y), S(y, z)").unwrap(),
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    assert!(body.contains("ibz") && body.contains("zrh"));
+    drop(e);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ------------------------------------------------------------ processes
 
 /// Drives the real binaries: `msj serve` + `msj client` against the
@@ -568,5 +657,129 @@ fn one_shot_exit_codes_distinguish_rejection_from_failure() {
         Some(1),
         "I/O failure"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The durability acceptance criterion at process level: `msj serve
+/// --data-dir`, writes over the wire, `kill -9`, restart from the same
+/// directory — the same query returns byte-identical output. Then a
+/// SIGTERM drains gracefully (exit 0, final checkpoint) and a third
+/// boot still agrees.
+#[cfg(unix)]
+#[test]
+fn kill_dash_nine_then_restart_recovers_identical_answers() {
+    let bin = env!("CARGO_BIN_EXE_msj");
+    let dir = std::env::temp_dir().join(format!("msj-kill9-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let r = dir.join("R.tsv");
+    let s = dir.join("S.tsv");
+    std::fs::write(&r, "1 5\n2 7\n4 9\n").unwrap();
+    std::fs::write(&s, "5 1\n7 2\n9 4\n").unwrap();
+    let data = dir.join("data");
+    let data_arg = data.display().to_string();
+    let rel_r = format!("R={}", r.display());
+    let rel_s = format!("S={}", s.display());
+
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+
+    let spawn_serve = |extra: &[&str]| -> (KillOnDrop, String) {
+        let mut child = std::process::Command::new(bin)
+            .args(["serve", "--data-dir", &data_arg, "--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap();
+        let mut first_line = String::new();
+        BufReader::new(child.stdout.as_mut().unwrap())
+            .read_line(&mut first_line)
+            .unwrap();
+        let addr = first_line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {first_line:?}"))
+            .to_string();
+        (KillOnDrop(child), addr)
+    };
+
+    let run_client = |addr: &str, requests: &str| -> Vec<u8> {
+        let mut client = std::process::Command::new(bin)
+            .args(["client", "--addr", addr])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap();
+        client
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(requests.as_bytes())
+            .unwrap();
+        let mut out = Vec::new();
+        client.stdout.take().unwrap().read_to_end(&mut out).unwrap();
+        assert!(
+            client.wait().unwrap().success(),
+            "client failed: {requests:?}"
+        );
+        out
+    };
+    const QUERY: &str = "Q R(x, y), S(y, z)\n";
+
+    // Boot 1: fresh directory, load --rel files, take writes (the
+    // default --fsync always makes every acked write kill -9 proof),
+    // then die without any warning.
+    let (mut serve1, addr1) = spawn_serve(&["--rel", &rel_r, "--rel", &rel_s]);
+    run_client(
+        &addr1,
+        "W INSERT R 8 5\nW INSERT S 9 8\nW INSERT R 3 9\nW DELETE R 4 9\n",
+    );
+    let before = run_client(&addr1, QUERY);
+    serve1.0.kill().unwrap(); // SIGKILL — no drain, no checkpoint
+    serve1.0.wait().unwrap();
+
+    // Boot 2: recovery replays the wire writes from the WAL tail.
+    let (mut serve2, addr2) = spawn_serve(&[]);
+    let after = run_client(&addr2, QUERY);
+    assert_eq!(
+        String::from_utf8_lossy(&after),
+        String::from_utf8_lossy(&before),
+        "kill -9 then restart must not change any answer"
+    );
+
+    // SIGTERM: the server drains, writes a final checkpoint, exits 0.
+    run_client(&addr2, "W INSERT R 10 5\n");
+    let expected_after_drain = run_client(&addr2, QUERY);
+    let pid = serve2.0.id();
+    let status = std::process::Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill -TERM failed");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let code = loop {
+        if let Some(status) = serve2.0.try_wait().unwrap() {
+            break status.code();
+        }
+        assert!(Instant::now() < deadline, "serve did not drain in 10s");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(code, Some(0), "a drained shutdown exits 0");
+
+    // Boot 3: the drain checkpoint is current and the answers agree.
+    let (_serve3, addr3) = spawn_serve(&[]);
+    let third = run_client(&addr3, QUERY);
+    assert_eq!(
+        String::from_utf8_lossy(&third),
+        String::from_utf8_lossy(&expected_after_drain)
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
 }
