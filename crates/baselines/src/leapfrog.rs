@@ -9,17 +9,18 @@
 //! instances it explores `Ω(mM²)` prefixes while `|C| = O(mM)`.
 
 use minesweeper_core::{JoinResult, Query, QueryError};
-use minesweeper_storage::{Database, ExecStats, TrieCursor, Tuple};
+use minesweeper_storage::{Database, ExecStats, StorageRef, TrieCursor, Tuple};
 
-/// Runs Leapfrog Triejoin over the query's GAO.
+/// Runs Leapfrog Triejoin over the query's GAO. Each atom walks the
+/// relation's probe target — the hybrid bitset index when one covers the
+/// current content, the sorted snapshot otherwise.
 pub fn leapfrog_triejoin(db: &Database, query: &Query) -> Result<JoinResult, QueryError> {
     query.validate(db)?;
     let mut stats = ExecStats::new();
-    let mut cursors: Vec<TrieCursor> = query
-        .atoms
-        .iter()
-        .map(|a| TrieCursor::new(db.relation(a.rel)))
-        .collect();
+    let targets: Vec<StorageRef<'_>> = query.atoms.iter().map(|a| db.probe_target(a.rel)).collect();
+    stats.dense_leaves = targets.iter().map(|t| t.dense_runs()).sum();
+    let mut cursors: Vec<TrieCursor<StorageRef<'_>>> =
+        targets.iter().map(TrieCursor::new).collect();
     // participants[i] = atoms whose attribute list contains GAO attr i.
     let participants: Vec<Vec<usize>> = (0..query.n_attrs)
         .map(|i| {
@@ -45,7 +46,7 @@ pub fn leapfrog_triejoin(db: &Database, query: &Query) -> Result<JoinResult, Que
 fn lftj_rec(
     query: &Query,
     participants: &[Vec<usize>],
-    cursors: &mut [TrieCursor],
+    cursors: &mut [TrieCursor<StorageRef<'_>>],
     binding: &mut Tuple,
     out: &mut Vec<Tuple>,
     stats: &mut ExecStats,

@@ -1,0 +1,108 @@
+//! Microbenchmarks for the hybrid bitset leaves: `FindGap` probes and
+//! rank lookups on dense runs, sorted arrays vs packed `u64` words.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use minesweeper_storage::{
+    BitLeafRelation, ExecStats, LeafPolicy, RelationBuilder, TrieRelation, TrieStorage, Val,
+};
+
+/// `D(a, b)`: 64 contiguous left values each owning the contiguous run
+/// `0..n` — every node passes the density test.
+fn dense_relation(n: Val) -> TrieRelation {
+    let mut b = RelationBuilder::new("D", 2);
+    for a in 0..64 {
+        for v in 0..n {
+            b.push(&[a, v]);
+        }
+    }
+    b.build().unwrap()
+}
+
+fn xorshift(seed: &mut u64, m: u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed % m
+}
+
+/// 10k random `FindGap` probes against one dense second-level node,
+/// binary search on the sorted trie vs rank lookups on the packed run.
+fn find_gap_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitleaf_find_gap_10k");
+    for &n in &[4096 as Val, 65_536] {
+        let sorted = Arc::new(dense_relation(n));
+        let hybrid = BitLeafRelation::build(sorted.clone(), LeafPolicy::Dense).unwrap();
+        let mut stats = ExecStats::new();
+        let g = sorted.find_gap(sorted.root(), 7, &mut stats);
+        let node = sorted.child(sorted.root(), g.hi_coord);
+        group.bench_with_input(BenchmarkId::new("sorted", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut stats = ExecStats::new();
+                let mut seed = 11u64;
+                for _ in 0..10_000 {
+                    let x = xorshift(&mut seed, n as u64 + 2) as Val - 1;
+                    black_box(sorted.find_gap(node, x, &mut stats));
+                }
+                stats.find_gap_calls
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut stats = ExecStats::new();
+                let mut seed = 11u64;
+                for _ in 0..10_000 {
+                    let x = xorshift(&mut seed, n as u64 + 2) as Val - 1;
+                    black_box(hybrid.find_gap(node, x, &mut stats));
+                }
+                stats.find_gap_calls
+            })
+        });
+    }
+    group.finish();
+}
+
+/// 10k random `count_le` rank queries on the same node: one masked
+/// popcount against a binary search.
+fn count_le_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitleaf_count_le_10k");
+    let n: Val = 65_536;
+    let sorted = Arc::new(dense_relation(n));
+    let hybrid = BitLeafRelation::build(sorted.clone(), LeafPolicy::Dense).unwrap();
+    let mut stats = ExecStats::new();
+    let g = sorted.find_gap(sorted.root(), 7, &mut stats);
+    let node = sorted.child(sorted.root(), g.hi_coord);
+    group.bench_function("sorted", |b| {
+        b.iter(|| {
+            let mut stats = ExecStats::new();
+            let mut seed = 17u64;
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                let x = xorshift(&mut seed, n as u64) as Val;
+                acc += sorted.count_le(node, x, &mut stats);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("hybrid", |b| {
+        b.iter(|| {
+            let mut stats = ExecStats::new();
+            let mut seed = 17u64;
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                let x = xorshift(&mut seed, n as u64) as Val;
+                acc += hybrid.count_le(node, x, &mut stats);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = find_gap_dense, count_le_dense
+);
+criterion_main!(benches);

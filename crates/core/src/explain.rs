@@ -45,6 +45,19 @@ pub struct ExplainShards {
     pub detail: String,
 }
 
+/// Physical leaf-representation summary attached by layers that hold the
+/// catalog (see `minesweeper_storage::LeafPolicy` and the hybrid
+/// `BitLeafRelation`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainStorage {
+    /// Leaf policy label: `"sorted"`, `"auto"`, or `"dense"`.
+    pub leaf: String,
+    /// Packed bitset runs across the relations the query touches.
+    pub dense_leaves: u64,
+    /// Total `u64` words those runs hold.
+    pub bitset_words: u64,
+}
+
 /// Plan-cache provenance attached by an engine front door.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExplainCache {
@@ -83,6 +96,9 @@ pub struct ExplainPlan {
     pub shards: Option<ExplainShards>,
     /// Plan-cache provenance, when an engine front door produced this.
     pub cache: Option<ExplainCache>,
+    /// Leaf-representation summary, when a catalog-holding layer produced
+    /// this.
+    pub storage: Option<ExplainStorage>,
 }
 
 impl ExplainPlan {
@@ -160,6 +176,12 @@ impl ExplainPlan {
             lines.push(format!("indexes: {indexes}"));
         }
         lines.push(format!("runtime bound: {}", self.runtime_bound));
+        if let Some(s) = &self.storage {
+            lines.push(format!(
+                "storage: leaf policy {} ({} dense leaves, {} bitset words)",
+                s.leaf, s.dense_leaves, s.bitset_words
+            ));
+        }
         if let Some(c) = &self.cache {
             lines.push(format!(
                 "cache: {} (plan {})",
@@ -228,6 +250,16 @@ impl ExplainPlan {
                 o.raw("cache", &co.finish());
             }
             None => o.raw("cache", "null"),
+        }
+        match &self.storage {
+            Some(s) => {
+                let mut so = JsonObj::new();
+                so.str("leaf", &s.leaf);
+                so.num("dense_leaves", s.dense_leaves as f64);
+                so.num("bitset_words", s.bitset_words as f64);
+                o.raw("storage", &so.finish());
+            }
+            None => o.raw("storage", "null"),
         }
         o.finish()
     }
@@ -325,6 +357,7 @@ mod tests {
             runtime_bound: "Õ(|C| + Z)  [Theorem 2.7]".to_string(),
             shards: None,
             cache: None,
+            storage: None,
         }
     }
 
@@ -396,6 +429,7 @@ mod tests {
         assert!(json.contains("\"hit\":false"), "{json}");
         assert!(json.contains("\"y\\\"q\""), "escaped quote: {json}");
         assert!(json.contains("\"shards\":null"), "{json}");
+        assert!(json.contains("\"storage\":null"), "{json}");
         // Balanced braces/brackets (cheap well-formedness proxy).
         assert_eq!(
             json.matches('{').count(),
@@ -405,6 +439,26 @@ mod tests {
         assert_eq!(
             json.matches('[').count(),
             json.matches(']').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn storage_field_renders_and_serializes() {
+        let mut e = sample();
+        e.storage = Some(ExplainStorage {
+            leaf: "auto".into(),
+            dense_leaves: 3,
+            bitset_words: 17,
+        });
+        let text = e.render();
+        assert!(
+            text.contains("storage: leaf policy auto (3 dense leaves, 17 bitset words)"),
+            "{text}"
+        );
+        let json = e.to_json();
+        assert!(
+            json.contains("\"storage\":{\"leaf\":\"auto\",\"dense_leaves\":3,\"bitset_words\":17}"),
             "{json}"
         );
     }

@@ -100,7 +100,9 @@ pub fn reindex_for_gao(
         assert!(position[a] == usize::MAX, "order must be a permutation");
         position[a] = i;
     }
-    let mut new_db = Database::new();
+    // Re-indexed copies select leaf representations under the same policy
+    // as the source catalog.
+    let mut new_db = Database::with_leaf_policy(db.leaf_policy());
     let mut new_query = Query::new(n);
     for (idx, atom) in query.atoms.iter().enumerate() {
         let rel = db.relation(atom.rel);

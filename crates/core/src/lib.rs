@@ -66,7 +66,9 @@ pub use algorithm::{Algorithm, Minesweeper, MinesweeperPar, Naive};
 pub use bowtie::bowtie_join;
 pub use certificate::{canonical_certificate_size, Argument, Comparison, VarRef};
 pub use execute::{execute, Execution};
-pub use explain::{json_string, ExplainAtom, ExplainCache, ExplainPlan, ExplainShards};
+pub use explain::{
+    json_string, ExplainAtom, ExplainCache, ExplainPlan, ExplainShards, ExplainStorage,
+};
 pub use gao::{choose_gao, private_attributes_last, reindex_for_gao, GaoChoice};
 pub use minesweeper::{minesweeper_join, JoinResult};
 pub use naive::naive_join;

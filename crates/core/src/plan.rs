@@ -247,6 +247,7 @@ impl Plan {
             runtime_bound: self.runtime_bound(),
             shards: None,
             cache: None,
+            storage: None,
         }
     }
 

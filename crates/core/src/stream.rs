@@ -29,7 +29,8 @@ use std::sync::Arc;
 
 use minesweeper_cds::{Constraint, ConstraintTree, Pattern, PatternComp, ProbeMode, ProbeStats};
 use minesweeper_storage::{
-    Database, ExecStats, GapCursor, NodeId, ShardSpec, TrieRelation, Tuple, Val, NEG_INF, POS_INF,
+    Database, ExecStats, GapCursor, NodeId, ShardSpec, StorageRef, TrieStorage, Tuple, Val,
+    NEG_INF, POS_INF,
 };
 
 use crate::query::{Atom, Query};
@@ -121,11 +122,19 @@ impl<'db> TupleStream<'db> {
         eq_seeds: &[(usize, Val)],
     ) -> Self {
         let n = query.n_attrs;
+        let mut stats = ExecStats::new();
         let cursors = {
             let dbr: &Database = match &db {
                 DbHandle::Borrowed(d) => d,
                 DbHandle::Owned(b) => b,
             };
+            // Record, once per stream, how many packed runs back the atoms
+            // this probe loop will touch (0 on the all-sorted path).
+            stats.dense_leaves = query
+                .atoms
+                .iter()
+                .map(|a| dbr.probe_target(a.rel).dense_runs())
+                .sum();
             query
                 .atoms
                 .iter()
@@ -171,7 +180,7 @@ impl<'db> TupleStream<'db> {
             query,
             cds,
             pst,
-            stats: ExecStats::new(),
+            stats,
             cursors,
             gaps: Vec::new(),
             inv,
@@ -234,16 +243,29 @@ impl Iterator for TupleStream<'_> {
             self.gaps.clear();
             let mut is_output = true;
             for (atom, cursor) in self.query.atoms.iter().zip(&mut self.cursors) {
-                let rel = db.relation(atom.rel);
-                let matched = explore_atom(
-                    rel,
-                    atom,
-                    self.query.n_attrs,
-                    &t,
-                    cursor,
-                    &mut self.gaps,
-                    &mut self.stats,
-                );
+                // Dispatch once per atom into a monomorphized explorer, so
+                // the sorted path keeps its direct calls and the hybrid path
+                // gets its rank/select overrides.
+                let matched = match db.probe_target(atom.rel) {
+                    StorageRef::Sorted(rel) => explore_atom(
+                        rel,
+                        atom,
+                        self.query.n_attrs,
+                        &t,
+                        cursor,
+                        &mut self.gaps,
+                        &mut self.stats,
+                    ),
+                    StorageRef::Hybrid(rel) => explore_atom(
+                        rel,
+                        atom,
+                        self.query.n_attrs,
+                        &t,
+                        cursor,
+                        &mut self.gaps,
+                        &mut self.stats,
+                    ),
+                };
                 is_output &= matched;
             }
             if is_output {
@@ -279,8 +301,8 @@ pub(crate) fn merge_probe_stats(stats: &mut ExecStats, pst: &ProbeStats) {
 /// Explores one atom around probe `t` (Algorithm 2 lines 4–10 and 15–20):
 /// appends the discovered gap constraints and returns whether the all-exact
 /// descent matched `t`'s projection (line 11's test for this relation).
-pub(crate) fn explore_atom(
-    rel: &TrieRelation,
+pub(crate) fn explore_atom<S: TrieStorage>(
+    rel: &S,
     atom: &Atom,
     n_attrs: usize,
     t: &[Val],
@@ -311,8 +333,8 @@ pub(crate) fn explore_atom(
 /// coordinate hit `t`'s projection exactly; `matched` is cleared when the
 /// exact path dies.
 #[allow(clippy::too_many_arguments)]
-fn explore_rec(
-    rel: &TrieRelation,
+fn explore_rec<S: TrieStorage>(
+    rel: &S,
     atom: &Atom,
     n_attrs: usize,
     t: &[Val],

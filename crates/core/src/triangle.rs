@@ -9,7 +9,7 @@
 //! runtime `Õ(|C|^{3/2} + Z)`.
 
 use minesweeper_cds::{Constraint, ProbeStats, TriangleCds};
-use minesweeper_storage::{Database, ExecStats, GapCursor, RelId, TrieRelation};
+use minesweeper_storage::{Database, ExecStats, GapCursor, RelId, StorageRef, TrieRelation};
 
 use crate::minesweeper::{explore_atom, merge_probe_stats, JoinResult};
 use crate::query::{Query, QueryError};
@@ -38,12 +38,23 @@ pub fn triangle_join(
         .iter()
         .map(|a| GapCursor::new(db.relation(a.rel).arity()))
         .collect();
+    stats.dense_leaves = query
+        .atoms
+        .iter()
+        .map(|a| db.probe_target(a.rel).dense_runs())
+        .sum();
     while let Some(probe) = cds.get_probe_point(&mut pst) {
         gaps.clear();
         let mut is_output = true;
         for (atom, cursor) in query.atoms.iter().zip(&mut cursors) {
-            let rel = db.relation(atom.rel);
-            let matched = explore_atom(rel, atom, 3, &probe, cursor, &mut gaps, &mut stats);
+            let matched = match db.probe_target(atom.rel) {
+                StorageRef::Sorted(rel) => {
+                    explore_atom(rel, atom, 3, &probe, cursor, &mut gaps, &mut stats)
+                }
+                StorageRef::Hybrid(rel) => {
+                    explore_atom(rel, atom, 3, &probe, cursor, &mut gaps, &mut stats)
+                }
+            };
             is_output &= matched;
         }
         if is_output {

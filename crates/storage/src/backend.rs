@@ -4,24 +4,31 @@
 //! The probe loop, the cursors, and the sharding layer only ever *read*
 //! relations, and they read them through a small node-addressed API:
 //! navigate (`root`/`child`/`value`), measure (`child_count`/
-//! `subtree_tuple_count`), and probe (`child_values` + `find_gap`).
-//! [`TrieStorage`] names that contract so alternative physical layouts —
-//! the ROADMAP's bitset/SIMD leaf representation, mmap-backed levels — can
-//! slot in under the same cursor layer without touching the algorithms.
-//! [`crate::TrieRelation`] is the canonical (columnar sorted-array)
-//! implementation; [`crate::GapCursor`] is written against the trait, so
-//! its position-reuse optimization carries to every implementation.
+//! `subtree_tuple_count`), and probe (`find_gap` plus the rank/seek
+//! primitives below). [`TrieStorage`] names that contract so alternative
+//! physical layouts can slot in under the same cursor layer without
+//! touching the algorithms. Two implementations exist today:
+//! [`crate::TrieRelation`], the canonical columnar sorted-array layout,
+//! and [`crate::BitLeafRelation`], the hybrid whose dense runs are packed
+//! `u64` bitsets with a rank directory (see `bitleaf.rs`).
+//! [`crate::GapCursor`], [`crate::TrieCursor`], the merge layer, and the
+//! sharding profiles are all written against the trait, so optimizations
+//! like position reuse carry to every implementation.
 //!
-//! The trait deliberately exposes sorted child slices (`child_values`):
-//! the paper's index model (Section 2.1) is an ordered search tree, and
-//! every consumer — galloping seeks, equi-depth sharding, the merge layer
-//! of `docs/STORAGE.md` — relies on per-node sorted order. A future
-//! non-slice representation would implement the trait for its *cursor*
-//! view rather than its raw storage.
+//! The trait still exposes sorted child slices (`child_values`): the
+//! paper's index model (Section 2.1) is an ordered search tree, and
+//! slice-based consumers — equi-depth sharding, the NPRR baseline's
+//! sorted intersections, the merge layer of `docs/STORAGE.md` — rely on
+//! per-node sorted order. Probe-style consumers should prefer the
+//! *rank/seek* methods (`count_le`, `seek_le`, `seek_ge`,
+//! `child_value_at`, `gap_at`): on the canonical layout they default to
+//! galloping over the slice, while the hybrid overrides them with O(1)
+//! rank and O(words) select over its packed runs.
 
 use crate::stats::ExecStats;
-use crate::trie::{Gap, NodeId, TrieRelation};
+use crate::trie::{gap_from_cnt_le, Gap, NodeId, TrieRelation, TupleIter};
 use crate::value::Val;
+use crate::{sorted, Tuple};
 
 /// Node-addressed read access to one stored relation (see the module
 /// docs). All coordinates are the paper's 1-based child coordinates; the
@@ -63,6 +70,107 @@ pub trait TrieStorage {
     /// The paper's `R.FindGap(x, a)` over this storage (same contract and
     /// accounting as [`TrieRelation::find_gap`]).
     fn find_gap(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> Gap;
+
+    /// Rank query: `|{v child of node : v ≤ a}|`. The building block of
+    /// `find_gap`; [`crate::GapCursor`] calls it on its cold path.
+    fn count_le(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> usize {
+        let _ = stats;
+        sorted::count_le(self.child_values(node), a)
+    }
+
+    /// Rank query with a position hint: `count_le(node, a)` given that the
+    /// answer is at least `from` (i.e. the first `from` child values are
+    /// already known to be ≤ `a`). The warm path of
+    /// [`crate::GapCursor`]'s landing-spot reuse.
+    fn seek_le(&self, node: NodeId, from: usize, a: Val, stats: &mut ExecStats) -> usize {
+        let _ = stats;
+        sorted::gallop_gt(self.child_values(node), from, a)
+    }
+
+    /// Sibling seek: the smallest 0-based child index `i ≥ from` with
+    /// `child value ≥ target`, or `child_count(node)` when none exists.
+    /// [`crate::TrieCursor`]'s leapfrog seek.
+    fn seek_ge(&self, node: NodeId, from: usize, target: Val, stats: &mut ExecStats) -> usize {
+        let _ = stats;
+        sorted::gallop_ge(self.child_values(node), from, target)
+    }
+
+    /// The value of the child at 1-based `coord` (select — the inverse of
+    /// [`TrieStorage::count_le`]).
+    fn child_value_at(&self, node: NodeId, coord: usize, stats: &mut ExecStats) -> Val {
+        let _ = stats;
+        self.child_values(node)[coord - 1]
+    }
+
+    /// True when [`TrieStorage::seek_le`] from a remembered position beats
+    /// a cold [`TrieStorage::count_le`] on this node. The canonical
+    /// sorted-array layout gallops, so position hints pay off; a packed
+    /// bitset run answers ranks in O(1), so the hint bookkeeping is pure
+    /// overhead and [`crate::GapCursor`] skips it.
+    fn hinted_seeks(&self, node: NodeId) -> bool {
+        let _ = node;
+        true
+    }
+
+    /// Builds the `FindGap` answer from a precomputed rank `cnt_le =
+    /// count_le(node, a)` — shared by `find_gap` and the position-reusing
+    /// [`crate::GapCursor`], so the two probe paths cannot drift apart.
+    /// Does **not** bump `find_gap_calls`; callers account the probe.
+    fn gap_at(&self, node: NodeId, cnt_le: usize, a: Val, stats: &mut ExecStats) -> Gap {
+        let _ = stats;
+        gap_from_cnt_le(self.child_values(node), cnt_le, a)
+    }
+
+    /// Descends from the root along exact value matches; returns the node
+    /// reached for the longest matching prefix of `prefix` together with
+    /// how many components matched (same contract as
+    /// [`TrieRelation::descend`]).
+    fn descend(&self, prefix: &[Val]) -> (NodeId, usize) {
+        let mut node = self.root();
+        for (i, &v) in prefix.iter().enumerate() {
+            if node.depth() == self.arity() {
+                return (node, i);
+            }
+            let vals = self.child_values(node);
+            let cnt = sorted::count_le(vals, v);
+            if cnt == 0 || vals[cnt - 1] != v {
+                return (node, i);
+            }
+            node = self.child(node, cnt);
+        }
+        (node, prefix.len())
+    }
+
+    /// Membership test for a full tuple.
+    fn contains(&self, tuple: &[Val]) -> bool {
+        tuple.len() == self.arity() && self.descend(tuple).1 == self.arity()
+    }
+
+    /// Number of tuples (leaves) under each child of `node`, aligned with
+    /// [`TrieStorage::child_values`] (same contract as
+    /// [`TrieRelation::child_tuple_counts`]).
+    fn child_tuple_counts(&self, node: NodeId) -> Vec<usize> {
+        (1..=self.child_count(node))
+            .map(|c| self.subtree_tuple_count(self.child(node, c)))
+            .collect()
+    }
+
+    /// Iterates all tuples in lexicographic order (materializing each) —
+    /// the ordered-iteration half of the read contract.
+    fn tuples(&self) -> TupleIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        TupleIter::new(self)
+    }
+
+    /// Materializes the whole relation as a vector of tuples.
+    fn to_tuples(&self) -> Vec<Tuple>
+    where
+        Self: Sized,
+    {
+        self.tuples().collect()
+    }
 }
 
 impl TrieStorage for TrieRelation {
@@ -104,6 +212,18 @@ impl TrieStorage for TrieRelation {
 
     fn find_gap(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> Gap {
         TrieRelation::find_gap(self, node, a, stats)
+    }
+
+    fn descend(&self, prefix: &[Val]) -> (NodeId, usize) {
+        TrieRelation::descend(self, prefix)
+    }
+
+    fn contains(&self, tuple: &[Val]) -> bool {
+        TrieRelation::contains(self, tuple)
+    }
+
+    fn child_tuple_counts(&self, node: NodeId) -> Vec<usize> {
+        TrieRelation::child_tuple_counts(self, node)
     }
 }
 
@@ -153,5 +273,39 @@ mod tests {
         assert_eq!(r.subtree_tuple_count(n12), 2);
         let leaf = r.child(n12, 2);
         assert_eq!(r.subtree_tuple_count(leaf), 1);
+    }
+
+    /// The defaulted rank/seek primitives agree with each other and with
+    /// the slice they are defined over.
+    #[test]
+    fn default_probe_primitives_are_consistent() {
+        let r =
+            TrieRelation::from_tuples("R", 2, vec![vec![1, 5], vec![3, 2], vec![3, 9], vec![8, 1]])
+                .unwrap();
+        let mut st = ExecStats::new();
+        let root = r.root();
+        for a in [-1, 0, 1, 2, 3, 7, 8, 9] {
+            let cnt = TrieStorage::count_le(&r, root, a, &mut st);
+            assert_eq!(
+                cnt,
+                r.child_values(root).iter().filter(|&&v| v <= a).count()
+            );
+            assert_eq!(TrieStorage::seek_le(&r, root, cnt.min(1), a, &mut st), cnt);
+            let gap = TrieStorage::gap_at(&r, root, cnt, a, &mut st);
+            let direct = r.find_gap(root, a, &mut ExecStats::new());
+            assert_eq!(gap, direct);
+        }
+        assert_eq!(TrieStorage::child_value_at(&r, root, 1, &mut st), 1);
+        assert_eq!(TrieStorage::child_value_at(&r, root, 3, &mut st), 8);
+        assert!(TrieStorage::hinted_seeks(&r, root));
+        assert_eq!(TrieStorage::seek_ge(&r, root, 0, 2, &mut st), 1);
+        assert_eq!(TrieStorage::seek_ge(&r, root, 2, 2, &mut st), 2);
+        assert_eq!(TrieStorage::seek_ge(&r, root, 0, 99, &mut st), 3);
+        assert_eq!(TrieStorage::descend(&r, &[3, 9]), (r.descend(&[3, 9]).0, 2));
+        assert!(TrieStorage::contains(&r, &[3, 2]));
+        assert!(!TrieStorage::contains(&r, &[3, 3]));
+        assert_eq!(TrieStorage::child_tuple_counts(&r, root), vec![1, 2, 1]);
+        assert_eq!(r.tuples().count(), 4);
+        assert_eq!(TrieStorage::to_tuples(&r), r.to_tuples());
     }
 }

@@ -1,0 +1,906 @@
+//! Hybrid dense-leaf storage: packed `u64` bitset runs behind
+//! [`TrieStorage`].
+//!
+//! The paper's §6.2 `FindGap` contract is representation-agnostic: any
+//! layout that can answer rank ("how many children ≤ a?") and select
+//! ("what is the k-th child value?") over each node's sorted child run
+//! satisfies it. The canonical [`TrieRelation`] gallops over sorted
+//! arrays, costing `O(log |run|)` per probe. When a run is *dense* — its
+//! values occupy a narrow numeric span relative to the run length — the
+//! same questions have `O(1)`/`O(words)` answers over a packed bitset:
+//!
+//! * bit `i` of the word array is set iff value `base + i` is present;
+//! * a precomputed rank directory `rank[w] = popcount(words[..w])` turns
+//!   `count_le(a)` into one directory lookup plus one masked popcount,
+//!   and `select(k)` into a binary search of the directory plus a bit
+//!   walk inside a single word.
+//!
+//! [`BitLeafRelation`] is an overlay: it wraps an [`Arc`]`<TrieRelation>`
+//! and attaches an optional packed `DenseRun` to each interior node whose
+//! child run passes the density test (see [`LeafPolicy`]). Navigation
+//! (`child`, `value`, `child_values`, subtree counts) delegates to the
+//! base trie — so slice-based consumers like equi-depth sharding and the
+//! merge layer keep working unchanged — while the probe primitives
+//! (`find_gap`, `count_le`, `seek_le`, `seek_ge`, `child_value_at`) are
+//! overridden with rank/select over the packed run. Representation
+//! selection happens at build/compact time in the versioned layer;
+//! probe-time dispatch is one enum match via [`StorageRef`].
+//!
+//! Probe work done by the packed side is accounted in the deterministic
+//! counters [`crate::ExecStats::bitset_probes`] (operations answered by a
+//! dense run) and [`crate::ExecStats::bitset_words_scanned`] (data words
+//! actually read), mirroring how `comparisons` accounts for the sorted
+//! side.
+
+use std::sync::Arc;
+
+use crate::backend::TrieStorage;
+use crate::sorted;
+use crate::stats::ExecStats;
+use crate::trie::{Gap, NodeId, TrieRelation};
+use crate::value::{Val, NEG_INF, POS_INF};
+
+/// Minimum run length before the [`LeafPolicy::Auto`] policy considers
+/// packing: shorter runs gallop in a handful of comparisons anyway, so a
+/// bitset buys nothing.
+pub const DENSE_MIN_RUN: usize = 8;
+
+/// Maximum span-to-length ratio the [`LeafPolicy::Auto`] policy accepts:
+/// a run is packed only when `span ≤ DENSE_SPAN_FACTOR · len`, i.e. at
+/// least one value per `DENSE_SPAN_FACTOR` bits (≥ 25% bit occupancy).
+pub const DENSE_SPAN_FACTOR: i128 = 4;
+
+/// How a relation chooses the physical representation of each node's
+/// child run (see the module docs). The policy lives on the
+/// [`crate::Database`] and is re-applied whenever a relation's immutable
+/// base is rebuilt (load and compaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeafPolicy {
+    /// Sorted arrays everywhere — the canonical layout, no hybrid built.
+    Sorted,
+    /// Density-adaptive (the default): runs with at least
+    /// [`DENSE_MIN_RUN`] values and at most [`DENSE_SPAN_FACTOR`] bits of
+    /// span per value are packed; everything else stays sorted.
+    #[default]
+    Auto,
+    /// Pack every run whose bitset would not dwarf the sorted array (a
+    /// memory guard still applies; see [`LeafPolicy::wants_dense`]).
+    /// Used by tests and the CI backend matrix to force maximal bitset
+    /// coverage.
+    Dense,
+}
+
+impl LeafPolicy {
+    /// Reads the policy from the `MSJ_LEAF` environment variable:
+    /// `off`/`sorted` → [`LeafPolicy::Sorted`], `on`/`dense`/`force` →
+    /// [`LeafPolicy::Dense`], anything else (or unset) →
+    /// [`LeafPolicy::Auto`].
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("MSJ_LEAF").ok().as_deref())
+    }
+
+    /// Parsing behind [`LeafPolicy::from_env`], separated so tests need
+    /// not mutate process-global environment state.
+    pub fn parse(raw: Option<&str>) -> Self {
+        match raw.map(str::to_ascii_lowercase).as_deref() {
+            Some("off") | Some("sorted") => LeafPolicy::Sorted,
+            Some("on") | Some("dense") | Some("force") => LeafPolicy::Dense,
+            _ => LeafPolicy::Auto,
+        }
+    }
+
+    /// Stable label for reports and `--explain` output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LeafPolicy::Sorted => "sorted",
+            LeafPolicy::Auto => "auto",
+            LeafPolicy::Dense => "dense",
+        }
+    }
+
+    /// The density test: should this sorted child run be packed? Span
+    /// arithmetic is done in `i128` so pathological spreads cannot
+    /// overflow. Under [`LeafPolicy::Dense`] a memory guard still
+    /// rejects runs whose word array would exceed `max(4·len, 4)` words
+    /// (a packed run wider than ~4 machine words per value stores less
+    /// information per byte than the sorted array it replaces).
+    pub fn wants_dense(&self, vals: &[Val]) -> bool {
+        if vals.is_empty() {
+            return false;
+        }
+        let len = vals.len() as i128;
+        let span = vals[vals.len() - 1] as i128 - vals[0] as i128 + 1;
+        match self {
+            LeafPolicy::Sorted => false,
+            LeafPolicy::Auto => vals.len() >= DENSE_MIN_RUN && span <= DENSE_SPAN_FACTOR * len,
+            LeafPolicy::Dense => (span + 63) / 64 <= (4 * len).max(4),
+        }
+    }
+}
+
+/// One packed child run: bit `i` of `words` is set iff value `base + i`
+/// is among the node's children.
+#[derive(Debug, Clone)]
+struct DenseRun {
+    /// Value of bit 0.
+    base: Val,
+    /// Number of set bits (the run length / child count).
+    len: u32,
+    /// The packed bitset; the last word is zero-padded past the top
+    /// value.
+    words: Box<[u64]>,
+    /// Rank directory: `rank[w]` = number of set bits in `words[..w]`,
+    /// so `rank[words.len()] == len`.
+    rank: Box<[u32]>,
+}
+
+impl DenseRun {
+    /// Packs a non-empty sorted run. Callers must have applied
+    /// [`LeafPolicy::wants_dense`] first, which bounds the span.
+    fn build(vals: &[Val]) -> DenseRun {
+        let base = vals[0];
+        let span = (vals[vals.len() - 1] - base) as usize + 1;
+        let n_words = span.div_ceil(64);
+        let mut words = vec![0u64; n_words];
+        for &v in vals {
+            let off = (v - base) as usize;
+            words[off / 64] |= 1u64 << (off % 64);
+        }
+        let mut rank = Vec::with_capacity(n_words + 1);
+        let mut acc = 0u32;
+        rank.push(0);
+        for &w in &words {
+            acc += w.count_ones();
+            rank.push(acc);
+        }
+        DenseRun {
+            base,
+            len: vals.len() as u32,
+            words: words.into(),
+            rank: rank.into(),
+        }
+    }
+
+    /// Rank: `|{v in run : v ≤ a}|`. One rank-directory lookup plus one
+    /// masked popcount of a single data word.
+    fn count_le(&self, a: Val, stats: &mut ExecStats) -> usize {
+        if a < self.base {
+            return 0;
+        }
+        let off = a as i128 - self.base as i128;
+        if off >= self.words.len() as i128 * 64 {
+            return self.len as usize;
+        }
+        let off = off as usize;
+        let (w, b) = (off / 64, off % 64);
+        let mask = if b == 63 {
+            !0u64
+        } else {
+            (1u64 << (b + 1)) - 1
+        };
+        stats.bitset_words_scanned += 1;
+        self.rank[w] as usize + (self.words[w] & mask).count_ones() as usize
+    }
+
+    /// Select: the value of the `k`-th set bit, 1-based (`1 ≤ k ≤ len`).
+    /// Binary search of the rank directory, then a bit walk inside one
+    /// data word.
+    fn select(&self, k: usize, stats: &mut ExecStats) -> Val {
+        debug_assert!(k >= 1 && k <= self.len as usize);
+        // Smallest w with rank[w + 1] ≥ k is the word holding bit k.
+        let w = self.rank.partition_point(|&r| (r as usize) < k) - 1;
+        stats.bitset_words_scanned += 1;
+        let mut word = self.words[w];
+        let mut remaining = k - self.rank[w] as usize;
+        loop {
+            let tz = word.trailing_zeros() as usize;
+            if remaining == 1 {
+                return self.base + (w * 64 + tz) as Val;
+            }
+            word &= word - 1; // clear lowest set bit
+            remaining -= 1;
+        }
+    }
+
+    /// Sibling seek with the [`TrieStorage::seek_ge`] contract: smallest
+    /// 0-based index `i ≥ from` whose value is ≥ `target`, or `len`.
+    fn seek_ge(&self, from: usize, target: Val, stats: &mut ExecStats) -> usize {
+        let lt = if target <= self.base {
+            0
+        } else {
+            self.count_le(target - 1, stats)
+        };
+        lt.max(from)
+    }
+
+    /// `select` with a word hint: walks the rank directory outward from
+    /// `hint` instead of binary-searching it. Callers pass the probe
+    /// word, and a dense run's neighbouring set bit is rarely more than
+    /// a word away, so the walk is a step or two of contiguous `u32`
+    /// reads.
+    fn select_near(&self, k: usize, hint: usize, stats: &mut ExecStats) -> Val {
+        let mut w = hint;
+        // rank[0] = 0 < k and rank[n_words] = len ≥ k bound the walk.
+        while self.rank[w] as usize >= k {
+            w -= 1;
+        }
+        while (self.rank[w + 1] as usize) < k {
+            w += 1;
+        }
+        stats.bitset_words_scanned += 1;
+        let mut word = self.words[w];
+        let mut remaining = k - self.rank[w] as usize;
+        loop {
+            let tz = word.trailing_zeros() as usize;
+            if remaining == 1 {
+                return self.base + (w * 64 + tz) as Val;
+            }
+            word &= word - 1;
+            remaining -= 1;
+        }
+    }
+
+    /// Builds the `FindGap` answer from a precomputed rank — the exact
+    /// packed mirror of `gap_from_cnt_le`, with bit probes standing in
+    /// for slice indexing. An in-range exact hit is one bit test; an
+    /// in-range miss resolves both neighbours by walking outward from
+    /// the probe word.
+    fn gap_from_rank(&self, cnt_le: usize, a: Val, stats: &mut ExecStats) -> Gap {
+        let n = self.len as usize;
+        let off = a as i128 - self.base as i128;
+        if off >= 0 && off < self.words.len() as i128 * 64 {
+            let off = off as usize;
+            let (w, b) = (off / 64, off % 64);
+            stats.bitset_words_scanned += 1;
+            if self.words[w] & (1u64 << b) != 0 {
+                return Gap {
+                    lo_coord: cnt_le,
+                    hi_coord: cnt_le,
+                    lo_val: a,
+                    hi_val: a,
+                };
+            }
+            let (lo_coord, lo_val) = if cnt_le == 0 {
+                (0, NEG_INF)
+            } else {
+                (cnt_le, self.select_near(cnt_le, w, stats))
+            };
+            let (hi_coord, hi_val) = if cnt_le == n {
+                (n + 1, POS_INF)
+            } else {
+                (cnt_le + 1, self.select_near(cnt_le + 1, w, stats))
+            };
+            return Gap {
+                lo_coord,
+                hi_coord,
+                lo_val,
+                hi_val,
+            };
+        }
+        // Out-of-range probes sit before the first or past the last
+        // value; only the inner neighbour needs a select.
+        if off < 0 {
+            Gap {
+                lo_coord: 0,
+                hi_coord: 1,
+                lo_val: NEG_INF,
+                hi_val: self.select(1, stats),
+            }
+        } else {
+            Gap {
+                lo_coord: n,
+                hi_coord: n + 1,
+                lo_val: self.select(n, stats),
+                hi_val: POS_INF,
+            }
+        }
+    }
+}
+
+/// The hybrid relation: a canonical [`TrieRelation`] base plus packed
+/// [`u64`]-bitset runs for the nodes whose child runs pass the density
+/// test (see the module docs).
+///
+/// Built from an immutable base at load/compaction time via
+/// [`BitLeafRelation::build`]; probe primitives dispatch per node to the
+/// packed run when one exists and fall back to the base's sorted arrays
+/// otherwise, so the full [`TrieStorage`] read contract holds on any mix.
+#[derive(Debug, Clone)]
+pub struct BitLeafRelation {
+    base: Arc<TrieRelation>,
+    /// `runs[depth][parent_index]` — the optional packed run of the
+    /// parent node's children. `runs[0]` has one entry (the root);
+    /// `runs[d]` for `d ≥ 1` has one entry per node at depth `d`.
+    runs: Vec<Vec<Option<Box<DenseRun>>>>,
+    dense_runs: u64,
+    words_total: u64,
+}
+
+impl BitLeafRelation {
+    /// Scans every interior node of `base` and packs the runs selected
+    /// by `policy`. Returns `None` when the hybrid would be pointless:
+    /// always under [`LeafPolicy::Sorted`], and under [`LeafPolicy::Auto`]
+    /// when no run passes the density test (the caller then probes the
+    /// base directly, paying zero dispatch overhead). Under
+    /// [`LeafPolicy::Dense`] a hybrid is always returned, even with zero
+    /// packed runs, so forced-on test matrices exercise the dispatch
+    /// path.
+    pub fn build(base: Arc<TrieRelation>, policy: LeafPolicy) -> Option<Self> {
+        if policy == LeafPolicy::Sorted {
+            return None;
+        }
+        let arity = base.arity();
+        let mut runs: Vec<Vec<Option<Box<DenseRun>>>> = Vec::with_capacity(arity);
+        let mut dense_runs = 0u64;
+        let mut words_total = 0u64;
+        for depth in 0..arity {
+            let parents = if depth == 0 {
+                1
+            } else {
+                base.level_column(depth - 1).len()
+            };
+            let mut level_runs = Vec::with_capacity(parents);
+            for pos in 0..parents {
+                let vals = base.child_values(NodeId { depth, pos });
+                if policy.wants_dense(vals) {
+                    let run = DenseRun::build(vals);
+                    dense_runs += 1;
+                    words_total += run.words.len() as u64;
+                    level_runs.push(Some(Box::new(run)));
+                } else {
+                    level_runs.push(None);
+                }
+            }
+            runs.push(level_runs);
+        }
+        if dense_runs == 0 && policy == LeafPolicy::Auto {
+            return None;
+        }
+        Some(BitLeafRelation {
+            base,
+            runs,
+            dense_runs,
+            words_total,
+        })
+    }
+
+    /// The canonical base trie this hybrid overlays.
+    pub fn base(&self) -> &Arc<TrieRelation> {
+        &self.base
+    }
+
+    /// Number of packed (bitset-backed) runs.
+    pub fn dense_run_count(&self) -> u64 {
+        self.dense_runs
+    }
+
+    /// Total `u64` words across all packed runs (resident bitset size).
+    pub fn words_total(&self) -> u64 {
+        self.words_total
+    }
+
+    /// The packed run of `node`'s children, if the run was selected
+    /// dense.
+    fn run(&self, node: NodeId) -> Option<&DenseRun> {
+        let idx = if node.depth == 0 { 0 } else { node.pos };
+        self.runs[node.depth][idx].as_deref()
+    }
+
+    /// True when `node`'s child run is bitset-backed.
+    pub fn is_dense(&self, node: NodeId) -> bool {
+        self.run(node).is_some()
+    }
+}
+
+impl TrieStorage for BitLeafRelation {
+    fn name(&self) -> &str {
+        self.base.name()
+    }
+
+    fn arity(&self) -> usize {
+        self.base.arity()
+    }
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn root(&self) -> NodeId {
+        self.base.root()
+    }
+
+    fn child_count(&self, node: NodeId) -> usize {
+        self.base.child_count(node)
+    }
+
+    fn child(&self, node: NodeId, coord: usize) -> NodeId {
+        self.base.child(node, coord)
+    }
+
+    fn value(&self, node: NodeId) -> Val {
+        self.base.value(node)
+    }
+
+    fn child_values(&self, node: NodeId) -> &[Val] {
+        self.base.child_values(node)
+    }
+
+    fn subtree_tuple_count(&self, node: NodeId) -> usize {
+        self.base.subtree_tuple_count(node)
+    }
+
+    fn find_gap(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> Gap {
+        match self.run(node) {
+            Some(run) => {
+                stats.find_gap_calls += 1;
+                stats.bitset_probes += 1;
+                let cnt_le = run.count_le(a, stats);
+                run.gap_from_rank(cnt_le, a, stats)
+            }
+            // The base bumps `find_gap_calls` itself.
+            None => self.base.find_gap(node, a, stats),
+        }
+    }
+
+    fn count_le(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> usize {
+        match self.run(node) {
+            Some(run) => {
+                stats.bitset_probes += 1;
+                run.count_le(a, stats)
+            }
+            None => sorted::count_le(self.base.child_values(node), a),
+        }
+    }
+
+    fn seek_le(&self, node: NodeId, from: usize, a: Val, stats: &mut ExecStats) -> usize {
+        match self.run(node) {
+            // Rank is O(1) on a packed run; the position hint is moot.
+            Some(run) => {
+                stats.bitset_probes += 1;
+                run.count_le(a, stats)
+            }
+            None => sorted::gallop_gt(self.base.child_values(node), from, a),
+        }
+    }
+
+    fn seek_ge(&self, node: NodeId, from: usize, target: Val, stats: &mut ExecStats) -> usize {
+        match self.run(node) {
+            Some(run) => {
+                stats.bitset_probes += 1;
+                run.seek_ge(from, target, stats)
+            }
+            None => sorted::gallop_ge(self.base.child_values(node), from, target),
+        }
+    }
+
+    fn child_value_at(&self, node: NodeId, coord: usize, stats: &mut ExecStats) -> Val {
+        match self.run(node) {
+            Some(run) => {
+                stats.bitset_probes += 1;
+                run.select(coord, stats)
+            }
+            None => self.base.child_values(node)[coord - 1],
+        }
+    }
+
+    fn hinted_seeks(&self, node: NodeId) -> bool {
+        !self.is_dense(node)
+    }
+
+    fn gap_at(&self, node: NodeId, cnt_le: usize, a: Val, stats: &mut ExecStats) -> Gap {
+        match self.run(node) {
+            Some(run) => {
+                stats.bitset_probes += 1;
+                run.gap_from_rank(cnt_le, a, stats)
+            }
+            None => crate::trie::gap_from_cnt_le(self.base.child_values(node), cnt_le, a),
+        }
+    }
+
+    fn descend(&self, prefix: &[Val]) -> (NodeId, usize) {
+        self.base.descend(prefix)
+    }
+
+    fn contains(&self, tuple: &[Val]) -> bool {
+        self.base.contains(tuple)
+    }
+
+    fn child_tuple_counts(&self, node: NodeId) -> Vec<usize> {
+        self.base.child_tuple_counts(node)
+    }
+}
+
+/// A `Copy` reference to whichever backend a relation probe should use:
+/// the canonical sorted trie or its hybrid overlay. The executor resolves
+/// this once per atom (see `Database::probe_target`) and the probe loop
+/// monomorphizes over it, so the sorted path compiles to exactly the code
+/// it had before the hybrid existed.
+#[derive(Debug, Clone, Copy)]
+pub enum StorageRef<'a> {
+    /// Probe the canonical sorted-array trie.
+    Sorted(&'a TrieRelation),
+    /// Probe the hybrid bitset overlay.
+    Hybrid(&'a BitLeafRelation),
+}
+
+impl StorageRef<'_> {
+    /// Packed-run inventory of the referenced backend (0 for the
+    /// canonical layout) — recorded once per stream into
+    /// [`crate::ExecStats::dense_leaves`].
+    pub fn dense_runs(&self) -> u64 {
+        match self {
+            StorageRef::Sorted(_) => 0,
+            StorageRef::Hybrid(h) => h.dense_run_count(),
+        }
+    }
+
+    /// Total packed words of the referenced backend (0 for the canonical
+    /// layout).
+    pub fn words_total(&self) -> u64 {
+        match self {
+            StorageRef::Sorted(_) => 0,
+            StorageRef::Hybrid(h) => BitLeafRelation::words_total(h),
+        }
+    }
+}
+
+/// Forwards one trait method to whichever backend the enum holds. Every
+/// method — including the defaulted ones — must be forwarded explicitly,
+/// otherwise the trait defaults would run against `StorageRef` itself and
+/// silently bypass the hybrid's overrides.
+macro_rules! fwd {
+    ($self:ident, $r:ident => $e:expr) => {
+        match $self {
+            StorageRef::Sorted($r) => $e,
+            StorageRef::Hybrid($r) => $e,
+        }
+    };
+}
+
+impl TrieStorage for StorageRef<'_> {
+    fn name(&self) -> &str {
+        fwd!(self, r => TrieStorage::name(*r))
+    }
+
+    fn arity(&self) -> usize {
+        fwd!(self, r => TrieStorage::arity(*r))
+    }
+
+    fn len(&self) -> usize {
+        fwd!(self, r => TrieStorage::len(*r))
+    }
+
+    fn is_empty(&self) -> bool {
+        fwd!(self, r => TrieStorage::is_empty(*r))
+    }
+
+    fn root(&self) -> NodeId {
+        fwd!(self, r => TrieStorage::root(*r))
+    }
+
+    fn child_count(&self, node: NodeId) -> usize {
+        fwd!(self, r => TrieStorage::child_count(*r, node))
+    }
+
+    fn child(&self, node: NodeId, coord: usize) -> NodeId {
+        fwd!(self, r => TrieStorage::child(*r, node, coord))
+    }
+
+    fn value(&self, node: NodeId) -> Val {
+        fwd!(self, r => TrieStorage::value(*r, node))
+    }
+
+    fn child_values(&self, node: NodeId) -> &[Val] {
+        fwd!(self, r => TrieStorage::child_values(*r, node))
+    }
+
+    fn subtree_tuple_count(&self, node: NodeId) -> usize {
+        fwd!(self, r => TrieStorage::subtree_tuple_count(*r, node))
+    }
+
+    fn find_gap(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> Gap {
+        fwd!(self, r => TrieStorage::find_gap(*r, node, a, stats))
+    }
+
+    fn count_le(&self, node: NodeId, a: Val, stats: &mut ExecStats) -> usize {
+        fwd!(self, r => TrieStorage::count_le(*r, node, a, stats))
+    }
+
+    fn seek_le(&self, node: NodeId, from: usize, a: Val, stats: &mut ExecStats) -> usize {
+        fwd!(self, r => TrieStorage::seek_le(*r, node, from, a, stats))
+    }
+
+    fn seek_ge(&self, node: NodeId, from: usize, target: Val, stats: &mut ExecStats) -> usize {
+        fwd!(self, r => TrieStorage::seek_ge(*r, node, from, target, stats))
+    }
+
+    fn child_value_at(&self, node: NodeId, coord: usize, stats: &mut ExecStats) -> Val {
+        fwd!(self, r => TrieStorage::child_value_at(*r, node, coord, stats))
+    }
+
+    fn hinted_seeks(&self, node: NodeId) -> bool {
+        fwd!(self, r => TrieStorage::hinted_seeks(*r, node))
+    }
+
+    fn gap_at(&self, node: NodeId, cnt_le: usize, a: Val, stats: &mut ExecStats) -> Gap {
+        fwd!(self, r => TrieStorage::gap_at(*r, node, cnt_le, a, stats))
+    }
+
+    fn descend(&self, prefix: &[Val]) -> (NodeId, usize) {
+        fwd!(self, r => TrieStorage::descend(*r, prefix))
+    }
+
+    fn contains(&self, tuple: &[Val]) -> bool {
+        fwd!(self, r => TrieStorage::contains(*r, tuple))
+    }
+
+    fn child_tuple_counts(&self, node: NodeId) -> Vec<usize> {
+        fwd!(self, r => TrieStorage::child_tuple_counts(*r, node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::MAX_DOMAIN_VALUE;
+    use crate::Tuple;
+
+    fn trie(arity: usize, tuples: Vec<Tuple>) -> Arc<TrieRelation> {
+        Arc::new(TrieRelation::from_tuples("R", arity, tuples).unwrap())
+    }
+
+    /// Every interior node, every probe value drawn from the node's run
+    /// (±1) plus sentinels: the hybrid must agree with the base on
+    /// `find_gap`, the rank/seek primitives, select, and iteration.
+    fn assert_equivalent(base: &TrieRelation, hybrid: &BitLeafRelation) {
+        let mut nodes = vec![base.root()];
+        while let Some(node) = nodes.pop() {
+            let vals = base.child_values(node);
+            let mut probes: Vec<Val> = vec![NEG_INF, -1, 0, POS_INF, MAX_DOMAIN_VALUE];
+            for &v in vals {
+                probes.push(v);
+                probes.push(v.saturating_sub(1));
+                if v < MAX_DOMAIN_VALUE {
+                    probes.push(v + 1);
+                }
+            }
+            for a in probes {
+                let mut s1 = ExecStats::new();
+                let mut s2 = ExecStats::new();
+                let g1 = base.find_gap(node, a, &mut s1);
+                let g2 = hybrid.find_gap(node, a, &mut s2);
+                assert_eq!(g1, g2, "find_gap({node:?}, {a}) diverged");
+                assert_eq!(s1.find_gap_calls, s2.find_gap_calls);
+                let c1 = TrieStorage::count_le(base, node, a, &mut s1);
+                let c2 = hybrid.count_le(node, a, &mut s2);
+                assert_eq!(c1, c2, "count_le({node:?}, {a}) diverged");
+                assert_eq!(hybrid.seek_le(node, 0, a, &mut s2), c1);
+                if c1 > 0 {
+                    assert_eq!(hybrid.seek_le(node, c1, a, &mut s2), c1);
+                }
+                assert_eq!(
+                    hybrid.seek_ge(node, 0, a, &mut s2),
+                    sorted::gallop_ge(vals, 0, a),
+                    "seek_ge({node:?}, {a}) diverged"
+                );
+                assert_eq!(hybrid.gap_at(node, c1, a, &mut s2), g1);
+            }
+            for coord in 1..=vals.len() {
+                let mut st = ExecStats::new();
+                assert_eq!(hybrid.child_value_at(node, coord, &mut st), vals[coord - 1]);
+                let child = base.child(node, coord);
+                assert_eq!(
+                    hybrid.subtree_tuple_count(child),
+                    base.subtree_tuple_count(child)
+                );
+                if child.depth() < base.arity() {
+                    nodes.push(child);
+                }
+            }
+            assert_eq!(
+                TrieStorage::child_tuple_counts(base, node),
+                hybrid.child_tuple_counts(node)
+            );
+        }
+        assert_eq!(hybrid.to_tuples(), base.to_tuples());
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(LeafPolicy::parse(None), LeafPolicy::Auto);
+        assert_eq!(LeafPolicy::parse(Some("off")), LeafPolicy::Sorted);
+        assert_eq!(LeafPolicy::parse(Some("SORTED")), LeafPolicy::Sorted);
+        assert_eq!(LeafPolicy::parse(Some("on")), LeafPolicy::Dense);
+        assert_eq!(LeafPolicy::parse(Some("dense")), LeafPolicy::Dense);
+        assert_eq!(LeafPolicy::parse(Some("Force")), LeafPolicy::Dense);
+        assert_eq!(LeafPolicy::parse(Some("auto")), LeafPolicy::Auto);
+        assert_eq!(LeafPolicy::parse(Some("garbage")), LeafPolicy::Auto);
+        assert_eq!(LeafPolicy::default(), LeafPolicy::Auto);
+        assert_eq!(LeafPolicy::Dense.label(), "dense");
+    }
+
+    #[test]
+    fn sorted_policy_builds_nothing() {
+        let base = trie(1, (0..64).map(|v| vec![v]).collect());
+        assert!(BitLeafRelation::build(base, LeafPolicy::Sorted).is_none());
+    }
+
+    #[test]
+    fn empty_relation() {
+        let base = trie(2, vec![]);
+        assert!(BitLeafRelation::build(base.clone(), LeafPolicy::Auto).is_none());
+        // Forced on: hybrid exists with zero packed runs and still
+        // honours the probe contract on the empty root.
+        let h = BitLeafRelation::build(base.clone(), LeafPolicy::Dense).unwrap();
+        assert_eq!(h.dense_run_count(), 0);
+        assert!(TrieStorage::is_empty(&h));
+        let mut st = ExecStats::new();
+        let g = h.find_gap(h.root(), 5, &mut st);
+        assert_eq!((g.lo_coord, g.hi_coord), (0, 1));
+        assert_eq!((g.lo_val, g.hi_val), (NEG_INF, POS_INF));
+        assert_eq!(st.bitset_probes, 0);
+        assert_equivalent(&base, &h);
+    }
+
+    #[test]
+    fn single_value() {
+        let base = trie(1, vec![vec![42]]);
+        // A single value never passes the Auto length floor...
+        assert!(BitLeafRelation::build(base.clone(), LeafPolicy::Auto).is_none());
+        // ...but packs under Dense: one word, rank directory [0, 1].
+        let h = BitLeafRelation::build(base.clone(), LeafPolicy::Dense).unwrap();
+        assert_eq!(h.dense_run_count(), 1);
+        assert_eq!(h.words_total(), 1);
+        assert!(h.is_dense(h.root()));
+        assert_equivalent(&base, &h);
+    }
+
+    #[test]
+    fn all_dense_contiguous_run() {
+        // 0..=63 fills word 0 exactly; 0..=64 straddles into word 1.
+        for top in [63, 64] {
+            let base = trie(1, (0..=top).map(|v| vec![v]).collect());
+            let h = BitLeafRelation::build(base.clone(), LeafPolicy::Auto).unwrap();
+            assert_eq!(h.dense_run_count(), 1);
+            assert_eq!(h.words_total(), if top == 63 { 1 } else { 2 });
+            assert_equivalent(&base, &h);
+        }
+    }
+
+    #[test]
+    fn all_sparse_stays_sorted() {
+        // 16 values, each 1000 apart: span/len = 1000 ≫ 4.
+        let base = trie(1, (0..16).map(|v| vec![v * 1000]).collect());
+        assert!(BitLeafRelation::build(base.clone(), LeafPolicy::Auto).is_none());
+        // Forced on, the memory guard still applies per run — span
+        // 15001 needs 235 words > max(4·16, 4) = 64, so the run stays
+        // sorted even under Dense.
+        let h = BitLeafRelation::build(base.clone(), LeafPolicy::Dense).unwrap();
+        assert_eq!(h.dense_run_count(), 0);
+        assert!(!h.is_dense(h.root()));
+        assert_equivalent(&base, &h);
+    }
+
+    #[test]
+    fn word_boundary_straddling_runs() {
+        // Runs deliberately crossing 64-bit word boundaries at awkward
+        // offsets: base 60 with values through 130 (words 0..=2 of the
+        // run), plus holes on the exact boundaries 63/64 and 127/128.
+        let vals: Vec<Val> = (60..=130)
+            .filter(|v| ![63, 64, 127, 128].contains(v))
+            .collect();
+        let base = trie(1, vals.iter().map(|&v| vec![v]).collect());
+        let h = BitLeafRelation::build(base.clone(), LeafPolicy::Auto).unwrap();
+        assert_eq!(h.dense_run_count(), 1);
+        assert_equivalent(&base, &h);
+    }
+
+    #[test]
+    fn max_domain_adjacent_gaps() {
+        // Values packed against the top of the legal domain: probes at
+        // MAX_DOMAIN_VALUE and POS_INF must produce the +∞ sentinel
+        // without overflow in span or select arithmetic.
+        let top = MAX_DOMAIN_VALUE;
+        let vals: Vec<Val> = (0..32).map(|i| top - 2 * i).collect();
+        let mut sorted_vals = vals.clone();
+        sorted_vals.sort_unstable();
+        let base = trie(1, sorted_vals.iter().map(|&v| vec![v]).collect());
+        let h = BitLeafRelation::build(base.clone(), LeafPolicy::Auto).unwrap();
+        assert_eq!(h.dense_run_count(), 1);
+        assert_equivalent(&base, &h);
+        let mut st = ExecStats::new();
+        let g = h.find_gap(h.root(), top, &mut st);
+        assert!(g.exact());
+        assert_eq!(g.hi_val, top);
+        let g = h.find_gap(h.root(), POS_INF, &mut st);
+        assert_eq!(g.hi_val, POS_INF);
+        assert_eq!(g.lo_val, top);
+    }
+
+    #[test]
+    fn multi_level_mixed_density() {
+        // First level sparse (3 values far apart), second level dense
+        // under one parent and sparse under the others.
+        let mut tuples: Vec<Tuple> = (0..32).map(|v| vec![5, v]).collect();
+        tuples.push(vec![100_000, 7]);
+        tuples.push(vec![900_000, 3]);
+        let base = trie(2, tuples);
+        let h = BitLeafRelation::build(base.clone(), LeafPolicy::Auto).unwrap();
+        assert_eq!(h.dense_run_count(), 1);
+        let n1 = base.child(base.root(), 1);
+        assert!(h.is_dense(n1));
+        assert!(!h.is_dense(base.root()));
+        assert!(h.hinted_seeks(base.root()));
+        assert!(!h.hinted_seeks(n1));
+        assert_equivalent(&base, &h);
+    }
+
+    #[test]
+    fn counters_account_packed_probes() {
+        let base = trie(1, (0..=200).map(|v| vec![v]).collect());
+        let h = BitLeafRelation::build(base, LeafPolicy::Auto).unwrap();
+        let mut st = ExecStats::new();
+        h.find_gap(h.root(), 100, &mut st);
+        assert_eq!(st.find_gap_calls, 1);
+        assert_eq!(st.bitset_probes, 1);
+        // One rank word + one select word (exact hit short-circuits the
+        // second select).
+        assert_eq!(st.bitset_words_scanned, 2);
+        let before = st.bitset_words_scanned;
+        h.count_le(h.root(), 150, &mut st);
+        assert_eq!(st.bitset_probes, 2);
+        assert_eq!(st.bitset_words_scanned, before + 1);
+    }
+
+    #[test]
+    fn storage_ref_forwards_both_backends() {
+        let base = trie(1, (0..=100).map(|v| vec![v]).collect());
+        let h = BitLeafRelation::build(base.clone(), LeafPolicy::Auto).unwrap();
+        let s = StorageRef::Sorted(&base);
+        let d = StorageRef::Hybrid(&h);
+        assert_eq!(s.dense_runs(), 0);
+        assert_eq!(d.dense_runs(), 1);
+        assert_eq!(s.words_total(), 0);
+        assert!(d.words_total() >= 2);
+        let mut st_s = ExecStats::new();
+        let mut st_d = ExecStats::new();
+        for a in [NEG_INF, -1, 0, 50, 100, 101, POS_INF] {
+            assert_eq!(
+                s.find_gap(s.root(), a, &mut st_s),
+                d.find_gap(d.root(), a, &mut st_d)
+            );
+        }
+        assert_eq!(st_s.find_gap_calls, st_d.find_gap_calls);
+        assert_eq!(st_s.bitset_probes, 0);
+        assert_eq!(st_d.bitset_probes, 7);
+        assert!(s.hinted_seeks(s.root()));
+        assert!(!d.hinted_seeks(d.root()));
+        assert_eq!(s.to_tuples(), d.to_tuples());
+        assert_eq!(TrieStorage::name(&s), TrieStorage::name(&d));
+        assert!(s.contains(&[50]) && d.contains(&[50]));
+    }
+
+    #[test]
+    fn dense_memory_guard_under_forced_policy() {
+        // Two values a billion apart: even Dense must refuse (the word
+        // array would have ~16M entries for 2 values).
+        let base = trie(1, vec![vec![0], vec![1_000_000_000]]);
+        let h = BitLeafRelation::build(base.clone(), LeafPolicy::Dense).unwrap();
+        assert_eq!(h.dense_run_count(), 0);
+        assert_equivalent(&base, &h);
+    }
+
+    #[test]
+    fn seek_ge_respects_from_hint() {
+        let base = trie(1, (10..=90).map(|v| vec![v]).collect());
+        let h = BitLeafRelation::build(base, LeafPolicy::Auto).unwrap();
+        let mut st = ExecStats::new();
+        let root = h.root();
+        // First index with value ≥ 20 is 10; a larger `from` wins.
+        assert_eq!(h.seek_ge(root, 0, 20, &mut st), 10);
+        assert_eq!(h.seek_ge(root, 40, 20, &mut st), 40);
+        // Past the end: child_count, exactly like gallop_ge.
+        assert_eq!(h.seek_ge(root, 0, 1000, &mut st), 81);
+        assert_eq!(h.seek_ge(root, 0, NEG_INF, &mut st), 0);
+    }
+}

@@ -1,36 +1,40 @@
-//! A positional cursor over a [`TrieRelation`], in the style required by
-//! Leapfrog Triejoin (Veldhuizen 2014, reference \[53\] of the paper).
+//! A positional cursor over any [`TrieStorage`] backend, in the style
+//! required by Leapfrog Triejoin (Veldhuizen 2014, reference \[53\] of the
+//! paper).
 //!
 //! The cursor maintains a root-to-current-node path. At each depth it
 //! supports the linear-iterator interface `key / next / seek / at_end`, and
-//! the trie interface `open / up`. `seek` uses galloping search so that a
-//! full sweep over a level costs time proportional to the number of distinct
-//! landing positions times `log` of the jump distances — this is what makes
-//! LFTJ worst-case optimal and is also the "leapfrogging" idea the paper
-//! credits to Hwang–Lin.
+//! the trie interface `open / up`. `seek` goes through
+//! [`TrieStorage::seek_ge`]: the canonical layout gallops, so a full sweep
+//! over a level costs time proportional to the number of distinct landing
+//! positions times `log` of the jump distances — this is what makes LFTJ
+//! worst-case optimal and is also the "leapfrogging" idea the paper credits
+//! to Hwang–Lin — while the hybrid bitset layout answers the same seek with
+//! a rank lookup over its packed run.
 
-use crate::sorted;
+use crate::backend::TrieStorage;
 use crate::stats::ExecStats;
 use crate::trie::{NodeId, TrieRelation};
 use crate::value::Val;
 
-/// Cursor state for one relation.
-pub struct TrieCursor<'a> {
-    rel: &'a TrieRelation,
-    /// For each open depth `d ≥ 1`: the global sibling range in level `d−1`
-    /// and the current global position within it.
+/// Cursor state for one relation (defaults to the canonical
+/// [`TrieRelation`] backend).
+pub struct TrieCursor<'a, S: TrieStorage = TrieRelation> {
+    rel: &'a S,
+    /// For each open depth `d ≥ 1`: the parent node, its fanout, and the
+    /// current 0-based sibling index.
     frames: Vec<Frame>,
 }
 
 struct Frame {
-    lo: usize,
-    hi: usize,
+    parent: NodeId,
+    n: usize,
     cur: usize,
 }
 
-impl<'a> TrieCursor<'a> {
+impl<'a, S: TrieStorage> TrieCursor<'a, S> {
     /// Creates a cursor positioned at the root with no open level.
-    pub fn new(rel: &'a TrieRelation) -> Self {
+    pub fn new(rel: &'a S) -> Self {
         TrieCursor {
             rel,
             frames: Vec::new(),
@@ -38,7 +42,7 @@ impl<'a> TrieCursor<'a> {
     }
 
     /// The underlying relation.
-    pub fn relation(&self) -> &'a TrieRelation {
+    pub fn relation(&self) -> &'a S {
         self.rel
     }
 
@@ -51,8 +55,8 @@ impl<'a> TrieCursor<'a> {
         match self.frames.last() {
             None => self.rel.root(),
             Some(f) => {
-                assert!(f.cur < f.hi, "cursor at end");
-                node_at(self.frames.len(), f.cur)
+                assert!(f.cur < f.n, "cursor at end");
+                self.rel.child(f.parent, f.cur + 1)
             }
         }
     }
@@ -67,11 +71,10 @@ impl<'a> TrieCursor<'a> {
         if n == 0 {
             return false;
         }
-        let lo = self.rel.child(node, 1).into_pos();
         self.frames.push(Frame {
-            lo,
-            hi: lo + n,
-            cur: lo,
+            parent: node,
+            n,
+            cur: 0,
         });
         true
     }
@@ -79,13 +82,13 @@ impl<'a> TrieCursor<'a> {
     /// Closes the current level, returning to the parent node.
     pub fn up(&mut self) {
         let f = self.frames.pop().expect("no open level");
-        debug_assert!(f.lo <= f.hi);
+        debug_assert!(f.cur <= f.n);
     }
 
     /// True if the cursor has moved past the last sibling at this level.
     pub fn at_end(&self) -> bool {
         let f = self.frames.last().expect("no open level");
-        f.cur >= f.hi
+        f.cur >= f.n
     }
 
     /// The key (value) at the current position. Panics when [`at_end`].
@@ -99,46 +102,33 @@ impl<'a> TrieCursor<'a> {
     pub fn next(&mut self, stats: &mut ExecStats) {
         stats.seeks += 1;
         let f = self.frames.last_mut().expect("no open level");
-        assert!(f.cur < f.hi, "advancing past end");
+        assert!(f.cur < f.n, "advancing past end");
         f.cur += 1;
     }
 
-    /// Seeks forward to the least sibling with `key ≥ target` (galloping).
-    /// Seeks are monotone: a target below the current key leaves the cursor
-    /// in place.
+    /// Seeks forward to the least sibling with `key ≥ target`. Seeks are
+    /// monotone: a target below the current key leaves the cursor in
+    /// place.
     pub fn seek(&mut self, target: Val, stats: &mut ExecStats) {
         stats.seeks += 1;
-        let depth = self.frames.len();
-        let col = self.rel.level_column(depth - 1);
         let f = self.frames.last_mut().expect("no open level");
-        f.cur = sorted::gallop_ge(&col[..f.hi], f.cur, target);
+        let (parent, from) = (f.parent, f.cur);
+        let landed = self.rel.seek_ge(parent, from, target, stats);
+        self.frames.last_mut().expect("no open level").cur = landed;
     }
 
     /// Remaining keys at the current level from the current position.
     pub fn remaining(&self) -> &'a [Val] {
-        let depth = self.frames.len();
         let f = self.frames.last().expect("no open level");
-        &self.rel.level_column(depth - 1)[f.cur..f.hi]
-    }
-}
-
-fn node_at(depth: usize, pos: usize) -> NodeId {
-    NodeId::at(depth, pos)
-}
-
-impl NodeId {
-    pub(crate) fn at(depth: usize, pos: usize) -> NodeId {
-        NodeId { depth, pos }
-    }
-
-    pub(crate) fn into_pos(self) -> usize {
-        self.pos
+        &self.rel.child_values(f.parent)[f.cur..]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bitleaf::{BitLeafRelation, LeafPolicy, StorageRef};
+    use std::sync::Arc;
 
     fn rel() -> TrieRelation {
         TrieRelation::from_tuples(
@@ -225,5 +215,28 @@ mod tests {
         let r = TrieRelation::from_tuples("E", 1, vec![]).unwrap();
         let mut c = TrieCursor::new(&r);
         assert!(!c.open());
+    }
+
+    /// The same walk over the hybrid backend (forced dense) must visit the
+    /// same keys with the same seek accounting.
+    #[test]
+    fn walks_hybrid_backend_identically() {
+        let base = Arc::new(rel());
+        let h = BitLeafRelation::build(base.clone(), LeafPolicy::Dense).unwrap();
+        let sref = StorageRef::Hybrid(&h);
+        let mut st_s = ExecStats::new();
+        let mut st_h = ExecStats::new();
+        let mut cs = TrieCursor::new(base.as_ref());
+        let mut ch = TrieCursor::new(&sref);
+        assert_eq!(cs.open(), ch.open());
+        for target in [0, 2, 3, 7, 8] {
+            cs.seek(target, &mut st_s);
+            ch.seek(target, &mut st_h);
+            assert_eq!(cs.at_end(), ch.at_end());
+            if !cs.at_end() {
+                assert_eq!(cs.key(), ch.key());
+            }
+        }
+        assert_eq!(st_s.seeks, st_h.seeks);
     }
 }

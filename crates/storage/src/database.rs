@@ -12,6 +12,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::bitleaf::{LeafPolicy, StorageRef};
 use crate::error::StorageError;
 use crate::trie::TrieRelation;
 use crate::versioned::{VersionedRelation, WriteOp, WriteOutcome};
@@ -23,16 +24,54 @@ pub struct RelId(pub usize);
 /// A catalog of relations. Query atoms refer to relations by [`RelId`], so
 /// the same physical index can back several atoms (e.g. the three `S` atoms
 /// of the paper's star query all share one index).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Database {
     relations: Vec<VersionedRelation>,
     by_name: BTreeMap<String, RelId>,
+    policy: LeafPolicy,
+}
+
+impl Default for Database {
+    /// An empty database under [`LeafPolicy::from_env`].
+    fn default() -> Self {
+        Self::with_leaf_policy(LeafPolicy::from_env())
+    }
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database. The leaf-representation policy is read from the
+    /// `MSJ_LEAF` environment variable (defaulting to [`LeafPolicy::Auto`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty database with an explicit leaf-representation policy,
+    /// applied to every relation added afterwards.
+    pub fn with_leaf_policy(policy: LeafPolicy) -> Self {
+        Database {
+            relations: Vec::new(),
+            by_name: BTreeMap::new(),
+            policy,
+        }
+    }
+
+    /// The leaf-representation policy relations are loaded and compacted
+    /// under.
+    pub fn leaf_policy(&self) -> LeafPolicy {
+        self.policy
+    }
+
+    /// Switches the leaf-representation policy and rebuilds every
+    /// relation's hybrid index under it (existing bases are re-scanned; the
+    /// logical content and all version counters are untouched).
+    pub fn set_leaf_policy(&mut self, policy: LeafPolicy) {
+        if policy == self.policy {
+            return;
+        }
+        self.policy = policy;
+        for rel in &mut self.relations {
+            rel.set_leaf_policy(policy);
+        }
     }
 
     /// Adds a relation (as version 0 of a fresh versioned relation); its
@@ -43,7 +82,8 @@ impl Database {
         }
         let id = RelId(self.relations.len());
         self.by_name.insert(rel.name().to_string(), id);
-        self.relations.push(VersionedRelation::from_base(rel));
+        self.relations
+            .push(VersionedRelation::from_base_with_policy(rel, self.policy));
         Ok(id)
     }
 
@@ -65,6 +105,18 @@ impl Database {
     /// Fetches a relation's current snapshot by name.
     pub fn relation_by_name(&self, name: &str) -> Result<&TrieRelation, StorageError> {
         Ok(self.relation(self.id_of(name)?))
+    }
+
+    /// The storage backend executors should probe for this relation: the
+    /// hybrid dense-leaf index when one exists *and* covers the current
+    /// logical content (empty delta), otherwise the sorted snapshot. Both
+    /// answer the identical [`crate::TrieStorage`] read contract.
+    pub fn probe_target(&self, id: RelId) -> StorageRef<'_> {
+        let rel = &self.relations[id.0];
+        match rel.hybrid() {
+            Some(h) if rel.delta_is_empty() => StorageRef::Hybrid(h),
+            _ => StorageRef::Sorted(rel.snapshot()),
+        }
     }
 
     /// The versioned relation behind a handle (delta introspection, lazy
@@ -192,6 +244,28 @@ mod tests {
         assert_eq!(db.version(r), 1, "compaction is content-neutral");
         assert!(db.versioned(r).delta_is_empty());
         assert_eq!(db.compact_all(), 0);
+    }
+
+    #[test]
+    fn probe_target_tracks_delta_and_policy() {
+        use crate::backend::TrieStorage;
+        let mut db = Database::with_leaf_policy(LeafPolicy::Dense);
+        assert_eq!(db.leaf_policy(), LeafPolicy::Dense);
+        let r = db.add(unary("R", 0..16)).unwrap();
+        assert!(matches!(db.probe_target(r), StorageRef::Hybrid(_)));
+        // A pending write hides the hybrid (it covers the base only).
+        db.apply(r, &[WriteOp::Insert(vec![100])]).unwrap();
+        assert!(matches!(db.probe_target(r), StorageRef::Sorted(_)));
+        assert_eq!(db.probe_target(r).len(), 17);
+        // Compaction folds the delta and re-selects.
+        assert!(db.compact(r));
+        assert!(matches!(db.probe_target(r), StorageRef::Hybrid(_)));
+        assert_eq!(db.probe_target(r).len(), 17);
+        // Forcing sorted drops every hybrid.
+        db.set_leaf_policy(LeafPolicy::Sorted);
+        assert!(matches!(db.probe_target(r), StorageRef::Sorted(_)));
+        db.set_leaf_policy(LeafPolicy::Dense);
+        assert!(matches!(db.probe_target(r), StorageRef::Hybrid(_)));
     }
 
     #[test]

@@ -16,9 +16,8 @@
 //! measurements are unaffected by the reuse.
 
 use crate::backend::TrieStorage;
-use crate::sorted;
 use crate::stats::ExecStats;
-use crate::trie::{gap_from_cnt_le, Gap, NodeId};
+use crate::trie::{Gap, NodeId};
 use crate::value::Val;
 
 /// One remembered landing site: the node probed and the `count_le` result.
@@ -67,20 +66,26 @@ impl GapCursor {
         stats: &mut ExecStats,
     ) -> Gap {
         stats.find_gap_calls += 1;
-        let vals = rel.child_values(node);
-        let slot = &mut self.memo[node.depth()];
-        let cnt_le = match *slot {
+        let memo = &mut self.memo[node.depth()];
+        let landing = if rel.hinted_seeks(node) { *memo } else { None };
+        let cnt_le = match landing {
             // Same node, and the remembered landing is still left of (or at)
             // the answer: every value before it is ≤ a, so galloping from it
             // is sound and costs only the distance advanced.
-            Some(l) if l.node == node && (l.cnt_le == 0 || vals[l.cnt_le - 1] <= a) => {
+            Some(l)
+                if l.node == node
+                    && (l.cnt_le == 0 || rel.child_value_at(node, l.cnt_le, stats) <= a) =>
+            {
                 self.reused += 1;
-                sorted::gallop_gt(vals, l.cnt_le, a)
+                rel.seek_le(node, l.cnt_le, a, stats)
             }
-            _ => sorted::count_le(vals, a),
+            // Cold path — also taken when the backend answers ranks in
+            // O(1) (packed bitset runs report `hinted_seeks == false`),
+            // where position bookkeeping is pure overhead.
+            _ => rel.count_le(node, a, stats),
         };
-        *slot = Some(Landing { node, cnt_le });
-        gap_from_cnt_le(vals, cnt_le, a)
+        *memo = Some(Landing { node, cnt_le });
+        rel.gap_at(node, cnt_le, a, stats)
     }
 }
 

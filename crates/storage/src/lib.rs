@@ -24,11 +24,15 @@
 //!   tries with sorted in-memory deltas, merged lazily under the same
 //!   cursor contract (see `docs/STORAGE.md`),
 //! * [`TrieStorage`] — the node-level read trait every physical trie layout
-//!   implements.
+//!   implements,
+//! * [`BitLeafRelation`] — the hybrid dense-leaf layout: child runs that
+//!   pass a density test become packed `u64` bitsets with a rank
+//!   directory, selected per [`LeafPolicy`] at load/compaction time.
 
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod bitleaf;
 pub mod builder;
 pub mod cursor;
 pub mod database;
@@ -44,6 +48,7 @@ pub mod value;
 pub mod versioned;
 
 pub use backend::TrieStorage;
+pub use bitleaf::{BitLeafRelation, LeafPolicy, StorageRef, DENSE_MIN_RUN, DENSE_SPAN_FACTOR};
 pub use builder::RelationBuilder;
 pub use cursor::TrieCursor;
 pub use database::{Database, RelId};

@@ -32,6 +32,7 @@
 //! [`TrieRelation::subtree_tuple_count`] on both sides, which is what makes
 //! deletion of whole subtrees cheap.
 
+use crate::backend::TrieStorage;
 use crate::sorted;
 use crate::stats::ExecStats;
 use crate::trie::{gap_from_cnt_le, Gap, NodeId, TrieRelation, TupleIter};
@@ -69,18 +70,31 @@ impl MergeNode {
 /// assert_eq!(g.lo_val, 3);
 /// assert_eq!(st.delta_probes, 1);
 /// ```
-#[derive(Debug, Clone, Copy)]
-pub struct MergeView<'a> {
-    base: &'a TrieRelation,
+///
+/// The base side is generic over [`TrieStorage`] (defaulting to the
+/// canonical [`TrieRelation`]), so a hybrid bitset base answers the
+/// empty-delta fast path and all liveness bookkeeping through its packed
+/// runs; the deltas themselves are always small sorted tries.
+#[derive(Debug)]
+pub struct MergeView<'a, B: TrieStorage = TrieRelation> {
+    base: &'a B,
     ins: &'a TrieRelation,
     del: &'a TrieRelation,
 }
 
-impl<'a> MergeView<'a> {
+impl<B: TrieStorage> Clone for MergeView<'_, B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<B: TrieStorage> Copy for MergeView<'_, B> {}
+
+impl<'a, B: TrieStorage> MergeView<'a, B> {
     /// Builds a view over a base trie and its deltas. All three must share
     /// one arity; the caller (the versioned relation) maintains the set
     /// invariants `ins ∩ base = ∅` and `del ⊆ base`.
-    pub fn new(base: &'a TrieRelation, ins: &'a TrieRelation, del: &'a TrieRelation) -> Self {
+    pub fn new(base: &'a B, ins: &'a TrieRelation, del: &'a TrieRelation) -> Self {
         assert_eq!(base.arity(), ins.arity(), "insert delta arity mismatch");
         assert_eq!(base.arity(), del.arity(), "tombstone delta arity mismatch");
         MergeView { base, ins, del }
@@ -125,6 +139,10 @@ impl<'a> MergeView<'a> {
         node.map_or(&[][..], |n| rel.child_values(n))
     }
 
+    fn base_vals(&self, node: Option<NodeId>) -> &'a [Val] {
+        node.map_or(&[][..], |n| self.base.child_values(n))
+    }
+
     /// True when the base child at 0-based index `idx` under `node` is fully
     /// tombstoned (its whole subtree is in `del`). One merge step.
     fn base_child_dead(&self, node: &MergeNode, idx: usize, stats: &mut ExecStats) -> bool {
@@ -151,11 +169,20 @@ impl<'a> MergeView<'a> {
     /// `merge_steps` per liveness/union step.
     pub fn find_gap(&self, node: &MergeNode, a: Val, stats: &mut ExecStats) -> Gap {
         stats.find_gap_calls += 1;
-        let base_vals = Self::side_vals(self.base, node.base);
+        let base_vals = self.base_vals(node.base);
         let ins_vals = Self::side_vals(self.ins, node.ins);
         let del_vals = Self::side_vals(self.del, node.del);
         if ins_vals.is_empty() && del_vals.is_empty() {
-            return gap_from_cnt_le(base_vals, sorted::count_le(base_vals, a), a);
+            // Clean node: the merged answer is the base's answer, routed
+            // through the storage trait so a packed bitset run answers in
+            // O(1) rank + select instead of a binary search.
+            return match node.base {
+                Some(bn) => {
+                    let cnt_le = self.base.count_le(bn, a, stats);
+                    self.base.gap_at(bn, cnt_le, a, stats)
+                }
+                None => gap_from_cnt_le(&[], 0, a),
+            };
         }
         stats.delta_probes += 1;
 
@@ -281,7 +308,7 @@ impl<'a> MergeView<'a> {
     /// The sorted merged child values of `node` (allocates; the lazy probes
     /// above never need the full list).
     pub fn child_values(&self, node: &MergeNode, stats: &mut ExecStats) -> Vec<Val> {
-        let base_vals = Self::side_vals(self.base, node.base);
+        let base_vals = self.base_vals(node.base);
         let ins_vals = Self::side_vals(self.ins, node.ins);
         let mut out = Vec::with_capacity(base_vals.len() + ins_vals.len());
         let (mut i, mut j) = (0, 0);
@@ -315,9 +342,9 @@ impl<'a> MergeView<'a> {
     }
 
     /// Iterates the merged tuples in lexicographic order.
-    pub fn iter_tuples(&self) -> MergeIter<'a> {
+    pub fn iter_tuples(&self) -> MergeIter<'a, B> {
         MergeIter {
-            base: self.base.iter_tuples().peekable(),
+            base: self.base.tuples().peekable(),
             ins: self.ins.iter_tuples().peekable(),
             del: self.del.iter_tuples().peekable(),
             steps: 0,
@@ -336,14 +363,14 @@ impl<'a> MergeView<'a> {
 }
 
 /// Merging iterator over `(base ∖ del) ∪ ins` in lexicographic order.
-pub struct MergeIter<'a> {
-    base: std::iter::Peekable<TupleIter<'a>>,
+pub struct MergeIter<'a, B: TrieStorage = TrieRelation> {
+    base: std::iter::Peekable<TupleIter<'a, B>>,
     ins: std::iter::Peekable<TupleIter<'a>>,
     del: std::iter::Peekable<TupleIter<'a>>,
     steps: u64,
 }
 
-impl<'a> MergeIter<'a> {
+impl<B: TrieStorage> MergeIter<'_, B> {
     /// Elementary merge steps taken so far (one per tuple advanced on any
     /// side); feeds [`ExecStats::merge_steps`] in the `mutation` bench.
     pub fn steps(&self) -> u64 {
@@ -351,7 +378,7 @@ impl<'a> MergeIter<'a> {
     }
 }
 
-impl<'a> Iterator for MergeIter<'a> {
+impl<B: TrieStorage> Iterator for MergeIter<'_, B> {
     type Item = Tuple;
 
     fn next(&mut self) -> Option<Tuple> {
@@ -384,14 +411,14 @@ impl<'a> Iterator for MergeIter<'a> {
 /// [`crate::GapCursor`] probe pattern, for point reads and delta-aware
 /// probing without materializing a snapshot.
 #[derive(Debug, Clone)]
-pub struct MergeCursor<'a> {
-    view: MergeView<'a>,
+pub struct MergeCursor<'a, B: TrieStorage = TrieRelation> {
+    view: MergeView<'a, B>,
     stack: Vec<MergeNode>,
 }
 
-impl<'a> MergeCursor<'a> {
+impl<'a, B: TrieStorage> MergeCursor<'a, B> {
     /// A cursor positioned at the merged root.
-    pub fn new(view: MergeView<'a>) -> Self {
+    pub fn new(view: MergeView<'a, B>) -> Self {
         let root = view.root();
         MergeCursor {
             view,
@@ -400,7 +427,7 @@ impl<'a> MergeCursor<'a> {
     }
 
     /// The view this cursor walks.
-    pub fn view(&self) -> &MergeView<'a> {
+    pub fn view(&self) -> &MergeView<'a, B> {
         &self.view
     }
 
@@ -458,6 +485,11 @@ mod tests {
     /// Probes every node of the materialized merge at a range of values and
     /// demands bit-identical gaps from the lazy view.
     fn assert_equivalent(base: &TrieRelation, ins: &TrieRelation, del: &TrieRelation) {
+        assert_equivalent_on(base, ins, del);
+    }
+
+    /// [`assert_equivalent`] over any base backend.
+    fn assert_equivalent_on<B: TrieStorage>(base: &B, ins: &TrieRelation, del: &TrieRelation) {
         let view = MergeView::new(base, ins, del);
         let (mat, _) = view.materialize();
         assert_eq!(view.len(), mat.len(), "len mismatch");
@@ -467,7 +499,12 @@ mod tests {
             "tuple stream mismatch"
         );
         // Walk both tries in lockstep, probing each interior node.
-        fn walk(view: &MergeView, vnode: &MergeNode, mat: &TrieRelation, mnode: NodeId) {
+        fn walk<B: TrieStorage>(
+            view: &MergeView<B>,
+            vnode: &MergeNode,
+            mat: &TrieRelation,
+            mnode: NodeId,
+        ) {
             let mut st = ExecStats::new();
             let mvals: Vec<Val> = mat.child_values(mnode).to_vec();
             assert_eq!(
@@ -603,6 +640,45 @@ mod tests {
         assert!(cur.up());
         assert!(!cur.up());
         assert!(cur.view().contains(&[1, 8], &mut st));
+    }
+
+    /// The merge contract must hold verbatim when the base side is the
+    /// hybrid bitset backend: same gaps, same child values, same tuple
+    /// stream as the materialized merge.
+    #[test]
+    fn hybrid_base_honours_merge_contract() {
+        use crate::bitleaf::{BitLeafRelation, LeafPolicy};
+        use std::sync::Arc;
+        let mut tuples: Vec<Vec<Val>> = (0..32).map(|v| vec![1, v]).collect();
+        tuples.push(vec![5, 2]);
+        tuples.push(vec![900_000, 7]);
+        let base = Arc::new(TrieRelation::from_tuples("R", 2, tuples).unwrap());
+        let ins = rel("R", 2, &[&[0, 1], &[1, 100], &[5, 3]]);
+        let del = rel("R", 2, &[&[1, 3], &[1, 4], &[5, 2]]);
+        let hybrid = BitLeafRelation::build(base.clone(), LeafPolicy::Dense).unwrap();
+        assert!(hybrid.dense_run_count() >= 1);
+        assert_equivalent_on(&hybrid, &ins, &del);
+        assert_equivalent_on(&hybrid, &empty(2), &empty(2));
+        // Empty-delta fast path goes through the packed run.
+        let (e1, e2) = (empty(2), empty(2));
+        let view = MergeView::new(&hybrid, &e1, &e2);
+        let mut st = ExecStats::new();
+        let node = view.child_by_value(&view.root(), 1, &mut st).unwrap();
+        let g = view.find_gap(&node, 16, &mut st);
+        assert!(g.exact());
+        assert!(st.bitset_probes > 0, "dense run must answer the probe");
+        // And the lazy view with deltas agrees with the sorted-base view
+        // probe for probe.
+        let vh = MergeView::new(&hybrid, &ins, &del);
+        let vs = MergeView::new(base.as_ref(), &ins, &del);
+        for a in [NEG_INF, -1, 0, 1, 3, 4, 5, 31, 100, 900_000, POS_INF] {
+            let mut s1 = ExecStats::new();
+            let mut s2 = ExecStats::new();
+            assert_eq!(
+                vh.find_gap(&vh.root(), a, &mut s1),
+                vs.find_gap(&vs.root(), a, &mut s2),
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! **equi-depth** split of `(−∞, +∞)` into at most `k` contiguous
 //! [`ShardBounds`], weighted by how many tuples of the primary relation
 //! fall under each distinct first-column value
-//! ([`TrieRelation::first_level_tuple_counts`]).
+//! ([`crate::TrieRelation::first_level_tuple_counts`]).
 //!
 //! Skew is handled in two stages. First, [`equi_depth_shards`] **isolates
 //! heavy values**: a value whose weight alone reaches twice the ideal
@@ -24,7 +24,8 @@
 
 use std::cmp::Ordering;
 
-use crate::trie::{NodeId, TrieRelation};
+use crate::backend::TrieStorage;
+use crate::trie::NodeId;
 use crate::value::{Tuple, Val, NEG_INF, POS_INF};
 
 /// One contiguous, inclusive interval `[lo, hi]` of the first GAO
@@ -222,7 +223,7 @@ impl GaoOrder {
 /// values.
 ///
 /// `values` are the distinct first-column values of the primary relation
-/// (sorted ascending, as [`TrieRelation::first_column`] returns them) and
+/// (sorted ascending, as [`crate::TrieRelation::first_column`] returns them) and
 /// `weights[i]` is the number of tuples under `values[i]`. The split is
 /// greedy equi-depth: cut whenever the running weight reaches the next
 /// multiple of `total / k`, so every shard holds at least one distinct
@@ -292,9 +293,12 @@ pub fn equi_depth_shards(values: &[Val], weights: &[usize], k: usize) -> Vec<Sha
 }
 
 /// [`equi_depth_shards`] over a primary relation: distinct first-column
-/// values weighted by their subtree tuple counts.
-pub fn shard_relation(rel: &TrieRelation, k: usize) -> Vec<ShardBounds> {
-    equi_depth_shards(rel.first_column(), &rel.first_level_tuple_counts(), k)
+/// values weighted by their subtree tuple counts. Generic over
+/// [`TrieStorage`], so sharding profiles come off whichever physical
+/// layout the executor probes.
+pub fn shard_relation<S: TrieStorage>(rel: &S, k: usize) -> Vec<ShardBounds> {
+    let root = rel.root();
+    equi_depth_shards(rel.child_values(root), &rel.child_tuple_counts(root), k)
 }
 
 /// Splits one heavy duplicate run on the **second** attribute: `bounds`
@@ -326,7 +330,7 @@ pub fn nested_shards(
 /// descending `[v]` from the root, paired with their subtree tuple
 /// counts — the weight vector [`nested_shards`] consumes. Empty when `v`
 /// is not a first-column value or the relation is unary.
-pub fn second_level_profile(rel: &TrieRelation, v: Val) -> (Vec<Val>, Vec<usize>) {
+pub fn second_level_profile<S: TrieStorage>(rel: &S, v: Val) -> (Vec<Val>, Vec<usize>) {
     if rel.arity() < 2 {
         return (Vec::new(), Vec::new());
     }
@@ -337,7 +341,7 @@ pub fn second_level_profile(rel: &TrieRelation, v: Val) -> (Vec<Val>, Vec<usize>
     profile_of(rel, node)
 }
 
-fn profile_of(rel: &TrieRelation, node: NodeId) -> (Vec<Val>, Vec<usize>) {
+fn profile_of<S: TrieStorage>(rel: &S, node: NodeId) -> (Vec<Val>, Vec<usize>) {
     (
         rel.child_values(node).to_vec(),
         rel.child_tuple_counts(node),
@@ -347,6 +351,7 @@ fn profile_of(rel: &TrieRelation, node: NodeId) -> (Vec<Val>, Vec<usize>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trie::TrieRelation;
 
     fn check_cover(shards: &[ShardBounds]) {
         assert!(!shards.is_empty());

@@ -42,6 +42,18 @@ pub struct ExecStats {
     /// (per-value union/liveness work in `FindGap`, and per-tuple steps of
     /// the merging iterator that materializes snapshots and compactions).
     pub merge_steps: u64,
+    /// `u64` bitset words examined by dense-leaf probes (rank lookups,
+    /// select scans, next-set-bit walks) in the hybrid
+    /// [`crate::BitLeafRelation`] backend — the word-level analogue of
+    /// `comparisons` for the packed representation.
+    pub bitset_words_scanned: u64,
+    /// Probe operations (`find_gap`, rank, select, seek) answered by a
+    /// packed bitset run instead of a sorted array.
+    pub bitset_probes: u64,
+    /// Dense (bitset-backed) runs visible to the probed atoms at stream
+    /// construction — a deterministic inventory counter, not per-probe
+    /// work (each shard of a parallel run re-counts its own view).
+    pub dense_leaves: u64,
 }
 
 impl ExecStats {
@@ -64,6 +76,9 @@ impl ExecStats {
         self.intermediate_tuples += other.intermediate_tuples;
         self.delta_probes += other.delta_probes;
         self.merge_steps += other.merge_steps;
+        self.bitset_words_scanned += other.bitset_words_scanned;
+        self.bitset_probes += other.bitset_probes;
+        self.dense_leaves += other.dense_leaves;
     }
 
     /// The certificate-size estimate used for reporting: the number of

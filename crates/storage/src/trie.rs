@@ -13,6 +13,7 @@
 //! in level `j+1`. Navigation is therefore just range-restricted binary
 //! search — `FindGap` costs `O(log |R|)` as the paper assumes.
 
+use crate::backend::TrieStorage;
 use crate::error::StorageError;
 use crate::sorted;
 use crate::stats::ExecStats;
@@ -442,17 +443,20 @@ pub(crate) fn gap_from_cnt_le(vals: &[Val], cnt_le: usize, a: Val) -> Gap {
     }
 }
 
-/// Iterator over the tuples of a [`TrieRelation`] in lexicographic order.
-pub struct TupleIter<'a> {
-    rel: &'a TrieRelation,
+/// Iterator over the tuples of any [`TrieStorage`] in lexicographic order
+/// (defaults to the canonical [`TrieRelation`]). Drives the backend purely
+/// through the navigation methods, so the hybrid bitset layout gets
+/// ordered iteration for free.
+pub struct TupleIter<'a, S: TrieStorage = TrieRelation> {
+    rel: &'a S,
     /// Stack of (node, next 1-based coordinate to visit).
     stack: Vec<(NodeId, usize)>,
     current: Tuple,
     done: bool,
 }
 
-impl<'a> TupleIter<'a> {
-    fn new(rel: &'a TrieRelation) -> Self {
+impl<'a, S: TrieStorage> TupleIter<'a, S> {
+    pub(crate) fn new(rel: &'a S) -> Self {
         TupleIter {
             rel,
             stack: vec![(rel.root(), 1)],
@@ -462,7 +466,7 @@ impl<'a> TupleIter<'a> {
     }
 }
 
-impl<'a> Iterator for TupleIter<'a> {
+impl<S: TrieStorage> Iterator for TupleIter<'_, S> {
     type Item = Tuple;
 
     fn next(&mut self) -> Option<Tuple> {

@@ -34,6 +34,7 @@
 use std::collections::BTreeSet;
 use std::sync::{Arc, OnceLock};
 
+use crate::bitleaf::{BitLeafRelation, LeafPolicy};
 use crate::error::StorageError;
 use crate::merge::MergeView;
 use crate::trie::TrieRelation;
@@ -108,20 +109,37 @@ pub struct VersionedRelation {
     compactions: u64,
     /// Materialized merge for the current version, built on first use.
     snapshot: OnceLock<Arc<TrieRelation>>,
+    /// Leaf-representation policy the hybrid index is (re)built under.
+    policy: LeafPolicy,
+    /// Hybrid dense-leaf index over `base`, rebuilt at load and compaction.
+    /// `None` when the policy (or the data) keeps every run sorted. Stays
+    /// valid across delta writes because it is tied to the immutable base.
+    hybrid: Option<Arc<BitLeafRelation>>,
 }
 
 impl VersionedRelation {
-    /// Wraps an immutable trie as version 0 with an empty delta.
+    /// Wraps an immutable trie as version 0 with an empty delta, selecting
+    /// leaf representations under [`LeafPolicy::from_env`].
     pub fn from_base(base: TrieRelation) -> Self {
+        Self::from_base_with_policy(base, LeafPolicy::from_env())
+    }
+
+    /// Wraps an immutable trie as version 0 with an empty delta, selecting
+    /// leaf representations under the given policy.
+    pub fn from_base_with_policy(base: TrieRelation, policy: LeafPolicy) -> Self {
         let ins = Self::empty_delta(&base);
         let del = ins.clone();
+        let base = Arc::new(base);
+        let hybrid = BitLeafRelation::build(base.clone(), policy).map(Arc::new);
         VersionedRelation {
-            base: Arc::new(base),
+            base,
             ins: Arc::new(ins),
             del: Arc::new(del),
             version: 0,
             compactions: 0,
             snapshot: OnceLock::new(),
+            policy,
+            hybrid,
         }
     }
 
@@ -193,6 +211,25 @@ impl VersionedRelation {
     /// The immutable base trie.
     pub fn base(&self) -> &Arc<TrieRelation> {
         &self.base
+    }
+
+    /// The leaf-representation policy this relation selects under.
+    pub fn leaf_policy(&self) -> LeafPolicy {
+        self.policy
+    }
+
+    /// The hybrid dense-leaf index over the current base, if the policy and
+    /// the data produced one. It covers the *base only* — callers must fall
+    /// back to the snapshot (or a merge view) while the delta is non-empty.
+    pub fn hybrid(&self) -> Option<&Arc<BitLeafRelation>> {
+        self.hybrid.as_ref()
+    }
+
+    /// Switches the leaf policy and rebuilds the hybrid index over the
+    /// current base under it. Content-neutral: no version bump.
+    pub fn set_leaf_policy(&mut self, policy: LeafPolicy) {
+        self.policy = policy;
+        self.hybrid = BitLeafRelation::build(self.base.clone(), policy).map(Arc::new);
     }
 
     /// Lazy merged view of the current version — probes consult base plus
@@ -284,8 +321,9 @@ impl VersionedRelation {
     }
 
     /// Folds the delta into a fresh immutable base (reusing the snapshot if
-    /// one was already materialized). Logical content and version are
-    /// unchanged — readers holding the old base simply keep it alive via
+    /// one was already materialized) and re-selects leaf representations for
+    /// the new base under the relation's policy. Logical content and version
+    /// are unchanged — readers holding the old base simply keep it alive via
     /// their `Arc`. Returns false (and does nothing) when the delta is
     /// empty.
     pub fn compact(&mut self) -> bool {
@@ -296,6 +334,7 @@ impl VersionedRelation {
         self.ins = Arc::new(Self::empty_delta(&self.base));
         self.del = Arc::new(Self::empty_delta(&self.base));
         self.snapshot = OnceLock::new();
+        self.hybrid = BitLeafRelation::build(self.base.clone(), self.policy).map(Arc::new);
         self.compactions += 1;
         true
     }
@@ -394,6 +433,31 @@ mod tests {
         assert_eq!(r.base_len(), 3);
         assert_eq!(r.snapshot().to_tuples(), before);
         assert!(!r.compact(), "empty delta: nothing to fold");
+    }
+
+    #[test]
+    fn compaction_reselects_leaf_representation() {
+        // Sparse base: no dense runs under Auto.
+        let base =
+            TrieRelation::from_tuples("R", 1, vec![vec![0], vec![1000], vec![2000]]).unwrap();
+        let mut r = VersionedRelation::from_base_with_policy(base, LeafPolicy::Auto);
+        assert!(r.hybrid().is_none(), "sparse base builds no hybrid");
+        // Densify: drop the outliers, fill 1..=40 contiguously, compact.
+        let mut ops: Vec<WriteOp> = (1..=40).map(|v| WriteOp::Insert(vec![v])).collect();
+        ops.push(WriteOp::Delete(vec![1000]));
+        ops.push(WriteOp::Delete(vec![2000]));
+        r.apply(&ops).unwrap();
+        assert!(r.hybrid().is_none(), "delta writes never touch the hybrid");
+        assert!(r.compact());
+        let h = r.hybrid().expect("dense run selected after compaction");
+        assert!(h.dense_run_count() >= 1);
+        assert_eq!(h.base().len(), r.base_len());
+        // And back: delete the dense stretch, compact again.
+        let ops: Vec<WriteOp> = (3..=40).map(|v| WriteOp::Delete(vec![v])).collect();
+        r.apply(&ops).unwrap();
+        assert!(r.compact());
+        assert!(r.hybrid().is_none(), "sparse again after fold");
+        assert_eq!(r.leaf_policy(), LeafPolicy::Auto);
     }
 
     #[test]

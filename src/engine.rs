@@ -70,16 +70,16 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use minesweeper_baselines::lookup_configured;
 use minesweeper_core::{
-    plan, shard_strategy, Atom, ExplainCache, ExplainPlan, ExplainShards, MinesweeperPar, Plan,
-    PreparedExec, Query, QueryError,
+    plan, shard_strategy, Atom, ExplainCache, ExplainPlan, ExplainShards, ExplainStorage,
+    MinesweeperPar, Plan, PreparedExec, Query, QueryError,
 };
 use minesweeper_durability::{
     Batch as WalBatch, CellOp, DurabilityCounters, DurabilityOptions, DurableStore, Opened,
     RelationDump, WalRecord,
 };
 use minesweeper_storage::{
-    value::MAX_DOMAIN_VALUE, ColumnType, Database, Dictionary, ExecStats, RelId, RelationBuilder,
-    StorageError, TrieRelation, Tuple, Val, Value, WriteOp, WriteOutcome,
+    value::MAX_DOMAIN_VALUE, ColumnType, Database, Dictionary, ExecStats, LeafPolicy, RelId,
+    RelationBuilder, StorageError, TrieRelation, Tuple, Val, Value, WriteOp, WriteOutcome,
 };
 
 use crate::text::{parse_query_ast, parse_typed_relation, QueryArg, TextError};
@@ -750,6 +750,20 @@ impl Engine {
         self.auto_compact.store(on, Ordering::Relaxed);
     }
 
+    /// The leaf-representation policy the catalog selects dense bitset
+    /// leaves under (see [`LeafPolicy`]; default from `MSJ_LEAF`).
+    pub fn leaf_policy(&self) -> LeafPolicy {
+        self.db.read().unwrap().leaf_policy()
+    }
+
+    /// Switches the leaf-representation policy and rebuilds every
+    /// relation's hybrid index under it. Content- and version-neutral:
+    /// cached plans and snapshots held by running readers are unaffected.
+    pub fn set_leaf_policy(&self, policy: LeafPolicy) {
+        let mut db = self.db.write().unwrap();
+        Arc::make_mut(&mut db).set_leaf_policy(policy);
+    }
+
     /// How many threshold-triggered compactions the engine has performed.
     pub fn auto_compactions(&self) -> u64 {
         self.auto_compactions.load(Ordering::Relaxed)
@@ -1396,6 +1410,20 @@ impl PreparedStatement {
         ep.cache = Some(ExplainCache {
             hit: self.hit,
             plan_id: self.entry.id,
+        });
+        let (dense, words) = self
+            .entry
+            .query
+            .atoms
+            .iter()
+            .fold((0u64, 0u64), |(d, w), a| {
+                let t = self.db.probe_target(a.rel);
+                (d + t.dense_runs(), w + t.words_total())
+            });
+        ep.storage = Some(ExplainStorage {
+            leaf: self.db.leaf_policy().label().to_string(),
+            dense_leaves: dense,
+            bitset_words: words,
         });
         match dispatch {
             Dispatch::Parallel(threads) => {

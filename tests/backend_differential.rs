@@ -1,0 +1,356 @@
+//! Cross-backend differential harness: every registered algorithm must
+//! produce byte-identical output whether relations are probed through the
+//! sorted-array backend, the hybrid bitset backend, or a merge view, and
+//! the storage backends themselves must give identical `Gap` answers to
+//! identical `find_gap` calls.
+//!
+//! The harness is reusable: [`DifferentialHarness`] takes one logical
+//! database (a list of relations) plus a query, builds the same catalog
+//! under [`LeafPolicy::Sorted`] and [`LeafPolicy::Dense`], and offers
+//! three checks — stream equality over the whole algorithm registry
+//! (serial and with `--threads`), per-call gap equality across
+//! (sorted, hybrid, merge-view) on every trie node, and counter sanity.
+//! Randomized schemas/data run through proptest; a seeded regression
+//! corpus pins the shapes that exercise dense runs, word boundaries, and
+//! empty relations deterministically.
+
+use proptest::prelude::*;
+
+use minesweeper_join::baselines::{algorithms, lookup_configured};
+use minesweeper_join::core::{naive_join, Query};
+use minesweeper_join::storage::{
+    builder::RelationBuilder, BitLeafRelation, Database, ExecStats, LeafPolicy, MergeView,
+    TrieRelation, TrieStorage, Tuple, Val, NEG_INF, POS_INF,
+};
+use std::sync::Arc;
+
+/// One relation of the logical database: name, arity, tuples.
+struct RelSpec {
+    name: &'static str,
+    arity: usize,
+    tuples: Vec<Tuple>,
+}
+
+impl RelSpec {
+    fn build(&self) -> TrieRelation {
+        let mut b = RelationBuilder::new(self.name, self.arity);
+        for t in &self.tuples {
+            b.push(t);
+        }
+        b.build().expect("valid differential relation")
+    }
+}
+
+/// The same logical database loaded under both leaf policies, plus the
+/// query to differentiate on.
+struct DifferentialHarness {
+    sorted: Database,
+    dense: Database,
+    rels: Vec<RelSpec>,
+    query: Query,
+}
+
+impl DifferentialHarness {
+    /// Builds both catalogs; `mk_query` receives the attribute count
+    /// implied by the caller and the relation handles in `rels` order
+    /// (identical across the two catalogs by construction).
+    fn new(rels: Vec<RelSpec>, mk_query: impl Fn(&Database) -> Query) -> Self {
+        let mut sorted = Database::with_leaf_policy(LeafPolicy::Sorted);
+        let mut dense = Database::with_leaf_policy(LeafPolicy::Dense);
+        for r in &rels {
+            sorted.add(r.build()).expect("unique names");
+            dense.add(r.build()).expect("unique names");
+        }
+        let query = mk_query(&sorted);
+        DifferentialHarness {
+            sorted,
+            dense,
+            rels,
+            query,
+        }
+    }
+
+    /// Every supporting registry algorithm — serial, plus the parallel
+    /// engine at 2 workers — must emit byte-identical tuple streams over
+    /// the two backends, and both must equal the naive oracle.
+    fn assert_streams_identical(&self) {
+        let oracle = naive_join(&self.sorted, &self.query).unwrap();
+        let mut entries = algorithms();
+        entries.push(lookup_configured("minesweeper-par", Some(2)).unwrap());
+        for algo in entries {
+            if !algo.supports(&self.query) {
+                continue;
+            }
+            let on_sorted = algo.run(&self.sorted, &self.query).unwrap();
+            let on_dense = algo.run(&self.dense, &self.query).unwrap();
+            assert_eq!(
+                on_sorted.tuples,
+                on_dense.tuples,
+                "{}: sorted vs hybrid streams diverge",
+                algo.name()
+            );
+            assert_eq!(
+                on_sorted.tuples,
+                oracle,
+                "{}: diverges from the oracle",
+                algo.name()
+            );
+            assert_eq!(
+                on_sorted.stats.bitset_probes,
+                0,
+                "{}: sorted backend must never touch a bitset",
+                algo.name()
+            );
+            assert_eq!(on_sorted.stats.dense_leaves, 0, "{}", algo.name());
+        }
+    }
+
+    /// Walks every node of every relation and asserts that the sorted
+    /// trie, the forced-dense hybrid, and an empty-delta merge view give
+    /// the identical `Gap` to the identical `find_gap` call, for every
+    /// stored value, its neighbours, and the infinities.
+    fn assert_gaps_identical(&self) {
+        for spec in &self.rels {
+            let base = Arc::new(spec.build());
+            let hybrid = BitLeafRelation::build(base.clone(), LeafPolicy::Dense)
+                .expect("Dense policy always builds");
+            let empty_ins = RelationBuilder::new(spec.name, spec.arity).build().unwrap();
+            let empty_del = RelationBuilder::new(spec.name, spec.arity).build().unwrap();
+            let view = MergeView::new(base.as_ref(), &empty_ins, &empty_del);
+            let mut stack = vec![(base.root(), view.root())];
+            while let Some((node, vnode)) = stack.pop() {
+                let vals = base.child_values(node);
+                let mut probes: Vec<Val> = vec![NEG_INF, POS_INF, 0];
+                for &v in vals {
+                    probes.extend([v - 1, v, v + 1]);
+                }
+                for a in probes {
+                    let mut s0 = ExecStats::new();
+                    let mut s1 = ExecStats::new();
+                    let mut s2 = ExecStats::new();
+                    let g0 = base.find_gap(node, a, &mut s0);
+                    let g1 = TrieStorage::find_gap(&hybrid, node, a, &mut s1);
+                    let g2 = view.find_gap(&vnode, a, &mut s2);
+                    assert_eq!(g0, g1, "{}: hybrid gap at {a} node {node:?}", spec.name);
+                    assert_eq!(g0, g2, "{}: merge gap at {a} node {node:?}", spec.name);
+                    assert_eq!(
+                        s0.find_gap_calls, s1.find_gap_calls,
+                        "find_gap accounting must match"
+                    );
+                }
+                if node.depth() + 1 < spec.arity {
+                    for coord in 1..=base.child_count(node) {
+                        let child = base.child(node, coord);
+                        let mut st = ExecStats::new();
+                        let vchild = view
+                            .child_by_value(&vnode, base.value(child), &mut st)
+                            .expect("merge view mirrors the base");
+                        stack.push((child, vchild));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counter sanity on the hybrid side: when the data produced dense
+    /// runs, the dense-backed execution must report them (and touch the
+    /// bitsets); without dense runs the counters stay zero.
+    fn assert_stats_sane(&self) {
+        let has_dense = (0..self.rels.len()).any(|i| {
+            self.dense
+                .probe_target(minesweeper_join::storage::RelId(i))
+                .dense_runs()
+                > 0
+        });
+        let ms = algorithms().remove(0);
+        let res = ms.run(&self.dense, &self.query).unwrap();
+        if has_dense {
+            assert!(res.stats.dense_leaves > 0, "dense runs must be reported");
+            assert!(res.stats.bitset_probes > 0, "dense runs must answer probes");
+        } else {
+            assert_eq!(res.stats.dense_leaves, 0);
+            assert_eq!(res.stats.bitset_probes, 0);
+        }
+        assert_eq!(
+            res.stats.bitset_probes == 0,
+            res.stats.bitset_words_scanned == 0,
+            "words are scanned exactly when bitsets are probed"
+        );
+    }
+
+    /// All three checks.
+    fn assert_all(&self) {
+        self.assert_streams_identical();
+        self.assert_gaps_identical();
+        self.assert_stats_sane();
+    }
+}
+
+/// Bow-tie harness: `R(x) ⋈ S(x, y) ⋈ T(y)`.
+fn bowtie(r: Vec<Val>, s: Vec<(Val, Val)>, t: Vec<Val>) -> DifferentialHarness {
+    DifferentialHarness::new(
+        vec![
+            RelSpec {
+                name: "R",
+                arity: 1,
+                tuples: r.into_iter().map(|v| vec![v]).collect(),
+            },
+            RelSpec {
+                name: "S",
+                arity: 2,
+                tuples: s.into_iter().map(|(a, b)| vec![a, b]).collect(),
+            },
+            RelSpec {
+                name: "T",
+                arity: 1,
+                tuples: t.into_iter().map(|v| vec![v]).collect(),
+            },
+        ],
+        |db| {
+            Query::new(2)
+                .atom(db.id_of("R").unwrap(), &[0])
+                .atom(db.id_of("S").unwrap(), &[0, 1])
+                .atom(db.id_of("T").unwrap(), &[1])
+        },
+    )
+}
+
+/// Triangle harness: `R(x,y) ⋈ S(y,z) ⋈ T(x,z)`.
+fn triangle(e: Vec<(Val, Val)>) -> DifferentialHarness {
+    let tuples: Vec<Tuple> = e.into_iter().map(|(a, b)| vec![a, b]).collect();
+    DifferentialHarness::new(
+        ["R", "S", "T"]
+            .into_iter()
+            .map(|n| RelSpec {
+                name: n,
+                arity: 2,
+                tuples: tuples.clone(),
+            })
+            .collect(),
+        |db| {
+            Query::new(3)
+                .atom(db.id_of("R").unwrap(), &[0, 1])
+                .atom(db.id_of("S").unwrap(), &[1, 2])
+                .atom(db.id_of("T").unwrap(), &[0, 2])
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Seeded regression corpus: shapes that historically distinguish the
+// backends — dense runs spanning u64 word boundaries, all-sparse data,
+// empty relations, and a dense second level under a skewed first level.
+// ---------------------------------------------------------------------
+
+#[test]
+fn regression_dense_first_level() {
+    // R and T are contiguous 0..=80: dense root runs crossing the 64-bit
+    // word boundary. S is sparse.
+    bowtie(
+        (0..=80).collect(),
+        vec![(0, 5), (63, 9), (64, 9), (80, 2)],
+        (0..=80).collect(),
+    )
+    .assert_all();
+}
+
+#[test]
+fn regression_dense_second_level() {
+    // One heavy x value with a contiguous y-run; other x values sparse.
+    let mut s: Vec<(Val, Val)> = (0..70).map(|y| (5, y)).collect();
+    s.extend([(1, 3), (9, 1000)]);
+    bowtie(vec![1, 5, 9], s, (0..70).collect()).assert_all();
+}
+
+#[test]
+fn regression_all_sparse() {
+    bowtie(
+        vec![1, 100, 10_000],
+        vec![(1, 100), (100, 10_000), (10_000, 1)],
+        vec![100, 10_000],
+    )
+    .assert_all();
+}
+
+#[test]
+fn regression_empty_relations() {
+    bowtie(vec![], vec![(1, 2)], vec![2]).assert_all();
+    bowtie((0..20).collect(), vec![], vec![]).assert_all();
+}
+
+#[test]
+fn regression_triangle_dense_edges() {
+    // A clique on 0..12: every adjacency run is dense.
+    let mut e = Vec::new();
+    for a in 0..12 {
+        for b in 0..12 {
+            if a < b {
+                e.push((a, b));
+            }
+        }
+    }
+    triangle(e).assert_all();
+}
+
+#[test]
+fn regression_word_boundary_runs() {
+    // Runs of exactly 64 and 65 values starting at a word-unaligned base.
+    let r: Vec<Val> = (61..61 + 64).collect();
+    let t: Vec<Val> = (61..61 + 65).collect();
+    let s: Vec<(Val, Val)> = r.iter().map(|&v| (v, v)).collect();
+    bowtie(r, s, t).assert_all();
+}
+
+// ---------------------------------------------------------------------
+// Randomized schemas and data.
+// ---------------------------------------------------------------------
+
+fn pairs_strategy(max_len: usize, dom: Val) -> impl Strategy<Value = Vec<(Val, Val)>> {
+    prop::collection::vec((0..dom, 0..dom), 0..max_len)
+}
+
+fn vals_strategy(max_len: usize, dom: Val) -> impl Strategy<Value = Vec<Val>> {
+    prop::collection::vec(0..dom, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random bow-ties over a small domain (dense runs appear naturally):
+    /// all backends, all algorithms, all gap answers agree.
+    #[test]
+    fn random_bowtie_differential(
+        r in vals_strategy(40, 24),
+        s in pairs_strategy(60, 24),
+        t in vals_strategy(40, 24),
+    ) {
+        bowtie(r, s, t).assert_all();
+    }
+
+    /// Random triangles: the cyclic shape exercises the general probe
+    /// mode and the dyadic CDS against both backends.
+    #[test]
+    fn random_triangle_differential(e in pairs_strategy(40, 10)) {
+        triangle(e).assert_all();
+    }
+
+    /// Random wide-domain bow-ties (mostly sparse): the Auto policy picks
+    /// sorted leaves, and Auto ≡ Sorted ≡ Dense on output.
+    #[test]
+    fn random_auto_policy_matches(
+        r in vals_strategy(30, 1000),
+        s in pairs_strategy(40, 1000),
+    ) {
+        let h = bowtie(r, s, (0..16).collect());
+        let mut auto_db = Database::with_leaf_policy(LeafPolicy::Auto);
+        for spec in &h.rels {
+            auto_db.add(spec.build()).unwrap();
+        }
+        let ms = algorithms().remove(0);
+        let a = ms.run(&auto_db, &h.query).unwrap();
+        let s0 = ms.run(&h.sorted, &h.query).unwrap();
+        let d = ms.run(&h.dense, &h.query).unwrap();
+        prop_assert_eq!(&a.tuples, &s0.tuples);
+        prop_assert_eq!(&a.tuples, &d.tuples);
+    }
+}

@@ -308,6 +308,75 @@ fn auto_compaction_opt_out_and_observational_silence() {
     );
 }
 
+/// The hybrid bitset backend rides the same write path: forcing dense
+/// leaves (or sorted) changes no answer across writes and compactions,
+/// compaction re-selects the representation for the folded base, and the
+/// `--explain` storage field reports what was selected.
+#[test]
+fn leaf_policy_is_observationally_silent_across_writes() {
+    use minesweeper_join::storage::LeafPolicy;
+
+    let policies = [LeafPolicy::Sorted, LeafPolicy::Auto, LeafPolicy::Dense];
+    let engines: Vec<Engine> = policies
+        .iter()
+        .map(|&p| {
+            let e = mutable_engine();
+            e.set_leaf_policy(p);
+            assert_eq!(e.leaf_policy(), p);
+            e
+        })
+        .collect();
+
+    // Densify R's first column (0..=40 contiguous), churn S, compact.
+    let dense_rows: Vec<(i64, i64)> = (0..=40).map(|v| (v, 5)).collect();
+    for e in &engines {
+        e.insert("R", int_rows(&dense_rows)).unwrap();
+        e.delete("S", int_rows(&[(9, 12)])).unwrap();
+        e.insert("S", int_rows(&[(9, 13)])).unwrap();
+        e.compact();
+    }
+
+    let mut option_sets = vec![
+        ExecOptions::default(),
+        ExecOptions::default().with_threads(2),
+    ];
+    for name in algorithm_names() {
+        option_sets.push(ExecOptions::default().with_algo(name));
+    }
+    for opts in &option_sets {
+        let baseline = run(&engines[0], CHAIN, opts);
+        assert!(!baseline.rows.is_empty(), "the dense rows join");
+        for (e, p) in engines.iter().zip(policies).skip(1) {
+            let got = run(e, CHAIN, opts);
+            assert_eq!(
+                baseline.rows, got.rows,
+                "policy {p:?} changed answers under {:?} threads={}",
+                opts.algo, opts.threads
+            );
+        }
+    }
+
+    // Compaction re-selected the representation: the dense engine's
+    // explain reports packed leaves, the sorted engine's reports none.
+    let opts = ExecOptions::default();
+    let sorted_ep = engines[0].prepare(CHAIN).unwrap().explain(&opts).unwrap();
+    let dense_ep = engines[2].prepare(CHAIN).unwrap().explain(&opts).unwrap();
+    let s = sorted_ep.storage.expect("engine explain fills storage");
+    let d = dense_ep.storage.expect("engine explain fills storage");
+    assert_eq!(s.leaf, "sorted");
+    assert_eq!(s.dense_leaves, 0);
+    assert_eq!(d.leaf, "dense");
+    assert!(d.dense_leaves > 0, "0..=40 run selected after compaction");
+    assert!(d.bitset_words > 0);
+
+    // Switching a live engine's policy is content-neutral too.
+    engines[2].set_leaf_policy(LeafPolicy::Sorted);
+    assert_eq!(
+        run(&engines[0], CHAIN, &opts).rows,
+        run(&engines[2], CHAIN, &opts).rows
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

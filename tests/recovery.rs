@@ -454,6 +454,81 @@ fn periodic_checkpoints_are_observationally_silent() {
     assert_eq!(stats.replayed_records, report.replayed_records);
 }
 
+/// WAL replay composes with the hybrid bitset backend: a durable engine
+/// forced to dense leaves — checkpointed after a logged compaction that
+/// selected packed runs — replays its tail onto the hybrid-compacted
+/// base and answers byte-identically to a never-crashed reference, under
+/// every registered evaluator and under either leaf policy at reopen.
+#[test]
+fn replay_onto_hybrid_compacted_checkpoint_is_byte_identical() {
+    use minesweeper_join::storage::LeafPolicy;
+
+    let tmp = TempDir::new("hybrid");
+    let e = boot_durable(tmp.path(), opts_nosync());
+    e.set_leaf_policy(LeafPolicy::Dense);
+    // Densify R's first column, fold it with a logged compaction, and
+    // checkpoint the compacted (hybrid-selected) base.
+    let dense_rows: Vec<(i64, i64)> = (0..=40).map(|v| (v, 5)).collect();
+    e.insert("R", int_rows(&dense_rows)).unwrap();
+    e.compact_logged(None).unwrap(); // no-op if auto-compact already folded
+    let ep = e
+        .prepare(CHAIN)
+        .unwrap()
+        .explain(&ExecOptions::default())
+        .unwrap();
+    let storage = ep.storage.expect("engine explain fills storage");
+    assert!(
+        storage.dense_leaves > 0,
+        "the checkpoint must capture a hybrid-selected base"
+    );
+    e.checkpoint().unwrap().unwrap();
+    // The script becomes the WAL tail that must replay on top.
+    for step in 0..STEPS {
+        apply_step(&e, step);
+    }
+    drop(e);
+
+    let fresh = reference(0);
+    fresh.insert("R", int_rows(&dense_rows)).unwrap();
+    for step in 0..STEPS {
+        apply_step(&fresh, step);
+    }
+
+    let (recovered, report) = reopen(tmp.path());
+    assert_eq!(report.replayed_records as usize, STEPS, "tail replays");
+    assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    recovered.set_leaf_policy(LeafPolicy::Dense);
+    for opts in &all_option_sets() {
+        assert_eq!(
+            snapshot(&recovered, opts),
+            snapshot(&fresh, opts),
+            "evaluator {:?} threads={} disagrees after hybrid recovery",
+            opts.algo,
+            opts.threads
+        );
+    }
+    // After folding the replayed tail, the dense run is re-selected and
+    // visible to the planner.
+    recovered.compact();
+    let ep = recovered
+        .prepare(CHAIN)
+        .unwrap()
+        .explain(&ExecOptions::default())
+        .unwrap();
+    let storage = ep.storage.expect("engine explain fills storage");
+    assert_eq!(storage.leaf, "dense");
+    assert!(storage.dense_leaves > 0, "0..=40 run survives recovery");
+    drop(recovered);
+
+    // The same directory reopened under the sorted policy agrees too.
+    let (sorted_rec, _) = reopen(tmp.path());
+    sorted_rec.set_leaf_policy(LeafPolicy::Sorted);
+    assert_eq!(
+        snapshot(&sorted_rec, &ExecOptions::default()),
+        snapshot(&fresh, &ExecOptions::default())
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
