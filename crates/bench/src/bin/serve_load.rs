@@ -13,13 +13,23 @@
 //!    streaming merge; the *row* counters stay deterministic (every
 //!    request yields exactly `k` rows) and are gated, while the probe
 //!    counters depend on cancellation timing and are reported ungated;
-//! 3. **disconnects** — clients abandon large limited streams after a
+//! 3. **prepared statements** — every client `PREPARE`s the hot shape
+//!    once, then `EXEC`s it; the `prepared`/`exec_hits` counters, the
+//!    rows, and the *parse* count (exactly one per client — EXEC skips
+//!    request parsing and planning) are all deterministic and gated;
+//! 4. **deadlines** — `timeout=0` requests expire before any work; the
+//!    `deadlines` counter is gated and — deliberately — `errors` stays
+//!    zero (a deadline is a caller-requested cancellation);
+//! 5. **disconnects** — clients abandon large limited streams after a
 //!    few rows; the count of registered disconnects is gated, and the
 //!    harness asserts the cancelled probe work stayed well below one
 //!    full execution per abandoned request.
 //!
-//! Throughout, the harness asserts the admission invariant (peak
-//! in-flight worker permits ≤ budget) and zero protocol errors.
+//! The coalesced-flush counter is gated for the serial and limited
+//! phases, whose bodies (and so whose watermark arithmetic) are
+//! deterministic. Throughout, the harness asserts the admission
+//! invariant (peak in-flight worker permits ≤ budget) and zero protocol
+//! errors.
 //!
 //! Usage: `cargo run --release -p minesweeper-bench --bin serve_load
 //! [--n edges] [--clients c] [--reps r] [--budget b] [--json FILE]`.
@@ -121,6 +131,9 @@ fn main() {
     record.metric("serve_load_serial_outputs", outputs);
     record.metric("serve_load_serial_findgap", findgap);
     record.metric("serve_load_serial_probes", probes);
+    // Deterministic bodies ⇒ deterministic watermark flushes (first
+    // line, then every --flush-rows lines): gate the coalescing.
+    record.metric("serve_load_serial_flushes", after.flushes - before.flushes);
     record.time_ms("serve_load_serial", t_serial);
 
     // Phase 2: parallel limited streams — rows deterministic (each
@@ -150,11 +163,122 @@ fn main() {
     ]);
     record.metric("serve_load_limit_requests", limit_requests);
     record.metric("serve_load_limit_rows", limit_rows);
+    record.metric("serve_load_limit_flushes", after.flushes - before.flushes);
     // Probe work under a cancelled parallel stream depends on worker
     // timing: report it for humans, keep it out of the gate.
     record.time_ms("serve_load_limit", t_limit);
 
-    // Phase 3: abandoned streams — disconnect-triggered cancellation.
+    // Phase 3: prepared statements — every client PREPAREs the hot
+    // shape once, then EXECs it `reps` times. The parse counter is the
+    // point: it moves once per client (the PREPARE), then stays flat —
+    // EXEC skips request parsing and plan lookup entirely.
+    const HOT: &str = "E(x, y), E(y, z)";
+    let before = server.stats();
+    let (prep_rows, t_prep) = timed(|| {
+        let barrier = Arc::new(Barrier::new(clients));
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    barrier.wait();
+                    match client.request(&format!("PREPARE hot -- {HOT}")) {
+                        Ok(Reply::Ok { .. }) => {}
+                        other => panic!("PREPARE failed: {other:?}"),
+                    }
+                    let mut rows = 0u64;
+                    for _ in 0..reps {
+                        match client.request("EXEC hot").expect("request") {
+                            Reply::Ok { rows: r, .. } => rows += r,
+                            Reply::Err { code, message } => {
+                                panic!("EXEC hot: ERR {code} {message}")
+                            }
+                        }
+                    }
+                    rows
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .sum::<u64>()
+    });
+    let after = server.stats();
+    let (outputs, findgap, _) = delta(&after, &before);
+    let exec_requests = (clients * reps) as u64;
+    let prepared = after.prepared - before.prepared;
+    let exec_hits = after.exec_hits - before.exec_hits;
+    let exec_parses = after.query_parses - before.query_parses;
+    assert_eq!(prepared, clients as u64, "one PREPARE per client");
+    assert_eq!(exec_hits, exec_requests, "every EXEC hit its statement");
+    assert_eq!(
+        exec_parses, clients as u64,
+        "EXEC must not parse: only the {clients} PREPAREs may move the parse counter"
+    );
+    table.row(&[
+        "prepared EXEC".into(),
+        exec_requests.to_string(),
+        human(prep_rows),
+        human(outputs),
+        human(findgap),
+        human_time(t_prep),
+    ]);
+    record.metric("serve_load_prepared", prepared);
+    record.metric("serve_load_exec_hits", exec_hits);
+    record.metric("serve_load_exec_parses", exec_parses);
+    record.metric("serve_load_exec_rows", prep_rows);
+    record.time_ms("serve_load_prepared", t_prep);
+
+    // Phase 4: deadlines — timeout=0 expires before any work, the one
+    // fully deterministic deadline. ERR DEADLINE is the expected
+    // response and `errors` must not move (asserted globally below).
+    let before = server.stats();
+    let (_, t_deadline) = timed(|| {
+        let barrier = Arc::new(Barrier::new(clients));
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    barrier.wait();
+                    for _ in 0..reps {
+                        match client
+                            .request(&format!("Q timeout=0 {HOT}"))
+                            .expect("request")
+                        {
+                            Reply::Err { code, .. } => assert_eq!(code, "DEADLINE"),
+                            Reply::Ok { rows, .. } => {
+                                panic!("timeout=0 must expire, got {rows} rows")
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client");
+        }
+    });
+    let after = server.stats();
+    let deadlines = after.deadlines - before.deadlines;
+    assert_eq!(
+        deadlines,
+        (clients * reps) as u64,
+        "every timeout=0 request must answer ERR DEADLINE"
+    );
+    table.row(&[
+        "timeout=0 deadlines".into(),
+        (clients * reps).to_string(),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+        human_time(t_deadline),
+    ]);
+    record.metric("serve_load_deadlines", deadlines);
+    record.time_ms("serve_load_deadline", t_deadline);
+
+    // Phase 5: abandoned streams — disconnect-triggered cancellation.
     let abandons = 4usize;
     let before = server.stats();
     let (_, t_abandon) = timed(|| {

@@ -6,6 +6,7 @@
 //!     [--algo NAME] [--explain] [--explain-json] [--stats] [--limit K] \
 //!     [--threads N] [--data-dir DIR]
 //! msj serve  --rel NAME=FILE ... [--addr 127.0.0.1:PORT] [--budget N] \
+//!     [--default-timeout MS] [--flush-rows N] [--flush-bytes N] \
 //!     [--data-dir DIR] [--fsync always|never|every=N] \
 //!     [--checkpoint-every N] [--no-auto-compact]
 //! msj client --addr 127.0.0.1:PORT
@@ -45,10 +46,14 @@
 //! the line protocol documented in `docs/SERVICE.md` on `--addr`
 //! (default `127.0.0.1:0`; the chosen address is printed as the first
 //! stdout line, `listening on HOST:PORT`). Each request line carries
-//! per-request options (`Q algo=… threads=… limit=… explain …`), all
+//! per-request options (`Q algo=… threads=… limit=… timeout=… explain …`),
+//! hot shapes can be `PREPARE`d once and `EXEC`d by name, all
 //! connections share one engine (and so one plan/re-index cache), and a
 //! global `--budget` of pool workers (default: the CPU count) bounds
-//! concurrent execution. **`msj client`** sends each stdin line as a
+//! concurrent execution. `--default-timeout MS` arms a server-wide
+//! deadline for requests that do not carry their own `timeout=`;
+//! `--flush-rows` / `--flush-bytes` tune the response batching
+//! watermarks. **`msj client`** sends each stdin line as a
 //! request and prints response bodies to stdout — byte-identical to
 //! what the one-shot CLI prints for the same query and options.
 //!
@@ -93,6 +98,7 @@ fn usage() -> ExitCode {
          [--algo NAME] [--explain] [--explain-json] [--stats] [--limit K] [--threads N] \
          [--data-dir DIR]\n\
          \x20      msj serve --rel NAME=FILE [...] [--addr HOST:PORT] [--budget N]\n\
+         \x20                [--default-timeout MS] [--flush-rows N] [--flush-bytes N]\n\
          \x20                [--data-dir DIR] [--fsync always|never|every=N]\n\
          \x20                [--checkpoint-every N] [--no-auto-compact]\n\
          \x20      msj client --addr HOST:PORT  (requests on stdin; see docs/SERVICE.md)\n\
@@ -247,7 +253,7 @@ fn main() -> ExitCode {
 fn serve_main(args: &[String]) -> ExitCode {
     let mut rels: Vec<(String, String)> = Vec::new();
     let mut addr = "127.0.0.1:0".to_string();
-    let mut budget = server::default_budget();
+    let mut options = server::ServerOptions::default();
     let mut data_dir: Option<String> = None;
     let mut durability = DurabilityOptions::default();
     let mut durability_flags = false;
@@ -277,7 +283,32 @@ fn serve_main(args: &[String]) -> ExitCode {
                 let Some(b) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
                     return usage();
                 };
-                budget = b;
+                options.budget = b;
+                i += 2;
+            }
+            "--default-timeout" => {
+                let Some(ms) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                options.default_timeout = Some(std::time::Duration::from_millis(ms));
+                i += 2;
+            }
+            "--flush-rows" => {
+                let parsed = args.get(i + 1).and_then(|s| s.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|&n| n > 0) else {
+                    eprintln!("--flush-rows expects a positive line count");
+                    return ExitCode::from(2);
+                };
+                options.flush_rows = n;
+                i += 2;
+            }
+            "--flush-bytes" => {
+                let parsed = args.get(i + 1).and_then(|s| s.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|&n| n > 0) else {
+                    eprintln!("--flush-bytes expects a positive byte count");
+                    return ExitCode::from(2);
+                };
+                options.flush_bytes = n;
                 i += 2;
             }
             "--data-dir" => {
@@ -334,7 +365,7 @@ fn serve_main(args: &[String]) -> ExitCode {
     };
     engine.set_auto_compact(auto_compact);
     let engine = Arc::new(engine);
-    let server = match Server::start(Arc::clone(&engine), &addr, budget) {
+    let server = match Server::start_with(Arc::clone(&engine), &addr, options) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot serve on {addr}: {e}");
@@ -650,6 +681,7 @@ fn query_main(args: &[String]) -> ExitCode {
         },
         limit,
         collect_stats: true,
+        deadline: None,
     };
     let kind = match stmt.dispatch_kind(&opts) {
         Ok(k) => k,

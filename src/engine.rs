@@ -67,6 +67,7 @@ use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
 use minesweeper_baselines::lookup_configured;
 use minesweeper_core::{
@@ -130,6 +131,10 @@ pub enum EngineError {
     },
     /// `ExecOptions::algo` named no registered algorithm.
     UnknownAlgorithm(String),
+    /// The execution deadline ([`ExecOptions::deadline`]) passed before
+    /// the statement completed. The query itself was fine — this reports
+    /// an execution cut short, so it is *not* a query rejection.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for EngineError {
@@ -164,6 +169,7 @@ impl fmt::Display for EngineError {
                  {expected}"
             ),
             EngineError::UnknownAlgorithm(name) => write!(f, "unknown algorithm {name:?}"),
+            EngineError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -182,6 +188,7 @@ impl EngineError {
             EngineError::TypeMismatch { .. } => "TYPE",
             EngineError::RowArity { .. } | EngineError::ValueType { .. } => "LOAD",
             EngineError::UnknownAlgorithm(_) => "ALGO",
+            EngineError::DeadlineExceeded => "DEADLINE",
         }
     }
 
@@ -240,6 +247,14 @@ pub struct ExecOptions {
     /// Attach [`ExecStats`] (and per-shard stats, when sharded) to the
     /// result.
     pub collect_stats: bool,
+    /// Cancel execution at this instant. Streaming paths stop yielding
+    /// (see [`StatementStream::deadline_expired`]) and materializing
+    /// paths return [`EngineError::DeadlineExceeded`]; either way the
+    /// remaining probe work — queued and in-flight shards included — is
+    /// abandoned. Baseline evaluators run to completion and honour the
+    /// deadline only when they finish. `None` (the default) never
+    /// expires and leaves every execution path exactly as it was.
+    pub deadline: Option<Instant>,
 }
 
 impl ExecOptions {
@@ -266,6 +281,18 @@ impl ExecOptions {
         self.collect_stats = true;
         self
     }
+
+    /// Sets the execution deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// True when `deadline` is set and has passed. Callers poll this between
+/// tuples — `Instant::now()` is tens of nanoseconds, far below one probe.
+fn deadline_expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// One row-level write in an [`Engine::apply_batch`] batch, with typed
@@ -454,6 +481,12 @@ pub struct Engine {
     /// versions, cached plans, and reader snapshots are unaffected.
     auto_compact: AtomicBool,
     auto_compactions: AtomicU64,
+    /// Query-text parses performed by [`Engine::prepare`]. Deliberately
+    /// *not* a cache-hit counter: it counts trips through the text front
+    /// end, which is exactly the work the service's `PREPARE`/`EXEC`
+    /// verbs exist to skip — `EXEC` never bumps it, so the counter stays
+    /// flat across repeated executions of a prepared statement.
+    parses: AtomicU64,
 }
 
 impl Default for Engine {
@@ -467,6 +500,7 @@ impl Default for Engine {
             durability: None,
             auto_compact: AtomicBool::new(true),
             auto_compactions: AtomicU64::new(0),
+            parses: AtomicU64::new(0),
         }
     }
 }
@@ -769,6 +803,15 @@ impl Engine {
         self.auto_compactions.load(Ordering::Relaxed)
     }
 
+    /// How many query texts [`Engine::prepare`] has parsed. Executing an
+    /// already-prepared statement never parses, so a service holding
+    /// statements across requests (the `PREPARE`/`EXEC` verbs) keeps
+    /// this flat — the deterministic evidence that the text front end
+    /// was skipped.
+    pub fn query_parses(&self) -> u64 {
+        self.parses.load(Ordering::Relaxed)
+    }
+
     /// Current version counter of a relation (bumped per content-changing
     /// batch; the cache-invalidation key).
     pub fn relation_version(&self, relation: &str) -> Result<u64, EngineError> {
@@ -1046,6 +1089,7 @@ impl Engine {
     /// writes never change what it returns (snapshot isolation);
     /// re-prepare to observe them.
     pub fn prepare(&self, text: &str) -> Result<PreparedStatement, EngineError> {
+        self.parses.fetch_add(1, Ordering::Relaxed);
         let db = self.db();
         let dict = self.dict();
         let ast = parse_query_ast(text)?;
@@ -1364,6 +1408,19 @@ impl PreparedStatement {
         self.hit
     }
 
+    /// True when every relation this statement touches still carries the
+    /// version it was prepared against in `db`. A service holding
+    /// statements across requests (the `PREPARE` verb) checks this before
+    /// each execution: a statement always answers from its own snapshot
+    /// (isolation), so a `false` here means re-preparing is required for
+    /// the execution to observe later writes.
+    pub fn is_current(&self, db: &Database) -> bool {
+        self.entry
+            .versions
+            .iter()
+            .all(|&(rel, version)| db.version(rel) == version)
+    }
+
     /// The worker count `opts` resolves to: `Some(t)` when the sharded
     /// engine will run with `t` workers (explicit `threads`, or
     /// `minesweeper-par`'s hardware default), `None` for serial and
@@ -1498,6 +1555,9 @@ impl PreparedStatement {
     pub fn execute(&self, opts: &ExecOptions) -> Result<StatementResult, EngineError> {
         let entry = &self.entry;
         let db = &self.db;
+        if deadline_expired(opts.deadline) {
+            return Err(EngineError::DeadlineExceeded);
+        }
         if self.vacuous {
             let _ = self.dispatch(opts)?; // still surface unknown-algo errors
             return Ok(StatementResult {
@@ -1510,9 +1570,30 @@ impl PreparedStatement {
         }
         let (tuples, stats, shards, truncated) = match self.dispatch(opts)? {
             Dispatch::Serial => match opts.limit {
-                None => {
+                None if opts.deadline.is_none() => {
                     let exec = entry.exec(db).execute_seeded(db, &self.seeds);
                     (exec.result.tuples, exec.result.stats, None, false)
+                }
+                None => {
+                    // Deadline-aware materialization: collect from the
+                    // lazy stream (checking the clock between tuples) and
+                    // sort — the same set of tuples `execute_seeded`
+                    // materializes, in the same final order, but it can
+                    // stop mid-probe instead of running to completion.
+                    let mut stream = entry.exec(db).stream_seeded(db, &self.seeds);
+                    let mut tuples: Vec<Tuple> = Vec::new();
+                    loop {
+                        if deadline_expired(opts.deadline) {
+                            return Err(EngineError::DeadlineExceeded);
+                        }
+                        match stream.next() {
+                            Some(t) => tuples.push(t),
+                            None => break,
+                        }
+                    }
+                    let stats = stream.stats();
+                    tuples.sort_unstable();
+                    (tuples, stats, None, false)
                 }
                 Some(k) => {
                     // Limit pushdown: the probe loop stops after k
@@ -1521,14 +1602,23 @@ impl PreparedStatement {
                     // Stats are snapshotted before the peek so they
                     // reflect only the shown prefix.
                     let mut stream = entry.exec(db).stream_seeded(db, &self.seeds);
-                    let mut tuples: Vec<Tuple> = stream.by_ref().take(k).collect();
+                    let mut tuples: Vec<Tuple> = Vec::with_capacity(k.min(1 << 12));
+                    while tuples.len() < k {
+                        if deadline_expired(opts.deadline) {
+                            return Err(EngineError::DeadlineExceeded);
+                        }
+                        match stream.next() {
+                            Some(t) => tuples.push(t),
+                            None => break,
+                        }
+                    }
                     let stats = stream.stats();
                     let truncated = stream.next().is_some();
                     tuples.sort_unstable();
                     (tuples, stats, None, truncated)
                 }
             },
-            Dispatch::Parallel(threads) => {
+            Dispatch::Parallel(threads) if opts.deadline.is_none() => {
                 let sharded =
                     entry
                         .exec(db)
@@ -1541,8 +1631,38 @@ impl PreparedStatement {
                     truncated,
                 )
             }
+            Dispatch::Parallel(threads) => {
+                // Deadline-aware parallel materialization through the
+                // global-order merge; on expiry the early return drops
+                // the sharded stream, which cancels queued and in-flight
+                // shard tasks exactly like a client disconnect.
+                let mut stream =
+                    entry
+                        .exec(db)
+                        .stream_parallel_seeded(db, threads, opts.limit, &self.seeds);
+                let cap = opts.limit.unwrap_or(usize::MAX);
+                let mut tuples: Vec<Tuple> = Vec::new();
+                while tuples.len() < cap {
+                    if deadline_expired(opts.deadline) {
+                        return Err(EngineError::DeadlineExceeded);
+                    }
+                    match stream.next() {
+                        Some(t) => tuples.push(t),
+                        None => break,
+                    }
+                }
+                let truncated = opts.limit.is_some_and(|k| tuples.len() == k) && stream.truncated();
+                let report = stream.finish();
+                tuples.sort_unstable();
+                (tuples, report.stats, Some(report.shards), truncated)
+            }
             Dispatch::Baseline(algo) => {
                 let res = algo.run(db, &entry.query)?;
+                // Baselines are all-at-once evaluators with no yield
+                // points; the deadline is honoured at completion.
+                if deadline_expired(opts.deadline) {
+                    return Err(EngineError::DeadlineExceeded);
+                }
                 let mut tuples: Vec<Tuple> = res
                     .tuples
                     .into_iter()
@@ -1614,6 +1734,8 @@ impl PreparedStatement {
             visible: self.visible.clone(),
             inner,
             remaining: opts.limit.unwrap_or(usize::MAX),
+            deadline: opts.deadline,
+            expired: false,
         })
     }
 }
@@ -1682,6 +1804,11 @@ pub struct StatementStream<'e> {
     visible: Vec<bool>,
     inner: StreamInner<'e>,
     remaining: usize,
+    /// Clock bound from [`ExecOptions::deadline`], checked before every
+    /// yield; once it passes, the stream reports exhaustion and
+    /// [`StatementStream::deadline_expired`] turns true.
+    deadline: Option<Instant>,
+    expired: bool,
 }
 
 impl StatementStream<'_> {
@@ -1695,6 +1822,14 @@ impl StatementStream<'_> {
             StreamInner::Sharded(s) => s.stats(),
             StreamInner::Materialized(_, stats) => stats.clone(),
         }
+    }
+
+    /// True when the stream stopped because its deadline passed rather
+    /// than because the result (or its `limit`) was exhausted. Callers
+    /// that saw `next()` return `None` branch on this to tell a complete
+    /// body from a cancelled one.
+    pub fn deadline_expired(&self) -> bool {
+        self.expired
     }
 
     /// After the stream has yielded its `limit` rows, reports whether at
@@ -1730,7 +1865,15 @@ impl Iterator for StatementStream<'_> {
     type Item = Vec<Value>;
 
     fn next(&mut self) -> Option<Vec<Value>> {
-        if self.remaining == 0 {
+        if self.remaining == 0 || self.expired {
+            return None;
+        }
+        if deadline_expired(self.deadline) {
+            // The underlying stream is simply never pulled again; when
+            // it drops (or `finish` consumes it), queued and in-flight
+            // shard work is cancelled — the disconnect path's machinery,
+            // triggered by the clock instead of a failed write.
+            self.expired = true;
             return None;
         }
         self.remaining -= 1;

@@ -98,7 +98,9 @@
 
 #[warn(missing_docs)]
 pub mod engine;
+#[warn(missing_docs)]
 pub mod render;
+#[warn(missing_docs)]
 pub mod server;
 pub mod text;
 

@@ -51,6 +51,13 @@ pub struct BodyOutcome {
     pub stats: ExecStats,
     /// Per-shard counters, when the parallel engine ran.
     pub shards: Option<Vec<ShardStats>>,
+    /// True when the request's deadline ([`ExecOptions::deadline`])
+    /// passed mid-stream: the body is a prefix, the remaining work was
+    /// cancelled server-side, and the caller owes the consumer an
+    /// `ERR DEADLINE` terminator instead of `OK`. Materializing paths
+    /// never set this — they surface expiry as
+    /// [`EngineError::DeadlineExceeded`] before any byte is written.
+    pub deadline_exceeded: bool,
 }
 
 /// One output row as tab-separated cells.
@@ -94,6 +101,7 @@ pub fn write_body(
                 disconnected: w.disconnected,
                 stats: result.stats.unwrap_or_default(),
                 shards: None,
+                deadline_exceeded: false,
             })
         }
         DispatchKind::Parallel(_) if run_opts.limit.is_some() => {
@@ -110,17 +118,23 @@ pub fn write_body(
                 w.data_line(format_args!("{}", row_text(&row)));
                 yielded += 1;
             }
-            if !w.disconnected && yielded == k && stream.truncated() {
+            // A deadline that passed mid-stream ends the body here: no
+            // truncation marker (the body is not a truthful `limit` cut),
+            // just a prefix the session terminates with `ERR DEADLINE`.
+            let deadline_exceeded = stream.deadline_expired();
+            if !w.disconnected && !deadline_exceeded && yielded == k && stream.truncated() {
                 w.line(format_args!("# … output truncated at {k}"));
             }
             // Join the workers (cancelling any still outstanding — the
-            // disconnect path) so the counters are final and stable.
+            // disconnect and deadline paths) so the counters are final
+            // and stable.
             let (stats, shards) = stream.finish();
             Ok(BodyOutcome {
                 rows: yielded,
                 disconnected: w.disconnected,
                 stats,
                 shards,
+                deadline_exceeded,
             })
         }
         DispatchKind::Serial if run_opts.limit.is_some() => {
@@ -143,7 +157,8 @@ pub fn write_body(
                 yielded += 1;
             }
             let stats = stream.stats();
-            if !w.disconnected && yielded == k && stream.next().is_some() {
+            let deadline_exceeded = stream.deadline_expired();
+            if !w.disconnected && !deadline_exceeded && yielded == k && stream.next().is_some() {
                 w.line(format_args!("# … output truncated at {k}"));
             }
             Ok(BodyOutcome {
@@ -151,6 +166,7 @@ pub fn write_body(
                 disconnected: w.disconnected,
                 stats,
                 shards: None,
+                deadline_exceeded,
             })
         }
         DispatchKind::Serial | DispatchKind::Parallel(_) => {
@@ -167,6 +183,7 @@ pub fn write_body(
                 disconnected: w.disconnected,
                 stats: result.stats.unwrap_or_default(),
                 shards: result.shards,
+                deadline_exceeded: false,
             })
         }
     }

@@ -40,6 +40,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 use crate::engine::Engine;
 use crate::render::BodyOutcome;
@@ -50,11 +51,49 @@ pub fn default_budget() -> usize {
     thread::available_parallelism().map_or(4, |n| n.get())
 }
 
+/// Default body-flush watermark in buffered lines (`--flush-rows`).
+pub const DEFAULT_FLUSH_ROWS: usize = 128;
+
+/// Default body-flush watermark in buffered bytes (`--flush-bytes`).
+pub const DEFAULT_FLUSH_BYTES: usize = 32 * 1024;
+
+/// Service configuration beyond the bind address (the `serve` flags;
+/// see `docs/OPERATIONS.md` for the operator view of each knob).
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Global admission budget in pool workers (`--budget`).
+    pub budget: usize,
+    /// Deadline budget applied to every query request that does not
+    /// carry its own `timeout=` (`--default-timeout`); `None` leaves
+    /// such requests untimed.
+    pub default_timeout: Option<Duration>,
+    /// Coalescing writer watermark: flush the response body once this
+    /// many lines are buffered (`--flush-rows`). The first body line of
+    /// a response always flushes immediately, whatever the watermarks
+    /// say, so `limit=k` first-row latency stays one flush.
+    pub flush_rows: usize,
+    /// Coalescing writer watermark: flush once this many bytes are
+    /// buffered (`--flush-bytes`), whichever watermark trips first.
+    pub flush_bytes: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            budget: default_budget(),
+            default_timeout: None,
+            flush_rows: DEFAULT_FLUSH_ROWS,
+            flush_bytes: DEFAULT_FLUSH_BYTES,
+        }
+    }
+}
+
 /// State shared by the accept loop and every session thread.
 pub(crate) struct Shared {
     pub(crate) engine: Arc<Engine>,
     pub(crate) budget: WorkerBudget,
     pub(crate) metrics: Metrics,
+    pub(crate) options: ServerOptions,
     shutdown: AtomicBool,
 }
 
@@ -107,6 +146,14 @@ impl Shared {
             checkpoints: d.checkpoints,
             recoveries: d.recoveries,
             replayed_records: d.replayed_records,
+            prepared: m.prepared.load(Ordering::Relaxed),
+            exec_hits: m.exec_hits.load(Ordering::Relaxed),
+            deadlines: m.deadlines.load(Ordering::Relaxed),
+            flushes: m.flushes.load(Ordering::Relaxed),
+            // From the engine, not Metrics: the parse counter is bumped
+            // inside `Engine::prepare`, so it also counts embedded use —
+            // the point is that EXEC never moves it.
+            query_parses: self.engine.query_parses(),
         }
     }
 }
@@ -128,6 +175,10 @@ pub(crate) struct Metrics {
     pub(crate) rows_inserted: AtomicU64,
     pub(crate) rows_deleted: AtomicU64,
     pub(crate) compactions: AtomicU64,
+    pub(crate) prepared: AtomicU64,
+    pub(crate) exec_hits: AtomicU64,
+    pub(crate) deadlines: AtomicU64,
+    pub(crate) flushes: AtomicU64,
 }
 
 impl Metrics {
@@ -198,12 +249,30 @@ pub struct ServerStats {
     pub recoveries: u64,
     /// WAL tail records replayed during that recovery.
     pub replayed_records: u64,
+    /// `PREPARE` requests that stored a statement.
+    pub prepared: u64,
+    /// `EXEC` requests served from a connection's prepared-statement map
+    /// (whether or not a staleness re-prepare was needed first).
+    pub exec_hits: u64,
+    /// Query responses terminated by `ERR DEADLINE` — work the server
+    /// cancelled itself when a request's deadline passed. Deliberately
+    /// *not* counted in `errors`: like a disconnect, a deadline is a
+    /// caller-requested cancellation, not a failed request.
+    pub deadlines: u64,
+    /// Coalesced response-body flushes (socket pushes) across all
+    /// sessions. With per-line flushing this would equal body lines;
+    /// the gap between the two is the batching win.
+    pub flushes: u64,
+    /// Query texts parsed by the engine since start (`Q` and `PREPARE`
+    /// parse; `EXEC` does not — flat `query_parses` across `EXEC`s is
+    /// the prepared-statement fast path working).
+    pub query_parses: u64,
 }
 
 impl ServerStats {
     /// The counters as `(name, value)` pairs — the `STATS` body, one
     /// `name value` line each, in this order.
-    pub fn fields(&self) -> [(&'static str, u64); 24] {
+    pub fn fields(&self) -> [(&'static str, u64); 29] {
         [
             ("connections", self.connections),
             ("active", self.active),
@@ -229,6 +298,11 @@ impl ServerStats {
             ("checkpoints", self.checkpoints),
             ("recoveries", self.recoveries),
             ("replayed_records", self.replayed_records),
+            ("prepared", self.prepared),
+            ("exec_hits", self.exec_hits),
+            ("deadlines", self.deadlines),
+            ("flushes", self.flushes),
+            ("query_parses", self.query_parses),
         ]
     }
 
@@ -265,6 +339,11 @@ impl ServerStats {
                 "checkpoints" => stats.checkpoints = value,
                 "recoveries" => stats.recoveries = value,
                 "replayed_records" => stats.replayed_records = value,
+                "prepared" => stats.prepared = value,
+                "exec_hits" => stats.exec_hits = value,
+                "deadlines" => stats.deadlines = value,
+                "flushes" => stats.flushes = value,
+                "query_parses" => stats.query_parses = value,
                 _ => return None,
             }
         }
@@ -286,14 +365,32 @@ impl Server {
     /// Binds `addr` (use port 0 to let the OS pick — the effective
     /// address is [`Server::addr`]) and starts accepting connections
     /// against `engine`, with a global admission budget of `budget`
-    /// workers.
+    /// workers and every other knob at its default.
     pub fn start(engine: Arc<Engine>, addr: &str, budget: usize) -> io::Result<Server> {
+        Self::start_with(
+            engine,
+            addr,
+            ServerOptions {
+                budget,
+                ..ServerOptions::default()
+            },
+        )
+    }
+
+    /// [`Server::start`] with the full configuration surface: admission
+    /// budget, server-wide default timeout, and body-flush watermarks.
+    pub fn start_with(
+        engine: Arc<Engine>,
+        addr: &str,
+        options: ServerOptions,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             engine,
-            budget: WorkerBudget::new(budget),
+            budget: WorkerBudget::new(options.budget),
             metrics: Metrics::default(),
+            options,
             shutdown: AtomicBool::new(false),
         });
         let accept = {
@@ -400,6 +497,11 @@ mod tests {
             checkpoints: 3,
             recoveries: 1,
             replayed_records: 7,
+            prepared: 4,
+            exec_hits: 29,
+            deadlines: 3,
+            flushes: 55,
+            query_parses: 11,
         };
         let body: String = stats
             .fields()

@@ -7,13 +7,25 @@
 //!
 //! ```text
 //! request  := "Q" { SP option } [ SP "--" ] SP query-text
+//!           | "PREPARE" SP name { SP option } [ SP "--" ] SP query-text
+//!           | "EXEC" SP name { SP override }
+//!           | "UNPREPARE" SP name
 //!           | "W" SP ("INSERT" | "DELETE") SP relation { SP cell }
 //!           | "W" SP "COMPACT" [ SP relation ]
 //!           | "W" SP "CHECKPOINT"
 //!           | "PING" | "STATS" | "QUIT"
 //! option   := "algo=" NAME | "threads=" N | "limit=" K
-//!           | "explain" | "explain=json"
+//!           | "timeout=" MS | "explain" | "explain=json"
+//! override := "limit=" K | "timeout=" MS | "threads=" N
 //! ```
+//!
+//! `PREPARE` parses and plans a query once and stores it under `name`
+//! on this connection; `EXEC name` runs it — skipping request parsing,
+//! query parsing, and plan lookup — with optional per-execution
+//! overrides; `UNPREPARE` drops it. `timeout=MS` arms a per-request
+//! deadline: when it passes mid-stream the server cancels the remaining
+//! work and terminates the response with `ERR DEADLINE` (partial body
+//! lines may precede it — the one `ERR` that can follow body lines).
 //!
 //! A `W INSERT` / `W DELETE` carries one row of whitespace-separated
 //! cells, typed by the relation's declared schema exactly like the TSV
@@ -35,6 +47,8 @@
 //! self-describing — a client strips one leading `|` per body line and
 //! recovers the CLI's bytes exactly, and no tuple content can ever be
 //! mistaken for a control line.
+
+use std::time::Duration;
 
 use crate::engine::ExecOptions;
 
@@ -62,6 +76,19 @@ pub enum WriteAction {
     Delete,
 }
 
+/// Per-execution overrides an `EXEC` line may carry on top of the
+/// options its statement was `PREPARE`d with. `None` everywhere means
+/// "run exactly as prepared".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOverrides {
+    /// Overriding `limit=` row cap.
+    pub limit: Option<usize>,
+    /// Overriding `timeout=` deadline.
+    pub timeout: Option<Duration>,
+    /// Overriding `threads=` worker count.
+    pub threads: Option<usize>,
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -69,10 +96,39 @@ pub enum Request {
     Query {
         /// Engine options the option tokens mapped onto.
         opts: ExecOptions,
+        /// Per-request deadline budget from `timeout=` (the session arms
+        /// the clock when execution starts, not at parse time).
+        timeout: Option<Duration>,
         /// `Some` when the request asks for the plan instead of rows.
         explain: Option<ExplainFormat>,
         /// The query text (everything after the options).
         text: String,
+    },
+    /// Parse and plan a query once, storing it on this connection under
+    /// a name for later `EXEC`s; response `OK 0`.
+    Prepare {
+        /// The statement's name on this connection.
+        name: String,
+        /// Default engine options executions start from.
+        opts: ExecOptions,
+        /// Default `timeout=` budget for executions.
+        timeout: Option<Duration>,
+        /// The query text (kept so a stale statement can re-prepare).
+        text: String,
+    },
+    /// Execute a statement this connection `PREPARE`d, with optional
+    /// per-execution overrides; response is a normal query response.
+    Exec {
+        /// The statement to run.
+        name: String,
+        /// Per-execution option overrides.
+        overrides: ExecOverrides,
+    },
+    /// Drop a prepared statement; response `OK 1` (dropped) or `OK 0`
+    /// (no such name).
+    Unprepare {
+        /// The statement to drop.
+        name: String,
     },
     /// Insert or delete one row of a stored relation; response
     /// `OK <changed>`.
@@ -116,10 +172,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "STATS" => expect_no_operand("STATS", rest).map(|()| Request::Stats),
         "QUIT" => expect_no_operand("QUIT", rest).map(|()| Request::Quit),
         "Q" => parse_query_request(rest),
+        "PREPARE" => parse_prepare_request(rest),
+        "EXEC" => parse_exec_request(rest),
+        "UNPREPARE" => {
+            let name = rest.trim();
+            if name.is_empty() || name.split_whitespace().nth(1).is_some() {
+                return Err("UNPREPARE takes exactly one statement name".to_string());
+            }
+            check_statement_name(name)?;
+            Ok(Request::Unprepare {
+                name: name.to_string(),
+            })
+        }
         "W" => parse_write_request(rest),
         "" => Err("empty request".to_string()),
         other => Err(format!(
-            "unknown verb {other:?} (expected Q, W, PING, STATS, or QUIT)"
+            "unknown verb {other:?} (expected Q, PREPARE, EXEC, UNPREPARE, W, PING, STATS, or \
+             QUIT)"
         )),
     }
 }
@@ -132,13 +201,117 @@ fn expect_no_operand(verb: &str, rest: &str) -> Result<(), String> {
     }
 }
 
+/// Everything the shared option-token scanner extracts from a `Q` or
+/// `PREPARE` operand.
+struct QuerySpec {
+    opts: ExecOptions,
+    timeout: Option<Duration>,
+    explain: Option<ExplainFormat>,
+    text: String,
+}
+
 /// Parses the operand of a `Q` line: leading `key=value` / `explain`
 /// option tokens, an optional `--` separator, then the query text
 /// verbatim. The first token that is not a recognized option starts the
 /// query, so relation names never collide with option syntax unless
 /// they *are* option syntax — in which case `--` disambiguates.
-fn parse_query_request(mut rest: &str) -> Result<Request, String> {
+fn parse_query_request(rest: &str) -> Result<Request, String> {
+    let spec = parse_query_spec("Q", rest)?;
+    Ok(Request::Query {
+        opts: spec.opts,
+        timeout: spec.timeout,
+        explain: spec.explain,
+        text: spec.text,
+    })
+}
+
+/// Parses the operand of a `PREPARE` line: a statement name, then the
+/// same option/query grammar as `Q` (minus `explain` — a prepared
+/// statement is for executing).
+fn parse_prepare_request(rest: &str) -> Result<Request, String> {
+    let rest = rest.trim_start();
+    let Some((name, spec_rest)) = rest.split_once(char::is_whitespace) else {
+        return Err("PREPARE needs a name and a query, e.g. PREPARE hot -- R(a,b)".to_string());
+    };
+    check_statement_name(name)?;
+    let spec = parse_query_spec("PREPARE", spec_rest)?;
+    if spec.explain.is_some() {
+        return Err("PREPARE does not take explain (EXEC runs the statement)".to_string());
+    }
+    Ok(Request::Prepare {
+        name: name.to_string(),
+        opts: spec.opts,
+        timeout: spec.timeout,
+        text: spec.text,
+    })
+}
+
+/// Parses the operand of an `EXEC` line: a statement name, then
+/// `key=value` override tokens only — there is no query text, which is
+/// the point.
+fn parse_exec_request(rest: &str) -> Result<Request, String> {
+    let mut tokens = rest.split_whitespace();
+    let Some(name) = tokens.next() else {
+        return Err("EXEC needs a statement name".to_string());
+    };
+    check_statement_name(name)?;
+    let mut overrides = ExecOverrides::default();
+    for token in tokens {
+        match token.split_once('=') {
+            Some(("limit", v)) => {
+                overrides.limit = Some(
+                    v.parse()
+                        .map_err(|_| format!("limit= expects a count, got {v:?}"))?,
+                );
+            }
+            Some(("timeout", v)) => overrides.timeout = Some(parse_timeout(v)?),
+            Some(("threads", v)) => {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("threads= expects a count, got {v:?}"))?;
+                overrides.threads = Some(n.max(1));
+            }
+            _ => {
+                return Err(format!(
+                    "EXEC takes only limit=/timeout=/threads= overrides, got {token:?}"
+                ))
+            }
+        }
+    }
+    Ok(Request::Exec {
+        name: name.to_string(),
+        overrides,
+    })
+}
+
+/// Statement names keep to identifier-ish characters so request lines
+/// stay unambiguous to eyeball and to parse.
+fn check_statement_name(name: &str) -> Result<(), String> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.');
+    if ok {
+        Ok(())
+    } else {
+        Err(format!(
+            "statement name {name:?} must be [A-Za-z0-9_.-]+ (and non-empty)"
+        ))
+    }
+}
+
+/// Parses a `timeout=` value: whole milliseconds. `0` is legal and means
+/// "already expired" — useful for deterministic cancellation tests.
+fn parse_timeout(v: &str) -> Result<Duration, String> {
+    let ms: u64 = v
+        .parse()
+        .map_err(|_| format!("timeout= expects whole milliseconds, got {v:?}"))?;
+    Ok(Duration::from_millis(ms))
+}
+
+fn parse_query_spec(verb: &str, mut rest: &str) -> Result<QuerySpec, String> {
     let mut opts = ExecOptions::default();
+    let mut timeout = None;
     let mut explain = None;
     loop {
         rest = rest.trim_start();
@@ -178,6 +351,10 @@ fn parse_query_request(mut rest: &str) -> Result<Request, String> {
                     opts.limit = Some(k);
                     true
                 }
+                Some(("timeout", v)) => {
+                    timeout = Some(parse_timeout(v)?);
+                    true
+                }
                 Some(("explain", v)) => {
                     return Err(format!("explain takes no value except json, got {v:?}"))
                 }
@@ -191,10 +368,14 @@ fn parse_query_request(mut rest: &str) -> Result<Request, String> {
     }
     let text = rest.trim();
     if text.is_empty() {
-        return Err("Q needs a query, e.g. Q limit=10 R(a,b), S(b,c)".to_string());
+        return Err(format!(
+            "{verb} needs a query, e.g. {verb}{} limit=10 R(a,b), S(b,c)",
+            if verb == "PREPARE" { " hot" } else { "" }
+        ));
     }
-    Ok(Request::Query {
+    Ok(QuerySpec {
         opts,
+        timeout,
         explain,
         text: text.to_string(),
     })
@@ -303,17 +484,85 @@ mod tests {
     fn query_options_map_onto_exec_options() {
         let Request::Query {
             opts,
+            timeout,
             explain,
             text,
-        } = parse_request("Q algo=leapfrog threads=3 limit=7 R(a,b), S(b,c)").unwrap()
+        } = parse_request("Q algo=leapfrog threads=3 limit=7 timeout=250 R(a,b), S(b,c)").unwrap()
         else {
             panic!("expected a query");
         };
         assert_eq!(opts.algo.as_deref(), Some("leapfrog"));
         assert_eq!(opts.threads, 3);
         assert_eq!(opts.limit, Some(7));
+        assert_eq!(timeout, Some(Duration::from_millis(250)));
         assert_eq!(explain, None);
         assert_eq!(text, "R(a,b), S(b,c)");
+        // Without timeout= there is no deadline budget at all.
+        let Request::Query { timeout, .. } = parse_request("Q R(a,b)").unwrap() else {
+            panic!()
+        };
+        assert_eq!(timeout, None);
+    }
+
+    #[test]
+    fn prepare_exec_unprepare_parse() {
+        let Request::Prepare {
+            name,
+            opts,
+            timeout,
+            text,
+        } = parse_request("PREPARE hot algo=leapfrog timeout=50 -- R(a,b), S(b,c)").unwrap()
+        else {
+            panic!("expected PREPARE");
+        };
+        assert_eq!(name, "hot");
+        assert_eq!(opts.algo.as_deref(), Some("leapfrog"));
+        assert_eq!(timeout, Some(Duration::from_millis(50)));
+        assert_eq!(text, "R(a,b), S(b,c)");
+
+        let Request::Exec { name, overrides } =
+            parse_request("EXEC hot limit=5 timeout=100 threads=2").unwrap()
+        else {
+            panic!("expected EXEC");
+        };
+        assert_eq!(name, "hot");
+        assert_eq!(overrides.limit, Some(5));
+        assert_eq!(overrides.timeout, Some(Duration::from_millis(100)));
+        assert_eq!(overrides.threads, Some(2));
+
+        assert_eq!(
+            parse_request("EXEC hot"),
+            Ok(Request::Exec {
+                name: "hot".to_string(),
+                overrides: ExecOverrides::default(),
+            })
+        );
+        assert_eq!(
+            parse_request("UNPREPARE hot"),
+            Ok(Request::Unprepare {
+                name: "hot".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_prepared_statement_requests_are_proto_errors() {
+        assert!(parse_request("PREPARE").is_err(), "name + query required");
+        assert!(parse_request("PREPARE hot").is_err(), "query required");
+        assert!(parse_request("PREPARE h@t -- R(x)").is_err(), "bad name");
+        assert!(
+            parse_request("PREPARE hot explain R(x)").is_err(),
+            "explain is for Q"
+        );
+        assert!(parse_request("EXEC").is_err(), "name required");
+        assert!(parse_request("EXEC hot R(x)").is_err(), "no query text");
+        assert!(
+            parse_request("EXEC hot algo=naive").is_err(),
+            "no algo override"
+        );
+        assert!(parse_request("UNPREPARE").is_err(), "name required");
+        assert!(parse_request("UNPREPARE a b").is_err(), "one name only");
+        assert!(parse_request("Q timeout=soon R(x)").is_err(), "ms required");
     }
 
     #[test]

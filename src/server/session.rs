@@ -2,28 +2,46 @@
 //!
 //! A session owns its [`TcpStream`] and runs on a dedicated thread: read
 //! one request line, act on it, write one framed response, repeat until
-//! `QUIT`, EOF, a protocol violation, or server shutdown. Three
+//! `QUIT`, EOF, a protocol violation, or server shutdown. Four
 //! properties do the heavy lifting:
 //!
 //! * **Shared hot state** — queries go through the one
 //!   [`crate::engine::Engine`] behind the server, so concurrent clients
 //!   hit the same plan/re-index cache and concurrent *different* shapes
-//!   warm it for each other.
+//!   warm it for each other. On top of that, `PREPARE` pins a planned
+//!   [`PreparedStatement`] on the connection so `EXEC` skips request
+//!   parsing and planning entirely (a write that bumps a relation
+//!   version re-plans transparently from the stored text).
 //! * **Admission before execution** — the request's declared worker cost
 //!   (see [`crate::engine::DispatchKind::worker_cost`]) is acquired from
 //!   the global [`super::WorkerBudget`] *before* the probe loop starts,
 //!   so a flood queues instead of oversubscribing the machine.
 //! * **Disconnect ⇒ cancellation** — the response body streams through a
-//!   per-line-flushed writer; a client that goes away turns the next
-//!   write into an error, [`crate::render::write_body`] stops and drops
+//!   coalescing writer; a client that goes away turns a later write or
+//!   flush into an error, [`crate::render::write_body`] stops and drops
 //!   the tuple stream, and the drop cancels queued and in-flight shard
 //!   work. The suffix of the output the client will never read is never
 //!   computed.
+//! * **Deadline ⇒ cancellation** — a `timeout=` option (or the server's
+//!   `--default-timeout`) arms [`crate::engine::ExecOptions::deadline`]
+//!   when execution starts; an expired stream stops yielding
+//!   *server-side*, the partial body already flushed stays valid, and
+//!   the response terminates with `ERR DEADLINE <elapsed>` instead of
+//!   `OK` — no disconnect required.
+//!
+//! Response batching: body lines are flushed on watermarks (every
+//! [`super::ServerOptions::flush_rows`] complete lines or
+//! [`super::ServerOptions::flush_bytes`] bytes, whichever trips first)
+//! instead of per line, so a large body amortizes syscalls. The first
+//! completed line always flushes immediately, keeping `limit=k`
+//! first-row latency at one flush; the residual tail rides the control
+//! line's flush.
 
+use std::collections::HashMap;
 use std::io::{self, BufWriter, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use crate::render::{write_body, write_explain};
 
@@ -31,7 +49,7 @@ use super::protocol::{
     err_line, ok_line, parse_request, ExplainFormat, Request, WriteAction, BODY_PREFIX, CODE_PROTO,
 };
 use super::Shared;
-use crate::engine::{Engine, EngineError};
+use crate::engine::{Engine, EngineError, ExecOptions, PreparedStatement};
 
 /// How often a blocked read wakes up to poll the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(50);
@@ -40,6 +58,20 @@ const READ_POLL: Duration = Duration::from_millis(50);
 /// query grammar never needs more; this bounds a hostile client's
 /// memory use).
 const MAX_LINE: usize = 1 << 20;
+
+/// One `PREPARE`d statement pinned on a connection: the planned
+/// statement plus everything needed to re-plan it when a write makes it
+/// stale and to seed each `EXEC` with its declared defaults.
+struct PreparedEntry {
+    /// The original query text (re-prepared from verbatim on staleness).
+    text: String,
+    /// Default execution options from the `PREPARE` line.
+    opts: ExecOptions,
+    /// Default `timeout=` budget from the `PREPARE` line.
+    timeout: Option<Duration>,
+    /// The planned statement, bound to a database snapshot.
+    stmt: PreparedStatement,
+}
 
 /// Runs one connection to completion. IO errors end the session quietly
 /// (the peer is gone; there is nobody left to report them to).
@@ -51,13 +83,16 @@ pub(super) fn run(stream: TcpStream, shared: &Shared) {
 }
 
 fn serve(stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    // Per-line flushing only helps if the OS sends the line promptly:
+    // Watermark flushing only helps if the OS sends the batch promptly:
     // without NODELAY a small response sits in the Nagle buffer and a
     // disconnect is discovered a round-trip late.
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(READ_POLL))?;
     let mut reader = LineReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    // Prepared statements are per-connection: no cross-client name
+    // clashes, and dropping the connection drops the map.
+    let mut prepared: HashMap<String, PreparedEntry> = HashMap::new();
 
     loop {
         let line = match reader.next_line(shared) {
@@ -145,28 +180,103 @@ fn serve(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             },
             Request::Query {
                 opts,
+                timeout,
                 explain,
                 text,
             } => {
                 shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                if !run_query(&mut writer, shared, &opts, explain, &text)? {
+                if !run_query(&mut writer, shared, &opts, timeout, explain, &text)? {
                     // The client disconnected mid-body; the stream drop
                     // already cancelled its remaining work.
                     shared.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
                     return Ok(());
                 }
             }
+            Request::Prepare {
+                name,
+                opts,
+                timeout,
+                text,
+            } => match shared.engine.prepare(&text) {
+                Ok(stmt) => {
+                    shared.metrics.prepared.fetch_add(1, Ordering::Relaxed);
+                    prepared.insert(
+                        name,
+                        PreparedEntry {
+                            text,
+                            opts,
+                            timeout,
+                            stmt,
+                        },
+                    );
+                    control(&mut writer, &ok_line(0))?;
+                }
+                Err(e) => {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    control(&mut writer, &err_line(e.code(), &e.to_string()))?;
+                }
+            },
+            Request::Exec { name, overrides } => {
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                let Some(entry) = prepared.get_mut(&name) else {
+                    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    control(
+                        &mut writer,
+                        &err_line(
+                            CODE_PROTO,
+                            &format!(
+                                "no prepared statement {name:?} on this connection (PREPARE it \
+                                 first)"
+                            ),
+                        ),
+                    )?;
+                    continue;
+                };
+                // A write since PREPARE bumped some base relation's
+                // version; re-plan from the stored text so EXEC never
+                // serves a stale snapshot. The re-prepare counts as a
+                // parse (it is one) — steady-state EXECs on a read-only
+                // workload keep `query_parses` flat.
+                if !entry.stmt.is_current(&shared.engine.db()) {
+                    match shared.engine.prepare(&entry.text) {
+                        Ok(stmt) => entry.stmt = stmt,
+                        Err(e) => {
+                            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                            control(&mut writer, &err_line(e.code(), &e.to_string()))?;
+                            continue;
+                        }
+                    }
+                }
+                shared.metrics.exec_hits.fetch_add(1, Ordering::Relaxed);
+                let mut opts = entry.opts.clone();
+                if let Some(limit) = overrides.limit {
+                    opts.limit = Some(limit);
+                }
+                if let Some(threads) = overrides.threads {
+                    opts.threads = threads;
+                }
+                let timeout = overrides.timeout.or(entry.timeout);
+                if !execute_statement(&mut writer, shared, &entry.stmt, &opts, timeout)? {
+                    shared.metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+            Request::Unprepare { name } => {
+                let removed = usize::from(prepared.remove(&name).is_some());
+                control(&mut writer, &ok_line(removed))?;
+            }
         }
     }
 }
 
-/// Executes one query request and writes its framed response. Returns
+/// Executes one `Q` request and writes its framed response. Returns
 /// `false` when the client disconnected mid-body (session over), `true`
 /// otherwise — engine errors become `ERR` lines, not session failures.
 fn run_query(
     writer: &mut BufWriter<TcpStream>,
     shared: &Shared,
-    opts: &crate::engine::ExecOptions,
+    opts: &ExecOptions,
+    timeout: Option<Duration>,
     explain: Option<ExplainFormat>,
     text: &str,
 ) -> io::Result<bool> {
@@ -198,11 +308,32 @@ fn run_query(
         return Ok(connected);
     }
 
+    execute_statement(writer, shared, &stmt, opts, timeout)
+}
+
+/// Runs one planned statement — the shared tail of `Q` and `EXEC`: arm
+/// the deadline, pass admission control, stream the body through the
+/// coalescing writer, terminate with `OK`, `ERR DEADLINE`, or a plain
+/// `ERR`. Returns `false` when the client disconnected mid-body.
+fn execute_statement(
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+    stmt: &PreparedStatement,
+    opts: &ExecOptions,
+    timeout: Option<Duration>,
+) -> io::Result<bool> {
+    // The clock arms when execution starts, not at parse or queue time;
+    // the per-request budget falls back to the server-wide default.
+    let started = Instant::now();
+    let timeout = timeout.or(shared.options.default_timeout);
+    let mut opts = opts.clone();
+    opts.deadline = timeout.map(|budget| started + budget);
+
     // Admission control: figure out what the request will cost in pool
     // workers and block until the global budget can cover it. Planning
-    // (above) is deliberately *not* gated — it is cheap, cached, and
-    // needed to know the cost in the first place.
-    let kind = match stmt.dispatch_kind(opts) {
+    // is deliberately *not* gated — it is cheap, cached, and needed to
+    // know the cost in the first place.
+    let kind = match stmt.dispatch_kind(&opts) {
         Ok(kind) => kind,
         Err(e) => {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -213,8 +344,13 @@ fn run_query(
     let permit = shared.budget.acquire(kind.worker_cost());
 
     let outcome = {
-        let mut body = PrefixWriter::new(writer);
-        write_body(&mut body, &stmt, opts)
+        let mut body = PrefixWriter::coalescing(
+            writer,
+            shared.options.flush_rows,
+            shared.options.flush_bytes,
+            &shared.metrics.flushes,
+        );
+        write_body(&mut body, stmt, &opts)
     };
     drop(permit); // the response is produced; free the workers before flushing OK
     match outcome {
@@ -223,7 +359,17 @@ fn run_query(
             if o.disconnected {
                 return Ok(false);
             }
+            if o.deadline_exceeded {
+                deadline_err(writer, shared, started)?;
+                return Ok(true);
+            }
             control(writer, &ok_line(o.rows))?;
+            Ok(true)
+        }
+        // A materializing path hit the deadline before producing any
+        // body byte: same terminator, same counter.
+        Err(EngineError::DeadlineExceeded) => {
+            deadline_err(writer, shared, started)?;
             Ok(true)
         }
         Err(e) => {
@@ -232,6 +378,27 @@ fn run_query(
             Ok(true)
         }
     }
+}
+
+/// Terminates an expired response: bumps `deadlines` (deliberately not
+/// `errors` — a deadline is a caller-requested cancellation, not a
+/// fault) and writes the stable `ERR DEADLINE <elapsed>` control line.
+fn deadline_err(
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Shared,
+    started: Instant,
+) -> io::Result<()> {
+    shared.metrics.deadlines.fetch_add(1, Ordering::Relaxed);
+    control(
+        writer,
+        &err_line(
+            EngineError::DeadlineExceeded.code(),
+            &format!(
+                "deadline exceeded after {}ms",
+                started.elapsed().as_millis()
+            ),
+        ),
+    )
 }
 
 /// Executes one `W INSERT` / `W DELETE`: types the text cells against
@@ -267,7 +434,8 @@ fn run_write(
     Ok(outcome.affected())
 }
 
-/// Writes one control line (`OK …` / `ERR …`) and flushes it out.
+/// Writes one control line (`OK …` / `ERR …`) and flushes it out — along
+/// with any body tail the coalescing writer left below its watermarks.
 fn control(writer: &mut BufWriter<TcpStream>, line: &str) -> io::Result<()> {
     writeln!(writer, "{line}")?;
     writer.flush()
@@ -324,21 +492,80 @@ impl LineReader {
     }
 }
 
-/// Frames a response body: inserts [`BODY_PREFIX`] at the start of every
-/// line and flushes at every line end, so the peer sees tuples as they
-/// are certified and a gone peer turns the next line into an error (the
-/// cancellation trigger).
+/// Frames a response body — [`BODY_PREFIX`] at the start of every line —
+/// and coalesces flushes behind watermarks so large bodies amortize
+/// syscalls instead of paying one `write`+flush per tuple.
+///
+/// Flush policy: the **first** completed line always flushes (first-row
+/// latency under `limit=k` stays one flush, and a gone peer is noticed
+/// at the head of the stream); after that, a flush fires whenever
+/// `flush_rows` complete lines or `flush_bytes` bytes have accumulated
+/// since the previous one. The residual below the watermarks is *not*
+/// flushed here — it rides the control line's flush in [`control`],
+/// which is also why the deterministic per-body flush count is
+/// `1 + ⌊(lines−1)/flush_rows⌋` when the byte watermark never trips.
+/// Each watermark flush is counted into the server's `flushes` metric.
 struct PrefixWriter<'w, W: Write> {
     inner: &'w mut W,
     at_line_start: bool,
+    /// Complete lines accumulated since the last flush.
+    pending_lines: usize,
+    /// Bytes (prefixes included) accumulated since the last flush.
+    pending_bytes: usize,
+    /// Complete lines over the writer's whole life (first-line flush).
+    total_lines: usize,
+    /// Line-count watermark (≥ 1).
+    flush_rows: usize,
+    /// Byte-count watermark.
+    flush_bytes: usize,
+    /// Server-wide flush counter, when this body's flushes are metered.
+    flushes: Option<&'w AtomicU64>,
 }
 
 impl<'w, W: Write> PrefixWriter<'w, W> {
+    /// A per-line-flushing writer for small fixed bodies (`STATS`,
+    /// `explain`) where coalescing buys nothing.
     fn new(inner: &'w mut W) -> Self {
         PrefixWriter {
             inner,
             at_line_start: true,
+            pending_lines: 0,
+            pending_bytes: 0,
+            total_lines: 0,
+            flush_rows: 1,
+            flush_bytes: usize::MAX,
+            flushes: None,
         }
+    }
+
+    /// A watermark-flushing writer for query bodies; every flush it
+    /// performs is counted into `flushes`.
+    fn coalescing(
+        inner: &'w mut W,
+        flush_rows: usize,
+        flush_bytes: usize,
+        flushes: &'w AtomicU64,
+    ) -> Self {
+        PrefixWriter {
+            inner,
+            at_line_start: true,
+            pending_lines: 0,
+            pending_bytes: 0,
+            total_lines: 0,
+            flush_rows: flush_rows.max(1),
+            flush_bytes,
+            flushes: Some(flushes),
+        }
+    }
+
+    fn flush_pending(&mut self) -> io::Result<()> {
+        self.inner.flush()?;
+        if let Some(counter) = self.flushes {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pending_lines = 0;
+        self.pending_bytes = 0;
+        Ok(())
     }
 }
 
@@ -348,19 +575,29 @@ impl<W: Write> Write for PrefixWriter<'_, W> {
         while !rest.is_empty() {
             if self.at_line_start {
                 let mut prefix = [0u8; 4];
-                self.inner
-                    .write_all(BODY_PREFIX.encode_utf8(&mut prefix).as_bytes())?;
+                let encoded = BODY_PREFIX.encode_utf8(&mut prefix).as_bytes();
+                self.inner.write_all(encoded)?;
+                self.pending_bytes += encoded.len();
                 self.at_line_start = false;
             }
             match rest.iter().position(|&b| b == b'\n') {
                 Some(pos) => {
                     self.inner.write_all(&rest[..=pos])?;
-                    self.inner.flush()?;
+                    self.pending_bytes += pos + 1;
+                    self.pending_lines += 1;
+                    self.total_lines += 1;
                     self.at_line_start = true;
+                    if self.total_lines == 1
+                        || self.pending_lines >= self.flush_rows
+                        || self.pending_bytes >= self.flush_bytes
+                    {
+                        self.flush_pending()?;
+                    }
                     rest = &rest[pos + 1..];
                 }
                 None => {
                     self.inner.write_all(rest)?;
+                    self.pending_bytes += rest.len();
                     rest = &[];
                 }
             }
@@ -369,7 +606,7 @@ impl<W: Write> Write for PrefixWriter<'_, W> {
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        self.inner.flush()
+        self.flush_pending()
     }
 }
 
@@ -404,5 +641,42 @@ mod tests {
             writeln!(w, "x").unwrap();
         }
         assert_eq!(String::from_utf8(out).unwrap(), "|\n|x\n");
+    }
+
+    #[test]
+    fn coalescing_writer_flushes_on_the_row_watermark() {
+        let flushes = AtomicU64::new(0);
+        let mut out = Vec::new();
+        {
+            let mut w = PrefixWriter::coalescing(&mut out, 4, usize::MAX, &flushes);
+            for i in 0..10 {
+                writeln!(w, "row {i}").unwrap();
+            }
+        }
+        // Line 1 flushes immediately; lines 2–5 and 6–9 each fill the
+        // 4-line watermark; line 10 stays pending for the control line:
+        // 1 + ⌊(10−1)/4⌋ = 3.
+        assert_eq!(flushes.load(Ordering::Relaxed), 3);
+        // Framing is unchanged by coalescing.
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .starts_with("|row 0\n|row 1\n"));
+    }
+
+    #[test]
+    fn coalescing_writer_flushes_on_the_byte_watermark() {
+        let flushes = AtomicU64::new(0);
+        let mut out = Vec::new();
+        {
+            // 16-byte watermark: "|xxxxxxxx\n" is 10 bytes, so every
+            // second line trips it (first line flushes unconditionally).
+            let mut w = PrefixWriter::coalescing(&mut out, usize::MAX, 16, &flushes);
+            for _ in 0..6 {
+                writeln!(w, "xxxxxxxx").unwrap();
+            }
+        }
+        // Flush after line 1 (first line), then after lines 3 and 5
+        // (two pending lines = 20 bytes ≥ 16); line 6 stays pending.
+        assert_eq!(flushes.load(Ordering::Relaxed), 3);
     }
 }

@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use minesweeper_join::engine::{Engine, ExecOptions};
 use minesweeper_join::render;
-use minesweeper_join::server::{Client, Reply, Server, ServerStats};
+use minesweeper_join::server::{Client, Reply, ResponseLine, Server, ServerStats};
 
 /// A small two-relation engine with string keys, enough rows for limits
 /// and truncation markers to engage.
@@ -494,6 +494,245 @@ fn checkpoint_verb_and_durability_stats_over_the_wire() {
     assert!(body.contains("ibz") && body.contains("zrh"));
     drop(e);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Deadline-triggered cancellation: a `timeout=`-expired streaming
+/// request is cancelled *server-side* while the client keeps its
+/// connection — partial rows stay flushed, the response terminates with
+/// a stable `ERR DEADLINE`, the work counters freeze below one full
+/// execution, and the session remains usable.
+#[test]
+fn deadline_mid_stream_cancels_server_side() {
+    let mut engine = Engine::new();
+    // Same ~10 MB body as the disconnect test: far past what kernel
+    // buffers absorb, so TCP backpressure paces the server against the
+    // deliberately slow reader below.
+    let tsv: String = (0..100_000).map(|i| format!("k{i:0>96} {i}\n")).collect();
+    engine.load_tsv("B", &tsv).unwrap();
+    let engine = Arc::new(engine);
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", 4).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // The client reads, but slower than the server produces: when the
+    // deadline hits, the stream is mid-body — only a server-side check
+    // inside the streaming loop can stop it (the client never hangs up).
+    client
+        .send("Q threads=2 limit=100000 timeout=200 B(k, v)")
+        .unwrap();
+    let mut body_lines: u64 = 0;
+    let (code, message) = loop {
+        match client.read_line().unwrap() {
+            ResponseLine::Body(_) => {
+                body_lines += 1;
+                if body_lines.is_multiple_of(64) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            ResponseLine::Err(code, message) => break (code, message),
+            ResponseLine::Ok(rows) => {
+                panic!("stream completed ({rows} rows) before the deadline")
+            }
+        }
+    };
+    assert_eq!(code, "DEADLINE");
+    assert!(message.contains("deadline exceeded after"), "{message}");
+    assert!(
+        body_lines < 100_000,
+        "only a prefix was flushed, got {body_lines} lines"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.deadlines, 1);
+    assert_eq!(stats.disconnects, 0, "the client never hung up");
+    assert_eq!(stats.errors, 0, "a deadline is not an error");
+    assert!(stats.rows < 100_000);
+    assert!(
+        stats.outputs < 100_000,
+        "cancellation stopped the probe loop at {} outputs",
+        stats.outputs
+    );
+
+    // Frozen means frozen: no background worker keeps producing after
+    // the ERR line is on the wire.
+    std::thread::sleep(Duration::from_millis(100));
+    let later = server.stats();
+    assert_eq!(later.outputs, stats.outputs);
+    assert_eq!(later.find_gap_calls, stats.find_gap_calls);
+
+    // `timeout=0` expires before any work — the deterministic corner:
+    // a materializing (unlimited serial) request answers ERR DEADLINE
+    // with no body at all.
+    match client.request("Q timeout=0 B(k, v)").unwrap() {
+        Reply::Err { code, .. } => assert_eq!(code, "DEADLINE"),
+        other => panic!("expected DEADLINE, got {other:?}"),
+    }
+
+    // The connection survived both expiries.
+    assert_eq!(
+        client.request("PING").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 0
+        }
+    );
+    assert_eq!(server.stats().deadlines, 2);
+    server.shutdown().unwrap();
+}
+
+/// The prepared-statement contract: `EXEC` output is byte-identical to
+/// the equivalent one-shot `Q` while `query_parses` stays flat (the
+/// deterministic evidence that EXEC skips parsing and planning); a
+/// write re-plans transparently; `UNPREPARE` ends the name's life.
+#[test]
+fn prepare_exec_skips_parsing_and_matches_one_shot_bytes() {
+    let engine = Arc::new(small_engine());
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", 2).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let one_shot = match client.request("Q R(x, y), S(y, z)").unwrap() {
+        Reply::Ok { body, rows } => (body, rows),
+        other => panic!("one-shot failed: {other:?}"),
+    };
+    assert_eq!(
+        client.request("PREPARE hot -- R(x, y), S(y, z)").unwrap(),
+        Reply::Ok {
+            body: String::new(),
+            rows: 0
+        }
+    );
+
+    // Parse count is flat across EXECs on a read-only connection.
+    let parses_before = server.stats().query_parses;
+    for _ in 0..3 {
+        match client.request("EXEC hot").unwrap() {
+            Reply::Ok { body, rows } => {
+                assert_eq!(body, one_shot.0, "EXEC must reproduce the Q bytes");
+                assert_eq!(rows, one_shot.1);
+            }
+            other => panic!("EXEC failed: {other:?}"),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(
+        stats.query_parses, parses_before,
+        "three EXECs parsed nothing"
+    );
+    assert_eq!(stats.exec_hits, 3);
+    assert_eq!(stats.prepared, 1);
+
+    // A per-execution override mirrors the equivalent one-shot option.
+    let limited = match client.request("Q limit=2 R(x, y), S(y, z)").unwrap() {
+        Reply::Ok { body, .. } => body,
+        other => panic!("limited Q failed: {other:?}"),
+    };
+    match client.request("EXEC hot limit=2").unwrap() {
+        Reply::Ok { body, .. } => assert_eq!(body, limited),
+        other => panic!("EXEC limit=2 failed: {other:?}"),
+    }
+
+    // A write bumps the data version: the next EXEC re-plans from the
+    // stored text (exactly one parse), then goes flat again — and its
+    // bytes keep matching a fresh one-shot Q.
+    assert!(matches!(
+        client.request("W INSERT S 1 zzz").unwrap(),
+        Reply::Ok { rows: 1, .. }
+    ));
+    let parses_stale = server.stats().query_parses;
+    let fresh = match client.request("EXEC hot").unwrap() {
+        Reply::Ok { body, .. } => body,
+        other => panic!("EXEC after write failed: {other:?}"),
+    };
+    assert!(fresh.contains("zzz"), "the write is visible to EXEC");
+    assert_eq!(
+        server.stats().query_parses,
+        parses_stale + 1,
+        "staleness costs exactly one re-parse"
+    );
+    match client.request("EXEC hot").unwrap() {
+        Reply::Ok { body, .. } => assert_eq!(body, fresh),
+        other => panic!("EXEC failed: {other:?}"),
+    }
+    assert_eq!(server.stats().query_parses, parses_stale + 1, "flat again");
+    let q_fresh = match client.request("Q R(x, y), S(y, z)").unwrap() {
+        Reply::Ok { body, .. } => body,
+        other => panic!("fresh Q failed: {other:?}"),
+    };
+    assert_eq!(q_fresh, fresh, "EXEC and Q agree after the re-plan");
+
+    // Lifecycle: UNPREPARE reports what it dropped; EXEC on a dropped
+    // name is a protocol error.
+    assert!(matches!(
+        client.request("UNPREPARE hot").unwrap(),
+        Reply::Ok { rows: 1, .. }
+    ));
+    match client.request("EXEC hot").unwrap() {
+        Reply::Err { code, message } => {
+            assert_eq!(code, "PROTO");
+            assert!(message.contains("no prepared statement"), "{message}");
+        }
+        other => panic!("expected PROTO, got {other:?}"),
+    }
+    assert!(matches!(
+        client.request("UNPREPARE hot").unwrap(),
+        Reply::Ok { rows: 0, .. }
+    ));
+    server.shutdown().unwrap();
+}
+
+/// The batching contract: a deliberately slow reader taking tiny paced
+/// reads off the raw socket still reassembles the exact renderer bytes,
+/// and the per-body flush count follows the documented watermark
+/// arithmetic instead of one flush per line.
+#[test]
+fn slow_reader_receives_exact_bytes_under_batching() {
+    let mut engine = Engine::new();
+    let tsv: String = (0..2_000).map(|i| format!("{i} {}\n", i + 1)).collect();
+    engine.load_tsv("E", &tsv).unwrap();
+    let engine = Arc::new(engine);
+    let expected =
+        render::body_string(&engine.prepare("E(x, y)").unwrap(), &ExecOptions::default()).unwrap();
+
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", 2).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(b"Q E(x, y)\n").unwrap();
+
+    // Tiny odd-sized reads with pauses: chunk boundaries land anywhere
+    // relative to lines and flush batches.
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 257];
+    loop {
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "server hung up mid-response");
+        raw.extend_from_slice(&chunk[..n]);
+        if raw.ends_with(b"\n") {
+            let last = raw[..raw.len() - 1].split(|&b| b == b'\n').next_back();
+            if last.is_some_and(|l| l.starts_with(b"OK ") || l.starts_with(b"ERR ")) {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let text = String::from_utf8(raw).unwrap();
+    let mut body = String::new();
+    let mut terminator = String::new();
+    for line in text.lines() {
+        match line.strip_prefix('|') {
+            Some(rest) => {
+                body.push_str(rest);
+                body.push('\n');
+            }
+            None => terminator = line.to_string(),
+        }
+    }
+    assert_eq!(body, expected, "batched stream reassembles exactly");
+    assert_eq!(terminator, "OK 2000");
+
+    // Flush accounting (default watermarks, byte watermark never trips
+    // on these short rows): first line, then every 128th.
+    let lines = expected.lines().count() as u64;
+    assert_eq!(server.stats().flushes, 1 + (lines - 1) / 128);
+    server.shutdown().unwrap();
 }
 
 // ------------------------------------------------------------ processes
